@@ -1,0 +1,96 @@
+// Ablation A6: FIFO sizing of the memory subsystem, validated at element
+// granularity.
+//
+// The paper (§3.2, after Cong et al. DAC'14) claims that sizing each
+// inter-filter FIFO as the spatial distance between its two accesses makes
+// the pipeline work "correctly without stalls". The cycle-stepped element
+// simulator checks that claim directly, per layer geometry of the model
+// zoo, and probes both directions:
+//
+//   * planned capacities   -> completes at the source-limited minimum
+//                             (one element per cycle + drain),
+//   * 2x capacities        -> identical cycle count: extra depth buys
+//                             nothing (the sizing is exact, not padded),
+//   * row-gap FIFO halved  -> the pipeline deadlocks: the sizing is
+//                             load-bearing, not an optimization.
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "nn/models.hpp"
+#include "sim/element_sim.hpp"
+
+namespace {
+
+using namespace condor;
+
+const char* verdict(const sim::ElementSimResult& result) {
+  if (result.deadlocked) {
+    return "DEADLOCK";
+  }
+  return result.stall_free() ? "stall-free" : "throttled";
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kError);
+  std::printf("== Ablation A6: memory-subsystem FIFO sizing (element-level) ==\n\n");
+  std::printf("%-10s %-10s %8s | %12s %12s | %12s %12s\n", "network", "layer",
+              "geometry", "planned", "", "2x planned", "undersized");
+
+  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
+    const nn::Network features = model.feature_extraction_prefix();
+    auto shapes = features.infer_shapes().value();
+    for (std::size_t i = 1; i < features.layer_count(); ++i) {
+      const nn::LayerSpec& layer = features.layers()[i];
+      if (!layer.is_feature_extraction()) {
+        continue;
+      }
+      sim::ElementSimConfig config;
+      config.map_h = shapes[i].input[1] + 2 * layer.pad;
+      config.map_w = shapes[i].input[2] + 2 * layer.pad;
+      config.window_h = layer.kernel_h;
+      config.window_w = layer.kernel_w;
+      config.stride = layer.stride;
+
+      auto planned = sim::simulate_memory_pipeline(config);
+
+      sim::ElementSimConfig oversized = config;
+      oversized.fifo_capacities = sim::planned_capacities(config);
+      for (std::size_t& capacity : oversized.fifo_capacities) {
+        capacity *= 2;
+      }
+      auto doubled = sim::simulate_memory_pipeline(oversized);
+
+      sim::ElementSimConfig undersized = config;
+      undersized.fifo_capacities = sim::planned_capacities(config);
+      for (std::size_t& capacity : undersized.fifo_capacities) {
+        if (capacity > 1) {
+          capacity /= 2;  // halve the row-gap FIFOs
+        }
+      }
+      auto halved = sim::simulate_memory_pipeline(undersized);
+
+      if (!planned.is_ok() || !doubled.is_ok() || !halved.is_ok()) {
+        std::printf("%-10s %-10s simulation error\n", model.name().c_str(),
+                    layer.name.c_str());
+        continue;
+      }
+      std::printf("%-10s %-10s %3zux%-4zu | %6llu cyc %-10s | %-12s %-12s\n",
+                  model.name().c_str(), layer.name.c_str(), config.window_h,
+                  config.map_w,
+                  (unsigned long long)planned.value().total_cycles,
+                  verdict(planned.value()),
+                  doubled.value().total_cycles == planned.value().total_cycles
+                      ? "same cycles"
+                      : "DIFFERENT",
+                  verdict(halved.value()));
+    }
+  }
+  std::printf(
+      "\nshape: planned capacities hit the one-element-per-cycle bound;\n"
+      "doubling them changes nothing (the spatial-distance sizing is exact);\n"
+      "halving the cross-row FIFOs wedges the pipeline (elements for the\n"
+      "window's lower rows can no longer coexist with the buffered span).\n");
+  return 0;
+}

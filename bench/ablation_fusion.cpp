@@ -1,0 +1,79 @@
+// Ablation A2: layer fusion (PE clustering) vs full spatial unfolding.
+//
+// The paper's methodology can map several logical layers onto one PE when
+// resources are scarce (§3.2). This ablation sweeps the clustering factor
+// on LeNet and TC1 — from the fully unfolded 1:1 mapping (maximum
+// intra-layer parallelism, the Table 1 configuration) down to a single PE
+// implementing the whole features stage — and reports the area/throughput
+// trade the clustering buys.
+//
+// Expected shape: fusing saves LUT/FF/DSP roughly in proportion to the PE
+// count, while throughput degrades because a fused PE time-multiplexes its
+// layers (the high-level pipeline loses stages).
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace condor;
+
+/// Assigns pe_group ids clustering every `cluster` consecutive
+/// feature-extraction layers (classifier layers stay 1:1).
+hw::HwNetwork clustered(const nn::Network& model, std::size_t cluster) {
+  hw::HwNetwork net = hw::with_default_annotations(model, "aws-f1", 200.0);
+  int group = 0;
+  std::size_t in_group = 0;
+  for (std::size_t l = 1; l < net.net.layer_count(); ++l) {
+    const nn::LayerSpec& layer = net.net.layers()[l];
+    if (!layer.is_feature_extraction()) {
+      break;
+    }
+    net.hw.layers[l].pe_group = group;
+    if (++in_group == cluster) {
+      ++group;
+      in_group = 0;
+    }
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kError);
+
+  std::printf("== Ablation A2: layer fusion vs spatial unfolding ==\n\n");
+  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
+    std::printf("%s:\n", model.name().c_str());
+    std::printf("  %-12s %5s %10s %10s %7s %8s %10s %12s\n", "clustering",
+                "PEs", "LUT", "DSP", "BRAM", "MHz", "GFLOPS", "img/s");
+    const std::size_t feature_layers =
+        model.feature_extraction_prefix().layer_count() - 1;
+    for (std::size_t cluster = 1; cluster <= feature_layers; ++cluster) {
+      const hw::HwNetwork net = clustered(model, cluster);
+      auto point = hw::evaluate_design_point(net);
+      if (!point.is_ok()) {
+        std::printf("  cluster=%zu: %s\n", cluster,
+                    point.status().to_string().c_str());
+        continue;
+      }
+      const char* label = cluster == 1 ? "1:1 (paper)" : "";
+      std::printf("  %-4zu%-8s %5zu %10llu %10llu %7llu %8.0f %10.2f %12.1f\n",
+                  cluster, label, point.value().performance.pes.size(),
+                  (unsigned long long)point.value().resources.total.luts,
+                  (unsigned long long)point.value().resources.total.dsps,
+                  (unsigned long long)point.value().resources.total.bram36,
+                  point.value().achieved_mhz, point.value().gflops(),
+                  point.value().performance.images_per_second());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "shape: larger clusters -> fewer PEs, smaller LUT/DSP footprint, lower "
+      "throughput (time-multiplexed layers).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Ablation A1: on-chip buffering strategy for the sliding-window reuse.
+//
+// Compares the paper's non-uniform memory partitioning (Cong et al. DAC'14:
+// one FIFO per inter-access gap, sized by spatial distance) against the two
+// classical alternatives for every feature-extraction layer of TC1, LeNet
+// and VGG-16:
+//
+//   full-map      — buffer the whole input feature map on chip (BRAM-backed
+//                   double buffer), the naive dataflow staging;
+//   line-buffer   — a monolithic (Kh-1) full-line + Kw register buffer, all
+//                   of it in BRAM with one memory port per access resolved
+//                   by replication (the standard systolic approach);
+//   non-uniform   — the paper's scheme; small inter-access FIFOs map to
+//                   LUTRAM/SRLs, only cross-row gaps may touch BRAM.
+//
+// Expected shape: non-uniform <= line-buffer << full-map, with the gap
+// growing with map size (VGG's 224-wide maps).
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "hw/accel_plan.hpp"
+#include "hw/resource_model.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace condor;
+
+struct BufferCost {
+  std::uint64_t bram = 0;
+  std::uint64_t luts = 0;
+};
+
+/// Paper scheme: cost the actual FIFO chain.
+BufferCost nonuniform_cost(std::size_t kh, std::size_t kw, std::size_t map_w,
+                           const hw::CostModel& cost) {
+  BufferCost total;
+  for (const hw::FilterNode& node : hw::plan_filter_chain(kh, kw, map_w)) {
+    const hw::Resources r = hw::fifo_cost(node.fifo_to_next_depth, cost);
+    total.bram += r.bram36;
+    total.luts += r.luts;
+  }
+  return total;
+}
+
+/// Monolithic line buffer: (Kh-1) * map_w + Kw elements in BRAM, replicated
+/// per row for port bandwidth (Kh read ports on dual-ported BRAM).
+BufferCost linebuffer_cost(std::size_t kh, std::size_t kw, std::size_t map_w,
+                           const hw::CostModel& cost) {
+  const std::size_t elements = (kh - 1) * map_w + kw;
+  const std::uint64_t base =
+      (elements * sizeof(float) + cost.bram_bytes - 1) / cost.bram_bytes;
+  BufferCost total;
+  total.bram = std::max<std::uint64_t>(base, 1) * ((kh + 1) / 2);
+  total.luts = 220;  // address generation
+  return total;
+}
+
+/// Whole-map ping-pong staging.
+BufferCost fullmap_cost(std::size_t map_h, std::size_t map_w,
+                        const hw::CostModel& cost) {
+  const std::size_t elements = 2 * map_h * map_w;
+  BufferCost total;
+  total.bram = std::max<std::uint64_t>(
+      (elements * sizeof(float) + cost.bram_bytes - 1) / cost.bram_bytes, 1);
+  total.luts = 180;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kError);
+  const hw::CostModel cost;
+
+  std::printf("== Ablation A1: reuse-buffer strategy, per conv/pool layer ==\n");
+  std::printf("(BRAM36 blocks; LUTs for the non-uniform FIFO chain)\n\n");
+  std::printf("%-10s %-10s %8s %9s %10s %12s %12s %12s\n", "network", "layer",
+              "window", "map", "buffered", "full-map", "line-buffer",
+              "non-uniform");
+
+  for (const nn::Network& model :
+       {nn::make_tc1(), nn::make_lenet(), nn::make_vgg16()}) {
+    const nn::Network features = model.feature_extraction_prefix();
+    auto shapes = features.infer_shapes().value();
+    std::uint64_t total_full = 0;
+    std::uint64_t total_line = 0;
+    std::uint64_t total_nonuniform_bram = 0;
+    std::uint64_t total_nonuniform_luts = 0;
+    for (std::size_t i = 1; i < features.layer_count(); ++i) {
+      const nn::LayerSpec& layer = features.layers()[i];
+      if (!layer.is_feature_extraction()) {
+        continue;
+      }
+      const std::size_t map_h = shapes[i].input[1] + 2 * layer.pad;
+      const std::size_t map_w = shapes[i].input[2] + 2 * layer.pad;
+      const BufferCost full = fullmap_cost(map_h, map_w, cost);
+      const BufferCost line =
+          linebuffer_cost(layer.kernel_h, layer.kernel_w, map_w, cost);
+      const BufferCost nonuniform =
+          nonuniform_cost(layer.kernel_h, layer.kernel_w, map_w, cost);
+      total_full += full.bram;
+      total_line += line.bram;
+      total_nonuniform_bram += nonuniform.bram;
+      total_nonuniform_luts += nonuniform.luts;
+      const std::size_t buffered =
+          (layer.kernel_h - 1) * map_w + layer.kernel_w - 1;
+      std::printf("%-10s %-10s %4zux%-3zu %4zux%-4zu %10zu %10llub %10llub %6llub+%llul\n",
+                  model.name().c_str(), layer.name.c_str(), layer.kernel_h,
+                  layer.kernel_w, map_h, map_w, buffered,
+                  (unsigned long long)full.bram, (unsigned long long)line.bram,
+                  (unsigned long long)nonuniform.bram,
+                  (unsigned long long)nonuniform.luts);
+    }
+    std::printf("%-10s %-10s %38s %10llub %10llub %6llub+%llul\n\n",
+                model.name().c_str(), "TOTAL", "",
+                (unsigned long long)total_full, (unsigned long long)total_line,
+                (unsigned long long)total_nonuniform_bram,
+                (unsigned long long)total_nonuniform_luts);
+    if (!(total_nonuniform_bram <= total_line &&
+          total_nonuniform_bram <= total_full)) {
+      std::printf("  shape FAIL for %s\n", model.name().c_str());
+    }
+  }
+  std::printf(
+      "shape: non-uniform partitioning never exceeds either alternative in\n"
+      "BRAM (its small inter-access FIFOs live in LUTRAM); the full-map\n"
+      "gap explodes with map size (VGG-16's 224-wide maps: ~90 BRAM/layer\n"
+      "vs 0-2). For tiny maps a monolithic line buffer wastes whole BRAM\n"
+      "blocks per layer where the FIFO chain pays a few dozen LUTs.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Board portability: the same Condor input deployed across the board
+// database (paper §3.1.1 — the network representation names "the desired
+// board"; §3.1.3 — on-premise boards vs the F1 cloud).
+//
+// For each model x board, reports whether the mapping synthesizes, and at
+// what utilization/clock/throughput. Shows the resource wall moving: TC1
+// fits everywhere except the ZedBoard (tanh DSPs), LeNet additionally needs
+// the BRAM for its on-chip classifier weights, VGG-16 features need a large
+// fabric.
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace condor;
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kError);
+  std::printf("== Board portability (default sequential configuration) ==\n\n");
+  std::printf("%-18s %-10s %8s %8s %8s %8s %10s\n", "model", "board", "LUT %",
+              "DSP %", "BRAM %", "MHz", "GFLOPS");
+
+  const nn::Network models[] = {nn::make_tc1(), nn::make_lenet(),
+                                nn::make_vgg16().feature_extraction_prefix()};
+  for (const nn::Network& model : models) {
+    for (const hw::BoardSpec& board : hw::board_database()) {
+      hw::HwNetwork net = hw::with_default_annotations(
+          model, board.id, board.max_frequency_mhz);
+      hw::DseOptions options;
+      options.max_utilization = 1.0;  // report the raw fit
+      auto point = hw::evaluate_design_point(net, options);
+      if (!point.is_ok()) {
+        std::printf("%-18s %-10s does not fit (%s)\n", model.name().c_str(),
+                    board.id.c_str(),
+                    std::string(to_string(point.status().code())).c_str());
+        continue;
+      }
+      std::printf("%-18s %-10s %8.2f %8.2f %8.2f %8.0f %10.2f\n",
+                  model.name().c_str(), board.id.c_str(),
+                  point.value().resources.lut_percent(board),
+                  point.value().resources.dsp_percent(board),
+                  point.value().resources.bram_percent(board),
+                  point.value().achieved_mhz, point.value().gflops());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "shape: the resource wall moves with the board class — the ZedBoard\n"
+      "rejects even TC1 (its fp32 tanh pipelines exceed 220 DSPs), the ZC706\n"
+      "carries the small nets, and the datacenter parts carry everything\n"
+      "mapped so far; GFLOPS follows the achieved clock per board.\n");
+  return 0;
+}

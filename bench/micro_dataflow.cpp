@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) of the engine substrate: FIFO
+// throughput, filter-chain streaming rate, functional accelerator execution
+// vs the golden CPU reference, and the discrete-event simulator's event rate.
+//
+// These quantify the *host-side* cost of the simulation infrastructure —
+// they are not device-performance claims (those come from the cycle
+// simulator in the table/figure benches).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/logging.hpp"
+#include "dataflow/executor.hpp"
+#include "dataflow/fifo.hpp"
+#include "hw/accel_plan.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "sim/pipeline.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace condor;
+
+void BM_FifoSingleThreaded(benchmark::State& state) {
+  dataflow::Stream fifo(static_cast<std::size_t>(state.range(0)));
+  const std::size_t burst = fifo.capacity();
+  float value = 0.0F;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < burst; ++i) {
+      fifo.write(1.0F);
+    }
+    for (std::size_t i = 0; i < burst; ++i) {
+      benchmark::DoNotOptimize(fifo.read(value));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_FifoSingleThreaded)->Arg(16)->Arg(256);
+
+void BM_FifoProducerConsumer(benchmark::State& state) {
+  constexpr std::size_t kCount = 100'000;
+  for (auto _ : state) {
+    dataflow::Stream fifo(static_cast<std::size_t>(state.range(0)));
+    std::thread producer([&fifo] {
+      for (std::size_t i = 0; i < kCount; ++i) {
+        fifo.write(static_cast<float>(i));
+      }
+      fifo.close();
+    });
+    float value = 0.0F;
+    std::size_t received = 0;
+    while (fifo.read(value)) {
+      ++received;
+    }
+    producer.join();
+    if (received != kCount) {
+      state.SkipWithError("lost elements");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+BENCHMARK(BM_FifoProducerConsumer)->Arg(16)->Arg(1024);
+
+/// One image through the full KPN accelerator (thread-per-module).
+void BM_AcceleratorFunctional(benchmark::State& state, const nn::Network& model) {
+  auto weights = nn::initialize_weights(model, 1).value();
+  auto plan =
+      hw::plan_accelerator(hw::with_default_annotations(model)).value();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan, std::move(weights)).value();
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 4; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  for (auto _ : state) {
+    auto outputs = executor.run_batch(batch);
+    if (!outputs.is_ok()) {
+      state.SkipWithError("run failed");
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+void BM_AcceleratorFunctional_TC1(benchmark::State& state) {
+  BM_AcceleratorFunctional(state, nn::make_tc1());
+}
+void BM_AcceleratorFunctional_LeNet(benchmark::State& state) {
+  BM_AcceleratorFunctional(state, nn::make_lenet());
+}
+BENCHMARK(BM_AcceleratorFunctional_TC1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AcceleratorFunctional_LeNet)->Unit(benchmark::kMillisecond);
+
+/// The golden reference, for an apples-to-apples host-cost comparison.
+void BM_Reference(benchmark::State& state, const nn::Network& model) {
+  auto weights = nn::initialize_weights(model, 1).value();
+  auto engine = nn::ReferenceEngine::create(model, std::move(weights)).value();
+  Rng rng(2);
+  Tensor image(model.input_shape().value());
+  for (float& v : image.data()) {
+    v = rng.uniform(-1.0F, 1.0F);
+  }
+  for (auto _ : state) {
+    auto out = engine.forward(image);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_Reference_TC1(benchmark::State& state) {
+  BM_Reference(state, nn::make_tc1());
+}
+void BM_Reference_LeNet(benchmark::State& state) {
+  BM_Reference(state, nn::make_lenet());
+}
+BENCHMARK(BM_Reference_TC1)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Reference_LeNet)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineSimulator(benchmark::State& state) {
+  const std::size_t stages = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::StageSpec> specs;
+  for (std::size_t s = 0; s < stages; ++s) {
+    specs.push_back({"s" + std::to_string(s), 100 + s * 17, 1});
+  }
+  for (auto _ : state) {
+    auto run = sim::simulate_pipeline(specs, 256);
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PipelineSimulator)->Arg(6)->Arg(18);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  condor::log::set_level(condor::log::Level::kError);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Multi-slot F1 scaling (deployment extension).
+//
+// An f1.16xlarge instance exposes 8 FPGA slots; the same AFI can be loaded
+// on every slot and batches sharded across them. This bench loads the
+// LeNet AFI on 1..8 slots of a simulated f1.16xlarge and reports aggregate
+// throughput from the per-slot device-time simulation — near-linear
+// scaling, since slots share nothing but the (simulated) host.
+#include <cstdio>
+
+#include "caffe/export.hpp"
+#include "cloud/afi.hpp"
+#include "cloud/f1.hpp"
+#include "cloud/s3.hpp"
+#include "common/logging.hpp"
+#include "condor/flow.hpp"
+#include "nn/models.hpp"
+#include "nn/synthetic_digits.hpp"
+#include "nn/weights.hpp"
+
+namespace {
+
+using namespace condor;
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kError);
+  std::printf("== Multi-slot F1 scaling (f1.16xlarge, LeNet AFI) ==\n\n");
+
+  cloud::ObjectStore store("/tmp/condor-bench-multislot");
+  cloud::AfiService afi(store, 0);
+
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 7).value();
+  condorflow::FrontendInput input;
+  input.prototxt_text = caffe::to_prototxt(model).value();
+  input.caffemodel_bytes = caffe::to_caffemodel(model, weights).value();
+  condorflow::FlowOptions options;
+  options.deployment = condorflow::Deployment::kCloud;
+  options.s3_bucket = "multislot-bucket";
+  auto flow = condorflow::Flow::run(input, options, &store, &afi);
+  if (!flow.is_ok()) {
+    std::fprintf(stderr, "%s\n", flow.status().to_string().c_str());
+    return 1;
+  }
+  auto available = afi.wait_until_available(flow.value().afi->afi_id);
+  if (!available.is_ok()) {
+    std::fprintf(stderr, "%s\n", available.status().to_string().c_str());
+    return 1;
+  }
+
+  cloud::F1Instance instance(cloud::F1InstanceType::k16xlarge, afi);
+  constexpr std::size_t kImagesTotal = 64;
+  const auto digits = nn::make_digit_dataset(kImagesTotal, 28);
+
+  std::printf("  %6s %16s %14s %10s\n", "slots", "agg img/s", "speedup", "eff");
+  double single_slot = 0.0;
+  for (std::size_t slots = 1; slots <= instance.slots(); slots *= 2) {
+    // Program the slots (idempotent reloads for already-programmed ones).
+    for (std::size_t s = 0; s < slots; ++s) {
+      if (auto status = instance.load_afi(s, available.value().agfi_id);
+          !status.is_ok()) {
+        std::fprintf(stderr, "%s\n", status.to_string().c_str());
+        return 1;
+      }
+      auto kernel = instance.slot_kernel(s);
+      (void)kernel.value()->load_weights(flow.value().weight_file_bytes);
+    }
+    // Shard the batch across slots; aggregate throughput assumes the slots
+    // run concurrently (device times are independent).
+    double max_seconds = 0.0;
+    const std::size_t shard = kImagesTotal / slots;
+    for (std::size_t s = 0; s < slots; ++s) {
+      std::vector<Tensor> inputs;
+      for (std::size_t i = 0; i < shard; ++i) {
+        inputs.push_back(digits[(s * shard + i) % digits.size()].image);
+      }
+      auto kernel = instance.slot_kernel(s);
+      auto outputs = kernel.value()->run(inputs);
+      if (!outputs.is_ok()) {
+        std::fprintf(stderr, "%s\n", outputs.status().to_string().c_str());
+        return 1;
+      }
+      max_seconds =
+          std::max(max_seconds, kernel.value()->last_stats().simulated_seconds);
+    }
+    const double throughput = static_cast<double>(kImagesTotal) / max_seconds;
+    if (slots == 1) {
+      single_slot = throughput;
+    }
+    std::printf("  %6zu %16.1f %13.2fx %9.0f%%\n", slots, throughput,
+                throughput / single_slot,
+                100.0 * throughput / single_slot / static_cast<double>(slots));
+  }
+  std::printf(
+      "\nshape: near-linear scaling with mild tail-off from pipeline fill on\n"
+      "the smaller per-slot shards.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces paper Table 2: "Preliminary results of the improved
+// methodology for the features extraction part".
+//
+// The improved methodology adds inter-layer parallelism (multiple input
+// feature maps read concurrently, multiple output maps computed in
+// parallel) and evaluates the features-extraction subgraph only — the
+// paper notes the classification part is still under investigation and
+// VGG-16's fully-connected layers are not synthesizable with the current
+// methodology (we verify that rejection too).
+//
+// The parallelism degrees are chosen by the automated model-driven DSE
+// (the paper's step 2, implemented here as the future-work extension).
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+
+namespace {
+
+using namespace condor;
+
+struct PaperRow {
+  const char* name;
+  double gflops;
+};
+
+constexpr PaperRow kPaper[] = {{"TC1", 16.56}, {"LeNet", 53.51}, {"VGG-16", 113.30}};
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kError);
+
+  std::printf("== Table 2: improved methodology, features extraction only ==\n\n");
+
+  // First: the paper's stated limitation — the full VGG-16 (with its FC
+  // layers) must be rejected as unsynthesizable by the current methodology.
+  {
+    hw::HwNetwork full_vgg = hw::with_default_annotations(nn::make_vgg16());
+    auto plan = hw::plan_accelerator(full_vgg);
+    std::printf("VGG-16 full network: %s\n",
+                !plan.is_ok() && plan.status().code() == StatusCode::kUnsynthesizable
+                    ? "rejected (fully-connected layers unsynthesizable) -- "
+                      "matches the paper"
+                    : "UNEXPECTEDLY ACCEPTED");
+    if (!plan.is_ok()) {
+      std::printf("  reason: %s\n\n", plan.status().message().c_str());
+    }
+  }
+
+  // The paper reports *preliminary* figures without disclosing the chosen
+  // parallel degrees; back-computing from its GFLOPS places them around
+  // 2-4. The reproduction row therefore uses a fixed preliminary
+  // configuration (parallel_in = 2, parallel_out = 4, clamped per layer);
+  // the last column shows what the automated model-driven DSE (this
+  // reproduction's future-work extension) reaches on the same subgraph.
+  std::printf("%-8s %12s %14s %10s %16s\n", "", "paper", "preliminary",
+              "achieved", "automated DSE");
+  const nn::Network models[] = {nn::make_tc1(), nn::make_lenet(), nn::make_vgg16()};
+  std::vector<double> measured;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const nn::Network features = models[i].feature_extraction_prefix();
+    hw::HwNetwork hw_net = hw::with_default_annotations(features, "aws-f1", 250.0);
+
+    // Fixed preliminary configuration, clamped to each layer's map counts.
+    auto shapes = hw_net.net.infer_shapes();
+    if (!shapes.is_ok()) {
+      std::fprintf(stderr, "%s\n", shapes.status().to_string().c_str());
+      return 1;
+    }
+    for (std::size_t l = 1; l < hw_net.hw.layers.size(); ++l) {
+      const nn::LayerSpec& layer = hw_net.net.layers()[l];
+      if (!layer.is_feature_extraction()) {
+        continue;
+      }
+      hw_net.hw.layers[l].parallel_in =
+          std::min<std::size_t>(2, shapes.value()[l].input[0]);
+      hw_net.hw.layers[l].parallel_out =
+          std::min<std::size_t>(4, shapes.value()[l].output[0]);
+    }
+    auto preliminary = hw::evaluate_design_point(hw_net);
+    if (!preliminary.is_ok()) {
+      std::fprintf(stderr, "preliminary point for %s failed: %s\n",
+                   models[i].name().c_str(),
+                   preliminary.status().to_string().c_str());
+      return 1;
+    }
+
+    // Multi-start automated DSE: one walk from the sequential configuration
+    // and one from the preliminary seed; keep the better endpoint.
+    hw::DseOptions options;
+    options.max_utilization = 0.85;
+    double dse_best = 0.0;
+    for (const hw::HwNetwork& seed :
+         {hw::with_default_annotations(features, "aws-f1", 250.0), hw_net}) {
+      auto dse = hw::explore(seed, options);
+      if (!dse.is_ok()) {
+        std::fprintf(stderr, "DSE for %s failed: %s\n", models[i].name().c_str(),
+                     dse.status().to_string().c_str());
+        return 1;
+      }
+      dse_best = std::max(dse_best, dse.value().best.gflops());
+    }
+    measured.push_back(preliminary.value().gflops());
+    std::printf("%-8s %9.2f GF %11.2f GF %7.0f MHz %13.2f GF\n", kPaper[i].name,
+                kPaper[i].gflops, preliminary.value().gflops(),
+                preliminary.value().achieved_mhz, dse_best);
+  }
+
+  std::printf("\nShape check: monotonic GFLOPS growth TC1 < LeNet < VGG-16: %s\n",
+              measured[0] < measured[1] && measured[1] < measured[2] ? "OK"
+                                                                     : "FAIL");
+  return 0;
+}

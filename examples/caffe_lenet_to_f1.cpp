@@ -1,0 +1,111 @@
+// Cloud deployment walkthrough: Caffe LeNet → AWS F1 (paper §3.3 step 8).
+//
+// Runs the full cloud path the paper contributes: the flow stages the
+// generated binary in an S3 bucket, requests AFI creation, polls the image
+// until it becomes available, loads it onto a slot of an f1.2xlarge
+// instance, and classifies a batch of synthetic MNIST-style digits on the
+// programmed slot.
+#include <cstdio>
+
+#include "caffe/export.hpp"
+#include "cloud/afi.hpp"
+#include "cloud/f1.hpp"
+#include "cloud/s3.hpp"
+#include "common/logging.hpp"
+#include "condor/flow.hpp"
+#include "nn/models.hpp"
+#include "nn/synthetic_digits.hpp"
+#include "nn/weights.hpp"
+
+using namespace condor;
+
+namespace {
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kInfo);
+
+  // The simulated AWS environment (the FPGA Developer AMI would provide
+  // the credentials and tooling in the real flow).
+  cloud::ObjectStore store("/tmp/condor-aws");
+  cloud::AfiService afi_service(store, /*ingestion_polls=*/3);
+
+  // The user's pre-trained Caffe model (synthesized fixture, see quickstart).
+  const nn::Network lenet = nn::make_lenet();
+  auto weights = nn::initialize_weights(lenet, 2);
+  if (!weights.is_ok()) return fail(weights.status());
+  auto prototxt = caffe::to_prototxt(lenet);
+  auto caffemodel = caffe::to_caffemodel(lenet, weights.value());
+  if (!prototxt.is_ok()) return fail(prototxt.status());
+  if (!caffemodel.is_ok()) return fail(caffemodel.status());
+
+  condorflow::FrontendInput input;
+  input.prototxt_text = prototxt.value();
+  input.caffemodel_bytes = caffemodel.value();
+  input.board_id = "aws-f1";
+  input.target_frequency_mhz = 200.0;
+
+  condorflow::FlowOptions options;
+  options.deployment = condorflow::Deployment::kCloud;
+  options.s3_bucket = "my-condor-bucket";
+
+  auto flow = condorflow::Flow::run(input, options, &store, &afi_service);
+  if (!flow.is_ok()) return fail(flow.status());
+  std::printf("AFI requested: %s / %s (state: %s)\n",
+              flow.value().afi->afi_id.c_str(), flow.value().afi->agfi_id.c_str(),
+              std::string(cloud::to_string(flow.value().afi->state)).c_str());
+
+  // Poll until the image is available, as `aws ec2 describe-fpga-images`
+  // loops would.
+  auto available = afi_service.wait_until_available(flow.value().afi->afi_id);
+  if (!available.is_ok()) return fail(available.status());
+  std::printf("AFI is now available.\n");
+
+  // Spin up an F1 instance and program slot 0.
+  cloud::F1Instance instance(cloud::F1InstanceType::k2xlarge, afi_service);
+  if (auto s = instance.load_afi(0, available.value().agfi_id); !s.is_ok()) {
+    return fail(s);
+  }
+  auto described = instance.describe_slot(0);
+  std::printf("%s on %s\n", described.value().c_str(),
+              instance.instance_id().c_str());
+
+  // Run a batch on the slot.
+  auto kernel = instance.slot_kernel(0);
+  if (!kernel.is_ok()) return fail(kernel.status());
+  if (auto s = kernel.value()->load_weights(flow.value().weight_file_bytes);
+      !s.is_ok()) {
+    return fail(s);
+  }
+
+  const auto digits = nn::make_digit_dataset(16, 28);
+  std::vector<Tensor> inputs;
+  for (const nn::DigitSample& sample : digits) {
+    inputs.push_back(sample.image);
+  }
+  auto outputs = kernel.value()->run(inputs);
+  if (!outputs.is_ok()) return fail(outputs.status());
+
+  const runtime::KernelStats& stats = kernel.value()->last_stats();
+  std::printf(
+      "\nprocessed %zu images in %.3f ms of device time (%.0f img/s @ %.0f "
+      "MHz; host functional simulation took %.1f ms)\n",
+      inputs.size(), stats.simulated_seconds * 1e3,
+      stats.images_per_second(inputs.size()), stats.clock_mhz,
+      stats.host_wall_seconds * 1e3);
+  std::size_t agreements = 0;
+  for (std::size_t i = 0; i < outputs.value().size(); ++i) {
+    agreements += argmax(outputs.value()[i]) ==
+                  static_cast<std::size_t>(digits[i].label);
+  }
+  std::printf("argmax agreement with glyph labels: %zu/%zu "
+              "(weights are untrained; agreement is chance-level)\n",
+              agreements, outputs.value().size());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Automated design space exploration demo (the paper's step-2 future work).
+//
+// Explores the inter-layer parallelism knobs of the LeNet features-
+// extraction subgraph on the F1 board and prints the accepted trajectory:
+// configuration → resources → achieved clock → throughput. Shows the
+// resource/performance tension the DSE navigates (wider unrolls cost DSPs
+// and clock; the walk stops at the headroom budget).
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+
+using namespace condor;
+
+int main() {
+  log::set_level(log::Level::kInfo);
+
+  const nn::Network features = nn::make_lenet().feature_extraction_prefix();
+  hw::HwNetwork hw_net = hw::with_default_annotations(features, "aws-f1", 250.0);
+
+  hw::DseOptions options;
+  options.max_utilization = 0.85;
+
+  auto result = hw::explore(hw_net, options);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "DSE failed: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\nexplored %zu design points (%zu feasible); trajectory:\n\n",
+              result.value().points_evaluated, result.value().points_feasible);
+  std::printf("%4s  %-34s %7s %7s %8s %10s\n", "step", "parallelism (per layer)",
+              "DSP %", "LUT %", "MHz", "GFLOPS");
+  for (std::size_t step = 0; step < result.value().trajectory.size(); ++step) {
+    const hw::DsePoint& point = result.value().trajectory[step];
+    std::string config;
+    for (std::size_t l = 1; l < point.config.net.layer_count(); ++l) {
+      const nn::LayerSpec& layer = point.config.net.layers()[l];
+      if (!layer.is_feature_extraction()) {
+        continue;
+      }
+      const hw::LayerHw& annot = point.config.hw.layers[l];
+      config += strings::format("%s:%zux%zu ", layer.name.c_str(),
+                                annot.parallel_in, annot.parallel_out);
+    }
+    const hw::BoardSpec& board = hw::aws_f1_board();
+    std::printf("%4zu  %-34s %6.1f%% %6.1f%% %8.0f %10.2f\n", step, config.c_str(),
+                point.resources.dsp_percent(board),
+                point.resources.lut_percent(board), point.achieved_mhz,
+                point.gflops());
+  }
+
+  const hw::DsePoint& best = result.value().best;
+  std::printf("\nbest: %.2f GFLOPS @ %.0f MHz\n", best.gflops(), best.achieved_mhz);
+  std::printf("%s", hw::describe(hw::plan_accelerator(best.config).value()).c_str());
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Quickstart: from a Caffe model to a running accelerator in ~50 lines.
+//
+//   1. Take a pre-trained Caffe model (prototxt + caffemodel). Since no
+//      checkpoint ships with the repository, we synthesize one for LeNet
+//      from the model zoo — the files on disk are what a real user would
+//      bring.
+//   2. Run the Condor flow on-premise: frontend → layer/network creation →
+//      simulated synthesis → xclbin + weight file + default host code.
+//   3. Use the SDAccel-style host API to program the device and classify a
+//      batch of digits.
+#include <cstdio>
+
+#include "caffe/export.hpp"
+#include "common/byte_io.hpp"
+#include "common/logging.hpp"
+#include "condor/flow.hpp"
+#include "nn/models.hpp"
+#include "nn/synthetic_digits.hpp"
+#include "nn/weights.hpp"
+#include "runtime/opencl_like.hpp"
+
+using namespace condor;
+
+namespace {
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kInfo);
+
+  // -- 1. The user's Caffe model ------------------------------------------
+  const nn::Network lenet = nn::make_lenet();
+  auto weights = nn::initialize_weights(lenet, /*seed=*/1);
+  if (!weights.is_ok()) return fail(weights.status());
+  if (auto s = caffe::write_caffe_fixture(lenet, weights.value(), "/tmp/lenet");
+      !s.is_ok()) {
+    return fail(s);
+  }
+  std::printf("wrote /tmp/lenet.prototxt and /tmp/lenet.caffemodel\n");
+
+  // -- 2. The Condor flow ---------------------------------------------------
+  condorflow::FrontendInput input;
+  auto prototxt = read_text_file("/tmp/lenet.prototxt");
+  auto caffemodel = read_file("/tmp/lenet.caffemodel");
+  if (!prototxt.is_ok()) return fail(prototxt.status());
+  if (!caffemodel.is_ok()) return fail(caffemodel.status());
+  input.prototxt_text = prototxt.value();
+  input.caffemodel_bytes = caffemodel.value();
+  input.board_id = "aws-f1";
+  input.target_frequency_mhz = 200.0;
+
+  condorflow::FlowOptions options;
+  options.deployment = condorflow::Deployment::kOnPremise;
+  options.output_dir = "/tmp/condor-quickstart";
+
+  auto flow = condorflow::Flow::run(input, options);
+  if (!flow.is_ok()) return fail(flow.status());
+  std::printf("\n%s\n", flow.value().synthesis.to_string(flow.value().plan.board).c_str());
+
+  // -- 3. Run it through the host API --------------------------------------
+  auto device = runtime::ocl::get_device("aws-f1");
+  if (!device.is_ok()) return fail(device.status());
+  runtime::ocl::Context context(device.value());
+  auto program =
+      runtime::ocl::Program::create_with_binary(context, flow.value().xclbin_bytes);
+  if (!program.is_ok()) return fail(program.status());
+  runtime::ocl::Kernel kernel(program.value(), flow.value().kernel_name);
+
+  const auto digits = nn::make_digit_dataset(/*count=*/10, /*size=*/28);
+  const std::size_t image_floats = digits.front().image.size();
+  const std::size_t batch = digits.size();
+
+  runtime::ocl::Buffer in_buffer(context, batch * image_floats * sizeof(float));
+  runtime::ocl::Buffer out_buffer(context, batch * 10 * sizeof(float));
+  runtime::ocl::Buffer weight_buffer(context, flow.value().weight_file_bytes.size());
+
+  runtime::ocl::CommandQueue queue(context);
+  (void)queue.enqueue_write_buffer(weight_buffer, 0, flow.value().weight_file_bytes);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto* bytes =
+        reinterpret_cast<const std::byte*>(digits[i].image.raw());
+    (void)queue.enqueue_write_buffer(
+        in_buffer, i * image_floats * sizeof(float),
+        std::span<const std::byte>(bytes, image_floats * sizeof(float)));
+  }
+  (void)kernel.set_arg(0, in_buffer);
+  (void)kernel.set_arg(1, out_buffer);
+  (void)kernel.set_arg(2, weight_buffer);
+  (void)kernel.set_arg(3, static_cast<std::int32_t>(batch));
+
+  auto stats = queue.enqueue_task(kernel);
+  queue.finish();
+  if (!stats.is_ok()) return fail(stats.status());
+
+  std::printf("device time: %.3f ms for %zu images (%.0f img/s @ %.0f MHz)\n",
+              stats.value().simulated_seconds * 1e3, batch,
+              stats.value().images_per_second(batch), stats.value().clock_mhz);
+  std::printf("\nclass probabilities (untrained weights, so near-uniform):\n");
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::vector<float> probs(10);
+    (void)queue.enqueue_read_buffer(
+        out_buffer, i * 10 * sizeof(float),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(probs.data()),
+                             10 * sizeof(float)));
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < 10; ++c) {
+      if (probs[c] > probs[best]) best = c;
+    }
+    std::printf("  digit glyph %d -> argmax class %zu (p=%.3f)\n",
+                digits[i].label, best, probs[best]);
+  }
+  std::printf("\nartifacts written to /tmp/condor-quickstart (xclbin, weights,\n"
+              "host.cpp, network.json, synthesis.rpt, hls_src/)\n");
+  return 0;
+}

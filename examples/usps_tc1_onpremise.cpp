@@ -1,0 +1,108 @@
+// TC1 (the USPS network of [25]) through the *manual* frontend path:
+// the user authors the Condor JSON network representation and the external
+// weight file directly — no Caffe involved — and deploys on-premise.
+//
+// Also demonstrates Figure 5's batch pipelining on the resulting
+// accelerator, and how the achieved clock reacts to the board choice.
+#include <cstdio>
+
+#include "common/byte_io.hpp"
+#include "common/logging.hpp"
+#include "condor/flow.hpp"
+#include "hw/hw_ir.hpp"
+#include "nn/models.hpp"
+#include "nn/synthetic_digits.hpp"
+#include "nn/weights.hpp"
+#include "runtime/opencl_like.hpp"
+#include "sim/accel_sim.hpp"
+
+using namespace condor;
+
+namespace {
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kInfo);
+
+  // -- Author the Condor-specific inputs ----------------------------------
+  const nn::Network tc1 = nn::make_tc1();
+  hw::HwNetwork hw_net = hw::with_default_annotations(tc1, "aws-f1", 150.0);
+  const std::string network_json = hw::to_json_text(hw_net);
+  (void)write_text_file("/tmp/tc1.network.json", network_json);
+
+  auto weights = nn::initialize_weights(tc1, 3);
+  if (!weights.is_ok()) return fail(weights.status());
+  (void)weights.value().save("/tmp/tc1.weights.bin");
+  std::printf("wrote /tmp/tc1.network.json and /tmp/tc1.weights.bin\n\n");
+  std::printf("network representation (excerpt):\n%.600s...\n\n",
+              network_json.c_str());
+
+  // -- Run the flow from the Condor-specific files -------------------------
+  condorflow::FrontendInput input;
+  auto json_text = read_text_file("/tmp/tc1.network.json");
+  auto weight_bytes = read_file("/tmp/tc1.weights.bin");
+  if (!json_text.is_ok()) return fail(json_text.status());
+  if (!weight_bytes.is_ok()) return fail(weight_bytes.status());
+  input.network_json_text = json_text.value();
+  input.weight_file_bytes = weight_bytes.value();
+
+  condorflow::FlowOptions options;
+  options.deployment = condorflow::Deployment::kOnPremise;
+  options.output_dir = "/tmp/condor-tc1";
+
+  auto flow = condorflow::Flow::run(input, options);
+  if (!flow.is_ok()) return fail(flow.status());
+  std::printf("%s\n", flow.value().synthesis.to_string(flow.value().plan.board).c_str());
+
+  // -- Classify USPS-style 16x16 digits through the host API ---------------
+  auto device = runtime::ocl::get_device("aws-f1");
+  if (!device.is_ok()) return fail(device.status());
+  runtime::ocl::Context context(device.value());
+  auto program =
+      runtime::ocl::Program::create_with_binary(context, flow.value().xclbin_bytes);
+  if (!program.is_ok()) return fail(program.status());
+  runtime::ocl::Kernel kernel(program.value(), flow.value().kernel_name);
+
+  const auto digits = nn::make_digit_dataset(8, 16);
+  const std::size_t image_floats = digits.front().image.size();
+  runtime::ocl::Buffer in_buffer(context, digits.size() * image_floats * sizeof(float));
+  runtime::ocl::Buffer out_buffer(context, digits.size() * 10 * sizeof(float));
+  runtime::ocl::Buffer weight_buffer(context, flow.value().weight_file_bytes.size());
+  runtime::ocl::CommandQueue queue(context);
+  (void)queue.enqueue_write_buffer(weight_buffer, 0, flow.value().weight_file_bytes);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    const auto* bytes = reinterpret_cast<const std::byte*>(digits[i].image.raw());
+    (void)queue.enqueue_write_buffer(
+        in_buffer, i * image_floats * sizeof(float),
+        std::span<const std::byte>(bytes, image_floats * sizeof(float)));
+  }
+  (void)kernel.set_arg(0, in_buffer);
+  (void)kernel.set_arg(1, out_buffer);
+  (void)kernel.set_arg(2, weight_buffer);
+  (void)kernel.set_arg(3, static_cast<std::int32_t>(digits.size()));
+  auto stats = queue.enqueue_task(kernel);
+  if (!stats.is_ok()) return fail(stats.status());
+  std::printf("batch of %zu USPS-style digits: %.3f ms device time @ %.0f MHz\n",
+              digits.size(), stats.value().simulated_seconds * 1e3,
+              stats.value().clock_mhz);
+
+  // -- Batch pipelining (the Figure 5 effect on this accelerator) ----------
+  auto point = hw::evaluate_design_point(flow.value().network);
+  if (!point.is_ok()) return fail(point.status());
+  const sim::AcceleratorSim accel =
+      sim::build_accelerator_sim(point.value().performance);
+  std::printf("\nbatch pipelining (mean us/image):\n");
+  for (const std::size_t batch : {1U, 4U, 16U, 64U}) {
+    auto bp = sim::simulate_batch(accel, batch);
+    if (!bp.is_ok()) return fail(bp.status());
+    std::printf("  batch %3zu: %8.2f us\n", batch,
+                bp.value().mean_ms_per_image * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// VGG-16 at the limits of the methodology (paper §4).
+//
+// Demonstrates the two VGG-16 findings the paper reports:
+//  * the full network is rejected — its fully-connected layers are not
+//    synthesizable with the current methodology (392 MiB of on-chip
+//    weights);
+//  * the features-extraction part maps fine and reaches the highest
+//    GFLOPS of the three networks (Table 2), because its large feature
+//    maps amortize the window fill and expose abundant parallelism.
+//
+// Also prints a generated filter source so the non-uniform memory
+// partitioning is visible, and validates the functional engine on the
+// first convolution block (the full 30-GFLOP network is left to the
+// timing simulator).
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "dataflow/executor.hpp"
+#include "hls/codegen.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "common/rng.hpp"
+
+using namespace condor;
+
+namespace {
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  log::set_level(log::Level::kWarning);
+
+  // -- 1. Full VGG-16 is rejected ------------------------------------------
+  {
+    hw::HwNetwork full = hw::with_default_annotations(nn::make_vgg16());
+    auto plan = hw::plan_accelerator(full);
+    if (plan.is_ok()) {
+      std::fprintf(stderr, "full VGG-16 should not be synthesizable!\n");
+      return 1;
+    }
+    std::printf("full VGG-16: %s\n\n", plan.status().to_string().c_str());
+  }
+
+  // -- 2. The features-extraction part maps fine ---------------------------
+  const nn::Network features = nn::make_vgg16().feature_extraction_prefix();
+  hw::HwNetwork hw_net = hw::with_default_annotations(features, "aws-f1", 250.0);
+  auto point = hw::evaluate_design_point(hw_net);
+  if (!point.is_ok()) return fail(point.status());
+  std::printf("VGG-16 features: %zu PEs, %.2f GFLOPS @ %.0f MHz (sequential "
+              "feature maps)\n\n",
+              point.value().performance.pes.size(), point.value().gflops(),
+              point.value().achieved_mhz);
+
+  auto plan = hw::plan_accelerator(hw_net);
+  std::printf("%s\n", hw::describe(plan.value()).c_str());
+
+  // -- 3. Generated filter code (non-uniform memory partitioning) ----------
+  auto filter_src =
+      hls::generate_filter_source(plan.value(), 1, hw::WindowAccess{2, 2});
+  if (!filter_src.is_ok()) return fail(filter_src.status());
+  std::printf("generated %s:\n%s\n", filter_src.value().file_name.c_str(),
+              filter_src.value().code.c_str());
+
+  // -- 4. Functional check on the first conv block -------------------------
+  nn::Network block1("vgg16-block1");
+  for (std::size_t i = 0; i < 4 && i < features.layer_count(); ++i) {
+    block1.add(features.layers()[i]);  // data, conv1_1, conv1_2, pool1
+  }
+  auto weights = nn::initialize_weights(block1, 5);
+  if (!weights.is_ok()) return fail(weights.status());
+  auto engine = nn::ReferenceEngine::create(block1, weights.value());
+  if (!engine.is_ok()) return fail(engine.status());
+  auto block_plan = hw::plan_accelerator(hw::with_default_annotations(block1));
+  if (!block_plan.is_ok()) return fail(block_plan.status());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(block_plan.value(), weights.value());
+  if (!executor.is_ok()) return fail(executor.status());
+
+  Rng rng(99);
+  Tensor image(Shape{3, 224, 224});
+  for (float& v : image.data()) {
+    v = rng.uniform(0.0F, 1.0F);
+  }
+  std::printf("running one 224x224 image through block 1 (conv1_1 + conv1_2 + "
+              "pool1) on the dataflow engine...\n");
+  auto outputs = executor.value().run_batch({image});
+  if (!outputs.is_ok()) return fail(outputs.status());
+  auto expected = engine.value().forward(image);
+  if (!expected.is_ok()) return fail(expected.status());
+  std::printf("dataflow engine vs golden reference: max |diff| = %g (%s)\n",
+              max_abs_diff(outputs.value()[0], expected.value()),
+              max_abs_diff(outputs.value()[0], expected.value()) == 0.0F
+                  ? "bit-exact"
+                  : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,405 @@
+#include "caffe/caffe_pb.hpp"
+
+namespace condor::caffe {
+
+using protowire::Reader;
+using protowire::Tag;
+using protowire::WireType;
+using protowire::Writer;
+
+std::vector<std::int64_t> BlobProto::resolved_shape() const {
+  if (shape.has_value()) {
+    return shape->dim;
+  }
+  std::vector<std::int64_t> legacy;
+  for (const auto& field : {num, channels, height, width}) {
+    if (field.has_value()) {
+      legacy.push_back(*field);
+    }
+  }
+  return legacy;
+}
+
+namespace {
+
+// ---- encoders ----------------------------------------------------------
+
+Writer encode_blob_shape(const BlobShape& shape) {
+  Writer out;
+  // Packed repeated int64 (field 1).
+  ByteWriter payload;
+  for (const std::int64_t dim : shape.dim) {
+    protowire::put_varint(payload, static_cast<std::uint64_t>(dim));
+  }
+  out.bytes_field(1, payload.view());
+  return out;
+}
+
+Writer encode_blob(const BlobProto& blob) {
+  Writer out;
+  if (blob.num) out.int_field(1, *blob.num);
+  if (blob.channels) out.int_field(2, *blob.channels);
+  if (blob.height) out.int_field(3, *blob.height);
+  if (blob.width) out.int_field(4, *blob.width);
+  out.packed_floats(5, blob.data);
+  if (blob.shape) {
+    out.message_field(7, encode_blob_shape(*blob.shape));
+  }
+  return out;
+}
+
+Writer encode_convolution_param(const ConvolutionParameter& param) {
+  Writer out;
+  out.varint_field(1, param.num_output);
+  out.bool_field(2, param.bias_term);
+  for (const std::uint32_t value : param.pad) out.varint_field(3, value);
+  for (const std::uint32_t value : param.kernel_size) out.varint_field(4, value);
+  for (const std::uint32_t value : param.stride) out.varint_field(6, value);
+  if (param.kernel_h) out.varint_field(11, *param.kernel_h);
+  if (param.kernel_w) out.varint_field(12, *param.kernel_w);
+  if (param.stride_h) out.varint_field(13, *param.stride_h);
+  if (param.stride_w) out.varint_field(14, *param.stride_w);
+  return out;
+}
+
+Writer encode_pooling_param(const PoolingParameter& param) {
+  Writer out;
+  out.varint_field(1, static_cast<std::uint64_t>(param.pool));
+  out.varint_field(2, param.kernel_size);
+  out.varint_field(3, param.stride);
+  if (param.pad != 0) out.varint_field(4, param.pad);
+  return out;
+}
+
+Writer encode_inner_product_param(const InnerProductParameter& param) {
+  Writer out;
+  out.varint_field(1, param.num_output);
+  out.bool_field(2, param.bias_term);
+  return out;
+}
+
+Writer encode_input_param(const InputParameter& param) {
+  Writer out;
+  for (const BlobShape& shape : param.shape) {
+    out.message_field(1, encode_blob_shape(shape));
+  }
+  return out;
+}
+
+Writer encode_layer(const LayerParameter& layer) {
+  Writer out;
+  out.string_field(1, layer.name);
+  out.string_field(2, layer.type);
+  for (const std::string& name : layer.bottom) out.string_field(3, name);
+  for (const std::string& name : layer.top) out.string_field(4, name);
+  for (const BlobProto& blob : layer.blobs) {
+    out.message_field(7, encode_blob(blob));
+  }
+  if (layer.convolution_param) {
+    out.message_field(106, encode_convolution_param(*layer.convolution_param));
+  }
+  if (layer.inner_product_param) {
+    out.message_field(117, encode_inner_product_param(*layer.inner_product_param));
+  }
+  if (layer.pooling_param) {
+    out.message_field(121, encode_pooling_param(*layer.pooling_param));
+  }
+  if (layer.input_param) {
+    out.message_field(143, encode_input_param(*layer.input_param));
+  }
+  return out;
+}
+
+// ---- decoders ----------------------------------------------------------
+
+Result<BlobShape> decode_blob_shape(std::span<const std::byte> data) {
+  BlobShape shape;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    if (tag.field_number == 1 && tag.wire_type == WireType::kLen) {
+      CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+      ByteReader values(payload);
+      while (!values.at_end()) {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t dim, protowire::get_varint(values));
+        shape.dim.push_back(static_cast<std::int64_t>(dim));
+      }
+    } else if (tag.field_number == 1 && tag.wire_type == WireType::kVarint) {
+      CONDOR_ASSIGN_OR_RETURN(std::uint64_t dim, in.read_varint());
+      shape.dim.push_back(static_cast<std::int64_t>(dim));
+    } else {
+      CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return shape;
+}
+
+Result<BlobProto> decode_blob(std::span<const std::byte> data) {
+  BlobProto blob;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1:
+      case 2:
+      case 3:
+      case 4: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        const auto dim = static_cast<std::int32_t>(value);
+        if (tag.field_number == 1) blob.num = dim;
+        if (tag.field_number == 2) blob.channels = dim;
+        if (tag.field_number == 3) blob.height = dim;
+        if (tag.field_number == 4) blob.width = dim;
+        break;
+      }
+      case 5:
+        CONDOR_RETURN_IF_ERROR(in.read_packed_floats(tag, blob.data));
+        break;
+      case 7: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(blob.shape, decode_blob_shape(payload));
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return blob;
+}
+
+Result<ConvolutionParameter> decode_convolution_param(
+    std::span<const std::byte> data) {
+  ConvolutionParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.num_output = static_cast<std::uint32_t>(value);
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.bias_term = value != 0;
+        break;
+      }
+      case 3:
+      case 4:
+      case 6: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        auto& list = tag.field_number == 3   ? param.pad
+                     : tag.field_number == 4 ? param.kernel_size
+                                             : param.stride;
+        list.push_back(static_cast<std::uint32_t>(value));
+        break;
+      }
+      case 11:
+      case 12:
+      case 13:
+      case 14: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        const auto v = static_cast<std::uint32_t>(value);
+        if (tag.field_number == 11) param.kernel_h = v;
+        if (tag.field_number == 12) param.kernel_w = v;
+        if (tag.field_number == 13) param.stride_h = v;
+        if (tag.field_number == 14) param.stride_w = v;
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
+Result<PoolingParameter> decode_pooling_param(std::span<const std::byte> data) {
+  PoolingParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.pool = static_cast<PoolingParameter::Method>(value);
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.kernel_size = static_cast<std::uint32_t>(value);
+        break;
+      }
+      case 3: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.stride = static_cast<std::uint32_t>(value);
+        break;
+      }
+      case 4: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.pad = static_cast<std::uint32_t>(value);
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
+Result<InnerProductParameter> decode_inner_product_param(
+    std::span<const std::byte> data) {
+  InnerProductParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.num_output = static_cast<std::uint32_t>(value);
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        param.bias_term = value != 0;
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
+Result<InputParameter> decode_input_param(std::span<const std::byte> data) {
+  InputParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    if (tag.field_number == 1 && tag.wire_type == WireType::kLen) {
+      CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+      CONDOR_ASSIGN_OR_RETURN(BlobShape shape, decode_blob_shape(payload));
+      param.shape.push_back(std::move(shape));
+    } else {
+      CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
+Result<LayerParameter> decode_layer(std::span<const std::byte> data) {
+  LayerParameter layer;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(layer.name, in.read_string());
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(layer.type, in.read_string());
+        break;
+      }
+      case 3: {
+        CONDOR_ASSIGN_OR_RETURN(std::string name, in.read_string());
+        layer.bottom.push_back(std::move(name));
+        break;
+      }
+      case 4: {
+        CONDOR_ASSIGN_OR_RETURN(std::string name, in.read_string());
+        layer.top.push_back(std::move(name));
+        break;
+      }
+      case 7: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(BlobProto blob, decode_blob(payload));
+        layer.blobs.push_back(std::move(blob));
+        break;
+      }
+      case 106: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.convolution_param,
+                                decode_convolution_param(payload));
+        break;
+      }
+      case 117: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.inner_product_param,
+                                decode_inner_product_param(payload));
+        break;
+      }
+      case 121: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.pooling_param, decode_pooling_param(payload));
+        break;
+      }
+      case 143: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.input_param, decode_input_param(payload));
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return layer;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_net_parameter(const NetParameter& net) {
+  Writer out;
+  if (!net.name.empty()) {
+    out.string_field(1, net.name);
+  }
+  for (const std::string& name : net.input) out.string_field(3, name);
+  for (const std::int32_t dim : net.input_dim) out.int_field(4, dim);
+  for (const BlobShape& shape : net.input_shape) {
+    out.message_field(8, encode_blob_shape(shape));
+  }
+  for (const LayerParameter& layer : net.layer) {
+    out.message_field(100, encode_layer(layer));
+  }
+  return std::move(out).take();
+}
+
+Result<NetParameter> decode_net_parameter(std::span<const std::byte> data) {
+  NetParameter net;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(net.name, in.read_string());
+        break;
+      }
+      case 3: {
+        CONDOR_ASSIGN_OR_RETURN(std::string name, in.read_string());
+        net.input.push_back(std::move(name));
+        break;
+      }
+      case 4: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        net.input_dim.push_back(static_cast<std::int32_t>(value));
+        break;
+      }
+      case 8: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(BlobShape shape, decode_blob_shape(payload));
+        net.input_shape.push_back(std::move(shape));
+        break;
+      }
+      case 100: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(LayerParameter layer, decode_layer(payload));
+        net.layer.push_back(std::move(layer));
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return net;
+}
+
+}  // namespace condor::caffe

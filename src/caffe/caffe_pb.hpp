@@ -1,0 +1,103 @@
+// Typed subset of Caffe's `caffe.proto` schema with binary wire codec.
+//
+// Field numbers match upstream caffe.proto (BVLC Caffe), so files produced
+// by this encoder are structurally valid NetParameter messages and real
+// `.caffemodel` files restricted to this layer subset decode correctly.
+// Unknown fields are skipped on decode (proto2 semantics).
+//
+// Subset covered — everything Condor consumes (paper §3.1.1: the frontend
+// reads a prototxt for topology and a caffemodel for weights):
+//   NetParameter, LayerParameter, BlobProto, BlobShape,
+//   ConvolutionParameter, PoolingParameter, InnerProductParameter,
+//   InputParameter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "protowire/wire.hpp"
+
+namespace condor::caffe {
+
+/// caffe.BlobShape — dim = 1 (repeated int64, packed).
+struct BlobShape {
+  std::vector<std::int64_t> dim;
+};
+
+/// caffe.BlobProto — legacy 4-D fields 1-4, data = 5 (packed float),
+/// shape = 7.
+struct BlobProto {
+  std::optional<BlobShape> shape;
+  std::vector<float> data;
+  // Legacy pre-BlobShape dimensions (still emitted by old models).
+  std::optional<std::int32_t> num, channels, height, width;
+
+  /// Resolved dimensionality: `shape` when present, else legacy 4-D.
+  [[nodiscard]] std::vector<std::int64_t> resolved_shape() const;
+};
+
+/// caffe.ConvolutionParameter (fields used by Condor).
+struct ConvolutionParameter {
+  std::uint32_t num_output = 0;            // 1
+  bool bias_term = true;                   // 2
+  std::vector<std::uint32_t> pad;          // 3 (repeated)
+  std::vector<std::uint32_t> kernel_size;  // 4 (repeated)
+  std::vector<std::uint32_t> stride;       // 6 (repeated)
+  std::optional<std::uint32_t> kernel_h;   // 11
+  std::optional<std::uint32_t> kernel_w;   // 12
+  std::optional<std::uint32_t> stride_h;   // 13
+  std::optional<std::uint32_t> stride_w;   // 14
+};
+
+/// caffe.PoolingParameter.
+struct PoolingParameter {
+  enum class Method : std::uint32_t { kMax = 0, kAve = 1, kStochastic = 2 };
+  Method pool = Method::kMax;     // 1
+  std::uint32_t kernel_size = 0;  // 2
+  std::uint32_t stride = 1;       // 3
+  std::uint32_t pad = 0;          // 4
+};
+
+/// caffe.InnerProductParameter.
+struct InnerProductParameter {
+  std::uint32_t num_output = 0;  // 1
+  bool bias_term = true;         // 2
+};
+
+/// caffe.InputParameter — shape = 1 (repeated BlobShape).
+struct InputParameter {
+  std::vector<BlobShape> shape;
+};
+
+/// caffe.LayerParameter (the modern field-100 message).
+struct LayerParameter {
+  std::string name;                 // 1
+  std::string type;                 // 2 ("Convolution", "Pooling", ...)
+  std::vector<std::string> bottom;  // 3
+  std::vector<std::string> top;     // 4
+  std::vector<BlobProto> blobs;     // 7
+  std::optional<ConvolutionParameter> convolution_param;   // 106
+  std::optional<InnerProductParameter> inner_product_param;  // 117
+  std::optional<PoolingParameter> pooling_param;           // 121
+  std::optional<InputParameter> input_param;               // 143
+};
+
+/// caffe.NetParameter.
+struct NetParameter {
+  std::string name;                        // 1
+  std::vector<std::string> input;          // 3 (legacy input declaration)
+  std::vector<std::int32_t> input_dim;     // 4 (legacy, 4 per input)
+  std::vector<BlobShape> input_shape;      // 8
+  std::vector<LayerParameter> layer;       // 100
+};
+
+/// Serializes a NetParameter to protobuf wire bytes (a `.caffemodel` body).
+std::vector<std::byte> encode_net_parameter(const NetParameter& net);
+
+/// Decodes wire bytes into a NetParameter, skipping unknown fields.
+Result<NetParameter> decode_net_parameter(std::span<const std::byte> data);
+
+}  // namespace condor::caffe

@@ -1,0 +1,247 @@
+#include "caffe/export.hpp"
+
+#include "common/byte_io.hpp"
+#include "common/strings.hpp"
+
+namespace condor::caffe {
+namespace {
+
+std::string caffe_activation_type(nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kReLU:
+      return "ReLU";
+    case nn::Activation::kSigmoid:
+      return "Sigmoid";
+    case nn::Activation::kTanH:
+      return "TanH";
+    case nn::Activation::kNone:
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::string> to_prototxt(const nn::Network& network) {
+  CONDOR_RETURN_IF_ERROR(network.validate());
+  std::string out = "name: \"" + network.name() + "\"\n";
+  std::string previous_top;
+  for (const nn::LayerSpec& layer : network.layers()) {
+    switch (layer.kind) {
+      case nn::LayerKind::kInput: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Input\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += strings::format(
+            "  input_param { shape { dim: 1 dim: %zu dim: %zu dim: %zu } }\n",
+            layer.input_channels, layer.input_height, layer.input_width);
+        out += "}\n";
+        previous_top = layer.name;
+        continue;
+      }
+      case nn::LayerKind::kConvolution: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Convolution\"\n";
+        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += "  convolution_param {\n";
+        out += strings::format("    num_output: %zu\n", layer.num_output);
+        if (layer.kernel_h == layer.kernel_w) {
+          out += strings::format("    kernel_size: %zu\n", layer.kernel_h);
+        } else {
+          out += strings::format("    kernel_h: %zu\n    kernel_w: %zu\n",
+                                 layer.kernel_h, layer.kernel_w);
+        }
+        out += strings::format("    stride: %zu\n", layer.stride);
+        if (layer.pad != 0) {
+          out += strings::format("    pad: %zu\n", layer.pad);
+        }
+        if (!layer.has_bias) {
+          out += "    bias_term: false\n";
+        }
+        out += "  }\n";
+        out += "}\n";
+        previous_top = layer.name;
+        break;
+      }
+      case nn::LayerKind::kPooling: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Pooling\"\n";
+        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += "  pooling_param {\n";
+        out += strings::format(
+            "    pool: %s\n",
+            layer.pool_method == nn::PoolMethod::kMax ? "MAX" : "AVE");
+        out += strings::format("    kernel_size: %zu\n", layer.kernel_h);
+        out += strings::format("    stride: %zu\n", layer.stride);
+        out += "  }\n";
+        out += "}\n";
+        previous_top = layer.name;
+        break;
+      }
+      case nn::LayerKind::kInnerProduct: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"InnerProduct\"\n";
+        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += "  inner_product_param {\n";
+        out += strings::format("    num_output: %zu\n", layer.num_output);
+        if (!layer.has_bias) {
+          out += "    bias_term: false\n";
+        }
+        out += "  }\n";
+        out += "}\n";
+        previous_top = layer.name;
+        break;
+      }
+      case nn::LayerKind::kActivation: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"" + caffe_activation_type(layer.activation) + "\"\n";
+        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  top: \"" + previous_top + "\"\n";  // in-place
+        out += "}\n";
+        break;
+      }
+      case nn::LayerKind::kSoftmax: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Softmax\"\n";
+        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += "}\n";
+        previous_top = layer.name;
+        break;
+      }
+    }
+    // Fused activations exported as separate in-place Caffe layers.
+    if (layer.has_weights() && layer.activation != nn::Activation::kNone) {
+      out += "layer {\n";
+      out += "  name: \"" + layer.name + "_act\"\n";
+      out += "  type: \"" + caffe_activation_type(layer.activation) + "\"\n";
+      out += "  bottom: \"" + layer.name + "\"\n";
+      out += "  top: \"" + layer.name + "\"\n";
+      out += "}\n";
+    }
+  }
+  return out;
+}
+
+Result<NetParameter> to_net_parameter(const nn::Network& network,
+                                      const nn::WeightStore& weights) {
+  CONDOR_RETURN_IF_ERROR(weights.validate_against(network));
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, network.infer_shapes());
+
+  NetParameter net;
+  net.name = network.name();
+  const auto& layers = network.layers();
+  std::string previous_top;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::LayerSpec& spec = layers[i];
+    if (spec.kind == nn::LayerKind::kInput) {
+      previous_top = spec.name;
+      continue;
+    }
+    LayerParameter layer;
+    layer.name = spec.name;
+    layer.bottom.push_back(previous_top);
+    layer.top.push_back(spec.name);
+    previous_top = spec.name;
+    switch (spec.kind) {
+      case nn::LayerKind::kConvolution: {
+        layer.type = "Convolution";
+        ConvolutionParameter param;
+        param.num_output = static_cast<std::uint32_t>(spec.num_output);
+        param.bias_term = spec.has_bias;
+        if (spec.kernel_h == spec.kernel_w) {
+          param.kernel_size.push_back(static_cast<std::uint32_t>(spec.kernel_h));
+        } else {
+          param.kernel_h = static_cast<std::uint32_t>(spec.kernel_h);
+          param.kernel_w = static_cast<std::uint32_t>(spec.kernel_w);
+        }
+        param.stride.push_back(static_cast<std::uint32_t>(spec.stride));
+        if (spec.pad != 0) {
+          param.pad.push_back(static_cast<std::uint32_t>(spec.pad));
+        }
+        layer.convolution_param = std::move(param);
+        break;
+      }
+      case nn::LayerKind::kPooling: {
+        layer.type = "Pooling";
+        PoolingParameter param;
+        param.pool = spec.pool_method == nn::PoolMethod::kMax
+                         ? PoolingParameter::Method::kMax
+                         : PoolingParameter::Method::kAve;
+        param.kernel_size = static_cast<std::uint32_t>(spec.kernel_h);
+        param.stride = static_cast<std::uint32_t>(spec.stride);
+        layer.pooling_param = param;
+        break;
+      }
+      case nn::LayerKind::kInnerProduct: {
+        layer.type = "InnerProduct";
+        InnerProductParameter param;
+        param.num_output = static_cast<std::uint32_t>(spec.num_output);
+        param.bias_term = spec.has_bias;
+        layer.inner_product_param = param;
+        break;
+      }
+      case nn::LayerKind::kActivation:
+        layer.type = caffe_activation_type(spec.activation);
+        // in-place: top == bottom
+        layer.top[0] = layer.bottom[0];
+        previous_top = layer.bottom[0];
+        break;
+      case nn::LayerKind::kSoftmax:
+        layer.type = "Softmax";
+        break;
+      case nn::LayerKind::kInput:
+        break;  // handled above
+    }
+    if (spec.has_weights()) {
+      const nn::LayerParameters* params = weights.find(spec.name);
+      // validate_against guarantees presence.
+      BlobProto weight_blob;
+      BlobShape weight_shape;
+      for (const std::size_t dim : params->weights.shape().dims()) {
+        weight_shape.dim.push_back(static_cast<std::int64_t>(dim));
+      }
+      weight_blob.shape = std::move(weight_shape);
+      weight_blob.data.assign(params->weights.data().begin(),
+                              params->weights.data().end());
+      layer.blobs.push_back(std::move(weight_blob));
+      if (spec.has_bias) {
+        BlobProto bias_blob;
+        BlobShape bias_shape;
+        bias_shape.dim.push_back(static_cast<std::int64_t>(params->bias.size()));
+        bias_blob.shape = std::move(bias_shape);
+        bias_blob.data.assign(params->bias.data().begin(), params->bias.data().end());
+        layer.blobs.push_back(std::move(bias_blob));
+      }
+    }
+    net.layer.push_back(std::move(layer));
+    (void)shapes;
+  }
+  return net;
+}
+
+Result<std::vector<std::byte>> to_caffemodel(const nn::Network& network,
+                                             const nn::WeightStore& weights) {
+  CONDOR_ASSIGN_OR_RETURN(NetParameter net, to_net_parameter(network, weights));
+  return encode_net_parameter(net);
+}
+
+Status write_caffe_fixture(const nn::Network& network,
+                           const nn::WeightStore& weights,
+                           const std::string& path_stem) {
+  CONDOR_ASSIGN_OR_RETURN(std::string prototxt, to_prototxt(network));
+  CONDOR_RETURN_IF_ERROR(write_text_file(path_stem + ".prototxt", prototxt));
+  CONDOR_ASSIGN_OR_RETURN(auto caffemodel, to_caffemodel(network, weights));
+  return write_file(path_stem + ".caffemodel", caffemodel);
+}
+
+}  // namespace condor::caffe

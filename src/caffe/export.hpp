@@ -1,0 +1,36 @@
+// Condor → Caffe export.
+//
+// Primarily used to synthesize test fixtures: the reproduction has no
+// pre-trained `.caffemodel` files, so examples and tests generate them from
+// the model zoo (topology → prototxt text, weights → caffemodel bytes) and
+// then exercise the real import path, exactly as a user with a Caffe
+// checkpoint would. Round-tripping through export/import is also a strong
+// property test for both codecs.
+#pragma once
+
+#include "caffe/caffe_pb.hpp"
+#include "common/status.hpp"
+#include "nn/network.hpp"
+#include "nn/weights.hpp"
+
+namespace condor::caffe {
+
+/// Emits a Caffe deploy-style prototxt for the network. Fused activations
+/// are exported as separate in-place layers (ReLU/Sigmoid/TanH), matching
+/// how Caffe models express them.
+Result<std::string> to_prototxt(const nn::Network& network);
+
+/// Builds a NetParameter carrying topology and weight blobs.
+Result<NetParameter> to_net_parameter(const nn::Network& network,
+                                      const nn::WeightStore& weights);
+
+/// Serializes network + weights to `.caffemodel` wire bytes.
+Result<std::vector<std::byte>> to_caffemodel(const nn::Network& network,
+                                             const nn::WeightStore& weights);
+
+/// Writes both files for a model ("<stem>.prototxt", "<stem>.caffemodel").
+Status write_caffe_fixture(const nn::Network& network,
+                           const nn::WeightStore& weights,
+                           const std::string& path_stem);
+
+}  // namespace condor::caffe

@@ -1,0 +1,322 @@
+#include "caffe/import.hpp"
+
+#include <algorithm>
+
+#include "common/byte_io.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace condor::caffe {
+namespace {
+
+constexpr std::string_view kTag = "caffe-import";
+
+/// Layer types that exist only for training and carry no inference-time
+/// computation; the importer skips them.
+bool is_training_only(std::string_view type) {
+  return type == "Data" || type == "Accuracy" || type == "Dropout" ||
+         type == "HDF5Data" || type == "ImageData";
+}
+
+Result<nn::Activation> activation_for_type(std::string_view type) {
+  if (type == "ReLU") {
+    return nn::Activation::kReLU;
+  }
+  if (type == "Sigmoid") {
+    return nn::Activation::kSigmoid;
+  }
+  if (type == "TanH") {
+    return nn::Activation::kTanH;
+  }
+  return invalid_input("not an activation type: " + std::string(type));
+}
+
+/// Reads kernel/stride/pad from a convolution_param text message, handling
+/// both the square `kernel_size` form and the `kernel_h`/`kernel_w` pair.
+Status read_conv_geometry(const TextMessage& param, nn::LayerSpec& layer) {
+  if (param.has("kernel_h") || param.has("kernel_w")) {
+    CONDOR_ASSIGN_OR_RETURN(std::int64_t kh, param.get_int("kernel_h"));
+    CONDOR_ASSIGN_OR_RETURN(std::int64_t kw, param.get_int("kernel_w"));
+    layer.kernel_h = static_cast<std::size_t>(kh);
+    layer.kernel_w = static_cast<std::size_t>(kw);
+  } else {
+    CONDOR_ASSIGN_OR_RETURN(std::int64_t k, param.get_int("kernel_size"));
+    layer.kernel_h = layer.kernel_w = static_cast<std::size_t>(k);
+  }
+  layer.stride = static_cast<std::size_t>(param.get_int_or("stride", 1));
+  layer.pad = static_cast<std::size_t>(param.get_int_or("pad", 0));
+  return Status::ok();
+}
+
+/// Resolves the input shape from any of the three Caffe input declarations.
+Result<nn::LayerSpec> resolve_input(const TextMessage& root) {
+  nn::LayerSpec input;
+  input.kind = nn::LayerKind::kInput;
+  input.name = "data";
+
+  const auto assign_dims = [&input](const std::vector<std::int64_t>& dims) -> Status {
+    // Caffe shapes are NCHW; batch dim is handled by the runtime.
+    if (dims.size() == 4) {
+      input.input_channels = static_cast<std::size_t>(dims[1]);
+      input.input_height = static_cast<std::size_t>(dims[2]);
+      input.input_width = static_cast<std::size_t>(dims[3]);
+    } else if (dims.size() == 3) {
+      input.input_channels = static_cast<std::size_t>(dims[0]);
+      input.input_height = static_cast<std::size_t>(dims[1]);
+      input.input_width = static_cast<std::size_t>(dims[2]);
+    } else {
+      return invalid_input(strings::format(
+          "input shape must have 3 or 4 dims, got %zu", dims.size()));
+    }
+    return Status::ok();
+  };
+
+  // Style 1: legacy `input:` + `input_dim:` x4 at the top level.
+  if (root.has("input") && root.has("input_dim")) {
+    const auto dims_text = root.scalars("input_dim");
+    std::vector<std::int64_t> dims;
+    for (const auto& token : dims_text) {
+      dims.push_back(std::strtoll(std::string(token).c_str(), nullptr, 10));
+    }
+    CONDOR_RETURN_IF_ERROR(assign_dims(dims));
+    if (const std::string* name = root.scalar("input")) {
+      input.name = *name;
+    }
+    return input;
+  }
+
+  // Style 2: `input:` + `input_shape { dim: ... }`.
+  if (root.has("input") && root.message("input_shape") != nullptr) {
+    const TextMessage* shape = root.message("input_shape");
+    std::vector<std::int64_t> dims;
+    for (const auto& token : shape->scalars("dim")) {
+      dims.push_back(std::strtoll(std::string(token).c_str(), nullptr, 10));
+    }
+    CONDOR_RETURN_IF_ERROR(assign_dims(dims));
+    if (const std::string* name = root.scalar("input")) {
+      input.name = *name;
+    }
+    return input;
+  }
+
+  // Style 3: an explicit `layer { type: "Input" input_param { shape {...} } }`
+  // or a training Data layer (whose topology we cannot infer — rejected).
+  for (const TextMessage* layer : root.messages("layer")) {
+    auto type = layer->get_string("type");
+    if (!type.is_ok() || type.value() != "Input") {
+      continue;
+    }
+    const TextMessage* param = layer->message("input_param");
+    if (param == nullptr || param->message("shape") == nullptr) {
+      return invalid_input("Input layer without input_param.shape");
+    }
+    std::vector<std::int64_t> dims;
+    for (const auto& token : param->message("shape")->scalars("dim")) {
+      dims.push_back(std::strtoll(std::string(token).c_str(), nullptr, 10));
+    }
+    CONDOR_RETURN_IF_ERROR(assign_dims(dims));
+    if (auto name = layer->get_string("name"); name.is_ok()) {
+      input.name = name.value();
+    }
+    return input;
+  }
+
+  return invalid_input(
+      "prototxt declares no input shape (need input_dim, input_shape, or an "
+      "Input layer; training Data layers carry no static shape)");
+}
+
+}  // namespace
+
+Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
+  CONDOR_ASSIGN_OR_RETURN(TextMessage root, parse_text_format(prototxt_text));
+
+  nn::Network network;
+  if (const std::string* name = root.scalar("name")) {
+    network.set_name(*name);
+  } else {
+    network.set_name("caffe-net");
+  }
+
+  CONDOR_ASSIGN_OR_RETURN(nn::LayerSpec input, resolve_input(root));
+  network.add(input);
+
+  // Accept both the modern `layer` and legacy `layers` field names.
+  std::vector<const TextMessage*> layer_messages = root.messages("layer");
+  for (const TextMessage* legacy : root.messages("layers")) {
+    layer_messages.push_back(legacy);
+  }
+
+  for (const TextMessage* message : layer_messages) {
+    CONDOR_ASSIGN_OR_RETURN(std::string type, message->get_string("type"));
+    CONDOR_ASSIGN_OR_RETURN(std::string name, message->get_string("name"));
+    if (type == "Input" || is_training_only(type)) {
+      continue;
+    }
+
+    if (type == "Convolution") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kConvolution;
+      layer.name = std::move(name);
+      const TextMessage* param = message->message("convolution_param");
+      if (param == nullptr) {
+        return invalid_input("convolution '" + layer.name +
+                             "' missing convolution_param");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::int64_t num_output, param->get_int("num_output"));
+      layer.num_output = static_cast<std::size_t>(num_output);
+      layer.has_bias = param->get_bool_or("bias_term", true);
+      CONDOR_RETURN_IF_ERROR(read_conv_geometry(*param, layer));
+      network.add(std::move(layer));
+      continue;
+    }
+
+    if (type == "Pooling") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kPooling;
+      layer.name = std::move(name);
+      const TextMessage* param = message->message("pooling_param");
+      if (param == nullptr) {
+        return invalid_input("pooling '" + layer.name + "' missing pooling_param");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::int64_t kernel, param->get_int("kernel_size"));
+      layer.kernel_h = layer.kernel_w = static_cast<std::size_t>(kernel);
+      layer.stride = static_cast<std::size_t>(param->get_int_or("stride", 1));
+      if (const std::string* method = param->scalar("pool")) {
+        CONDOR_ASSIGN_OR_RETURN(layer.pool_method, nn::parse_pool_method(*method));
+      }
+      network.add(std::move(layer));
+      continue;
+    }
+
+    if (type == "InnerProduct") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kInnerProduct;
+      layer.name = std::move(name);
+      const TextMessage* param = message->message("inner_product_param");
+      if (param == nullptr) {
+        return invalid_input("inner product '" + layer.name +
+                             "' missing inner_product_param");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::int64_t num_output, param->get_int("num_output"));
+      layer.num_output = static_cast<std::size_t>(num_output);
+      layer.has_bias = param->get_bool_or("bias_term", true);
+      network.add(std::move(layer));
+      continue;
+    }
+
+    if (auto activation = activation_for_type(type); activation.is_ok()) {
+      // In-place activations (bottom == top) fuse into the producing layer —
+      // this is how the generated PE applies them (inside the output loop).
+      const auto bottoms = message->scalars("bottom");
+      const auto tops = message->scalars("top");
+      const bool in_place =
+          !bottoms.empty() && !tops.empty() && bottoms[0] == tops[0];
+      nn::LayerSpec* producer =
+          network.layers().empty() ? nullptr : &network.layers().back();
+      if (in_place && producer != nullptr && producer->has_weights() &&
+          producer->activation == nn::Activation::kNone) {
+        producer->activation = activation.value();
+        CONDOR_LOG_DEBUG(kTag) << "fused activation '" << name << "' into '"
+                               << producer->name << "'";
+      } else {
+        nn::LayerSpec layer;
+        layer.kind = nn::LayerKind::kActivation;
+        layer.name = std::move(name);
+        layer.activation = activation.value();
+        network.add(std::move(layer));
+      }
+      continue;
+    }
+
+    if (type == "Softmax" || type == "SoftmaxWithLoss") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kSoftmax;
+      layer.name = std::move(name);
+      network.add(std::move(layer));
+      continue;
+    }
+
+    return unsupported("Caffe layer type '" + type + "' (layer '" + name +
+                       "') is not supported by Condor");
+  }
+
+  CONDOR_RETURN_IF_ERROR(network.validate());
+  return network;
+}
+
+Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
+                                                   const nn::Network& network) {
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, network.infer_shapes());
+  nn::WeightStore store;
+  const auto& layers = network.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (!layers[i].has_weights()) {
+      continue;
+    }
+    const auto it =
+        std::find_if(net.layer.begin(), net.layer.end(),
+                     [&](const LayerParameter& l) { return l.name == layers[i].name; });
+    if (it == net.layer.end()) {
+      return not_found("caffemodel has no layer '" + layers[i].name + "'");
+    }
+    if (it->blobs.empty()) {
+      return invalid_input("caffemodel layer '" + layers[i].name +
+                           "' carries no weight blobs");
+    }
+    CONDOR_ASSIGN_OR_RETURN(auto expected,
+                            nn::parameter_shapes(layers[i], shapes[i].input));
+
+    nn::LayerParameters params;
+    const BlobProto& weight_blob = it->blobs[0];
+    if (weight_blob.data.size() != expected.weights.element_count()) {
+      return invalid_input(strings::format(
+          "layer '%s': weight blob has %zu values, expected %zu",
+          layers[i].name.c_str(), weight_blob.data.size(),
+          expected.weights.element_count()));
+    }
+    params.weights = Tensor(expected.weights, weight_blob.data);
+
+    if (layers[i].has_bias) {
+      if (it->blobs.size() < 2) {
+        return invalid_input("layer '" + layers[i].name +
+                             "' declares a bias but caffemodel has no bias blob");
+      }
+      const BlobProto& bias_blob = it->blobs[1];
+      if (bias_blob.data.size() != expected.bias.element_count()) {
+        return invalid_input("layer '" + layers[i].name +
+                             "': bias blob size mismatch");
+      }
+      params.bias = Tensor(expected.bias, bias_blob.data);
+    }
+    store.set(layers[i].name, std::move(params));
+  }
+  CONDOR_RETURN_IF_ERROR(store.validate_against(network));
+  return store;
+}
+
+Result<nn::WeightStore> weights_from_caffemodel(std::span<const std::byte> data,
+                                                const nn::Network& network) {
+  CONDOR_ASSIGN_OR_RETURN(NetParameter net, decode_net_parameter(data));
+  return weights_from_net_parameter(net, network);
+}
+
+Result<CaffeModel> load_caffe_model(std::string_view prototxt_text,
+                                    std::span<const std::byte> caffemodel_bytes) {
+  CONDOR_ASSIGN_OR_RETURN(nn::Network network,
+                          network_from_prototxt(prototxt_text));
+  CONDOR_ASSIGN_OR_RETURN(nn::WeightStore weights,
+                          weights_from_caffemodel(caffemodel_bytes, network));
+  CONDOR_LOG_INFO(kTag) << "imported '" << network.name() << "' ("
+                        << network.layer_count() << " layers)";
+  return CaffeModel{std::move(network), std::move(weights)};
+}
+
+Result<CaffeModel> load_caffe_model_files(const std::string& prototxt_path,
+                                          const std::string& caffemodel_path) {
+  CONDOR_ASSIGN_OR_RETURN(std::string prototxt, read_text_file(prototxt_path));
+  CONDOR_ASSIGN_OR_RETURN(auto caffemodel, read_file(caffemodel_path));
+  return load_caffe_model(prototxt, caffemodel);
+}
+
+}  // namespace condor::caffe

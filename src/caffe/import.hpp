@@ -1,0 +1,46 @@
+// Caffe → Condor import: the "Input Analysis" step of the automation flow
+// (paper §3.3 step 1). Translates a `prototxt` topology and a `caffemodel`
+// weight blob into the Condor-internal Network IR and WeightStore.
+//
+// Supported Caffe layer types: Input, Convolution, Pooling (MAX/AVE),
+// InnerProduct, ReLU, Sigmoid, TanH, Softmax. Training-only layers (Data,
+// Accuracy, SoftmaxWithLoss, Dropout) are recognized and skipped/adapted:
+// Data layers contribute the input shape, SoftmaxWithLoss degrades to plain
+// Softmax, Dropout is an inference no-op. In-place activation layers
+// (bottom == top) are fused into the producing layer, matching how the
+// accelerator applies activations inside the PE.
+#pragma once
+
+#include "caffe/caffe_pb.hpp"
+#include "caffe/text_format.hpp"
+#include "common/status.hpp"
+#include "nn/network.hpp"
+#include "nn/weights.hpp"
+
+namespace condor::caffe {
+
+/// Parses a prototxt document into a Network (topology only).
+Result<nn::Network> network_from_prototxt(std::string_view prototxt_text);
+
+/// Extracts weights for `network` from a decoded NetParameter, matching
+/// layers by name and validating blob shapes.
+Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
+                                                   const nn::Network& network);
+
+/// Decodes `.caffemodel` bytes and extracts weights for `network`.
+Result<nn::WeightStore> weights_from_caffemodel(std::span<const std::byte> data,
+                                                const nn::Network& network);
+
+/// Full frontend path: prototxt text + caffemodel bytes → (Network, weights).
+struct CaffeModel {
+  nn::Network network;
+  nn::WeightStore weights;
+};
+Result<CaffeModel> load_caffe_model(std::string_view prototxt_text,
+                                    std::span<const std::byte> caffemodel_bytes);
+
+/// File-based convenience wrapper.
+Result<CaffeModel> load_caffe_model_files(const std::string& prototxt_path,
+                                          const std::string& caffemodel_path);
+
+}  // namespace condor::caffe

@@ -1,0 +1,290 @@
+#include "caffe/text_format.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace condor::caffe {
+
+const std::string* TextMessage::scalar(std::string_view name) const noexcept {
+  for (const TextField& field : fields_) {
+    if (field.name == name && !field.is_message()) {
+      return &field.scalar;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> TextMessage::scalars(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const TextField& field : fields_) {
+    if (field.name == name && !field.is_message()) {
+      out.push_back(field.scalar);
+    }
+  }
+  return out;
+}
+
+const TextMessage* TextMessage::message(std::string_view name) const noexcept {
+  for (const TextField& field : fields_) {
+    if (field.name == name && field.is_message()) {
+      return field.message.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const TextMessage*> TextMessage::messages(std::string_view name) const {
+  std::vector<const TextMessage*> out;
+  for (const TextField& field : fields_) {
+    if (field.name == name && field.is_message()) {
+      out.push_back(field.message.get());
+    }
+  }
+  return out;
+}
+
+bool TextMessage::has(std::string_view name) const noexcept {
+  for (const TextField& field : fields_) {
+    if (field.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::int64_t> TextMessage::get_int(std::string_view name) const {
+  const std::string* token = scalar(name);
+  if (token == nullptr) {
+    return not_found("missing field '" + std::string(name) + "'");
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(token->c_str(), &end, 10);
+  if (end != token->c_str() + token->size() || token->empty()) {
+    return invalid_input("field '" + std::string(name) + "' is not an integer: '" +
+                         *token + "'");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+std::int64_t TextMessage::get_int_or(std::string_view name,
+                                     std::int64_t fallback) const {
+  auto result = get_int(name);
+  return result.is_ok() ? result.value() : fallback;
+}
+
+Result<double> TextMessage::get_double(std::string_view name) const {
+  const std::string* token = scalar(name);
+  if (token == nullptr) {
+    return not_found("missing field '" + std::string(name) + "'");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(token->c_str(), &end);
+  if (end != token->c_str() + token->size() || token->empty()) {
+    return invalid_input("field '" + std::string(name) + "' is not a number: '" +
+                         *token + "'");
+  }
+  return value;
+}
+
+Result<std::string> TextMessage::get_string(std::string_view name) const {
+  const std::string* token = scalar(name);
+  if (token == nullptr) {
+    return not_found("missing field '" + std::string(name) + "'");
+  }
+  return *token;
+}
+
+bool TextMessage::get_bool_or(std::string_view name, bool fallback) const {
+  const std::string* token = scalar(name);
+  if (token == nullptr) {
+    return fallback;
+  }
+  return *token == "true" || *token == "1";
+}
+
+void TextMessage::add_scalar(std::string name, std::string value) {
+  TextField field;
+  field.name = std::move(name);
+  field.scalar = std::move(value);
+  fields_.push_back(std::move(field));
+}
+
+TextMessage& TextMessage::add_message(std::string name) {
+  TextField field;
+  field.name = std::move(name);
+  field.message = std::make_unique<TextMessage>();
+  fields_.push_back(std::move(field));
+  return *fields_.back().message;
+}
+
+namespace {
+
+class TextParser {
+ public:
+  explicit TextParser(std::string_view text) : text_(text) {}
+
+  Result<TextMessage> run() {
+    TextMessage root;
+    CONDOR_RETURN_IF_ERROR(parse_fields(root, /*top_level=*/true));
+    return root;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+      }
+    }
+    return invalid_input(
+        strings::format("prototxt parse error at line %zu: %s", line, what.c_str()));
+  }
+
+  void skip_whitespace_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',') {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  static bool is_ident_char(char c) noexcept {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  }
+
+  static bool is_scalar_char(char c) noexcept {
+    return is_ident_char(c) || c == '.' || c == '-' || c == '+';
+  }
+
+  Result<std::string> parse_identifier() {
+    const std::size_t start = pos_;
+    while (!eof() && is_ident_char(peek())) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return error("expected identifier");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> parse_quoted_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\' && !eof()) {
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          default:
+            out.push_back(escape);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return error("unterminated string literal");
+  }
+
+  static constexpr int kMaxDepth = 192;
+
+  Status parse_fields(TextMessage& into, bool top_level) {
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return error("message nesting deeper than the parser limit");
+    }
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+    for (;;) {
+      skip_whitespace_and_comments();
+      if (eof()) {
+        if (!top_level) {
+          return error("unexpected end of input inside message");
+        }
+        return Status::ok();
+      }
+      if (peek() == '}') {
+        if (top_level) {
+          return error("unmatched '}'");
+        }
+        ++pos_;
+        return Status::ok();
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string name, parse_identifier());
+      skip_whitespace_and_comments();
+      bool saw_colon = false;
+      if (!eof() && peek() == ':') {
+        ++pos_;
+        saw_colon = true;
+        skip_whitespace_and_comments();
+      }
+      if (eof()) {
+        return error("field '" + name + "' has no value");
+      }
+      if (peek() == '{') {
+        ++pos_;
+        TextMessage& nested = into.add_message(std::move(name));
+        CONDOR_RETURN_IF_ERROR(parse_fields(nested, /*top_level=*/false));
+        continue;
+      }
+      if (!saw_colon) {
+        return error("expected ':' or '{' after field '" + name + "'");
+      }
+      if (peek() == '"') {
+        CONDOR_ASSIGN_OR_RETURN(std::string value, parse_quoted_string());
+        into.add_scalar(std::move(name), std::move(value));
+        continue;
+      }
+      const std::size_t start = pos_;
+      while (!eof() && is_scalar_char(peek())) {
+        ++pos_;
+      }
+      if (pos_ == start) {
+        return error("invalid scalar value for field '" + name + "'");
+      }
+      into.add_scalar(std::move(name),
+                      std::string(text_.substr(start, pos_ - start)));
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<TextMessage> parse_text_format(std::string_view text) {
+  return TextParser(text).run();
+}
+
+}  // namespace condor::caffe

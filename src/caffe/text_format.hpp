@@ -1,0 +1,73 @@
+// Generic protobuf *text format* parser — the format of Caffe `.prototxt`
+// files. The parser builds an untyped field tree (TextMessage); the typed
+// mapping to Caffe message structs lives in caffe_pb.cpp. Supported syntax:
+//
+//   name: "LeNet"            # scalar field (string)
+//   input_dim: 64            # scalar field (number)
+//   pool: MAX                # scalar field (enum identifier)
+//   layer { ... }            # nested message (colon before '{' optional)
+//   kernel_size: 5 stride: 1 # newlines are not significant
+//   # comments run to end of line
+//
+// Repeated fields simply appear multiple times.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace condor::caffe {
+
+class TextMessage;
+
+/// One field occurrence: either a scalar token or a nested message.
+struct TextField {
+  std::string name;
+  std::string scalar;                       ///< unquoted scalar token
+  std::unique_ptr<TextMessage> message;     ///< non-null for nested messages
+  bool is_message() const noexcept { return message != nullptr; }
+};
+
+/// An ordered multiset of fields.
+class TextMessage {
+ public:
+  [[nodiscard]] const std::vector<TextField>& fields() const noexcept {
+    return fields_;
+  }
+
+  /// First scalar occurrence of `name`, or empty optional-like nullptr.
+  [[nodiscard]] const std::string* scalar(std::string_view name) const noexcept;
+
+  /// All scalar occurrences of `name` in order.
+  [[nodiscard]] std::vector<std::string_view> scalars(std::string_view name) const;
+
+  /// First nested-message occurrence of `name`, or nullptr.
+  [[nodiscard]] const TextMessage* message(std::string_view name) const noexcept;
+
+  /// All nested-message occurrences of `name` in order.
+  [[nodiscard]] std::vector<const TextMessage*> messages(std::string_view name) const;
+
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+
+  // Typed scalar readers with error reporting ("field 'x' of layer ...").
+  [[nodiscard]] Result<std::int64_t> get_int(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int_or(std::string_view name,
+                                        std::int64_t fallback) const;
+  [[nodiscard]] Result<double> get_double(std::string_view name) const;
+  [[nodiscard]] Result<std::string> get_string(std::string_view name) const;
+  [[nodiscard]] bool get_bool_or(std::string_view name, bool fallback) const;
+
+  void add_scalar(std::string name, std::string value);
+  TextMessage& add_message(std::string name);
+
+ private:
+  std::vector<TextField> fields_;
+};
+
+/// Parses a whole prototxt document (an implicit top-level message).
+Result<TextMessage> parse_text_format(std::string_view text);
+
+}  // namespace condor::caffe

@@ -1,0 +1,457 @@
+#include "cli/cli.hpp"
+
+#include <map>
+#include <optional>
+
+#include "caffe/export.hpp"
+#include "cloud/afi.hpp"
+#include "cloud/s3.hpp"
+#include "common/byte_io.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "condor/flow.hpp"
+#include "condor/report.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+#include "dataflow/executor.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "sim/accel_sim.hpp"
+
+namespace condor::cli {
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(std::vector<std::string>::const_iterator begin,
+       std::vector<std::string>::const_iterator end, std::ostream& err)
+      : err_(err) {
+    for (auto it = begin; it != end; ++it) {
+      if (strings::starts_with(*it, "--")) {
+        const std::string key = it->substr(2);
+        if (it + 1 != end && !strings::starts_with(*(it + 1), "--")) {
+          values_[key] = *++it;
+        } else {
+          values_[key] = "";  // boolean flag
+        }
+      } else {
+        err_ << "unexpected argument '" << *it << "'\n";
+        ok_ = false;
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::make_optional(it->second);
+  }
+
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   std::string fallback) const {
+    return get(key).value_or(std::move(fallback));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::ostream& err_;
+  bool ok_ = true;
+};
+
+int usage(std::ostream& err) {
+  err << "usage: condor <command> [options]\n"
+         "commands:\n"
+         "  boards                               list supported boards\n"
+         "  summary --model M                    show a model-zoo topology\n"
+         "  build   --prototxt F --caffemodel F  run the automation flow\n"
+         "        | --onnx F\n"
+         "        | --network F --weights F\n"
+         "          [--board ID] [--freq MHZ] [--out DIR] [--dse]\n"
+         "          [--deploy onprem|cloud] [--bucket NAME] [--aws-root DIR]\n"
+         "  dse     --model M [--features]       automated DSE\n"
+         "  run     --xclbin F --weights F [--batch N]\n"
+         "  fig5    --model M                    batch-size latency sweep\n"
+         "  validate --model M [--batch N]       dataflow engine vs reference\n"
+         "  describe-afi --id I --aws-root DIR\n";
+  return 2;
+}
+
+int cmd_boards(std::ostream& out) {
+  out << strings::format("%-10s %-38s %10s %8s %6s %8s %6s\n", "id", "part",
+                         "LUT", "DSP", "BRAM", "Fmax", "cloud");
+  for (const hw::BoardSpec& board : hw::board_database()) {
+    out << strings::format("%-10s %-38s %10llu %8llu %6llu %6.0fMHz %6s\n",
+                           board.id.c_str(), board.part.c_str(),
+                           (unsigned long long)board.capacity.luts,
+                           (unsigned long long)board.capacity.dsps,
+                           (unsigned long long)board.capacity.bram36,
+                           board.max_frequency_mhz, board.cloud ? "yes" : "no");
+  }
+  return 0;
+}
+
+int cmd_summary(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto model_name = args.get("model");
+  if (!model_name.has_value()) {
+    err << "summary requires --model\n";
+    return 2;
+  }
+  auto model = nn::make_model(*model_name);
+  if (!model.is_ok()) {
+    err << model.status().to_string() << "\n";
+    return 1;
+  }
+  out << model.value().summary();
+  out << strings::format(
+      "parameters: %llu   FLOPs/image: %llu (features: %llu)\n",
+      (unsigned long long)model.value().parameter_count().value(),
+      (unsigned long long)model.value().total_flops().value(),
+      (unsigned long long)model.value().feature_extraction_flops().value());
+  return 0;
+}
+
+int cmd_build(const Args& args, std::ostream& out, std::ostream& err) {
+  condorflow::FrontendInput input;
+  if (args.has("prototxt") || args.has("caffemodel")) {
+    const auto prototxt = args.get("prototxt");
+    const auto caffemodel = args.get("caffemodel");
+    if (!prototxt || !caffemodel) {
+      err << "the Caffe frontend needs both --prototxt and --caffemodel\n";
+      return 2;
+    }
+    auto text = read_text_file(*prototxt);
+    auto bytes = read_file(*caffemodel);
+    if (!text.is_ok() || !bytes.is_ok()) {
+      err << (!text.is_ok() ? text.status() : bytes.status()).to_string() << "\n";
+      return 1;
+    }
+    input.prototxt_text = std::move(text).value();
+    input.caffemodel_bytes = std::move(bytes).value();
+  } else if (args.has("onnx")) {
+    auto bytes = read_file(*args.get("onnx"));
+    if (!bytes.is_ok()) {
+      err << bytes.status().to_string() << "\n";
+      return 1;
+    }
+    input.onnx_bytes = std::move(bytes).value();
+  } else if (args.has("network")) {
+    const auto weights = args.get("weights");
+    if (!weights) {
+      err << "the Condor frontend needs --network and --weights\n";
+      return 2;
+    }
+    auto text = read_text_file(*args.get("network"));
+    auto bytes = read_file(*weights);
+    if (!text.is_ok() || !bytes.is_ok()) {
+      err << (!text.is_ok() ? text.status() : bytes.status()).to_string() << "\n";
+      return 1;
+    }
+    input.network_json_text = std::move(text).value();
+    input.weight_file_bytes = std::move(bytes).value();
+  } else {
+    err << "build needs an input source (--prototxt/--caffemodel, --onnx, or "
+           "--network/--weights)\n";
+    return 2;
+  }
+  input.board_id = args.get_or("board", "aws-f1");
+  if (const auto freq = args.get("freq")) {
+    input.target_frequency_mhz = std::strtod(freq->c_str(), nullptr);
+  }
+
+  condorflow::FlowOptions options;
+  options.run_dse = args.has("dse");
+  if (const auto dir = args.get("out")) {
+    options.output_dir = *dir;
+  }
+  const std::string deploy = args.get_or("deploy", "onprem");
+
+  std::optional<cloud::ObjectStore> store;
+  std::optional<cloud::AfiService> afi;
+  if (deploy == "cloud") {
+    options.deployment = condorflow::Deployment::kCloud;
+    options.s3_bucket = args.get_or("bucket", "condor-artifacts");
+    store.emplace(args.get_or("aws-root", "/tmp/condor-aws"));
+    afi.emplace(*store);
+  } else if (deploy != "onprem") {
+    err << "--deploy must be 'onprem' or 'cloud'\n";
+    return 2;
+  }
+
+  auto flow = condorflow::Flow::run(input, options,
+                                    store.has_value() ? &*store : nullptr,
+                                    afi.has_value() ? &*afi : nullptr);
+  if (!flow.is_ok()) {
+    err << "flow failed: " << flow.status().to_string() << "\n";
+    return 1;
+  }
+  out << hw::describe(flow.value().plan);
+  out << flow.value().synthesis.to_string(flow.value().plan.board);
+  auto report = condorflow::make_deployment_report(flow.value());
+  if (report.is_ok()) {
+    out << "\n" << condorflow::format_deployment_table({report.value()});
+  }
+  if (flow.value().afi.has_value()) {
+    out << strings::format("\nAFI: %s (%s) staged in s3://%s\n",
+                           flow.value().afi->afi_id.c_str(),
+                           std::string(cloud::to_string(flow.value().afi->state)).c_str(),
+                           options.s3_bucket.c_str());
+  }
+  if (options.output_dir.has_value()) {
+    out << "artifacts written to " << *options.output_dir << "\n";
+  }
+  return 0;
+}
+
+int cmd_dse(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto model_name = args.get("model");
+  if (!model_name.has_value()) {
+    err << "dse requires --model\n";
+    return 2;
+  }
+  auto model = nn::make_model(*model_name);
+  if (!model.is_ok()) {
+    err << model.status().to_string() << "\n";
+    return 1;
+  }
+  nn::Network net = args.has("features")
+                        ? model.value().feature_extraction_prefix()
+                        : model.value();
+  auto result = hw::explore(hw::with_default_annotations(
+      std::move(net), args.get_or("board", "aws-f1"), 250.0));
+  if (!result.is_ok()) {
+    err << result.status().to_string() << "\n";
+    return 1;
+  }
+  out << strings::format("evaluated %zu points (%zu feasible)\n",
+                         result.value().points_evaluated,
+                         result.value().points_feasible);
+  for (std::size_t step = 0; step < result.value().trajectory.size(); ++step) {
+    const hw::DsePoint& point = result.value().trajectory[step];
+    out << strings::format("  step %2zu: %8.2f GFLOPS @ %3.0f MHz\n", step,
+                           point.gflops(), point.achieved_mhz);
+  }
+  out << strings::format("best: %.2f GFLOPS @ %.0f MHz\n",
+                         result.value().best.gflops(),
+                         result.value().best.achieved_mhz);
+  return 0;
+}
+
+int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto xclbin_path = args.get("xclbin");
+  const auto weights_path = args.get("weights");
+  if (!xclbin_path || !weights_path) {
+    err << "run requires --xclbin and --weights\n";
+    return 2;
+  }
+  auto xclbin = runtime::Xclbin::load(*xclbin_path);
+  if (!xclbin.is_ok()) {
+    err << xclbin.status().to_string() << "\n";
+    return 1;
+  }
+  auto kernel = runtime::LoadedKernel::from_xclbin(xclbin.value());
+  if (!kernel.is_ok()) {
+    err << kernel.status().to_string() << "\n";
+    return 1;
+  }
+  auto weight_bytes = read_file(*weights_path);
+  if (!weight_bytes.is_ok()) {
+    err << weight_bytes.status().to_string() << "\n";
+    return 1;
+  }
+  if (auto s = kernel.value().load_weights(weight_bytes.value()); !s.is_ok()) {
+    err << s.to_string() << "\n";
+    return 1;
+  }
+  const std::size_t batch =
+      static_cast<std::size_t>(std::strtoull(args.get_or("batch", "16").c_str(),
+                                             nullptr, 10));
+  const Shape input_shape =
+      kernel.value().plan().source.net.input_shape().value();
+  Rng rng(123);
+  std::vector<Tensor> inputs;
+  for (std::size_t i = 0; i < batch; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(0.0F, 1.0F);
+    }
+    inputs.push_back(std::move(image));
+  }
+  auto outputs = kernel.value().run(inputs);
+  if (!outputs.is_ok()) {
+    err << outputs.status().to_string() << "\n";
+    return 1;
+  }
+  const runtime::KernelStats& stats = kernel.value().last_stats();
+  out << strings::format(
+      "%zu images in %.3f ms device time (%.1f img/s @ %.0f MHz)\n", batch,
+      stats.simulated_seconds * 1e3, stats.images_per_second(batch),
+      stats.clock_mhz);
+  return 0;
+}
+
+int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto model_name = args.get("model");
+  if (!model_name.has_value()) {
+    err << "validate requires --model\n";
+    return 2;
+  }
+  auto model = nn::make_model(*model_name);
+  if (!model.is_ok()) {
+    err << model.status().to_string() << "\n";
+    return 1;
+  }
+  const std::size_t batch = static_cast<std::size_t>(
+      std::strtoull(args.get_or("batch", "4").c_str(), nullptr, 10));
+  auto weights = nn::initialize_weights(model.value(), 1);
+  if (!weights.is_ok()) {
+    err << weights.status().to_string() << "\n";
+    return 1;
+  }
+  auto engine = nn::ReferenceEngine::create(model.value(), weights.value());
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(model.value()));
+  if (!plan.is_ok()) {
+    err << plan.status().to_string() << "\n";
+    return 1;
+  }
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  if (!executor.is_ok()) {
+    err << executor.status().to_string() << "\n";
+    return 1;
+  }
+  Rng rng(777);
+  const Shape input_shape = model.value().input_shape().value();
+  std::vector<Tensor> inputs;
+  for (std::size_t i = 0; i < batch; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    inputs.push_back(std::move(image));
+  }
+  auto outputs = executor.value().run_batch(inputs);
+  if (!outputs.is_ok()) {
+    err << outputs.status().to_string() << "\n";
+    return 1;
+  }
+  float worst = 0.0F;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Tensor expected = engine.value().forward(inputs[i]).value();
+    worst = std::max(worst, max_abs_diff(outputs.value()[i], expected));
+  }
+  out << strings::format(
+      "dataflow engine vs golden reference on %zu images: max |diff| = %g "
+      "(%s)\n",
+      batch, worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
+  out << strings::format("KPN: %zu modules, %zu streams\n",
+                         executor.value().last_run_stats().modules,
+                         executor.value().last_run_stats().streams);
+  return worst == 0.0F ? 0 : 1;
+}
+
+int cmd_fig5(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto model_name = args.get("model");
+  if (!model_name.has_value()) {
+    err << "fig5 requires --model\n";
+    return 2;
+  }
+  auto model = nn::make_model(*model_name);
+  if (!model.is_ok()) {
+    err << model.status().to_string() << "\n";
+    return 1;
+  }
+  hw::HwNetwork net = hw::with_default_annotations(
+      model.value(), args.get_or("board", "aws-f1"), 200.0);
+  auto point = hw::evaluate_design_point(net);
+  if (!point.is_ok()) {
+    err << point.status().to_string() << "\n";
+    return 1;
+  }
+  const sim::AcceleratorSim accel =
+      sim::build_accelerator_sim(point.value().performance);
+  out << strings::format("%s @ %.0f MHz, %zu pipeline stages\n",
+                         model.value().name().c_str(),
+                         point.value().achieved_mhz, accel.stages.size());
+  out << strings::format("%8s %16s\n", "batch", "mean ms/image");
+  for (const std::size_t batch : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    auto bp = sim::simulate_batch(accel, batch);
+    if (!bp.is_ok()) {
+      err << bp.status().to_string() << "\n";
+      return 1;
+    }
+    out << strings::format("%8zu %16.4f\n", batch, bp.value().mean_ms_per_image);
+  }
+  return 0;
+}
+
+int cmd_describe_afi(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto id = args.get("id");
+  if (!id.has_value()) {
+    err << "describe-afi requires --id\n";
+    return 2;
+  }
+  cloud::ObjectStore store(args.get_or("aws-root", "/tmp/condor-aws"));
+  cloud::AfiService service(store);
+  auto record = service.describe_fpga_image(*id);
+  if (!record.is_ok()) {
+    err << record.status().to_string() << "\n";
+    return 1;
+  }
+  out << strings::format("%s  %s  state=%s  source=s3://%s/%s\n",
+                         record.value().afi_id.c_str(),
+                         record.value().agfi_id.c_str(),
+                         std::string(cloud::to_string(record.value().state)).c_str(),
+                         record.value().source_bucket.c_str(),
+                         record.value().source_key.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    return usage(err);
+  }
+  const std::string& command = args.front();
+  const Args parsed(args.begin() + 1, args.end(), err);
+  if (!parsed.ok()) {
+    return usage(err);
+  }
+  if (command == "boards") {
+    return cmd_boards(out);
+  }
+  if (command == "summary") {
+    return cmd_summary(parsed, out, err);
+  }
+  if (command == "build") {
+    return cmd_build(parsed, out, err);
+  }
+  if (command == "dse") {
+    return cmd_dse(parsed, out, err);
+  }
+  if (command == "run") {
+    return cmd_run(parsed, out, err);
+  }
+  if (command == "fig5") {
+    return cmd_fig5(parsed, out, err);
+  }
+  if (command == "validate") {
+    return cmd_validate(parsed, out, err);
+  }
+  if (command == "describe-afi") {
+    return cmd_describe_afi(parsed, out, err);
+  }
+  err << "unknown command '" << command << "'\n";
+  return usage(err);
+}
+
+}  // namespace condor::cli

@@ -1,0 +1,35 @@
+// The `condor` command-line driver (the role of the original framework's
+// Python entry point). Implemented as a library so the test suite can drive
+// it directly; tools/condor_main.cpp wraps it in a binary.
+//
+// Subcommands:
+//   boards                             list the board database
+//   summary   --model M                print a model-zoo topology
+//   build     <input source> [opts]    run the full automation flow
+//   dse       --model M [--features]   automated design space exploration
+//   run       --xclbin F --weights F   execute a batch on the (simulated)
+//             [--batch N]              device and print timing
+//   fig5      --model M                the Figure-5 batch-size sweep
+//   validate  --model M [--batch N]    dataflow engine vs golden reference
+//   describe-afi --id I --aws-root D   poll a simulated AFI
+//
+// Input sources for `build`:
+//   --prototxt F --caffemodel F        Caffe frontend
+//   --onnx F                           ONNX frontend
+//   --network F --weights F            Condor-native frontend
+// Options: --board ID --freq MHZ --out DIR --dse
+//          --deploy onprem|cloud --bucket NAME --aws-root DIR
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace condor::cli {
+
+/// Runs one invocation; output goes to `out`, errors to `err`.
+/// Returns the process exit code (0 on success).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace condor::cli

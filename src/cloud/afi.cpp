@@ -1,0 +1,192 @@
+#include "cloud/afi.hpp"
+
+#include "common/byte_io.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "json/json.hpp"
+#include "runtime/xclbin.hpp"
+
+namespace condor::cloud {
+namespace {
+
+constexpr const char* kRegistryBucket = "condor-afi-registry";
+
+std::string make_suffix(Rng& rng) {
+  static constexpr char kAlphabet[] = "0123456789abcdef";
+  std::string suffix;
+  suffix.reserve(17);
+  for (int i = 0; i < 17; ++i) {
+    suffix.push_back(kAlphabet[rng.bounded(16)]);
+  }
+  return suffix;
+}
+
+json::Value to_json(const AfiRecord& record) {
+  json::Object obj;
+  obj.set("afi_id", record.afi_id);
+  obj.set("agfi_id", record.agfi_id);
+  obj.set("name", record.name);
+  obj.set("description", record.description);
+  obj.set("source_bucket", record.source_bucket);
+  obj.set("source_key", record.source_key);
+  obj.set("state", std::string(to_string(record.state)));
+  obj.set("pending_polls", static_cast<std::int64_t>(record.pending_polls));
+  return obj;
+}
+
+Result<AfiRecord> record_from_json(const json::Value& value) {
+  if (!value.is_object()) {
+    return invalid_input("AFI record must be a JSON object");
+  }
+  const json::Object& obj = value.object();
+  AfiRecord record;
+  const auto get = [&obj](const char* key) -> Result<std::string> {
+    const json::Value* entry = obj.find(key);
+    if (entry == nullptr) {
+      return not_found(std::string("AFI record missing '") + key + "'");
+    }
+    return entry->as_string();
+  };
+  CONDOR_ASSIGN_OR_RETURN(record.afi_id, get("afi_id"));
+  CONDOR_ASSIGN_OR_RETURN(record.agfi_id, get("agfi_id"));
+  CONDOR_ASSIGN_OR_RETURN(record.name, get("name"));
+  CONDOR_ASSIGN_OR_RETURN(record.description, get("description"));
+  CONDOR_ASSIGN_OR_RETURN(record.source_bucket, get("source_bucket"));
+  CONDOR_ASSIGN_OR_RETURN(record.source_key, get("source_key"));
+  CONDOR_ASSIGN_OR_RETURN(std::string state, get("state"));
+  if (state == "available") {
+    record.state = AfiState::kAvailable;
+  } else if (state == "failed") {
+    record.state = AfiState::kFailed;
+  } else {
+    record.state = AfiState::kPending;
+  }
+  if (const json::Value* polls = obj.find("pending_polls"); polls != nullptr) {
+    CONDOR_ASSIGN_OR_RETURN(std::int64_t value_polls, polls->as_int());
+    record.pending_polls = static_cast<int>(value_polls);
+  }
+  return record;
+}
+
+}  // namespace
+
+std::string_view to_string(AfiState state) noexcept {
+  switch (state) {
+    case AfiState::kPending:
+      return "pending";
+    case AfiState::kAvailable:
+      return "available";
+    case AfiState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+AfiService::AfiService(ObjectStore& store, int ingestion_polls)
+    : store_(store), ingestion_polls_(ingestion_polls) {
+  (void)store_.create_bucket(kRegistryBucket);
+}
+
+Result<AfiRecord> AfiService::create_fpga_image(const std::string& name,
+                                                const std::string& description,
+                                                const std::string& bucket,
+                                                const std::string& key) {
+  // Validate the staged design before accepting the request, as the real
+  // ingestion pipeline rejects malformed checkpoints.
+  CONDOR_ASSIGN_OR_RETURN(auto payload, store_.get_object(bucket, key));
+  auto parsed = runtime::Xclbin::deserialize(payload);
+  AfiRecord record;
+  record.name = name;
+  record.description = description;
+  record.source_bucket = bucket;
+  record.source_key = key;
+  record.state = parsed.is_ok() ? AfiState::kPending : AfiState::kFailed;
+  record.pending_polls = parsed.is_ok() ? ingestion_polls_ : 0;
+
+  // Ids are derived from the payload checksum so re-creating the same image
+  // is deterministic (and testable).
+  Rng rng(crc32(payload) ^ 0xA51D5EEDULL);
+  const std::string suffix = make_suffix(rng);
+  record.afi_id = "afi-" + suffix;
+  record.agfi_id = "agfi-" + suffix;
+
+  CONDOR_RETURN_IF_ERROR(persist(record));
+  return record;
+}
+
+Status AfiService::persist(const AfiRecord& record) {
+  const std::string text = json::dump(to_json(record));
+  return store_.put_object(
+      kRegistryBucket, record.afi_id + ".json",
+      std::span<const std::byte>(reinterpret_cast<const std::byte*>(text.data()),
+                                 text.size()));
+}
+
+Result<AfiRecord> AfiService::lookup(const std::string& id) {
+  std::string afi_id = id;
+  if (strings::starts_with(id, "agfi-")) {
+    afi_id = "afi-" + id.substr(5);
+  }
+  auto payload = store_.get_object(kRegistryBucket, afi_id + ".json");
+  if (!payload.is_ok()) {
+    return not_found("no such AFI: '" + id + "'");
+  }
+  const std::string text(reinterpret_cast<const char*>(payload.value().data()),
+                         payload.value().size());
+  CONDOR_ASSIGN_OR_RETURN(json::Value value, json::parse(text));
+  return record_from_json(value);
+}
+
+Result<AfiRecord> AfiService::describe_fpga_image(const std::string& id) {
+  CONDOR_ASSIGN_OR_RETURN(AfiRecord record, lookup(id));
+  if (record.state == AfiState::kPending) {
+    if (record.pending_polls > 0) {
+      --record.pending_polls;
+    }
+    if (record.pending_polls == 0) {
+      record.state = AfiState::kAvailable;
+    }
+    CONDOR_RETURN_IF_ERROR(persist(record));
+  }
+  return record;
+}
+
+Result<AfiRecord> AfiService::wait_until_available(const std::string& id,
+                                                   int max_polls) {
+  for (int poll = 0; poll < max_polls; ++poll) {
+    CONDOR_ASSIGN_OR_RETURN(AfiRecord record, describe_fpga_image(id));
+    if (record.state == AfiState::kAvailable) {
+      return record;
+    }
+    if (record.state == AfiState::kFailed) {
+      return unavailable("AFI '" + id + "' failed ingestion");
+    }
+  }
+  return unavailable(strings::format("AFI '%s' still pending after %d polls",
+                                     id.c_str(), max_polls));
+}
+
+Result<std::vector<AfiRecord>> AfiService::list_images() {
+  CONDOR_ASSIGN_OR_RETURN(auto keys, store_.list_objects(kRegistryBucket));
+  std::vector<AfiRecord> records;
+  for (const std::string& key : keys) {
+    if (!strings::ends_with(key, ".json")) {
+      continue;
+    }
+    CONDOR_ASSIGN_OR_RETURN(AfiRecord record,
+                            lookup(key.substr(0, key.size() - 5)));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<std::byte>> AfiService::fetch_image_payload(const std::string& id) {
+  CONDOR_ASSIGN_OR_RETURN(AfiRecord record, lookup(id));
+  if (record.state != AfiState::kAvailable) {
+    return unavailable("AFI '" + id + "' is " +
+                       std::string(to_string(record.state)));
+  }
+  return store_.get_object(record.source_bucket, record.source_key);
+}
+
+}  // namespace condor::cloud

@@ -1,0 +1,74 @@
+// Simulated Amazon FPGA Image (AFI) service.
+//
+// Mirrors the `aws ec2 create-fpga-image` flow the framework drives (paper
+// §3.3 step 8): the design checkpoint (here: the xclbin) is staged in an S3
+// bucket, the service returns an AFI id (afi-...) plus a Global AFI id
+// (agfi-...), and the image asynchronously transitions pending → available.
+// F1 instances load AFIs by global id. The registry is persisted inside the
+// object store (bucket "condor-afi-registry") so AFIs outlive processes,
+// like the real service.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/s3.hpp"
+#include "common/status.hpp"
+
+namespace condor::cloud {
+
+enum class AfiState { kPending, kAvailable, kFailed };
+
+std::string_view to_string(AfiState state) noexcept;
+
+struct AfiRecord {
+  std::string afi_id;        ///< "afi-xxxxxxxxxxxxxxxxx"
+  std::string agfi_id;       ///< "agfi-xxxxxxxxxxxxxxxxx" (global, load-by-id)
+  std::string name;
+  std::string description;
+  std::string source_bucket;
+  std::string source_key;    ///< the staged design (xclbin/tarball)
+  AfiState state = AfiState::kPending;
+  /// Remaining ingestion "polls" before the AFI becomes available: the real
+  /// service takes tens of minutes; the simulation takes a few describes.
+  int pending_polls = 0;
+};
+
+class AfiService {
+ public:
+  /// `ingestion_polls`: how many describe_fpga_image calls an AFI stays
+  /// pending for (0 = immediately available; default mimics asynchrony).
+  explicit AfiService(ObjectStore& store, int ingestion_polls = 2);
+
+  /// create-fpga-image: validates the staged object and registers a new
+  /// pending AFI. Fails if the S3 object is missing or not a valid design.
+  Result<AfiRecord> create_fpga_image(const std::string& name,
+                                      const std::string& description,
+                                      const std::string& bucket,
+                                      const std::string& key);
+
+  /// describe-fpga-images for one id (accepts afi- or agfi- ids). Each call
+  /// on a pending AFI advances its ingestion.
+  Result<AfiRecord> describe_fpga_image(const std::string& id);
+
+  /// Blocks (logically) until available: polls describe until the state
+  /// leaves kPending. Fails on kFailed.
+  Result<AfiRecord> wait_until_available(const std::string& id,
+                                         int max_polls = 100);
+
+  /// All registered AFIs.
+  Result<std::vector<AfiRecord>> list_images();
+
+  /// Fetches the design bytes behind an available AFI (used by F1 slots).
+  Result<std::vector<std::byte>> fetch_image_payload(const std::string& id);
+
+ private:
+  Status persist(const AfiRecord& record);
+  Result<AfiRecord> lookup(const std::string& id);
+
+  ObjectStore& store_;
+  int ingestion_polls_;
+};
+
+}  // namespace condor::cloud

@@ -1,0 +1,88 @@
+#include "cloud/f1.hpp"
+
+#include <atomic>
+
+#include "common/strings.hpp"
+
+namespace condor::cloud {
+
+std::size_t slot_count(F1InstanceType type) noexcept {
+  switch (type) {
+    case F1InstanceType::k2xlarge:
+      return 1;
+    case F1InstanceType::k4xlarge:
+      return 2;
+    case F1InstanceType::k16xlarge:
+      return 8;
+  }
+  return 1;
+}
+
+std::string_view to_string(F1InstanceType type) noexcept {
+  switch (type) {
+    case F1InstanceType::k2xlarge:
+      return "f1.2xlarge";
+    case F1InstanceType::k4xlarge:
+      return "f1.4xlarge";
+    case F1InstanceType::k16xlarge:
+      return "f1.16xlarge";
+  }
+  return "?";
+}
+
+F1Instance::F1Instance(F1InstanceType type, AfiService& afi_service)
+    : type_(type), afi_service_(afi_service) {
+  static std::atomic<std::uint64_t> next_id{0x0f1};
+  instance_id_ = strings::format("i-%017llx",
+                                 static_cast<unsigned long long>(next_id++));
+  slots_.resize(slot_count(type));
+}
+
+Status F1Instance::load_afi(std::size_t slot, const std::string& afi_id) {
+  if (slot >= slots_.size()) {
+    return invalid_input(strings::format("instance %s has no slot %zu",
+                                         instance_id_.c_str(), slot));
+  }
+  CONDOR_ASSIGN_OR_RETURN(auto payload, afi_service_.fetch_image_payload(afi_id));
+  CONDOR_ASSIGN_OR_RETURN(runtime::Xclbin xclbin,
+                          runtime::Xclbin::deserialize(payload));
+  CONDOR_ASSIGN_OR_RETURN(runtime::LoadedKernel kernel,
+                          runtime::LoadedKernel::from_xclbin(xclbin));
+  slots_[slot].kernel =
+      std::make_unique<runtime::LoadedKernel>(std::move(kernel));
+  slots_[slot].loaded_agfi = afi_id;
+  return Status::ok();
+}
+
+Status F1Instance::clear_slot(std::size_t slot) {
+  if (slot >= slots_.size()) {
+    return invalid_input("no such slot");
+  }
+  slots_[slot].kernel.reset();
+  slots_[slot].loaded_agfi.reset();
+  return Status::ok();
+}
+
+Result<std::string> F1Instance::describe_slot(std::size_t slot) const {
+  if (slot >= slots_.size()) {
+    return invalid_input("no such slot");
+  }
+  if (!slots_[slot].loaded_agfi.has_value()) {
+    return strings::format("slot %zu: cleared", slot);
+  }
+  return strings::format("slot %zu: loaded %s (clock %.0f MHz)", slot,
+                         slots_[slot].loaded_agfi->c_str(),
+                         slots_[slot].kernel->clock_mhz());
+}
+
+Result<runtime::LoadedKernel*> F1Instance::slot_kernel(std::size_t slot) {
+  if (slot >= slots_.size()) {
+    return invalid_input("no such slot");
+  }
+  if (slots_[slot].kernel == nullptr) {
+    return unavailable(strings::format("slot %zu has no AFI loaded", slot));
+  }
+  return slots_[slot].kernel.get();
+}
+
+}  // namespace condor::cloud

@@ -1,0 +1,60 @@
+// Simulated AWS EC2 F1 instances.
+//
+// An F1 instance exposes one or more FPGA slots (f1.2xlarge: 1, f1.4xlarge:
+// 2, f1.16xlarge: 8), each a VU9P behind the AWS shell. Loading an AFI onto
+// a slot (the `fpga-load-local-image` step) fetches the image payload from
+// the AFI service and programs the slot; the slot then behaves as an
+// SDAccel device the host OpenCL code can target.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/afi.hpp"
+#include "common/status.hpp"
+#include "runtime/kernel_runner.hpp"
+
+namespace condor::cloud {
+
+enum class F1InstanceType { k2xlarge, k4xlarge, k16xlarge };
+
+std::size_t slot_count(F1InstanceType type) noexcept;
+std::string_view to_string(F1InstanceType type) noexcept;
+
+/// One FPGA slot of an instance.
+struct FpgaSlot {
+  std::optional<std::string> loaded_agfi;
+  std::unique_ptr<runtime::LoadedKernel> kernel;
+};
+
+class F1Instance {
+ public:
+  F1Instance(F1InstanceType type, AfiService& afi_service);
+
+  [[nodiscard]] F1InstanceType type() const noexcept { return type_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_.size(); }
+  [[nodiscard]] const std::string& instance_id() const noexcept { return instance_id_; }
+
+  /// fpga-load-local-image: programs `slot` with the AFI (by afi-/agfi- id).
+  /// Fails while the AFI is still pending.
+  Status load_afi(std::size_t slot, const std::string& afi_id);
+
+  /// fpga-clear-local-image.
+  Status clear_slot(std::size_t slot);
+
+  /// Describes what is loaded ("fpga-describe-local-image").
+  Result<std::string> describe_slot(std::size_t slot) const;
+
+  /// Access to the programmed accelerator of a slot.
+  Result<runtime::LoadedKernel*> slot_kernel(std::size_t slot);
+
+ private:
+  F1InstanceType type_;
+  std::string instance_id_;
+  AfiService& afi_service_;
+  std::vector<FpgaSlot> slots_;
+};
+
+}  // namespace condor::cloud

@@ -1,0 +1,129 @@
+#include "cloud/s3.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/byte_io.hpp"
+#include "common/strings.hpp"
+
+namespace condor::cloud {
+
+namespace fs = std::filesystem;
+
+Status ObjectStore::validate_bucket_name(const std::string& bucket) {
+  if (bucket.size() < 3 || bucket.size() > 63) {
+    return invalid_input("bucket name must be 3-63 characters: '" + bucket + "'");
+  }
+  for (const char c : bucket) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '-';
+    if (!ok) {
+      return invalid_input("bucket name has invalid character: '" + bucket + "'");
+    }
+  }
+  if (bucket.front() == '-' || bucket.back() == '-') {
+    return invalid_input("bucket name cannot start/end with '-': '" + bucket + "'");
+  }
+  return Status::ok();
+}
+
+Status ObjectStore::validate_key(const std::string& key) {
+  if (key.empty() || key.size() > 1024) {
+    return invalid_input("object key must be 1-1024 characters");
+  }
+  if (key.front() == '/') {
+    return invalid_input("object key must be relative: '" + key + "'");
+  }
+  for (const auto& part : strings::split(key, '/')) {
+    if (part == "..") {
+      return invalid_input("object key must not contain '..': '" + key + "'");
+    }
+  }
+  return Status::ok();
+}
+
+std::string ObjectStore::object_path(const std::string& bucket,
+                                     const std::string& key) const {
+  return root_ + "/" + bucket + "/" + key;
+}
+
+Status ObjectStore::create_bucket(const std::string& bucket) {
+  CONDOR_RETURN_IF_ERROR(validate_bucket_name(bucket));
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / bucket, ec);
+  if (ec) {
+    return internal_error("cannot create bucket directory: " + ec.message());
+  }
+  return Status::ok();
+}
+
+bool ObjectStore::bucket_exists(const std::string& bucket) const {
+  std::error_code ec;
+  return fs::is_directory(fs::path(root_) / bucket, ec);
+}
+
+Status ObjectStore::put_object(const std::string& bucket, const std::string& key,
+                               std::span<const std::byte> data) {
+  CONDOR_RETURN_IF_ERROR(validate_bucket_name(bucket));
+  CONDOR_RETURN_IF_ERROR(validate_key(key));
+  if (!bucket_exists(bucket)) {
+    return not_found("bucket does not exist: '" + bucket + "'");
+  }
+  const fs::path path = fs::path(object_path(bucket, key));
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    return internal_error("cannot create key prefix: " + ec.message());
+  }
+  return write_file(path.string(), data);
+}
+
+Result<std::vector<std::byte>> ObjectStore::get_object(const std::string& bucket,
+                                                       const std::string& key) const {
+  CONDOR_RETURN_IF_ERROR(validate_key(key));
+  if (!object_exists(bucket, key)) {
+    return not_found("NoSuchKey: s3://" + bucket + "/" + key);
+  }
+  return read_file(object_path(bucket, key));
+}
+
+Status ObjectStore::delete_object(const std::string& bucket, const std::string& key) {
+  CONDOR_RETURN_IF_ERROR(validate_key(key));
+  std::error_code ec;
+  fs::remove(object_path(bucket, key), ec);
+  if (ec) {
+    return internal_error("cannot delete object: " + ec.message());
+  }
+  return Status::ok();
+}
+
+bool ObjectStore::object_exists(const std::string& bucket,
+                                const std::string& key) const {
+  std::error_code ec;
+  return fs::is_regular_file(object_path(bucket, key), ec);
+}
+
+Result<std::vector<std::string>> ObjectStore::list_objects(
+    const std::string& bucket, const std::string& prefix) const {
+  if (!bucket_exists(bucket)) {
+    return not_found("bucket does not exist: '" + bucket + "'");
+  }
+  std::vector<std::string> keys;
+  const fs::path bucket_path = fs::path(root_) / bucket;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(bucket_path, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file()) {
+      continue;
+    }
+    const std::string key =
+        fs::relative(it->path(), bucket_path, ec).generic_string();
+    if (strings::starts_with(key, prefix)) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace condor::cloud

@@ -1,0 +1,53 @@
+// Simulated Amazon S3: a directory-backed object store.
+//
+// The AFI creation flow (paper §3.3 step 8) stages the design checkpoint in
+// "a user-specified Amazon S3 Bucket"; this store reproduces the put/get/
+// list/delete surface the framework uses, with bucket and key validation,
+// persisted under a root directory so artifacts survive across processes
+// (like real S3 outlives an instance).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace condor::cloud {
+
+class ObjectStore {
+ public:
+  /// `root` is created on demand; each bucket is a subdirectory.
+  explicit ObjectStore(std::string root) : root_(std::move(root)) {}
+
+  Status create_bucket(const std::string& bucket);
+  [[nodiscard]] bool bucket_exists(const std::string& bucket) const;
+
+  Status put_object(const std::string& bucket, const std::string& key,
+                    std::span<const std::byte> data);
+  Result<std::vector<std::byte>> get_object(const std::string& bucket,
+                                            const std::string& key) const;
+  Status delete_object(const std::string& bucket, const std::string& key);
+  [[nodiscard]] bool object_exists(const std::string& bucket,
+                                   const std::string& key) const;
+
+  /// Keys in a bucket with the given prefix, sorted.
+  Result<std::vector<std::string>> list_objects(const std::string& bucket,
+                                                const std::string& prefix = "") const;
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+
+  /// Bucket names: 3-63 chars of [a-z0-9.-], as AWS enforces.
+  static Status validate_bucket_name(const std::string& bucket);
+  /// Keys must be non-empty, relative, without ".." traversal.
+  static Status validate_key(const std::string& key);
+
+ private:
+  [[nodiscard]] std::string object_path(const std::string& bucket,
+                                        const std::string& key) const;
+
+  std::string root_;
+};
+
+}  // namespace condor::cloud

@@ -1,0 +1,153 @@
+#include "common/byte_io.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace condor {
+
+Status ByteWriter::patch_u32le(std::size_t offset, std::uint32_t value) {
+  if (offset + 4 > buffer_.size()) {
+    return internal_error("patch_u32le out of range");
+  }
+  for (int i = 0; i < 4; ++i) {
+    buffer_[offset + static_cast<std::size_t>(i)] =
+        std::byte{static_cast<std::uint8_t>(value >> (8 * i))};
+  }
+  return Status::ok();
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) {
+    return invalid_input("byte stream truncated (u8)");
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+Result<std::uint32_t> ByteReader::u32le() {
+  if (remaining() < 4) {
+    return invalid_input("byte stream truncated (u32)");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+Result<std::uint64_t> ByteReader::u64le() {
+  if (remaining() < 8) {
+    return invalid_input("byte stream truncated (u64)");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+Result<float> ByteReader::f32le() {
+  CONDOR_ASSIGN_OR_RETURN(std::uint32_t bits, u32le());
+  float value = 0.0F;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<double> ByteReader::f64le() {
+  CONDOR_ASSIGN_OR_RETURN(std::uint64_t bits, u64le());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::span<const std::byte>> ByteReader::bytes(std::size_t size) {
+  if (remaining() < size) {
+    return invalid_input("byte stream truncated (bytes)");
+  }
+  auto view = data_.subspan(pos_, size);
+  pos_ += size;
+  return view;
+}
+
+Result<std::string> ByteReader::string_bytes(std::size_t size) {
+  CONDOR_ASSIGN_OR_RETURN(auto view, bytes(size));
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
+}
+
+Status ByteReader::skip(std::size_t size) {
+  if (remaining() < size) {
+    return invalid_input("byte stream truncated (skip)");
+  }
+  pos_ += size;
+  return Status::ok();
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) != 0 ? (crc >> 1) ^ 0xEDB88320U : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFU];
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+Status write_file(const std::string& path, std::span<const std::byte> data) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return not_found("cannot open for writing: " + path);
+  }
+  const std::size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (written != data.size()) {
+    return internal_error("short write: " + path);
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::byte>> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return not_found("cannot open for reading: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<std::byte> data(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t read = data.empty() ? 0 : std::fread(data.data(), 1, data.size(), file);
+  std::fclose(file);
+  if (read != data.size()) {
+    return internal_error("short read: " + path);
+  }
+  return data;
+}
+
+Status write_text_file(const std::string& path, std::string_view text) {
+  return write_file(path, std::span<const std::byte>(
+                              reinterpret_cast<const std::byte*>(text.data()), text.size()));
+}
+
+Result<std::string> read_text_file(const std::string& path) {
+  CONDOR_ASSIGN_OR_RETURN(auto data, read_file(path));
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+}  // namespace condor

@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace condor::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarning};
+std::mutex g_sink_mutex;
+
+constexpr std::string_view level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarning:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level msg_level, std::string_view tag, std::string_view message) {
+  if (msg_level < level()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(level_name(msg_level).size()), level_name(msg_level).data(),
+               static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace condor::log

@@ -1,0 +1,51 @@
+// Minimal leveled logger for the framework.
+//
+// Tools like the Condor flow driver narrate their steps (mirroring the
+// console output of the original Python framework); tests set the level to
+// kError to stay quiet. Thread-safe: a single mutex serializes sink writes.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace condor::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one formatted line ("[LEVEL] tag: message") to stderr if `level`
+/// passes the threshold.
+void write(Level level, std::string_view tag, std::string_view message);
+
+/// RAII line builder: condor::log::Line(Level::kInfo, "dse") << "explored "
+/// << n << " points";  The line is emitted on destruction.
+class Line {
+ public:
+  Line(Level level, std::string_view tag) : level_(level), tag_(tag) {}
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+  ~Line() { write(level_, tag_, stream_.str()); }
+
+  template <typename T>
+  Line& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace condor::log
+
+#define CONDOR_LOG_DEBUG(tag) ::condor::log::Line(::condor::log::Level::kDebug, (tag))
+#define CONDOR_LOG_INFO(tag) ::condor::log::Line(::condor::log::Level::kInfo, (tag))
+#define CONDOR_LOG_WARN(tag) ::condor::log::Line(::condor::log::Level::kWarning, (tag))
+#define CONDOR_LOG_ERROR(tag) ::condor::log::Line(::condor::log::Level::kError, (tag))

@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All randomness in the reproduction (weight initialization, synthetic
+// datasets, workload generators) flows through this generator so that every
+// test, example and benchmark is bit-reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace condor {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from a single seed via splitmix64,
+  /// as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) noexcept {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Approximate standard normal via the sum of 12 uniforms (Irwin-Hall),
+  /// adequate for weight initialization and noise injection.
+  float normal(float mean = 0.0F, float stddev = 1.0F) noexcept {
+    float acc = 0.0F;
+    for (int i = 0; i < 12; ++i) {
+      acc += static_cast<float>(next_double());
+    }
+    return mean + (acc - 6.0F) * stddev;
+  }
+
+  // UniformRandomBitGenerator interface, so Rng works with <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace condor

@@ -1,0 +1,35 @@
+#include "common/status.hpp"
+
+namespace condor {
+
+std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidInput:
+      return "invalid-input";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kUnsynthesizable:
+      return "unsynthesizable";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "ok";
+  }
+  std::string out(condor::to_string(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace condor

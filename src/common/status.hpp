@@ -1,0 +1,138 @@
+// Lightweight status / result types used across the Condor framework.
+//
+// The framework prefers recoverable error reporting (bad user input, missing
+// files, unsynthesizable networks) over exceptions on hot paths. `Status`
+// carries an error code plus a human-readable message; `Result<T>` couples a
+// Status with a value. Both are cheap to move and copy-on-error only.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace condor {
+
+/// Broad error categories. Messages carry the detail; codes drive control
+/// flow (e.g. the DSE treats kUnsynthesizable differently from kInvalidInput).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidInput,     ///< malformed user input (prototxt, JSON, weights)
+  kNotFound,         ///< missing file / object / layer reference
+  kUnsynthesizable,  ///< design does not fit the selected board
+  kUnsupported,      ///< valid input, feature not implemented by methodology
+  kInternal,         ///< framework invariant violated
+  kUnavailable,      ///< transient: cloud service not ready (e.g. AFI pending)
+};
+
+/// Returns a stable lowercase identifier for a status code ("ok",
+/// "invalid-input", ...). Useful in logs and test assertions.
+std::string_view to_string(StatusCode code) noexcept;
+
+/// A success-or-error value. Default-constructed Status is OK.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::ok() for success");
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_input(std::string message) {
+  return {StatusCode::kInvalidInput, std::move(message)};
+}
+inline Status not_found(std::string message) {
+  return {StatusCode::kNotFound, std::move(message)};
+}
+inline Status unsynthesizable(std::string message) {
+  return {StatusCode::kUnsynthesizable, std::move(message)};
+}
+inline Status unsupported(std::string message) {
+  return {StatusCode::kUnsupported, std::move(message)};
+}
+inline Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+inline Status unavailable(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+
+/// Value-or-error. Accessing value() on an error result is a programming
+/// error (asserted in debug builds).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "a Result built from Status must be an error");
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return status_.is_ok(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate an error Status from an expression that yields Status.
+#define CONDOR_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::condor::Status status_macro_tmp_ = (expr);      \
+    if (!status_macro_tmp_.is_ok()) {                 \
+      return status_macro_tmp_;                       \
+    }                                                 \
+  } while (false)
+
+/// Bind `lhs` to the value of a Result-yielding expression or propagate its
+/// error. Usage: CONDOR_ASSIGN_OR_RETURN(auto net, parse_network(text));
+#define CONDOR_ASSIGN_OR_RETURN(lhs, expr)            \
+  CONDOR_ASSIGN_OR_RETURN_IMPL_(                      \
+      CONDOR_MACRO_CONCAT_(result_tmp_, __LINE__), lhs, expr)
+
+#define CONDOR_MACRO_CONCAT_INNER_(a, b) a##b
+#define CONDOR_MACRO_CONCAT_(a, b) CONDOR_MACRO_CONCAT_INNER_(a, b)
+#define CONDOR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.is_ok()) {                                 \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace condor

@@ -1,0 +1,38 @@
+// Small string helpers shared by the parsers (prototxt, JSON) and report
+// printers. Kept deliberately allocation-light: views in, owned strings out
+// only where ownership is needed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace condor::strings {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// True if `text` starts with / ends with the given affix.
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// Joins `parts` with `sep` in between.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lowercases ASCII characters.
+std::string to_lower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string format(const char* fmt, ...);
+
+/// Renders a byte count with binary suffix ("1.5 KiB", "3.2 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-point decimal rendering with `digits` fractional digits,
+/// used by the table printers so bench output matches the paper layout.
+std::string fixed(double value, int digits);
+
+}  // namespace condor::strings

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the golden CPU reference (batch inference)
+// and the benchmark drivers. Tasks are type-erased void() callables; the pool
+// joins on destruction (Core Guidelines CP: no detached threads, async work
+// joined before the data it touches dies).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace condor {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; wake exactly one worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace condor

@@ -1,0 +1,176 @@
+#include "condor/flow.hpp"
+
+#include <filesystem>
+
+#include "common/byte_io.hpp"
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "condor/host_codegen.hpp"
+#include "onnx/import.hpp"
+#include "json/json.hpp"
+
+namespace condor::condorflow {
+namespace {
+
+constexpr std::string_view kTag = "flow";
+
+json::Value make_metadata(const hw::HwNetwork& network,
+                          const hls::SynthesisReport& synthesis,
+                          const std::string& kernel_name) {
+  json::Object meta;
+  meta.set("generator", "condor");
+  meta.set("network", network.net.name());
+  meta.set("board", network.hw.board_id);
+  meta.set("kernel", kernel_name);
+  meta.set("target_mhz", network.hw.target_frequency_mhz);
+  meta.set("achieved_mhz", synthesis.achieved_clock_mhz);
+  return meta;
+}
+
+Status write_artifacts(const FlowResult& result, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return internal_error("cannot create output dir: " + ec.message());
+  }
+  CONDOR_RETURN_IF_ERROR(
+      write_file(dir + "/accelerator.xclbin", result.xclbin_bytes));
+  CONDOR_RETURN_IF_ERROR(write_file(dir + "/weights.bin", result.weight_file_bytes));
+  CONDOR_RETURN_IF_ERROR(write_text_file(dir + "/host.cpp", result.host_code));
+  CONDOR_RETURN_IF_ERROR(write_text_file(
+      dir + "/network.json", hw::to_json_text(result.network)));
+  CONDOR_RETURN_IF_ERROR(write_text_file(
+      dir + "/synthesis.rpt", result.synthesis.to_string(result.plan.board)));
+  const std::string src_dir = dir + "/hls_src";
+  std::filesystem::create_directories(src_dir, ec);
+  if (ec) {
+    return internal_error("cannot create hls_src dir: " + ec.message());
+  }
+  for (const hls::GeneratedSource& source : result.sources) {
+    CONDOR_RETURN_IF_ERROR(
+        write_text_file(src_dir + "/" + source.file_name, source.code));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<std::pair<hw::HwNetwork, nn::WeightStore>> analyze_input(
+    const FrontendInput& input) {
+  const bool has_caffe = input.prototxt_text.has_value();
+  const bool has_condor = input.network_json_text.has_value();
+  const bool has_onnx = input.onnx_bytes.has_value();
+  if (static_cast<int>(has_caffe) + static_cast<int>(has_condor) +
+          static_cast<int>(has_onnx) !=
+      1) {
+    return invalid_input(
+        "frontend needs exactly one input source: a Caffe model, an ONNX "
+        "model, or the Condor network representation");
+  }
+  if (has_onnx) {
+    CONDOR_ASSIGN_OR_RETURN(onnx::OnnxModel model,
+                            onnx::load_onnx_model(*input.onnx_bytes));
+    hw::HwNetwork network = hw::with_default_annotations(
+        std::move(model.network), input.board_id, input.target_frequency_mhz);
+    return std::make_pair(std::move(network), std::move(model.weights));
+  }
+  if (has_caffe) {
+    CONDOR_ASSIGN_OR_RETURN(
+        caffe::CaffeModel model,
+        caffe::load_caffe_model(*input.prototxt_text, input.caffemodel_bytes));
+    hw::HwNetwork network = hw::with_default_annotations(
+        std::move(model.network), input.board_id, input.target_frequency_mhz);
+    return std::make_pair(std::move(network), std::move(model.weights));
+  }
+  CONDOR_ASSIGN_OR_RETURN(hw::HwNetwork network,
+                          hw::from_json_text(*input.network_json_text));
+  CONDOR_ASSIGN_OR_RETURN(nn::WeightStore weights,
+                          nn::WeightStore::deserialize(input.weight_file_bytes));
+  CONDOR_RETURN_IF_ERROR(weights.validate_against(network.net));
+  return std::make_pair(std::move(network), std::move(weights));
+}
+
+Result<FlowResult> Flow::run(const FrontendInput& input, const FlowOptions& options,
+                             cloud::ObjectStore* store,
+                             cloud::AfiService* afi_service) {
+  FlowResult result;
+
+  // -- Step 1: input analysis -------------------------------------------
+  CONDOR_LOG_INFO(kTag) << "step 1: input analysis";
+  CONDOR_ASSIGN_OR_RETURN(auto analyzed, analyze_input(input));
+  result.network = std::move(analyzed.first);
+  result.weights = std::move(analyzed.second);
+
+  // -- Step 2: design space exploration ----------------------------------
+  if (options.run_dse) {
+    CONDOR_LOG_INFO(kTag) << "step 2: automated design space exploration";
+    CONDOR_ASSIGN_OR_RETURN(hw::DseResult dse,
+                            hw::explore(result.network, options.dse));
+    result.network = std::move(dse.best.config);
+  } else {
+    CONDOR_LOG_INFO(kTag) << "step 2: DSE skipped (manual annotations)";
+  }
+
+  // -- Steps 3-5: layer creation + connection ----------------------------
+  CONDOR_LOG_INFO(kTag) << "steps 3-5: layer creation and network creation";
+  CONDOR_ASSIGN_OR_RETURN(result.plan, hw::plan_accelerator(result.network));
+  CONDOR_ASSIGN_OR_RETURN(result.sources, hls::generate_all_sources(result.plan));
+  CONDOR_ASSIGN_OR_RETURN(result.synthesis,
+                          hls::synthesize(result.plan, options.synthesis));
+
+  // -- Step 6: SDAccel integration ---------------------------------------
+  CONDOR_LOG_INFO(kTag) << "step 6: SDAccel integration (kernel.xml + packaging)";
+  result.kernel_name = result.network.net.name() + "_top";
+  const std::string kernel_xml =
+      runtime::generate_kernel_xml(result.kernel_name);
+
+  // -- Step 7: deployment binary -----------------------------------------
+  CONDOR_LOG_INFO(kTag) << "step 7: xclbin generation ("
+                        << strings::format("%.0f MHz achieved",
+                                           result.synthesis.achieved_clock_mhz)
+                        << ")";
+  result.xclbin.set_text_section("network.json", hw::to_json_text(result.network));
+  result.xclbin.set_text_section("kernel.xml", kernel_xml);
+  result.xclbin.set_text_section("synth.rpt",
+                                 result.synthesis.to_string(result.plan.board));
+  result.xclbin.set_text_section(
+      "meta.json",
+      json::dump(make_metadata(result.network, result.synthesis, result.kernel_name)));
+  for (const hls::GeneratedSource& source : result.sources) {
+    result.xclbin.set_text_section("src/" + source.file_name, source.code);
+  }
+  result.xclbin_bytes = result.xclbin.serialize();
+  result.weight_file_bytes = result.weights.serialize();
+  result.host_code = generate_host_code(result.network, result.kernel_name);
+
+  if (options.output_dir.has_value()) {
+    CONDOR_RETURN_IF_ERROR(write_artifacts(result, *options.output_dir));
+  }
+
+  // -- Step 8: AFI creation (cloud only) ----------------------------------
+  if (options.deployment == Deployment::kCloud) {
+    if (store == nullptr || afi_service == nullptr) {
+      return invalid_input(
+          "cloud deployment requires an object store and an AFI service "
+          "(run inside the FPGA Developer AMI environment)");
+    }
+    CONDOR_LOG_INFO(kTag) << "step 8: staging design in s3://" << options.s3_bucket;
+    CONDOR_RETURN_IF_ERROR(store->create_bucket(options.s3_bucket));
+    const std::string key =
+        result.network.net.name() + "/accelerator.xclbin";
+    CONDOR_RETURN_IF_ERROR(
+        store->put_object(options.s3_bucket, key, result.xclbin_bytes));
+    CONDOR_ASSIGN_OR_RETURN(
+        cloud::AfiRecord afi,
+        afi_service->create_fpga_image(
+            result.network.net.name(),
+            "Condor-generated CNN accelerator for " + result.network.net.name(),
+            options.s3_bucket, key));
+    CONDOR_LOG_INFO(kTag) << "step 8: AFI " << afi.afi_id << " ("
+                          << cloud::to_string(afi.state) << ")";
+    result.afi = std::move(afi);
+  }
+  return result;
+}
+
+}  // namespace condor::condorflow

@@ -1,0 +1,102 @@
+// The Condor end-to-end automation flow (paper §3.3).
+//
+// Drives the eight steps of the design automation flow across the three
+// tiers of the framework:
+//
+//   1. Input Analysis            — Caffe prototxt/caffemodel or the Condor
+//                                  JSON + weight file → HwNetwork + weights
+//   2. Design Space Exploration  — optional automated DSE (the paper's
+//                                  future-work extension) or the manual
+//                                  annotations supplied by the user
+//   3. Features-extraction stage — PE + filter characterization (codegen +
+//                                  simulated HLS), layer creation
+//   4. Classification stage      — fully-connected 1x1-convolution PEs
+//   5. Connection of the layers  — the accelerator plan's stream edges
+//   6. SDAccel integration       — kernel.xml + packaging (.xo folded into
+//                                  the container)
+//   7. Deployment on board       — XOCC stand-in: synthesis sign-off,
+//                                  xclbin emission, default host code
+//   8. AFI creation (cloud only) — stage the binary in S3, create-fpga-image,
+//                                  return the AFI id for F1 instances
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "caffe/import.hpp"
+#include "cloud/afi.hpp"
+#include "cloud/s3.hpp"
+#include "common/status.hpp"
+#include "hls/codegen.hpp"
+#include "hls/synthesis.hpp"
+#include "hw/dse.hpp"
+#include "hw/hw_ir.hpp"
+#include "runtime/xclbin.hpp"
+
+namespace condor::condorflow {
+
+/// Frontend input (paper §3.1.1): exactly one of the three sources.
+struct FrontendInput {
+  // Source A: a pre-trained Caffe model.
+  std::optional<std::string> prototxt_text;
+  std::vector<std::byte> caffemodel_bytes;
+  // Source B: the Condor-specific formats.
+  std::optional<std::string> network_json_text;
+  std::vector<std::byte> weight_file_bytes;
+  // Source C: an ONNX model (the frontend extension the paper plans).
+  std::optional<std::vector<std::byte>> onnx_bytes;
+
+  // Hardware annotations applied when importing from Caffe (the Condor
+  // JSON already carries its own).
+  std::string board_id = "aws-f1";
+  double target_frequency_mhz = 200.0;
+};
+
+enum class Deployment { kOnPremise, kCloud };
+
+struct FlowOptions {
+  Deployment deployment = Deployment::kOnPremise;
+  /// Run the automated model-driven DSE before planning. When false the
+  /// user-provided parallelism annotations are used as-is (the paper's
+  /// "human intervention" mode).
+  bool run_dse = false;
+  hw::DseOptions dse;
+  hls::SynthesisOptions synthesis;
+  /// Cloud staging bucket (created if missing).
+  std::string s3_bucket = "condor-artifacts";
+  /// When set, artifacts (xclbin, weights, host code, reports, HLS sources)
+  /// are also written under this directory.
+  std::optional<std::string> output_dir;
+};
+
+/// Everything the flow produces.
+struct FlowResult {
+  hw::HwNetwork network;          ///< post-DSE configuration
+  nn::WeightStore weights;
+  hw::AcceleratorPlan plan;
+  std::vector<hls::GeneratedSource> sources;
+  hls::SynthesisReport synthesis;
+  runtime::Xclbin xclbin;
+  std::vector<std::byte> xclbin_bytes;
+  std::vector<std::byte> weight_file_bytes;
+  std::string kernel_name;
+  std::string host_code;
+  std::optional<cloud::AfiRecord> afi;  ///< cloud deployments only
+};
+
+/// Step 1 in isolation (exposed for tests): resolves the frontend input to
+/// a hardware-annotated network + weights.
+Result<std::pair<hw::HwNetwork, nn::WeightStore>> analyze_input(
+    const FrontendInput& input);
+
+class Flow {
+ public:
+  /// On-premise runs need no cloud environment; cloud runs require both.
+  static Result<FlowResult> run(const FrontendInput& input,
+                                const FlowOptions& options,
+                                cloud::ObjectStore* store = nullptr,
+                                cloud::AfiService* afi_service = nullptr);
+};
+
+}  // namespace condor::condorflow

@@ -1,0 +1,23 @@
+// Default host code generation (paper §3.3 step 7):
+//
+//   "We also generate and provide the user with a default host code to run
+//    and test the performance of the resulting accelerator. The user can
+//    use this code as is or edit and adapt it according to her needs."
+//
+// The emitted program targets the condor::runtime::ocl API (the SDAccel
+// OpenCL stand-in), loads the xclbin and the external weight file, streams
+// a batch through the kernel and prints throughput.
+#pragma once
+
+#include <string>
+
+#include "hw/hw_ir.hpp"
+
+namespace condor::condorflow {
+
+/// Emits the default host program for `network`'s accelerator. `kernel_name`
+/// must match the kernel registered in the xclbin's meta.json.
+std::string generate_host_code(const hw::HwNetwork& network,
+                               const std::string& kernel_name);
+
+}  // namespace condor::condorflow

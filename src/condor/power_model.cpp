@@ -1,0 +1,15 @@
+#include "condor/power_model.hpp"
+
+namespace condor::condorflow {
+
+double estimate_power_w(const hw::BoardSpec& board, const hw::Resources& used,
+                        double frequency_mhz, const PowerModel& model) {
+  const double hz = frequency_mhz * 1e6;
+  const double dynamic =
+      model.watts_per_dsp_hz * static_cast<double>(used.dsps) * hz +
+      model.watts_per_bram_hz * static_cast<double>(used.bram36) * hz +
+      model.watts_per_logic_hz * static_cast<double>(used.luts + used.ffs) * hz;
+  return board.static_power_w + dynamic;
+}
+
+}  // namespace condor::condorflow

@@ -1,0 +1,25 @@
+// Board power model.
+//
+// F1 instances expose no power telemetry; the paper's GFLOPS/W figures
+// imply roughly 4-6 W board power for both designs. This model combines the
+// board's static (shell + idle fabric) power with activity-proportional
+// dynamic terms per resource class, the standard CMOS P ≈ α·C·V²·f form
+// collapsed into per-resource coefficients calibrated to that range.
+#pragma once
+
+#include "hw/board.hpp"
+#include "hw/resource_model.hpp"
+
+namespace condor::condorflow {
+
+struct PowerModel {
+  double watts_per_dsp_hz = 30e-12;    ///< W / (DSP * Hz)
+  double watts_per_bram_hz = 15e-12;   ///< W / (BRAM36 * Hz)
+  double watts_per_logic_hz = 12e-15;  ///< W / ((LUT+FF) * Hz)
+};
+
+/// Total board power of a design at `frequency_mhz`.
+double estimate_power_w(const hw::BoardSpec& board, const hw::Resources& used,
+                        double frequency_mhz, const PowerModel& model = {});
+
+}  // namespace condor::condorflow

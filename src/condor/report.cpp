@@ -1,0 +1,47 @@
+#include "condor/report.hpp"
+
+#include "common/strings.hpp"
+#include "hw/performance_model.hpp"
+#include "sim/accel_sim.hpp"
+
+namespace condor::condorflow {
+
+Result<DeploymentReport> make_deployment_report(const FlowResult& result,
+                                                const PowerModel& power) {
+  DeploymentReport report;
+  report.name = result.network.net.name();
+  const hw::BoardSpec& board = result.plan.board;
+  report.lut_pct = result.synthesis.resources.lut_percent(board);
+  report.ff_pct = result.synthesis.resources.ff_percent(board);
+  report.dsp_pct = result.synthesis.resources.dsp_percent(board);
+  report.bram_pct = result.synthesis.resources.bram_percent(board);
+  report.achieved_mhz = result.synthesis.achieved_clock_mhz;
+
+  CONDOR_ASSIGN_OR_RETURN(
+      hw::PerformanceEstimate perf,
+      hw::estimate_performance(result.plan, result.synthesis.resources,
+                               report.achieved_mhz));
+  const sim::AcceleratorSim accel_sim = sim::build_accelerator_sim(perf);
+  CONDOR_ASSIGN_OR_RETURN(report.gflops, sim::steady_state_gflops(accel_sim));
+
+  report.power_w = estimate_power_w(board, result.synthesis.resources.total,
+                                    report.achieved_mhz, power);
+  report.gflops_per_w =
+      report.power_w > 0.0 ? report.gflops / report.power_w : 0.0;
+  return report;
+}
+
+std::string format_deployment_table(const std::vector<DeploymentReport>& rows) {
+  std::string out = strings::format("%-8s %7s %7s %7s %7s %8s %8s %10s\n", "",
+                                    "LUT %", "FF %", "DSP %", "BRAM %", "MHz",
+                                    "GFLOPS", "GFLOPS/W");
+  for (const DeploymentReport& row : rows) {
+    out += strings::format("%-8s %7.2f %7.2f %7.2f %7.2f %8.0f %8.2f %10.2f\n",
+                           row.name.c_str(), row.lut_pct, row.ff_pct, row.dsp_pct,
+                           row.bram_pct, row.achieved_mhz, row.gflops,
+                           row.gflops_per_w);
+  }
+  return out;
+}
+
+}  // namespace condor::condorflow

@@ -1,0 +1,36 @@
+// Deployment reporting: the rows of the paper's Table 1 (resource
+// occupation, performance, power efficiency of an F1 deployment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "condor/flow.hpp"
+#include "condor/power_model.hpp"
+
+namespace condor::condorflow {
+
+/// One evaluated deployment (one row of Table 1).
+struct DeploymentReport {
+  std::string name;
+  double lut_pct = 0.0;
+  double ff_pct = 0.0;
+  double dsp_pct = 0.0;
+  double bram_pct = 0.0;
+  double achieved_mhz = 0.0;
+  double gflops = 0.0;       ///< steady-state, from the cycle simulation
+  double power_w = 0.0;
+  double gflops_per_w = 0.0;
+};
+
+/// Derives the report from a completed flow run: utilization from the
+/// synthesis report, GFLOPS from a long simulated batch at the achieved
+/// clock, power from the power model.
+Result<DeploymentReport> make_deployment_report(const FlowResult& result,
+                                                const PowerModel& power = {});
+
+/// Formats reports in the layout of paper Table 1.
+std::string format_deployment_table(const std::vector<DeploymentReport>& rows);
+
+}  // namespace condor::condorflow

@@ -1,0 +1,110 @@
+// Datamover halves: the custom module that "exchanges data with the
+// accelerator using streaming connections" (paper §3.2). In the functional
+// simulation the input half streams the batch's images from (simulated)
+// on-board memory into the first PE, and the output half collects result
+// blobs. Weight streaming is implicit: PE programs hold references into the
+// WeightStore, which stands in for the weight regions of on-board memory.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/fifo.hpp"
+#include "dataflow/module.hpp"
+#include "dataflow/program.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::dataflow {
+
+/// Streams each input tensor's elements in CHW raster order.
+class InputMoverModule final : public Module {
+ public:
+  InputMoverModule(std::string name, const std::vector<Tensor>& inputs, Stream& out)
+      : Module(std::move(name)), inputs_(inputs), out_(out) {}
+
+  Status run() override {
+    for (const Tensor& image : inputs_) {
+      for (const float value : image.data()) {
+        out_.write(value);
+      }
+    }
+    out_.close();
+    return Status::ok();
+  }
+
+ private:
+  const std::vector<Tensor>& inputs_;
+  Stream& out_;
+};
+
+/// Streams a PE's weights from (simulated) on-board memory, in canonical
+/// order: per weighted pass, the weight tensor row-major, then the bias.
+/// `repeats` = batch size for feature PEs (slices re-fetched per image) or
+/// 1 for classifier PEs (runtime configuration load, then chip-resident).
+class WeightMoverModule final : public Module {
+ public:
+  WeightMoverModule(std::string name, const PeProgram& program,
+                    std::size_t repeats, Stream& out)
+      : Module(std::move(name)), program_(program), repeats_(repeats), out_(out) {}
+
+  Status run() override {
+    for (std::size_t r = 0; r < repeats_; ++r) {
+      for (const LayerPass& pass : program_.passes) {
+        if (pass.params == nullptr) {
+          continue;
+        }
+        for (const float value : pass.params->weights.data()) {
+          out_.write(value);
+        }
+        for (const float value : pass.params->bias.data()) {
+          out_.write(value);
+        }
+      }
+    }
+    out_.close();
+    return Status::ok();
+  }
+
+ private:
+  const PeProgram& program_;
+  std::size_t repeats_;
+  Stream& out_;
+};
+
+/// Collects `batch` output blobs of `output_shape` from the final stream.
+class OutputMoverModule final : public Module {
+ public:
+  OutputMoverModule(std::string name, std::size_t batch, Shape output_shape,
+                    Stream& in)
+      : Module(std::move(name)),
+        batch_(batch),
+        output_shape_(std::move(output_shape)),
+        in_(in) {}
+
+  Status run() override {
+    outputs_.reserve(batch_);
+    for (std::size_t image = 0; image < batch_; ++image) {
+      Tensor blob(output_shape_);
+      for (float& value : blob.data()) {
+        if (!in_.read(value)) {
+          return internal_error("output mover: stream ended early");
+        }
+      }
+      outputs_.push_back(std::move(blob));
+    }
+    float extra = 0.0F;
+    if (in_.read(extra)) {
+      return internal_error("output mover: trailing elements in stream");
+    }
+    return Status::ok();
+  }
+
+  [[nodiscard]] std::vector<Tensor>& outputs() noexcept { return outputs_; }
+
+ private:
+  std::size_t batch_;
+  Shape output_shape_;
+  Stream& in_;
+  std::vector<Tensor> outputs_;
+};
+
+}  // namespace condor::dataflow

@@ -1,0 +1,176 @@
+#include "dataflow/executor.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+#include "dataflow/datamover.hpp"
+#include "dataflow/filter.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/pe.hpp"
+#include "dataflow/program.hpp"
+#include "nn/reference.hpp"
+
+namespace condor::dataflow {
+namespace {
+
+/// Capacity of the mux -> first-filter stream and of small glue FIFOs.
+constexpr std::size_t kGlueFifoDepth = 8;
+
+}  // namespace
+
+Result<AcceleratorExecutor> AcceleratorExecutor::create(hw::AcceleratorPlan plan,
+                                                        nn::WeightStore weights) {
+  CONDOR_RETURN_IF_ERROR(weights.validate_against(plan.source.net));
+  return AcceleratorExecutor(std::move(plan), std::move(weights));
+}
+
+Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
+    const std::vector<Tensor>& inputs) {
+  if (inputs.empty()) {
+    return std::vector<Tensor>{};
+  }
+  CONDOR_ASSIGN_OR_RETURN(Shape input_shape, plan_.source.net.input_shape());
+  for (const Tensor& image : inputs) {
+    if (image.shape() != input_shape) {
+      return invalid_input(strings::format(
+          "input shape %s does not match network input %s",
+          image.shape().to_string().c_str(), input_shape.to_string().c_str()));
+    }
+  }
+  const std::size_t batch = inputs.size();
+
+  // The programs reference the weight store and the plan; both outlive the
+  // graph run below.
+  std::vector<PeProgram> programs;
+  programs.reserve(plan_.pes.size());
+  for (std::size_t p = 0; p < plan_.pes.size(); ++p) {
+    CONDOR_ASSIGN_OR_RETURN(PeProgram program,
+                            build_pe_program(plan_, p, weights_));
+    programs.push_back(std::move(program));
+  }
+
+  Graph graph;
+
+  // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover), using
+  // the depths the plan assigned to the stream edges.
+  std::vector<Stream*> pe_streams;  // pe_streams[p] = input stream of PE p
+  pe_streams.reserve(plan_.pes.size() + 1);
+  for (std::size_t e = 0; e < plan_.edges.size(); ++e) {
+    pe_streams.push_back(&graph.make_stream(
+        plan_.edges[e].fifo_depth, strings::format("stream_edge_%zu", e)));
+  }
+
+  // The output blob shape the sink collects: the last PE's emission.
+  const std::size_t out_elements = programs.back().output_elements();
+
+  for (std::size_t p = 0; p < plan_.pes.size(); ++p) {
+    const hw::PePlan& pe = plan_.pes[p];
+    const PeProgram& program = programs[p];
+    Stream& external_in = *pe_streams[p];
+    Stream& pe_out = *pe_streams[p + 1];
+
+    // Weight delivery from the datamover: classifier PEs get a one-time
+    // configuration load; feature PEs receive their slices per image.
+    Stream* weight_stream = nullptr;
+    if (program.weight_stream_elements() > 0) {
+      weight_stream = &graph.make_stream(256, pe.name + "_weights");
+      const std::size_t repeats =
+          pe.kind == hw::PeKind::kClassifier ? 1 : batch;
+      graph.add_module<WeightMoverModule>(pe.name + "_weight_mover", program,
+                                          repeats, *weight_stream);
+    }
+
+    if (pe.kind == hw::PeKind::kClassifier) {
+      graph.add_module<ClassifierPeModule>(pe.name, program, batch, external_in,
+                                           weight_stream, pe_out);
+      continue;
+    }
+
+    // Feature / element-wise PE: source mux + one replicated filter chain
+    // per concurrently-read input map (parallel_in, paper §3.2) + PE.
+    const hw::MemoryPipelinePlan& memory = *pe.memory;
+    const std::size_t window_h = std::max<std::size_t>(memory.window_h, 1);
+    const std::size_t window_w = std::max<std::size_t>(memory.window_w, 1);
+    const std::size_t lanes = std::max<std::size_t>(pe.parallel_in, 1);
+
+    Stream* loopback = nullptr;
+    if (program.passes.size() > 1) {
+      loopback = &graph.make_stream(
+          std::max<std::size_t>(program.max_loopback_elements(), 1),
+          pe.name + "_loopback");
+    }
+    std::vector<Stream*> chain_heads;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      chain_heads.push_back(&graph.make_stream(
+          kGlueFifoDepth,
+          strings::format("%s_chain_in_l%zu", pe.name.c_str(), lane)));
+    }
+    graph.add_module<SourceMuxModule>(pe.name + "_mux", program, batch,
+                                      external_in, loopback, chain_heads);
+
+    // Filter chains in lexicographically inverse access order; each
+    // filter's PE-port stream holds one output row of skid (decouples the
+    // software thread schedule; in hardware these are direct wires).
+    const std::size_t port_depth = std::max<std::size_t>(memory.map_w, 4);
+    std::vector<Stream*> ports(lanes * window_h * window_w, nullptr);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      Stream* upstream = chain_heads[lane];
+      for (std::size_t f = 0; f < memory.filters.size(); ++f) {
+        const hw::FilterNode& node = memory.filters[f];
+        const bool last = f + 1 == memory.filters.size();
+        Stream* downstream = nullptr;
+        if (!last) {
+          downstream = &graph.make_stream(
+              node.fifo_to_next_depth,
+              strings::format("%s_chain_l%zu_%zu", pe.name.c_str(), lane, f));
+        }
+        Stream& port = graph.make_stream(
+            port_depth,
+            strings::format("%s_port_l%zu_%zu_%zu", pe.name.c_str(), lane,
+                            node.access.ky, node.access.kx));
+        ports[lane * window_h * window_w + node.access.ky * window_w +
+              node.access.kx] = &port;
+        graph.add_module<FilterModule>(
+            strings::format("%s_filter_l%zu_%zu_%zu", pe.name.c_str(), lane,
+                            node.access.ky, node.access.kx),
+            node.access, program, batch, lane, lanes, *upstream, downstream,
+            port);
+        upstream = downstream;
+      }
+    }
+
+    graph.add_module<FeaturePeModule>(pe.name, program, batch, window_h,
+                                      window_w, lanes, std::move(ports),
+                                      weight_stream, loopback, pe_out);
+  }
+
+  // Datamover halves.
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_.source.net.infer_shapes());
+  Shape output_shape{out_elements};
+  // Recover the true blob shape of the last mapped layer for nicer output.
+  const std::size_t last_layer = plan_.pes.back().layer_indices.back();
+  if (shapes[last_layer].output.element_count() == out_elements) {
+    output_shape = shapes[last_layer].output;
+  }
+  graph.add_module<InputMoverModule>("datamover_in", inputs, *pe_streams.front());
+  auto& sink = graph.add_module<OutputMoverModule>("datamover_out", batch,
+                                                   output_shape,
+                                                   *pe_streams.back());
+
+  CONDOR_RETURN_IF_ERROR(graph.run());
+
+  stats_.modules = graph.module_count();
+  stats_.streams = graph.stream_count();
+  stats_.stream_stats = graph.stream_stats();
+
+  std::vector<Tensor> outputs = std::move(sink.outputs());
+  if (plan_.softmax_on_host) {
+    // The generated host code applies the normalization layer (paper eq. 5).
+    for (Tensor& blob : outputs) {
+      blob = nn::forward_softmax(blob);
+    }
+  }
+  return outputs;
+}
+
+}  // namespace condor::dataflow

@@ -1,0 +1,57 @@
+// AcceleratorExecutor: functional execution of an accelerator plan.
+//
+// For each batch it instantiates the full spatial design as a Kahn process
+// network — datamover, per-PE source mux + filter chain + FIFOs + PE, the
+// inter-PE streams — runs it with one thread per module, and returns the
+// output blobs. Host-side softmax (when the plan defers it) is applied to
+// the collected outputs, matching the generated host code of the real flow.
+//
+// The execution is bit-exact against nn::ReferenceEngine: identical
+// accumulation orders and activation functions. That equivalence is the
+// core correctness property of the reproduction and is enforced by the
+// integration test suite over every model in the zoo.
+#pragma once
+
+#include <memory>
+
+#include "common/status.hpp"
+#include "dataflow/fifo.hpp"
+#include "hw/accel_plan.hpp"
+#include "nn/weights.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::dataflow {
+
+/// Statistics from one batch run (module/FIFO census for reports + tests).
+struct RunStats {
+  std::size_t modules = 0;
+  std::size_t streams = 0;
+  std::vector<FifoStats> stream_stats;
+};
+
+class AcceleratorExecutor {
+ public:
+  /// Validates that `weights` covers the plan's network. The WeightStore is
+  /// copied in (the accelerator "loads the weights at runtime").
+  static Result<AcceleratorExecutor> create(hw::AcceleratorPlan plan,
+                                            nn::WeightStore weights);
+
+  /// Runs a batch through the spatial pipeline; inputs must match the
+  /// network input shape. Returns one output blob per input.
+  Result<std::vector<Tensor>> run_batch(const std::vector<Tensor>& inputs);
+
+  /// Statistics of the most recent run_batch call.
+  [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
+
+  [[nodiscard]] const hw::AcceleratorPlan& plan() const noexcept { return plan_; }
+
+ private:
+  AcceleratorExecutor(hw::AcceleratorPlan plan, nn::WeightStore weights)
+      : plan_(std::move(plan)), weights_(std::move(weights)) {}
+
+  hw::AcceleratorPlan plan_;
+  nn::WeightStore weights_;
+  RunStats stats_;
+};
+
+}  // namespace condor::dataflow

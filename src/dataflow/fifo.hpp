@@ -1,0 +1,109 @@
+// Bounded blocking FIFO channel — the communication primitive of the
+// accelerator (paper §3.2: "independent elements communicating over FIFOs
+// ... using blocking reads and writes").
+//
+// Semantics match a hardware stream FIFO plus Kahn-process-network
+// termination: writes block while full, reads block while empty, and
+// close() lets readers drain remaining elements before read() reports
+// end-of-stream. Occupancy statistics feed the FIFO-sizing ablation bench.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace condor::dataflow {
+
+/// Occupancy/throughput counters, sampled under the FIFO lock.
+struct FifoStats {
+  std::size_t capacity = 0;
+  std::size_t max_occupancy = 0;   ///< high-water mark
+  std::uint64_t total_writes = 0;
+  std::uint64_t write_blocks = 0;  ///< writes that found the FIFO full
+  std::uint64_t read_blocks = 0;   ///< reads that found the FIFO empty
+};
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity, std::string name = {})
+      : capacity_(capacity == 0 ? 1 : capacity),
+        name_(std::move(name)),
+        ring_(capacity_) {}
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  /// Blocking write; must not be called after close().
+  void write(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == capacity_) {
+      ++stats_.write_blocks;
+      not_full_.wait(lock, [this] { return size_ < capacity_; });
+    }
+    ring_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+    ++stats_.total_writes;
+    if (size_ > stats_.max_occupancy) {
+      stats_.max_occupancy = size_;
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Blocking read. Returns false when the FIFO is closed and drained.
+  bool read(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (size_ == 0 && !closed_) {
+      ++stats_.read_blocks;
+    }
+    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
+    if (size_ == 0) {
+      return false;  // closed and drained
+    }
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Producer signals end-of-stream; readers drain then see EOS.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] FifoStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    FifoStats out = stats_;
+    out.capacity = capacity_;
+    return out;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+  FifoStats stats_;
+};
+
+/// All accelerator streams carry single-precision floats.
+using Stream = Fifo<float>;
+
+}  // namespace condor::dataflow

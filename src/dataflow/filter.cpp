@@ -1,0 +1,93 @@
+#include "dataflow/filter.hpp"
+
+namespace condor::dataflow {
+
+bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pass,
+                             std::size_t y, std::size_t x) noexcept {
+  if (y < access.ky || x < access.kx) {
+    return false;
+  }
+  const std::size_t ry = y - access.ky;
+  const std::size_t rx = x - access.kx;
+  if (ry % pass.stride != 0 || rx % pass.stride != 0) {
+    return false;
+  }
+  return ry / pass.stride < pass.out_h && rx / pass.stride < pass.out_w;
+}
+
+Status FilterModule::run() {
+  for (std::size_t image = 0; image < batch_; ++image) {
+    for (const LayerPass& pass : program_.passes) {
+      if (pass.kind == PassKind::kInnerProduct) {
+        continue;  // classifier passes bypass the memory subsystem
+      }
+      // Conditional for fused layers with a smaller window: this access
+      // point is outside the active window, so the filter only forwards.
+      const bool active =
+          access_.ky < pass.window_h && access_.kx < pass.window_w;
+      for (std::size_t c = lane_; c < pass.in_channels; c += lane_count_) {
+        for (std::size_t y = 0; y < pass.in_h; ++y) {
+          for (std::size_t x = 0; x < pass.in_w; ++x) {
+            float value = 0.0F;
+            if (!upstream_.read(value)) {
+              return internal_error("filter '" + name() +
+                                    "': upstream ended mid-pass");
+            }
+            if (active && in_domain(access_, pass, y, x)) {
+              to_pe_.write(value);
+            }
+            if (downstream_ != nullptr) {
+              downstream_->write(value);
+            }
+          }
+        }
+      }
+    }
+  }
+  to_pe_.close();
+  if (downstream_ != nullptr) {
+    downstream_->close();
+  }
+  return Status::ok();
+}
+
+Status SourceMuxModule::run() {
+  for (std::size_t image = 0; image < batch_; ++image) {
+    for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+      const LayerPass& pass = program_.passes[pi];
+      if (pass.kind == PassKind::kInnerProduct) {
+        continue;
+      }
+      Stream* source = pi == 0 ? &external_ : loopback_;
+      if (source == nullptr) {
+        return internal_error("mux '" + name() + "': missing loopback stream");
+      }
+      const std::size_t inner_h = pass.in_h - 2 * pass.pad;
+      const std::size_t inner_w = pass.in_w - 2 * pass.pad;
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        Stream& out = *outs_[c % outs_.size()];
+        for (std::size_t y = 0; y < pass.in_h; ++y) {
+          for (std::size_t x = 0; x < pass.in_w; ++x) {
+            const bool border = y < pass.pad || x < pass.pad ||
+                                y >= pass.pad + inner_h || x >= pass.pad + inner_w;
+            if (border) {
+              out.write(0.0F);  // zero padding inserted at the chain entrance
+              continue;
+            }
+            float value = 0.0F;
+            if (!source->read(value)) {
+              return internal_error("mux '" + name() + "': source ended mid-pass");
+            }
+            out.write(value);
+          }
+        }
+      }
+    }
+  }
+  for (Stream* out : outs_) {
+    out->close();
+  }
+  return Status::ok();
+}
+
+}  // namespace condor::dataflow

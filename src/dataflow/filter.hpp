@@ -1,0 +1,103 @@
+// Stencil filter module — one access point of the sliding window.
+//
+// Paper §3.2: "Within a pipeline, each filter represents an access to the
+// input feature map (a point of the sliding window) and extracts the
+// elements from the input stream that belong to its data domain, sending
+// them to the PE. It also sends each element read to the subsequent filter
+// writing to the FIFO in between them."
+//
+// The data domain of access (ky, kx) for a given layer pass is the set of
+// inequalities, evaluated per element coordinate (y, x):
+//
+//     y >= ky                 x >= kx
+//     (y - ky) mod s == 0     (x - kx) mod s == 0
+//     (y - ky) / s < out_h    (x - kx) / s < out_w
+//
+// i.e. the element is the (ky, kx) window entry of some output point. The
+// matching elements leave toward the PE in output raster order, which is
+// exactly the order the PE consumes them.
+//
+// Conditionals for fused layers (paper: "a set of conditionals within the
+// filters then ensures that the pipeline works properly ... according to
+// the currently active layer"): when the active pass's window is smaller
+// than this filter's access offset, the filter goes passive — it forwards
+// the stream but contributes no window elements.
+#pragma once
+
+#include "dataflow/fifo.hpp"
+#include "dataflow/module.hpp"
+#include <vector>
+
+#include "dataflow/program.hpp"
+
+namespace condor::dataflow {
+
+class FilterModule final : public Module {
+ public:
+  /// `downstream` is null for the last filter of the chain (its elements
+  /// are the oldest live data and simply expire). `to_pe` carries matched
+  /// window elements. `program`/`batch` define the deterministic schedule.
+  /// With inter-layer parallelism the memory subsystem is replicated per
+  /// concurrently-read map: this chain is `lane` of `lane_count`, and sees
+  /// the input channels c with c % lane_count == lane.
+  FilterModule(std::string name, hw::WindowAccess access, const PeProgram& program,
+               std::size_t batch, std::size_t lane, std::size_t lane_count,
+               Stream& upstream, Stream* downstream, Stream& to_pe)
+      : Module(std::move(name)),
+        access_(access),
+        program_(program),
+        batch_(batch),
+        lane_(lane),
+        lane_count_(lane_count),
+        upstream_(upstream),
+        downstream_(downstream),
+        to_pe_(to_pe) {}
+
+  Status run() override;
+
+  /// Domain-membership test for one coordinate (exposed for unit tests).
+  static bool in_domain(const hw::WindowAccess& access, const LayerPass& pass,
+                        std::size_t y, std::size_t x) noexcept;
+
+ private:
+  hw::WindowAccess access_;
+  const PeProgram& program_;
+  std::size_t batch_;
+  std::size_t lane_;
+  std::size_t lane_count_;
+  Stream& upstream_;
+  Stream* downstream_;
+  Stream& to_pe_;
+};
+
+/// Source multiplexer feeding a feature PE's filter chains.
+//
+// Selects the external stream for the first pass and the PE's loopback
+// stream for subsequent fused passes, inserts the zero border for padded
+// convolutions (border handling happens at the chain entrance so filters
+// operate on padded coordinates only), and deals input channel c to chain
+// lane c % lanes (the replicated memory subsystems of inter-layer
+// parallelism).
+class SourceMuxModule final : public Module {
+ public:
+  /// `loopback` may be null when the program has a single pass.
+  SourceMuxModule(std::string name, const PeProgram& program, std::size_t batch,
+                  Stream& external, Stream* loopback, std::vector<Stream*> outs)
+      : Module(std::move(name)),
+        program_(program),
+        batch_(batch),
+        external_(external),
+        loopback_(loopback),
+        outs_(std::move(outs)) {}
+
+  Status run() override;
+
+ private:
+  const PeProgram& program_;
+  std::size_t batch_;
+  Stream& external_;
+  Stream* loopback_;
+  std::vector<Stream*> outs_;
+};
+
+}  // namespace condor::dataflow

@@ -1,0 +1,50 @@
+#include "dataflow/graph.hpp"
+
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace condor::dataflow {
+
+Stream& Graph::make_stream(std::size_t capacity, std::string name) {
+  streams_.push_back(std::make_unique<Stream>(capacity, std::move(name)));
+  return *streams_.back();
+}
+
+Status Graph::run() {
+  std::vector<Status> statuses(modules_.size());
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(modules_.size());
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      threads.emplace_back([this, i, &statuses] {
+        statuses[i] = modules_[i]->run();
+        if (!statuses[i].is_ok()) {
+          CONDOR_LOG_ERROR("dataflow")
+              << "module '" << modules_[i]->name()
+              << "' failed: " << statuses[i].to_string();
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  for (const Status& status : statuses) {
+    if (!status.is_ok()) {
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<FifoStats> Graph::stream_stats() const {
+  std::vector<FifoStats> out;
+  out.reserve(streams_.size());
+  for (const auto& stream : streams_) {
+    out.push_back(stream->stats());
+  }
+  return out;
+}
+
+}  // namespace condor::dataflow

@@ -1,0 +1,52 @@
+// Dataflow graph container and threaded runner.
+//
+// Owns the modules and stream FIFOs of one accelerator instance and
+// executes them Kahn-process-network style: one thread per module, all
+// threads joined before run() returns (no detached work). The first module
+// error is reported; remaining modules are still joined (blocking channels
+// guarantee progress or termination because an erroring module closes its
+// outputs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataflow/fifo.hpp"
+#include "dataflow/module.hpp"
+
+namespace condor::dataflow {
+
+class Graph {
+ public:
+  /// Creates a stream FIFO owned by the graph.
+  Stream& make_stream(std::size_t capacity, std::string name);
+
+  /// Adds a module (construction order is irrelevant to execution).
+  template <typename M, typename... Args>
+  M& add_module(Args&&... args) {
+    auto module = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *module;
+    modules_.push_back(std::move(module));
+    return ref;
+  }
+
+  /// Runs every module on its own thread and joins them all.
+  /// Returns the first module failure (by module order), or OK.
+  Status run();
+
+  [[nodiscard]] std::size_t module_count() const noexcept { return modules_.size(); }
+  [[nodiscard]] std::size_t stream_count() const noexcept { return streams_.size(); }
+
+  /// Post-run FIFO statistics (name + counters), for the ablation benches.
+  [[nodiscard]] std::vector<FifoStats> stream_stats() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Stream>>& streams() const noexcept {
+    return streams_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace condor::dataflow

@@ -1,0 +1,33 @@
+// Actor base class for dataflow modules (filters, PEs, datamover halves).
+//
+// Each module runs as one thread (the KPN execution of the spatial design)
+// and communicates exclusively through Fifo channels, mirroring the
+// independent always-running hardware blocks of the accelerator.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace condor::dataflow {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// The module body: consume inputs, produce outputs, return when the
+  /// configured workload (batch of images) is complete. An error status
+  /// aborts the whole graph run.
+  virtual Status run() = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace condor::dataflow

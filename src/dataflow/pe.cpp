@@ -1,0 +1,231 @@
+#include "dataflow/pe.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "nn/layer.hpp"
+
+namespace condor::dataflow {
+namespace {
+
+/// Drains `count` elements from a weight stream into `buffer`.
+Status read_weights(Stream* stream, std::size_t count, std::vector<float>& buffer,
+                    const std::string& pe_name) {
+  buffer.resize(count);
+  for (float& value : buffer) {
+    if (stream == nullptr || !stream->read(value)) {
+      return internal_error("PE '" + pe_name + "': weight stream ended early");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status FeaturePeModule::run() {
+  std::vector<float> weight_buffer;
+  std::vector<float> bias_buffer;
+  for (std::size_t image = 0; image < batch_; ++image) {
+    for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+      const LayerPass& pass = program_.passes[pi];
+      const bool last = pi + 1 == program_.passes.size();
+      Stream* sink = last ? &out_ : loopback_;
+      if (sink == nullptr) {
+        return internal_error("PE '" + name() + "': missing loopback stream");
+      }
+      // The datamover delivers this pass's weight slice per image (the
+      // full set streams from on-board memory, paper §3.2).
+      if (pass.params != nullptr) {
+        CONDOR_RETURN_IF_ERROR(read_weights(
+            weights_, pass.params->weights.size(), weight_buffer, name()));
+        CONDOR_RETURN_IF_ERROR(read_weights(
+            weights_, pass.params->bias.size(), bias_buffer, name()));
+      } else {
+        weight_buffer.clear();
+        bias_buffer.clear();
+      }
+      CONDOR_RETURN_IF_ERROR(run_pass(pass, *sink, weight_buffer, bias_buffer));
+    }
+  }
+  out_.close();
+  if (loopback_ != nullptr) {
+    loopback_->close();
+  }
+  return Status::ok();
+}
+
+Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
+                                 std::span<const float> weights,
+                                 std::span<const float> bias) {
+  // Window staging registers (row-major over the active window). Channel
+  // c's window arrives on chain lane c % lanes.
+  std::vector<float> window(pass.window_h * pass.window_w, 0.0F);
+  const std::size_t lane_stride = window_h_max_ * window_w_max_;
+
+  const auto read_window = [&](std::size_t lane) -> Status {
+    for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+      for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+        Stream* port = ports_[lane * lane_stride + ky * window_w_max_ + kx];
+        float value = 0.0F;
+        if (!port->read(value)) {
+          return internal_error("PE '" + name() + "': port stream ended early");
+        }
+        window[ky * pass.window_w + kx] = value;
+      }
+    }
+    return Status::ok();
+  };
+
+  switch (pass.kind) {
+    case PassKind::kConvolution: {
+      // Weight layout in the stream: row-major (oc, ic, ky, kx), the same
+      // order the weight tensor stores.
+      const std::size_t window_size = pass.window_h * pass.window_w;
+      const auto weight_at = [&](std::size_t oc, std::size_t ic, std::size_t ky,
+                                 std::size_t kx) {
+        return weights[((oc * pass.in_channels + ic) * pass.window_h + ky) *
+                           pass.window_w +
+                       kx];
+      };
+      (void)window_size;
+
+      // Accumulators for all output maps, seeded with the bias so the
+      // overall addition sequence matches the reference engine exactly.
+      std::vector<float> acc(pass.output_elements(), 0.0F);
+      const std::size_t map_points = pass.out_h * pass.out_w;
+      for (std::size_t oc = 0; oc < pass.out_channels; ++oc) {
+        const float seed = pass.has_bias ? bias[oc] : 0.0F;
+        std::fill_n(acc.begin() + static_cast<std::ptrdiff_t>(oc * map_points),
+                    map_points, seed);
+      }
+      for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
+        for (std::size_t point = 0; point < map_points; ++point) {
+          CONDOR_RETURN_IF_ERROR(read_window(ic % lanes_));
+          for (std::size_t oc = 0; oc < pass.out_channels; ++oc) {
+            float partial = acc[oc * map_points + point];
+            for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+              for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+                partial +=
+                    weight_at(oc, ic, ky, kx) * window[ky * pass.window_w + kx];
+              }
+            }
+            acc[oc * map_points + point] = partial;
+          }
+        }
+      }
+      for (float value : acc) {
+        sink.write(nn::apply_activation(pass.activation, value));
+      }
+      return Status::ok();
+    }
+
+    case PassKind::kPooling: {
+      const float window_size =
+          static_cast<float>(pass.window_h * pass.window_w);
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        for (std::size_t point = 0; point < pass.out_h * pass.out_w; ++point) {
+          CONDOR_RETURN_IF_ERROR(read_window(c % lanes_));
+          float result = pass.pool_method == nn::PoolMethod::kMax
+                             ? -std::numeric_limits<float>::infinity()
+                             : 0.0F;
+          for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+            for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+              const float value = window[ky * pass.window_w + kx];
+              if (pass.pool_method == nn::PoolMethod::kMax) {
+                result = std::max(result, value);
+              } else {
+                result += value;
+              }
+            }
+          }
+          if (pass.pool_method == nn::PoolMethod::kAverage) {
+            result /= window_size;
+          }
+          sink.write(nn::apply_activation(pass.activation, result));
+        }
+      }
+      return Status::ok();
+    }
+
+    case PassKind::kElementwise: {
+      // 1x1 window: only access (0, 0) of the channel's lane.
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        Stream* port = ports_[(c % lanes_) * lane_stride];
+        for (std::size_t i = 0; i < pass.in_h * pass.in_w; ++i) {
+          float value = 0.0F;
+          if (!port->read(value)) {
+            return internal_error("PE '" + name() + "': port stream ended early");
+          }
+          sink.write(nn::apply_activation(pass.activation, value));
+        }
+      }
+      return Status::ok();
+    }
+
+    case PassKind::kInnerProduct:
+      return internal_error("feature PE cannot execute an inner-product pass");
+  }
+  return internal_error("unhandled pass kind");
+}
+
+Status ClassifierPeModule::run() {
+  // Runtime configuration load: the datamover delivers every pass's
+  // weights once; they stay resident for the whole batch.
+  std::vector<std::vector<float>> pass_weights(program_.passes.size());
+  std::vector<std::vector<float>> pass_bias(program_.passes.size());
+  for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+    const LayerPass& pass = program_.passes[pi];
+    if (pass.params == nullptr) {
+      continue;
+    }
+    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
+                                        pass_weights[pi], name()));
+    CONDOR_RETURN_IF_ERROR(
+        read_weights(weights_, pass.params->bias.size(), pass_bias[pi], name()));
+  }
+
+  for (std::size_t image = 0; image < batch_; ++image) {
+    // Stage the flattened input of the first pass.
+    std::vector<float> current(program_.passes.front().input_elements());
+    for (float& value : current) {
+      if (!in_.read(value)) {
+        return internal_error("PE '" + name() + "': input stream ended early");
+      }
+    }
+    for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+      const LayerPass& pass = program_.passes[pi];
+      switch (pass.kind) {
+        case PassKind::kInnerProduct: {
+          const std::size_t in_count = pass.input_elements();
+          const std::size_t out_count = pass.output_elements();
+          const std::vector<float>& weights = pass_weights[pi];
+          std::vector<float> next(out_count, 0.0F);
+          for (std::size_t l = 0; l < out_count; ++l) {
+            float acc = pass.has_bias ? pass_bias[pi][l] : 0.0F;
+            for (std::size_t h = 0; h < in_count; ++h) {
+              acc += weights[l * in_count + h] * current[h];
+            }
+            next[l] = nn::apply_activation(pass.activation, acc);
+          }
+          current = std::move(next);
+          break;
+        }
+        case PassKind::kElementwise: {
+          for (float& value : current) {
+            value = nn::apply_activation(pass.activation, value);
+          }
+          break;
+        }
+        default:
+          return internal_error("classifier PE got a windowed pass");
+      }
+    }
+    for (const float value : current) {
+      out_.write(value);
+    }
+  }
+  out_.close();
+  return Status::ok();
+}
+
+}  // namespace condor::dataflow

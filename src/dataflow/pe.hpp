@@ -1,0 +1,90 @@
+// Processing element modules.
+//
+// FeaturePeModule executes convolution / pooling / element-wise passes fed
+// by its memory subsystem (the filter chain): per input channel it receives
+// the full sliding window of every output point, one element per active
+// access port, in output raster order. Convolution accumulates into on-chip
+// output-map accumulators (seeded with the bias) so the input streams
+// through exactly once; accumulation order matches the golden reference
+// bit-for-bit (input channel outer, window row, window column).
+//
+// ClassifierPeModule implements fully-connected layers as single-input/
+// single-output 1x1-convolution PEs (paper §3.3 step 4): no memory
+// subsystem, weights resident on chip, one multiply-accumulate stream over
+// the flattened input.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/fifo.hpp"
+#include "dataflow/module.hpp"
+#include "dataflow/program.hpp"
+
+namespace condor::dataflow {
+
+class FeaturePeModule final : public Module {
+ public:
+  /// `ports[lane * window_h_max * window_w_max + ky * window_w_max + kx]`
+  /// is the stream from chain `lane`'s filter for access (ky, kx) — one
+  /// replicated chain per concurrently-read input map (inter-layer
+  /// parallelism); channel c belongs to lane c % lanes. `weights`
+  /// (nullable when no pass carries parameters) delivers the per-image
+  /// weight slices from the datamover; `loopback` (nullable) carries
+  /// intermediate fused-pass results back to the source mux; `out` is the
+  /// downstream PE stream.
+  FeaturePeModule(std::string name, const PeProgram& program, std::size_t batch,
+                  std::size_t window_h_max, std::size_t window_w_max,
+                  std::size_t lanes, std::vector<Stream*> ports, Stream* weights,
+                  Stream* loopback, Stream& out)
+      : Module(std::move(name)),
+        program_(program),
+        batch_(batch),
+        window_h_max_(window_h_max),
+        window_w_max_(window_w_max),
+        lanes_(lanes),
+        ports_(std::move(ports)),
+        weights_(weights),
+        loopback_(loopback),
+        out_(out) {}
+
+  Status run() override;
+
+ private:
+  Status run_pass(const LayerPass& pass, Stream& sink,
+                  std::span<const float> weights, std::span<const float> bias);
+
+  const PeProgram& program_;
+  std::size_t batch_;
+  std::size_t window_h_max_;
+  std::size_t window_w_max_;
+  std::size_t lanes_;
+  std::vector<Stream*> ports_;
+  Stream* weights_;
+  Stream* loopback_;
+  Stream& out_;
+};
+
+class ClassifierPeModule final : public Module {
+ public:
+  /// `weights` delivers the one-time runtime weight load (the classifier's
+  /// parameters stay chip-resident across the batch, per the methodology).
+  ClassifierPeModule(std::string name, const PeProgram& program, std::size_t batch,
+                     Stream& in, Stream* weights, Stream& out)
+      : Module(std::move(name)),
+        program_(program),
+        batch_(batch),
+        in_(in),
+        weights_(weights),
+        out_(out) {}
+
+  Status run() override;
+
+ private:
+  const PeProgram& program_;
+  std::size_t batch_;
+  Stream& in_;
+  Stream* weights_;
+  Stream& out_;
+};
+
+}  // namespace condor::dataflow

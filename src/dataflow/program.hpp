@@ -1,0 +1,85 @@
+// PeProgram: the per-image schedule of a PE and its memory subsystem.
+//
+// A PE may implement several fused logical layers (paper §3.2: "an
+// additional outer loop that iterates through the implemented layers, and a
+// set of conditionals to infer which input ports must be read"). The
+// program lists one LayerPass per fused layer; the filter modules, the
+// source multiplexer and the PE all iterate the same program so the stream
+// contents stay deterministic without control tokens — exactly like the
+// synthesized hardware, where the schedule is compiled into each module's
+// loop nest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/accel_plan.hpp"
+#include "nn/network.hpp"
+#include "nn/weights.hpp"
+
+namespace condor::dataflow {
+
+enum class PassKind { kConvolution, kPooling, kElementwise, kInnerProduct };
+
+/// One fused layer's geometry and parameters as seen by the dataflow
+/// modules. Spatial coordinates are in the *padded* frame: the source mux
+/// inserts the zero border, so filters and PEs never see padding logic.
+struct LayerPass {
+  PassKind kind = PassKind::kConvolution;
+  // Input geometry (padded).
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;  ///< includes 2*pad
+  std::size_t in_w = 0;
+  std::size_t pad = 0;   ///< zero border the mux inserts per side
+  // Window.
+  std::size_t window_h = 1;
+  std::size_t window_w = 1;
+  std::size_t stride = 1;
+  // Output geometry.
+  std::size_t out_channels = 0;
+  std::size_t out_h = 0;
+  std::size_t out_w = 0;
+  // Operation details.
+  nn::PoolMethod pool_method = nn::PoolMethod::kMax;
+  nn::Activation activation = nn::Activation::kNone;
+  bool has_bias = false;
+  const nn::LayerParameters* params = nullptr;  ///< conv / inner-product
+
+  [[nodiscard]] std::size_t input_elements() const noexcept {
+    return in_channels * in_h * in_w;
+  }
+  [[nodiscard]] std::size_t output_elements() const noexcept {
+    return out_channels * out_h * out_w;
+  }
+};
+
+/// The full schedule of one PE.
+struct PeProgram {
+  std::vector<LayerPass> passes;
+
+  /// Weight elements the datamover streams to this PE, in canonical order
+  /// (per weighted pass: all weights oc-major, then the biases). Feature
+  /// PEs receive this once per image (weight slices re-fetched from
+  /// on-board memory); classifier PEs once per batch (their weights are
+  /// resident on chip after the runtime load).
+  [[nodiscard]] std::size_t weight_stream_elements() const noexcept;
+
+  /// Elements entering the PE's subsystem from the upstream stream
+  /// (pass 0 input, *before* mux padding).
+  [[nodiscard]] std::size_t external_input_elements() const noexcept;
+  /// Elements the PE emits downstream (last pass output).
+  [[nodiscard]] std::size_t output_elements() const noexcept {
+    return passes.empty() ? 0 : passes.back().output_elements();
+  }
+  /// Largest intermediate blob routed through the loopback channel.
+  [[nodiscard]] std::size_t max_loopback_elements() const noexcept;
+};
+
+/// Builds the program for plan.pes[pe_index], resolving weights from
+/// `weights` (pointers remain owned by the store — it must outlive the run).
+Result<PeProgram> build_pe_program(const hw::AcceleratorPlan& plan,
+                                   std::size_t pe_index,
+                                   const nn::WeightStore& weights);
+
+}  // namespace condor::dataflow

@@ -1,0 +1,50 @@
+// HLS C++ code generation (paper §3.3, steps 3a/3b and 4):
+//
+//   "the C code performing the computation of the layer is automatically
+//    generated, and the PE is synthesized via Vivado HLS" / "given the size
+//    of the sliding window and the size of the input image, the code for
+//    the filters is automatically generated".
+//
+// This module reproduces the generator: for every PE and filter of an
+// accelerator plan it emits compilable Vivado-HLS-style C++ (hls::stream
+// interfaces, DATAFLOW/PIPELINE/ARRAY_PARTITION pragmas). In the original
+// flow the text goes to Vivado HLS; here it is consumed by hls::synthesize
+// (the simulated toolchain) and shipped inside the xclbin artifact so users
+// can inspect exactly what would be synthesized.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataflow/program.hpp"
+#include "hw/accel_plan.hpp"
+
+namespace condor::hls {
+
+/// One generated translation unit.
+struct GeneratedSource {
+  std::string file_name;  ///< e.g. "pe0_conv1.cpp"
+  std::string module;     ///< module name within the design
+  std::string code;
+};
+
+/// Emits the PE kernel source for plan.pes[pe_index].
+Result<GeneratedSource> generate_pe_source(const hw::AcceleratorPlan& plan,
+                                           std::size_t pe_index);
+
+/// Emits one filter source for access (ky, kx) of the given PE's memory
+/// subsystem (feature PEs only).
+Result<GeneratedSource> generate_filter_source(const hw::AcceleratorPlan& plan,
+                                               std::size_t pe_index,
+                                               const hw::WindowAccess& access);
+
+/// Emits the top-level dataflow wrapper that instantiates every module and
+/// the AXI interface pragmas SDAccel expects of an RTL kernel.
+Result<GeneratedSource> generate_top_source(const hw::AcceleratorPlan& plan);
+
+/// Every source of the design: one top, one per PE, one per filter.
+Result<std::vector<GeneratedSource>> generate_all_sources(
+    const hw::AcceleratorPlan& plan);
+
+}  // namespace condor::hls

@@ -1,0 +1,279 @@
+#include "hw/accel_plan.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace condor::hw {
+namespace {
+
+constexpr std::string_view kTag = "accel-plan";
+
+/// Inter-PE stream FIFOs only decouple rates; a shallow constant depth per
+/// parallel lane suffices (the memory subsystem does the real buffering).
+constexpr std::size_t kStreamFifoDepth = 16;
+
+/// Fraction of board BRAM a classifier PE may claim for on-chip weights.
+/// Classifier weights must reside on chip with the current methodology
+/// (streaming FC weights is the "optimization of the classification part"
+/// the paper leaves as future work), so exceeding this makes the design
+/// unsynthesizable — the VGG-16 FC case called out in §4.
+constexpr double kClassifierWeightBramFraction = 0.8;
+
+constexpr std::size_t kBramBytes = 4608;  // one 36Kb block
+
+bool is_transcendental(nn::Activation activation) noexcept {
+  return activation == nn::Activation::kSigmoid ||
+         activation == nn::Activation::kTanH;
+}
+
+}  // namespace
+
+std::size_t MemoryPipelinePlan::buffered_elements() const noexcept {
+  std::size_t total = 0;
+  for (const FilterNode& node : filters) {
+    total += node.fifo_to_next_depth;
+  }
+  return total;
+}
+
+std::vector<FilterNode> plan_filter_chain(std::size_t window_h,
+                                          std::size_t window_w,
+                                          std::size_t map_w) {
+  // Enumerate window accesses in lexicographically inverse order: the head
+  // of the chain sees the freshest stream element, which corresponds to the
+  // largest (ky, kx) offset; the tail holds the oldest live element (0, 0).
+  std::vector<FilterNode> chain;
+  chain.reserve(window_h * window_w);
+  for (std::size_t ky = window_h; ky-- > 0;) {
+    for (std::size_t kx = window_w; kx-- > 0;) {
+      FilterNode node;
+      node.access = {ky, kx};
+      chain.push_back(node);
+    }
+  }
+  // FIFO between consecutive filters = spatial distance between the two
+  // accesses in the row-major linearization of the input map.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const auto linear = [map_w](const WindowAccess& a) {
+      return a.ky * map_w + a.kx;
+    };
+    chain[i].fifo_to_next_depth =
+        linear(chain[i].access) - linear(chain[i + 1].access);
+  }
+  return chain;
+}
+
+Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
+  CONDOR_RETURN_IF_ERROR(network.validate());
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, network.net.infer_shapes());
+  CONDOR_ASSIGN_OR_RETURN(BoardSpec board, find_board(network.hw.board_id));
+
+  AcceleratorPlan plan;
+  plan.source = network;
+  plan.board = board;
+
+  const auto& layers = network.net.layers();
+  const auto& annots = network.hw.layers;
+
+  // ---- Cluster layers into PEs ----------------------------------------
+  for (std::size_t i = 1; i < layers.size(); ++i) {
+    const nn::LayerSpec& layer = layers[i];
+
+    if (layer.kind == nn::LayerKind::kSoftmax) {
+      // The normalization layer runs in the generated host code (it needs a
+      // global reduction over the class scores, a poor fit for the spatial
+      // pipeline and negligible work for the CPU).
+      plan.softmax_on_host = true;
+      continue;
+    }
+
+    if (layer.kind == nn::LayerKind::kActivation && !plan.pes.empty()) {
+      // Element-wise activations fold into the upstream PE's output loop.
+      PePlan& host_pe = plan.pes.back();
+      host_pe.layer_indices.push_back(i);
+      host_pe.uses_transcendental |= is_transcendental(layer.activation);
+      continue;
+    }
+
+    const bool fuse_with_previous =
+        annots[i].pe_group >= 0 && !plan.pes.empty() &&
+        !plan.pes.back().layer_indices.empty() &&
+        annots[plan.pes.back().layer_indices.front()].pe_group ==
+            annots[i].pe_group;
+
+    if (fuse_with_previous) {
+      plan.pes.back().layer_indices.push_back(i);
+    } else {
+      PePlan pe;
+      pe.layer_indices.push_back(i);
+      switch (layer.kind) {
+        case nn::LayerKind::kConvolution:
+        case nn::LayerKind::kPooling:
+          pe.kind = PeKind::kFeature;
+          break;
+        case nn::LayerKind::kInnerProduct:
+          pe.kind = PeKind::kClassifier;
+          break;
+        case nn::LayerKind::kActivation:
+          pe.kind = PeKind::kElementwise;
+          break;
+        default:
+          return internal_error("unexpected layer kind during clustering");
+      }
+      // The PE adopts the parallelism annotation of its first layer; fused
+      // followers execute under the same port structure (paper §3.2).
+      pe.parallel_in = annots[i].parallel_in;
+      pe.parallel_out = annots[i].parallel_out;
+      plan.pes.push_back(std::move(pe));
+    }
+    if (layer.activation != nn::Activation::kNone) {
+      plan.pes.back().uses_transcendental |= is_transcendental(layer.activation);
+    }
+  }
+
+  if (plan.pes.empty()) {
+    return invalid_input("network has no synthesizable layers");
+  }
+
+  // ---- Derive per-PE structures ----------------------------------------
+  for (std::size_t p = 0; p < plan.pes.size(); ++p) {
+    PePlan& pe = plan.pes[p];
+    const nn::LayerSpec& first = layers[pe.layer_indices.front()];
+    pe.name = strings::format("pe%zu_%s", p, first.name.c_str());
+
+    if (pe.kind == PeKind::kFeature || pe.kind == PeKind::kElementwise) {
+      // Memory subsystem: sized by the largest window among the fused
+      // layers; FIFO depths by the largest input feature map (paper §3.2).
+      // A standalone element-wise PE degenerates to a single 1x1 access.
+      std::size_t window_h = 1;
+      std::size_t window_w = 1;
+      std::size_t map_h = 1;
+      std::size_t map_w = 1;
+      for (const std::size_t index : pe.layer_indices) {
+        const nn::LayerSpec& fused = layers[index];
+        if (!fused.is_feature_extraction()) {
+          // Element-wise pass: a 1x1 window over its blob.
+          const Shape& in = shapes[index].input;
+          if (in.rank() == 3) {
+            map_h = std::max(map_h, in[1]);
+            map_w = std::max(map_w, in[2]);
+          } else {
+            map_w = std::max(map_w, in.element_count());
+          }
+          continue;
+        }
+        window_h = std::max(window_h, fused.kernel_h);
+        window_w = std::max(window_w, fused.kernel_w);
+        map_h = std::max(map_h, shapes[index].input[1] + 2 * fused.pad);
+        map_w = std::max(map_w, shapes[index].input[2] + 2 * fused.pad);
+      }
+      MemoryPipelinePlan memory;
+      memory.window_h = window_h;
+      memory.window_w = window_w;
+      memory.map_h = map_h;
+      memory.map_w = map_w;
+      memory.filters = plan_filter_chain(window_h, window_w, map_w);
+      pe.memory = std::move(memory);
+    }
+
+    // Weight storage and concurrent MAC datapaths.
+    for (const std::size_t index : pe.layer_indices) {
+      const nn::LayerSpec& fused = layers[index];
+      if (fused.kind == nn::LayerKind::kConvolution) {
+        // Feature PEs hold the weight slice for the output maps currently
+        // being computed (double-buffered so the datamover can prefetch the
+        // next slice); the full set streams from on-board memory.
+        const std::size_t in_channels = shapes[index].input[0];
+        const std::size_t slice =
+            in_channels * fused.kernel_h * fused.kernel_w * pe.parallel_out +
+            (fused.has_bias ? pe.parallel_out : 0);
+        pe.weight_elements = std::max(pe.weight_elements, 2 * slice);
+        pe.macs_per_cycle =
+            std::max(pe.macs_per_cycle, pe.parallel_in * pe.parallel_out *
+                                            fused.kernel_h * fused.kernel_w);
+      } else if (fused.kind == nn::LayerKind::kInnerProduct) {
+        // Classifier weights reside fully on chip with the current
+        // methodology (see kClassifierWeightBramFraction).
+        const std::size_t in_count = shapes[index].input.element_count();
+        pe.weight_elements += in_count * fused.num_output +
+                              (fused.has_bias ? fused.num_output : 0);
+        pe.macs_per_cycle =
+            std::max<std::size_t>(pe.macs_per_cycle, pe.parallel_in * pe.parallel_out);
+      } else if (fused.kind == nn::LayerKind::kPooling) {
+        // No multipliers; the window adder/comparator tree is costed by the
+        // resource model from the memory subsystem geometry.
+      }
+    }
+
+    if (pe.kind == PeKind::kClassifier) {
+      const std::uint64_t weight_bytes =
+          static_cast<std::uint64_t>(pe.weight_elements) * sizeof(float);
+      const std::uint64_t budget_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(board.capacity.bram36) * kBramBytes *
+          kClassifierWeightBramFraction);
+      if (weight_bytes > budget_bytes) {
+        return unsynthesizable(strings::format(
+            "classifier PE '%s' needs %s of on-chip weight storage but board "
+            "%s offers at most %s; fully-connected layers of this size are "
+            "not synthesizable with the current methodology",
+            pe.name.c_str(), strings::human_bytes(weight_bytes).c_str(),
+            board.id.c_str(), strings::human_bytes(budget_bytes).c_str()));
+      }
+    }
+  }
+
+  // ---- Stream edges: datamover -> pe0 -> ... -> peN -> datamover --------
+  StreamEdge in_edge;
+  in_edge.from_pe = StreamEdge::kDatamover;
+  in_edge.to_pe = 0;
+  in_edge.fifo_depth = kStreamFifoDepth * plan.pes.front().parallel_in;
+  plan.edges.push_back(in_edge);
+  for (std::size_t p = 0; p + 1 < plan.pes.size(); ++p) {
+    StreamEdge edge;
+    edge.from_pe = p;
+    edge.to_pe = p + 1;
+    edge.fifo_depth =
+        kStreamFifoDepth *
+        std::max(plan.pes[p].parallel_out, plan.pes[p + 1].parallel_in);
+    plan.edges.push_back(edge);
+  }
+  StreamEdge out_edge;
+  out_edge.from_pe = plan.pes.size() - 1;
+  out_edge.to_pe = StreamEdge::kDatamover;
+  out_edge.fifo_depth = kStreamFifoDepth * plan.pes.back().parallel_out;
+  plan.edges.push_back(out_edge);
+
+  CONDOR_LOG_INFO(kTag) << "planned " << plan.pes.size() << " PEs for '"
+                        << network.net.name() << "' on " << board.id;
+  return plan;
+}
+
+std::string describe(const AcceleratorPlan& plan) {
+  std::string out = strings::format(
+      "accelerator for '%s' on %s: %zu PEs%s\n", plan.source.net.name().c_str(),
+      plan.board.id.c_str(), plan.pes.size(),
+      plan.softmax_on_host ? " (+softmax on host)" : "");
+  for (const PePlan& pe : plan.pes) {
+    const char* kind = pe.kind == PeKind::kFeature       ? "feature"
+                       : pe.kind == PeKind::kClassifier ? "classifier"
+                                                        : "elementwise";
+    out += strings::format("  %-20s %-11s layers=%zu Pin=%zu Pout=%zu", pe.name.c_str(),
+                           kind, pe.layer_indices.size(), pe.parallel_in,
+                           pe.parallel_out);
+    if (pe.memory.has_value()) {
+      out += strings::format("  window=%zux%zu filters=%zu buffered=%zu",
+                             pe.memory->window_h, pe.memory->window_w,
+                             pe.memory->filters.size(),
+                             pe.memory->buffered_elements());
+    }
+    if (pe.weight_elements > 0) {
+      out += strings::format("  weights=%zu", pe.weight_elements);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace condor::hw

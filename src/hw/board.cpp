@@ -1,0 +1,108 @@
+#include "hw/board.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace condor::hw {
+
+Resources& Resources::operator+=(const Resources& other) noexcept {
+  luts += other.luts;
+  ffs += other.ffs;
+  dsps += other.dsps;
+  bram36 += other.bram36;
+  return *this;
+}
+
+Resources Resources::scaled(std::uint64_t factor) const noexcept {
+  return Resources{luts * factor, ffs * factor, dsps * factor, bram36 * factor};
+}
+
+bool Resources::fits_within(const Resources& budget) const noexcept {
+  return luts <= budget.luts && ffs <= budget.ffs && dsps <= budget.dsps &&
+         bram36 <= budget.bram36;
+}
+
+double Resources::max_utilization(const Resources& budget) const noexcept {
+  const auto ratio = [](std::uint64_t used, std::uint64_t avail) {
+    if (avail == 0) {
+      return used == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(used) / static_cast<double>(avail);
+  };
+  return std::max({ratio(luts, budget.luts), ratio(ffs, budget.ffs),
+                   ratio(dsps, budget.dsps), ratio(bram36, budget.bram36)});
+}
+
+std::string Resources::to_string() const {
+  return strings::format("LUT=%llu FF=%llu DSP=%llu BRAM36=%llu",
+                         static_cast<unsigned long long>(luts),
+                         static_cast<unsigned long long>(ffs),
+                         static_cast<unsigned long long>(dsps),
+                         static_cast<unsigned long long>(bram36));
+}
+
+const std::vector<BoardSpec>& board_database() {
+  static const std::vector<BoardSpec> kBoards = {
+      {
+          .id = "aws-f1",
+          .display_name = "AWS EC2 F1 (xcvu9p, AWS shell)",
+          .part = "xcvu9p-flgb2104-2-i",
+          // VU9P totals: 1,182,240 LUT / 2,364,480 FF / 6,840 DSP /
+          // 2,160 BRAM36. The paper's Table 1 percentages are reported
+          // against the full device, so capacity keeps device totals; the
+          // shell cost appears as platform overhead in the resource model.
+          .capacity = {1'182'240, 2'364'480, 6'840, 2'160},
+          .max_frequency_mhz = 250.0,
+          .dram_bandwidth_gbps = 64.0,  // 4x DDR4-2133 channels
+          .static_power_w = 3.5,
+          .cloud = true,
+      },
+      {
+          .id = "zc706",
+          .display_name = "Xilinx ZC706 (Zynq-7045)",
+          .part = "xc7z045-ffg900-2",
+          .capacity = {218'600, 437'200, 900, 545},
+          .max_frequency_mhz = 200.0,
+          .dram_bandwidth_gbps = 12.8,
+          .static_power_w = 1.8,
+          .cloud = false,
+      },
+      {
+          .id = "zedboard",
+          .display_name = "Avnet ZedBoard (Zynq-7020)",
+          .part = "xc7z020-clg484-1",
+          .capacity = {53'200, 106'400, 220, 140},
+          .max_frequency_mhz = 150.0,
+          .dram_bandwidth_gbps = 4.2,
+          .static_power_w = 1.2,
+          .cloud = false,
+      },
+      {
+          .id = "kcu1500",
+          .display_name = "Xilinx KCU1500 (Kintex UltraScale KU115)",
+          .part = "xcku115-flvb2104-2-e",
+          .capacity = {663'360, 1'326'720, 5'520, 2'160},
+          .max_frequency_mhz = 250.0,
+          .dram_bandwidth_gbps = 38.4,
+          .static_power_w = 2.8,
+          .cloud = false,
+      },
+  };
+  return kBoards;
+}
+
+Result<BoardSpec> find_board(std::string_view id) {
+  const std::string lower = strings::to_lower(id);
+  for (const BoardSpec& board : board_database()) {
+    if (board.id == lower) {
+      return board;
+    }
+  }
+  return not_found("unknown board '" + std::string(id) + "'");
+}
+
+const BoardSpec& aws_f1_board() { return board_database().front(); }
+
+}  // namespace condor::hw

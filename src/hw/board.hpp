@@ -1,0 +1,66 @@
+// FPGA board database.
+//
+// The frontend's network representation names "the desired board" (paper
+// §3.1.1); the core logic sizes the accelerator against that board's
+// resources. The flagship target is the AWS F1 instance FPGA (Xilinx Virtex
+// UltraScale+ VU9P behind the AWS shell); a few on-premise Zynq boards are
+// included for the on-premise SDAccel deployment path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace condor::hw {
+
+/// Resource vector used for both budgets (board capacity) and estimates
+/// (design usage). BRAM counted in 36Kb blocks.
+struct Resources {
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t dsps = 0;
+  std::uint64_t bram36 = 0;
+
+  Resources& operator+=(const Resources& other) noexcept;
+  friend Resources operator+(Resources a, const Resources& b) noexcept {
+    a += b;
+    return a;
+  }
+  /// Component-wise scale (for replicated modules).
+  [[nodiscard]] Resources scaled(std::uint64_t factor) const noexcept;
+
+  /// True if every component of `this` fits within `budget`.
+  [[nodiscard]] bool fits_within(const Resources& budget) const noexcept;
+
+  /// Largest component-wise utilization ratio against `budget` (0..inf).
+  [[nodiscard]] double max_utilization(const Resources& budget) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct BoardSpec {
+  std::string id;            ///< stable identifier used in the JSON IR
+  std::string display_name;
+  std::string part;          ///< FPGA part number
+  Resources capacity;        ///< fabric resources available to user logic
+  double max_frequency_mhz = 0.0;   ///< fabric ceiling for HLS dataflow designs
+  double dram_bandwidth_gbps = 0.0; ///< on-board memory bandwidth
+  double static_power_w = 0.0;      ///< shell + idle fabric power
+  bool cloud = false;               ///< true when reached via AWS F1
+};
+
+/// All known boards. The AWS F1 entry reflects the VU9P with the AWS shell
+/// area already subtracted (the shell reserves roughly one SLR's worth of
+/// interface logic; AWS documents ~75% of the device for Custom Logic).
+const std::vector<BoardSpec>& board_database();
+
+/// Case-insensitive lookup by id ("aws-f1", "zc706", "zedboard", "kcu1500").
+Result<BoardSpec> find_board(std::string_view id);
+
+/// The board used by the paper's evaluation.
+const BoardSpec& aws_f1_board();
+
+}  // namespace condor::hw

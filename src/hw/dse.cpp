@@ -1,0 +1,181 @@
+#include "hw/dse.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace condor::hw {
+namespace {
+
+constexpr std::string_view kTag = "dse";
+
+/// Sum of per-PE steady-state service times — the secondary objective that
+/// lets the walk cross throughput plateaus (tied bottlenecks, clock steps).
+std::uint64_t total_interval(const DsePoint& point) {
+  std::uint64_t total = 0;
+  for (const PeTiming& pe : point.performance.pes) {
+    total += pe.interval() + pe.fill_latency;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<DsePoint> evaluate_design_point(const HwNetwork& network,
+                                       const DseOptions& options) {
+  DsePoint point;
+  point.config = network;
+  CONDOR_ASSIGN_OR_RETURN(AcceleratorPlan plan, plan_accelerator(network));
+  CONDOR_ASSIGN_OR_RETURN(point.resources,
+                          estimate_resources(plan, options.cost));
+  if (point.resources.total.max_utilization(plan.board.capacity) >
+      options.max_utilization) {
+    return unsynthesizable(strings::format(
+        "utilization %.1f%% exceeds DSE headroom %.1f%%",
+        100.0 * point.resources.total.max_utilization(plan.board.capacity),
+        100.0 * options.max_utilization));
+  }
+  point.achieved_mhz =
+      achieved_frequency_mhz(plan, point.resources, options.timing);
+  CONDOR_ASSIGN_OR_RETURN(
+      point.performance,
+      estimate_performance(plan, point.resources, point.achieved_mhz));
+  return point;
+}
+
+Result<DseResult> explore(const HwNetwork& network, const DseOptions& options) {
+  CONDOR_RETURN_IF_ERROR(network.validate());
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, network.net.infer_shapes());
+
+  DseResult result;
+  auto start = evaluate_design_point(network, options);
+  ++result.points_evaluated;
+  if (!start.is_ok()) {
+    return Status(start.status().code(), "DSE starting point infeasible: " +
+                                             start.status().message());
+  }
+  ++result.points_feasible;
+  result.trajectory.push_back(start.value());
+  DsePoint current = std::move(start).value();
+  DsePoint best = current;
+
+  for (std::size_t move = 0; move < options.max_moves; ++move) {
+    CONDOR_ASSIGN_OR_RETURN(AcceleratorPlan plan,
+                            plan_accelerator(current.config));
+
+    // Candidate generation: for every PE, double parallel_out / parallel_in
+    // (clamped to the layers' map counts), applied to all of its layers.
+    struct Candidate {
+      DsePoint point;
+      std::string description;
+    };
+    std::optional<Candidate> winner;
+
+    for (std::size_t p = 0; p < plan.pes.size(); ++p) {
+      const PePlan& pe = plan.pes[p];
+      std::size_t max_out = 1;
+      std::size_t max_in = 1;
+      for (const std::size_t index : pe.layer_indices) {
+        const nn::LayerSpec& layer = current.config.net.layers()[index];
+        if (layer.kind == nn::LayerKind::kConvolution ||
+            layer.kind == nn::LayerKind::kPooling) {
+          max_out = std::max(max_out, shapes[index].output[0]);
+          max_in = std::max(max_in, shapes[index].input[0]);
+        } else if (layer.kind == nn::LayerKind::kInnerProduct) {
+          max_out = std::max(max_out, shapes[index].output.element_count());
+          max_in = std::max(max_in, shapes[index].input.element_count());
+        }
+      }
+      max_out = std::min(max_out, options.max_parallel_degree);
+      max_in = std::min(max_in, options.max_parallel_degree);
+
+      const std::size_t layer0 = pe.layer_indices.front();
+      const LayerHw& annot = current.config.hw.layers[layer0];
+      struct Move {
+        bool is_out;
+        std::size_t degree;
+      };
+      std::vector<Move> moves;
+      if (annot.parallel_out * 2 <= max_out) {
+        moves.push_back({true, annot.parallel_out * 2});
+      }
+      if (options.explore_parallel_in && annot.parallel_in * 2 <= max_in) {
+        moves.push_back({false, annot.parallel_in * 2});
+      }
+
+      for (const Move& m : moves) {
+        HwNetwork candidate_net = current.config;
+        for (const std::size_t index : pe.layer_indices) {
+          LayerHw& layer_hw = candidate_net.hw.layers[index];
+          (m.is_out ? layer_hw.parallel_out : layer_hw.parallel_in) = m.degree;
+        }
+        if (!candidate_net.validate().is_ok()) {
+          continue;  // degree exceeds a fused layer's map count
+        }
+        auto evaluated = evaluate_design_point(candidate_net, options);
+        ++result.points_evaluated;
+        if (!evaluated.is_ok()) {
+          continue;  // out of resources / past the headroom budget
+        }
+        ++result.points_feasible;
+        Candidate candidate{std::move(evaluated).value(),
+                            strings::format("%s %s=%zu", pe.name.c_str(),
+                                            m.is_out ? "Pout" : "Pin", m.degree)};
+
+        // Acceptance test against the CURRENT point: a candidate qualifies
+        // by strict throughput gain, or as a plateau-escape move (bounded
+        // regression bought with a substantial total-interval shrink).
+        const double current_gflops = current.gflops();
+        const std::uint64_t current_total = total_interval(current);
+        const bool strict_gain =
+            candidate.point.gflops() > current_gflops * 1.001;
+        const bool plateau_escape =
+            candidate.point.gflops() >=
+                current_gflops * (1.0 - options.regression_tolerance) &&
+            total_interval(candidate.point) <
+                static_cast<std::uint64_t>(
+                    static_cast<double>(current_total) *
+                    (1.0 - options.interval_shrink_required));
+        if (!strict_gain && !plateau_escape) {
+          continue;
+        }
+
+        // Among qualifying candidates, take the best (throughput, then the
+        // smaller total interval).
+        const bool better_than_winner =
+            !winner.has_value() ||
+            candidate.point.gflops() > winner->point.gflops() * 1.0001 ||
+            (candidate.point.gflops() > winner->point.gflops() * 0.9999 &&
+             total_interval(candidate.point) < total_interval(winner->point));
+        if (better_than_winner) {
+          winner = std::move(candidate);
+        }
+      }
+    }
+
+    if (!winner.has_value()) {
+      break;  // no qualifying move left
+    }
+
+    CONDOR_LOG_DEBUG(kTag) << "accept " << winner->description << " -> "
+                           << strings::format("%.2f GFLOPS @ %.0f MHz",
+                                              winner->point.gflops(),
+                                              winner->point.achieved_mhz);
+    current = std::move(winner->point);
+    result.trajectory.push_back(current);
+    if (current.gflops() > best.gflops()) {
+      best = current;
+    }
+  }
+
+  result.best = std::move(best);
+  CONDOR_LOG_INFO(kTag) << "explored " << result.points_evaluated
+                        << " points, best "
+                        << strings::format("%.2f GFLOPS @ %.0f MHz",
+                                           result.best.gflops(),
+                                           result.best.achieved_mhz);
+  return result;
+}
+
+}  // namespace condor::hw

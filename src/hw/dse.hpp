@@ -1,0 +1,85 @@
+// Design Space Exploration (paper §3.3 step 2).
+//
+// The paper's DSE "is still not automated and therefore requires human
+// intervention, but in the future it will be performed automatically relying
+// on resource consumption and performance models". This module implements
+// that future work: an automated, model-driven exploration of the
+// inter-layer parallelism knobs (parallel_in / parallel_out per
+// feature-extraction layer).
+//
+// Strategy: tolerant steepest-ascent hill climbing. Starting from the
+// sequential configuration (all degrees 1), each iteration evaluates, for
+// every PE, doubling its parallel_out and its parallel_in, and takes the
+// best candidate by (throughput, then lower total interval). A candidate is
+// accepted when it strictly improves throughput, or when it substantially
+// shrinks the summed per-PE interval at a bounded throughput regression —
+// the latter escapes two real plateaus: several PEs tied at the bottleneck
+// (improving one alone does not move the global number) and the
+// achieved-frequency quantization ridge (deeper adder trees momentarily
+// cost a clock step before the interval gains dominate). The best point
+// ever visited is returned. Every accepted move strictly shrinks the total
+// interval and degrees only double toward the per-layer map counts, so the
+// walk terminates after O(sum_layers log(maps)) accepted moves; evaluations
+// are purely analytical, mirroring how the real flow would avoid re-running
+// HLS per point.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/hw_ir.hpp"
+#include "hw/performance_model.hpp"
+#include "hw/resource_model.hpp"
+#include "hw/timing_model.hpp"
+
+namespace condor::hw {
+
+struct DseOptions {
+  /// Headroom: accept configurations only while the max component
+  /// utilization stays below this fraction (routing reality).
+  double max_utilization = 0.85;
+  /// Upper bound on any single parallel degree.
+  std::size_t max_parallel_degree = 64;
+  /// Explore parallel_in in addition to parallel_out.
+  bool explore_parallel_in = true;
+  /// Largest throughput regression a plateau-escaping move may cost.
+  double regression_tolerance = 0.10;
+  /// Minimum shrink of the summed interval for such a move to qualify.
+  /// Small by design: in deep pipelines (VGG-16 has 18 PEs) halving one of
+  /// many tied bottleneck stages only shrinks the sum by a few percent.
+  double interval_shrink_required = 0.015;
+  /// Safety cap on accepted moves.
+  std::size_t max_moves = 400;
+  /// Cost/timing model overrides (ablations).
+  CostModel cost;
+  TimingModel timing;
+};
+
+/// One fully-evaluated design point.
+struct DsePoint {
+  HwNetwork config;
+  ResourceReport resources;
+  PerformanceEstimate performance;  ///< at the achieved frequency
+  double achieved_mhz = 0.0;
+
+  [[nodiscard]] double gflops() const noexcept { return performance.gflops(); }
+};
+
+struct DseResult {
+  DsePoint best;
+  std::size_t points_evaluated = 0;
+  std::size_t points_feasible = 0;
+  /// The accepted trajectory from the sequential start to the best point
+  /// (useful for ablation plots of throughput vs area).
+  std::vector<DsePoint> trajectory;
+};
+
+/// Evaluates one configuration end to end (plan → resources → timing →
+/// performance). Fails when the configuration is unsynthesizable.
+Result<DsePoint> evaluate_design_point(const HwNetwork& network,
+                                       const DseOptions& options = {});
+
+/// Runs the automated exploration starting from `network`'s annotations.
+Result<DseResult> explore(const HwNetwork& network, const DseOptions& options = {});
+
+}  // namespace condor::hw

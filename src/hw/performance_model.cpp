@@ -1,0 +1,183 @@
+#include "hw/performance_model.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace condor::hw {
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::uint64_t PerformanceEstimate::batch_cycles(std::uint64_t batch) const noexcept {
+  if (batch == 0) {
+    return 0;
+  }
+  return image_latency + (batch - 1) * bottleneck_interval;
+}
+
+double PerformanceEstimate::mean_seconds_per_image(std::uint64_t batch) const noexcept {
+  if (batch == 0 || frequency_mhz <= 0.0) {
+    return 0.0;
+  }
+  const double cycles = static_cast<double>(batch_cycles(batch));
+  return cycles / (frequency_mhz * 1e6) / static_cast<double>(batch);
+}
+
+double PerformanceEstimate::images_per_second() const noexcept {
+  if (bottleneck_interval == 0) {
+    return 0.0;
+  }
+  return frequency_mhz * 1e6 / static_cast<double>(bottleneck_interval);
+}
+
+double PerformanceEstimate::gflops() const noexcept {
+  return images_per_second() * static_cast<double>(flops_per_image) / 1e9;
+}
+
+std::string PerformanceEstimate::to_string() const {
+  std::string out = strings::format(
+      "performance @ %.1f MHz: bottleneck=%llu cycles, latency=%llu cycles, "
+      "%.1f img/s, %.2f GFLOPS\n",
+      frequency_mhz, static_cast<unsigned long long>(bottleneck_interval),
+      static_cast<unsigned long long>(image_latency), images_per_second(),
+      gflops());
+  for (const PeTiming& pe : pes) {
+    out += strings::format(
+        "  %-20s interval=%llu (compute=%llu, memory=%llu) fill=%llu ddr=%s\n",
+        pe.name.c_str(), static_cast<unsigned long long>(pe.interval()),
+        static_cast<unsigned long long>(pe.compute_interval),
+        static_cast<unsigned long long>(pe.memory_interval),
+        static_cast<unsigned long long>(pe.fill_latency),
+        strings::human_bytes(pe.ddr_bytes_per_image).c_str());
+  }
+  return out;
+}
+
+Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
+                                                 const ResourceReport& report,
+                                                 double frequency_mhz) {
+  if (frequency_mhz <= 0.0) {
+    return invalid_input("frequency must be positive");
+  }
+  if (report.spills_to_ddr.size() != plan.pes.size()) {
+    return invalid_input("resource report does not match the plan");
+  }
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, plan.source.net.infer_shapes());
+  const auto& layers = plan.source.net.layers();
+
+  PerformanceEstimate estimate;
+  estimate.frequency_mhz = frequency_mhz;
+  CONDOR_ASSIGN_OR_RETURN(estimate.flops_per_image,
+                          plan.source.net.total_flops());
+  if (plan.softmax_on_host) {
+    // Host-side softmax is excluded from accelerator FLOPs (it overlaps
+    // with the next batch on the CPU and is negligible).
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      if (layers[i].kind == nn::LayerKind::kSoftmax) {
+        estimate.flops_per_image -=
+            nn::layer_flops(layers[i], shapes[i].input, shapes[i].output);
+      }
+    }
+  }
+
+  // Bytes/cycle the datamover can sustain per stream at this clock.
+  const double ddr_bytes_per_cycle =
+      plan.board.dram_bandwidth_gbps * 1e9 / 8.0 / (frequency_mhz * 1e6);
+
+  for (std::size_t p = 0; p < plan.pes.size(); ++p) {
+    const PePlan& pe = plan.pes[p];
+    PeTiming timing;
+    timing.name = pe.name;
+
+    for (const std::size_t index : pe.layer_indices) {
+      const nn::LayerSpec& layer = layers[index];
+      const Shape& in = shapes[index].input;
+      const Shape& out = shapes[index].output;
+      switch (layer.kind) {
+        case nn::LayerKind::kConvolution: {
+          // II=1 over output points; sequential over feature-map tiles not
+          // covered by the parallel ports.
+          const std::uint64_t passes = ceil_div(in[0], pe.parallel_in) *
+                                       ceil_div(out[0], pe.parallel_out);
+          timing.compute_interval += passes * out[1] * out[2];
+          // Weight slices stream once per output tile.
+          const std::uint64_t weight_bytes =
+              static_cast<std::uint64_t>(out[0]) * in[0] * layer.kernel_h *
+              layer.kernel_w * sizeof(float);
+          timing.ddr_bytes_per_image += weight_bytes;
+          if (report.spills_to_ddr[p]) {
+            // Input set re-streamed once per output tile.
+            timing.ddr_bytes_per_image +=
+                ceil_div(out[0], pe.parallel_out) * in.element_count() *
+                sizeof(float);
+          }
+          break;
+        }
+        case nn::LayerKind::kPooling: {
+          const std::uint64_t passes = ceil_div(in[0], pe.parallel_in);
+          timing.compute_interval += passes * out[1] * out[2];
+          break;
+        }
+        case nn::LayerKind::kInnerProduct: {
+          // Single-input/single-output 1x1-convolution PE: one MAC per
+          // cycle per (parallel_in x parallel_out) lane pair.
+          const std::uint64_t macs =
+              in.element_count() * static_cast<std::uint64_t>(out[0]);
+          timing.compute_interval +=
+              ceil_div(macs, pe.parallel_in * pe.parallel_out);
+          // FC weights are on chip (loaded once, reused across the batch):
+          // no per-image DDR traffic.
+          break;
+        }
+        case nn::LayerKind::kActivation: {
+          timing.compute_interval += out.element_count();
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // Fill latency: the sliding window must see (Kh-1) rows + Kw elements
+    // before the first output, plus the module pipeline depth.
+    constexpr std::uint64_t kModulePipelineDepth = 12;
+    if (pe.memory.has_value()) {
+      timing.fill_latency =
+          (pe.memory->window_h - 1) * pe.memory->map_w + pe.memory->window_w +
+          kModulePipelineDepth;
+    } else {
+      timing.fill_latency = kModulePipelineDepth;
+    }
+
+    timing.memory_interval = static_cast<std::uint64_t>(
+        static_cast<double>(timing.ddr_bytes_per_image) / ddr_bytes_per_cycle);
+
+    estimate.image_latency += timing.interval() + timing.fill_latency;
+    // Steady-state interval includes the fill: the sliding window drains
+    // and refills between consecutive images, so a PE cannot accept a new
+    // image every `interval` cycles alone. This matches the event-driven
+    // pipeline simulation's per-stage service time.
+    estimate.bottleneck_interval = std::max(
+        estimate.bottleneck_interval, timing.interval() + timing.fill_latency);
+    estimate.pes.push_back(std::move(timing));
+  }
+
+  // The datamover input stream itself can bound the pipeline.
+  CONDOR_ASSIGN_OR_RETURN(Shape input_shape, plan.source.net.input_shape());
+  const auto input_bytes =
+      static_cast<std::uint64_t>(input_shape.element_count()) * sizeof(float);
+  const auto input_stream_cycles = static_cast<std::uint64_t>(
+      static_cast<double>(input_bytes) / ddr_bytes_per_cycle);
+  estimate.bottleneck_interval =
+      std::max<std::uint64_t>(estimate.bottleneck_interval,
+                              std::max<std::uint64_t>(input_stream_cycles, 1));
+
+  return estimate;
+}
+
+}  // namespace condor::hw

@@ -1,0 +1,70 @@
+// Analytical performance model of the dataflow accelerator.
+//
+// Models each PE as a pipelined stage with a per-image *interval* (cycles
+// between accepting consecutive images in steady state) and a *latency*
+// (fill time for the first image). The high-level pipeline of PEs then
+// yields, for a batch of B images:
+//
+//     total_cycles(B) = fill_latency + (B - 1) * bottleneck_interval
+//
+// which produces the hyperbolically decreasing mean-time-per-image curve of
+// paper Figure 5, converging once B exceeds roughly the number of pipeline
+// stages. Steady-state GFLOPS = flops_per_image * f / bottleneck_interval.
+//
+// Compute intervals assume II=1 pipelined loops over output points with the
+// window fully unrolled (the memory subsystem supplies all window elements
+// per cycle) and sequential iteration over feature maps not covered by
+// parallel_in/parallel_out. DDR traffic (streamed weight slices, spilled
+// re-scan input) is converted to cycles through the board bandwidth and
+// bounds the interval from below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/accel_plan.hpp"
+#include "hw/resource_model.hpp"
+
+namespace condor::hw {
+
+/// Per-PE timing breakdown.
+struct PeTiming {
+  std::string name;
+  std::uint64_t compute_interval = 0;  ///< cycles/image, compute-bound
+  std::uint64_t memory_interval = 0;   ///< cycles/image, DDR-traffic-bound
+  std::uint64_t fill_latency = 0;      ///< extra cycles before first output
+  std::uint64_t ddr_bytes_per_image = 0;
+
+  [[nodiscard]] std::uint64_t interval() const noexcept {
+    return std::max(compute_interval, memory_interval);
+  }
+};
+
+/// Whole-accelerator performance estimate at a given clock.
+struct PerformanceEstimate {
+  double frequency_mhz = 0.0;
+  std::vector<PeTiming> pes;
+  std::uint64_t bottleneck_interval = 0;  ///< max PE interval (cycles)
+  std::uint64_t image_latency = 0;        ///< first-image latency (cycles)
+  std::uint64_t flops_per_image = 0;
+
+  /// Total cycles to process a batch of `batch` images.
+  [[nodiscard]] std::uint64_t batch_cycles(std::uint64_t batch) const noexcept;
+  /// Mean seconds per image for a batch (Figure 5's y-axis).
+  [[nodiscard]] double mean_seconds_per_image(std::uint64_t batch) const noexcept;
+  /// Steady-state throughput.
+  [[nodiscard]] double images_per_second() const noexcept;
+  [[nodiscard]] double gflops() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Estimates timing for `plan` at `frequency_mhz`. `report` supplies the
+/// per-PE DDR-spill flags (pass the estimate for the same plan).
+Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
+                                                 const ResourceReport& report,
+                                                 double frequency_mhz);
+
+}  // namespace condor::hw

@@ -1,0 +1,56 @@
+// Roofline analysis (after Zhang et al., FPGA'15 [13], who select CNN
+// accelerator designs with a roofline model).
+//
+// For a board: the compute roof is the peak MAC throughput the DSP budget
+// sustains at a clock; the bandwidth roof is operational intensity times
+// DDR bandwidth. For a design point: operational intensity = accelerator
+// FLOPs per byte moved over DDR per image, attainable performance =
+// min(compute roof, intensity * bandwidth), and achieved performance from
+// the performance model. The gap between achieved and attainable exposes
+// pipeline imbalance (bottleneck PEs idling the rest of the array).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/performance_model.hpp"
+
+namespace condor::hw {
+
+/// Board-level roofs at a given clock and numeric type cost.
+struct RooflineRoofs {
+  double peak_gflops = 0.0;        ///< DSP-budget compute roof
+  double bandwidth_gbps = 0.0;     ///< DDR roof slope
+  /// Intensity where the two roofs meet (FLOP/byte).
+  [[nodiscard]] double ridge_intensity() const noexcept {
+    return bandwidth_gbps > 0.0 ? peak_gflops / bandwidth_gbps : 0.0;
+  }
+  /// Attainable performance at a given operational intensity.
+  [[nodiscard]] double attainable_gflops(double intensity) const noexcept;
+};
+
+/// One design point placed under the roofs.
+struct RooflinePoint {
+  std::string name;
+  double intensity = 0.0;          ///< FLOP per DDR byte
+  double attainable_gflops = 0.0;  ///< roof at this intensity
+  double achieved_gflops = 0.0;    ///< from the performance model
+  /// Fraction of the attainable roof actually achieved (0..1).
+  [[nodiscard]] double efficiency() const noexcept {
+    return attainable_gflops > 0.0 ? achieved_gflops / attainable_gflops : 0.0;
+  }
+};
+
+/// Computes the board roofs. `macs_per_dsp_budget`: how many DSPs one
+/// fully-pipelined MAC costs with the active cost model (4 for fp32: 2 for
+/// the multiply + 2 for the add; 1 for fixed16).
+RooflineRoofs board_roofs(const BoardSpec& board, double frequency_mhz,
+                          double dsps_per_mac = 4.0);
+
+/// Places a design under the roofs using its performance estimate.
+Result<RooflinePoint> roofline_point(const AcceleratorPlan& plan,
+                                     const PerformanceEstimate& estimate,
+                                     std::string name);
+
+}  // namespace condor::hw

@@ -1,0 +1,66 @@
+#include "hw/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace condor::hw {
+
+TimingModel timing_model_for(nn::DataType type) {
+  TimingModel model;  // float32 defaults
+  switch (type) {
+    case nn::DataType::kFloat32:
+      break;
+    case nn::DataType::kFixed16:
+      model.tree_level_factor = 0.985;
+      model.transcendental_factor = 0.85;  // BRAM lookup, one read latency
+      break;
+    case nn::DataType::kFixed8:
+      model.tree_level_factor = 0.99;
+      model.transcendental_factor = 0.90;
+      break;
+  }
+  return model;
+}
+
+double pe_fmax_mhz(const AcceleratorPlan& plan, std::size_t pe_index,
+                   const TimingModel& model) {
+  const PePlan& pe = plan.pes[pe_index];
+  double fmax = model.base_fmax_mhz;
+
+  // Adder-tree depth from the widest concurrent reduction in the PE.
+  const std::size_t reduction_width = std::max<std::size_t>(pe.macs_per_cycle, 2);
+  const int tree_depth = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(reduction_width))));
+  fmax *= std::pow(model.tree_level_factor, tree_depth);
+
+  if (pe.uses_transcendental) {
+    fmax *= model.transcendental_factor;
+  }
+  return fmax;
+}
+
+double achieved_frequency_mhz(const AcceleratorPlan& plan,
+                              const ResourceReport& report,
+                              const TimingModel& model) {
+  double fmax = plan.board.max_frequency_mhz;
+  for (std::size_t p = 0; p < plan.pes.size(); ++p) {
+    fmax = std::min(fmax, pe_fmax_mhz(plan, p, model));
+  }
+
+  if (report.bram_percent(plan.board) > model.bram_pressure_threshold) {
+    fmax *= model.bram_pressure_factor;
+  }
+  if (report.dsp_percent(plan.board) > model.dsp_pressure_threshold) {
+    fmax *= model.dsp_pressure_factor;
+  }
+  if (report.lut_percent(plan.board) > model.lut_pressure_threshold) {
+    fmax *= model.lut_pressure_factor;
+  }
+
+  fmax = std::min(fmax, plan.source.hw.target_frequency_mhz);
+  // Quantize down to the kernel clock granularity.
+  fmax = std::floor(fmax / model.quantum_mhz) * model.quantum_mhz;
+  return std::max(fmax, model.quantum_mhz);
+}
+
+}  // namespace condor::hw

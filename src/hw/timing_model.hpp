@@ -1,0 +1,54 @@
+// Timing-closure model: the achieved post-implementation clock.
+//
+// In the original flow, Vivado place-and-route decides the kernel clock the
+// design actually closes at; the paper reports 100 MHz for TC1 and 180 MHz
+// for LeNet on F1. This model reproduces the dominant effects:
+//
+//  * deep floating-point adder trees (wide unrolled windows) lengthen the
+//    critical path — a few percent per tree level;
+//  * transcendental activation pipelines (tanh/sigmoid, exp-based fp32)
+//    close far below fabric speed in 2017-era HLS — they cap TC1 near
+//    100 MHz;
+//  * heavily-utilized designs (BRAM columns for big weight stores, DSP
+//    congestion, LUT pressure) pay a routing penalty — LeNet's ~24% BRAM
+//    pulls it from ~215 to ~180 MHz;
+//  * SDAccel kernel clocks are configured in discrete 5 MHz steps.
+//
+// Constants live in TimingModel so tests and ablations can perturb them.
+#pragma once
+
+#include "hw/accel_plan.hpp"
+#include "hw/resource_model.hpp"
+
+namespace condor::hw {
+
+struct TimingModel {
+  double base_fmax_mhz = 250.0;          ///< HLS dataflow fabric ceiling
+  double tree_level_factor = 0.97;       ///< per adder-tree level
+  double transcendental_factor = 0.46;   ///< tanh/sigmoid critical path
+  double bram_pressure_threshold = 15.0; ///< % BRAM before routing penalty
+  double bram_pressure_factor = 0.85;
+  double dsp_pressure_threshold = 30.0;  ///< % DSP before routing penalty
+  double dsp_pressure_factor = 0.90;
+  double lut_pressure_threshold = 50.0;  ///< % LUT before routing penalty
+  double lut_pressure_factor = 0.85;
+  double quantum_mhz = 5.0;              ///< kernel clock granularity
+};
+
+/// Timing-model presets per datapath numeric type (quantization study):
+/// integer carry chains are shorter than fp adder cascades and table-based
+/// activations lose the transcendental critical path entirely.
+TimingModel timing_model_for(nn::DataType type);
+
+/// Achieved Fmax of one PE in isolation (before design-level pressure).
+double pe_fmax_mhz(const AcceleratorPlan& plan, std::size_t pe_index,
+                   const TimingModel& model = {});
+
+/// Achieved kernel clock for the whole design: min over PEs, degraded by
+/// utilization pressure, clamped to the board ceiling and the requested
+/// target, quantized down to the clock quantum. Never below the quantum.
+double achieved_frequency_mhz(const AcceleratorPlan& plan,
+                              const ResourceReport& report,
+                              const TimingModel& model = {});
+
+}  // namespace condor::hw

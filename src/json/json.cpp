@@ -1,0 +1,556 @@
+#include "json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace condor::json {
+
+const Value* Object::find(std::string_view key) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.first == key) {
+      return &entry.second;
+    }
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) noexcept {
+  for (Entry& entry : entries_) {
+    if (entry.first == key) {
+      return &entry.second;
+    }
+  }
+  return nullptr;
+}
+
+Value& Object::set(std::string key, Value value) {
+  if (Value* existing = find(key)) {
+    *existing = std::move(value);
+    return *existing;
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+  return entries_.back().second;
+}
+
+bool Object::operator==(const Object& other) const {
+  if (entries_.size() != other.entries_.size()) {
+    return false;
+  }
+  // Key order is not semantically significant for equality.
+  for (const Entry& entry : entries_) {
+    const Value* match = other.find(entry.first);
+    if (match == nullptr || !(*match == entry.second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Type Value::type() const noexcept {
+  switch (data_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kInt;
+    case 3:
+      return Type::kDouble;
+    case 4:
+      return Type::kString;
+    case 5:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
+
+Result<bool> Value::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) {
+    return *b;
+  }
+  return invalid_input("json: expected bool");
+}
+
+Result<std::int64_t> Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return *i;
+  }
+  if (const auto* d = std::get_if<double>(&data_)) {
+    if (std::floor(*d) == *d) {
+      return static_cast<std::int64_t>(*d);
+    }
+  }
+  return invalid_input("json: expected integer");
+}
+
+Result<double> Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) {
+    return *d;
+  }
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    return static_cast<double>(*i);
+  }
+  return invalid_input("json: expected number");
+}
+
+Result<std::string> Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) {
+    return *s;
+  }
+  return invalid_input("json: expected string");
+}
+
+bool Value::operator==(const Value& other) const {
+  // Numeric cross-type comparison: 2 == 2.0.
+  if (is_number() && other.is_number() && type() != other.type()) {
+    return as_double().value() == other.as_double().value();
+  }
+  return data_ == other.data_;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  /// Nesting bound: recursive descent must not exhaust the stack on
+  /// adversarial inputs like "[[[[...".
+  static constexpr int kMaxDepth = 192;
+
+  Result<Value> run() {
+    CONDOR_ASSIGN_OR_RETURN(Value value, parse_value());
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status error(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return invalid_input(strings::format("json parse error at %zu:%zu: %s", line,
+                                         column, what.c_str()));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  bool consume(char expected) {
+    if (!eof() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_keyword(std::string_view keyword) {
+    if (text_.substr(pos_, keyword.size()) == keyword) {
+      pos_ += keyword.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value() {
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return error("nesting deeper than the parser limit");
+    }
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+    skip_whitespace();
+    if (eof()) {
+      return error("unexpected end of input");
+    }
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        CONDOR_ASSIGN_OR_RETURN(std::string s, parse_string());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (consume_keyword("true")) {
+          return Value(true);
+        }
+        return error("invalid literal");
+      case 'f':
+        if (consume_keyword("false")) {
+          return Value(false);
+        }
+        return error("invalid literal");
+      case 'n':
+        if (consume_keyword("null")) {
+          return Value(nullptr);
+        }
+        return error("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_object() {
+    ++pos_;  // '{'
+    Object object;
+    skip_whitespace();
+    if (consume('}')) {
+      return Value(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (eof() || peek() != '"') {
+        return error("expected object key string");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_whitespace();
+      if (!consume(':')) {
+        return error("expected ':' after object key");
+      }
+      CONDOR_ASSIGN_OR_RETURN(Value value, parse_value());
+      if (object.contains(key)) {
+        return error("duplicate object key '" + key + "'");
+      }
+      object.set(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume('}')) {
+        return Value(std::move(object));
+      }
+      if (!consume(',')) {
+        return error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Result<Value> parse_array() {
+    ++pos_;  // '['
+    Array array;
+    skip_whitespace();
+    if (consume(']')) {
+      return Value(std::move(array));
+    }
+    for (;;) {
+      CONDOR_ASSIGN_OR_RETURN(Value value, parse_value());
+      array.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(']')) {
+        return Value(std::move(array));
+      }
+      if (!consume(',')) {
+        return error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) {
+        return error("unterminated escape sequence");
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          CONDOR_ASSIGN_OR_RETURN(unsigned code, parse_hex4());
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          return error("invalid escape sequence");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Result<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      return error("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return error("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+      // sign consumed
+    }
+    bool any_digit = false;
+    while (!eof() && peek() >= '0' && peek() <= '9') {
+      ++pos_;
+      any_digit = true;
+    }
+    if (!any_digit) {
+      return error("invalid number");
+    }
+    bool is_double = false;
+    if (!eof() && peek() == '.') {
+      is_double = true;
+      ++pos_;
+      bool frac_digit = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        frac_digit = true;
+      }
+      if (!frac_digit) {
+        return error("digits required after decimal point");
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        ++pos_;
+      }
+      bool exp_digit = false;
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+        exp_digit = true;
+      }
+      if (!exp_digit) {
+        return error("digits required in exponent");
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long value = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Value(static_cast<std::int64_t>(value));
+      }
+      // fall through to double on int64 overflow
+    }
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return error("invalid number '" + token + "'");
+    }
+    return Value(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strings::format("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_number(double value, std::string& out) {
+  // Shortest round-trippable representation up to 17 significant digits.
+  for (int precision = 6; precision <= 17; ++precision) {
+    const std::string candidate = strings::format("%.*g", precision, value);
+    if (std::strtod(candidate.c_str(), nullptr) == value) {
+      out += candidate;
+      return;
+    }
+  }
+  out += strings::format("%.17g", value);
+}
+
+void dump_value(const Value& value, bool pretty, int depth, std::string& out) {
+  const auto indent = [&](int level) {
+    if (pretty) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(level) * 2, ' ');
+    }
+  };
+  switch (value.type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += value.as_bool().value() ? "true" : "false";
+      break;
+    case Type::kInt:
+      out += strings::format("%lld", static_cast<long long>(value.as_int().value()));
+      break;
+    case Type::kDouble:
+      dump_number(value.as_double().value(), out);
+      break;
+    case Type::kString:
+      dump_string(value.string(), out);
+      break;
+    case Type::kArray: {
+      const Array& array = value.array();
+      if (array.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i != 0) {
+          out.push_back(',');
+        }
+        indent(depth + 1);
+        dump_value(array[i], pretty, depth + 1, out);
+      }
+      indent(depth);
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      const Object& object = value.object();
+      if (object.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, entry] : object) {
+        if (!first) {
+          out.push_back(',');
+        }
+        first = false;
+        indent(depth + 1);
+        dump_string(key, out);
+        out += pretty ? ": " : ":";
+        dump_value(entry, pretty, depth + 1, out);
+      }
+      indent(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+std::string dump(const Value& value, bool pretty) {
+  std::string out;
+  dump_value(value, pretty, 0, out);
+  if (pretty) {
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace condor::json

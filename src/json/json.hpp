@@ -1,0 +1,114 @@
+// Self-contained JSON implementation for the Condor network representation.
+//
+// The original framework describes network topologies in "an internal JSON
+// [that] resembles the caffe prototxt file but contains more information
+// about the underlying hardware" (paper §3.1.1). This module provides the
+// value model, a recursive-descent parser with precise error positions, and
+// a deterministic serializer (object keys keep insertion order so emitted
+// files are stable across runs — important for artifact checksums).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace condor::json {
+
+class Value;
+
+/// Order-preserving string→Value map. JSON objects in Condor files are small
+/// (tens of keys), so a vector of pairs beats a tree/hash both in locality
+/// and in preserving authoring order.
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  /// Returns the value for `key`, or nullptr.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  [[nodiscard]] Value* find(std::string_view key) noexcept;
+
+  /// Inserts or overwrites.
+  Value& set(std::string key, Value value);
+
+  [[nodiscard]] bool contains(std::string_view key) const noexcept {
+    return find(key) != nullptr;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  [[nodiscard]] auto begin() const noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return entries_.end(); }
+  [[nodiscard]] auto begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] auto end() noexcept { return entries_.end(); }
+
+  bool operator==(const Object& other) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// A JSON value. Integers that fit int64 are kept exact (layer sizes,
+/// parallelism degrees); everything else numeric is double.
+class Value {
+ public:
+  Value() noexcept : data_(nullptr) {}
+  Value(std::nullptr_t) noexcept : data_(nullptr) {}          // NOLINT
+  Value(bool b) noexcept : data_(b) {}                        // NOLINT
+  Value(int v) noexcept : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::int64_t v) noexcept : data_(v) {}                // NOLINT
+  Value(std::size_t v) noexcept : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(double v) noexcept : data_(v) {}                      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}             // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}               // NOLINT
+  Value(Array a) : data_(std::move(a)) {}                     // NOLINT
+  Value(Object o) : data_(std::move(o)) {}                    // NOLINT
+
+  [[nodiscard]] Type type() const noexcept;
+
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_int() const noexcept { return type() == Type::kInt; }
+  [[nodiscard]] bool is_double() const noexcept { return type() == Type::kDouble; }
+  [[nodiscard]] bool is_number() const noexcept { return is_int() || is_double(); }
+  [[nodiscard]] bool is_string() const noexcept { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return type() == Type::kObject; }
+
+  // Checked accessors: return an error Status when the type does not match.
+  [[nodiscard]] Result<bool> as_bool() const;
+  [[nodiscard]] Result<std::int64_t> as_int() const;
+  [[nodiscard]] Result<double> as_double() const;  ///< accepts int too
+  [[nodiscard]] Result<std::string> as_string() const;
+
+  // Unchecked accessors (assert on mismatch); use after an is_*() check.
+  [[nodiscard]] const Array& array() const { return std::get<Array>(data_); }
+  [[nodiscard]] Array& array() { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& object() const { return std::get<Object>(data_); }
+  [[nodiscard]] Object& object() { return std::get<Object>(data_); }
+  [[nodiscard]] const std::string& string() const { return std::get<std::string>(data_); }
+
+  bool operator==(const Value& other) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Error messages include 1-based line:column of the offending character.
+Result<Value> parse(std::string_view text);
+
+/// Serializes with 2-space indentation (`pretty=true`) or compact.
+std::string dump(const Value& value, bool pretty = true);
+
+}  // namespace condor::json

@@ -1,0 +1,129 @@
+#include "nn/models.hpp"
+
+#include "common/strings.hpp"
+
+namespace condor::nn {
+namespace {
+
+LayerSpec input_layer(std::size_t channels, std::size_t height, std::size_t width) {
+  LayerSpec layer;
+  layer.name = "data";
+  layer.kind = LayerKind::kInput;
+  layer.input_channels = channels;
+  layer.input_height = height;
+  layer.input_width = width;
+  return layer;
+}
+
+LayerSpec conv(std::string name, std::size_t num_output, std::size_t kernel,
+               Activation activation = Activation::kNone, std::size_t stride = 1,
+               std::size_t pad = 0) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kConvolution;
+  layer.num_output = num_output;
+  layer.kernel_h = kernel;
+  layer.kernel_w = kernel;
+  layer.stride = stride;
+  layer.pad = pad;
+  layer.activation = activation;
+  return layer;
+}
+
+LayerSpec pool(std::string name, PoolMethod method, std::size_t kernel = 2,
+               std::size_t stride = 2) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kPooling;
+  layer.pool_method = method;
+  layer.kernel_h = kernel;
+  layer.kernel_w = kernel;
+  layer.stride = stride;
+  return layer;
+}
+
+LayerSpec fc(std::string name, std::size_t num_output,
+             Activation activation = Activation::kNone) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kInnerProduct;
+  layer.num_output = num_output;
+  layer.activation = activation;
+  return layer;
+}
+
+LayerSpec softmax(std::string name) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kSoftmax;
+  return layer;
+}
+
+}  // namespace
+
+Network make_tc1() {
+  Network net("tc1");
+  net.add(input_layer(1, 16, 16));
+  net.add(conv("conv1", 6, 3, Activation::kTanH));       // 6 @ 14x14
+  net.add(pool("pool1", PoolMethod::kAverage));          // 6 @ 7x7
+  net.add(conv("conv2", 12, 4, Activation::kTanH));      // 12 @ 4x4
+  net.add(pool("pool2", PoolMethod::kAverage));          // 12 @ 2x2
+  net.add(fc("ip1", 10));                                // 10 classes (USPS digits)
+  net.add(softmax("prob"));
+  return net;
+}
+
+Network make_lenet() {
+  // Mirrors BVLC caffe/examples/mnist/lenet.prototxt (deploy topology).
+  Network net("lenet");
+  net.add(input_layer(1, 28, 28));
+  net.add(conv("conv1", 20, 5));                         // 20 @ 24x24
+  net.add(pool("pool1", PoolMethod::kMax));              // 20 @ 12x12
+  net.add(conv("conv2", 50, 5));                         // 50 @ 8x8
+  net.add(pool("pool2", PoolMethod::kMax));              // 50 @ 4x4
+  net.add(fc("ip1", 500, Activation::kReLU));
+  net.add(fc("ip2", 10));
+  net.add(softmax("prob"));
+  return net;
+}
+
+Network make_vgg16() {
+  Network net("vgg16");
+  net.add(input_layer(3, 224, 224));
+  const struct {
+    const char* prefix;
+    std::size_t convs;
+    std::size_t channels;
+  } blocks[] = {
+      {"conv1", 2, 64}, {"conv2", 2, 128}, {"conv3", 3, 256},
+      {"conv4", 3, 512}, {"conv5", 3, 512},
+  };
+  for (const auto& block : blocks) {
+    for (std::size_t i = 1; i <= block.convs; ++i) {
+      net.add(conv(strings::format("%s_%zu", block.prefix, i), block.channels, 3,
+                   Activation::kReLU, /*stride=*/1, /*pad=*/1));
+    }
+    net.add(pool(strings::format("pool%c", block.prefix[4]), PoolMethod::kMax));
+  }
+  net.add(fc("fc6", 4096, Activation::kReLU));
+  net.add(fc("fc7", 4096, Activation::kReLU));
+  net.add(fc("fc8", 1000));
+  net.add(softmax("prob"));
+  return net;
+}
+
+Result<Network> make_model(std::string_view name) {
+  const std::string lower = strings::to_lower(name);
+  if (lower == "tc1") {
+    return make_tc1();
+  }
+  if (lower == "lenet") {
+    return make_lenet();
+  }
+  if (lower == "vgg16" || lower == "vgg-16") {
+    return make_vgg16();
+  }
+  return not_found("unknown model '" + std::string(name) + "'");
+}
+
+}  // namespace condor::nn

@@ -1,0 +1,34 @@
+// Model zoo: the three networks evaluated in the paper.
+//
+// - TC1: the USPS-digit CNN from Bacis et al. [25] (IPDPSW'17), the paper's
+//   first test case. [25] is not reproduced verbatim in the provided text;
+//   we reconstruct the USPS-scale topology it describes (16x16x1 input, two
+//   conv + average-pool stages with tanh activations — LeNet-1 style — and a
+//   small fully-connected classifier over the 10 digit classes). The paper's
+//   resource/GFLOPS shapes depend on the layer geometry class, not the exact
+//   filter counts, so this reconstruction preserves the evaluation.
+// - LeNet: the Caffe MNIST `lenet.prototxt` referenced by the paper
+//   (conv 20@5x5 -> maxpool2 -> conv 50@5x5 -> maxpool2 -> ip 500 + ReLU ->
+//   ip 10 -> softmax) on 28x28x1 inputs.
+// - VGG-16: Simonyan & Zisserman configuration D on 224x224x3 inputs;
+//   used by Table 2 (features-extraction only — the paper notes its FC
+//   layers are not synthesizable with the current methodology).
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace condor::nn {
+
+/// TC1 — the test-case network of [25], USPS 16x16 grayscale digits.
+Network make_tc1();
+
+/// LeNet from the Caffe MNIST example, 28x28 grayscale digits.
+Network make_lenet();
+
+/// VGG-16 (configuration D), 224x224 RGB.
+Network make_vgg16();
+
+/// Looks a model up by case-insensitive name ("tc1", "lenet", "vgg16").
+Result<Network> make_model(std::string_view name);
+
+}  // namespace condor::nn

@@ -1,0 +1,267 @@
+#include "nn/network.hpp"
+
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace condor::nn {
+
+const LayerSpec* Network::find_layer(std::string_view name) const noexcept {
+  for (const LayerSpec& layer : layers_) {
+    if (layer.name == name) {
+      return &layer;
+    }
+  }
+  return nullptr;
+}
+
+Status Network::validate() const {
+  if (layers_.empty()) {
+    return invalid_input("network '" + name_ + "' has no layers");
+  }
+  if (layers_.front().kind != LayerKind::kInput) {
+    return invalid_input("first layer must be an input layer");
+  }
+  std::set<std::string> names;
+  bool classifier_started = false;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerSpec& layer = layers_[i];
+    if (layer.name.empty()) {
+      return invalid_input(strings::format("layer %zu has an empty name", i));
+    }
+    if (!names.insert(layer.name).second) {
+      return invalid_input("duplicate layer name '" + layer.name + "'");
+    }
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        if (i != 0) {
+          return invalid_input("input layer '" + layer.name +
+                               "' must be the first layer");
+        }
+        if (layer.input_channels == 0 || layer.input_height == 0 ||
+            layer.input_width == 0) {
+          return invalid_input("input layer '" + layer.name +
+                               "' must declare a non-empty CHW shape");
+        }
+        break;
+      case LayerKind::kConvolution:
+        if (classifier_started) {
+          return invalid_input("convolution '" + layer.name +
+                               "' cannot follow an inner-product layer");
+        }
+        if (layer.num_output == 0) {
+          return invalid_input("convolution '" + layer.name +
+                               "' must have num_output > 0");
+        }
+        if (layer.kernel_h == 0 || layer.kernel_w == 0 || layer.stride == 0) {
+          return invalid_input("convolution '" + layer.name +
+                               "' has invalid window geometry");
+        }
+        break;
+      case LayerKind::kPooling:
+        if (classifier_started) {
+          return invalid_input("pooling '" + layer.name +
+                               "' cannot follow an inner-product layer");
+        }
+        if (layer.kernel_h == 0 || layer.kernel_w == 0 || layer.stride == 0) {
+          return invalid_input("pooling '" + layer.name +
+                               "' has invalid window geometry");
+        }
+        if (layer.pad != 0) {
+          return unsupported("pooling '" + layer.name +
+                             "' with padding is not supported");
+        }
+        break;
+      case LayerKind::kInnerProduct:
+        classifier_started = true;
+        if (layer.num_output == 0) {
+          return invalid_input("inner product '" + layer.name +
+                               "' must have num_output > 0");
+        }
+        break;
+      case LayerKind::kActivation:
+        if (layer.activation == Activation::kNone) {
+          return invalid_input("activation layer '" + layer.name +
+                               "' must name a function");
+        }
+        break;
+      case LayerKind::kSoftmax:
+        if (i + 1 != layers_.size()) {
+          return invalid_input("softmax '" + layer.name +
+                               "' must be the final layer");
+        }
+        break;
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::vector<LayerShapes>> Network::infer_shapes() const {
+  CONDOR_RETURN_IF_ERROR(validate());
+  std::vector<LayerShapes> shapes;
+  shapes.reserve(layers_.size());
+  Shape current;
+  for (const LayerSpec& layer : layers_) {
+    LayerShapes entry;
+    entry.input = current;
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        entry.input = Shape{};
+        entry.output =
+            Shape{layer.input_channels, layer.input_height, layer.input_width};
+        break;
+      case LayerKind::kConvolution: {
+        if (current.rank() != 3) {
+          return invalid_input("convolution '" + layer.name +
+                               "' requires a CHW input");
+        }
+        CONDOR_ASSIGN_OR_RETURN(
+            std::size_t out_h,
+            window_output_extent(current[1], layer.kernel_h, layer.stride, layer.pad));
+        CONDOR_ASSIGN_OR_RETURN(
+            std::size_t out_w,
+            window_output_extent(current[2], layer.kernel_w, layer.stride, layer.pad));
+        entry.output = Shape{layer.num_output, out_h, out_w};
+        break;
+      }
+      case LayerKind::kPooling: {
+        if (current.rank() != 3) {
+          return invalid_input("pooling '" + layer.name + "' requires a CHW input");
+        }
+        CONDOR_ASSIGN_OR_RETURN(
+            std::size_t out_h,
+            window_output_extent(current[1], layer.kernel_h, layer.stride, 0));
+        CONDOR_ASSIGN_OR_RETURN(
+            std::size_t out_w,
+            window_output_extent(current[2], layer.kernel_w, layer.stride, 0));
+        entry.output = Shape{current[0], out_h, out_w};
+        break;
+      }
+      case LayerKind::kInnerProduct:
+        // Implicit flatten of whatever precedes, as in Caffe.
+        entry.output = Shape{layer.num_output};
+        break;
+      case LayerKind::kActivation:
+      case LayerKind::kSoftmax:
+        entry.output = current;
+        break;
+    }
+    current = entry.output;
+    shapes.push_back(std::move(entry));
+  }
+  return shapes;
+}
+
+Result<Shape> Network::input_shape() const {
+  CONDOR_RETURN_IF_ERROR(validate());
+  const LayerSpec& input = layers_.front();
+  return Shape{input.input_channels, input.input_height, input.input_width};
+}
+
+Result<Shape> Network::output_shape() const {
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, infer_shapes());
+  return shapes.back().output;
+}
+
+Result<std::uint64_t> Network::total_flops() const {
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, infer_shapes());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    total += layer_flops(layers_[i], shapes[i].input, shapes[i].output);
+  }
+  return total;
+}
+
+Result<std::uint64_t> Network::feature_extraction_flops() const {
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, infer_shapes());
+  const std::size_t end = classifier_begin();
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < end; ++i) {
+    total += layer_flops(layers_[i], shapes[i].input, shapes[i].output);
+  }
+  return total;
+}
+
+Result<std::uint64_t> Network::parameter_count() const {
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, infer_shapes());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!layers_[i].has_weights()) {
+      continue;
+    }
+    CONDOR_ASSIGN_OR_RETURN(auto params,
+                            parameter_shapes(layers_[i], shapes[i].input));
+    total += params.weights.element_count();
+    if (params.bias.rank() > 0) {
+      total += params.bias.element_count();
+    }
+  }
+  return total;
+}
+
+std::size_t Network::classifier_begin() const noexcept {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].kind == LayerKind::kInnerProduct) {
+      return i;
+    }
+  }
+  return layers_.size();
+}
+
+Network Network::feature_extraction_prefix() const {
+  Network prefix(name_ + "-features");
+  const std::size_t end = classifier_begin();
+  for (std::size_t i = 0; i < end; ++i) {
+    prefix.add(layers_[i]);
+  }
+  return prefix;
+}
+
+std::string Network::summary() const {
+  std::string out = "network '" + name_ + "' (" +
+                    std::to_string(layers_.size()) + " layers)\n";
+  auto shapes_result = infer_shapes();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const LayerSpec& layer = layers_[i];
+    out += strings::format("  [%2zu] %-14s %-14s", i,
+                           std::string(to_string(layer.kind)).c_str(),
+                           layer.name.c_str());
+    if (shapes_result.is_ok()) {
+      const LayerShapes& shapes = shapes_result.value()[i];
+      out += " " + shapes.input.to_string() + " -> " + shapes.output.to_string();
+    }
+    if (layer.kind == LayerKind::kConvolution || layer.kind == LayerKind::kPooling) {
+      out += strings::format("  k=%zux%zu s=%zu", layer.kernel_h, layer.kernel_w,
+                             layer.stride);
+    }
+    if (layer.activation != Activation::kNone) {
+      out += " +";
+      out += to_string(layer.activation);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ParameterShapes> parameter_shapes(const LayerSpec& layer, const Shape& input) {
+  ParameterShapes out;
+  switch (layer.kind) {
+    case LayerKind::kConvolution:
+      if (input.rank() != 3) {
+        return invalid_input("convolution parameters require CHW input shape");
+      }
+      out.weights = Shape{layer.num_output, input[0], layer.kernel_h, layer.kernel_w};
+      break;
+    case LayerKind::kInnerProduct:
+      out.weights = Shape{layer.num_output, input.element_count()};
+      break;
+    default:
+      return invalid_input("layer '" + layer.name + "' has no parameters");
+  }
+  if (layer.has_bias) {
+    out.bias = Shape{layer.num_output};
+  }
+  return out;
+}
+
+}  // namespace condor::nn

@@ -1,0 +1,95 @@
+// Sequential network IR with shape inference and validation.
+//
+// Condor targets inference of feed-forward chains (features extraction
+// followed by an MLP classifier, paper §2). The Network owns the layer list
+// and provides per-layer input/output shapes, FLOP accounting (used by the
+// GFLOPS computations in the evaluation) and structural validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::nn {
+
+/// Resolved geometry of one layer within a network.
+struct LayerShapes {
+  Shape input;   ///< CHW for feature extraction, flat (N) for classifier
+  Shape output;
+};
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a layer. The first layer must be kInput.
+  void add(LayerSpec layer) { layers_.push_back(std::move(layer)); }
+
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const noexcept {
+    return layers_;
+  }
+  [[nodiscard]] std::vector<LayerSpec>& layers() noexcept { return layers_; }
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  /// Finds a layer by name, or nullptr.
+  [[nodiscard]] const LayerSpec* find_layer(std::string_view name) const noexcept;
+
+  /// Checks structural invariants: starts with exactly one kInput, window
+  /// geometries fit, inner-product layers only after the last spatial layer,
+  /// names unique and non-empty. Returns the first violation.
+  [[nodiscard]] Status validate() const;
+
+  /// Runs shape inference; requires validate() to pass.
+  [[nodiscard]] Result<std::vector<LayerShapes>> infer_shapes() const;
+
+  /// Input blob shape (CHW) declared by the kInput layer.
+  [[nodiscard]] Result<Shape> input_shape() const;
+
+  /// Shape of the final output blob.
+  [[nodiscard]] Result<Shape> output_shape() const;
+
+  /// Total inference FLOPs for one image.
+  [[nodiscard]] Result<std::uint64_t> total_flops() const;
+
+  /// FLOPs of the features-extraction part only (conv + pool + their fused
+  /// activations) — what Table 2 of the paper measures.
+  [[nodiscard]] Result<std::uint64_t> feature_extraction_flops() const;
+
+  /// Total trainable parameter count (weights + biases).
+  [[nodiscard]] Result<std::uint64_t> parameter_count() const;
+
+  /// Index of the first classifier layer (first kInnerProduct), or
+  /// layer_count() when the network has no classifier.
+  [[nodiscard]] std::size_t classifier_begin() const noexcept;
+
+  /// Returns a copy containing only the input + feature-extraction prefix
+  /// (plus interleaved activations), as evaluated in paper Table 2.
+  [[nodiscard]] Network feature_extraction_prefix() const;
+
+  /// One-line per layer human-readable summary.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+};
+
+/// Shapes of the weight/bias tensors a layer requires.
+/// Convolution: weights (num_output, in_channels, kh, kw), bias (num_output).
+/// InnerProduct: weights (num_output, in_count), bias (num_output).
+struct ParameterShapes {
+  Shape weights;
+  Shape bias;  ///< rank 0 when the layer has no bias
+};
+
+Result<ParameterShapes> parameter_shapes(const LayerSpec& layer, const Shape& input);
+
+}  // namespace condor::nn

@@ -1,0 +1,169 @@
+#include "nn/quantization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace condor::nn {
+
+std::string_view to_string(DataType type) noexcept {
+  switch (type) {
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFixed16:
+      return "fixed16";
+    case DataType::kFixed8:
+      return "fixed8";
+  }
+  return "?";
+}
+
+std::size_t bytes_per_element(DataType type) noexcept {
+  switch (type) {
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kFixed16:
+      return 2;
+    case DataType::kFixed8:
+      return 1;
+  }
+  return 4;
+}
+
+float FixedPointFormat::resolution() const noexcept {
+  return std::ldexp(1.0F, -frac_bits);
+}
+
+float FixedPointFormat::max_value() const noexcept {
+  // Largest positive code: 2^(total-1) - 1 steps of the resolution.
+  return (std::ldexp(1.0F, total_bits - 1) - 1.0F) * resolution();
+}
+
+float quantize_value(float value, const FixedPointFormat& format) noexcept {
+  const float scaled = std::ldexp(value, format.frac_bits);
+  const float max_code = std::ldexp(1.0F, format.total_bits - 1) - 1.0F;
+  const float min_code = -std::ldexp(1.0F, format.total_bits - 1);
+  const float code = std::clamp(std::nearbyint(scaled), min_code, max_code);
+  return std::ldexp(code, -format.frac_bits);
+}
+
+FixedPointFormat choose_format(std::span<const float> values,
+                               int total_bits) noexcept {
+  float max_abs = 0.0F;
+  for (const float value : values) {
+    max_abs = std::max(max_abs, std::fabs(value));
+  }
+  FixedPointFormat format;
+  format.total_bits = total_bits;
+  if (max_abs == 0.0F) {
+    format.frac_bits = total_bits - 1;
+    return format;
+  }
+  // Integer bits needed so that max_abs fits: ceil(log2(max_abs + 1ulp)).
+  const int integer_bits =
+      std::max(0, static_cast<int>(std::ceil(std::log2(max_abs + 1e-12F))));
+  format.frac_bits = std::clamp(total_bits - 1 - integer_bits, 0, total_bits - 1);
+  return format;
+}
+
+FixedPointFormat quantize_tensor(Tensor& tensor, int total_bits) noexcept {
+  const FixedPointFormat format = choose_format(tensor.data(), total_bits);
+  for (float& value : tensor.data()) {
+    value = quantize_value(value, format);
+  }
+  return format;
+}
+
+Result<WeightStore> quantize_weights(const WeightStore& weights, DataType type) {
+  if (type == DataType::kFloat32) {
+    return weights;
+  }
+  const int total_bits = type == DataType::kFixed16 ? 16 : 8;
+  WeightStore quantized;
+  for (const auto& [name, params] : weights.all()) {
+    LayerParameters out;
+    out.weights = params.weights;
+    quantize_tensor(out.weights, total_bits);
+    if (!params.bias.empty()) {
+      out.bias = params.bias;
+      quantize_tensor(out.bias, total_bits);
+    }
+    quantized.set(name, std::move(out));
+  }
+  return quantized;
+}
+
+Result<QuantizedEngine> QuantizedEngine::create(Network network,
+                                                WeightStore weights,
+                                                DataType type) {
+  CONDOR_ASSIGN_OR_RETURN(WeightStore quantized, quantize_weights(weights, type));
+  CONDOR_ASSIGN_OR_RETURN(
+      ReferenceEngine engine,
+      ReferenceEngine::create(std::move(network), std::move(quantized)));
+  const int total_bits = type == DataType::kFixed8 ? 8 : 16;
+  return QuantizedEngine(std::move(engine), type, total_bits);
+}
+
+Result<Tensor> QuantizedEngine::forward(const Tensor& input) const {
+  if (type_ == DataType::kFloat32) {
+    return engine_.forward(input);
+  }
+  // Quantize the input, then every intermediate blob with its own dynamic
+  // format — the software emulation of a fixed-point datapath with
+  // per-layer scaling.
+  Tensor current = input;
+  quantize_tensor(current, total_bits_);
+  const Network& net = engine_.network();
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    const LayerSpec& layer = net.layers()[i];
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        break;
+      case LayerKind::kConvolution: {
+        CONDOR_ASSIGN_OR_RETURN(
+            current, forward_convolution(layer, current,
+                                         *engine_.weights().find(layer.name)));
+        quantize_tensor(current, total_bits_);
+        break;
+      }
+      case LayerKind::kPooling: {
+        CONDOR_ASSIGN_OR_RETURN(current, forward_pooling(layer, current));
+        quantize_tensor(current, total_bits_);
+        break;
+      }
+      case LayerKind::kInnerProduct: {
+        CONDOR_ASSIGN_OR_RETURN(
+            current, forward_inner_product(layer, current,
+                                           *engine_.weights().find(layer.name)));
+        quantize_tensor(current, total_bits_);
+        break;
+      }
+      case LayerKind::kActivation:
+        current = forward_activation(layer.activation, current);
+        quantize_tensor(current, total_bits_);
+        break;
+      case LayerKind::kSoftmax:
+        // The normalization runs on the host in float (see the planner).
+        current = forward_softmax(current);
+        break;
+    }
+  }
+  return current;
+}
+
+QuantizationError compare_outputs(const Tensor& reference, const Tensor& quantized) {
+  QuantizationError error;
+  const auto ref = reference.data();
+  const auto quant = quantized.data();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const float diff = std::fabs(ref[i] - quant[i]);
+    error.max_abs_error = std::max(error.max_abs_error, diff);
+    error.mean_abs_error += diff;
+  }
+  if (!ref.empty()) {
+    error.mean_abs_error /= static_cast<float>(ref.size());
+  }
+  error.argmax_match = argmax(reference) == argmax(quantized);
+  return error;
+}
+
+}  // namespace condor::nn

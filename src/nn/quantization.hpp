@@ -1,0 +1,80 @@
+// Fixed-point quantization study (extension).
+//
+// The paper's accelerator computes in single-precision float; contemporary
+// work it cites (Qiu et al., FPGA'16 [14]) shows dynamic-precision fixed
+// point cuts bandwidth and resources "with negligible impact on the
+// resulting accuracy". This module provides the numerical side of that
+// study: per-tensor dynamic Q-format selection, weight/activation
+// quantization, and a quantized inference engine used by the quantization
+// ablation bench to measure the accuracy cost on Condor's model zoo.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "nn/network.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+
+namespace condor::nn {
+
+enum class DataType { kFloat32, kFixed16, kFixed8 };
+
+std::string_view to_string(DataType type) noexcept;
+std::size_t bytes_per_element(DataType type) noexcept;
+
+/// A signed fixed-point format: `total_bits` including sign, `frac_bits`
+/// fractional bits (Qm.n with m = total - 1 - n integer bits).
+struct FixedPointFormat {
+  int total_bits = 16;
+  int frac_bits = 12;
+
+  [[nodiscard]] float resolution() const noexcept;  ///< 2^-frac
+  [[nodiscard]] float max_value() const noexcept;   ///< largest representable
+};
+
+/// Rounds to nearest representable value, saturating at the format range.
+float quantize_value(float value, const FixedPointFormat& format) noexcept;
+
+/// Dynamic-precision format selection (after [14]): places the binary point
+/// so the largest magnitude in `values` just fits, maximizing fractional
+/// resolution. Falls back to all-fractional for all-zero inputs.
+FixedPointFormat choose_format(std::span<const float> values,
+                               int total_bits) noexcept;
+
+/// Quantizes every element in place with a per-tensor dynamic format.
+FixedPointFormat quantize_tensor(Tensor& tensor, int total_bits) noexcept;
+
+/// Quantizes all weights/biases of a store (per-blob dynamic formats).
+Result<WeightStore> quantize_weights(const WeightStore& weights, DataType type);
+
+/// Inference with quantized weights and per-layer activation quantization
+/// (quantize-dequantize at every layer boundary — the standard software
+/// emulation of a fixed-point datapath).
+class QuantizedEngine {
+ public:
+  static Result<QuantizedEngine> create(Network network, WeightStore weights,
+                                        DataType type);
+
+  Result<Tensor> forward(const Tensor& input) const;
+
+  [[nodiscard]] DataType data_type() const noexcept { return type_; }
+
+ private:
+  QuantizedEngine(ReferenceEngine engine, DataType type, int total_bits)
+      : engine_(std::move(engine)), type_(type), total_bits_(total_bits) {}
+
+  ReferenceEngine engine_;
+  DataType type_;
+  int total_bits_;
+};
+
+/// Error metrics between a float reference output and a quantized output.
+struct QuantizationError {
+  float max_abs_error = 0.0F;
+  float mean_abs_error = 0.0F;
+  bool argmax_match = true;
+};
+QuantizationError compare_outputs(const Tensor& reference, const Tensor& quantized);
+
+}  // namespace condor::nn

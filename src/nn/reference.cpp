@@ -1,0 +1,241 @@
+#include "nn/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace condor::nn {
+
+Result<Tensor> forward_convolution(const LayerSpec& layer, const Tensor& input,
+                                   const LayerParameters& params) {
+  if (input.shape().rank() != 3) {
+    return invalid_input("convolution input must be CHW");
+  }
+  const std::size_t in_c = input.shape()[0];
+  const std::size_t in_h = input.shape()[1];
+  const std::size_t in_w = input.shape()[2];
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_h,
+      window_output_extent(in_h, layer.kernel_h, layer.stride, layer.pad));
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_w,
+      window_output_extent(in_w, layer.kernel_w, layer.stride, layer.pad));
+  const std::size_t out_c = layer.num_output;
+
+  if (params.weights.shape() !=
+      Shape{out_c, in_c, layer.kernel_h, layer.kernel_w}) {
+    return invalid_input("convolution '" + layer.name + "': weight shape mismatch");
+  }
+
+  Tensor output(Shape{out_c, out_h, out_w});
+  // Accumulation order fixed as (input channel, kh, kw): the same order the
+  // generated PE code uses, so float results match the simulator bit-exactly.
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    const float bias = layer.has_bias ? params.bias[oc] : 0.0F;
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float acc = bias;
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          for (std::size_t ky = 0; ky < layer.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * layer.stride + ky) -
+                static_cast<std::ptrdiff_t>(layer.pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) {
+              continue;  // zero padding contributes nothing
+            }
+            for (std::size_t kx = 0; kx < layer.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * layer.stride + kx) -
+                  static_cast<std::ptrdiff_t>(layer.pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) {
+                continue;
+              }
+              acc += params.weights.at4(oc, ic, ky, kx) *
+                     input.at(ic, static_cast<std::size_t>(iy),
+                              static_cast<std::size_t>(ix));
+            }
+          }
+        }
+        output.at(oc, oy, ox) = apply_activation(layer.activation, acc);
+      }
+    }
+  }
+  return output;
+}
+
+Result<Tensor> forward_pooling(const LayerSpec& layer, const Tensor& input) {
+  if (input.shape().rank() != 3) {
+    return invalid_input("pooling input must be CHW");
+  }
+  const std::size_t channels = input.shape()[0];
+  const std::size_t in_h = input.shape()[1];
+  const std::size_t in_w = input.shape()[2];
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_h,
+      window_output_extent(in_h, layer.kernel_h, layer.stride, 0));
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_w,
+      window_output_extent(in_w, layer.kernel_w, layer.stride, 0));
+
+  Tensor output(Shape{channels, out_h, out_w});
+  const float window_size =
+      static_cast<float>(layer.kernel_h * layer.kernel_w);
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        float acc = layer.pool_method == PoolMethod::kMax
+                        ? -std::numeric_limits<float>::infinity()
+                        : 0.0F;
+        for (std::size_t ky = 0; ky < layer.kernel_h; ++ky) {
+          for (std::size_t kx = 0; kx < layer.kernel_w; ++kx) {
+            const float value =
+                input.at(c, oy * layer.stride + ky, ox * layer.stride + kx);
+            if (layer.pool_method == PoolMethod::kMax) {
+              acc = std::max(acc, value);
+            } else {
+              acc += value;
+            }
+          }
+        }
+        if (layer.pool_method == PoolMethod::kAverage) {
+          acc /= window_size;
+        }
+        output.at(c, oy, ox) = apply_activation(layer.activation, acc);
+      }
+    }
+  }
+  return output;
+}
+
+Result<Tensor> forward_inner_product(const LayerSpec& layer, const Tensor& input,
+                                     const LayerParameters& params) {
+  const std::size_t in_count = input.size();
+  const std::size_t out_count = layer.num_output;
+  if (params.weights.shape() != Shape{out_count, in_count}) {
+    return invalid_input("inner product '" + layer.name +
+                         "': weight shape mismatch");
+  }
+  Tensor output(Shape{out_count});
+  const auto in = input.data();
+  const auto weights = params.weights.data();
+  for (std::size_t o = 0; o < out_count; ++o) {
+    float acc = layer.has_bias ? params.bias[o] : 0.0F;
+    const float* row = weights.data() + o * in_count;
+    for (std::size_t i = 0; i < in_count; ++i) {
+      acc += row[i] * in[i];
+    }
+    output[o] = apply_activation(layer.activation, acc);
+  }
+  return output;
+}
+
+Tensor forward_activation(Activation activation, const Tensor& input) {
+  Tensor output = input;
+  for (float& value : output.data()) {
+    value = apply_activation(activation, value);
+  }
+  return output;
+}
+
+Tensor forward_softmax(const Tensor& input) {
+  Tensor output = input;
+  const auto view = output.data();
+  // Standard max-shift for numerical stability; paper eq. (5).
+  float max_value = -std::numeric_limits<float>::infinity();
+  for (const float value : view) {
+    max_value = std::max(max_value, value);
+  }
+  float sum = 0.0F;
+  for (float& value : view) {
+    value = std::exp(value - max_value);
+    sum += value;
+  }
+  for (float& value : view) {
+    value /= sum;
+  }
+  return output;
+}
+
+Result<ReferenceEngine> ReferenceEngine::create(Network network,
+                                                WeightStore weights) {
+  CONDOR_RETURN_IF_ERROR(network.validate());
+  CONDOR_RETURN_IF_ERROR(weights.validate_against(network));
+  return ReferenceEngine(std::move(network), std::move(weights));
+}
+
+Result<std::vector<Tensor>> ReferenceEngine::forward_all(const Tensor& input) const {
+  CONDOR_ASSIGN_OR_RETURN(Shape expected, network_.input_shape());
+  if (input.shape() != expected) {
+    return invalid_input(strings::format(
+        "input shape %s does not match network input %s",
+        input.shape().to_string().c_str(), expected.to_string().c_str()));
+  }
+  std::vector<Tensor> outputs;
+  outputs.reserve(network_.layer_count());
+  Tensor current = input;
+  for (const LayerSpec& layer : network_.layers()) {
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        break;  // pass-through: output is the declared input blob
+      case LayerKind::kConvolution: {
+        const LayerParameters* params = weights_.find(layer.name);
+        if (params == nullptr) {
+          return not_found("no weights for '" + layer.name + "'");
+        }
+        CONDOR_ASSIGN_OR_RETURN(current,
+                                forward_convolution(layer, current, *params));
+        break;
+      }
+      case LayerKind::kPooling: {
+        CONDOR_ASSIGN_OR_RETURN(current, forward_pooling(layer, current));
+        break;
+      }
+      case LayerKind::kInnerProduct: {
+        const LayerParameters* params = weights_.find(layer.name);
+        if (params == nullptr) {
+          return not_found("no weights for '" + layer.name + "'");
+        }
+        CONDOR_ASSIGN_OR_RETURN(current,
+                                forward_inner_product(layer, current, *params));
+        break;
+      }
+      case LayerKind::kActivation:
+        current = forward_activation(layer.activation, current);
+        break;
+      case LayerKind::kSoftmax:
+        current = forward_softmax(current);
+        break;
+    }
+    outputs.push_back(current);
+  }
+  return outputs;
+}
+
+Result<Tensor> ReferenceEngine::forward(const Tensor& input) const {
+  CONDOR_ASSIGN_OR_RETURN(auto outputs, forward_all(input));
+  return outputs.back();
+}
+
+Result<std::vector<Tensor>> ReferenceEngine::forward_batch(
+    const std::vector<Tensor>& inputs, ThreadPool& pool) const {
+  std::vector<Tensor> outputs(inputs.size());
+  std::vector<Status> statuses(inputs.size());
+  pool.parallel_for(inputs.size(), [&](std::size_t i) {
+    auto result = forward(inputs[i]);
+    if (result.is_ok()) {
+      outputs[i] = std::move(result).value();
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    if (!status.is_ok()) {
+      return status;
+    }
+  }
+  return outputs;
+}
+
+}  // namespace condor::nn

@@ -1,0 +1,57 @@
+// Golden CPU reference inference engine.
+//
+// This is the functional oracle against which the dataflow accelerator
+// simulation is validated bit-for-bit (both use the same single-precision
+// accumulation order: input channels outermost, then window rows, then
+// window columns — matching the order the generated PE C code uses).
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/network.hpp"
+#include "nn/weights.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::nn {
+
+/// Per-layer forward functions, exposed for targeted unit tests.
+Result<Tensor> forward_convolution(const LayerSpec& layer, const Tensor& input,
+                                   const LayerParameters& params);
+Result<Tensor> forward_pooling(const LayerSpec& layer, const Tensor& input);
+Result<Tensor> forward_inner_product(const LayerSpec& layer, const Tensor& input,
+                                     const LayerParameters& params);
+Tensor forward_activation(Activation activation, const Tensor& input);
+Tensor forward_softmax(const Tensor& input);
+
+class ReferenceEngine {
+ public:
+  /// Binds a validated network + weights. Fails if shapes do not line up.
+  static Result<ReferenceEngine> create(Network network, WeightStore weights);
+
+  /// Runs one image (CHW tensor matching the declared input shape) through
+  /// the network, returning the final blob.
+  Result<Tensor> forward(const Tensor& input) const;
+
+  /// Like forward(), but also returns every intermediate blob (one entry per
+  /// layer, entry i being the *output* of layer i). Used for per-layer
+  /// comparison against the dataflow simulation.
+  Result<std::vector<Tensor>> forward_all(const Tensor& input) const;
+
+  /// Batch inference across a thread pool (one image per task).
+  Result<std::vector<Tensor>> forward_batch(const std::vector<Tensor>& inputs,
+                                            ThreadPool& pool) const;
+
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
+  [[nodiscard]] const WeightStore& weights() const noexcept { return weights_; }
+
+ private:
+  ReferenceEngine(Network network, WeightStore weights)
+      : network_(std::move(network)), weights_(std::move(weights)) {}
+
+  Network network_;
+  WeightStore weights_;
+};
+
+}  // namespace condor::nn

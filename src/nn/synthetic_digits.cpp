@@ -1,0 +1,102 @@
+#include "nn/synthetic_digits.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace condor::nn {
+namespace {
+
+// Segment endpoints on a unit square (x0, y0, x1, y1). Classic 7-segment
+// layout extended with two diagonals for more distinctive glyphs.
+struct Segment {
+  float x0, y0, x1, y1;
+};
+
+constexpr Segment kSegments[] = {
+    {0.2F, 0.1F, 0.8F, 0.1F},  // 0: top
+    {0.8F, 0.1F, 0.8F, 0.5F},  // 1: top-right
+    {0.8F, 0.5F, 0.8F, 0.9F},  // 2: bottom-right
+    {0.2F, 0.9F, 0.8F, 0.9F},  // 3: bottom
+    {0.2F, 0.5F, 0.2F, 0.9F},  // 4: bottom-left
+    {0.2F, 0.1F, 0.2F, 0.5F},  // 5: top-left
+    {0.2F, 0.5F, 0.8F, 0.5F},  // 6: middle
+    {0.8F, 0.1F, 0.2F, 0.9F},  // 7: descending diagonal
+    {0.2F, 0.1F, 0.8F, 0.9F},  // 8: ascending-to-bottom diagonal
+};
+
+// Active segments per digit (7-segment convention; 7 uses the diagonal).
+constexpr std::array<std::uint16_t, 10> kDigitMask = {
+    0b0'0'0111111,  // 0
+    0b0'0'0000110,  // 1
+    0b0'0'1011011,  // 2
+    0b0'0'1001111,  // 3
+    0b0'0'1100110,  // 4
+    0b0'0'1101101,  // 5
+    0b0'0'1111101,  // 6
+    0b0'1'0000001,  // 7: top bar + descending diagonal
+    0b0'0'1111111,  // 8
+    0b0'0'1101111,  // 9
+};
+
+float point_segment_distance(float px, float py, const Segment& seg) noexcept {
+  const float dx = seg.x1 - seg.x0;
+  const float dy = seg.y1 - seg.y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0.0F ? ((px - seg.x0) * dx + (py - seg.y0) * dy) / len2 : 0.0F;
+  t = std::clamp(t, 0.0F, 1.0F);
+  const float cx = seg.x0 + t * dx;
+  const float cy = seg.y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+Tensor render_digit(int label, std::size_t size, Rng& rng, bool jitter,
+                    float noise_stddev) {
+  Tensor image(Shape{1, size, size});
+  const std::uint16_t mask = kDigitMask[static_cast<std::size_t>(label % 10)];
+  const float shift_x = jitter ? rng.uniform(-1.0F, 1.0F) / static_cast<float>(size) : 0.0F;
+  const float shift_y = jitter ? rng.uniform(-1.0F, 1.0F) / static_cast<float>(size) : 0.0F;
+  // Stroke half-width in normalized units; scales with resolution so 16x16
+  // and 28x28 glyphs look alike.
+  const float stroke = 1.2F / static_cast<float>(size);
+
+  for (std::size_t y = 0; y < size; ++y) {
+    for (std::size_t x = 0; x < size; ++x) {
+      const float px = (static_cast<float>(x) + 0.5F) / static_cast<float>(size) + shift_x;
+      const float py = (static_cast<float>(y) + 0.5F) / static_cast<float>(size) + shift_y;
+      float intensity = 0.0F;
+      for (std::size_t s = 0; s < std::size(kSegments); ++s) {
+        if ((mask & (1U << s)) == 0) {
+          continue;
+        }
+        const float distance = point_segment_distance(px, py, kSegments[s]);
+        // Soft anti-aliased stroke.
+        const float value = std::clamp(1.5F - distance / stroke, 0.0F, 1.0F);
+        intensity = std::max(intensity, value);
+      }
+      if (noise_stddev > 0.0F) {
+        intensity += rng.normal(0.0F, noise_stddev);
+      }
+      image.at(0, y, x) = std::clamp(intensity, 0.0F, 1.0F);
+    }
+  }
+  return image;
+}
+
+std::vector<DigitSample> make_digit_dataset(std::size_t count, std::size_t size,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DigitSample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DigitSample sample;
+    sample.label = static_cast<int>(i % 10);
+    sample.image = render_digit(sample.label, size, rng);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace condor::nn

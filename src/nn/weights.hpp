@@ -1,0 +1,61 @@
+// Weight storage, initialization and the Condor external weight file format.
+//
+// Paper §3.1.1: "Weights and biases are kept as external files and are loaded
+// dynamically at runtime. This enables the update of the network ... without
+// the need for re-synthesizing the accelerator." This module implements that
+// external file format (a small sectioned binary with per-blob CRC) plus
+// deterministic Xavier/Glorot initialization used to synthesize weights for
+// topologies we do not train (the paper evaluates inference only).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "nn/network.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::nn {
+
+/// Parameters of one layer.
+struct LayerParameters {
+  Tensor weights;
+  Tensor bias;  ///< empty when the layer has no bias
+};
+
+/// All parameters of a network, keyed by layer name.
+class WeightStore {
+ public:
+  [[nodiscard]] bool contains(const std::string& layer) const {
+    return params_.count(layer) != 0;
+  }
+  [[nodiscard]] const LayerParameters* find(const std::string& layer) const;
+  void set(std::string layer, LayerParameters params);
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return params_.size(); }
+  [[nodiscard]] const std::map<std::string, LayerParameters>& all() const noexcept {
+    return params_;
+  }
+
+  /// Verifies every weighted layer of `network` has parameters with the
+  /// shapes required by parameter_shapes().
+  [[nodiscard]] Status validate_against(const Network& network) const;
+
+  /// Serializes to the Condor weight-file binary format.
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static Result<WeightStore> deserialize(std::span<const std::byte> data);
+
+  Status save(const std::string& path) const;
+  static Result<WeightStore> load(const std::string& path);
+
+ private:
+  std::map<std::string, LayerParameters> params_;
+};
+
+/// Xavier/Glorot-uniform initialization for every weighted layer of
+/// `network`; deterministic given `seed`. Biases start at zero.
+Result<WeightStore> initialize_weights(const Network& network,
+                                       std::uint64_t seed = 42);
+
+}  // namespace condor::nn

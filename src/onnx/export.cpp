@@ -1,0 +1,213 @@
+#include "onnx/export.hpp"
+
+#include <cstring>
+
+namespace condor::onnx {
+namespace {
+
+TensorProto make_initializer(const std::string& name, const Tensor& tensor) {
+  TensorProto proto;
+  proto.name = name;
+  for (const std::size_t dim : tensor.shape().dims()) {
+    proto.dims.push_back(static_cast<std::int64_t>(dim));
+  }
+  proto.raw_data.resize(tensor.size() * sizeof(float));
+  std::memcpy(proto.raw_data.data(), tensor.raw(), proto.raw_data.size());
+  return proto;
+}
+
+AttributeProto ints_attr(std::string name, std::vector<std::int64_t> values) {
+  AttributeProto attr;
+  attr.name = std::move(name);
+  attr.type = AttributeProto::Type::kInts;
+  attr.ints = std::move(values);
+  return attr;
+}
+
+AttributeProto int_attr(std::string name, std::int64_t value) {
+  AttributeProto attr;
+  attr.name = std::move(name);
+  attr.type = AttributeProto::Type::kInt;
+  attr.i = value;
+  return attr;
+}
+
+const char* activation_op(nn::Activation activation) {
+  switch (activation) {
+    case nn::Activation::kReLU:
+      return "Relu";
+    case nn::Activation::kSigmoid:
+      return "Sigmoid";
+    case nn::Activation::kTanH:
+      return "Tanh";
+    case nn::Activation::kNone:
+      break;
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<ModelProto> to_model_proto(const nn::Network& network,
+                                  const nn::WeightStore& weights) {
+  CONDOR_RETURN_IF_ERROR(network.validate());
+  CONDOR_RETURN_IF_ERROR(weights.validate_against(network));
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, network.infer_shapes());
+
+  ModelProto model;
+  model.producer_name = "condor";
+  model.producer_version = "1.0";
+  model.opset_import.push_back({"", 13});
+  GraphProto& graph = model.graph;
+  graph.name = network.name();
+
+  const nn::LayerSpec& input = network.layers().front();
+  graph.input.push_back(
+      {input.name,
+       {1, static_cast<std::int64_t>(input.input_channels),
+        static_cast<std::int64_t>(input.input_height),
+        static_cast<std::int64_t>(input.input_width)}});
+
+  std::string current = input.name;
+  bool flattened = false;
+  const auto emit_activation = [&graph, &current](const nn::LayerSpec& layer) {
+    if (layer.activation == nn::Activation::kNone) {
+      return;
+    }
+    NodeProto node;
+    node.op_type = activation_op(layer.activation);
+    node.name = layer.name + "_act";
+    node.input.push_back(current);
+    node.output.push_back(node.name);
+    current = node.name;
+    graph.node.push_back(std::move(node));
+  };
+
+  for (std::size_t i = 1; i < network.layer_count(); ++i) {
+    const nn::LayerSpec& layer = network.layers()[i];
+    switch (layer.kind) {
+      case nn::LayerKind::kConvolution: {
+        const nn::LayerParameters* params = weights.find(layer.name);
+        NodeProto node;
+        node.op_type = "Conv";
+        node.name = layer.name;
+        node.input = {current, layer.name + "_W"};
+        graph.initializer.push_back(
+            make_initializer(layer.name + "_W", params->weights));
+        if (layer.has_bias) {
+          node.input.push_back(layer.name + "_B");
+          graph.initializer.push_back(
+              make_initializer(layer.name + "_B", params->bias));
+        }
+        node.output.push_back(layer.name);
+        node.attribute.push_back(
+            ints_attr("kernel_shape",
+                      {static_cast<std::int64_t>(layer.kernel_h),
+                       static_cast<std::int64_t>(layer.kernel_w)}));
+        node.attribute.push_back(ints_attr(
+            "strides", {static_cast<std::int64_t>(layer.stride),
+                        static_cast<std::int64_t>(layer.stride)}));
+        node.attribute.push_back(
+            ints_attr("pads", std::vector<std::int64_t>(
+                                  4, static_cast<std::int64_t>(layer.pad))));
+        node.attribute.push_back(int_attr("group", 1));
+        current = layer.name;
+        graph.node.push_back(std::move(node));
+        emit_activation(layer);
+        break;
+      }
+      case nn::LayerKind::kPooling: {
+        NodeProto node;
+        node.op_type = layer.pool_method == nn::PoolMethod::kMax
+                           ? "MaxPool"
+                           : "AveragePool";
+        node.name = layer.name;
+        node.input.push_back(current);
+        node.output.push_back(layer.name);
+        node.attribute.push_back(
+            ints_attr("kernel_shape",
+                      {static_cast<std::int64_t>(layer.kernel_h),
+                       static_cast<std::int64_t>(layer.kernel_w)}));
+        node.attribute.push_back(ints_attr(
+            "strides", {static_cast<std::int64_t>(layer.stride),
+                        static_cast<std::int64_t>(layer.stride)}));
+        current = layer.name;
+        graph.node.push_back(std::move(node));
+        emit_activation(layer);
+        break;
+      }
+      case nn::LayerKind::kInnerProduct: {
+        if (!flattened && shapes[i].input.rank() > 1) {
+          NodeProto flatten;
+          flatten.op_type = "Flatten";
+          flatten.name = layer.name + "_flatten";
+          flatten.input.push_back(current);
+          flatten.output.push_back(flatten.name);
+          flatten.attribute.push_back(int_attr("axis", 1));
+          current = flatten.name;
+          graph.node.push_back(std::move(flatten));
+          flattened = true;
+        }
+        const nn::LayerParameters* params = weights.find(layer.name);
+        NodeProto node;
+        node.op_type = "Gemm";
+        node.name = layer.name;
+        node.input = {current, layer.name + "_W"};
+        graph.initializer.push_back(
+            make_initializer(layer.name + "_W", params->weights));
+        if (layer.has_bias) {
+          node.input.push_back(layer.name + "_B");
+          graph.initializer.push_back(
+              make_initializer(layer.name + "_B", params->bias));
+        }
+        node.output.push_back(layer.name);
+        node.attribute.push_back(int_attr("transB", 1));
+        current = layer.name;
+        graph.node.push_back(std::move(node));
+        emit_activation(layer);
+        break;
+      }
+      case nn::LayerKind::kActivation: {
+        NodeProto node;
+        node.op_type = activation_op(layer.activation);
+        node.name = layer.name;
+        node.input.push_back(current);
+        node.output.push_back(layer.name);
+        current = layer.name;
+        graph.node.push_back(std::move(node));
+        break;
+      }
+      case nn::LayerKind::kSoftmax: {
+        NodeProto node;
+        node.op_type = "Softmax";
+        node.name = layer.name;
+        node.input.push_back(current);
+        node.output.push_back(layer.name);
+        node.attribute.push_back(int_attr("axis", 1));
+        current = layer.name;
+        graph.node.push_back(std::move(node));
+        break;
+      }
+      case nn::LayerKind::kInput:
+        return internal_error("unexpected input layer mid-network");
+    }
+  }
+
+  ValueInfoProto output_info;
+  output_info.name = current;
+  const Shape& out_shape = shapes.back().output;
+  output_info.shape.push_back(1);
+  for (const std::size_t dim : out_shape.dims()) {
+    output_info.shape.push_back(static_cast<std::int64_t>(dim));
+  }
+  graph.output.push_back(std::move(output_info));
+  return model;
+}
+
+Result<std::vector<std::byte>> to_onnx(const nn::Network& network,
+                                       const nn::WeightStore& weights) {
+  CONDOR_ASSIGN_OR_RETURN(ModelProto model, to_model_proto(network, weights));
+  return encode_model(model);
+}
+
+}  // namespace condor::onnx

@@ -1,0 +1,23 @@
+// Condor → ONNX export: synthesizes `.onnx` fixtures from the model zoo so
+// tests and examples can exercise the ONNX frontend exactly as a user with
+// a real exported model would (mirrors caffe/export.hpp).
+#pragma once
+
+#include "common/status.hpp"
+#include "nn/network.hpp"
+#include "nn/weights.hpp"
+#include "onnx/onnx_pb.hpp"
+
+namespace condor::onnx {
+
+/// Builds a ModelProto: Conv/MaxPool/AveragePool/Gemm(transB=1) nodes,
+/// separate activation nodes for fused activations, a Flatten before the
+/// first Gemm, weights as raw_data initializers.
+Result<ModelProto> to_model_proto(const nn::Network& network,
+                                  const nn::WeightStore& weights);
+
+/// Serialized `.onnx` bytes.
+Result<std::vector<std::byte>> to_onnx(const nn::Network& network,
+                                       const nn::WeightStore& weights);
+
+}  // namespace condor::onnx

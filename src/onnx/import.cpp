@@ -1,0 +1,322 @@
+#include "onnx/import.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace condor::onnx {
+namespace {
+
+constexpr std::string_view kTag = "onnx-import";
+
+Result<nn::Activation> activation_for_op(std::string_view op) {
+  if (op == "Relu") {
+    return nn::Activation::kReLU;
+  }
+  if (op == "Sigmoid") {
+    return nn::Activation::kSigmoid;
+  }
+  if (op == "Tanh") {
+    return nn::Activation::kTanH;
+  }
+  return invalid_input("not an activation op");
+}
+
+/// Reads an INTS attribute, or the fallback when absent.
+std::vector<std::int64_t> ints_or(const NodeProto& node, std::string_view name,
+                                  std::vector<std::int64_t> fallback) {
+  const AttributeProto* attr = node.find_attribute(name);
+  return attr != nullptr && !attr->ints.empty() ? attr->ints
+                                                : std::move(fallback);
+}
+
+/// Validates symmetric pads [t, l, b, r] and returns the per-side amount.
+Result<std::size_t> symmetric_pad(const NodeProto& node) {
+  const auto pads = ints_or(node, "pads", {0, 0, 0, 0});
+  if (pads.size() != 4) {
+    return unsupported("node '" + node.name + "': pads must have 4 entries");
+  }
+  if (!(pads[0] == pads[1] && pads[1] == pads[2] && pads[2] == pads[3])) {
+    return unsupported("node '" + node.name +
+                       "': asymmetric padding is not supported");
+  }
+  return static_cast<std::size_t>(pads[0]);
+}
+
+Result<std::size_t> uniform_stride(const NodeProto& node) {
+  const auto strides = ints_or(node, "strides", {1, 1});
+  if (strides.size() != 2 || strides[0] != strides[1]) {
+    return unsupported("node '" + node.name +
+                       "': only uniform 2-D strides are supported");
+  }
+  return static_cast<std::size_t>(strides[0]);
+}
+
+Tensor tensor_from_proto(const TensorProto& proto, const Shape& shape) {
+  return Tensor(shape, proto.values().value());
+}
+
+}  // namespace
+
+Result<OnnxModel> import_model(const ModelProto& model) {
+  const GraphProto& graph = model.graph;
+  OnnxModel out;
+  out.network.set_name(graph.name.empty() ? "onnx-net" : graph.name);
+
+  // Graph input = the value-info entry that is not an initializer.
+  const ValueInfoProto* graph_input = nullptr;
+  for (const ValueInfoProto& info : graph.input) {
+    if (graph.find_initializer(info.name) == nullptr) {
+      if (graph_input != nullptr) {
+        return unsupported("ONNX graph has multiple data inputs");
+      }
+      graph_input = &info;
+    }
+  }
+  if (graph_input == nullptr) {
+    return invalid_input("ONNX graph has no data input");
+  }
+  nn::LayerSpec input;
+  input.kind = nn::LayerKind::kInput;
+  input.name = graph_input->name;
+  const auto& dims = graph_input->shape;
+  if (dims.size() == 4) {
+    input.input_channels = static_cast<std::size_t>(dims[1]);
+    input.input_height = static_cast<std::size_t>(dims[2]);
+    input.input_width = static_cast<std::size_t>(dims[3]);
+  } else if (dims.size() == 3) {
+    input.input_channels = static_cast<std::size_t>(dims[0]);
+    input.input_height = static_cast<std::size_t>(dims[1]);
+    input.input_width = static_cast<std::size_t>(dims[2]);
+  } else {
+    return unsupported(strings::format(
+        "ONNX input '%s' must be rank 3 or 4, got rank %zu",
+        graph_input->name.c_str(), dims.size()));
+  }
+  out.network.add(input);
+
+  // Walk the (topologically ordered) single chain.
+  std::string current_blob = graph_input->name;
+  // Pending MatMul awaiting a bias Add fold.
+  std::string pending_matmul_layer;
+
+  for (const NodeProto& node : graph.node) {
+    const std::string& op = node.op_type;
+    const auto data_input_is_current = [&]() {
+      return !node.input.empty() && node.input[0] == current_blob;
+    };
+    if (!data_input_is_current()) {
+      return unsupported("node '" + node.name +
+                         "' does not continue the single chain (input '" +
+                         (node.input.empty() ? "<none>" : node.input[0]) +
+                         "', expected '" + current_blob + "')");
+    }
+    if (node.output.empty()) {
+      return invalid_input("node '" + node.name + "' has no output");
+    }
+    const std::string node_name =
+        node.name.empty() ? node.output[0] : node.name;
+
+    if (op == "Conv") {
+      if (node.input.size() < 2) {
+        return invalid_input("Conv '" + node_name + "' needs a weight input");
+      }
+      const TensorProto* weight = graph.find_initializer(node.input[1]);
+      if (weight == nullptr || weight->dims.size() != 4) {
+        return invalid_input("Conv '" + node_name +
+                             "': weights must be a rank-4 initializer");
+      }
+      if (const AttributeProto* group = node.find_attribute("group");
+          group != nullptr && group->i != 1) {
+        return unsupported("Conv '" + node_name + "': grouped convolution");
+      }
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kConvolution;
+      layer.name = node_name;
+      layer.num_output = static_cast<std::size_t>(weight->dims[0]);
+      const auto kernel = ints_or(node, "kernel_shape",
+                                  {weight->dims[2], weight->dims[3]});
+      layer.kernel_h = static_cast<std::size_t>(kernel[0]);
+      layer.kernel_w = static_cast<std::size_t>(kernel.size() > 1 ? kernel[1]
+                                                                  : kernel[0]);
+      CONDOR_ASSIGN_OR_RETURN(layer.stride, uniform_stride(node));
+      CONDOR_ASSIGN_OR_RETURN(layer.pad, symmetric_pad(node));
+      layer.has_bias = node.input.size() > 2;
+
+      nn::LayerParameters params;
+      params.weights = tensor_from_proto(
+          *weight, Shape{static_cast<std::size_t>(weight->dims[0]),
+                         static_cast<std::size_t>(weight->dims[1]),
+                         static_cast<std::size_t>(weight->dims[2]),
+                         static_cast<std::size_t>(weight->dims[3])});
+      if (layer.has_bias) {
+        const TensorProto* bias = graph.find_initializer(node.input[2]);
+        if (bias == nullptr) {
+          return invalid_input("Conv '" + node_name + "': bias not found");
+        }
+        params.bias = tensor_from_proto(*bias, Shape{layer.num_output});
+      }
+      out.weights.set(layer.name, std::move(params));
+      out.network.add(std::move(layer));
+      current_blob = node.output[0];
+      continue;
+    }
+
+    if (op == "MaxPool" || op == "AveragePool") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kPooling;
+      layer.name = node_name;
+      layer.pool_method =
+          op == "MaxPool" ? nn::PoolMethod::kMax : nn::PoolMethod::kAverage;
+      const auto kernel = ints_or(node, "kernel_shape", {});
+      if (kernel.empty()) {
+        return invalid_input(op + " '" + node_name + "': missing kernel_shape");
+      }
+      layer.kernel_h = static_cast<std::size_t>(kernel[0]);
+      layer.kernel_w =
+          static_cast<std::size_t>(kernel.size() > 1 ? kernel[1] : kernel[0]);
+      CONDOR_ASSIGN_OR_RETURN(layer.stride, uniform_stride(node));
+      CONDOR_ASSIGN_OR_RETURN(std::size_t pad, symmetric_pad(node));
+      if (pad != 0) {
+        return unsupported(op + " '" + node_name + "': padded pooling");
+      }
+      out.network.add(std::move(layer));
+      current_blob = node.output[0];
+      continue;
+    }
+
+    if (op == "Gemm" || op == "MatMul") {
+      if (node.input.size() < 2) {
+        return invalid_input(op + " '" + node_name + "' needs a weight input");
+      }
+      const TensorProto* weight = graph.find_initializer(node.input[1]);
+      if (weight == nullptr || weight->dims.size() != 2) {
+        return invalid_input(op + " '" + node_name +
+                             "': weights must be a rank-2 initializer");
+      }
+      bool trans_b = false;
+      if (op == "Gemm") {
+        if (const AttributeProto* attr = node.find_attribute("transB")) {
+          trans_b = attr->i != 0;
+        }
+        if (const AttributeProto* attr = node.find_attribute("alpha");
+            attr != nullptr && attr->f != 1.0F) {
+          return unsupported("Gemm '" + node_name + "': alpha != 1");
+        }
+        if (const AttributeProto* attr = node.find_attribute("beta");
+            attr != nullptr && attr->f != 1.0F) {
+          return unsupported("Gemm '" + node_name + "': beta != 1");
+        }
+      }
+      const auto rows = static_cast<std::size_t>(weight->dims[0]);
+      const auto cols = static_cast<std::size_t>(weight->dims[1]);
+      const std::size_t out_count = trans_b ? rows : cols;
+      const std::size_t in_count = trans_b ? cols : rows;
+
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kInnerProduct;
+      layer.name = node_name;
+      layer.num_output = out_count;
+      layer.has_bias = op == "Gemm" && node.input.size() > 2;
+
+      nn::LayerParameters params;
+      CONDOR_ASSIGN_OR_RETURN(auto raw, weight->values());
+      if (trans_b) {
+        params.weights = Tensor(Shape{out_count, in_count}, std::move(raw));
+      } else {
+        // Stored [in, out]; Condor wants [out, in].
+        Tensor transposed(Shape{out_count, in_count});
+        for (std::size_t r = 0; r < in_count; ++r) {
+          for (std::size_t c = 0; c < out_count; ++c) {
+            transposed[c * in_count + r] = raw[r * out_count + c];
+          }
+        }
+        params.weights = std::move(transposed);
+      }
+      if (layer.has_bias) {
+        const TensorProto* bias = graph.find_initializer(node.input[2]);
+        if (bias == nullptr) {
+          return invalid_input("Gemm '" + node_name + "': bias not found");
+        }
+        params.bias = tensor_from_proto(*bias, Shape{out_count});
+      }
+      out.weights.set(layer.name, std::move(params));
+      out.network.add(std::move(layer));
+      if (op == "MatMul") {
+        pending_matmul_layer = node_name;
+      }
+      current_blob = node.output[0];
+      continue;
+    }
+
+    if (op == "Add" && !pending_matmul_layer.empty()) {
+      // Bias fold: MatMul output + initializer vector.
+      const TensorProto* bias =
+          node.input.size() > 1 ? graph.find_initializer(node.input[1]) : nullptr;
+      if (bias == nullptr) {
+        return unsupported("Add '" + node_name + "': only bias folds after "
+                           "MatMul are supported");
+      }
+      nn::LayerSpec& fc = out.network.layers().back();
+      fc.has_bias = true;
+      const nn::LayerParameters* existing = out.weights.find(fc.name);
+      nn::LayerParameters params;
+      params.weights = existing->weights;
+      params.bias = tensor_from_proto(*bias, Shape{fc.num_output});
+      out.weights.set(fc.name, std::move(params));
+      pending_matmul_layer.clear();
+      current_blob = node.output[0];
+      continue;
+    }
+
+    if (auto activation = activation_for_op(op); activation.is_ok()) {
+      nn::LayerSpec* producer =
+          out.network.layers().size() > 1 ? &out.network.layers().back() : nullptr;
+      if (producer != nullptr && producer->has_weights() &&
+          producer->activation == nn::Activation::kNone) {
+        producer->activation = activation.value();
+        CONDOR_LOG_DEBUG(kTag) << "fused " << op << " '" << node_name
+                               << "' into '" << producer->name << "'";
+      } else {
+        nn::LayerSpec layer;
+        layer.kind = nn::LayerKind::kActivation;
+        layer.name = node_name;
+        layer.activation = activation.value();
+        out.network.add(std::move(layer));
+      }
+      current_blob = node.output[0];
+      continue;
+    }
+
+    if (op == "Flatten" || op == "Reshape") {
+      current_blob = node.output[0];  // implicit in Condor's shape inference
+      continue;
+    }
+
+    if (op == "Softmax") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kSoftmax;
+      layer.name = node_name;
+      out.network.add(std::move(layer));
+      current_blob = node.output[0];
+      continue;
+    }
+
+    return unsupported("ONNX op '" + op + "' (node '" + node_name +
+                       "') is not supported by Condor");
+  }
+
+  CONDOR_RETURN_IF_ERROR(out.network.validate());
+  CONDOR_RETURN_IF_ERROR(out.weights.validate_against(out.network));
+  CONDOR_LOG_INFO(kTag) << "imported '" << out.network.name() << "' ("
+                        << out.network.layer_count() << " layers)";
+  return out;
+}
+
+Result<OnnxModel> load_onnx_model(std::span<const std::byte> data) {
+  CONDOR_ASSIGN_OR_RETURN(ModelProto model, decode_model(data));
+  return import_model(model);
+}
+
+}  // namespace condor::onnx

@@ -1,0 +1,31 @@
+// ONNX → Condor import (frontend extension, paper §3.1.1 future work).
+//
+// Supports the single-chain CNN subset Condor accelerates:
+//   Conv (group 1, symmetric pads), MaxPool / AveragePool,
+//   Gemm (transB=1) and MatMul [+ Add] for fully-connected layers,
+//   Relu / Sigmoid / Tanh (fused into the producing layer when in-chain),
+//   Flatten / Reshape (inference no-ops; Condor flattens implicitly),
+//   Softmax.
+// Weights come from graph initializers; the graph input supplies the
+// N,C,H,W (or C,H,W) blob shape.
+#pragma once
+
+#include "common/status.hpp"
+#include "nn/network.hpp"
+#include "nn/weights.hpp"
+#include "onnx/onnx_pb.hpp"
+
+namespace condor::onnx {
+
+struct OnnxModel {
+  nn::Network network;
+  nn::WeightStore weights;
+};
+
+/// Converts a decoded ModelProto.
+Result<OnnxModel> import_model(const ModelProto& model);
+
+/// Decodes and converts `.onnx` bytes.
+Result<OnnxModel> load_onnx_model(std::span<const std::byte> data);
+
+}  // namespace condor::onnx

@@ -1,0 +1,477 @@
+#include "onnx/onnx_pb.hpp"
+
+#include <cstring>
+
+#include "common/byte_io.hpp"
+
+namespace condor::onnx {
+
+using protowire::Reader;
+using protowire::Tag;
+using protowire::WireType;
+using protowire::Writer;
+
+Result<std::vector<float>> TensorProto::values() const {
+  if (data_type != kFloat) {
+    return unsupported("ONNX tensor '" + name + "' is not FLOAT");
+  }
+  if (!raw_data.empty()) {
+    if (raw_data.size() % 4 != 0) {
+      return invalid_input("ONNX tensor '" + name +
+                           "': raw_data not a multiple of 4 bytes");
+    }
+    std::vector<float> out(raw_data.size() / 4);
+    std::memcpy(out.data(), raw_data.data(), raw_data.size());
+    return out;
+  }
+  return float_data;
+}
+
+std::size_t TensorProto::element_count() const noexcept {
+  std::size_t count = 1;
+  for (const std::int64_t dim : dims) {
+    count *= static_cast<std::size_t>(dim);
+  }
+  return count;
+}
+
+const AttributeProto* NodeProto::find_attribute(std::string_view attr) const {
+  for (const AttributeProto& a : attribute) {
+    if (a.name == attr) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+const TensorProto* GraphProto::find_initializer(std::string_view tensor) const {
+  for (const TensorProto& t : initializer) {
+    if (t.name == tensor) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// ---- encoders --------------------------------------------------------------
+
+void put_packed_i64(Writer& out, std::uint32_t field,
+                    const std::vector<std::int64_t>& values) {
+  if (values.empty()) {
+    return;
+  }
+  ByteWriter payload;
+  for (const std::int64_t value : values) {
+    protowire::put_varint(payload, static_cast<std::uint64_t>(value));
+  }
+  out.bytes_field(field, payload.view());
+}
+
+Writer encode_tensor(const TensorProto& tensor) {
+  Writer out;
+  put_packed_i64(out, 1, tensor.dims);
+  out.int_field(2, tensor.data_type);
+  if (!tensor.float_data.empty()) {
+    out.packed_floats(4, tensor.float_data);
+  }
+  out.string_field(8, tensor.name);
+  if (!tensor.raw_data.empty()) {
+    out.bytes_field(9, tensor.raw_data);
+  }
+  return out;
+}
+
+Writer encode_attribute(const AttributeProto& attr) {
+  Writer out;
+  out.string_field(1, attr.name);
+  switch (attr.type) {
+    case AttributeProto::Type::kFloat:
+      out.float_field(2, attr.f);
+      break;
+    case AttributeProto::Type::kInt:
+      out.int_field(3, attr.i);
+      break;
+    case AttributeProto::Type::kString:
+      out.string_field(4, attr.s);
+      break;
+    case AttributeProto::Type::kInts:
+      put_packed_i64(out, 8, attr.ints);
+      break;
+    case AttributeProto::Type::kUndefined:
+      break;
+  }
+  out.int_field(20, static_cast<std::int64_t>(attr.type));
+  return out;
+}
+
+Writer encode_node(const NodeProto& node) {
+  Writer out;
+  for (const std::string& name : node.input) out.string_field(1, name);
+  for (const std::string& name : node.output) out.string_field(2, name);
+  out.string_field(3, node.name);
+  out.string_field(4, node.op_type);
+  for (const AttributeProto& attr : node.attribute) {
+    out.message_field(5, encode_attribute(attr));
+  }
+  return out;
+}
+
+Writer encode_value_info(const ValueInfoProto& info) {
+  // ValueInfoProto { name=1, type=2: TypeProto { tensor_type=1:
+  //   Tensor { elem_type=1, shape=2: TensorShapeProto { dim=1:
+  //     Dimension { dim_value=1 } } } } }
+  Writer shape;
+  for (const std::int64_t value : info.shape) {
+    Writer dim;
+    dim.int_field(1, value);
+    shape.message_field(1, dim);
+  }
+  Writer tensor;
+  tensor.int_field(1, TensorProto::kFloat);
+  tensor.message_field(2, shape);
+  Writer type;
+  type.message_field(1, tensor);
+  Writer out;
+  out.string_field(1, info.name);
+  out.message_field(2, type);
+  return out;
+}
+
+Writer encode_graph(const GraphProto& graph) {
+  Writer out;
+  for (const NodeProto& node : graph.node) {
+    out.message_field(1, encode_node(node));
+  }
+  out.string_field(2, graph.name);
+  for (const TensorProto& tensor : graph.initializer) {
+    out.message_field(5, encode_tensor(tensor));
+  }
+  for (const ValueInfoProto& info : graph.input) {
+    out.message_field(11, encode_value_info(info));
+  }
+  for (const ValueInfoProto& info : graph.output) {
+    out.message_field(12, encode_value_info(info));
+  }
+  return out;
+}
+
+// ---- decoders --------------------------------------------------------------
+
+Result<std::vector<std::int64_t>> decode_packed_i64(Reader& in, const Tag& tag) {
+  std::vector<std::int64_t> out;
+  if (tag.wire_type == WireType::kVarint) {
+    CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+    out.push_back(static_cast<std::int64_t>(value));
+    return out;
+  }
+  CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+  ByteReader values(payload);
+  while (!values.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, protowire::get_varint(values));
+    out.push_back(static_cast<std::int64_t>(value));
+  }
+  return out;
+}
+
+Result<TensorProto> decode_tensor(std::span<const std::byte> data) {
+  TensorProto tensor;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(auto dims, decode_packed_i64(in, tag));
+        tensor.dims.insert(tensor.dims.end(), dims.begin(), dims.end());
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        tensor.data_type = static_cast<std::int32_t>(value);
+        break;
+      }
+      case 4: {
+        CONDOR_RETURN_IF_ERROR(in.read_packed_floats(tag, tensor.float_data));
+        break;
+      }
+      case 8: {
+        CONDOR_ASSIGN_OR_RETURN(tensor.name, in.read_string());
+        break;
+      }
+      case 9: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        tensor.raw_data.assign(payload.begin(), payload.end());
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return tensor;
+}
+
+Result<AttributeProto> decode_attribute(std::span<const std::byte> data) {
+  AttributeProto attr;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(attr.name, in.read_string());
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(attr.f, in.read_float());
+        break;
+      }
+      case 3: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        attr.i = static_cast<std::int64_t>(value);
+        break;
+      }
+      case 4: {
+        CONDOR_ASSIGN_OR_RETURN(attr.s, in.read_string());
+        break;
+      }
+      case 8: {
+        CONDOR_ASSIGN_OR_RETURN(auto values, decode_packed_i64(in, tag));
+        attr.ints.insert(attr.ints.end(), values.begin(), values.end());
+        break;
+      }
+      case 20: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        attr.type = static_cast<AttributeProto::Type>(value);
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  // Old exporters omit the type tag; infer from the populated field.
+  if (attr.type == AttributeProto::Type::kUndefined) {
+    if (!attr.ints.empty()) {
+      attr.type = AttributeProto::Type::kInts;
+    } else if (!attr.s.empty()) {
+      attr.type = AttributeProto::Type::kString;
+    } else {
+      attr.type = AttributeProto::Type::kInt;
+    }
+  }
+  return attr;
+}
+
+Result<NodeProto> decode_node(std::span<const std::byte> data) {
+  NodeProto node;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(std::string name, in.read_string());
+        node.input.push_back(std::move(name));
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(std::string name, in.read_string());
+        node.output.push_back(std::move(name));
+        break;
+      }
+      case 3: {
+        CONDOR_ASSIGN_OR_RETURN(node.name, in.read_string());
+        break;
+      }
+      case 4: {
+        CONDOR_ASSIGN_OR_RETURN(node.op_type, in.read_string());
+        break;
+      }
+      case 5: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(AttributeProto attr, decode_attribute(payload));
+        node.attribute.push_back(std::move(attr));
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return node;
+}
+
+Result<ValueInfoProto> decode_value_info(std::span<const std::byte> data) {
+  ValueInfoProto info;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    if (tag.field_number == 1) {
+      CONDOR_ASSIGN_OR_RETURN(info.name, in.read_string());
+    } else if (tag.field_number == 2 && tag.wire_type == WireType::kLen) {
+      // TypeProto -> tensor_type -> shape -> dim -> dim_value.
+      CONDOR_ASSIGN_OR_RETURN(auto type_payload, in.read_len());
+      Reader type(type_payload);
+      while (!type.at_end()) {
+        CONDOR_ASSIGN_OR_RETURN(Tag type_tag, type.read_tag());
+        if (type_tag.field_number != 1 || type_tag.wire_type != WireType::kLen) {
+          CONDOR_RETURN_IF_ERROR(type.skip(type_tag));
+          continue;
+        }
+        CONDOR_ASSIGN_OR_RETURN(auto tensor_payload, type.read_len());
+        Reader tensor(tensor_payload);
+        while (!tensor.at_end()) {
+          CONDOR_ASSIGN_OR_RETURN(Tag tensor_tag, tensor.read_tag());
+          if (tensor_tag.field_number != 2 ||
+              tensor_tag.wire_type != WireType::kLen) {
+            CONDOR_RETURN_IF_ERROR(tensor.skip(tensor_tag));
+            continue;
+          }
+          CONDOR_ASSIGN_OR_RETURN(auto shape_payload, tensor.read_len());
+          Reader shape(shape_payload);
+          while (!shape.at_end()) {
+            CONDOR_ASSIGN_OR_RETURN(Tag dim_tag, shape.read_tag());
+            if (dim_tag.field_number != 1 || dim_tag.wire_type != WireType::kLen) {
+              CONDOR_RETURN_IF_ERROR(shape.skip(dim_tag));
+              continue;
+            }
+            CONDOR_ASSIGN_OR_RETURN(auto dim_payload, shape.read_len());
+            Reader dim(dim_payload);
+            std::int64_t value = 0;
+            while (!dim.at_end()) {
+              CONDOR_ASSIGN_OR_RETURN(Tag value_tag, dim.read_tag());
+              if (value_tag.field_number == 1 &&
+                  value_tag.wire_type == WireType::kVarint) {
+                CONDOR_ASSIGN_OR_RETURN(std::uint64_t raw, dim.read_varint());
+                value = static_cast<std::int64_t>(raw);
+              } else {
+                CONDOR_RETURN_IF_ERROR(dim.skip(value_tag));
+              }
+            }
+            info.shape.push_back(value);
+          }
+        }
+      }
+    } else {
+      CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return info;
+}
+
+Result<GraphProto> decode_graph(std::span<const std::byte> data) {
+  GraphProto graph;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(NodeProto node, decode_node(payload));
+        graph.node.push_back(std::move(node));
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(graph.name, in.read_string());
+        break;
+      }
+      case 5: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(TensorProto tensor, decode_tensor(payload));
+        graph.initializer.push_back(std::move(tensor));
+        break;
+      }
+      case 11: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(ValueInfoProto info, decode_value_info(payload));
+        graph.input.push_back(std::move(info));
+        break;
+      }
+      case 12: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(ValueInfoProto info, decode_value_info(payload));
+        graph.output.push_back(std::move(info));
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_model(const ModelProto& model) {
+  Writer out;
+  out.int_field(1, model.ir_version);
+  if (!model.producer_name.empty()) {
+    out.string_field(2, model.producer_name);
+  }
+  if (!model.producer_version.empty()) {
+    out.string_field(3, model.producer_version);
+  }
+  out.message_field(7, encode_graph(model.graph));
+  for (const OperatorSetId& opset : model.opset_import) {
+    Writer entry;
+    if (!opset.domain.empty()) {
+      entry.string_field(1, opset.domain);
+    }
+    entry.int_field(2, opset.version);
+    out.message_field(8, entry);
+  }
+  return std::move(out).take();
+}
+
+Result<ModelProto> decode_model(std::span<const std::byte> data) {
+  ModelProto model;
+  Reader in(data);
+  bool saw_graph = false;
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    switch (tag.field_number) {
+      case 1: {
+        CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+        model.ir_version = static_cast<std::int64_t>(value);
+        break;
+      }
+      case 2: {
+        CONDOR_ASSIGN_OR_RETURN(model.producer_name, in.read_string());
+        break;
+      }
+      case 3: {
+        CONDOR_ASSIGN_OR_RETURN(model.producer_version, in.read_string());
+        break;
+      }
+      case 7: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(model.graph, decode_graph(payload));
+        saw_graph = true;
+        break;
+      }
+      case 8: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        Reader entry(payload);
+        OperatorSetId opset;
+        while (!entry.at_end()) {
+          CONDOR_ASSIGN_OR_RETURN(Tag entry_tag, entry.read_tag());
+          if (entry_tag.field_number == 1) {
+            CONDOR_ASSIGN_OR_RETURN(opset.domain, entry.read_string());
+          } else if (entry_tag.field_number == 2) {
+            CONDOR_ASSIGN_OR_RETURN(std::uint64_t version, entry.read_varint());
+            opset.version = static_cast<std::int64_t>(version);
+          } else {
+            CONDOR_RETURN_IF_ERROR(entry.skip(entry_tag));
+          }
+        }
+        model.opset_import.push_back(std::move(opset));
+        break;
+      }
+      default:
+        CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  if (!saw_graph) {
+    return invalid_input("ONNX model has no graph");
+  }
+  return model;
+}
+
+}  // namespace condor::onnx

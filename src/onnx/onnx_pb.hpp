@@ -1,0 +1,102 @@
+// Typed subset of the ONNX protobuf schema with binary wire codec.
+//
+// The paper lists ONNX support among its future frontends ("we are
+// considering adding support to the ONNX format", §3.1.1); this module
+// implements that extension. Field numbers match upstream onnx.proto, so
+// real `.onnx` files restricted to this subset decode correctly and files
+// produced by the encoder are structurally valid ONNX models.
+//
+// Covered messages: ModelProto, GraphProto, NodeProto, AttributeProto,
+// TensorProto (FLOAT, float_data or raw_data), ValueInfoProto with static
+// tensor shapes, OperatorSetIdProto.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "protowire/wire.hpp"
+
+namespace condor::onnx {
+
+/// onnx.TensorProto (subset: FLOAT tensors).
+struct TensorProto {
+  static constexpr std::int32_t kFloat = 1;  // DataType.FLOAT
+
+  std::vector<std::int64_t> dims;  // 1
+  std::int32_t data_type = kFloat;  // 2
+  std::vector<float> float_data;   // 4 (used when raw_data absent)
+  std::string name;                // 8
+  std::vector<std::byte> raw_data;  // 9 (little-endian floats)
+
+  /// The payload as floats, decoding raw_data when present.
+  [[nodiscard]] Result<std::vector<float>> values() const;
+  [[nodiscard]] std::size_t element_count() const noexcept;
+};
+
+/// onnx.AttributeProto (subset: INT, FLOAT, STRING, INTS).
+struct AttributeProto {
+  enum class Type : std::int32_t {
+    kUndefined = 0,
+    kFloat = 1,
+    kInt = 2,
+    kString = 3,
+    kInts = 7,
+  };
+  std::string name;                 // 1
+  float f = 0.0F;                   // 2
+  std::int64_t i = 0;               // 3
+  std::string s;                    // 4
+  std::vector<std::int64_t> ints;   // 8
+  Type type = Type::kUndefined;     // 20
+};
+
+/// onnx.NodeProto.
+struct NodeProto {
+  std::vector<std::string> input;   // 1
+  std::vector<std::string> output;  // 2
+  std::string name;                 // 3
+  std::string op_type;              // 4
+  std::vector<AttributeProto> attribute;  // 5
+
+  [[nodiscard]] const AttributeProto* find_attribute(std::string_view name) const;
+};
+
+/// onnx.ValueInfoProto with a static FLOAT tensor type.
+struct ValueInfoProto {
+  std::string name;
+  std::vector<std::int64_t> shape;  ///< dim_value entries (dim_param unsupported)
+};
+
+/// onnx.GraphProto.
+struct GraphProto {
+  std::vector<NodeProto> node;          // 1
+  std::string name;                     // 2
+  std::vector<TensorProto> initializer;  // 5
+  std::vector<ValueInfoProto> input;    // 11
+  std::vector<ValueInfoProto> output;   // 12
+
+  [[nodiscard]] const TensorProto* find_initializer(std::string_view name) const;
+};
+
+/// onnx.OperatorSetIdProto.
+struct OperatorSetId {
+  std::string domain;      // 1 ("" = ai.onnx)
+  std::int64_t version = 0;  // 2
+};
+
+/// onnx.ModelProto.
+struct ModelProto {
+  std::int64_t ir_version = 7;   // 1
+  std::string producer_name;     // 2
+  std::string producer_version;  // 3
+  GraphProto graph;              // 7
+  std::vector<OperatorSetId> opset_import;  // 8
+};
+
+std::vector<std::byte> encode_model(const ModelProto& model);
+Result<ModelProto> decode_model(std::span<const std::byte> data);
+
+}  // namespace condor::onnx

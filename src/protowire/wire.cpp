@@ -1,0 +1,160 @@
+#include "protowire/wire.hpp"
+
+namespace condor::protowire {
+
+void put_varint(ByteWriter& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.u8(static_cast<std::uint8_t>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.u8(static_cast<std::uint8_t>(value));
+}
+
+Result<std::uint64_t> get_varint(ByteReader& in) {
+  std::uint64_t value = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    CONDOR_ASSIGN_OR_RETURN(std::uint8_t byte, in.u8());
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return value;
+    }
+  }
+  return invalid_input("protowire: varint longer than 10 bytes");
+}
+
+void Writer::tag(std::uint32_t field, WireType type) {
+  put_varint(out_, (static_cast<std::uint64_t>(field) << 3) |
+                       static_cast<std::uint64_t>(type));
+}
+
+void Writer::varint_field(std::uint32_t field, std::uint64_t value) {
+  tag(field, WireType::kVarint);
+  put_varint(out_, value);
+}
+
+void Writer::float_field(std::uint32_t field, float value) {
+  tag(field, WireType::kI32);
+  out_.f32le(value);
+}
+
+void Writer::double_field(std::uint32_t field, double value) {
+  tag(field, WireType::kI64);
+  out_.f64le(value);
+}
+
+void Writer::string_field(std::uint32_t field, std::string_view value) {
+  tag(field, WireType::kLen);
+  put_varint(out_, value.size());
+  out_.string_bytes(value);
+}
+
+void Writer::bytes_field(std::uint32_t field, std::span<const std::byte> value) {
+  tag(field, WireType::kLen);
+  put_varint(out_, value.size());
+  out_.bytes(value);
+}
+
+void Writer::message_field(std::uint32_t field, const Writer& nested) {
+  bytes_field(field, nested.view());
+}
+
+void Writer::packed_floats(std::uint32_t field, std::span<const float> values) {
+  tag(field, WireType::kLen);
+  put_varint(out_, values.size() * 4);
+  for (const float value : values) {
+    out_.f32le(value);
+  }
+}
+
+Result<Tag> Reader::read_tag() {
+  CONDOR_ASSIGN_OR_RETURN(std::uint64_t key, get_varint(in_));
+  Tag tag;
+  tag.field_number = static_cast<std::uint32_t>(key >> 3);
+  const auto wire_bits = static_cast<std::uint8_t>(key & 0x7);
+  switch (wire_bits) {
+    case 0:
+      tag.wire_type = WireType::kVarint;
+      break;
+    case 1:
+      tag.wire_type = WireType::kI64;
+      break;
+    case 2:
+      tag.wire_type = WireType::kLen;
+      break;
+    case 5:
+      tag.wire_type = WireType::kI32;
+      break;
+    default:
+      return invalid_input("protowire: unsupported wire type " +
+                           std::to_string(wire_bits));
+  }
+  if (tag.field_number == 0) {
+    return invalid_input("protowire: field number 0 is reserved");
+  }
+  return tag;
+}
+
+Result<std::uint64_t> Reader::read_varint() { return get_varint(in_); }
+
+Result<float> Reader::read_float() { return in_.f32le(); }
+
+Result<double> Reader::read_double() { return in_.f64le(); }
+
+Result<std::span<const std::byte>> Reader::read_len() {
+  CONDOR_ASSIGN_OR_RETURN(std::uint64_t size, get_varint(in_));
+  if (size > in_.remaining()) {
+    return invalid_input("protowire: LEN payload exceeds buffer");
+  }
+  return in_.bytes(static_cast<std::size_t>(size));
+}
+
+Result<std::string> Reader::read_string() {
+  CONDOR_ASSIGN_OR_RETURN(auto payload, read_len());
+  return std::string(reinterpret_cast<const char*>(payload.data()), payload.size());
+}
+
+Status Reader::read_packed_floats(const Tag& tag, std::vector<float>& out) {
+  if (tag.wire_type == WireType::kI32) {
+    CONDOR_ASSIGN_OR_RETURN(float value, read_float());
+    out.push_back(value);
+    return Status::ok();
+  }
+  if (tag.wire_type != WireType::kLen) {
+    return invalid_input("protowire: packed floats must be LEN or I32");
+  }
+  CONDOR_ASSIGN_OR_RETURN(auto payload, read_len());
+  if (payload.size() % 4 != 0) {
+    return invalid_input("protowire: packed float payload not multiple of 4");
+  }
+  ByteReader floats(payload);
+  out.reserve(out.size() + payload.size() / 4);
+  while (!floats.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(float value, floats.f32le());
+    out.push_back(value);
+  }
+  return Status::ok();
+}
+
+Status Reader::skip(const Tag& tag) {
+  switch (tag.wire_type) {
+    case WireType::kVarint: {
+      CONDOR_ASSIGN_OR_RETURN(std::uint64_t ignored, get_varint(in_));
+      (void)ignored;
+      return Status::ok();
+    }
+    case WireType::kI64:
+      return in_.skip(8);
+    case WireType::kI32:
+      return in_.skip(4);
+    case WireType::kLen: {
+      CONDOR_ASSIGN_OR_RETURN(std::uint64_t size, get_varint(in_));
+      if (size > in_.remaining()) {
+        return invalid_input("protowire: skip past end of buffer");
+      }
+      return in_.skip(static_cast<std::size_t>(size));
+    }
+  }
+  return internal_error("protowire: unreachable wire type");
+}
+
+}  // namespace condor::protowire

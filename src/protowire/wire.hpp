@@ -1,0 +1,123 @@
+// From-scratch Google Protocol Buffers *wire format* codec.
+//
+// Caffe's `.caffemodel` files are binary protobuf messages (NetParameter).
+// Rather than depending on libprotobuf, Condor implements the wire format
+// directly: varints, zigzag, and the four wire types that proto2 emits
+// (VARINT, I64, LEN, I32). The `caffe` module builds typed encoders/decoders
+// for the NetParameter/LayerParameter/BlobProto schema on top of this layer.
+//
+// Reference: https://protobuf.dev/programming-guides/encoding/
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/byte_io.hpp"
+#include "common/status.hpp"
+
+namespace condor::protowire {
+
+/// Wire types from the protobuf encoding spec.
+enum class WireType : std::uint8_t {
+  kVarint = 0,  ///< int32/64, uint32/64, sint*, bool, enum
+  kI64 = 1,     ///< fixed64, sfixed64, double
+  kLen = 2,     ///< string, bytes, sub-message, packed repeated
+  kI32 = 5,     ///< fixed32, sfixed32, float
+};
+
+/// A decoded field key: (field number, wire type).
+struct Tag {
+  std::uint32_t field_number = 0;
+  WireType wire_type = WireType::kVarint;
+};
+
+// -- Primitive codecs ---------------------------------------------------
+
+/// Appends a base-128 varint.
+void put_varint(ByteWriter& out, std::uint64_t value);
+
+/// ZigZag maps signed to unsigned so small negatives stay small.
+constexpr std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+// -- Message writer ------------------------------------------------------
+
+/// Serializes one message. Nested messages are built with a nested Writer
+/// and embedded with `message()`.
+class Writer {
+ public:
+  void varint_field(std::uint32_t field, std::uint64_t value);
+  void bool_field(std::uint32_t field, bool value) {
+    varint_field(field, value ? 1 : 0);
+  }
+  void sint_field(std::uint32_t field, std::int64_t value) {
+    varint_field(field, zigzag_encode(value));
+  }
+  /// proto2 int32/int64 negative values are encoded as 10-byte varints.
+  void int_field(std::uint32_t field, std::int64_t value) {
+    varint_field(field, static_cast<std::uint64_t>(value));
+  }
+  void float_field(std::uint32_t field, float value);
+  void double_field(std::uint32_t field, double value);
+  void string_field(std::uint32_t field, std::string_view value);
+  void bytes_field(std::uint32_t field, std::span<const std::byte> value);
+  void message_field(std::uint32_t field, const Writer& nested);
+  /// Packed repeated float (LEN-encoded array) — Caffe blob data uses this.
+  void packed_floats(std::uint32_t field, std::span<const float> values);
+
+  [[nodiscard]] std::span<const std::byte> view() const noexcept {
+    return out_.view();
+  }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(out_).take(); }
+
+ private:
+  void tag(std::uint32_t field, WireType type);
+  ByteWriter out_;
+};
+
+// -- Message reader ------------------------------------------------------
+
+/// Streaming reader over one serialized message. The typical decode loop:
+///
+///   Reader reader(bytes);
+///   while (!reader.at_end()) {
+///     auto tag = reader.read_tag();  // check status
+///     switch (tag.field_number) { ...typed reads... default: reader.skip(tag); }
+///   }
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) noexcept : in_(data) {}
+
+  [[nodiscard]] bool at_end() const noexcept { return in_.at_end(); }
+
+  Result<Tag> read_tag();
+  Result<std::uint64_t> read_varint();
+  Result<float> read_float();
+  Result<double> read_double();
+  Result<std::span<const std::byte>> read_len();  ///< raw LEN payload
+  Result<std::string> read_string();
+
+  /// Decodes a packed-repeated-float payload, appending to `out`. Also
+  /// accepts the unpacked encoding (a single I32 value) for robustness.
+  Status read_packed_floats(const Tag& tag, std::vector<float>& out);
+
+  /// Skips one field of the given wire type (unknown-field tolerance).
+  Status skip(const Tag& tag);
+
+ private:
+  ByteReader in_;
+};
+
+/// Decodes a varint from a ByteReader (exposed for tests).
+Result<std::uint64_t> get_varint(ByteReader& in);
+
+}  // namespace condor::protowire

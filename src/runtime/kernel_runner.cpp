@@ -1,0 +1,58 @@
+#include "runtime/kernel_runner.hpp"
+
+#include <chrono>
+
+#include "hw/hw_ir.hpp"
+#include "sim/accel_sim.hpp"
+
+namespace condor::runtime {
+
+Result<LoadedKernel> LoadedKernel::from_xclbin(const Xclbin& xclbin) {
+  LoadedKernel kernel;
+  CONDOR_ASSIGN_OR_RETURN(std::string network_json,
+                          xclbin.text_section("network.json"));
+  CONDOR_ASSIGN_OR_RETURN(hw::HwNetwork network,
+                          hw::from_json_text(network_json));
+  CONDOR_ASSIGN_OR_RETURN(kernel.plan_, hw::plan_accelerator(network));
+  CONDOR_ASSIGN_OR_RETURN(kernel.synthesis_, hls::synthesize(kernel.plan_));
+  kernel.clock_mhz_ = kernel.synthesis_.achieved_clock_mhz;
+  return kernel;
+}
+
+Status LoadedKernel::load_weights(std::span<const std::byte> weight_file_bytes) {
+  CONDOR_ASSIGN_OR_RETURN(nn::WeightStore weights,
+                          nn::WeightStore::deserialize(weight_file_bytes));
+  CONDOR_ASSIGN_OR_RETURN(
+      dataflow::AcceleratorExecutor executor,
+      dataflow::AcceleratorExecutor::create(plan_, std::move(weights)));
+  executor_ = std::make_unique<dataflow::AcceleratorExecutor>(std::move(executor));
+  return Status::ok();
+}
+
+Result<std::vector<Tensor>> LoadedKernel::run(const std::vector<Tensor>& inputs) {
+  if (executor_ == nullptr) {
+    return invalid_input("kernel weights not loaded (call load_weights first)");
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  CONDOR_ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
+                          executor_->run_batch(inputs));
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // Device time from the cycle-approximate pipeline simulation.
+  CONDOR_ASSIGN_OR_RETURN(
+      hw::PerformanceEstimate perf,
+      hw::estimate_performance(plan_, synthesis_.resources, clock_mhz_));
+  const sim::AcceleratorSim accel_sim = sim::build_accelerator_sim(perf);
+  CONDOR_ASSIGN_OR_RETURN(sim::BatchPoint point,
+                          sim::simulate_batch(accel_sim, inputs.size()));
+
+  stats_.simulated_cycles = point.total_cycles;
+  stats_.clock_mhz = clock_mhz_;
+  stats_.simulated_seconds =
+      static_cast<double>(point.total_cycles) / (clock_mhz_ * 1e6);
+  stats_.host_wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  return outputs;
+}
+
+}  // namespace condor::runtime

@@ -1,0 +1,69 @@
+// LoadedKernel: the device-side view of a programmed accelerator.
+//
+// Reconstructs the accelerator plan from the xclbin's network.json section,
+// binds runtime-supplied weights (the external weight file loaded into a
+// device buffer), and executes batches through the functional dataflow
+// engine while reporting *device time* from the cycle-approximate pipeline
+// simulation at the achieved kernel clock. This is the piece that stands in
+// for the physical FPGA in every deployment path (on-premise and F1).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/status.hpp"
+#include "dataflow/executor.hpp"
+#include "hls/synthesis.hpp"
+#include "nn/weights.hpp"
+#include "runtime/xclbin.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::runtime {
+
+/// Timing of one kernel invocation.
+struct KernelStats {
+  std::uint64_t simulated_cycles = 0;
+  double clock_mhz = 0.0;
+  double simulated_seconds = 0.0;
+  double host_wall_seconds = 0.0;  ///< host-side functional simulation time
+
+  [[nodiscard]] double images_per_second(std::size_t batch) const noexcept {
+    return simulated_seconds > 0.0
+               ? static_cast<double>(batch) / simulated_seconds
+               : 0.0;
+  }
+};
+
+class LoadedKernel {
+ public:
+  /// Parses the container and re-runs the (simulated) implementation to
+  /// recover the achieved clock — loading a binary onto the device
+  /// configures exactly the bitstream that was signed off at build time.
+  static Result<LoadedKernel> from_xclbin(const Xclbin& xclbin);
+
+  /// Binds the runtime weights (deserialized Condor weight file bytes).
+  Status load_weights(std::span<const std::byte> weight_file_bytes);
+
+  [[nodiscard]] bool weights_loaded() const noexcept { return executor_ != nullptr; }
+
+  /// Runs one batch; requires load_weights first.
+  Result<std::vector<Tensor>> run(const std::vector<Tensor>& inputs);
+
+  [[nodiscard]] const KernelStats& last_stats() const noexcept { return stats_; }
+  [[nodiscard]] const hw::AcceleratorPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] double clock_mhz() const noexcept { return clock_mhz_; }
+  [[nodiscard]] const hls::SynthesisReport& synthesis_report() const noexcept {
+    return synthesis_;
+  }
+
+ private:
+  LoadedKernel() = default;
+
+  hw::AcceleratorPlan plan_;
+  hls::SynthesisReport synthesis_;
+  double clock_mhz_ = 0.0;
+  std::unique_ptr<dataflow::AcceleratorExecutor> executor_;
+  KernelStats stats_;
+};
+
+}  // namespace condor::runtime

@@ -1,0 +1,156 @@
+#include "runtime/opencl_like.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "json/json.hpp"
+
+namespace condor::runtime::ocl {
+
+std::vector<Device> get_devices() {
+  std::vector<Device> devices;
+  for (const hw::BoardSpec& board : hw::board_database()) {
+    Device device;
+    device.board = board;
+    device.name = board.cloud
+                      ? "xilinx:aws-vu9p-f1:4ddr-xpr-2pr:4.0"
+                      : strings::format("xilinx:%s:1.0", board.id.c_str());
+    devices.push_back(std::move(device));
+  }
+  return devices;
+}
+
+Result<Device> get_device(std::string_view board_id) {
+  for (Device& device : get_devices()) {
+    if (device.board.id == board_id) {
+      return device;
+    }
+  }
+  return not_found("no device for board '" + std::string(board_id) + "'");
+}
+
+Result<Program> Program::create_with_binary(Context& context,
+                                            std::span<const std::byte> binary) {
+  Program program;
+  CONDOR_ASSIGN_OR_RETURN(program.xclbin_, Xclbin::deserialize(binary));
+
+  // The binary must target the context's device.
+  CONDOR_ASSIGN_OR_RETURN(std::string meta_text,
+                          program.xclbin_.text_section("meta.json"));
+  CONDOR_ASSIGN_OR_RETURN(json::Value meta, json::parse(meta_text));
+  if (const json::Value* board = meta.object().find("board"); board != nullptr) {
+    CONDOR_ASSIGN_OR_RETURN(std::string board_id, board->as_string());
+    if (board_id != context.device().board.id) {
+      return invalid_input(strings::format(
+          "xclbin targets board '%s' but the context device is '%s'",
+          board_id.c_str(), context.device().board.id.c_str()));
+    }
+  }
+  if (const json::Value* kernel = meta.object().find("kernel"); kernel != nullptr) {
+    CONDOR_ASSIGN_OR_RETURN(program.kernel_name_, kernel->as_string());
+  }
+
+  CONDOR_ASSIGN_OR_RETURN(LoadedKernel loaded,
+                          LoadedKernel::from_xclbin(program.xclbin_));
+  program.kernel_ = std::make_shared<LoadedKernel>(std::move(loaded));
+  return program;
+}
+
+Kernel::Kernel(Program& program, std::string name)
+    : device_kernel_(program.device_kernel()), name_(std::move(name)) {}
+
+Status Kernel::set_arg(std::uint32_t index, Buffer& buffer) {
+  switch (index) {
+    case 0:
+      input_ = &buffer;
+      return Status::ok();
+    case 1:
+      output_ = &buffer;
+      return Status::ok();
+    case 2:
+      weights_ = &buffer;
+      return Status::ok();
+    default:
+      return invalid_input(
+          strings::format("kernel arg %u is not a buffer argument", index));
+  }
+}
+
+Status Kernel::set_arg(std::uint32_t index, std::int32_t scalar) {
+  if (index != 3) {
+    return invalid_input(
+        strings::format("kernel arg %u is not a scalar argument", index));
+  }
+  if (scalar <= 0) {
+    return invalid_input("batch must be positive");
+  }
+  batch_ = scalar;
+  return Status::ok();
+}
+
+Status CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
+                                          std::span<const std::byte> data) {
+  if (offset + data.size() > buffer.size()) {
+    return invalid_input("write exceeds buffer size");
+  }
+  std::memcpy(buffer.bytes().data() + offset, data.data(), data.size());
+  return Status::ok();
+}
+
+Status CommandQueue::enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
+                                         std::span<std::byte> out) {
+  if (offset + out.size() > buffer.size()) {
+    return invalid_input("read exceeds buffer size");
+  }
+  std::memcpy(out.data(), buffer.bytes().data() + offset, out.size());
+  return Status::ok();
+}
+
+Result<KernelStats> CommandQueue::enqueue_task(Kernel& kernel) {
+  if (kernel.device_kernel_ == nullptr) {
+    return internal_error("kernel is not bound to a program");
+  }
+  if (kernel.input_ == nullptr || kernel.output_ == nullptr ||
+      kernel.weights_ == nullptr || kernel.batch_ <= 0) {
+    return invalid_input("kernel arguments incomplete (need in/out/weights/batch)");
+  }
+  LoadedKernel& device = *kernel.device_kernel_;
+
+  // The weight buffer carries a Condor weight file image ("loaded
+  // dynamically at runtime", paper §3.1.1).
+  CONDOR_RETURN_IF_ERROR(device.load_weights(kernel.weights_->bytes()));
+
+  CONDOR_ASSIGN_OR_RETURN(Shape input_shape,
+                          device.plan().source.net.input_shape());
+  const std::size_t image_floats = input_shape.element_count();
+  const auto batch = static_cast<std::size_t>(kernel.batch_);
+  if (kernel.input_->size() < batch * image_floats * sizeof(float)) {
+    return invalid_input("input buffer smaller than batch * image size");
+  }
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(batch);
+  const auto* in_floats =
+      reinterpret_cast<const float*>(kernel.input_->bytes().data());
+  for (std::size_t i = 0; i < batch; ++i) {
+    Tensor image(input_shape);
+    std::memcpy(image.raw(), in_floats + i * image_floats,
+                image_floats * sizeof(float));
+    inputs.push_back(std::move(image));
+  }
+
+  CONDOR_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, device.run(inputs));
+
+  const std::size_t out_floats = outputs.front().size();
+  if (kernel.output_->size() < batch * out_floats * sizeof(float)) {
+    return invalid_input("output buffer smaller than batch * result size");
+  }
+  auto* out_bytes = kernel.output_->bytes().data();
+  for (std::size_t i = 0; i < batch; ++i) {
+    std::memcpy(out_bytes + i * out_floats * sizeof(float), outputs[i].raw(),
+                out_floats * sizeof(float));
+  }
+  return device.last_stats();
+}
+
+}  // namespace condor::runtime::ocl

@@ -1,0 +1,132 @@
+// SDAccel-style OpenCL host API (the backend integration of paper §3.1.3).
+//
+// A deliberately small, typed replica of the host-side OpenCL flow SDAccel
+// applications use: enumerate devices, create a context, program the device
+// with an xclbin, create buffers, set kernel args, enqueue. The generated
+// "default host code" (flow step 7) targets exactly this API, so a user's
+// host program reads like its SDAccel counterpart:
+//
+//   auto devices = ocl::get_devices();
+//   ocl::Context ctx(devices[0]);
+//   auto program = ocl::Program::create_with_binary(ctx, xclbin_bytes);
+//   ocl::Kernel kernel(program, "lenet_top");
+//   ocl::Buffer in(ctx, bytes), out(ctx, bytes), weights(ctx, bytes);
+//   ocl::CommandQueue queue(ctx);
+//   queue.enqueue_write_buffer(in, ...); kernel.set_arg(0, in); ...
+//   queue.enqueue_task(kernel); queue.finish();
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/board.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "runtime/xclbin.hpp"
+
+namespace condor::runtime::ocl {
+
+/// An accelerator device visible to the host.
+struct Device {
+  std::string name;     ///< e.g. "xilinx:aws-vu9p-f1:4ddr-xpr-2pr"
+  hw::BoardSpec board;
+};
+
+/// Enumerates the platform's devices (one per known board).
+std::vector<Device> get_devices();
+
+/// Finds a device by board id ("aws-f1", "zc706", ...).
+Result<Device> get_device(std::string_view board_id);
+
+class Context {
+ public:
+  explicit Context(Device device) : device_(std::move(device)) {}
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+
+ private:
+  Device device_;
+};
+
+/// A device-side buffer (simulated device DDR).
+class Buffer {
+ public:
+  Buffer(Context& context, std::size_t bytes)
+      : storage_(bytes), context_(&context) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] std::span<std::byte> bytes() noexcept { return storage_; }
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return storage_; }
+
+ private:
+  std::vector<std::byte> storage_;
+  Context* context_;
+};
+
+/// A programmed binary. Holds the parsed container and the device kernel
+/// reconstructed from it (shared so Kernel objects stay cheap).
+class Program {
+ public:
+  static Result<Program> create_with_binary(Context& context,
+                                            std::span<const std::byte> binary);
+
+  [[nodiscard]] const Xclbin& xclbin() const noexcept { return xclbin_; }
+  [[nodiscard]] const std::shared_ptr<LoadedKernel>& device_kernel() const noexcept {
+    return kernel_;
+  }
+  [[nodiscard]] const std::string& kernel_name() const noexcept {
+    return kernel_name_;
+  }
+
+ private:
+  Xclbin xclbin_;
+  std::shared_ptr<LoadedKernel> kernel_;
+  std::string kernel_name_;
+};
+
+/// Kernel argument indices follow the generated kernel.xml:
+///   0 = input buffer, 1 = output buffer, 2 = weight buffer, 3 = batch.
+class Kernel {
+ public:
+  Kernel(Program& program, std::string name);
+
+  Status set_arg(std::uint32_t index, Buffer& buffer);
+  Status set_arg(std::uint32_t index, std::int32_t scalar);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class CommandQueue;
+  std::shared_ptr<LoadedKernel> device_kernel_;
+  std::string name_;
+  Buffer* input_ = nullptr;
+  Buffer* output_ = nullptr;
+  Buffer* weights_ = nullptr;
+  std::int32_t batch_ = 0;
+};
+
+/// In-order synchronous command queue.
+class CommandQueue {
+ public:
+  explicit CommandQueue(Context& context) : context_(&context) {}
+
+  Status enqueue_write_buffer(Buffer& buffer, std::size_t offset,
+                              std::span<const std::byte> data);
+  Status enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
+                             std::span<std::byte> out);
+
+  /// Executes the kernel: loads the weight buffer into the accelerator,
+  /// streams the input buffer through the spatial pipeline, writes results
+  /// to the output buffer, and returns device-time statistics.
+  Result<KernelStats> enqueue_task(Kernel& kernel);
+
+  /// All operations are synchronous; finish() exists for API parity.
+  void finish() noexcept {}
+
+ private:
+  Context* context_;
+};
+
+}  // namespace condor::runtime::ocl

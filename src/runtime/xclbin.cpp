@@ -1,0 +1,141 @@
+#include "runtime/xclbin.hpp"
+
+#include "common/byte_io.hpp"
+#include "common/strings.hpp"
+
+namespace condor::runtime {
+namespace {
+
+// "XCLB" + format version.
+constexpr std::uint32_t kMagic = 0x424C4358;
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void Xclbin::set_section(std::string name, std::vector<std::byte> data) {
+  for (XclbinSection& section : sections_) {
+    if (section.name == name) {
+      section.data = std::move(data);
+      return;
+    }
+  }
+  sections_.push_back({std::move(name), std::move(data)});
+}
+
+void Xclbin::set_text_section(std::string name, std::string_view text) {
+  std::vector<std::byte> data(text.size());
+  std::memcpy(data.data(), text.data(), text.size());
+  set_section(std::move(name), std::move(data));
+}
+
+const XclbinSection* Xclbin::find(std::string_view name) const noexcept {
+  for (const XclbinSection& section : sections_) {
+    if (section.name == name) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::string> Xclbin::text_section(std::string_view name) const {
+  const XclbinSection* section = find(name);
+  if (section == nullptr) {
+    return not_found("xclbin has no section '" + std::string(name) + "'");
+  }
+  return std::string(reinterpret_cast<const char*>(section->data.data()),
+                     section->data.size());
+}
+
+std::vector<std::byte> Xclbin::serialize() const {
+  ByteWriter out;
+  out.u32le(kMagic);
+  out.u32le(kVersion);
+  out.u32le(static_cast<std::uint32_t>(sections_.size()));
+  for (const XclbinSection& section : sections_) {
+    out.u32le(static_cast<std::uint32_t>(section.name.size()));
+    out.string_bytes(section.name);
+    out.u64le(section.data.size());
+    out.u32le(crc32(section.data));
+    out.bytes(section.data);
+  }
+  return std::move(out).take();
+}
+
+Result<Xclbin> Xclbin::deserialize(std::span<const std::byte> data) {
+  ByteReader in(data);
+  CONDOR_ASSIGN_OR_RETURN(std::uint32_t magic, in.u32le());
+  if (magic != kMagic) {
+    return invalid_input("not a Condor xclbin (bad magic)");
+  }
+  CONDOR_ASSIGN_OR_RETURN(std::uint32_t version, in.u32le());
+  if (version != kVersion) {
+    return unsupported(strings::format("xclbin format version %u", version));
+  }
+  CONDOR_ASSIGN_OR_RETURN(std::uint32_t count, in.u32le());
+  Xclbin bin;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CONDOR_ASSIGN_OR_RETURN(std::uint32_t name_size, in.u32le());
+    CONDOR_ASSIGN_OR_RETURN(std::string name, in.string_bytes(name_size));
+    CONDOR_ASSIGN_OR_RETURN(std::uint64_t data_size, in.u64le());
+    CONDOR_ASSIGN_OR_RETURN(std::uint32_t expected_crc, in.u32le());
+    CONDOR_ASSIGN_OR_RETURN(auto payload,
+                            in.bytes(static_cast<std::size_t>(data_size)));
+    if (crc32(payload) != expected_crc) {
+      return invalid_input("xclbin section '" + name + "' failed CRC check");
+    }
+    bin.sections_.push_back({std::move(name),
+                             std::vector<std::byte>(payload.begin(), payload.end())});
+  }
+  if (!in.at_end()) {
+    return invalid_input("xclbin has trailing bytes");
+  }
+  return bin;
+}
+
+Status Xclbin::save(const std::string& path) const {
+  const std::vector<std::byte> data = serialize();
+  return write_file(path, data);
+}
+
+Result<Xclbin> Xclbin::load(const std::string& path) {
+  CONDOR_ASSIGN_OR_RETURN(auto data, read_file(path));
+  return deserialize(data);
+}
+
+std::string generate_kernel_xml(const std::string& kernel_name,
+                                const std::string& vendor) {
+  std::string out;
+  out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out += strings::format(
+      "<root versionMajor=\"1\" versionMinor=\"0\">\n"
+      "  <kernel name=\"%s\" language=\"ip\" vlnv=\"%s:kernel:%s:1.0\"\n"
+      "          attributes=\"\" preferredWorkGroupSizeMultiple=\"0\"\n"
+      "          workGroupSize=\"1\" interrupt=\"true\">\n",
+      kernel_name.c_str(), vendor.c_str(), kernel_name.c_str());
+  out +=
+      "    <ports>\n"
+      "      <port name=\"M_AXI_GMEM0\" mode=\"master\" range=\"0xFFFFFFFF\" "
+      "dataWidth=\"512\" portType=\"addressable\" base=\"0x0\"/>\n"
+      "      <port name=\"M_AXI_GMEM1\" mode=\"master\" range=\"0xFFFFFFFF\" "
+      "dataWidth=\"512\" portType=\"addressable\" base=\"0x0\"/>\n"
+      "      <port name=\"M_AXI_GMEM2\" mode=\"master\" range=\"0xFFFFFFFF\" "
+      "dataWidth=\"512\" portType=\"addressable\" base=\"0x0\"/>\n"
+      "      <port name=\"S_AXI_CONTROL\" mode=\"slave\" range=\"0x1000\" "
+      "dataWidth=\"32\" portType=\"addressable\" base=\"0x0\"/>\n"
+      "    </ports>\n"
+      "    <args>\n"
+      "      <arg name=\"gmem_in\" addressQualifier=\"1\" id=\"0\" port=\"M_AXI_GMEM0\" "
+      "size=\"0x8\" offset=\"0x10\" hostOffset=\"0x0\" hostSize=\"0x8\" type=\"float*\"/>\n"
+      "      <arg name=\"gmem_out\" addressQualifier=\"1\" id=\"1\" port=\"M_AXI_GMEM1\" "
+      "size=\"0x8\" offset=\"0x1C\" hostOffset=\"0x0\" hostSize=\"0x8\" type=\"float*\"/>\n"
+      "      <arg name=\"gmem_weights\" addressQualifier=\"1\" id=\"2\" port=\"M_AXI_GMEM2\" "
+      "size=\"0x8\" offset=\"0x28\" hostOffset=\"0x0\" hostSize=\"0x8\" type=\"float*\"/>\n"
+      "      <arg name=\"batch\" addressQualifier=\"0\" id=\"3\" port=\"S_AXI_CONTROL\" "
+      "size=\"0x4\" offset=\"0x34\" hostOffset=\"0x0\" hostSize=\"0x4\" type=\"int\"/>\n"
+      "    </args>\n"
+      "  </kernel>\n"
+      "</root>\n";
+  return out;
+}
+
+}  // namespace condor::runtime

@@ -1,0 +1,64 @@
+// The Condor FPGA binary container ("xclbin").
+//
+// In the real flow, XOCC packages the kernel into a Xilinx OpenCL Compute
+// Unit Binary (xclbin) — a sectioned container the OpenCL runtime loads
+// onto the device. This reproduction uses the same structure: a magic +
+// version header followed by named sections, each CRC-protected. Sections
+// carried by Condor-built binaries:
+//
+//   network.json   — the Condor network representation (topology + hw)
+//   kernel.xml     — the SDAccel kernel description (flow step 6a)
+//   synth.rpt      — the (simulated) HLS/implementation report
+//   src/<file>     — every generated HLS source, for inspection
+//   meta.json      — name, board, clock, creation info
+//
+// Weights deliberately do NOT live in the container: they are external
+// files loaded into a device buffer at runtime (paper §3.1.1 — "this
+// enables the update of the network without the need for re-synthesizing
+// the accelerator").
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace condor::runtime {
+
+struct XclbinSection {
+  std::string name;
+  std::vector<std::byte> data;
+};
+
+class Xclbin {
+ public:
+  /// Adds or replaces a section.
+  void set_section(std::string name, std::vector<std::byte> data);
+  void set_text_section(std::string name, std::string_view text);
+
+  [[nodiscard]] const XclbinSection* find(std::string_view name) const noexcept;
+  [[nodiscard]] Result<std::string> text_section(std::string_view name) const;
+  [[nodiscard]] const std::vector<XclbinSection>& sections() const noexcept {
+    return sections_;
+  }
+
+  /// Serializes to the container byte format.
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  static Result<Xclbin> deserialize(std::span<const std::byte> data);
+
+  Status save(const std::string& path) const;
+  static Result<Xclbin> load(const std::string& path);
+
+ private:
+  std::vector<XclbinSection> sections_;
+};
+
+/// Generates the SDAccel kernel description XML (flow step 6a): kernel
+/// name/vendor plus the AXI4 master + AXI4-Lite slave interface the host
+/// uses to talk to the accelerator.
+std::string generate_kernel_xml(const std::string& kernel_name,
+                                const std::string& vendor = "condor");
+
+}  // namespace condor::runtime

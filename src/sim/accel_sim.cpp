@@ -1,0 +1,50 @@
+#include "sim/accel_sim.hpp"
+
+namespace condor::sim {
+
+AcceleratorSim build_accelerator_sim(const hw::PerformanceEstimate& estimate) {
+  AcceleratorSim sim;
+  sim.frequency_mhz = estimate.frequency_mhz;
+  sim.flops_per_image = estimate.flops_per_image;
+  sim.stages.reserve(estimate.pes.size());
+  for (const hw::PeTiming& pe : estimate.pes) {
+    StageSpec stage;
+    stage.name = pe.name;
+    stage.service_cycles = pe.interval() + pe.fill_latency;
+    stage.buffer_images = 1;
+    sim.stages.push_back(std::move(stage));
+  }
+  return sim;
+}
+
+Result<BatchPoint> simulate_batch(const AcceleratorSim& sim, std::size_t batch) {
+  CONDOR_ASSIGN_OR_RETURN(PipelineRun run, simulate_pipeline(sim.stages, batch));
+  BatchPoint point;
+  point.batch = batch;
+  point.total_cycles = run.total_cycles;
+  const double seconds =
+      static_cast<double>(run.total_cycles) / (sim.frequency_mhz * 1e6);
+  point.mean_ms_per_image = seconds * 1e3 / static_cast<double>(batch);
+  point.gflops = static_cast<double>(sim.flops_per_image) *
+                 static_cast<double>(batch) / seconds / 1e9;
+  return point;
+}
+
+Result<std::vector<BatchPoint>> sweep_batches(
+    const AcceleratorSim& sim, const std::vector<std::size_t>& batches) {
+  std::vector<BatchPoint> points;
+  points.reserve(batches.size());
+  for (const std::size_t batch : batches) {
+    CONDOR_ASSIGN_OR_RETURN(BatchPoint point, simulate_batch(sim, batch));
+    points.push_back(point);
+  }
+  return points;
+}
+
+Result<double> steady_state_gflops(const AcceleratorSim& sim,
+                                   std::size_t warm_batch) {
+  CONDOR_ASSIGN_OR_RETURN(BatchPoint point, simulate_batch(sim, warm_batch));
+  return point.gflops;
+}
+
+}  // namespace condor::sim

@@ -1,0 +1,51 @@
+// Accelerator-level timing simulation: binds the analytical per-PE timing
+// (hw::PerformanceEstimate) to the event-driven pipeline model and answers
+// the evaluation's questions:
+//
+//   * Figure 5 — mean time to process an image vs batch size,
+//   * steady-state throughput and GFLOPS at the achieved clock (Tables 1-2).
+//
+// The simulated curve and the analytical closed form agree asymptotically;
+// integration tests check both the convergence batch (≈ pipeline depth) and
+// the bottleneck-limited plateau.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "hw/performance_model.hpp"
+#include "sim/pipeline.hpp"
+
+namespace condor::sim {
+
+/// One point of the Figure-5 curve.
+struct BatchPoint {
+  std::size_t batch = 0;
+  Cycle total_cycles = 0;
+  double mean_ms_per_image = 0.0;
+  double gflops = 0.0;
+};
+
+struct AcceleratorSim {
+  std::vector<StageSpec> stages;
+  double frequency_mhz = 0.0;
+  std::uint64_t flops_per_image = 0;
+};
+
+/// Builds the stage list (service = interval + fill per PE) from a plan's
+/// performance estimate.
+AcceleratorSim build_accelerator_sim(const hw::PerformanceEstimate& estimate);
+
+/// Simulates one batch size.
+Result<BatchPoint> simulate_batch(const AcceleratorSim& sim, std::size_t batch);
+
+/// Sweeps batch sizes (typically powers of two) for the Figure-5 curve.
+Result<std::vector<BatchPoint>> sweep_batches(const AcceleratorSim& sim,
+                                              const std::vector<std::size_t>& batches);
+
+/// Steady-state GFLOPS measured from a long simulated run (the Table 1/2
+/// figure). `warm_batch` should comfortably exceed the pipeline depth.
+Result<double> steady_state_gflops(const AcceleratorSim& sim,
+                                   std::size_t warm_batch = 256);
+
+}  // namespace condor::sim

@@ -1,0 +1,65 @@
+// Minimal discrete-event simulation kernel.
+//
+// A priority queue of (time, sequence, action) with deterministic FIFO
+// ordering among simultaneous events. Cycle counts are 64-bit; the
+// simulator is single-threaded (events model hardware time, not host
+// concurrency — the functional KPN engine covers that axis).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace condor::sim {
+
+using Cycle = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at` (>= now).
+  void schedule(Cycle at, Action action) {
+    events_.push(Event{at, next_sequence_++, std::move(action)});
+  }
+
+  /// Schedules relative to the current time.
+  void schedule_in(Cycle delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] Cycle now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Runs events until the queue drains; returns the final time.
+  Cycle run() {
+    while (!events_.empty()) {
+      Event event = std::move(const_cast<Event&>(events_.top()));
+      events_.pop();
+      now_ = event.time;
+      event.action();
+    }
+    return now_;
+  }
+
+ private:
+  struct Event {
+    Cycle time;
+    std::uint64_t sequence;
+    Action action;
+
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  Cycle now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace condor::sim

@@ -1,0 +1,133 @@
+#include "sim/pipeline.hpp"
+
+namespace condor::sim {
+namespace {
+
+/// Runtime state of one stage in the event simulation.
+struct StageState {
+  StageSpec spec;
+  StageStats stats;
+  std::size_t queued_inputs = 0;   ///< images waiting in the input buffer
+  std::size_t buffered_outputs = 0;  ///< finished images parked in own buffer
+  bool busy = false;
+  bool blocked = false;            ///< finished image cannot leave (downstream full)
+  Cycle last_state_change = 0;
+};
+
+class PipelineModel {
+ public:
+  PipelineModel(const std::vector<StageSpec>& specs, std::size_t batch)
+      : batch_(batch) {
+    stages_.reserve(specs.size());
+    for (const StageSpec& spec : specs) {
+      StageState state;
+      state.spec = spec;
+      stages_.push_back(state);
+    }
+  }
+
+  PipelineRun run() {
+    // Seed the whole batch at stage 0's input (the datamover can stream
+    // images back to back).
+    stages_.front().queued_inputs = batch_;
+    try_start(0);
+    queue_.run();
+
+    PipelineRun result;
+    result.total_cycles = completion_.empty() ? 0 : completion_.back();
+    result.image_completion = std::move(completion_);
+    for (StageState& stage : stages_) {
+      result.stages.push_back(stage.stats);
+    }
+    return result;
+  }
+
+ private:
+  void try_start(std::size_t s) {
+    StageState& stage = stages_[s];
+    if (stage.busy || stage.blocked || stage.queued_inputs == 0) {
+      return;
+    }
+    stage.queued_inputs--;
+    stage.busy = true;
+    stage.stats.idle_cycles += queue_.now() - stage.last_state_change;
+    stage.last_state_change = queue_.now();
+    queue_.schedule_in(stage.spec.service_cycles, [this, s] { finish(s); });
+  }
+
+  void finish(std::size_t s) {
+    StageState& stage = stages_[s];
+    stage.busy = false;
+    stage.stats.busy_cycles += queue_.now() - stage.last_state_change;
+    stage.last_state_change = queue_.now();
+    ++stage.stats.images;
+    stage.buffered_outputs++;
+    drain(s);
+    if (stage.buffered_outputs >= stage.spec.buffer_images) {
+      stage.blocked = true;  // no room to start the next image's output
+    } else {
+      try_start(s);
+    }
+  }
+
+  /// Moves finished images from stage s's buffer to stage s+1's input (or
+  /// out of the pipeline for the last stage).
+  void drain(std::size_t s) {
+    StageState& stage = stages_[s];
+    while (stage.buffered_outputs > 0) {
+      if (s + 1 == stages_.size()) {
+        stage.buffered_outputs--;
+        completion_.push_back(queue_.now());
+        continue;
+      }
+      StageState& next = stages_[s + 1];
+      // Downstream input queue capacity: one image in flight beyond the
+      // one being served (stream FIFOs hold a fraction of an image).
+      if (next.queued_inputs >= 1) {
+        break;
+      }
+      stage.buffered_outputs--;
+      next.queued_inputs++;
+      try_start(s + 1);
+    }
+    if (stage.blocked && stage.buffered_outputs < stage.spec.buffer_images) {
+      stage.stats.blocked_cycles += queue_.now() - stage.last_state_change;
+      stage.last_state_change = queue_.now();
+      stage.blocked = false;
+      try_start(s);
+    }
+    // Space may have opened upstream.
+    if (s > 0) {
+      drain(s - 1);
+    }
+  }
+
+  std::size_t batch_;
+  std::vector<StageState> stages_;
+  std::vector<Cycle> completion_;
+  EventQueue queue_;
+};
+
+}  // namespace
+
+Result<PipelineRun> simulate_pipeline(const std::vector<StageSpec>& stages,
+                                      std::size_t batch) {
+  if (stages.empty()) {
+    return invalid_input("pipeline must have at least one stage");
+  }
+  for (const StageSpec& stage : stages) {
+    if (stage.service_cycles == 0) {
+      return invalid_input("stage '" + stage.name + "' has zero service time");
+    }
+    if (stage.buffer_images == 0) {
+      return invalid_input("stage '" + stage.name + "' has zero buffer");
+    }
+  }
+  if (batch == 0) {
+    return invalid_input("batch must be positive");
+  }
+  PipelineModel model(stages, batch);
+  return model.run();
+}
+
+}  // namespace condor::sim

@@ -1,0 +1,86 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace condor {
+
+std::size_t Shape::element_count() const noexcept {
+  std::size_t count = 1;
+  for (const std::size_t dim : dims_) {
+    count *= dim;
+  }
+  return count;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += std::to_string(dims_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(data_.size() == shape_.element_count() &&
+         "tensor data size must match shape");
+}
+
+Status Tensor::reshape(Shape new_shape) {
+  if (new_shape.element_count() != data_.size()) {
+    return invalid_input(strings::format(
+        "reshape %s -> %s changes element count", shape_.to_string().c_str(),
+        new_shape.to_string().c_str()));
+  }
+  shape_ = std::move(new_shape);
+  return Status::ok();
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) noexcept {
+  assert(a.shape() == b.shape());
+  float max_diff = 0.0F;
+  const auto va = a.data();
+  const auto vb = b.data();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(va[i] - vb[i]));
+  }
+  return max_diff;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) noexcept {
+  if (a.shape() != b.shape()) {
+    return false;
+  }
+  const auto va = a.data();
+  const auto vb = b.data();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    const float diff = std::fabs(va[i] - vb[i]);
+    if (diff > atol + rtol * std::fabs(vb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t argmax(const Tensor& t) noexcept {
+  const auto view = t.data();
+  if (view.empty()) {
+    return 0;
+  }
+  return static_cast<std::size_t>(
+      std::max_element(view.begin(), view.end()) - view.begin());
+}
+
+}  // namespace condor

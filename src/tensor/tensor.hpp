@@ -1,0 +1,106 @@
+// Dense float32 N-D tensor used throughout the NN substrate.
+//
+// Layout is row-major over the shape vector; feature maps use CHW order
+// (channels, height, width) matching Caffe's blob convention with the batch
+// dimension handled one image at a time by the inference engines (the
+// accelerator streams images individually through the pipeline).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace condor {
+
+/// Tensor shape: a small vector of extents. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] std::size_t operator[](std::size_t axis) const noexcept {
+    return dims_[axis];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& dims() const noexcept { return dims_; }
+
+  /// Product of all extents (1 for rank 0).
+  [[nodiscard]] std::size_t element_count() const noexcept;
+
+  /// "(3, 32, 32)"
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Shape& other) const noexcept = default;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+/// Owned dense tensor of float32.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0F)
+      : shape_(std::move(shape)), data_(shape_.element_count(), fill) {}
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  [[nodiscard]] float* raw() noexcept { return data_.data(); }
+  [[nodiscard]] const float* raw() const noexcept { return data_.data(); }
+
+  // Flat access.
+  [[nodiscard]] float& operator[](std::size_t index) noexcept { return data_[index]; }
+  [[nodiscard]] float operator[](std::size_t index) const noexcept { return data_[index]; }
+
+  // CHW convenience accessors (rank-3 tensors).
+  [[nodiscard]] float& at(std::size_t c, std::size_t h, std::size_t w) noexcept {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+  [[nodiscard]] float at(std::size_t c, std::size_t h, std::size_t w) const noexcept {
+    return data_[(c * shape_[1] + h) * shape_[2] + w];
+  }
+
+  // Rank-4 accessor (out_channels, in_channels, kh, kw) for conv weights.
+  [[nodiscard]] float& at4(std::size_t o, std::size_t i, std::size_t kh,
+                           std::size_t kw) noexcept {
+    return data_[((o * shape_[1] + i) * shape_[2] + kh) * shape_[3] + kw];
+  }
+  [[nodiscard]] float at4(std::size_t o, std::size_t i, std::size_t kh,
+                          std::size_t kw) const noexcept {
+    return data_[((o * shape_[1] + i) * shape_[2] + kh) * shape_[3] + kw];
+  }
+
+  /// Reinterprets the data under a new shape with identical element count.
+  Status reshape(Shape new_shape);
+
+  void fill(float value) noexcept;
+
+  bool operator==(const Tensor& other) const noexcept = default;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max |a-b| over all elements; tensors must have equal shapes (asserts).
+float max_abs_diff(const Tensor& a, const Tensor& b) noexcept;
+
+/// Element-wise approximate equality with absolute + relative tolerance.
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5F,
+              float rtol = 1e-5F) noexcept;
+
+/// Index of the largest element (argmax over flat data); 0 for empty.
+std::size_t argmax(const Tensor& t) noexcept;
+
+}  // namespace condor

@@ -1,0 +1,343 @@
+// Tests for the Caffe frontend: prototxt text-format parsing, the typed
+// caffe.proto codec, import to the Condor IR, and export/import round trips.
+#include <gtest/gtest.h>
+
+#include "caffe/export.hpp"
+#include "caffe/import.hpp"
+#include "caffe/text_format.hpp"
+#include "nn/models.hpp"
+#include "nn/weights.hpp"
+
+namespace condor::caffe {
+namespace {
+
+// A faithful excerpt of BVLC caffe/examples/mnist/lenet.prototxt.
+constexpr const char* kLenetPrototxt = R"(
+name: "LeNet"
+layer {
+  name: "data"
+  type: "Input"
+  top: "data"
+  input_param { shape: { dim: 64 dim: 1 dim: 28 dim: 28 } }
+}
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  param { lr_mult: 1 }
+  param { lr_mult: 2 }
+  convolution_param {
+    num_output: 20
+    kernel_size: 5
+    stride: 1
+    weight_filler { type: "xavier" }
+    bias_filler { type: "constant" }
+  }
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "conv2"
+  type: "Convolution"
+  bottom: "pool1"
+  top: "conv2"
+  convolution_param { num_output: 50 kernel_size: 5 stride: 1 }
+}
+layer {
+  name: "pool2"
+  type: "Pooling"
+  bottom: "conv2"
+  top: "pool2"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "ip1"
+  type: "InnerProduct"
+  bottom: "pool2"
+  top: "ip1"
+  inner_product_param { num_output: 500 }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "ip1"
+  top: "ip1"
+}
+layer {
+  name: "ip2"
+  type: "InnerProduct"
+  bottom: "ip1"
+  top: "ip2"
+  inner_product_param { num_output: 10 }
+}
+layer {
+  name: "prob"
+  type: "Softmax"
+  bottom: "ip2"
+  top: "prob"
+}
+)";
+
+TEST(TextFormat, ParsesScalarsMessagesAndComments) {
+  auto result = parse_text_format(R"(
+# a comment
+name: "net"  # trailing comment
+count: 3
+ratio: -1.5
+enabled: true
+pool: MAX
+nested { a: 1 b { c: "x" } }
+repeated: 1
+repeated: 2
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const TextMessage& root = result.value();
+  EXPECT_EQ(root.get_string("name").value(), "net");
+  EXPECT_EQ(root.get_int("count").value(), 3);
+  EXPECT_DOUBLE_EQ(root.get_double("ratio").value(), -1.5);
+  EXPECT_TRUE(root.get_bool_or("enabled", false));
+  EXPECT_EQ(root.get_string("pool").value(), "MAX");
+  ASSERT_NE(root.message("nested"), nullptr);
+  EXPECT_EQ(root.message("nested")->message("b")->get_string("c").value(), "x");
+  EXPECT_EQ(root.scalars("repeated").size(), 2u);
+  EXPECT_EQ(root.get_int_or("missing", 9), 9);
+}
+
+TEST(TextFormat, MessageWithoutColon) {
+  auto result = parse_text_format("inner_param { shape { dim: 1 } }");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NE(result.value().message("inner_param"), nullptr);
+}
+
+TEST(TextFormat, DeepNestingBounded) {
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) {
+    deep += "a{";
+  }
+  deep += std::string(100000, '}');
+  auto result = parse_text_format(deep);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(TextFormat, Errors) {
+  EXPECT_FALSE(parse_text_format("name").is_ok());           // no value
+  EXPECT_FALSE(parse_text_format("a { b: 1 ").is_ok());      // unclosed
+  EXPECT_FALSE(parse_text_format("}").is_ok());              // stray brace
+  EXPECT_FALSE(parse_text_format("a: \"unterminated").is_ok());
+  EXPECT_FALSE(parse_text_format("a b").is_ok());            // missing colon
+}
+
+TEST(Import, LenetPrototxtMatchesModelZoo) {
+  auto imported = network_from_prototxt(kLenetPrototxt);
+  ASSERT_TRUE(imported.is_ok()) << imported.status().to_string();
+  const nn::Network& net = imported.value();
+  const nn::Network zoo = nn::make_lenet();
+  ASSERT_EQ(net.layer_count(), zoo.layer_count());
+  auto net_shapes = net.infer_shapes().value();
+  auto zoo_shapes = zoo.infer_shapes().value();
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    EXPECT_EQ(net.layers()[i].kind, zoo.layers()[i].kind) << i;
+    EXPECT_EQ(net_shapes[i].output, zoo_shapes[i].output) << i;
+    EXPECT_EQ(net.layers()[i].activation, zoo.layers()[i].activation) << i;
+  }
+  // The in-place ReLU fused into ip1.
+  EXPECT_EQ(net.find_layer("ip1")->activation, nn::Activation::kReLU);
+}
+
+TEST(Import, LegacyInputDimStyle) {
+  auto result = network_from_prototxt(R"(
+name: "legacy"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer {
+  name: "conv"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv"
+  convolution_param { num_output: 4 kernel_size: 3 }
+}
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().input_shape().value(), (Shape{3, 8, 8}));
+}
+
+TEST(Import, InputShapeStyle) {
+  auto result = network_from_prototxt(R"(
+input: "data"
+input_shape { dim: 1 dim: 2 dim: 6 dim: 6 }
+layer {
+  name: "conv"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv"
+  convolution_param { num_output: 1 kernel_size: 3 pad: 1 stride: 2 }
+}
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const nn::LayerSpec* conv = result.value().find_layer("conv");
+  ASSERT_NE(conv, nullptr);
+  EXPECT_EQ(conv->pad, 1u);
+  EXPECT_EQ(conv->stride, 2u);
+}
+
+TEST(Import, RectangularKernel) {
+  auto result = network_from_prototxt(R"(
+input: "data"
+input_shape { dim: 1 dim: 1 dim: 8 dim: 8 }
+layer {
+  name: "conv"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv"
+  convolution_param { num_output: 1 kernel_h: 3 kernel_w: 5 }
+}
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().find_layer("conv")->kernel_h, 3u);
+  EXPECT_EQ(result.value().find_layer("conv")->kernel_w, 5u);
+}
+
+TEST(Import, UnsupportedTypeRejected) {
+  auto result = network_from_prototxt(R"(
+input: "data"
+input_shape { dim: 1 dim: 1 dim: 8 dim: 8 }
+layer { name: "l" type: "LRN" bottom: "data" top: "l" }
+)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Import, MissingInputRejected) {
+  auto result = network_from_prototxt(R"(
+layer { name: "l" type: "Softmax" bottom: "x" top: "l" }
+)");
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Import, SoftmaxWithLossDegradesToSoftmax) {
+  auto result = network_from_prototxt(R"(
+input: "data"
+input_shape { dim: 1 dim: 1 dim: 4 dim: 4 }
+layer {
+  name: "ip"
+  type: "InnerProduct"
+  bottom: "data"
+  top: "ip"
+  inner_product_param { num_output: 3 }
+}
+layer { name: "loss" type: "SoftmaxWithLoss" bottom: "ip" top: "loss" }
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().layers().back().kind, nn::LayerKind::kSoftmax);
+}
+
+TEST(ExportImport, PrototxtRoundTripAllModels) {
+  for (const nn::Network& model :
+       {nn::make_tc1(), nn::make_lenet(), nn::make_vgg16()}) {
+    auto prototxt = to_prototxt(model);
+    ASSERT_TRUE(prototxt.is_ok()) << model.name();
+    auto reimported = network_from_prototxt(prototxt.value());
+    ASSERT_TRUE(reimported.is_ok())
+        << model.name() << ": " << reimported.status().to_string();
+    ASSERT_EQ(reimported.value().layer_count(), model.layer_count()) << model.name();
+    auto original_shapes = model.infer_shapes().value();
+    auto round_shapes = reimported.value().infer_shapes().value();
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+      EXPECT_EQ(round_shapes[i].output, original_shapes[i].output)
+          << model.name() << " layer " << i;
+      EXPECT_EQ(reimported.value().layers()[i].activation,
+                model.layers()[i].activation)
+          << model.name() << " layer " << i;
+    }
+  }
+}
+
+TEST(ExportImport, CaffemodelWeightsRoundTripBitExact) {
+  const nn::Network lenet = nn::make_lenet();
+  auto weights = nn::initialize_weights(lenet, 77);
+  ASSERT_TRUE(weights.is_ok());
+  auto bytes = to_caffemodel(lenet, weights.value());
+  ASSERT_TRUE(bytes.is_ok());
+  auto restored = weights_from_caffemodel(bytes.value(), lenet);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  for (const auto& [name, params] : weights.value().all()) {
+    const nn::LayerParameters* other = restored.value().find(name);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(max_abs_diff(params.weights, other->weights), 0.0F) << name;
+    EXPECT_EQ(max_abs_diff(params.bias, other->bias), 0.0F) << name;
+  }
+}
+
+TEST(ExportImport, FullLoadPath) {
+  const nn::Network tc1 = nn::make_tc1();
+  auto weights = nn::initialize_weights(tc1, 5);
+  ASSERT_TRUE(weights.is_ok());
+  auto prototxt = to_prototxt(tc1);
+  auto caffemodel = to_caffemodel(tc1, weights.value());
+  ASSERT_TRUE(prototxt.is_ok());
+  ASSERT_TRUE(caffemodel.is_ok());
+  auto model = load_caffe_model(prototxt.value(), caffemodel.value());
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string();
+  EXPECT_EQ(model.value().network.layer_count(), tc1.layer_count());
+  EXPECT_TRUE(model.value().weights.validate_against(model.value().network).is_ok());
+}
+
+TEST(Caffemodel, MissingBlobRejected) {
+  const nn::Network tc1 = nn::make_tc1();
+  // A NetParameter with the right layer names but no blobs.
+  NetParameter net;
+  net.name = "tc1";
+  for (const nn::LayerSpec& layer : tc1.layers()) {
+    if (!layer.has_weights()) {
+      continue;
+    }
+    LayerParameter lp;
+    lp.name = layer.name;
+    lp.type = "Convolution";
+    net.layer.push_back(std::move(lp));
+  }
+  auto bytes = encode_net_parameter(net);
+  auto result = weights_from_caffemodel(bytes, tc1);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Caffemodel, DecoderSkipsUnknownFields) {
+  // Encode a net parameter, then append an unknown field at top level.
+  const nn::Network tc1 = nn::make_tc1();
+  auto weights = nn::initialize_weights(tc1, 6);
+  ASSERT_TRUE(weights.is_ok());
+  auto bytes = to_caffemodel(tc1, weights.value());
+  ASSERT_TRUE(bytes.is_ok());
+  protowire::Writer extra;
+  extra.string_field(999, "future extension");
+  auto extended = bytes.value();
+  extended.insert(extended.end(), extra.view().begin(), extra.view().end());
+  auto restored = weights_from_caffemodel(extended, tc1);
+  EXPECT_TRUE(restored.is_ok()) << restored.status().to_string();
+}
+
+TEST(Caffemodel, LegacyBlobDimensions) {
+  BlobProto blob;
+  blob.num = 2;
+  blob.channels = 3;
+  blob.height = 4;
+  blob.width = 5;
+  EXPECT_EQ(blob.resolved_shape(),
+            (std::vector<std::int64_t>{2, 3, 4, 5}));
+  BlobProto shaped;
+  shaped.shape = BlobShape{{7, 8}};
+  EXPECT_EQ(shaped.resolved_shape(), (std::vector<std::int64_t>{7, 8}));
+}
+
+}  // namespace
+}  // namespace condor::caffe

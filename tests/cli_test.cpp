@@ -1,0 +1,184 @@
+// Tests for the `condor` command-line driver.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "caffe/export.hpp"
+#include "cli/cli.hpp"
+#include "common/byte_io.hpp"
+#include "common/logging.hpp"
+#include "hw/hw_ir.hpp"
+#include "nn/models.hpp"
+#include "nn/weights.hpp"
+#include "onnx/export.hpp"
+
+namespace condor::cli {
+namespace {
+
+struct CliRun {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  log::set_level(log::Level::kError);
+  std::ostringstream out;
+  std::ostringstream err;
+  CliRun result;
+  result.exit_code = run_cli(args, out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+std::string temp_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/condor_cli_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliRun result = run({});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliRun result = run({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, BoardsListsDatabase) {
+  const CliRun result = run({"boards"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("aws-f1"), std::string::npos);
+  EXPECT_NE(result.out.find("zedboard"), std::string::npos);
+}
+
+TEST(Cli, SummaryShowsModel) {
+  const CliRun result = run({"summary", "--model", "lenet"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("conv1"), std::string::npos);
+  EXPECT_NE(result.out.find("431080"), std::string::npos);  // parameter count
+  EXPECT_EQ(run({"summary", "--model", "resnet"}).exit_code, 1);
+  EXPECT_EQ(run({"summary"}).exit_code, 2);
+}
+
+TEST(Cli, BuildFromCaffeFilesOnPremise) {
+  const std::string dir = temp_dir("build_caffe");
+  const nn::Network model = nn::make_tc1();
+  auto weights = nn::initialize_weights(model, 1).value();
+  ASSERT_TRUE(caffe::write_caffe_fixture(model, weights, dir + "/tc1").is_ok());
+
+  const CliRun result =
+      run({"build", "--prototxt", dir + "/tc1.prototxt", "--caffemodel",
+           dir + "/tc1.caffemodel", "--board", "aws-f1", "--out",
+           dir + "/artifacts"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("GFLOPS/W"), std::string::npos);
+  EXPECT_NE(result.out.find("synthesis report"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/artifacts/accelerator.xclbin"));
+}
+
+TEST(Cli, BuildFromOnnxAndRun) {
+  const std::string dir = temp_dir("build_onnx");
+  const nn::Network model = nn::make_tc1();
+  auto weights = nn::initialize_weights(model, 2).value();
+  auto onnx_bytes = onnx::to_onnx(model, weights).value();
+  ASSERT_TRUE(write_file(dir + "/tc1.onnx", onnx_bytes).is_ok());
+
+  const CliRun build = run({"build", "--onnx", dir + "/tc1.onnx", "--out",
+                            dir + "/artifacts"});
+  EXPECT_EQ(build.exit_code, 0) << build.err;
+
+  const CliRun exec =
+      run({"run", "--xclbin", dir + "/artifacts/accelerator.xclbin",
+           "--weights", dir + "/artifacts/weights.bin", "--batch", "4"});
+  EXPECT_EQ(exec.exit_code, 0) << exec.err;
+  EXPECT_NE(exec.out.find("4 images"), std::string::npos);
+  EXPECT_NE(exec.out.find("MHz"), std::string::npos);
+}
+
+TEST(Cli, BuildCloudCreatesAfiAndDescribeFindsIt) {
+  const std::string dir = temp_dir("build_cloud");
+  const nn::Network model = nn::make_tc1();
+  auto weights = nn::initialize_weights(model, 3).value();
+  ASSERT_TRUE(write_text_file(dir + "/net.json",
+                              hw::to_json_text(hw::with_default_annotations(model)))
+                  .is_ok());
+  ASSERT_TRUE(weights.save(dir + "/w.bin").is_ok());
+
+  const CliRun build =
+      run({"build", "--network", dir + "/net.json", "--weights", dir + "/w.bin",
+           "--deploy", "cloud", "--bucket", "cli-bucket", "--aws-root",
+           dir + "/aws"});
+  EXPECT_EQ(build.exit_code, 0) << build.err;
+  const std::size_t pos = build.out.find("AFI: afi-");
+  ASSERT_NE(pos, std::string::npos) << build.out;
+  const std::string afi_id = build.out.substr(pos + 5, 21);
+
+  const CliRun describe =
+      run({"describe-afi", "--id", afi_id, "--aws-root", dir + "/aws"});
+  EXPECT_EQ(describe.exit_code, 0) << describe.err;
+  EXPECT_NE(describe.out.find(afi_id), std::string::npos);
+  EXPECT_NE(describe.out.find("cli-bucket"), std::string::npos);
+}
+
+TEST(Cli, ValidateReportsBitExactness) {
+  const CliRun result = run({"validate", "--model", "tc1", "--batch", "2"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("bit-exact PASS"), std::string::npos);
+  EXPECT_EQ(run({"validate"}).exit_code, 2);
+  EXPECT_EQ(run({"validate", "--model", "nope"}).exit_code, 1);
+}
+
+TEST(Cli, Fig5PrintsBatchSweep) {
+  const CliRun result = run({"fig5", "--model", "tc1"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("mean ms/image"), std::string::npos);
+  EXPECT_NE(result.out.find("256"), std::string::npos);
+  EXPECT_EQ(run({"fig5"}).exit_code, 2);
+}
+
+TEST(Cli, DsePrintsTrajectory) {
+  const CliRun result = run({"dse", "--model", "tc1", "--features"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("best:"), std::string::npos);
+  EXPECT_NE(result.out.find("GFLOPS"), std::string::npos);
+}
+
+TEST(Cli, BuildErrorsAreReported) {
+  // Missing files.
+  EXPECT_EQ(run({"build", "--onnx", "/nonexistent.onnx"}).exit_code, 1);
+  // Missing input source.
+  EXPECT_EQ(run({"build"}).exit_code, 2);
+  // Caffe source with only one file.
+  EXPECT_EQ(run({"build", "--prototxt", "/x.prototxt"}).exit_code, 2);
+  // Bad deploy mode.
+  const std::string dir = temp_dir("build_err");
+  const nn::Network model = nn::make_tc1();
+  auto weights = nn::initialize_weights(model, 4).value();
+  ASSERT_TRUE(write_text_file(dir + "/net.json",
+                              hw::to_json_text(hw::with_default_annotations(model)))
+                  .is_ok());
+  ASSERT_TRUE(weights.save(dir + "/w.bin").is_ok());
+  EXPECT_EQ(run({"build", "--network", dir + "/net.json", "--weights",
+                 dir + "/w.bin", "--deploy", "moon"})
+                .exit_code,
+            2);
+}
+
+TEST(Cli, RunRequiresArguments) {
+  EXPECT_EQ(run({"run"}).exit_code, 2);
+  EXPECT_EQ(run({"run", "--xclbin", "/missing", "--weights", "/missing"})
+                .exit_code,
+            1);
+  EXPECT_EQ(run({"describe-afi"}).exit_code, 2);
+}
+
+}  // namespace
+}  // namespace condor::cli

@@ -1,0 +1,220 @@
+// Tests for the simulated AWS layer: S3 object store, AFI service
+// lifecycle, and F1 instance slot management.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cloud/afi.hpp"
+#include "cloud/f1.hpp"
+#include "cloud/s3.hpp"
+#include "condor/flow.hpp"
+#include "nn/models.hpp"
+#include "nn/weights.hpp"
+#include "test_util.hpp"
+
+namespace condor::cloud {
+namespace {
+
+std::string fresh_root(const char* name) {
+  const std::string root = ::testing::TempDir() + "/condor_cloud_" + name;
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+std::vector<std::byte> to_bytes(std::string_view text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+TEST(S3, PutGetListDelete) {
+  ObjectStore store(fresh_root("s3"));
+  ASSERT_TRUE(store.create_bucket("my-bucket").is_ok());
+  EXPECT_TRUE(store.bucket_exists("my-bucket"));
+  EXPECT_FALSE(store.bucket_exists("other"));
+
+  ASSERT_TRUE(store.put_object("my-bucket", "a/b/file.bin", to_bytes("abc")).is_ok());
+  ASSERT_TRUE(store.put_object("my-bucket", "a/c.bin", to_bytes("xy")).is_ok());
+  EXPECT_TRUE(store.object_exists("my-bucket", "a/b/file.bin"));
+
+  auto data = store.get_object("my-bucket", "a/b/file.bin");
+  ASSERT_TRUE(data.is_ok());
+  EXPECT_EQ(data.value().size(), 3u);
+
+  auto keys = store.list_objects("my-bucket", "a/");
+  ASSERT_TRUE(keys.is_ok());
+  EXPECT_EQ(keys.value(),
+            (std::vector<std::string>{"a/b/file.bin", "a/c.bin"}));
+
+  ASSERT_TRUE(store.delete_object("my-bucket", "a/c.bin").is_ok());
+  EXPECT_FALSE(store.object_exists("my-bucket", "a/c.bin"));
+  EXPECT_EQ(store.get_object("my-bucket", "a/c.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(S3, BucketNameValidation) {
+  EXPECT_TRUE(ObjectStore::validate_bucket_name("my-bucket-01").is_ok());
+  EXPECT_FALSE(ObjectStore::validate_bucket_name("ab").is_ok());          // short
+  EXPECT_FALSE(ObjectStore::validate_bucket_name("UPPER").is_ok());       // case
+  EXPECT_FALSE(ObjectStore::validate_bucket_name("has space").is_ok());
+  EXPECT_FALSE(ObjectStore::validate_bucket_name("-leading").is_ok());
+  EXPECT_FALSE(ObjectStore::validate_bucket_name(std::string(64, 'a')).is_ok());
+}
+
+TEST(S3, KeyValidationBlocksTraversal) {
+  ObjectStore store(fresh_root("s3keys"));
+  ASSERT_TRUE(store.create_bucket("bkt").is_ok());
+  EXPECT_FALSE(store.put_object("bkt", "../escape", to_bytes("x")).is_ok());
+  EXPECT_FALSE(store.put_object("bkt", "a/../../b", to_bytes("x")).is_ok());
+  EXPECT_FALSE(store.put_object("bkt", "/absolute", to_bytes("x")).is_ok());
+  EXPECT_FALSE(store.put_object("bkt", "", to_bytes("x")).is_ok());
+  EXPECT_FALSE(store.put_object("no-such-bucket", "k", to_bytes("x")).is_ok());
+}
+
+// ---- AFI lifecycle -----------------------------------------------------------
+
+std::vector<std::byte> valid_xclbin_bytes() {
+  const nn::Network model =
+      condor::testing::make_tiny_net(condor::testing::TinyNetConfig{});
+  condorflow::FrontendInput input;
+  input.network_json_text = hw::to_json_text(hw::with_default_annotations(model));
+  input.weight_file_bytes =
+      nn::initialize_weights(model, 9).value().serialize();
+  condorflow::FlowOptions options;
+  return condorflow::Flow::run(input, options).value().xclbin_bytes;
+}
+
+TEST(Afi, LifecyclePendingToAvailable) {
+  ObjectStore store(fresh_root("afi"));
+  AfiService service(store, /*ingestion_polls=*/2);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(store.put_object("designs", "d.xclbin", valid_xclbin_bytes()).is_ok());
+
+  auto created = service.create_fpga_image("tiny", "test image", "designs",
+                                           "d.xclbin");
+  ASSERT_TRUE(created.is_ok()) << created.status().to_string();
+  EXPECT_EQ(created.value().state, AfiState::kPending);
+  EXPECT_EQ(created.value().afi_id.substr(0, 4), "afi-");
+  EXPECT_EQ(created.value().agfi_id.substr(0, 5), "agfi-");
+
+  // Payload fetch is refused while pending.
+  EXPECT_EQ(service.fetch_image_payload(created.value().afi_id).status().code(),
+            StatusCode::kUnavailable);
+
+  // Two describes later, the image is available (also via the agfi id).
+  auto first = service.describe_fpga_image(created.value().agfi_id);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().state, AfiState::kPending);
+  auto second = service.describe_fpga_image(created.value().afi_id);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().state, AfiState::kAvailable);
+
+  auto payload = service.fetch_image_payload(created.value().agfi_id);
+  ASSERT_TRUE(payload.is_ok());
+  EXPECT_FALSE(payload.value().empty());
+}
+
+TEST(Afi, WaitUntilAvailablePolls) {
+  ObjectStore store(fresh_root("afi_wait"));
+  AfiService service(store, /*ingestion_polls=*/5);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(store.put_object("designs", "d.xclbin", valid_xclbin_bytes()).is_ok());
+  auto created = service.create_fpga_image("tiny", "", "designs", "d.xclbin");
+  ASSERT_TRUE(created.is_ok());
+  auto available = service.wait_until_available(created.value().afi_id);
+  ASSERT_TRUE(available.is_ok());
+  EXPECT_EQ(available.value().state, AfiState::kAvailable);
+}
+
+TEST(Afi, GarbagePayloadFailsIngestion) {
+  ObjectStore store(fresh_root("afi_bad"));
+  AfiService service(store);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(store.put_object("designs", "junk.bin", to_bytes("not an xclbin"))
+                  .is_ok());
+  auto created = service.create_fpga_image("bad", "", "designs", "junk.bin");
+  ASSERT_TRUE(created.is_ok());
+  EXPECT_EQ(created.value().state, AfiState::kFailed);
+  EXPECT_FALSE(service.wait_until_available(created.value().afi_id).is_ok());
+}
+
+TEST(Afi, MissingObjectRejectedAtCreate) {
+  ObjectStore store(fresh_root("afi_missing"));
+  AfiService service(store);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  EXPECT_FALSE(
+      service.create_fpga_image("x", "", "designs", "absent.xclbin").is_ok());
+  EXPECT_FALSE(service.describe_fpga_image("afi-doesnotexist").is_ok());
+}
+
+TEST(Afi, ListImagesAndPersistence) {
+  const std::string root = fresh_root("afi_list");
+  std::string afi_id;
+  {
+    ObjectStore store(root);
+    AfiService service(store, 0);
+    ASSERT_TRUE(store.create_bucket("designs").is_ok());
+    ASSERT_TRUE(store.put_object("designs", "d.xclbin", valid_xclbin_bytes()).is_ok());
+    afi_id = service.create_fpga_image("tiny", "", "designs", "d.xclbin")
+                 .value()
+                 .afi_id;
+  }
+  // A fresh service over the same store sees the registered image (the
+  // registry is persisted, like the real AFI catalog).
+  ObjectStore store(root);
+  AfiService service(store);
+  auto images = service.list_images();
+  ASSERT_TRUE(images.is_ok());
+  ASSERT_EQ(images.value().size(), 1u);
+  EXPECT_EQ(images.value()[0].afi_id, afi_id);
+}
+
+// ---- F1 instances -------------------------------------------------------------
+
+TEST(F1, SlotCountsPerInstanceType) {
+  EXPECT_EQ(slot_count(F1InstanceType::k2xlarge), 1u);
+  EXPECT_EQ(slot_count(F1InstanceType::k4xlarge), 2u);
+  EXPECT_EQ(slot_count(F1InstanceType::k16xlarge), 8u);
+  EXPECT_EQ(to_string(F1InstanceType::k16xlarge), "f1.16xlarge");
+}
+
+TEST(F1, LoadDescribeClearSlot) {
+  ObjectStore store(fresh_root("f1"));
+  AfiService service(store, 0);  // immediately available
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(store.put_object("designs", "d.xclbin", valid_xclbin_bytes()).is_ok());
+  auto afi = service.create_fpga_image("tiny", "", "designs", "d.xclbin");
+  ASSERT_TRUE(afi.is_ok());
+  ASSERT_TRUE(service.wait_until_available(afi.value().afi_id).is_ok());
+
+  F1Instance instance(F1InstanceType::k4xlarge, service);
+  EXPECT_EQ(instance.slots(), 2u);
+  EXPECT_NE(instance.describe_slot(0).value().find("cleared"), std::string::npos);
+
+  ASSERT_TRUE(instance.load_afi(0, afi.value().agfi_id).is_ok());
+  EXPECT_NE(instance.describe_slot(0).value().find(afi.value().agfi_id),
+            std::string::npos);
+  EXPECT_TRUE(instance.slot_kernel(0).is_ok());
+  // Slot 1 is still empty.
+  EXPECT_EQ(instance.slot_kernel(1).status().code(), StatusCode::kUnavailable);
+  // Out-of-range slot.
+  EXPECT_FALSE(instance.load_afi(5, afi.value().agfi_id).is_ok());
+
+  ASSERT_TRUE(instance.clear_slot(0).is_ok());
+  EXPECT_FALSE(instance.slot_kernel(0).is_ok());
+}
+
+TEST(F1, PendingAfiCannotBeLoaded) {
+  ObjectStore store(fresh_root("f1_pending"));
+  AfiService service(store, /*ingestion_polls=*/10);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(store.put_object("designs", "d.xclbin", valid_xclbin_bytes()).is_ok());
+  auto afi = service.create_fpga_image("tiny", "", "designs", "d.xclbin");
+  ASSERT_TRUE(afi.is_ok());
+  F1Instance instance(F1InstanceType::k2xlarge, service);
+  EXPECT_EQ(instance.load_afi(0, afi.value().afi_id).code(),
+            StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace condor::cloud

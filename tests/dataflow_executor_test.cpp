@@ -1,0 +1,396 @@
+// Integration tests of the functional dataflow engine: the accelerator
+// simulation must match the golden CPU reference bit-for-bit on every
+// model, geometry and batch size (the central correctness property of the
+// reproduction).
+#include <gtest/gtest.h>
+
+#include "dataflow/executor.hpp"
+#include "hw/accel_plan.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "test_util.hpp"
+
+namespace condor {
+namespace {
+
+using testing::TinyNetConfig;
+
+/// Runs `network` through both engines and EXPECTs bit-identical outputs.
+void expect_dataflow_matches_reference(const nn::Network& network,
+                                       std::size_t batch, std::uint64_t seed,
+                                       const hw::LayerHw* uniform_hw = nullptr) {
+  auto weights = nn::initialize_weights(network, seed);
+  ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
+
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  if (uniform_hw != nullptr) {
+    for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+      hw_net.hw.layers[i] = *uniform_hw;
+    }
+  }
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok()) << executor.status().to_string();
+
+  const auto inputs = testing::random_inputs(network, batch, seed + 1);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  ASSERT_EQ(outputs.value().size(), batch);
+
+  for (std::size_t i = 0; i < batch; ++i) {
+    auto expected = engine.value().forward(inputs[i]);
+    ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();
+    EXPECT_EQ(outputs.value()[i].shape().element_count(),
+              expected.value().shape().element_count());
+    EXPECT_EQ(max_abs_diff(outputs.value()[i], expected.value()), 0.0F)
+        << "image " << i << " diverges from the golden reference";
+  }
+}
+
+TEST(DataflowExecutor, SingleConvolutionMatchesReference) {
+  TinyNetConfig config;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2, 7);
+}
+
+TEST(DataflowExecutor, ConvolutionWithReluMatchesReference) {
+  TinyNetConfig config;
+  config.activation = nn::Activation::kReLU;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2, 11);
+}
+
+TEST(DataflowExecutor, ConvolutionWithTanhMatchesReference) {
+  TinyNetConfig config;
+  config.activation = nn::Activation::kTanH;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 1, 13);
+}
+
+TEST(DataflowExecutor, StridedConvolutionMatchesReference) {
+  TinyNetConfig config;
+  config.in_size = 9;
+  config.stride = 2;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2, 17);
+}
+
+TEST(DataflowExecutor, PaddedConvolutionMatchesReference) {
+  TinyNetConfig config;
+  config.pad = 1;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2, 19);
+}
+
+TEST(DataflowExecutor, ConvPoolMatchesReference) {
+  TinyNetConfig config;
+  config.with_pool = true;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2, 23);
+}
+
+TEST(DataflowExecutor, AveragePoolMatchesReference) {
+  TinyNetConfig config;
+  config.with_pool = true;
+  config.pool_method = nn::PoolMethod::kAverage;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2, 29);
+}
+
+TEST(DataflowExecutor, FullPipelineWithClassifierMatchesReference) {
+  TinyNetConfig config;
+  config.with_pool = true;
+  config.with_fc = true;
+  config.with_softmax = true;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 3, 31);
+}
+
+TEST(DataflowExecutor, Tc1MatchesReference) {
+  expect_dataflow_matches_reference(nn::make_tc1(), 4, 37);
+}
+
+TEST(DataflowExecutor, LeNetMatchesReference) {
+  expect_dataflow_matches_reference(nn::make_lenet(), 2, 41);
+}
+
+TEST(DataflowExecutor, Tc1LargerBatchMatchesReference) {
+  expect_dataflow_matches_reference(nn::make_tc1(), 16, 43);
+}
+
+TEST(DataflowExecutor, FusedFeatureLayersMatchReference) {
+  // Cluster conv+pool onto one PE (pe_group fusion) — exercises the outer
+  // layer loop, the loopback channel and the filter conditionals.
+  TinyNetConfig config;
+  config.with_pool = true;
+  config.with_fc = true;
+  hw::LayerHw fused;
+  const nn::Network network = testing::make_tiny_net(config);
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.layers[1].pe_group = 0;  // conv1
+  hw_net.hw.layers[2].pe_group = 0;  // pool1
+
+  auto weights = nn::initialize_weights(network, 47);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_EQ(plan.value().pes.size(), 2u);  // fused feature PE + classifier
+
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+  const auto inputs = testing::random_inputs(network, 3, 53);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto expected = engine.value().forward(inputs[i]);
+    ASSERT_TRUE(expected.is_ok());
+    EXPECT_EQ(max_abs_diff(outputs.value()[i], expected.value()), 0.0F);
+  }
+}
+
+TEST(DataflowExecutor, FusedClassifierLayersMatchReference) {
+  // Cluster ip1+ip2 onto one classifier PE — exercises the multi-pass
+  // ClassifierPeModule.
+  const nn::Network network = nn::make_lenet();
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.layers[5].pe_group = 4;  // ip1
+  hw_net.hw.layers[6].pe_group = 4;  // ip2
+
+  auto weights = nn::initialize_weights(network, 71);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_EQ(plan.value().pes.size(), 5u);  // 4 feature + 1 fused classifier
+  ASSERT_EQ(plan.value().pes.back().layer_indices.size(), 2u);
+
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+  const auto inputs = testing::random_inputs(network, 2, 73);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(outputs.value()[i],
+                           engine.value().forward(inputs[i]).value()),
+              0.0F);
+  }
+}
+
+TEST(DataflowExecutor, StandaloneActivationPeMatchesReference) {
+  // An activation as the very first compute layer maps to a standalone
+  // element-wise PE with a degenerate 1x1 memory subsystem.
+  nn::Network network("act-first");
+  nn::LayerSpec input;
+  input.name = "data";
+  input.kind = nn::LayerKind::kInput;
+  input.input_channels = 2;
+  input.input_height = 6;
+  input.input_width = 6;
+  network.add(input);
+  nn::LayerSpec act;
+  act.name = "relu_in";
+  act.kind = nn::LayerKind::kActivation;
+  act.activation = nn::Activation::kReLU;
+  network.add(act);
+  nn::LayerSpec conv;
+  conv.name = "conv";
+  conv.kind = nn::LayerKind::kConvolution;
+  conv.num_output = 3;
+  conv.kernel_h = conv.kernel_w = 3;
+  network.add(conv);
+  ASSERT_TRUE(network.validate().is_ok());
+
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_EQ(plan.value().pes.front().kind, hw::PeKind::kElementwise);
+  ASSERT_TRUE(plan.value().pes.front().memory.has_value());
+  EXPECT_EQ(plan.value().pes.front().memory->window_h, 1u);
+
+  expect_dataflow_matches_reference(network, 2, 79);
+}
+
+TEST(DataflowExecutor, RejectsWrongInputShape) {
+  const nn::Network network = testing::make_tiny_net(TinyNetConfig{});
+  auto weights = nn::initialize_weights(network, 59);
+  ASSERT_TRUE(weights.is_ok());
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+  std::vector<Tensor> bad = {Tensor(Shape{1, 4, 4})};
+  auto result = executor.value().run_batch(bad);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(DataflowExecutor, ParallelInputLanesMatchReference) {
+  // parallel_in > 1 replicates the memory subsystem: one filter chain per
+  // concurrently-read input map (paper §3.2). Results stay bit-exact.
+  const nn::Network network = nn::make_lenet();
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.layers[2].parallel_in = 4;  // pool1 (20 maps over 4 lanes)
+  hw_net.hw.layers[3].parallel_in = 5;  // conv2 (20 maps over 5 lanes)
+  ASSERT_TRUE(hw_net.validate().is_ok());
+
+  auto weights = nn::initialize_weights(network, 91);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+
+  const auto inputs = testing::random_inputs(network, 2, 93);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(outputs.value()[i],
+                           engine.value().forward(inputs[i]).value()),
+              0.0F);
+  }
+  // The module census reflects the replicated chains: conv2 alone owns
+  // 5 lanes x 25 filters.
+  EXPECT_GT(executor.value().last_run_stats().modules, 150u);
+}
+
+TEST(DataflowExecutor, ParallelLanesOnFusedPeMatchReference) {
+  // Lanes + fusion together: conv+pool fused onto one PE with two lanes.
+  testing::TinyNetConfig config;
+  config.in_channels = 4;
+  config.with_pool = true;
+  const nn::Network network = testing::make_tiny_net(config);
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.layers[1].pe_group = 0;
+  hw_net.hw.layers[2].pe_group = 0;
+  hw_net.hw.layers[1].parallel_in = 2;
+  ASSERT_TRUE(hw_net.validate().is_ok());
+
+  auto weights = nn::initialize_weights(network, 95);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+  const auto inputs = testing::random_inputs(network, 3, 97);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(outputs.value()[i],
+                           engine.value().forward(inputs[i]).value()),
+              0.0F);
+  }
+}
+
+TEST(DataflowExecutor, WeightStreamsCarryExpectedTraffic) {
+  // Every weighted PE has a weight stream from the datamover: feature PEs
+  // receive their slice per image, the classifier once per batch.
+  const nn::Network network = nn::make_tc1();
+  auto weights = nn::initialize_weights(network, 83);
+  ASSERT_TRUE(weights.is_ok());
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+  const std::size_t batch = 3;
+  auto outputs =
+      executor.value().run_batch(testing::random_inputs(network, batch, 89));
+  ASSERT_TRUE(outputs.is_ok());
+
+  // conv1: (6*1*3*3 + 6) weights per image; conv2: (12*6*4*4 + 12);
+  // ip1 (classifier): (10*48 + 10) once.
+  const std::uint64_t conv1_expected = batch * (6ull * 9 + 6);
+  const std::uint64_t conv2_expected = batch * (12ull * 6 * 16 + 12);
+  const std::uint64_t ip1_expected = 10ull * 48 + 10;
+  std::uint64_t conv1_seen = 0;
+  std::uint64_t conv2_seen = 0;
+  std::uint64_t ip1_seen = 0;
+  const auto& streams = executor.value().plan().source;  // silence unused
+  (void)streams;
+  const auto stats = executor.value().last_run_stats();
+  std::size_t weight_streams = 0;
+  for (std::size_t s = 0; s < stats.stream_stats.size(); ++s) {
+    // Identify weight streams by their write totals matching expectations.
+    const std::uint64_t writes = stats.stream_stats[s].total_writes;
+    if (writes == conv1_expected) {
+      conv1_seen = writes;
+      ++weight_streams;
+    } else if (writes == conv2_expected) {
+      conv2_seen = writes;
+      ++weight_streams;
+    } else if (writes == ip1_expected) {
+      ip1_seen = writes;
+      ++weight_streams;
+    }
+  }
+  EXPECT_EQ(conv1_seen, conv1_expected);
+  EXPECT_EQ(conv2_seen, conv2_expected);
+  EXPECT_EQ(ip1_seen, ip1_expected);
+  EXPECT_GE(weight_streams, 3u);
+}
+
+TEST(DataflowExecutor, EmptyBatchIsOk) {
+  const nn::Network network = testing::make_tiny_net(TinyNetConfig{});
+  auto weights = nn::initialize_weights(network, 61);
+  ASSERT_TRUE(weights.is_ok());
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+  auto result = executor.value().run_batch({});
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+// ---- Parameterized geometry sweep (property-style) ----------------------
+
+struct GeometryParam {
+  std::size_t in_channels;
+  std::size_t in_size;
+  std::size_t kernel;
+  std::size_t stride;
+  std::size_t pad;
+};
+
+class DataflowGeometry : public ::testing::TestWithParam<GeometryParam> {};
+
+TEST_P(DataflowGeometry, MatchesReference) {
+  const GeometryParam& param = GetParam();
+  TinyNetConfig config;
+  config.in_channels = param.in_channels;
+  config.in_size = param.in_size;
+  config.kernel = param.kernel;
+  config.stride = param.stride;
+  config.pad = param.pad;
+  config.conv_outputs = 2;
+  expect_dataflow_matches_reference(testing::make_tiny_net(config), 2,
+                                    1000 + param.in_size * 10 + param.kernel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowSweep, DataflowGeometry,
+    ::testing::Values(GeometryParam{1, 6, 1, 1, 0},   // 1x1 window
+                      GeometryParam{1, 6, 2, 1, 0},   // even window
+                      GeometryParam{1, 7, 3, 1, 0},   // odd window
+                      GeometryParam{2, 8, 3, 1, 0},   // multi-channel
+                      GeometryParam{3, 9, 4, 1, 0},   // wide window
+                      GeometryParam{1, 12, 5, 1, 0},  // LeNet-style 5x5
+                      GeometryParam{2, 9, 3, 2, 0},   // stride 2
+                      GeometryParam{1, 10, 3, 3, 0},  // stride > pad
+                      GeometryParam{2, 8, 3, 1, 1},   // SAME-style padding
+                      GeometryParam{1, 6, 5, 1, 2},   // heavy padding
+                      GeometryParam{4, 6, 3, 1, 1},   // channels > maps
+                      GeometryParam{1, 16, 7, 2, 3}));  // big window + stride
+
+}  // namespace
+}  // namespace condor

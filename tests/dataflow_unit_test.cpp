@@ -1,0 +1,237 @@
+// Unit tests for the dataflow primitives: the blocking FIFO, the stencil
+// filter's domain inequalities, and the graph runner.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dataflow/fifo.hpp"
+#include "dataflow/filter.hpp"
+#include "dataflow/graph.hpp"
+#include "nn/layer.hpp"
+
+namespace condor::dataflow {
+namespace {
+
+TEST(Fifo, FifoOrderPreserved) {
+  Stream fifo(8);
+  for (int i = 0; i < 5; ++i) {
+    fifo.write(static_cast<float>(i));
+  }
+  fifo.close();
+  float value = 0.0F;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fifo.read(value));
+    EXPECT_EQ(value, static_cast<float>(i));
+  }
+  EXPECT_FALSE(fifo.read(value));  // closed and drained
+}
+
+TEST(Fifo, BlockingProducerConsumer) {
+  Stream fifo(2);  // much smaller than the transfer
+  constexpr int kCount = 10000;
+  std::thread producer([&fifo] {
+    for (int i = 0; i < kCount; ++i) {
+      fifo.write(static_cast<float>(i));
+    }
+    fifo.close();
+  });
+  double sum = 0.0;
+  float value = 0.0F;
+  int received = 0;
+  while (fifo.read(value)) {
+    sum += value;
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, kCount);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(kCount) * (kCount - 1) / 2.0);
+}
+
+TEST(Fifo, StatsTrackOccupancyAndBlocks) {
+  Stream fifo(4);
+  for (int i = 0; i < 4; ++i) {
+    fifo.write(1.0F);
+  }
+  FifoStats stats = fifo.stats();
+  EXPECT_EQ(stats.capacity, 4u);
+  EXPECT_EQ(stats.max_occupancy, 4u);
+  EXPECT_EQ(stats.total_writes, 4u);
+  EXPECT_EQ(stats.write_blocks, 0u);
+  // A write into a full FIFO registers a block once a reader frees space.
+  std::thread writer([&fifo] { fifo.write(2.0F); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  float value = 0.0F;
+  ASSERT_TRUE(fifo.read(value));
+  writer.join();
+  EXPECT_GE(fifo.stats().write_blocks, 1u);
+}
+
+TEST(Fifo, ZeroCapacityClampedToOne) {
+  Stream fifo(0);
+  EXPECT_EQ(fifo.capacity(), 1u);
+  fifo.write(3.0F);
+  float value = 0.0F;
+  ASSERT_TRUE(fifo.read(value));
+  EXPECT_EQ(value, 3.0F);
+}
+
+TEST(Fifo, CloseWakesBlockedReaders) {
+  Stream fifo(4);
+  std::thread reader([&fifo] {
+    float value = 0.0F;
+    EXPECT_FALSE(fifo.read(value));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  fifo.close();
+  reader.join();
+}
+
+// ---- Filter domain inequalities -------------------------------------------
+
+/// Brute-force oracle: (y, x) is in the domain of access (ky, kx) iff some
+/// output point (oy, ox) reads it at that window position.
+bool brute_force_in_domain(const hw::WindowAccess& access, const LayerPass& pass,
+                           std::size_t y, std::size_t x) {
+  for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+    for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
+      if (oy * pass.stride + access.ky == y && ox * pass.stride + access.kx == x) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct DomainParam {
+  std::size_t in = 8;
+  std::size_t window = 3;
+  std::size_t stride = 1;
+};
+
+class FilterDomain : public ::testing::TestWithParam<DomainParam> {};
+
+TEST_P(FilterDomain, MatchesBruteForceOracle) {
+  const DomainParam& param = GetParam();
+  LayerPass pass;
+  pass.in_h = pass.in_w = param.in;
+  pass.window_h = pass.window_w = param.window;
+  pass.stride = param.stride;
+  pass.out_h = (param.in - param.window) / param.stride + 1;
+  pass.out_w = pass.out_h;
+
+  for (std::size_t ky = 0; ky < param.window; ++ky) {
+    for (std::size_t kx = 0; kx < param.window; ++kx) {
+      const hw::WindowAccess access{ky, kx};
+      for (std::size_t y = 0; y < pass.in_h; ++y) {
+        for (std::size_t x = 0; x < pass.in_w; ++x) {
+          EXPECT_EQ(FilterModule::in_domain(access, pass, y, x),
+                    brute_force_in_domain(access, pass, y, x))
+              << "access (" << ky << "," << kx << ") element (" << y << "," << x
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainSweep, FilterDomain,
+                         ::testing::Values(DomainParam{8, 3, 1},
+                                           DomainParam{8, 2, 2},
+                                           DomainParam{9, 3, 2},
+                                           DomainParam{12, 5, 1},
+                                           DomainParam{10, 1, 1},
+                                           DomainParam{10, 4, 3}));
+
+TEST(FilterDomain, MatchCountEqualsOutputPoints) {
+  // Every access contributes exactly one element per output point.
+  LayerPass pass;
+  pass.in_h = pass.in_w = 11;
+  pass.window_h = pass.window_w = 4;
+  pass.stride = 2;
+  pass.out_h = (11 - 4) / 2 + 1;
+  pass.out_w = pass.out_h;
+  for (std::size_t ky = 0; ky < 4; ++ky) {
+    for (std::size_t kx = 0; kx < 4; ++kx) {
+      std::size_t matches = 0;
+      for (std::size_t y = 0; y < pass.in_h; ++y) {
+        for (std::size_t x = 0; x < pass.in_w; ++x) {
+          matches += FilterModule::in_domain({ky, kx}, pass, y, x) ? 1 : 0;
+        }
+      }
+      EXPECT_EQ(matches, pass.out_h * pass.out_w);
+    }
+  }
+}
+
+// ---- Graph runner ------------------------------------------------------------
+
+class ProducerModule final : public Module {
+ public:
+  ProducerModule(Stream& out, int count) : Module("producer"), out_(out), count_(count) {}
+  Status run() override {
+    for (int i = 0; i < count_; ++i) {
+      out_.write(static_cast<float>(i));
+    }
+    out_.close();
+    return Status::ok();
+  }
+
+ private:
+  Stream& out_;
+  int count_;
+};
+
+class SummerModule final : public Module {
+ public:
+  SummerModule(Stream& in, double& sum) : Module("summer"), in_(in), sum_(sum) {}
+  Status run() override {
+    float value = 0.0F;
+    while (in_.read(value)) {
+      sum_ += value;
+    }
+    return Status::ok();
+  }
+
+ private:
+  Stream& in_;
+  double& sum_;
+};
+
+class FailingModule final : public Module {
+ public:
+  explicit FailingModule(Stream& out) : Module("failing"), out_(out) {}
+  Status run() override {
+    out_.close();  // release downstream before erroring
+    return internal_error("deliberate failure");
+  }
+
+ private:
+  Stream& out_;
+};
+
+TEST(Graph, RunsModulesToCompletion) {
+  Graph graph;
+  Stream& stream = graph.make_stream(4, "s");
+  double sum = 0.0;
+  graph.add_module<ProducerModule>(stream, 1000);
+  graph.add_module<SummerModule>(stream, sum);
+  ASSERT_TRUE(graph.run().is_ok());
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
+  EXPECT_EQ(graph.module_count(), 2u);
+  EXPECT_EQ(graph.stream_count(), 1u);
+  EXPECT_EQ(graph.stream_stats()[0].total_writes, 1000u);
+}
+
+TEST(Graph, PropagatesModuleFailure) {
+  Graph graph;
+  Stream& stream = graph.make_stream(4, "s");
+  double sum = 0.0;
+  graph.add_module<FailingModule>(stream);
+  graph.add_module<SummerModule>(stream, sum);
+  const Status status = graph.run();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace condor::dataflow

@@ -1,0 +1,124 @@
+// Tests for the element-granularity memory-pipeline simulator: the
+// stall-free property of non-uniform FIFO sizing (paper §3.2 / DAC'14) and
+// its failure modes.
+#include <gtest/gtest.h>
+
+#include "sim/element_sim.hpp"
+
+namespace condor::sim {
+namespace {
+
+ElementSimConfig config_for(std::size_t map, std::size_t window,
+                            std::size_t stride = 1) {
+  ElementSimConfig config;
+  config.map_h = config.map_w = map;
+  config.window_h = config.window_w = window;
+  config.stride = stride;
+  return config;
+}
+
+TEST(ElementSim, PlannedCapacitiesAreStallFree) {
+  for (const auto& [map, window, stride] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{16, 3, 1},
+        {28, 5, 1},
+        {12, 2, 2},
+        {9, 4, 1},
+        {24, 2, 2},
+        {10, 1, 1}}) {
+    const ElementSimConfig config = config_for(map, window, stride);
+    auto result = simulate_memory_pipeline(config);
+    ASSERT_TRUE(result.is_ok()) << map << "/" << window;
+    EXPECT_FALSE(result.value().deadlocked);
+    EXPECT_TRUE(result.value().stall_free())
+        << "map " << map << " window " << window << ": "
+        << result.value().total_cycles << " cycles for "
+        << result.value().elements_streamed << " elements";
+    EXPECT_EQ(result.value().windows_fired, config.out_h() * config.out_w());
+    // Throughput bound: one element per cycle plus a small drain margin.
+    EXPECT_LE(result.value().total_cycles, map * map + 16);
+    // Fill happens while streaming: roughly the live window span.
+    EXPECT_LE(result.value().fill_cycles, (window - 1) * map + window + 8);
+  }
+}
+
+TEST(ElementSim, DoubledCapacitiesChangeNothing) {
+  ElementSimConfig config = config_for(20, 3);
+  auto planned = simulate_memory_pipeline(config);
+  ASSERT_TRUE(planned.is_ok());
+  config.fifo_capacities = planned_capacities(config);
+  for (std::size_t& capacity : config.fifo_capacities) {
+    capacity *= 2;
+  }
+  auto doubled = simulate_memory_pipeline(config);
+  ASSERT_TRUE(doubled.is_ok());
+  EXPECT_EQ(doubled.value().total_cycles, planned.value().total_cycles);
+  EXPECT_EQ(doubled.value().windows_fired, planned.value().windows_fired);
+}
+
+TEST(ElementSim, UndersizedRowGapDeadlocks) {
+  ElementSimConfig config = config_for(28, 5);
+  config.fifo_capacities = planned_capacities(config);
+  bool reduced = false;
+  for (std::size_t& capacity : config.fifo_capacities) {
+    if (capacity > 1) {
+      capacity /= 2;
+      reduced = true;
+    }
+  }
+  ASSERT_TRUE(reduced);
+  auto result = simulate_memory_pipeline(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().deadlocked);
+  EXPECT_LT(result.value().windows_fired, config.out_h() * config.out_w());
+}
+
+TEST(ElementSim, SlowPeThrottlesButCompletesCorrectly) {
+  // A PE needing several cycles per window (sequential output maps) is
+  // compute-bound: more total cycles, but every window still fires.
+  ElementSimConfig config = config_for(16, 3);
+  config.pe_cycles_per_window = 4;
+  auto result = simulate_memory_pipeline(config);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().deadlocked);
+  EXPECT_EQ(result.value().windows_fired, config.out_h() * config.out_w());
+  // Compute-bound lower bound: windows * service.
+  EXPECT_GE(result.value().total_cycles,
+            result.value().windows_fired * 4);
+  EXPECT_FALSE(result.value().stall_free());  // slower than the stream
+}
+
+TEST(ElementSim, PlannedCapacitiesMatchTheChainPlan) {
+  const ElementSimConfig config = config_for(28, 5);
+  const auto capacities = planned_capacities(config);
+  ASSERT_EQ(capacities.size(), 24u);  // 25 filters -> 24 gaps
+  std::size_t total = 0;
+  for (const std::size_t capacity : capacities) {
+    total += capacity;
+  }
+  EXPECT_EQ(total, (5 - 1) * 28 + 5 - 1);  // the live window span
+}
+
+TEST(ElementSim, RejectsInvalidGeometry) {
+  EXPECT_FALSE(simulate_memory_pipeline(config_for(4, 6)).is_ok());
+  ElementSimConfig zero_stride = config_for(8, 3);
+  zero_stride.stride = 0;
+  EXPECT_FALSE(simulate_memory_pipeline(zero_stride).is_ok());
+  ElementSimConfig bad_caps = config_for(8, 3);
+  bad_caps.fifo_capacities = {1, 2};  // needs 8 entries
+  EXPECT_FALSE(simulate_memory_pipeline(bad_caps).is_ok());
+  ElementSimConfig zero_service = config_for(8, 3);
+  zero_service.pe_cycles_per_window = 0;
+  EXPECT_FALSE(simulate_memory_pipeline(zero_service).is_ok());
+}
+
+TEST(ElementSim, FillLatencyTracksWindowSpan) {
+  // Larger windows need proportionally longer fills.
+  auto small = simulate_memory_pipeline(config_for(24, 2));
+  auto large = simulate_memory_pipeline(config_for(24, 7));
+  ASSERT_TRUE(small.is_ok());
+  ASSERT_TRUE(large.is_ok());
+  EXPECT_GT(large.value().fill_cycles, small.value().fill_cycles * 3);
+}
+
+}  // namespace
+}  // namespace condor::sim

@@ -1,0 +1,216 @@
+// Tests for the end-to-end automation flow (paper §3.3) and the
+// deployment reporting.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "caffe/export.hpp"
+#include "condor/flow.hpp"
+#include "condor/host_codegen.hpp"
+#include "condor/power_model.hpp"
+#include "common/byte_io.hpp"
+#include "condor/report.hpp"
+#include "nn/models.hpp"
+#include "nn/weights.hpp"
+#include "test_util.hpp"
+
+namespace condor::condorflow {
+namespace {
+
+FrontendInput caffe_input(const nn::Network& model, std::uint64_t seed) {
+  FrontendInput input;
+  auto weights = nn::initialize_weights(model, seed).value();
+  input.prototxt_text = caffe::to_prototxt(model).value();
+  input.caffemodel_bytes = caffe::to_caffemodel(model, weights).value();
+  return input;
+}
+
+FrontendInput condor_input(const nn::Network& model, std::uint64_t seed) {
+  FrontendInput input;
+  input.network_json_text = hw::to_json_text(hw::with_default_annotations(model));
+  input.weight_file_bytes = nn::initialize_weights(model, seed).value().serialize();
+  return input;
+}
+
+TEST(AnalyzeInput, AcceptsExactlyOneSource) {
+  const nn::Network model = nn::make_tc1();
+  EXPECT_TRUE(analyze_input(caffe_input(model, 1)).is_ok());
+  EXPECT_TRUE(analyze_input(condor_input(model, 1)).is_ok());
+  // Neither source.
+  EXPECT_FALSE(analyze_input(FrontendInput{}).is_ok());
+  // Both sources.
+  FrontendInput both = caffe_input(model, 1);
+  both.network_json_text = "{}";
+  EXPECT_FALSE(analyze_input(both).is_ok());
+}
+
+TEST(AnalyzeInput, CaffePathAppliesRequestedBoard) {
+  FrontendInput input = caffe_input(nn::make_tc1(), 2);
+  input.board_id = "zc706";
+  input.target_frequency_mhz = 120.0;
+  auto analyzed = analyze_input(input);
+  ASSERT_TRUE(analyzed.is_ok());
+  EXPECT_EQ(analyzed.value().first.hw.board_id, "zc706");
+  EXPECT_DOUBLE_EQ(analyzed.value().first.hw.target_frequency_mhz, 120.0);
+}
+
+TEST(Flow, OnPremiseProducesAllArtifacts) {
+  FlowOptions options;
+  auto result = Flow::run(caffe_input(nn::make_tc1(), 3), options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const FlowResult& flow = result.value();
+
+  EXPECT_EQ(flow.kernel_name, "tc1_top");
+  EXPECT_FALSE(flow.xclbin_bytes.empty());
+  EXPECT_FALSE(flow.weight_file_bytes.empty());
+  EXPECT_FALSE(flow.afi.has_value());
+
+  // Container sections.
+  for (const char* section : {"network.json", "kernel.xml", "synth.rpt",
+                              "meta.json", "src/tc1_top.cpp"}) {
+    EXPECT_NE(flow.xclbin.find(section), nullptr) << section;
+  }
+  // One source per module (top + PEs + filters).
+  std::size_t filter_count = 0;
+  for (const hw::PePlan& pe : flow.plan.pes) {
+    if (pe.memory.has_value()) {
+      filter_count += pe.memory->filters.size();
+    }
+  }
+  EXPECT_EQ(flow.sources.size(), 1 + flow.plan.pes.size() + filter_count);
+  // Host code references the kernel and the host API.
+  EXPECT_NE(flow.host_code.find("tc1_top"), std::string::npos);
+  EXPECT_NE(flow.host_code.find("runtime/opencl_like.hpp"), std::string::npos);
+}
+
+TEST(Flow, CondorJsonPathHonorsAnnotations) {
+  hw::HwNetwork annotated = hw::with_default_annotations(nn::make_tc1());
+  annotated.hw.layers[1].parallel_out = 2;
+  FrontendInput input;
+  input.network_json_text = hw::to_json_text(annotated);
+  input.weight_file_bytes =
+      nn::initialize_weights(nn::make_tc1(), 4).value().serialize();
+  auto result = Flow::run(input, FlowOptions{});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().network.hw.layers[1].parallel_out, 2u);
+  EXPECT_EQ(result.value().plan.pes[0].parallel_out, 2u);
+}
+
+TEST(Flow, AutomatedDseImprovesConfiguration) {
+  FrontendInput input = condor_input(nn::make_tc1().feature_extraction_prefix(), 5);
+  FlowOptions plain;
+  FlowOptions with_dse;
+  with_dse.run_dse = true;
+  auto base = Flow::run(input, plain);
+  auto tuned = Flow::run(input, with_dse);
+  ASSERT_TRUE(base.is_ok());
+  ASSERT_TRUE(tuned.is_ok());
+  auto base_report = make_deployment_report(base.value());
+  auto tuned_report = make_deployment_report(tuned.value());
+  ASSERT_TRUE(base_report.is_ok());
+  ASSERT_TRUE(tuned_report.is_ok());
+  EXPECT_GT(tuned_report.value().gflops, base_report.value().gflops);
+}
+
+TEST(Flow, OutputDirReceivesArtifacts) {
+  const std::string dir = ::testing::TempDir() + "/condor_flow_artifacts";
+  std::filesystem::remove_all(dir);
+  FlowOptions options;
+  options.output_dir = dir;
+  auto result = Flow::run(condor_input(nn::make_tc1(), 6), options);
+  ASSERT_TRUE(result.is_ok());
+  for (const char* file :
+       {"accelerator.xclbin", "weights.bin", "host.cpp", "network.json",
+        "synthesis.rpt"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + file)) << file;
+  }
+  EXPECT_TRUE(std::filesystem::is_directory(dir + "/hls_src"));
+}
+
+TEST(Flow, CloudRequiresEnvironment) {
+  FlowOptions options;
+  options.deployment = Deployment::kCloud;
+  auto result = Flow::run(condor_input(nn::make_tc1(), 7), options);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("FPGA Developer AMI"),
+            std::string::npos);
+}
+
+TEST(Flow, CloudCreatesAfi) {
+  const std::string root = ::testing::TempDir() + "/condor_flow_cloud";
+  std::filesystem::remove_all(root);
+  cloud::ObjectStore store(root);
+  cloud::AfiService service(store, 1);
+  FlowOptions options;
+  options.deployment = Deployment::kCloud;
+  options.s3_bucket = "flow-test-bucket";
+  auto result = Flow::run(condor_input(nn::make_tc1(), 8), options, &store, &service);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_TRUE(result.value().afi.has_value());
+  EXPECT_TRUE(store.object_exists("flow-test-bucket", "tc1/accelerator.xclbin"));
+  auto available = service.wait_until_available(result.value().afi->afi_id);
+  EXPECT_TRUE(available.is_ok());
+}
+
+TEST(Flow, UnsynthesizableNetworkFailsCleanly) {
+  auto result = Flow::run(condor_input(nn::make_vgg16(), 9), FlowOptions{});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsynthesizable);
+}
+
+TEST(PowerModel, StaticPlusDynamic) {
+  const hw::BoardSpec& board = hw::aws_f1_board();
+  const hw::Resources none{};
+  EXPECT_DOUBLE_EQ(estimate_power_w(board, none, 100.0), board.static_power_w);
+  const hw::Resources some{100'000, 150'000, 300, 400};
+  const double p100 = estimate_power_w(board, some, 100.0);
+  const double p200 = estimate_power_w(board, some, 200.0);
+  EXPECT_GT(p100, board.static_power_w);
+  // Dynamic power scales linearly with frequency.
+  EXPECT_NEAR(p200 - board.static_power_w, 2.0 * (p100 - board.static_power_w),
+              1e-9);
+}
+
+TEST(DeploymentReport, SaneRanges) {
+  auto result = Flow::run(caffe_input(nn::make_lenet(), 10), FlowOptions{});
+  ASSERT_TRUE(result.is_ok());
+  auto report = make_deployment_report(result.value());
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_GT(report.value().lut_pct, 0.0);
+  EXPECT_LT(report.value().lut_pct, 100.0);
+  EXPECT_GT(report.value().bram_pct, 10.0);  // LeNet's on-chip FC weights
+  EXPECT_DOUBLE_EQ(report.value().achieved_mhz, 180.0);
+  EXPECT_GT(report.value().gflops, 0.0);
+  EXPECT_GT(report.value().power_w, 0.0);
+  EXPECT_NEAR(report.value().gflops_per_w,
+              report.value().gflops / report.value().power_w, 1e-9);
+  const std::string table = format_deployment_table({report.value()});
+  EXPECT_NE(table.find("GFLOPS/W"), std::string::npos);
+  EXPECT_NE(table.find("lenet"), std::string::npos);
+}
+
+TEST(HostCodegen, CheckedInGeneratedHostCodeIsCurrent) {
+  // examples/generated_host_lenet.cpp is the committed output of the
+  // step-7 generator and is compiled by the build; this equality proves
+  // that what the generator emits today is exactly that compilable file.
+  const hw::HwNetwork net = hw::with_default_annotations(nn::make_lenet());
+  const std::string generated = generate_host_code(net, "lenet_top");
+  auto checked_in = read_text_file(std::string(CONDOR_SOURCE_DIR) +
+                                   "/examples/generated_host_lenet.cpp");
+  ASSERT_TRUE(checked_in.is_ok()) << checked_in.status().to_string();
+  EXPECT_EQ(generated, checked_in.value())
+      << "host codegen changed; regenerate examples/generated_host_lenet.cpp";
+}
+
+TEST(HostCodegen, EmitsCompleteProgram) {
+  const hw::HwNetwork net = hw::with_default_annotations(nn::make_lenet());
+  const std::string code = generate_host_code(net, "lenet_top");
+  EXPECT_NE(code.find("int main"), std::string::npos);
+  EXPECT_NE(code.find("lenet_top"), std::string::npos);
+  EXPECT_NE(code.find("enqueue_task"), std::string::npos);
+  EXPECT_NE(code.find("aws-f1"), std::string::npos);
+  EXPECT_NE(code.find("784"), std::string::npos);  // 28*28 input floats
+}
+
+}  // namespace
+}  // namespace condor::condorflow

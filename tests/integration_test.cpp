@@ -1,0 +1,205 @@
+// Full-system integration tests: the user's journey from a Caffe checkpoint
+// through the cloud deployment to validated inference on an F1 slot, plus
+// the evaluation-level shape properties of Tables 1-2 and Figure 5.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "caffe/export.hpp"
+#include "cloud/afi.hpp"
+#include "cloud/f1.hpp"
+#include "cloud/s3.hpp"
+#include "condor/flow.hpp"
+#include "condor/report.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "sim/accel_sim.hpp"
+#include "test_util.hpp"
+
+namespace condor {
+namespace {
+
+struct CloudEnv {
+  explicit CloudEnv(const char* name)
+      : root(::testing::TempDir() + "/condor_integration_" + name),
+        store((std::filesystem::remove_all(root), root)),
+        afi(store, 1) {}
+  std::string root;
+  cloud::ObjectStore store;
+  cloud::AfiService afi;
+};
+
+/// Caffe files -> cloud flow -> AFI -> F1 slot -> inference == reference.
+void run_cloud_journey(const nn::Network& model, std::uint64_t seed,
+                       std::size_t batch, const char* env_name) {
+  CloudEnv env(env_name);
+  auto weights = nn::initialize_weights(model, seed).value();
+
+  condorflow::FrontendInput input;
+  input.prototxt_text = caffe::to_prototxt(model).value();
+  input.caffemodel_bytes = caffe::to_caffemodel(model, weights).value();
+
+  condorflow::FlowOptions options;
+  options.deployment = condorflow::Deployment::kCloud;
+  options.s3_bucket = "integration-bucket";
+
+  auto flow = condorflow::Flow::run(input, options, &env.store, &env.afi);
+  ASSERT_TRUE(flow.is_ok()) << flow.status().to_string();
+  ASSERT_TRUE(flow.value().afi.has_value());
+
+  auto available = env.afi.wait_until_available(flow.value().afi->afi_id);
+  ASSERT_TRUE(available.is_ok()) << available.status().to_string();
+
+  cloud::F1Instance instance(cloud::F1InstanceType::k2xlarge, env.afi);
+  ASSERT_TRUE(instance.load_afi(0, available.value().agfi_id).is_ok());
+  auto kernel = instance.slot_kernel(0);
+  ASSERT_TRUE(kernel.is_ok());
+  ASSERT_TRUE(
+      kernel.value()->load_weights(flow.value().weight_file_bytes).is_ok());
+
+  const auto inputs = testing::random_inputs(model, batch, seed + 100);
+  auto outputs = kernel.value()->run(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+
+  auto engine = nn::ReferenceEngine::create(model, weights);
+  ASSERT_TRUE(engine.is_ok());
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Tensor expected = engine.value().forward(inputs[i]).value();
+    EXPECT_EQ(max_abs_diff(outputs.value()[i], expected), 0.0F) << "image " << i;
+  }
+  // Device timing was simulated.
+  EXPECT_GT(kernel.value()->last_stats().simulated_cycles, 0u);
+  EXPECT_GT(kernel.value()->last_stats().clock_mhz, 0.0);
+}
+
+TEST(Integration, Tc1CloudJourneyBitExact) {
+  run_cloud_journey(nn::make_tc1(), 101, 6, "tc1");
+}
+
+TEST(Integration, LeNetCloudJourneyBitExact) {
+  run_cloud_journey(nn::make_lenet(), 103, 2, "lenet");
+}
+
+TEST(Integration, WeightUpdateWithoutResynthesis) {
+  // Paper §3.1.1: updating the external weight file must not require a new
+  // accelerator. Build once, run with two different weight sets, check both
+  // against their own reference.
+  const nn::Network model = nn::make_tc1();
+  condorflow::FrontendInput input;
+  input.network_json_text = hw::to_json_text(hw::with_default_annotations(model));
+  auto weights_v1 = nn::initialize_weights(model, 1).value();
+  auto weights_v2 = nn::initialize_weights(model, 2).value();
+  input.weight_file_bytes = weights_v1.serialize();
+  auto flow = condorflow::Flow::run(input, condorflow::FlowOptions{});
+  ASSERT_TRUE(flow.is_ok());
+
+  auto kernel = runtime::LoadedKernel::from_xclbin(flow.value().xclbin);
+  ASSERT_TRUE(kernel.is_ok());
+  const auto inputs = testing::random_inputs(model, 2, 55);
+
+  for (const nn::WeightStore* weights : {&weights_v1, &weights_v2}) {
+    ASSERT_TRUE(kernel.value().load_weights(weights->serialize()).is_ok());
+    auto outputs = kernel.value().run(inputs);
+    ASSERT_TRUE(outputs.is_ok());
+    auto engine = nn::ReferenceEngine::create(model, *weights);
+    ASSERT_TRUE(engine.is_ok());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(max_abs_diff(outputs.value()[i],
+                             engine.value().forward(inputs[i]).value()),
+                0.0F);
+    }
+  }
+}
+
+// ---- Evaluation-shape properties (Tables 1-2, Figure 5) --------------------
+
+condorflow::DeploymentReport deploy_report(const nn::Network& model) {
+  condorflow::FrontendInput input;
+  input.network_json_text =
+      hw::to_json_text(hw::with_default_annotations(model, "aws-f1", 200.0));
+  input.weight_file_bytes =
+      nn::initialize_weights(model, 11).value().serialize();
+  auto flow = condorflow::Flow::run(input, condorflow::FlowOptions{});
+  return condorflow::make_deployment_report(flow.value()).value();
+}
+
+TEST(Integration, Table1ShapeHolds) {
+  const auto tc1 = deploy_report(nn::make_tc1());
+  const auto lenet = deploy_report(nn::make_lenet());
+  // Achieved clocks match the paper exactly.
+  EXPECT_DOUBLE_EQ(tc1.achieved_mhz, 100.0);
+  EXPECT_DOUBLE_EQ(lenet.achieved_mhz, 180.0);
+  // Resource shapes: TC1 DSP-heavier (tanh), LeNet BRAM-dominated (FC
+  // weights), both landing near 10% LUT.
+  EXPECT_GT(tc1.dsp_pct, lenet.dsp_pct);
+  EXPECT_GT(lenet.bram_pct, 5.0 * tc1.bram_pct);
+  EXPECT_GT(tc1.lut_pct, 5.0);
+  EXPECT_LT(tc1.lut_pct, 20.0);
+  // Performance shape: TC1 out-throughputs the FC-bound LeNet, in GFLOPS
+  // and in GFLOPS/W.
+  EXPECT_GT(tc1.gflops, lenet.gflops);
+  EXPECT_GT(tc1.gflops_per_w, lenet.gflops_per_w);
+  // Magnitudes within ~2x of the published numbers.
+  EXPECT_NEAR(tc1.gflops, 8.36, 8.36);
+  EXPECT_NEAR(lenet.gflops, 3.35, 3.35);
+}
+
+TEST(Integration, Table2ShapeHolds) {
+  // Preliminary configuration (parallel_in=2 / parallel_out=4 clamped), as
+  // in the Table 2 bench: monotonic GFLOPS growth TC1 < LeNet < VGG-16.
+  std::vector<double> gflops;
+  for (const nn::Network& model :
+       {nn::make_tc1(), nn::make_lenet(), nn::make_vgg16()}) {
+    const nn::Network features = model.feature_extraction_prefix();
+    hw::HwNetwork net = hw::with_default_annotations(features, "aws-f1", 250.0);
+    auto shapes = net.net.infer_shapes().value();
+    for (std::size_t l = 1; l < net.hw.layers.size(); ++l) {
+      if (!net.net.layers()[l].is_feature_extraction()) {
+        continue;
+      }
+      net.hw.layers[l].parallel_in = std::min<std::size_t>(2, shapes[l].input[0]);
+      net.hw.layers[l].parallel_out =
+          std::min<std::size_t>(4, shapes[l].output[0]);
+    }
+    auto point = hw::evaluate_design_point(net);
+    ASSERT_TRUE(point.is_ok()) << point.status().to_string();
+    gflops.push_back(point.value().gflops());
+  }
+  EXPECT_LT(gflops[0], gflops[1]);
+  EXPECT_LT(gflops[1], gflops[2]);
+  // And the full VGG-16 is rejected, as the paper states.
+  auto full = hw::plan_accelerator(hw::with_default_annotations(nn::make_vgg16()));
+  EXPECT_EQ(full.status().code(), StatusCode::kUnsynthesizable);
+}
+
+TEST(Integration, Figure5ShapeHolds) {
+  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
+    hw::HwNetwork net = hw::with_default_annotations(model);
+    auto point = hw::evaluate_design_point(net);
+    ASSERT_TRUE(point.is_ok());
+    const sim::AcceleratorSim accel =
+        sim::build_accelerator_sim(point.value().performance);
+    auto sweep = sim::sweep_batches(accel, {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    ASSERT_TRUE(sweep.is_ok());
+    // Monotone decreasing.
+    for (std::size_t i = 1; i < sweep.value().size(); ++i) {
+      EXPECT_LE(sweep.value()[i].mean_ms_per_image,
+                sweep.value()[i - 1].mean_ms_per_image)
+          << model.name() << " batch " << sweep.value()[i].batch;
+    }
+    // Convergence once batch exceeds the layer count (paper's claim).
+    const double plateau = sweep.value().back().mean_ms_per_image;
+    double at_layers = 0.0;
+    for (const sim::BatchPoint& p : sweep.value()) {
+      if (p.batch >= model.layer_count()) {
+        at_layers = p.mean_ms_per_image;
+        break;
+      }
+    }
+    EXPECT_LT((at_layers - plateau) / plateau, 0.30) << model.name();
+  }
+}
+
+}  // namespace
+}  // namespace condor

@@ -1,0 +1,137 @@
+// Unit tests for the JSON parser/serializer.
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+
+namespace condor::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").value().is_null());
+  EXPECT_EQ(parse("true").value().as_bool().value(), true);
+  EXPECT_EQ(parse("false").value().as_bool().value(), false);
+  EXPECT_EQ(parse("42").value().as_int().value(), 42);
+  EXPECT_EQ(parse("-17").value().as_int().value(), -17);
+  EXPECT_DOUBLE_EQ(parse("3.25").value().as_double().value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("1e3").value().as_double().value(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5e-2").value().as_double().value(), -0.025);
+  EXPECT_EQ(parse("\"hello\"").value().as_string().value(), "hello");
+}
+
+TEST(JsonParse, IntegerVsDoubleDistinction) {
+  EXPECT_TRUE(parse("7").value().is_int());
+  EXPECT_TRUE(parse("7.0").value().is_double());
+  // Doubles with integral values still convert via as_int.
+  EXPECT_EQ(parse("7.0").value().as_int().value(), 7);
+  EXPECT_FALSE(parse("7.5").value().as_int().is_ok());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\nd\te")").value().as_string().value(),
+            "a\"b\\c\nd\te");
+  EXPECT_EQ(parse(R"("Aé")").value().as_string().value(), "A\xC3\xA9");
+}
+
+TEST(JsonParse, NestedStructures) {
+  auto result = parse(R"({"a": [1, {"b": true}, null], "c": {"d": "x"}})");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const Object& root = result.value().object();
+  const Array& a = root.find("a")->array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_int().value(), 1);
+  EXPECT_TRUE(a[1].object().find("b")->as_bool().value());
+  EXPECT_TRUE(a[2].is_null());
+  EXPECT_EQ(root.find("c")->object().find("d")->as_string().value(), "x");
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  auto result = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(result.is_ok());
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : result.value().object()) {
+    keys.push_back(key);
+  }
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(parse("").is_ok());
+  EXPECT_FALSE(parse("{").is_ok());
+  EXPECT_FALSE(parse("[1,]").is_ok());
+  EXPECT_FALSE(parse("{\"a\":1,}").is_ok());
+  EXPECT_FALSE(parse("\"unterminated").is_ok());
+  EXPECT_FALSE(parse("tru").is_ok());
+  EXPECT_FALSE(parse("1 2").is_ok());          // trailing content
+  EXPECT_FALSE(parse("{\"a\":1,\"a\":2}").is_ok());  // duplicate key
+  EXPECT_FALSE(parse("01a").is_ok());
+  EXPECT_FALSE(parse("1.").is_ok());
+  EXPECT_FALSE(parse("1e").is_ok());
+}
+
+TEST(JsonParse, ErrorMessagesCarryPosition) {
+  auto result = parse("{\n  \"a\": tru\n}");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("2:"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(JsonParse, DeepNestingBounded) {
+  // Within the limit: fine.
+  std::string shallow(100, '[');
+  shallow += std::string(100, ']');
+  EXPECT_TRUE(parse(shallow).is_ok());
+  // Adversarially deep input must be rejected, not overflow the stack.
+  std::string deep(100000, '[');
+  deep += std::string(100000, ']');
+  auto result = parse(deep);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(JsonDump, RoundTrip) {
+  const char* text =
+      R"({"name": "lenet", "layers": [{"k": 5, "act": null}, {"k": 2}],)"
+      R"( "freq": 180.5, "cloud": true})";
+  auto parsed = parse(text);
+  ASSERT_TRUE(parsed.is_ok());
+  auto reparsed = parse(dump(parsed.value()));
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_TRUE(parsed.value() == reparsed.value());
+  // Compact form too.
+  auto compact = parse(dump(parsed.value(), /*pretty=*/false));
+  ASSERT_TRUE(compact.is_ok());
+  EXPECT_TRUE(parsed.value() == compact.value());
+}
+
+TEST(JsonDump, DoubleRoundTripsExactly) {
+  const double value = 0.1 + 0.2;  // classic non-representable sum
+  Value v(value);
+  auto reparsed = parse(dump(v, false));
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed.value().as_double().value(), value);
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Value v(std::string("a\x01" "b\n"));
+  const std::string text = dump(v, false);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+}
+
+TEST(JsonObject, SetOverwritesAndFinds) {
+  Object obj;
+  obj.set("a", 1);
+  obj.set("a", 2);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_EQ(obj.find("a")->as_int().value(), 2);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonValue, EqualityAcrossNumericTypes) {
+  EXPECT_TRUE(Value(2) == Value(2.0));
+  EXPECT_FALSE(Value(2) == Value(2.5));
+  EXPECT_FALSE(Value(2) == Value("2"));
+}
+
+}  // namespace
+}  // namespace condor::json

@@ -1,0 +1,282 @@
+// Unit tests for the golden CPU reference engine: hand-computed cases for
+// every layer type plus engine-level invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "nn/synthetic_digits.hpp"
+#include "nn/weights.hpp"
+#include "test_util.hpp"
+
+namespace condor::nn {
+namespace {
+
+LayerSpec conv_spec(std::size_t out, std::size_t k, std::size_t stride = 1,
+                    std::size_t pad = 0) {
+  LayerSpec layer;
+  layer.name = "conv";
+  layer.kind = LayerKind::kConvolution;
+  layer.num_output = out;
+  layer.kernel_h = layer.kernel_w = k;
+  layer.stride = stride;
+  layer.pad = pad;
+  return layer;
+}
+
+TEST(ReferenceConv, HandComputed3x3) {
+  // 1-channel 3x3 input, one 2x2 all-ones filter, bias 10.
+  LayerSpec layer = conv_spec(1, 2);
+  Tensor input(Shape{1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) {
+    input[i] = static_cast<float>(i + 1);  // 1..9 row-major
+  }
+  LayerParameters params;
+  params.weights = Tensor(Shape{1, 1, 2, 2}, 1.0F);
+  params.bias = Tensor(Shape{1}, 10.0F);
+
+  auto output = forward_convolution(layer, input, params);
+  ASSERT_TRUE(output.is_ok());
+  ASSERT_EQ(output.value().shape(), (Shape{1, 2, 2}));
+  // Window sums: (1+2+4+5)=12, (2+3+5+6)=16, (4+5+7+8)=24, (5+6+8+9)=28.
+  EXPECT_EQ(output.value().at(0, 0, 0), 22.0F);
+  EXPECT_EQ(output.value().at(0, 0, 1), 26.0F);
+  EXPECT_EQ(output.value().at(0, 1, 0), 34.0F);
+  EXPECT_EQ(output.value().at(0, 1, 1), 38.0F);
+}
+
+TEST(ReferenceConv, MultiChannelAccumulates) {
+  LayerSpec layer = conv_spec(1, 1);
+  Tensor input(Shape{2, 1, 1});
+  input[0] = 3.0F;
+  input[1] = 4.0F;
+  LayerParameters params;
+  params.weights = Tensor(Shape{1, 2, 1, 1});
+  params.weights[0] = 10.0F;
+  params.weights[1] = 100.0F;
+  params.bias = Tensor(Shape{1}, 1.0F);
+  auto output = forward_convolution(layer, input, params);
+  ASSERT_TRUE(output.is_ok());
+  EXPECT_EQ(output.value()[0], 1.0F + 30.0F + 400.0F);
+}
+
+TEST(ReferenceConv, ZeroPaddingContributesNothing) {
+  // 2x2 input padded to 4x4; the all-ones 3x3 kernel sums whatever real
+  // pixels fall inside each window — the zero border adds nothing.
+  LayerSpec layer = conv_spec(1, 3, 1, 1);
+  Tensor input(Shape{1, 2, 2});
+  input.at(0, 0, 0) = 1.0F;
+  input.at(0, 0, 1) = 2.0F;
+  input.at(0, 1, 0) = 4.0F;
+  input.at(0, 1, 1) = 8.0F;
+  LayerParameters params;
+  params.weights = Tensor(Shape{1, 1, 3, 3}, 1.0F);
+  params.bias = Tensor(Shape{1}, 0.0F);
+  auto output = forward_convolution(layer, input, params);
+  ASSERT_TRUE(output.is_ok());
+  ASSERT_EQ(output.value().shape(), (Shape{1, 2, 2}));
+  // Every window covers all four real pixels (the 3x3 window over a padded
+  // 2x2 map always contains the whole map).
+  for (const float value : output.value().data()) {
+    EXPECT_EQ(value, 15.0F);
+  }
+}
+
+TEST(ReferenceConv, StrideSkipsPositions) {
+  LayerSpec layer = conv_spec(1, 2, 2);
+  Tensor input(Shape{1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  LayerParameters params;
+  params.weights = Tensor(Shape{1, 1, 2, 2});
+  params.weights[0] = 1.0F;  // top-left tap only
+  params.bias = Tensor(Shape{1}, 0.0F);
+  auto output = forward_convolution(layer, input, params);
+  ASSERT_TRUE(output.is_ok());
+  ASSERT_EQ(output.value().shape(), (Shape{1, 2, 2}));
+  EXPECT_EQ(output.value().at(0, 0, 0), 0.0F);
+  EXPECT_EQ(output.value().at(0, 0, 1), 2.0F);
+  EXPECT_EQ(output.value().at(0, 1, 0), 8.0F);
+  EXPECT_EQ(output.value().at(0, 1, 1), 10.0F);
+}
+
+TEST(ReferenceConv, ShapeMismatchRejected) {
+  LayerSpec layer = conv_spec(2, 3);
+  Tensor input(Shape{1, 5, 5});
+  LayerParameters params;
+  params.weights = Tensor(Shape{2, 1, 2, 2});  // wrong kernel size
+  params.bias = Tensor(Shape{2});
+  EXPECT_FALSE(forward_convolution(layer, input, params).is_ok());
+}
+
+TEST(ReferencePool, MaxAndAverage) {
+  LayerSpec pool;
+  pool.name = "pool";
+  pool.kind = LayerKind::kPooling;
+  pool.kernel_h = pool.kernel_w = 2;
+  pool.stride = 2;
+
+  Tensor input(Shape{1, 2, 4});
+  const float values[] = {1, 2, 5, 6, 3, 4, 7, 8};
+  for (std::size_t i = 0; i < 8; ++i) {
+    input[i] = values[i];
+  }
+  pool.pool_method = PoolMethod::kMax;
+  auto max_out = forward_pooling(pool, input);
+  ASSERT_TRUE(max_out.is_ok());
+  ASSERT_EQ(max_out.value().shape(), (Shape{1, 1, 2}));
+  EXPECT_EQ(max_out.value()[0], 4.0F);
+  EXPECT_EQ(max_out.value()[1], 8.0F);
+
+  pool.pool_method = PoolMethod::kAverage;
+  auto avg_out = forward_pooling(pool, input);
+  ASSERT_TRUE(avg_out.is_ok());
+  EXPECT_EQ(avg_out.value()[0], 2.5F);
+  EXPECT_EQ(avg_out.value()[1], 6.5F);
+}
+
+TEST(ReferencePool, MaxHandlesAllNegativeWindows) {
+  LayerSpec pool;
+  pool.name = "pool";
+  pool.kind = LayerKind::kPooling;
+  pool.kernel_h = pool.kernel_w = 2;
+  pool.stride = 2;
+  pool.pool_method = PoolMethod::kMax;
+  Tensor input(Shape{1, 2, 2}, -3.0F);
+  auto out = forward_pooling(pool, input);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value()[0], -3.0F);
+}
+
+TEST(ReferenceFc, HandComputed) {
+  LayerSpec layer;
+  layer.name = "fc";
+  layer.kind = LayerKind::kInnerProduct;
+  layer.num_output = 2;
+  Tensor input(Shape{3});
+  input[0] = 1.0F;
+  input[1] = 2.0F;
+  input[2] = 3.0F;
+  LayerParameters params;
+  params.weights = Tensor(Shape{2, 3});
+  // Row 0: [1, 0, 0]; row 1: [0.5, 0.5, 0.5].
+  params.weights[0] = 1.0F;
+  params.weights[3] = params.weights[4] = params.weights[5] = 0.5F;
+  params.bias = Tensor(Shape{2});
+  params.bias[1] = 10.0F;
+  auto out = forward_inner_product(layer, input, params);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(out.value()[0], 1.0F);
+  EXPECT_EQ(out.value()[1], 13.0F);
+}
+
+TEST(ReferenceSoftmax, SumsToOneAndIsStable) {
+  Tensor logits(Shape{4});
+  logits[0] = 1000.0F;  // would overflow exp without the max shift
+  logits[1] = 999.0F;
+  logits[2] = 0.0F;
+  logits[3] = -1000.0F;
+  Tensor probs = forward_softmax(logits);
+  float sum = 0.0F;
+  for (const float p : probs.data()) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0F);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  EXPECT_GT(probs[0], probs[1]);
+  EXPECT_GT(probs[1], probs[2]);
+}
+
+TEST(ReferenceEngine, RunsLeNetEndToEnd) {
+  const Network lenet = make_lenet();
+  auto weights = initialize_weights(lenet, 21);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = ReferenceEngine::create(lenet, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  Rng rng(3);
+  const Tensor input = render_digit(7, 28, rng);
+  auto output = engine.value().forward(input);
+  ASSERT_TRUE(output.is_ok());
+  ASSERT_EQ(output.value().shape(), (Shape{10}));
+  float sum = 0.0F;
+  for (const float p : output.value().data()) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0F, 1e-5F);  // ends in softmax
+}
+
+TEST(ReferenceEngine, ForwardAllReturnsPerLayerBlobs) {
+  const Network tc1 = make_tc1();
+  auto weights = initialize_weights(tc1, 23);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = ReferenceEngine::create(tc1, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  const auto inputs = condor::testing::random_inputs(tc1, 1, 9);
+  auto blobs = engine.value().forward_all(inputs[0]);
+  ASSERT_TRUE(blobs.is_ok());
+  ASSERT_EQ(blobs.value().size(), tc1.layer_count());
+  auto shapes = tc1.infer_shapes().value();
+  for (std::size_t i = 0; i < blobs.value().size(); ++i) {
+    EXPECT_EQ(blobs.value()[i].shape(), shapes[i].output) << "layer " << i;
+  }
+}
+
+TEST(ReferenceEngine, BatchMatchesSingleImage) {
+  const Network tc1 = make_tc1();
+  auto weights = initialize_weights(tc1, 25);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = ReferenceEngine::create(tc1, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  const auto inputs = condor::testing::random_inputs(tc1, 8, 15);
+  ThreadPool pool(4);
+  auto batch = engine.value().forward_batch(inputs, pool);
+  ASSERT_TRUE(batch.is_ok());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto single = engine.value().forward(inputs[i]);
+    ASSERT_TRUE(single.is_ok());
+    EXPECT_EQ(max_abs_diff(batch.value()[i], single.value()), 0.0F);
+  }
+}
+
+TEST(ReferenceEngine, RejectsWrongInputShape) {
+  const Network tc1 = make_tc1();
+  auto weights = initialize_weights(tc1, 27);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = ReferenceEngine::create(tc1, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  EXPECT_FALSE(engine.value().forward(Tensor(Shape{1, 8, 8})).is_ok());
+}
+
+TEST(SyntheticDigits, DeterministicAndBounded) {
+  Rng a(1);
+  Rng b(1);
+  const Tensor da = render_digit(3, 16, a);
+  const Tensor db = render_digit(3, 16, b);
+  EXPECT_EQ(max_abs_diff(da, db), 0.0F);
+  for (const float value : da.data()) {
+    EXPECT_GE(value, 0.0F);
+    EXPECT_LE(value, 1.0F);
+  }
+  // Distinct digits render distinct glyphs.
+  Rng c(1);
+  Rng d(1);
+  const Tensor one = render_digit(1, 16, c, /*jitter=*/false, 0.0F);
+  const Tensor eight = render_digit(8, 16, d, /*jitter=*/false, 0.0F);
+  EXPECT_GT(max_abs_diff(one, eight), 0.1F);
+}
+
+TEST(SyntheticDigits, DatasetCyclesLabels) {
+  const auto samples = make_digit_dataset(25, 28);
+  ASSERT_EQ(samples.size(), 25u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].label, static_cast<int>(i % 10));
+    EXPECT_EQ(samples[i].image.shape(), (Shape{1, 28, 28}));
+  }
+}
+
+}  // namespace
+}  // namespace condor::nn

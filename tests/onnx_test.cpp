@@ -1,0 +1,249 @@
+// Tests for the ONNX frontend extension: wire codec round trips, importer
+// op coverage, and equivalence with the Caffe path.
+#include <gtest/gtest.h>
+
+#include "condor/flow.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "onnx/export.hpp"
+#include "onnx/import.hpp"
+#include "test_util.hpp"
+
+namespace condor::onnx {
+namespace {
+
+TEST(OnnxPb, ModelRoundTrip) {
+  ModelProto model;
+  model.producer_name = "test";
+  model.opset_import.push_back({"", 13});
+  model.graph.name = "g";
+  model.graph.input.push_back({"x", {1, 3, 8, 8}});
+  model.graph.output.push_back({"y", {1, 2}});
+  NodeProto node;
+  node.op_type = "Conv";
+  node.name = "c";
+  node.input = {"x", "w"};
+  node.output = {"y"};
+  AttributeProto kernel;
+  kernel.name = "kernel_shape";
+  kernel.type = AttributeProto::Type::kInts;
+  kernel.ints = {3, 3};
+  node.attribute.push_back(kernel);
+  model.graph.node.push_back(node);
+  TensorProto weights;
+  weights.name = "w";
+  weights.dims = {2, 3, 3, 3};
+  weights.float_data.assign(54, 0.5F);
+  model.graph.initializer.push_back(weights);
+
+  auto restored = decode_model(encode_model(model));
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value().producer_name, "test");
+  ASSERT_EQ(restored.value().opset_import.size(), 1u);
+  EXPECT_EQ(restored.value().opset_import[0].version, 13);
+  ASSERT_EQ(restored.value().graph.node.size(), 1u);
+  EXPECT_EQ(restored.value().graph.node[0].op_type, "Conv");
+  ASSERT_NE(restored.value().graph.node[0].find_attribute("kernel_shape"),
+            nullptr);
+  EXPECT_EQ(restored.value().graph.node[0].find_attribute("kernel_shape")->ints,
+            (std::vector<std::int64_t>{3, 3}));
+  EXPECT_EQ(restored.value().graph.input[0].shape,
+            (std::vector<std::int64_t>{1, 3, 8, 8}));
+  ASSERT_EQ(restored.value().graph.initializer.size(), 1u);
+  EXPECT_EQ(restored.value().graph.initializer[0].values().value().size(), 54u);
+}
+
+TEST(OnnxPb, RawDataAndFloatDataEquivalent) {
+  TensorProto raw;
+  raw.dims = {2};
+  raw.raw_data.resize(8);
+  const float values[2] = {1.5F, -2.0F};
+  std::memcpy(raw.raw_data.data(), values, 8);
+  EXPECT_EQ(raw.values().value(), (std::vector<float>{1.5F, -2.0F}));
+
+  TensorProto ragged;
+  ragged.raw_data.resize(5);
+  EXPECT_FALSE(ragged.values().is_ok());
+
+  TensorProto not_float;
+  not_float.data_type = 7;  // INT64
+  EXPECT_FALSE(not_float.values().is_ok());
+}
+
+TEST(OnnxPb, GarbageRejected) {
+  std::vector<std::byte> garbage(16, std::byte{0x99});
+  EXPECT_FALSE(decode_model(garbage).is_ok());
+  EXPECT_FALSE(decode_model({}).is_ok());  // no graph
+}
+
+TEST(OnnxImport, ExportImportRoundTripAllModels) {
+  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
+    auto weights = nn::initialize_weights(model, 13);
+    ASSERT_TRUE(weights.is_ok());
+    auto bytes = to_onnx(model, weights.value());
+    ASSERT_TRUE(bytes.is_ok()) << model.name();
+    auto imported = load_onnx_model(bytes.value());
+    ASSERT_TRUE(imported.is_ok())
+        << model.name() << ": " << imported.status().to_string();
+
+    // Same shapes and kinds.
+    ASSERT_EQ(imported.value().network.layer_count(), model.layer_count());
+    auto original_shapes = model.infer_shapes().value();
+    auto round_shapes = imported.value().network.infer_shapes().value();
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+      EXPECT_EQ(round_shapes[i].output, original_shapes[i].output)
+          << model.name() << " layer " << i;
+      EXPECT_EQ(imported.value().network.layers()[i].activation,
+                model.layers()[i].activation);
+    }
+    // Identical inference results.
+    auto engine_a = nn::ReferenceEngine::create(model, weights.value());
+    auto engine_b = nn::ReferenceEngine::create(imported.value().network,
+                                                imported.value().weights);
+    ASSERT_TRUE(engine_a.is_ok());
+    ASSERT_TRUE(engine_b.is_ok());
+    const auto inputs = condor::testing::random_inputs(model, 2, 17);
+    for (const Tensor& input : inputs) {
+      EXPECT_EQ(max_abs_diff(engine_a.value().forward(input).value(),
+                             engine_b.value().forward(input).value()),
+                0.0F);
+    }
+  }
+}
+
+TEST(OnnxImport, MatMulAddFoldsIntoFc) {
+  // Hand-build a MatMul + Add graph (the Gemm-less FC idiom).
+  ModelProto model;
+  model.graph.name = "mlp";
+  model.graph.input.push_back({"x", {1, 1, 2, 2}});
+  // Flatten -> MatMul([4,3]) -> Add(bias).
+  NodeProto flatten;
+  flatten.op_type = "Flatten";
+  flatten.name = "flat";
+  flatten.input = {"x"};
+  flatten.output = {"flat"};
+  model.graph.node.push_back(flatten);
+
+  NodeProto matmul;
+  matmul.op_type = "MatMul";
+  matmul.name = "mm";
+  matmul.input = {"flat", "W"};
+  matmul.output = {"mm"};
+  model.graph.node.push_back(matmul);
+  TensorProto weight;
+  weight.name = "W";
+  weight.dims = {4, 3};  // [in, out]
+  for (int i = 0; i < 12; ++i) {
+    weight.float_data.push_back(static_cast<float>(i));
+  }
+  model.graph.initializer.push_back(weight);
+
+  NodeProto add;
+  add.op_type = "Add";
+  add.name = "bias";
+  add.input = {"mm", "B"};
+  add.output = {"y"};
+  model.graph.node.push_back(add);
+  TensorProto bias;
+  bias.name = "B";
+  bias.dims = {3};
+  bias.float_data = {10.0F, 20.0F, 30.0F};
+  model.graph.initializer.push_back(bias);
+
+  auto imported = import_model(model);
+  ASSERT_TRUE(imported.is_ok()) << imported.status().to_string();
+  ASSERT_EQ(imported.value().network.layer_count(), 2u);  // input + fc
+  const nn::LayerSpec& fc = imported.value().network.layers()[1];
+  EXPECT_EQ(fc.kind, nn::LayerKind::kInnerProduct);
+  EXPECT_EQ(fc.num_output, 3u);
+  EXPECT_TRUE(fc.has_bias);
+  // Weight transposed to [out, in]: W[out=1][in=2] == original [2][1] == 7.
+  const nn::LayerParameters* params = imported.value().weights.find(fc.name);
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->weights.shape(), (Shape{3, 4}));
+  EXPECT_EQ(params->weights[1 * 4 + 2], 7.0F);
+  EXPECT_EQ(params->bias[2], 30.0F);
+
+  // Functional check against a hand computation: x = [1,1,1,1] ->
+  // out[o] = sum_i W[i][o] + bias[o].
+  auto engine = nn::ReferenceEngine::create(imported.value().network,
+                                            imported.value().weights);
+  ASSERT_TRUE(engine.is_ok());
+  Tensor input(Shape{1, 2, 2}, 1.0F);
+  const Tensor out = engine.value().forward(input).value();
+  EXPECT_EQ(out[0], 0.0F + 3 + 6 + 9 + 10.0F);
+  EXPECT_EQ(out[1], 1.0F + 4 + 7 + 10 + 20.0F);
+  EXPECT_EQ(out[2], 2.0F + 5 + 8 + 11 + 30.0F);
+}
+
+TEST(OnnxImport, UnsupportedConstructsRejected) {
+  // Grouped convolution.
+  {
+    ModelProto model;
+    model.graph.input.push_back({"x", {1, 2, 4, 4}});
+    NodeProto conv;
+    conv.op_type = "Conv";
+    conv.name = "c";
+    conv.input = {"x", "W"};
+    conv.output = {"y"};
+    AttributeProto group;
+    group.name = "group";
+    group.type = AttributeProto::Type::kInt;
+    group.i = 2;
+    conv.attribute.push_back(group);
+    model.graph.node.push_back(conv);
+    TensorProto weight;
+    weight.name = "W";
+    weight.dims = {2, 1, 3, 3};
+    weight.float_data.assign(18, 0.0F);
+    model.graph.initializer.push_back(weight);
+    auto imported = import_model(model);
+    ASSERT_FALSE(imported.is_ok());
+    EXPECT_EQ(imported.status().code(), StatusCode::kUnsupported);
+  }
+  // Unknown op.
+  {
+    ModelProto model;
+    model.graph.input.push_back({"x", {1, 1, 4, 4}});
+    NodeProto node;
+    node.op_type = "LSTM";
+    node.name = "l";
+    node.input = {"x"};
+    node.output = {"y"};
+    model.graph.node.push_back(node);
+    auto imported = import_model(model);
+    ASSERT_FALSE(imported.is_ok());
+    EXPECT_EQ(imported.status().code(), StatusCode::kUnsupported);
+  }
+  // Broken chain.
+  {
+    ModelProto model;
+    model.graph.input.push_back({"x", {1, 1, 4, 4}});
+    NodeProto node;
+    node.op_type = "Relu";
+    node.name = "r";
+    node.input = {"not_x"};
+    node.output = {"y"};
+    model.graph.node.push_back(node);
+    EXPECT_FALSE(import_model(model).is_ok());
+  }
+}
+
+TEST(OnnxFlow, FrontendAcceptsOnnx) {
+  const nn::Network model = nn::make_tc1();
+  auto weights = nn::initialize_weights(model, 19);
+  ASSERT_TRUE(weights.is_ok());
+  condorflow::FrontendInput input;
+  input.onnx_bytes = to_onnx(model, weights.value()).value();
+  auto flow = condorflow::Flow::run(input, condorflow::FlowOptions{});
+  ASSERT_TRUE(flow.is_ok()) << flow.status().to_string();
+  EXPECT_EQ(flow.value().network.net.name(), "tc1");
+  EXPECT_EQ(flow.value().plan.pes.size(), 5u);
+  // Two sources at once is rejected.
+  input.network_json_text = "{}";
+  EXPECT_FALSE(condorflow::Flow::run(input, condorflow::FlowOptions{}).is_ok());
+}
+
+}  // namespace
+}  // namespace condor::onnx

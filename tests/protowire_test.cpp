@@ -1,0 +1,182 @@
+// Unit tests for the protobuf wire-format codec.
+#include <gtest/gtest.h>
+
+#include "protowire/wire.hpp"
+
+namespace condor::protowire {
+namespace {
+
+TEST(Varint, KnownEncodings) {
+  const struct {
+    std::uint64_t value;
+    std::vector<std::uint8_t> bytes;
+  } cases[] = {
+      {0, {0x00}},
+      {1, {0x01}},
+      {127, {0x7F}},
+      {128, {0x80, 0x01}},
+      {300, {0xAC, 0x02}},  // the canonical protobuf docs example
+      {0xFFFFFFFFFFFFFFFFULL,
+       {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}},
+  };
+  for (const auto& c : cases) {
+    ByteWriter writer;
+    put_varint(writer, c.value);
+    ASSERT_EQ(writer.size(), c.bytes.size()) << c.value;
+    for (std::size_t i = 0; i < c.bytes.size(); ++i) {
+      EXPECT_EQ(static_cast<std::uint8_t>(writer.view()[i]), c.bytes[i]);
+    }
+    ByteReader reader(writer.view());
+    EXPECT_EQ(get_varint(reader).value(), c.value);
+  }
+}
+
+TEST(Varint, RoundTripSweep) {
+  for (std::uint64_t shift = 0; shift < 64; ++shift) {
+    const std::uint64_t value = (1ULL << shift) | (shift & 1);
+    ByteWriter writer;
+    put_varint(writer, value);
+    ByteReader reader(writer.view());
+    EXPECT_EQ(get_varint(reader).value(), value);
+  }
+}
+
+TEST(Varint, OverlongIsRejected) {
+  // Eleven continuation bytes can never terminate within 64 bits.
+  std::vector<std::byte> bytes(11, std::byte{0x80});
+  ByteReader reader(bytes);
+  EXPECT_FALSE(get_varint(reader).is_ok());
+}
+
+TEST(ZigZag, KnownPairsAndInverse) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (std::int64_t value : {-1000000007LL, -1LL, 0LL, 1LL, 123456789LL}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(value)), value);
+  }
+}
+
+TEST(Wire, FieldRoundTrip) {
+  Writer writer;
+  writer.varint_field(1, 600);
+  writer.bool_field(2, true);
+  writer.float_field(3, 2.5F);
+  writer.double_field(4, -0.125);
+  writer.string_field(5, "caffe");
+  writer.packed_floats(6, std::vector<float>{1.0F, 2.0F, 3.0F});
+
+  Reader reader(writer.view());
+  auto tag = reader.read_tag();
+  ASSERT_TRUE(tag.is_ok());
+  EXPECT_EQ(tag.value().field_number, 1u);
+  EXPECT_EQ(tag.value().wire_type, WireType::kVarint);
+  EXPECT_EQ(reader.read_varint().value(), 600u);
+
+  EXPECT_EQ(reader.read_tag().value().field_number, 2u);
+  EXPECT_EQ(reader.read_varint().value(), 1u);
+
+  EXPECT_EQ(reader.read_tag().value().wire_type, WireType::kI32);
+  EXPECT_EQ(reader.read_float().value(), 2.5F);
+
+  EXPECT_EQ(reader.read_tag().value().wire_type, WireType::kI64);
+  EXPECT_EQ(reader.read_double().value(), -0.125);
+
+  EXPECT_EQ(reader.read_tag().value().field_number, 5u);
+  EXPECT_EQ(reader.read_string().value(), "caffe");
+
+  auto packed_tag = reader.read_tag();
+  std::vector<float> floats;
+  ASSERT_TRUE(reader.read_packed_floats(packed_tag.value(), floats).is_ok());
+  EXPECT_EQ(floats, (std::vector<float>{1.0F, 2.0F, 3.0F}));
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(Wire, NestedMessage) {
+  Writer inner;
+  inner.varint_field(1, 7);
+  Writer outer;
+  outer.message_field(10, inner);
+
+  Reader reader(outer.view());
+  auto tag = reader.read_tag();
+  ASSERT_TRUE(tag.is_ok());
+  EXPECT_EQ(tag.value().field_number, 10u);
+  EXPECT_EQ(tag.value().wire_type, WireType::kLen);
+  auto payload = reader.read_len();
+  ASSERT_TRUE(payload.is_ok());
+  Reader nested(payload.value());
+  EXPECT_EQ(nested.read_tag().value().field_number, 1u);
+  EXPECT_EQ(nested.read_varint().value(), 7u);
+}
+
+TEST(Wire, SkipUnknownFields) {
+  Writer writer;
+  writer.varint_field(99, 1);
+  writer.double_field(98, 1.5);
+  writer.string_field(97, "junk");
+  writer.float_field(96, 2.0F);
+  writer.varint_field(1, 42);
+
+  Reader reader(writer.view());
+  std::uint64_t found = 0;
+  while (!reader.at_end()) {
+    auto tag = reader.read_tag();
+    ASSERT_TRUE(tag.is_ok());
+    if (tag.value().field_number == 1) {
+      found = reader.read_varint().value();
+    } else {
+      ASSERT_TRUE(reader.skip(tag.value()).is_ok());
+    }
+  }
+  EXPECT_EQ(found, 42u);
+}
+
+TEST(Wire, MalformedInputsRejected) {
+  // Wire type 3 (group start) is unsupported.
+  std::vector<std::byte> group_tag = {std::byte{0x0B}};
+  Reader group(group_tag);
+  EXPECT_FALSE(group.read_tag().is_ok());
+
+  // Field number 0 is reserved.
+  std::vector<std::byte> zero_field = {std::byte{0x00}};
+  Reader zero(zero_field);
+  EXPECT_FALSE(zero.read_tag().is_ok());
+
+  // LEN payload that claims more bytes than exist.
+  Writer writer;
+  writer.varint_field(1, 0);
+  std::vector<std::byte> truncated(writer.view().begin(), writer.view().end());
+  truncated[0] = std::byte{0x0A};  // field 1, LEN
+  truncated[1] = std::byte{0xFF};  // length 255 with 0 bytes following
+  Reader bad_len(truncated);
+  auto tag = bad_len.read_tag();
+  ASSERT_TRUE(tag.is_ok());
+  EXPECT_FALSE(bad_len.read_len().is_ok());
+}
+
+TEST(Wire, PackedFloatsRejectsRaggedPayload) {
+  Writer writer;
+  writer.string_field(1, "abc");  // 3 bytes: not a multiple of 4
+  Reader reader(writer.view());
+  auto tag = reader.read_tag();
+  std::vector<float> floats;
+  EXPECT_FALSE(reader.read_packed_floats(tag.value(), floats).is_ok());
+}
+
+TEST(Wire, PackedFloatsAcceptsUnpackedEncoding) {
+  Writer writer;
+  writer.float_field(5, 1.5F);
+  writer.float_field(5, 2.5F);
+  Reader reader(writer.view());
+  std::vector<float> floats;
+  while (!reader.at_end()) {
+    auto tag = reader.read_tag();
+    ASSERT_TRUE(reader.read_packed_floats(tag.value(), floats).is_ok());
+  }
+  EXPECT_EQ(floats, (std::vector<float>{1.5F, 2.5F}));
+}
+
+}  // namespace
+}  // namespace condor::protowire

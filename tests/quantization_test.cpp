@@ -1,0 +1,167 @@
+// Tests for the fixed-point quantization study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+#include "nn/quantization.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "test_util.hpp"
+
+namespace condor::nn {
+namespace {
+
+TEST(FixedPoint, FormatProperties) {
+  const FixedPointFormat q12{16, 12};
+  EXPECT_FLOAT_EQ(q12.resolution(), 1.0F / 4096.0F);
+  EXPECT_FLOAT_EQ(q12.max_value(), (32768.0F - 1.0F) / 4096.0F);
+}
+
+TEST(FixedPoint, QuantizeRoundsAndSaturates) {
+  const FixedPointFormat q2{4, 2};  // values in [-2, 1.75], step 0.25
+  EXPECT_FLOAT_EQ(quantize_value(0.30F, q2), 0.25F);
+  EXPECT_FLOAT_EQ(quantize_value(0.40F, q2), 0.50F);
+  EXPECT_FLOAT_EQ(quantize_value(-0.30F, q2), -0.25F);
+  EXPECT_FLOAT_EQ(quantize_value(100.0F, q2), 1.75F);   // saturate high
+  EXPECT_FLOAT_EQ(quantize_value(-100.0F, q2), -2.0F);  // saturate low
+  EXPECT_FLOAT_EQ(quantize_value(0.0F, q2), 0.0F);
+}
+
+TEST(FixedPoint, QuantizationIsIdempotent) {
+  const FixedPointFormat format{16, 10};
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float value = rng.uniform(-30.0F, 30.0F);
+    const float once = quantize_value(value, format);
+    EXPECT_EQ(quantize_value(once, format), once);
+    // Error bounded by half a step (when not saturating).
+    if (std::fabs(value) < format.max_value()) {
+      EXPECT_LE(std::fabs(once - value), format.resolution() / 2.0F + 1e-7F);
+    }
+  }
+}
+
+TEST(FixedPoint, ChooseFormatFitsRange) {
+  const std::vector<float> small = {0.1F, -0.3F, 0.25F};
+  const FixedPointFormat f_small = choose_format(small, 16);
+  EXPECT_EQ(f_small.frac_bits, 15);  // all-fractional fits |x| < 1
+
+  const std::vector<float> big = {100.0F, -3.0F};
+  const FixedPointFormat f_big = choose_format(big, 16);
+  EXPECT_GE(f_big.max_value(), 100.0F);
+  // Every input representable without saturation error beyond half-step.
+  for (const float v : big) {
+    EXPECT_LE(std::fabs(quantize_value(v, f_big) - v),
+              f_big.resolution() / 2.0F + 1e-6F);
+  }
+
+  const std::vector<float> zeros = {0.0F, 0.0F};
+  EXPECT_EQ(choose_format(zeros, 8).frac_bits, 7);
+}
+
+TEST(FixedPoint, DataTypeHelpers) {
+  EXPECT_EQ(bytes_per_element(DataType::kFloat32), 4u);
+  EXPECT_EQ(bytes_per_element(DataType::kFixed16), 2u);
+  EXPECT_EQ(bytes_per_element(DataType::kFixed8), 1u);
+  EXPECT_EQ(to_string(DataType::kFixed16), "fixed16");
+}
+
+TEST(QuantizedWeights, Float32IsIdentity) {
+  auto weights = initialize_weights(make_tc1(), 1).value();
+  auto same = quantize_weights(weights, DataType::kFloat32);
+  ASSERT_TRUE(same.is_ok());
+  EXPECT_EQ(max_abs_diff(same.value().find("conv1")->weights,
+                         weights.find("conv1")->weights),
+            0.0F);
+}
+
+TEST(QuantizedWeights, Fixed16StaysClose) {
+  auto weights = initialize_weights(make_lenet(), 2).value();
+  auto quantized = quantize_weights(weights, DataType::kFixed16);
+  ASSERT_TRUE(quantized.is_ok());
+  const float diff = max_abs_diff(quantized.value().find("conv1")->weights,
+                                  weights.find("conv1")->weights);
+  EXPECT_GT(diff, 0.0F);       // something changed
+  EXPECT_LT(diff, 1.0F / 4096);  // but within the dynamic-format resolution
+}
+
+TEST(QuantizedEngine, Fixed16OutputsCloseToFloat) {
+  const Network tc1 = make_tc1();
+  auto weights = initialize_weights(tc1, 3).value();
+  auto float_engine = ReferenceEngine::create(tc1, weights).value();
+  auto quant_engine =
+      QuantizedEngine::create(tc1, weights, DataType::kFixed16).value();
+  const auto inputs = condor::testing::random_inputs(tc1, 4, 21);
+  for (const Tensor& input : inputs) {
+    const Tensor reference = float_engine.forward(input).value();
+    auto quantized = quant_engine.forward(input);
+    ASSERT_TRUE(quantized.is_ok());
+    const QuantizationError error =
+        compare_outputs(reference, quantized.value());
+    EXPECT_LT(error.mean_abs_error, 0.02F);
+    // Probabilities still sum to ~1 (softmax runs in float on the host).
+    float sum = 0.0F;
+    for (const float p : quantized.value().data()) {
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0F, 1e-4F);
+  }
+}
+
+TEST(QuantizedEngine, Fixed8ErrorLargerThanFixed16) {
+  const Network tc1 = make_tc1();
+  auto weights = initialize_weights(tc1, 4).value();
+  auto float_engine = ReferenceEngine::create(tc1, weights).value();
+  auto q16 = QuantizedEngine::create(tc1, weights, DataType::kFixed16).value();
+  auto q8 = QuantizedEngine::create(tc1, weights, DataType::kFixed8).value();
+  const auto inputs = condor::testing::random_inputs(tc1, 8, 23);
+  float err16 = 0.0F;
+  float err8 = 0.0F;
+  for (const Tensor& input : inputs) {
+    const Tensor reference = float_engine.forward(input).value();
+    err16 += compare_outputs(reference, q16.forward(input).value()).mean_abs_error;
+    err8 += compare_outputs(reference, q8.forward(input).value()).mean_abs_error;
+  }
+  EXPECT_GT(err8, err16);
+}
+
+TEST(QuantizationModels, Fixed16ShrinksResourcesAndLiftsClock) {
+  const nn::Network model = make_lenet();
+  hw::HwNetwork net = hw::with_default_annotations(model, "aws-f1", 250.0);
+
+  hw::DseOptions float_options;
+  hw::DseOptions fixed_options;
+  fixed_options.cost = hw::cost_model_for(DataType::kFixed16);
+  fixed_options.timing = hw::timing_model_for(DataType::kFixed16);
+
+  auto float_point = hw::evaluate_design_point(net, float_options);
+  auto fixed_point = hw::evaluate_design_point(net, fixed_options);
+  ASSERT_TRUE(float_point.is_ok());
+  ASSERT_TRUE(fixed_point.is_ok());
+  // Fewer DSPs, less BRAM (16-bit weights), higher or equal clock.
+  EXPECT_LT(fixed_point.value().resources.total.dsps,
+            float_point.value().resources.total.dsps);
+  EXPECT_LT(fixed_point.value().resources.total.bram36,
+            float_point.value().resources.total.bram36);
+  EXPECT_GE(fixed_point.value().achieved_mhz, float_point.value().achieved_mhz);
+}
+
+TEST(QuantizationModels, Tc1TanhTableRemovesClockCap) {
+  // TC1's float tanh caps the design at 100 MHz; the fixed16 lookup-table
+  // activation lifts it substantially.
+  hw::HwNetwork net = hw::with_default_annotations(make_tc1(), "aws-f1", 250.0);
+  hw::DseOptions fixed_options;
+  fixed_options.cost = hw::cost_model_for(DataType::kFixed16);
+  fixed_options.timing = hw::timing_model_for(DataType::kFixed16);
+  auto float_point = hw::evaluate_design_point(net);
+  auto fixed_point = hw::evaluate_design_point(net, fixed_options);
+  ASSERT_TRUE(float_point.is_ok());
+  ASSERT_TRUE(fixed_point.is_ok());
+  EXPECT_DOUBLE_EQ(float_point.value().achieved_mhz, 100.0);
+  EXPECT_GE(fixed_point.value().achieved_mhz, 180.0);
+}
+
+}  // namespace
+}  // namespace condor::nn

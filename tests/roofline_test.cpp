@@ -1,0 +1,67 @@
+// Tests for the roofline analysis.
+#include <gtest/gtest.h>
+
+#include "hw/dse.hpp"
+#include "hw/roofline.hpp"
+#include "nn/models.hpp"
+
+namespace condor::hw {
+namespace {
+
+TEST(Roofline, BoardRoofsFormulas) {
+  const RooflineRoofs roofs = board_roofs(aws_f1_board(), 200.0, 4.0);
+  // 6840 DSP / 4 per MAC * 2 FLOP * 200 MHz = 684 GFLOPS.
+  EXPECT_NEAR(roofs.peak_gflops, 684.0, 0.1);
+  // 64 Gb/s = 8 GB/s.
+  EXPECT_NEAR(roofs.bandwidth_gbps, 8.0, 1e-9);
+  EXPECT_NEAR(roofs.ridge_intensity(), 684.0 / 8.0, 1e-6);
+  // Attainable follows the min of the two roofs.
+  EXPECT_NEAR(roofs.attainable_gflops(1.0), 8.0, 1e-9);
+  EXPECT_NEAR(roofs.attainable_gflops(1000.0), 684.0, 1e-6);
+  EXPECT_NEAR(roofs.attainable_gflops(roofs.ridge_intensity()), 684.0, 1e-6);
+}
+
+TEST(Roofline, FixedPointMacsRaiseTheComputeRoof) {
+  const RooflineRoofs fp32 = board_roofs(aws_f1_board(), 200.0, 4.0);
+  const RooflineRoofs fixed16 = board_roofs(aws_f1_board(), 200.0, 1.0);
+  EXPECT_NEAR(fixed16.peak_gflops, 4.0 * fp32.peak_gflops, 1e-6);
+}
+
+TEST(Roofline, DesignPointsAreConsistent) {
+  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
+    HwNetwork net = with_default_annotations(model, "aws-f1", 200.0);
+    auto evaluated = evaluate_design_point(net);
+    ASSERT_TRUE(evaluated.is_ok());
+    auto plan = plan_accelerator(net);
+    auto point = roofline_point(plan.value(), evaluated.value().performance,
+                                model.name());
+    ASSERT_TRUE(point.is_ok()) << point.status().to_string();
+    EXPECT_GT(point.value().intensity, 0.0);
+    // Achieved can never exceed the attainable roof.
+    EXPECT_LE(point.value().achieved_gflops,
+              point.value().attainable_gflops * 1.0001)
+        << model.name();
+    EXPECT_GT(point.value().efficiency(), 0.0);
+    EXPECT_LE(point.value().efficiency(), 1.0001);
+  }
+}
+
+TEST(Roofline, DseImprovesEfficiency) {
+  const nn::Network features = nn::make_lenet().feature_extraction_prefix();
+  HwNetwork net = with_default_annotations(features, "aws-f1", 250.0);
+  auto base = evaluate_design_point(net);
+  auto dse = explore(net);
+  ASSERT_TRUE(base.is_ok());
+  ASSERT_TRUE(dse.is_ok());
+  auto base_point =
+      roofline_point(plan_accelerator(net).value(), base.value().performance,
+                     "base");
+  auto tuned_point = roofline_point(plan_accelerator(dse.value().best.config).value(),
+                                    dse.value().best.performance, "tuned");
+  ASSERT_TRUE(base_point.is_ok());
+  ASSERT_TRUE(tuned_point.is_ok());
+  EXPECT_GT(tuned_point.value().efficiency(), base_point.value().efficiency());
+}
+
+}  // namespace
+}  // namespace condor::hw

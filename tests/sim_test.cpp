@@ -1,0 +1,141 @@
+// Tests for the discrete-event pipeline simulator and the accelerator-level
+// timing wrapper (the machinery behind Figure 5).
+#include <gtest/gtest.h>
+
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+#include "sim/accel_sim.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/pipeline.hpp"
+
+namespace condor::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(10, [&] { order.push_back(2); });
+  queue.schedule(5, [&] { order.push_back(1); });
+  queue.schedule(10, [&] { order.push_back(3); });  // same time, later insert
+  const Cycle end = queue.run();
+  EXPECT_EQ(end, 10u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue queue;
+  Cycle seen = 0;
+  queue.schedule(100, [&] {
+    queue.schedule_in(50, [&] { seen = queue.now(); });
+  });
+  queue.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Pipeline, SingleStageIsSequential) {
+  auto run = simulate_pipeline({StageSpec{"s", 100, 1}}, 10);
+  ASSERT_TRUE(run.is_ok());
+  EXPECT_EQ(run.value().total_cycles, 1000u);
+  EXPECT_EQ(run.value().image_completion.size(), 10u);
+  EXPECT_EQ(run.value().stages[0].images, 10u);
+  EXPECT_EQ(run.value().stages[0].busy_cycles, 1000u);
+}
+
+TEST(Pipeline, SteadyStateMatchesBottleneck) {
+  // Three stages, bottleneck 100: total(B) -> fill + (B-1)*100.
+  const std::vector<StageSpec> stages = {
+      {"a", 30, 1}, {"b", 100, 1}, {"c", 20, 1}};
+  auto small = simulate_pipeline(stages, 8);
+  auto large = simulate_pipeline(stages, 108);
+  ASSERT_TRUE(small.is_ok());
+  ASSERT_TRUE(large.is_ok());
+  const double marginal =
+      static_cast<double>(large.value().total_cycles - small.value().total_cycles) /
+      100.0;
+  EXPECT_NEAR(marginal, 100.0, 1.0);
+}
+
+TEST(Pipeline, MeanPerImageDecreasesMonotonically) {
+  const std::vector<StageSpec> stages = {
+      {"a", 50, 1}, {"b", 80, 1}, {"c", 80, 1}, {"d", 40, 1}};
+  double last = 1e300;
+  for (const std::size_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+    auto run = simulate_pipeline(stages, batch);
+    ASSERT_TRUE(run.is_ok());
+    const double mean = run.value().mean_cycles_per_image();
+    EXPECT_LE(mean, last) << "batch " << batch;
+    last = mean;
+  }
+  // Plateau approaches the bottleneck service time (two tied bottleneck
+  // stages in sequence add a small handoff overhead).
+  EXPECT_NEAR(last, 80.0, 4.0);
+}
+
+TEST(Pipeline, SingleImageLatencyIsSumOfStages) {
+  const std::vector<StageSpec> stages = {{"a", 10, 1}, {"b", 20, 1}, {"c", 30, 1}};
+  auto run = simulate_pipeline(stages, 1);
+  ASSERT_TRUE(run.is_ok());
+  EXPECT_EQ(run.value().total_cycles, 60u);
+}
+
+TEST(Pipeline, FastStageBlocksBehindSlowDownstream) {
+  const std::vector<StageSpec> stages = {{"fast", 1, 1}, {"slow", 100, 1}};
+  auto run = simulate_pipeline(stages, 50);
+  ASSERT_TRUE(run.is_ok());
+  // The fast stage spends most of the run blocked, not busy.
+  EXPECT_GT(run.value().stages[0].blocked_cycles,
+            run.value().stages[0].busy_cycles * 10);
+  // The slow stage is busy nearly the whole time.
+  EXPECT_GT(run.value().stages[1].utilization(run.value().total_cycles), 0.95);
+}
+
+TEST(Pipeline, RejectsDegenerateInputs) {
+  EXPECT_FALSE(simulate_pipeline({}, 4).is_ok());
+  EXPECT_FALSE(simulate_pipeline({StageSpec{"s", 0, 1}}, 4).is_ok());
+  EXPECT_FALSE(simulate_pipeline({StageSpec{"s", 1, 0}}, 4).is_ok());
+  EXPECT_FALSE(simulate_pipeline({StageSpec{"s", 1, 1}}, 0).is_ok());
+}
+
+TEST(Pipeline, CompletionTimesAreNondecreasing) {
+  const std::vector<StageSpec> stages = {{"a", 7, 1}, {"b", 13, 2}, {"c", 5, 1}};
+  auto run = simulate_pipeline(stages, 20);
+  ASSERT_TRUE(run.is_ok());
+  for (std::size_t i = 1; i < run.value().image_completion.size(); ++i) {
+    EXPECT_GE(run.value().image_completion[i], run.value().image_completion[i - 1]);
+  }
+}
+
+// ---- Accelerator-level wrapper ---------------------------------------------
+
+TEST(AccelSim, Figure5ShapeForTc1) {
+  hw::HwNetwork net = hw::with_default_annotations(nn::make_tc1());
+  auto point = hw::evaluate_design_point(net);
+  ASSERT_TRUE(point.is_ok());
+  const AcceleratorSim accel = build_accelerator_sim(point.value().performance);
+  auto sweep = sweep_batches(accel, {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  ASSERT_TRUE(sweep.is_ok());
+  // Monotonically decreasing mean time per image.
+  for (std::size_t i = 1; i < sweep.value().size(); ++i) {
+    EXPECT_LE(sweep.value()[i].mean_ms_per_image,
+              sweep.value()[i - 1].mean_ms_per_image);
+  }
+  // Convergence: batch >= #layers is close to the plateau (paper Fig. 5).
+  const double plateau = sweep.value().back().mean_ms_per_image;
+  const double at_layers = sweep.value()[3].mean_ms_per_image;  // batch 8 > 7
+  EXPECT_LT((at_layers - plateau) / plateau, 0.30);
+}
+
+TEST(AccelSim, SteadyStateMatchesAnalyticalGflops) {
+  hw::HwNetwork net = hw::with_default_annotations(nn::make_lenet());
+  auto point = hw::evaluate_design_point(net);
+  ASSERT_TRUE(point.is_ok());
+  const AcceleratorSim accel = build_accelerator_sim(point.value().performance);
+  auto gflops = steady_state_gflops(accel, 512);
+  ASSERT_TRUE(gflops.is_ok());
+  // Event simulation and closed-form estimate agree within a few percent.
+  EXPECT_NEAR(gflops.value(), point.value().performance.gflops(),
+              point.value().performance.gflops() * 0.05);
+}
+
+}  // namespace
+}  // namespace condor::sim

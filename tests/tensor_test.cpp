@@ -1,0 +1,76 @@
+// Unit tests for the tensor substrate.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace condor {
+namespace {
+
+TEST(Shape, ElementCountAndToString) {
+  EXPECT_EQ(Shape{}.element_count(), 1u);  // rank-0 scalar
+  EXPECT_EQ((Shape{3, 4, 5}).element_count(), 60u);
+  EXPECT_EQ((Shape{0, 9}).element_count(), 0u);
+  EXPECT_EQ((Shape{3, 32, 32}).to_string(), "(3, 32, 32)");
+  EXPECT_EQ(Shape{}.to_string(), "()");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Tensor, FillConstruction) {
+  Tensor t(Shape{2, 3}, 1.5F);
+  EXPECT_EQ(t.size(), 6u);
+  for (const float value : t.data()) {
+    EXPECT_EQ(value, 1.5F);
+  }
+}
+
+TEST(Tensor, ChwAccessorIsRowMajor) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 9.0F;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0F);
+  t.at(0, 0, 1) = 4.0F;
+  EXPECT_EQ(t[1], 4.0F);
+}
+
+TEST(Tensor, Rank4AccessorMatchesFlatLayout) {
+  Tensor t(Shape{2, 3, 2, 2});
+  t.at4(1, 2, 1, 0) = 7.0F;
+  EXPECT_EQ(t[((1 * 3 + 2) * 2 + 1) * 2 + 0], 7.0F);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksCount) {
+  Tensor t(Shape{2, 6});
+  t[7] = 3.0F;
+  ASSERT_TRUE(t.reshape(Shape{3, 4}).is_ok());
+  EXPECT_EQ(t.shape(), (Shape{3, 4}));
+  EXPECT_EQ(t[7], 3.0F);
+  EXPECT_FALSE(t.reshape(Shape{5, 5}).is_ok());
+}
+
+TEST(Tensor, MaxAbsDiffAndAllclose) {
+  Tensor a(Shape{4}, 1.0F);
+  Tensor b(Shape{4}, 1.0F);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0F);
+  EXPECT_TRUE(allclose(a, b));
+  b[2] = 1.001F;
+  EXPECT_NEAR(max_abs_diff(a, b), 0.001F, 1e-6F);
+  EXPECT_FALSE(allclose(a, b, 1e-5F, 1e-5F));
+  EXPECT_TRUE(allclose(a, b, 0.01F, 0.0F));
+  // Shape mismatch is not close.
+  EXPECT_FALSE(allclose(a, Tensor(Shape{2, 2}, 1.0F)));
+}
+
+TEST(Tensor, Argmax) {
+  Tensor t(Shape{5});
+  t[3] = 2.0F;
+  t[1] = 1.0F;
+  EXPECT_EQ(argmax(t), 3u);
+  EXPECT_EQ(argmax(Tensor{}), 0u);
+}
+
+}  // namespace
+}  // namespace condor

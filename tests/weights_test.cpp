@@ -1,0 +1,136 @@
+// Unit tests for the weight store: initialization, validation, and the
+// external weight-file format (paper §3.1.1's runtime-loaded weights).
+#include <gtest/gtest.h>
+#include <cmath>
+
+
+#include "nn/models.hpp"
+#include "nn/weights.hpp"
+
+namespace condor::nn {
+namespace {
+
+TEST(WeightInit, DeterministicPerSeed) {
+  const Network lenet = make_lenet();
+  auto a = initialize_weights(lenet, 42);
+  auto b = initialize_weights(lenet, 42);
+  auto c = initialize_weights(lenet, 43);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_TRUE(c.is_ok());
+  const Tensor& wa = a.value().find("conv1")->weights;
+  const Tensor& wb = b.value().find("conv1")->weights;
+  const Tensor& wc = c.value().find("conv1")->weights;
+  EXPECT_EQ(max_abs_diff(wa, wb), 0.0F);
+  EXPECT_GT(max_abs_diff(wa, wc), 0.0F);
+}
+
+TEST(WeightInit, GlorotBoundsRespected) {
+  const Network lenet = make_lenet();
+  auto store = initialize_weights(lenet, 1);
+  ASSERT_TRUE(store.is_ok());
+  // conv1: fan_in = 25, fan_out = 20 -> limit = sqrt(6/45) ~= 0.365.
+  const float limit = std::sqrt(6.0F / 45.0F);
+  for (const float w : store.value().find("conv1")->weights.data()) {
+    EXPECT_LE(std::fabs(w), limit);
+  }
+  // Biases start at zero.
+  for (const float b : store.value().find("conv1")->bias.data()) {
+    EXPECT_EQ(b, 0.0F);
+  }
+}
+
+TEST(WeightStore, ValidateAgainstDetectsProblems) {
+  const Network lenet = make_lenet();
+  auto store = initialize_weights(lenet, 2);
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(store.value().validate_against(lenet).is_ok());
+
+  // Missing layer.
+  WeightStore empty;
+  EXPECT_EQ(empty.validate_against(lenet).code(), StatusCode::kNotFound);
+
+  // Wrong weight shape.
+  WeightStore bad = store.value();
+  LayerParameters params;
+  params.weights = Tensor(Shape{20, 1, 3, 3});  // should be 5x5
+  params.bias = Tensor(Shape{20});
+  bad.set("conv1", std::move(params));
+  EXPECT_EQ(bad.validate_against(lenet).code(), StatusCode::kInvalidInput);
+}
+
+TEST(WeightFile, SerializeDeserializeRoundTrip) {
+  const Network tc1 = make_tc1();
+  auto store = initialize_weights(tc1, 3);
+  ASSERT_TRUE(store.is_ok());
+  const auto bytes = store.value().serialize();
+  auto restored = WeightStore::deserialize(bytes);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value().layer_count(), store.value().layer_count());
+  for (const auto& [name, params] : store.value().all()) {
+    const LayerParameters* other = restored.value().find(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(max_abs_diff(params.weights, other->weights), 0.0F);
+    if (!params.bias.empty()) {
+      EXPECT_EQ(max_abs_diff(params.bias, other->bias), 0.0F);
+    }
+  }
+}
+
+TEST(WeightFile, CorruptionDetectedByCrc) {
+  const Network tc1 = make_tc1();
+  auto store = initialize_weights(tc1, 4);
+  ASSERT_TRUE(store.is_ok());
+  auto bytes = store.value().serialize();
+  // Flip a byte inside the first entry payload (past the 8-byte header).
+  bytes[40] ^= std::byte{0xFF};
+  auto restored = WeightStore::deserialize(bytes);
+  ASSERT_FALSE(restored.is_ok());
+  EXPECT_NE(restored.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(WeightFile, RejectsGarbage) {
+  std::vector<std::byte> garbage(64, std::byte{0x5A});
+  EXPECT_FALSE(WeightStore::deserialize(garbage).is_ok());
+  EXPECT_FALSE(WeightStore::deserialize({}).is_ok());
+}
+
+TEST(WeightFile, SaveLoadFile) {
+  const Network tc1 = make_tc1();
+  auto store = initialize_weights(tc1, 5);
+  ASSERT_TRUE(store.is_ok());
+  const std::string path = ::testing::TempDir() + "/tc1_weights_test.bin";
+  ASSERT_TRUE(store.value().save(path).is_ok());
+  auto loaded = WeightStore::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_TRUE(loaded.value().validate_against(tc1).is_ok());
+}
+
+TEST(WeightFile, BiaslessLayerRoundTrips) {
+  Network net("nobias");
+  LayerSpec input;
+  input.name = "data";
+  input.kind = LayerKind::kInput;
+  input.input_channels = 1;
+  input.input_height = 4;
+  input.input_width = 4;
+  net.add(input);
+  LayerSpec conv;
+  conv.name = "conv";
+  conv.kind = LayerKind::kConvolution;
+  conv.num_output = 2;
+  conv.kernel_h = conv.kernel_w = 3;
+  conv.has_bias = false;
+  net.add(conv);
+
+  auto store = initialize_weights(net, 6);
+  ASSERT_TRUE(store.is_ok());
+  EXPECT_TRUE(store.value().find("conv")->bias.empty());
+  auto restored = WeightStore::deserialize(store.value().serialize());
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_TRUE(restored.value().find("conv")->bias.empty());
+  EXPECT_TRUE(restored.value().validate_against(net).is_ok());
+}
+
+}  // namespace
+}  // namespace condor::nn

@@ -1,0 +1,13 @@
+// The `condor` command-line tool (see src/cli/cli.hpp for the commands).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "common/logging.hpp"
+
+int main(int argc, char** argv) {
+  condor::log::set_level(condor::log::Level::kInfo);
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return condor::cli::run_cli(args, std::cout, std::cerr);
+}
