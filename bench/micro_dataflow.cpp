@@ -7,7 +7,9 @@
 // simulator in the table/figure benches).
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "common/logging.hpp"
 #include "dataflow/executor.hpp"
@@ -63,6 +65,37 @@ void BM_FifoProducerConsumer(benchmark::State& state) {
 }
 BENCHMARK(BM_FifoProducerConsumer)->Arg(16)->Arg(1024);
 
+/// Burst transfers across the same two-thread handoff: rows move per FIFO
+/// call, so the synchronization cost amortizes over the burst length.
+void BM_FifoBurstProducerConsumer(benchmark::State& state) {
+  constexpr std::size_t kCount = 100'000;
+  constexpr std::size_t kBurst = 128;
+  std::vector<float> out(kBurst);
+  for (auto _ : state) {
+    dataflow::Stream fifo(static_cast<std::size_t>(state.range(0)));
+    std::thread producer([&] {
+      std::vector<float> burst(kBurst);
+      for (std::size_t sent = 0; sent < kCount; sent += kBurst) {
+        const std::size_t n = std::min(kBurst, kCount - sent);
+        burst.assign(n, static_cast<float>(sent));
+        fifo.write_burst(std::span<const float>(burst.data(), n));
+      }
+      fifo.close();
+    });
+    std::size_t received = 0;
+    std::size_t got = 0;
+    while ((got = fifo.read_burst(std::span<float>(out))) != 0) {
+      received += got;
+    }
+    producer.join();
+    if (received != kCount) {
+      state.SkipWithError("lost elements");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+BENCHMARK(BM_FifoBurstProducerConsumer)->Arg(16)->Arg(1024);
+
 /// One image through the full KPN accelerator (thread-per-module).
 void BM_AcceleratorFunctional(benchmark::State& state, const nn::Network& model) {
   auto weights = nn::initialize_weights(model, 1).value();
@@ -97,6 +130,44 @@ void BM_AcceleratorFunctional_LeNet(benchmark::State& state) {
 }
 BENCHMARK(BM_AcceleratorFunctional_TC1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AcceleratorFunctional_LeNet)->Unit(benchmark::kMillisecond);
+
+/// Steady-state serving: repeated batches through ONE executor, so the
+/// compiled design, stream topology and worker pool are reused and only
+/// data moves per iteration (the paper's deployment scenario — a resident
+/// accelerator fed batch after batch).
+void BM_AcceleratorRepeatedBatch(benchmark::State& state) {
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 1).value();
+  auto plan =
+      hw::plan_accelerator(hw::with_default_annotations(model)).value();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan, std::move(weights)).value();
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  std::vector<Tensor> batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  // Warm-up: the first call compiles the design.
+  if (!executor.run_batch(batch).is_ok()) {
+    state.SkipWithError("warm-up failed");
+  }
+  for (auto _ : state) {
+    auto outputs = executor.run_batch(batch);
+    if (!outputs.is_ok()) {
+      state.SkipWithError("run failed");
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch_size));
+}
+BENCHMARK(BM_AcceleratorRepeatedBatch)->Arg(16)->Unit(benchmark::kMillisecond);
 
 /// The golden reference, for an apples-to-apples host-cost comparison.
 void BM_Reference(benchmark::State& state, const nn::Network& model) {

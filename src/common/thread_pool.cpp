@@ -28,6 +28,14 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::ensure_workers(std::size_t workers) {
+  // Callers grow the pool between runs, never concurrently with submit()
+  // from other threads, so touching threads_ here is safe.
+  while (threads_.size() < workers) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

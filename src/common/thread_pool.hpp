@@ -26,6 +26,11 @@ class ThreadPool {
   /// Enqueues a task; wake exactly one worker.
   void submit(std::function<void()> task);
 
+  /// Grows the pool to at least `workers` threads (never shrinks). Used by
+  /// callers whose tasks block on each other (e.g. the dataflow graph's
+  /// KPN modules) and therefore need guaranteed concurrent occupancy.
+  void ensure_workers(std::size_t workers);
+
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 

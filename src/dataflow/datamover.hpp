@@ -4,6 +4,10 @@
 // on-board memory into the first PE, and the output half collects result
 // blobs. Weight streaming is implicit: PE programs hold references into the
 // WeightStore, which stands in for the weight regions of on-board memory.
+//
+// All three movers transfer whole blobs per FIFO call (write_burst /
+// read_burst): the datamover models a DMA engine, and blob-granular bursts
+// are what keep the host-side simulation off the park/wake slow path.
 #pragma once
 
 #include <vector>
@@ -18,13 +22,16 @@ namespace condor::dataflow {
 /// Streams each input tensor's elements in CHW raster order.
 class InputMoverModule final : public Module {
  public:
-  InputMoverModule(std::string name, const std::vector<Tensor>& inputs, Stream& out)
-      : Module(std::move(name)), inputs_(inputs), out_(out) {}
+  InputMoverModule(std::string name, Stream& out)
+      : Module(std::move(name)), out_(out) {}
 
-  Status run() override {
-    for (const Tensor& image : inputs_) {
-      for (const float value : image.data()) {
-        out_.write(value);
+  Status run(const RunContext& ctx) override {
+    if (ctx.inputs == nullptr) {
+      return internal_error("input mover: run context carries no inputs");
+    }
+    for (const Tensor& image : *ctx.inputs) {
+      if (!out_.write_burst(image.data())) {
+        return internal_error("input mover: output stream closed early");
       }
     }
     out_.close();
@@ -32,31 +39,33 @@ class InputMoverModule final : public Module {
   }
 
  private:
-  const std::vector<Tensor>& inputs_;
   Stream& out_;
 };
 
 /// Streams a PE's weights from (simulated) on-board memory, in canonical
 /// order: per weighted pass, the weight tensor row-major, then the bias.
-/// `repeats` = batch size for feature PEs (slices re-fetched per image) or
-/// 1 for classifier PEs (runtime configuration load, then chip-resident).
+/// Feature PEs re-fetch their slices per image (`per_image`); classifier
+/// PEs receive one runtime configuration load per run, then the weights
+/// stay chip-resident.
 class WeightMoverModule final : public Module {
  public:
-  WeightMoverModule(std::string name, const PeProgram& program,
-                    std::size_t repeats, Stream& out)
-      : Module(std::move(name)), program_(program), repeats_(repeats), out_(out) {}
+  WeightMoverModule(std::string name, const PeProgram& program, bool per_image,
+                    Stream& out)
+      : Module(std::move(name)),
+        program_(program),
+        per_image_(per_image),
+        out_(out) {}
 
-  Status run() override {
-    for (std::size_t r = 0; r < repeats_; ++r) {
+  Status run(const RunContext& ctx) override {
+    const std::size_t repeats = per_image_ ? ctx.batch : 1;
+    for (std::size_t r = 0; r < repeats; ++r) {
       for (const LayerPass& pass : program_.passes) {
         if (pass.params == nullptr) {
           continue;
         }
-        for (const float value : pass.params->weights.data()) {
-          out_.write(value);
-        }
-        for (const float value : pass.params->bias.data()) {
-          out_.write(value);
+        if (!out_.write_burst(pass.params->weights.data()) ||
+            !out_.write_burst(pass.params->bias.data())) {
+          return internal_error("weight mover: output stream closed early");
         }
       }
     }
@@ -66,28 +75,26 @@ class WeightMoverModule final : public Module {
 
  private:
   const PeProgram& program_;
-  std::size_t repeats_;
+  bool per_image_;
   Stream& out_;
 };
 
 /// Collects `batch` output blobs of `output_shape` from the final stream.
 class OutputMoverModule final : public Module {
  public:
-  OutputMoverModule(std::string name, std::size_t batch, Shape output_shape,
-                    Stream& in)
+  OutputMoverModule(std::string name, Shape output_shape, Stream& in)
       : Module(std::move(name)),
-        batch_(batch),
         output_shape_(std::move(output_shape)),
         in_(in) {}
 
-  Status run() override {
-    outputs_.reserve(batch_);
-    for (std::size_t image = 0; image < batch_; ++image) {
+  Status run(const RunContext& ctx) override {
+    outputs_.clear();
+    outputs_.reserve(ctx.batch);
+    for (std::size_t image = 0; image < ctx.batch; ++image) {
       Tensor blob(output_shape_);
-      for (float& value : blob.data()) {
-        if (!in_.read(value)) {
-          return internal_error("output mover: stream ended early");
-        }
+      const std::span<float> data = blob.data();
+      if (in_.read_burst(data) != data.size()) {
+        return internal_error("output mover: stream ended early");
       }
       outputs_.push_back(std::move(blob));
     }
@@ -101,7 +108,6 @@ class OutputMoverModule final : public Module {
   [[nodiscard]] std::vector<Tensor>& outputs() noexcept { return outputs_; }
 
  private:
-  std::size_t batch_;
   Shape output_shape_;
   Stream& in_;
   std::vector<Tensor> outputs_;

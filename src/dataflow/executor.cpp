@@ -3,18 +3,25 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
-#include "dataflow/datamover.hpp"
 #include "dataflow/filter.hpp"
-#include "dataflow/graph.hpp"
 #include "dataflow/pe.hpp"
-#include "dataflow/program.hpp"
 #include "nn/reference.hpp"
 
 namespace condor::dataflow {
 namespace {
 
-/// Capacity of the mux -> first-filter stream and of small glue FIFOs.
+/// Minimum capacity of small glue FIFOs.
 constexpr std::size_t kGlueFifoDepth = 8;
+
+/// Capacity of the datamover weight streams. Weight slices transfer as
+/// bursts, so the depth only bounds the chunk size of each handoff.
+constexpr std::size_t kWeightFifoDepth = 1024;
+
+/// Minimum capacity of the inter-PE blob streams. The hardware plan sizes
+/// these edges for FPGA BRAM; the software KPN widens shallow ones so blob
+/// bursts move in few chunks (KPN results are capacity-independent, and
+/// enlarging a channel can never introduce a deadlock).
+constexpr std::size_t kMinEdgeDepth = 256;
 
 }  // namespace
 
@@ -24,40 +31,28 @@ Result<AcceleratorExecutor> AcceleratorExecutor::create(hw::AcceleratorPlan plan
   return AcceleratorExecutor(std::move(plan), std::move(weights));
 }
 
-Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
-    const std::vector<Tensor>& inputs) {
-  if (inputs.empty()) {
-    return std::vector<Tensor>{};
-  }
-  CONDOR_ASSIGN_OR_RETURN(Shape input_shape, plan_.source.net.input_shape());
-  for (const Tensor& image : inputs) {
-    if (image.shape() != input_shape) {
-      return invalid_input(strings::format(
-          "input shape %s does not match network input %s",
-          image.shape().to_string().c_str(), input_shape.to_string().c_str()));
-    }
-  }
-  const std::size_t batch = inputs.size();
+Status AcceleratorExecutor::build_design() {
+  auto design = std::make_unique<CompiledDesign>();
 
-  // The programs reference the weight store and the plan; both outlive the
-  // graph run below.
-  std::vector<PeProgram> programs;
-  programs.reserve(plan_.pes.size());
+  // The programs reference the weight store and the plan; both live in the
+  // executor and outlive the design. Programs are filled before any module
+  // takes a reference, so the vector's final addresses are stable.
+  design->programs.reserve(plan_.pes.size());
   for (std::size_t p = 0; p < plan_.pes.size(); ++p) {
     CONDOR_ASSIGN_OR_RETURN(PeProgram program,
                             build_pe_program(plan_, p, weights_));
-    programs.push_back(std::move(program));
+    design->programs.push_back(std::move(program));
   }
+  const std::vector<PeProgram>& programs = design->programs;
+  Graph& graph = design->graph;
 
-  Graph graph;
-
-  // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover), using
-  // the depths the plan assigned to the stream edges.
+  // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover).
   std::vector<Stream*> pe_streams;  // pe_streams[p] = input stream of PE p
   pe_streams.reserve(plan_.pes.size() + 1);
   for (std::size_t e = 0; e < plan_.edges.size(); ++e) {
     pe_streams.push_back(&graph.make_stream(
-        plan_.edges[e].fifo_depth, strings::format("stream_edge_%zu", e)));
+        std::max<std::size_t>(plan_.edges[e].fifo_depth, kMinEdgeDepth),
+        strings::format("stream_edge_%zu", e)));
   }
 
   // The output blob shape the sink collects: the last PE's emission.
@@ -73,15 +68,14 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
     // configuration load; feature PEs receive their slices per image.
     Stream* weight_stream = nullptr;
     if (program.weight_stream_elements() > 0) {
-      weight_stream = &graph.make_stream(256, pe.name + "_weights");
-      const std::size_t repeats =
-          pe.kind == hw::PeKind::kClassifier ? 1 : batch;
+      weight_stream = &graph.make_stream(kWeightFifoDepth, pe.name + "_weights");
+      const bool per_image = pe.kind != hw::PeKind::kClassifier;
       graph.add_module<WeightMoverModule>(pe.name + "_weight_mover", program,
-                                          repeats, *weight_stream);
+                                          per_image, *weight_stream);
     }
 
     if (pe.kind == hw::PeKind::kClassifier) {
-      graph.add_module<ClassifierPeModule>(pe.name, program, batch, external_in,
+      graph.add_module<ClassifierPeModule>(pe.name, program, external_in,
                                            weight_stream, pe_out);
       continue;
     }
@@ -92,6 +86,7 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
     const std::size_t window_h = std::max<std::size_t>(memory.window_h, 1);
     const std::size_t window_w = std::max<std::size_t>(memory.window_w, 1);
     const std::size_t lanes = std::max<std::size_t>(pe.parallel_in, 1);
+    const std::size_t map_w = std::max<std::size_t>(memory.map_w, 1);
 
     Stream* loopback = nullptr;
     if (program.passes.size() > 1) {
@@ -99,19 +94,26 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
           std::max<std::size_t>(program.max_loopback_elements(), 1),
           pe.name + "_loopback");
     }
+    // Two rows of skid on the chain entrance and the PE ports: the mux and
+    // the filters move whole rows per burst, so one row of slack per side
+    // keeps producer and consumer off each other's park path.
+    const std::size_t row_buffer_depth =
+        std::max<std::size_t>(2 * map_w + 4, kGlueFifoDepth);
     std::vector<Stream*> chain_heads;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       chain_heads.push_back(&graph.make_stream(
-          kGlueFifoDepth,
+          row_buffer_depth,
           strings::format("%s_chain_in_l%zu", pe.name.c_str(), lane)));
     }
-    graph.add_module<SourceMuxModule>(pe.name + "_mux", program, batch,
-                                      external_in, loopback, chain_heads);
+    graph.add_module<SourceMuxModule>(pe.name + "_mux", program, external_in,
+                                      loopback, chain_heads);
 
     // Filter chains in lexicographically inverse access order; each
-    // filter's PE-port stream holds one output row of skid (decouples the
-    // software thread schedule; in hardware these are direct wires).
-    const std::size_t port_depth = std::max<std::size_t>(memory.map_w, 4);
+    // filter's PE-port stream holds two output rows of skid (decouples the
+    // software thread schedule; in hardware these are direct wires), and
+    // the inter-filter FIFOs hold at least one full row so a filter can
+    // always forward the row it just consumed.
+    const std::size_t port_depth = row_buffer_depth;
     std::vector<Stream*> ports(lanes * window_h * window_w, nullptr);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       Stream* upstream = chain_heads[lane];
@@ -121,7 +123,7 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
         Stream* downstream = nullptr;
         if (!last) {
           downstream = &graph.make_stream(
-              node.fifo_to_next_depth,
+              std::max<std::size_t>(node.fifo_to_next_depth, map_w + 4),
               strings::format("%s_chain_l%zu_%zu", pe.name.c_str(), lane, f));
         }
         Stream& port = graph.make_stream(
@@ -133,37 +135,72 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
         graph.add_module<FilterModule>(
             strings::format("%s_filter_l%zu_%zu_%zu", pe.name.c_str(), lane,
                             node.access.ky, node.access.kx),
-            node.access, program, batch, lane, lanes, *upstream, downstream,
-            port);
+            node.access, program, lane, lanes, *upstream, downstream, port);
         upstream = downstream;
       }
     }
 
-    graph.add_module<FeaturePeModule>(pe.name, program, batch, window_h,
-                                      window_w, lanes, std::move(ports),
-                                      weight_stream, loopback, pe_out);
+    graph.add_module<FeaturePeModule>(pe.name, program, window_h, window_w,
+                                      lanes, std::move(ports), weight_stream,
+                                      loopback, pe_out);
   }
 
   // Datamover halves.
   CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_.source.net.infer_shapes());
-  Shape output_shape{out_elements};
+  design->output_shape = Shape{out_elements};
   // Recover the true blob shape of the last mapped layer for nicer output.
   const std::size_t last_layer = plan_.pes.back().layer_indices.back();
   if (shapes[last_layer].output.element_count() == out_elements) {
-    output_shape = shapes[last_layer].output;
+    design->output_shape = shapes[last_layer].output;
   }
-  graph.add_module<InputMoverModule>("datamover_in", inputs, *pe_streams.front());
-  auto& sink = graph.add_module<OutputMoverModule>("datamover_out", batch,
-                                                   output_shape,
-                                                   *pe_streams.back());
+  graph.add_module<InputMoverModule>("datamover_in", *pe_streams.front());
+  design->sink = &graph.add_module<OutputMoverModule>(
+      "datamover_out", design->output_shape, *pe_streams.back());
 
-  CONDOR_RETURN_IF_ERROR(graph.run());
+  design_ = std::move(design);
+  return Status::ok();
+}
 
-  stats_.modules = graph.module_count();
-  stats_.streams = graph.stream_count();
-  stats_.stream_stats = graph.stream_stats();
+Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
+    const std::vector<Tensor>& inputs) {
+  if (inputs.empty()) {
+    return std::vector<Tensor>{};
+  }
+  CONDOR_ASSIGN_OR_RETURN(Shape input_shape, plan_.source.net.input_shape());
+  for (const Tensor& image : inputs) {
+    if (image.shape() != input_shape) {
+      return invalid_input(strings::format(
+          "input shape %s does not match network input %s",
+          image.shape().to_string().c_str(), input_shape.to_string().c_str()));
+    }
+  }
 
-  std::vector<Tensor> outputs = std::move(sink.outputs());
+  if (design_ == nullptr) {
+    CONDOR_RETURN_IF_ERROR(build_design());
+  } else {
+    design_->graph.reopen_streams();
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(1);
+  }
+
+  RunContext ctx;
+  ctx.batch = inputs.size();
+  ctx.inputs = &inputs;
+  const Status run_status = design_->graph.run(ctx, pool_.get());
+
+  stats_.modules = design_->graph.module_count();
+  stats_.streams = design_->graph.stream_count();
+  stats_.stream_stats = design_->graph.stream_stats();
+
+  if (!run_status.is_ok()) {
+    // A failed run leaves streams partially drained; drop the instance so
+    // the next call re-compiles from the (immutable) plan.
+    design_.reset();
+    return run_status;
+  }
+
+  std::vector<Tensor> outputs = std::move(design_->sink->outputs());
   if (plan_.softmax_on_host) {
     // The generated host code applies the normalization layer (paper eq. 5).
     for (Tensor& blob : outputs) {

@@ -1,10 +1,16 @@
 // AcceleratorExecutor: functional execution of an accelerator plan.
 //
-// For each batch it instantiates the full spatial design as a Kahn process
-// network — datamover, per-PE source mux + filter chain + FIFOs + PE, the
-// inter-PE streams — runs it with one thread per module, and returns the
-// output blobs. Host-side softmax (when the plan defers it) is applied to
-// the collected outputs, matching the generated host code of the real flow.
+// The first run_batch compiles the plan once into a CompiledDesign — the PE
+// programs, the full spatial Kahn process network (datamover, per-PE source
+// mux + filter chain + FIFOs + PE, the inter-PE streams) — and later
+// batches reuse it: streams are re-armed (Fifo::reopen) and the same graph
+// runs again on a persistent worker pool instead of re-wiring the design
+// and spawning one OS thread per module per batch. The design is
+// batch-size independent (the batch arrives through the RunContext), so a
+// single compiled instance serves any input count.
+//
+// Host-side softmax (when the plan defers it) is applied to the collected
+// outputs, matching the generated host code of the real flow.
 //
 // The execution is bit-exact against nn::ReferenceEngine: identical
 // accumulation orders and activation functions. That equivalence is the
@@ -15,7 +21,11 @@
 #include <memory>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "dataflow/datamover.hpp"
 #include "dataflow/fifo.hpp"
+#include "dataflow/graph.hpp"
+#include "dataflow/program.hpp"
 #include "hw/accel_plan.hpp"
 #include "nn/weights.hpp"
 #include "tensor/tensor.hpp"
@@ -37,7 +47,8 @@ class AcceleratorExecutor {
                                             nn::WeightStore weights);
 
   /// Runs a batch through the spatial pipeline; inputs must match the
-  /// network input shape. Returns one output blob per input.
+  /// network input shape. Returns one output blob per input. The compiled
+  /// design persists across calls; only the streamed data changes.
   Result<std::vector<Tensor>> run_batch(const std::vector<Tensor>& inputs);
 
   /// Statistics of the most recent run_batch call.
@@ -46,11 +57,26 @@ class AcceleratorExecutor {
   [[nodiscard]] const hw::AcceleratorPlan& plan() const noexcept { return plan_; }
 
  private:
+  /// One compiled accelerator instance. Heap-held so the modules' references
+  /// into `programs` and the graph's streams stay stable across moves of
+  /// the executor.
+  struct CompiledDesign {
+    std::vector<PeProgram> programs;
+    Graph graph;
+    OutputMoverModule* sink = nullptr;
+    Shape output_shape;
+  };
+
   AcceleratorExecutor(hw::AcceleratorPlan plan, nn::WeightStore weights)
       : plan_(std::move(plan)), weights_(std::move(weights)) {}
 
+  /// Builds programs + graph + modules into design_ (no data movement).
+  Status build_design();
+
   hw::AcceleratorPlan plan_;
   nn::WeightStore weights_;
+  std::unique_ptr<CompiledDesign> design_;
+  std::unique_ptr<ThreadPool> pool_;
   RunStats stats_;
 };
 

@@ -6,17 +6,54 @@
 // termination: writes block while full, reads block while empty, and
 // close() lets readers drain remaining elements before read() reports
 // end-of-stream. Occupancy statistics feed the FIFO-sizing ablation bench.
+//
+// Implementation: a cache-line-padded single-producer/single-consumer ring
+// buffer. The hot path is lock-free — monotonic head/tail counters with
+// acquire/release ordering, peer-position caching so the common case touches
+// only the producer's (or consumer's) own cache line. A blocked side first
+// spins (skipped on single-core hosts, where the peer cannot run anyway),
+// then yields, then parks on a condition variable. Parking is guarded by
+// waiter counters with seq_cst fences on both sides of the Dekker-style
+// handshake, plus a timed re-check as a liveness backstop.
+//
+// Exactly one producer thread and one consumer thread may use a Fifo at a
+// time — which is precisely the dataflow graph's wiring invariant (every
+// stream connects one upstream module to one downstream module).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <new>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
+
+// ThreadSanitizer does not model atomic_thread_fence: the fence-based
+// park/wake handshake would both warn (-Wtsan) and report false races.
+// Under TSan the handshake degrades to unconditional mutex-synchronized
+// notification — semantically a classic monitor, which TSan understands.
+#if defined(__SANITIZE_THREAD__)
+#define CONDOR_FIFO_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CONDOR_FIFO_TSAN 1
+#endif
+#endif
+#ifndef CONDOR_FIFO_TSAN
+#define CONDOR_FIFO_TSAN 0
+#endif
 
 namespace condor::dataflow {
 
-/// Occupancy/throughput counters, sampled under the FIFO lock.
+/// Occupancy/throughput counters, maintained as relaxed atomics by the
+/// owning side of each field (writes by the producer, read blocks by the
+/// consumer) so the lock-free fast path never serializes on a stats lock.
 struct FifoStats {
   std::size_t capacity = 0;
   std::size_t max_occupancy = 0;   ///< high-water mark
@@ -24,6 +61,37 @@ struct FifoStats {
   std::uint64_t write_blocks = 0;  ///< writes that found the FIFO full
   std::uint64_t read_blocks = 0;   ///< reads that found the FIFO empty
 };
+
+namespace detail {
+
+// Fixed rather than std::hardware_destructive_interference_size: the
+// library value varies with tuning flags (and GCC warns on every use);
+// 64 bytes is correct for every target this project builds on.
+inline constexpr std::size_t kCacheLine = 64;
+
+inline void spin_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Spinning only helps when the peer can make progress on another core.
+inline unsigned spin_iterations() noexcept {
+  static const unsigned iters =
+      std::thread::hardware_concurrency() > 1 ? 128U : 0U;
+  return iters;
+}
+
+inline constexpr unsigned kYieldIterations = 64;
+
+/// Park timeout: a pure liveness backstop — wakeups are delivered via the
+/// waiter-counter handshake; the timed re-check bounds the cost of any
+/// missed edge to one re-evaluation instead of a hang.
+inline constexpr std::chrono::milliseconds kParkRecheck{5};
+
+}  // namespace detail
 
 template <typename T>
 class Fifo {
@@ -36,71 +104,319 @@ class Fifo {
   Fifo(const Fifo&) = delete;
   Fifo& operator=(const Fifo&) = delete;
 
-  /// Blocking write; must not be called after close().
-  void write(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (size_ == capacity_) {
-      ++stats_.write_blocks;
-      not_full_.wait(lock, [this] { return size_ < capacity_; });
+  /// Blocking write of one element. Returns false — without writing — if
+  /// the FIFO is (or becomes, while blocked) closed: writing after close()
+  /// is a hard error the caller must surface, not undefined behavior.
+  bool write(T value) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (!await_space(head)) {
+      return false;
     }
-    ring_[(head_ + size_) % capacity_] = std::move(value);
-    ++size_;
-    ++stats_.total_writes;
-    if (size_ > stats_.max_occupancy) {
-      stats_.max_occupancy = size_;
+    ring_[prod_idx_] = std::move(value);
+    advance(prod_idx_);
+    publish_write(head, 1);
+    return true;
+  }
+
+  /// Blocking burst write: moves the whole span into the stream, in order,
+  /// publishing each chunk as space frees up (identical blocking semantics
+  /// to element-wise writes — progress whenever one slot is free).
+  /// Returns false if the FIFO is closed before every element is written.
+  bool write_burst(std::span<const T> items) {
+    while (!items.empty()) {
+      std::uint64_t head = head_.load(std::memory_order_relaxed);
+      if (!await_space(head)) {
+        return false;
+      }
+      const std::size_t space = capacity_ - static_cast<std::size_t>(head - cached_tail_);
+      const std::size_t chunk = std::min(space, items.size());
+      copy_in(items.first(chunk));
+      publish_write(head, chunk);
+      items = items.subspan(chunk);
     }
-    lock.unlock();
-    not_empty_.notify_one();
+    return true;
   }
 
   /// Blocking read. Returns false when the FIFO is closed and drained.
   bool read(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (size_ == 0 && !closed_) {
-      ++stats_.read_blocks;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (!await_data(tail)) {
+      return false;
     }
-    not_empty_.wait(lock, [this] { return size_ > 0 || closed_; });
-    if (size_ == 0) {
-      return false;  // closed and drained
-    }
-    out = std::move(ring_[head_]);
-    head_ = (head_ + 1) % capacity_;
-    --size_;
-    lock.unlock();
-    not_full_.notify_one();
+    out = std::move(ring_[cons_idx_]);
+    advance(cons_idx_);
+    publish_read(tail, 1);
     return true;
   }
 
-  /// Producer signals end-of-stream; readers drain then see EOS.
+  /// Blocking burst read: fills `out` in stream order, consuming each chunk
+  /// as it arrives. Returns the number of elements read — short only when
+  /// the FIFO was closed and drained before `out` was full.
+  std::size_t read_burst(std::span<T> out) {
+    std::size_t total = 0;
+    while (total < out.size()) {
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      if (!await_data(tail)) {
+        return total;
+      }
+      const std::size_t available = static_cast<std::size_t>(cached_head_ - tail);
+      const std::size_t chunk = std::min(available, out.size() - total);
+      copy_out(out.subspan(total, chunk));
+      publish_read(tail, chunk);
+      total += chunk;
+    }
+    return total;
+  }
+
+  /// Signals end-of-stream; readers drain remaining elements then see EOS.
+  /// Also wakes any writer blocked on a full FIFO (error-path teardown):
+  /// its pending write fails with `false` instead of hanging forever.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      closed_.store(true, std::memory_order_release);
     }
     not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Re-arms a drained FIFO for another run over the same topology (the
+  /// executor reuses its compiled graph across batches). Must only be
+  /// called while no reader or writer is active. Clears EOS and statistics.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    closed_.store(false, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+    prod_idx_ = 0;
+    cons_idx_ = 0;
+    cached_tail_ = 0;
+    cached_head_ = 0;
+    total_writes_.store(0, std::memory_order_relaxed);
+    write_blocks_.store(0, std::memory_order_relaxed);
+    read_blocks_.store(0, std::memory_order_relaxed);
+    max_occupancy_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] FifoStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    FifoStats out = stats_;
+    FifoStats out;
     out.capacity = capacity_;
+    out.max_occupancy = max_occupancy_.load(std::memory_order_relaxed);
+    out.total_writes = total_writes_.load(std::memory_order_relaxed);
+    out.write_blocks = write_blocks_.load(std::memory_order_relaxed);
+    out.read_blocks = read_blocks_.load(std::memory_order_relaxed);
     return out;
   }
 
  private:
+  void advance(std::size_t& idx) noexcept {
+    if (++idx == capacity_) {
+      idx = 0;
+    }
+  }
+
+  /// Ensures at least one free slot (refreshing the cached tail), blocking
+  /// if necessary. Returns false when the FIFO is closed.
+  bool await_space(std::uint64_t head) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (head - cached_tail_ < capacity_) {
+      return true;
+    }
+    cached_tail_ = tail_.load(std::memory_order_acquire);
+    if (head - cached_tail_ < capacity_) {
+      return true;
+    }
+    write_blocks_.fetch_add(1, std::memory_order_relaxed);
+    const auto have_space = [&]() noexcept {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      return head - cached_tail_ < capacity_;
+    };
+    if (!block_until(have_space, parked_writers_, not_full_,
+                     /*fail_when_closed=*/true)) {
+      return false;  // closed while blocked: the write is a hard error
+    }
+    return true;
+  }
+
+  /// Ensures at least one readable element (refreshing the cached head),
+  /// blocking if necessary. Returns false when closed and drained.
+  bool await_data(std::uint64_t tail) {
+    if (cached_head_ != tail) {
+      return true;
+    }
+    cached_head_ = head_.load(std::memory_order_acquire);
+    if (cached_head_ != tail) {
+      return true;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      // Re-check after the closed flag: a close racing the last writes must
+      // not drop elements published before it.
+      cached_head_ = head_.load(std::memory_order_acquire);
+      return cached_head_ != tail;
+    }
+    read_blocks_.fetch_add(1, std::memory_order_relaxed);
+    const auto have_data = [&]() noexcept {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      return cached_head_ != tail;
+    };
+    block_until(have_data, parked_readers_, not_empty_,
+                /*fail_when_closed=*/false);
+    return cached_head_ != tail;  // false: closed and drained
+  }
+
+  /// Spin → yield → park until `ready()` holds or the FIFO is closed.
+  /// On close, a writer (`fail_when_closed`) always fails — even if space
+  /// freed up concurrently — while a reader drains whatever is published.
+  template <typename Ready>
+  bool block_until(const Ready& ready, std::atomic<int>& parked,
+                   std::condition_variable& cv, bool fail_when_closed) {
+    const auto on_close = [&] { return fail_when_closed ? false : ready(); };
+    for (unsigned i = detail::spin_iterations(); i != 0; --i) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return on_close();
+      }
+      if (ready()) {
+        return true;
+      }
+      detail::spin_pause();
+    }
+    for (unsigned i = 0; i < detail::kYieldIterations; ++i) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return on_close();
+      }
+      if (ready()) {
+        return true;
+      }
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    parked.fetch_add(1, std::memory_order_seq_cst);
+#if !CONDOR_FIFO_TSAN
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+    bool ok = false;
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) {
+        ok = on_close();
+        break;
+      }
+      if (ready()) {
+        ok = true;
+        break;
+      }
+      cv.wait_for(lock, detail::kParkRecheck);
+    }
+    parked.fetch_sub(1, std::memory_order_relaxed);
+    return ok;
+  }
+
+  /// Publishes `count` freshly written elements and wakes a parked reader
+  /// if there may be one. A reader can only park after observing a truly
+  /// empty FIFO (its parking fence orders the waiter counter before the
+  /// predicate re-load), so the wake handshake — seq_cst fence pairing with
+  /// the parking side's fence, then the waiter-counter check — only needs
+  /// to run on the empty -> non-empty transition; steady-state writes skip
+  /// it. The timed park re-check bounds any theoretically missed edge.
+  void publish_write(std::uint64_t head, std::size_t count) {
+    const std::uint64_t tail_now = tail_.load(std::memory_order_relaxed);
+    head_.store(head + count, std::memory_order_release);
+    total_writes_.fetch_add(count, std::memory_order_relaxed);
+    const std::uint64_t occupancy = head + count - tail_now;
+    if (occupancy > max_occupancy_.load(std::memory_order_relaxed)) {
+      max_occupancy_.store(occupancy, std::memory_order_relaxed);
+    }
+    if (head == tail_now) {
+      maybe_wake(parked_readers_, not_empty_);
+    }
+  }
+
+  /// Publishes `count` freshly consumed slots; the full -> non-full
+  /// transition mirrors the write side's wake handshake.
+  void publish_read(std::uint64_t tail, std::size_t count) {
+    const std::uint64_t head_now = head_.load(std::memory_order_relaxed);
+    tail_.store(tail + count, std::memory_order_release);
+    if (head_now - tail == capacity_) {
+      maybe_wake(parked_writers_, not_full_);
+    }
+  }
+
+  /// The waker half of the park handshake: the seq_cst fence pairs with the
+  /// parking side's fence, so either this load observes the waiter counter
+  /// or the waiter's predicate re-check observes the published position.
+  void maybe_wake(std::atomic<int>& parked, std::condition_variable& cv) {
+#if CONDOR_FIFO_TSAN
+    (void)parked;
+    wake(cv);
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked.load(std::memory_order_relaxed) != 0) {
+      wake(cv);
+    }
+#endif
+  }
+
+  void wake(std::condition_variable& cv) {
+    // Taking the park mutex closes the window between a waiter's failed
+    // predicate check and its wait(); notify outside the critical section.
+    { std::lock_guard<std::mutex> lock(park_mutex_); }
+    cv.notify_all();
+  }
+
+  /// Copies `items` into the ring starting at prod_idx_ (≤ 2 segments).
+  void copy_in(std::span<const T> items) {
+    const std::size_t first = std::min(items.size(), capacity_ - prod_idx_);
+    std::copy_n(items.data(), first, ring_.data() + prod_idx_);
+    std::copy_n(items.data() + first, items.size() - first, ring_.data());
+    prod_idx_ += items.size();
+    if (prod_idx_ >= capacity_) {
+      prod_idx_ -= capacity_;
+    }
+  }
+
+  /// Copies out of the ring starting at cons_idx_ (≤ 2 segments).
+  void copy_out(std::span<T> out) {
+    const std::size_t first = std::min(out.size(), capacity_ - cons_idx_);
+    std::copy_n(ring_.data() + cons_idx_, first, out.data());
+    std::copy_n(ring_.data(), out.size() - first, out.data() + first);
+    cons_idx_ += out.size();
+    if (cons_idx_ >= capacity_) {
+      cons_idx_ -= capacity_;
+    }
+  }
+
   const std::size_t capacity_;
   const std::string name_;
-  mutable std::mutex mutex_;
+  std::vector<T> ring_;
+
+  // Producer-owned line: position, cached peer position, producer stats.
+  alignas(detail::kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::size_t prod_idx_ = 0;
+  std::uint64_t cached_tail_ = 0;
+  std::atomic<std::uint64_t> total_writes_{0};
+  std::atomic<std::uint64_t> write_blocks_{0};
+  std::atomic<std::uint64_t> max_occupancy_{0};
+
+  // Consumer-owned line.
+  alignas(detail::kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::size_t cons_idx_ = 0;
+  std::uint64_t cached_head_ = 0;
+  std::atomic<std::uint64_t> read_blocks_{0};
+
+  // Shared cold state: EOS flag and the park/wake machinery.
+  alignas(detail::kCacheLine) std::atomic<bool> closed_{false};
+  std::atomic<int> parked_writers_{0};
+  std::atomic<int> parked_readers_{0};
+  std::mutex park_mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::vector<T> ring_;
-  std::size_t head_ = 0;
-  std::size_t size_ = 0;
-  bool closed_ = false;
-  FifoStats stats_;
 };
 
 /// All accelerator streams carry single-precision floats.

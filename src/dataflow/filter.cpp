@@ -15,8 +15,11 @@ bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pa
   return ry / pass.stride < pass.out_h && rx / pass.stride < pass.out_w;
 }
 
-Status FilterModule::run() {
-  for (std::size_t image = 0; image < batch_; ++image) {
+Status FilterModule::run(const RunContext& ctx) {
+  std::vector<float> row;
+  std::vector<float> matched;
+  std::vector<std::size_t> match_cols;
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (const LayerPass& pass : program_.passes) {
       if (pass.kind == PassKind::kInnerProduct) {
         continue;  // classifier passes bypass the memory subsystem
@@ -25,20 +28,42 @@ Status FilterModule::run() {
       // point is outside the active window, so the filter only forwards.
       const bool active =
           access_.ky < pass.window_h && access_.kx < pass.window_w;
+      // The column part of the domain inequalities is row-invariant:
+      // precompute the matching x positions once per pass.
+      match_cols.clear();
+      if (active) {
+        for (std::size_t x = access_.kx; x < pass.in_w; ++x) {
+          const std::size_t rx = x - access_.kx;
+          if (rx % pass.stride == 0 && rx / pass.stride < pass.out_w) {
+            match_cols.push_back(x);
+          }
+        }
+      }
+      row.resize(pass.in_w);
+      matched.reserve(match_cols.size());
       for (std::size_t c = lane_; c < pass.in_channels; c += lane_count_) {
         for (std::size_t y = 0; y < pass.in_h; ++y) {
-          for (std::size_t x = 0; x < pass.in_w; ++x) {
-            float value = 0.0F;
-            if (!upstream_.read(value)) {
+          if (upstream_.read_burst(row) != row.size()) {
+            return internal_error("filter '" + name() +
+                                  "': upstream ended mid-pass");
+          }
+          const bool row_matches =
+              active && y >= access_.ky &&
+              (y - access_.ky) % pass.stride == 0 &&
+              (y - access_.ky) / pass.stride < pass.out_h;
+          if (row_matches && !match_cols.empty()) {
+            matched.clear();
+            for (const std::size_t x : match_cols) {
+              matched.push_back(row[x]);
+            }
+            if (!to_pe_.write_burst(matched)) {
               return internal_error("filter '" + name() +
-                                    "': upstream ended mid-pass");
+                                    "': PE port closed mid-pass");
             }
-            if (active && in_domain(access_, pass, y, x)) {
-              to_pe_.write(value);
-            }
-            if (downstream_ != nullptr) {
-              downstream_->write(value);
-            }
+          }
+          if (downstream_ != nullptr && !downstream_->write_burst(row)) {
+            return internal_error("filter '" + name() +
+                                  "': downstream closed mid-pass");
           }
         }
       }
@@ -51,8 +76,9 @@ Status FilterModule::run() {
   return Status::ok();
 }
 
-Status SourceMuxModule::run() {
-  for (std::size_t image = 0; image < batch_; ++image) {
+Status SourceMuxModule::run(const RunContext& ctx) {
+  std::vector<float> row;
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       if (pass.kind == PassKind::kInnerProduct) {
@@ -64,21 +90,27 @@ Status SourceMuxModule::run() {
       }
       const std::size_t inner_h = pass.in_h - 2 * pass.pad;
       const std::size_t inner_w = pass.in_w - 2 * pass.pad;
+      row.assign(pass.in_w, 0.0F);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream& out = *outs_[c % outs_.size()];
         for (std::size_t y = 0; y < pass.in_h; ++y) {
-          for (std::size_t x = 0; x < pass.in_w; ++x) {
-            const bool border = y < pass.pad || x < pass.pad ||
-                                y >= pass.pad + inner_h || x >= pass.pad + inner_w;
-            if (border) {
-              out.write(0.0F);  // zero padding inserted at the chain entrance
-              continue;
-            }
-            float value = 0.0F;
-            if (!source->read(value)) {
+          const bool border_row = y < pass.pad || y >= pass.pad + inner_h;
+          if (border_row) {
+            std::fill(row.begin(), row.end(), 0.0F);
+          } else {
+            // Zero padding is inserted at the chain entrance: the row is
+            // border zeros around a burst-read interior segment.
+            std::fill_n(row.begin(), pass.pad, 0.0F);
+            std::fill(row.begin() + static_cast<std::ptrdiff_t>(pass.pad + inner_w),
+                      row.end(), 0.0F);
+            const std::span<float> interior =
+                std::span<float>(row).subspan(pass.pad, inner_w);
+            if (source->read_burst(interior) != interior.size()) {
               return internal_error("mux '" + name() + "': source ended mid-pass");
             }
-            out.write(value);
+          }
+          if (!out.write_burst(row)) {
+            return internal_error("mux '" + name() + "': chain closed mid-pass");
           }
         }
       }

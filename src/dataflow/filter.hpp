@@ -17,6 +17,13 @@
 // matching elements leave toward the PE in output raster order, which is
 // exactly the order the PE consumes them.
 //
+// The software implementation streams one input-map row per FIFO call: the
+// row is burst-read from upstream, the domain-matching columns (decided by
+// a per-pass precomputed column pattern + the row inequality) are burst to
+// the PE port, and the full row is burst onward to the next filter. The
+// element order on every stream is identical to the element-at-a-time
+// schedule — only the transfer granularity changes.
+//
 // Conditionals for fused layers (paper: "a set of conditionals within the
 // filters then ensures that the pipeline works properly ... according to
 // the currently active layer"): when the active pass's window is smaller
@@ -24,10 +31,10 @@
 // the stream but contributes no window elements.
 #pragma once
 
-#include "dataflow/fifo.hpp"
-#include "dataflow/module.hpp"
 #include <vector>
 
+#include "dataflow/fifo.hpp"
+#include "dataflow/module.hpp"
 #include "dataflow/program.hpp"
 
 namespace condor::dataflow {
@@ -36,24 +43,24 @@ class FilterModule final : public Module {
  public:
   /// `downstream` is null for the last filter of the chain (its elements
   /// are the oldest live data and simply expire). `to_pe` carries matched
-  /// window elements. `program`/`batch` define the deterministic schedule.
-  /// With inter-layer parallelism the memory subsystem is replicated per
-  /// concurrently-read map: this chain is `lane` of `lane_count`, and sees
-  /// the input channels c with c % lane_count == lane.
+  /// window elements. `program` defines the deterministic schedule (the
+  /// batch arrives per run). With inter-layer parallelism the memory
+  /// subsystem is replicated per concurrently-read map: this chain is
+  /// `lane` of `lane_count`, and sees the input channels c with
+  /// c % lane_count == lane.
   FilterModule(std::string name, hw::WindowAccess access, const PeProgram& program,
-               std::size_t batch, std::size_t lane, std::size_t lane_count,
-               Stream& upstream, Stream* downstream, Stream& to_pe)
+               std::size_t lane, std::size_t lane_count, Stream& upstream,
+               Stream* downstream, Stream& to_pe)
       : Module(std::move(name)),
         access_(access),
         program_(program),
-        batch_(batch),
         lane_(lane),
         lane_count_(lane_count),
         upstream_(upstream),
         downstream_(downstream),
         to_pe_(to_pe) {}
 
-  Status run() override;
+  Status run(const RunContext& ctx) override;
 
   /// Domain-membership test for one coordinate (exposed for unit tests).
   static bool in_domain(const hw::WindowAccess& access, const LayerPass& pass,
@@ -62,7 +69,6 @@ class FilterModule final : public Module {
  private:
   hw::WindowAccess access_;
   const PeProgram& program_;
-  std::size_t batch_;
   std::size_t lane_;
   std::size_t lane_count_;
   Stream& upstream_;
@@ -77,24 +83,23 @@ class FilterModule final : public Module {
 // convolutions (border handling happens at the chain entrance so filters
 // operate on padded coordinates only), and deals input channel c to chain
 // lane c % lanes (the replicated memory subsystems of inter-layer
-// parallelism).
+// parallelism). Rows are assembled in a local buffer (border zeros + a
+// burst read of the interior) and burst to the lane stream whole.
 class SourceMuxModule final : public Module {
  public:
   /// `loopback` may be null when the program has a single pass.
-  SourceMuxModule(std::string name, const PeProgram& program, std::size_t batch,
-                  Stream& external, Stream* loopback, std::vector<Stream*> outs)
+  SourceMuxModule(std::string name, const PeProgram& program, Stream& external,
+                  Stream* loopback, std::vector<Stream*> outs)
       : Module(std::move(name)),
         program_(program),
-        batch_(batch),
         external_(external),
         loopback_(loopback),
         outs_(std::move(outs)) {}
 
-  Status run() override;
+  Status run(const RunContext& ctx) override;
 
  private:
   const PeProgram& program_;
-  std::size_t batch_;
   Stream& external_;
   Stream* loopback_;
   std::vector<Stream*> outs_;

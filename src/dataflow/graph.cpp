@@ -11,20 +11,29 @@ Stream& Graph::make_stream(std::size_t capacity, std::string name) {
   return *streams_.back();
 }
 
-Status Graph::run() {
+Status Graph::run(const RunContext& ctx, ThreadPool* pool) {
   std::vector<Status> statuses(modules_.size());
-  {
+  const auto body = [this, &ctx, &statuses](std::size_t i) {
+    statuses[i] = modules_[i]->run(ctx);
+    if (!statuses[i].is_ok()) {
+      CONDOR_LOG_ERROR("dataflow")
+          << "module '" << modules_[i]->name()
+          << "' failed: " << statuses[i].to_string();
+    }
+  };
+  if (pool != nullptr) {
+    // Every module must be schedulable at once: a smaller pool would wedge
+    // with runnable-but-unscheduled producers behind blocked consumers.
+    pool->ensure_workers(modules_.size());
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      pool->submit([&body, i] { body(i); });
+    }
+    pool->wait_idle();
+  } else {
     std::vector<std::thread> threads;
     threads.reserve(modules_.size());
     for (std::size_t i = 0; i < modules_.size(); ++i) {
-      threads.emplace_back([this, i, &statuses] {
-        statuses[i] = modules_[i]->run();
-        if (!statuses[i].is_ok()) {
-          CONDOR_LOG_ERROR("dataflow")
-              << "module '" << modules_[i]->name()
-              << "' failed: " << statuses[i].to_string();
-        }
-      });
+      threads.emplace_back([&body, i] { body(i); });
     }
     for (std::thread& thread : threads) {
       thread.join();
@@ -36,6 +45,12 @@ Status Graph::run() {
     }
   }
   return Status::ok();
+}
+
+void Graph::reopen_streams() {
+  for (const auto& stream : streams_) {
+    stream->reopen();
+  }
 }
 
 std::vector<FifoStats> Graph::stream_stats() const {

@@ -1,17 +1,25 @@
 // Dataflow graph container and threaded runner.
 //
 // Owns the modules and stream FIFOs of one accelerator instance and
-// executes them Kahn-process-network style: one thread per module, all
-// threads joined before run() returns (no detached work). The first module
-// error is reported; remaining modules are still joined (blocking channels
-// guarantee progress or termination because an erroring module closes its
-// outputs).
+// executes them Kahn-process-network style: one concurrently-running task
+// per module, all joined before run() returns (no detached work). The first
+// module error is reported; remaining modules are still joined (blocking
+// channels guarantee progress or termination because an erroring module
+// closes its outputs).
+//
+// Scheduling: run() can execute on a caller-provided persistent
+// common::ThreadPool (grown to at least module_count() workers, since every
+// module must be live at once for the blocking channels to drain) — the
+// executor reuses one pool across batches instead of spawning
+// modules_.size() OS threads per run. Without a pool, run() falls back to
+// per-run std::threads.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "dataflow/fifo.hpp"
 #include "dataflow/module.hpp"
 
@@ -31,9 +39,15 @@ class Graph {
     return ref;
   }
 
-  /// Runs every module on its own thread and joins them all.
+  /// Runs every module concurrently and joins them all. With `pool`, module
+  /// bodies are submitted to the (grown) persistent pool; otherwise one
+  /// std::thread per module is spawned for this run only.
   /// Returns the first module failure (by module order), or OK.
-  Status run();
+  Status run(const RunContext& ctx = {}, ThreadPool* pool = nullptr);
+
+  /// Re-arms every stream (clears EOS + stats) for another run over the
+  /// same topology. Only valid between runs.
+  void reopen_streams();
 
   [[nodiscard]] std::size_t module_count() const noexcept { return modules_.size(); }
   [[nodiscard]] std::size_t stream_count() const noexcept { return streams_.size(); }

@@ -1,15 +1,27 @@
 // Actor base class for dataflow modules (filters, PEs, datamover halves).
 //
-// Each module runs as one thread (the KPN execution of the spatial design)
-// and communicates exclusively through Fifo channels, mirroring the
-// independent always-running hardware blocks of the accelerator.
+// Each module runs as one worker task (the KPN execution of the spatial
+// design) and communicates exclusively through Fifo channels, mirroring the
+// independent always-running hardware blocks of the accelerator. Per-run
+// parameters (the batch and its input tensors) arrive through RunContext so
+// the same module graph can be re-executed batch after batch without being
+// rebuilt.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/status.hpp"
+#include "tensor/tensor.hpp"
 
 namespace condor::dataflow {
+
+/// Per-run parameters shared by every module of one graph execution.
+struct RunContext {
+  std::size_t batch = 0;                       ///< images in this run
+  const std::vector<Tensor>* inputs = nullptr; ///< batch inputs (datamover)
+};
 
 class Module {
  public:
@@ -20,9 +32,9 @@ class Module {
   Module& operator=(const Module&) = delete;
 
   /// The module body: consume inputs, produce outputs, return when the
-  /// configured workload (batch of images) is complete. An error status
-  /// aborts the whole graph run.
-  virtual Status run() = 0;
+  /// configured workload (the context's batch of images) is complete. An
+  /// error status aborts the whole graph run.
+  virtual Status run(const RunContext& ctx) = 0;
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 

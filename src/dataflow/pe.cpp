@@ -12,20 +12,19 @@ namespace {
 Status read_weights(Stream* stream, std::size_t count, std::vector<float>& buffer,
                     const std::string& pe_name) {
   buffer.resize(count);
-  for (float& value : buffer) {
-    if (stream == nullptr || !stream->read(value)) {
-      return internal_error("PE '" + pe_name + "': weight stream ended early");
-    }
+  if (stream == nullptr ||
+      stream->read_burst(std::span<float>(buffer)) != count) {
+    return internal_error("PE '" + pe_name + "': weight stream ended early");
   }
   return Status::ok();
 }
 
 }  // namespace
 
-Status FeaturePeModule::run() {
+Status FeaturePeModule::run(const RunContext& ctx) {
   std::vector<float> weight_buffer;
   std::vector<float> bias_buffer;
-  for (std::size_t image = 0; image < batch_; ++image) {
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       const bool last = pi + 1 == program_.passes.size();
@@ -54,40 +53,43 @@ Status FeaturePeModule::run() {
   return Status::ok();
 }
 
+Status FeaturePeModule::read_port_rows(
+    const LayerPass& pass, std::size_t lane,
+    std::vector<std::vector<float>>& port_rows) {
+  const std::size_t lane_stride = window_h_max_ * window_w_max_;
+  for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+    for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+      Stream* port = ports_[lane * lane_stride + ky * window_w_max_ + kx];
+      std::vector<float>& row = port_rows[ky * pass.window_w + kx];
+      row.resize(pass.out_w);
+      if (port->read_burst(std::span<float>(row)) != row.size()) {
+        return internal_error("PE '" + name() + "': port stream ended early");
+      }
+    }
+  }
+  return Status::ok();
+}
+
 Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
                                  std::span<const float> weights,
                                  std::span<const float> bias) {
-  // Window staging registers (row-major over the active window). Channel
-  // c's window arrives on chain lane c % lanes.
-  std::vector<float> window(pass.window_h * pass.window_w, 0.0F);
+  // Per-port staging rows: port (ky, kx) delivers the out_w consecutive
+  // window entries of one output row per burst. Channel c's window arrives
+  // on chain lane c % lanes. The accumulation order over the staged values
+  // is identical to the element-at-a-time schedule.
+  std::vector<std::vector<float>> port_rows(pass.window_h * pass.window_w);
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
-
-  const auto read_window = [&](std::size_t lane) -> Status {
-    for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
-      for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
-        Stream* port = ports_[lane * lane_stride + ky * window_w_max_ + kx];
-        float value = 0.0F;
-        if (!port->read(value)) {
-          return internal_error("PE '" + name() + "': port stream ended early");
-        }
-        window[ky * pass.window_w + kx] = value;
-      }
-    }
-    return Status::ok();
-  };
 
   switch (pass.kind) {
     case PassKind::kConvolution: {
       // Weight layout in the stream: row-major (oc, ic, ky, kx), the same
       // order the weight tensor stores.
-      const std::size_t window_size = pass.window_h * pass.window_w;
       const auto weight_at = [&](std::size_t oc, std::size_t ic, std::size_t ky,
                                  std::size_t kx) {
         return weights[((oc * pass.in_channels + ic) * pass.window_h + ky) *
                            pass.window_w +
                        kx];
       };
-      (void)window_size;
 
       // Accumulators for all output maps, seeded with the bias so the
       // overall addition sequence matches the reference engine exactly.
@@ -99,22 +101,28 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
                     map_points, seed);
       }
       for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
-        for (std::size_t point = 0; point < map_points; ++point) {
-          CONDOR_RETURN_IF_ERROR(read_window(ic % lanes_));
-          for (std::size_t oc = 0; oc < pass.out_channels; ++oc) {
-            float partial = acc[oc * map_points + point];
-            for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
-              for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
-                partial +=
-                    weight_at(oc, ic, ky, kx) * window[ky * pass.window_w + kx];
+        for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, ic % lanes_, port_rows));
+          for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
+            const std::size_t point = oy * pass.out_w + ox;
+            for (std::size_t oc = 0; oc < pass.out_channels; ++oc) {
+              float partial = acc[oc * map_points + point];
+              for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+                for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+                  partial += weight_at(oc, ic, ky, kx) *
+                             port_rows[ky * pass.window_w + kx][ox];
+                }
               }
+              acc[oc * map_points + point] = partial;
             }
-            acc[oc * map_points + point] = partial;
           }
         }
       }
-      for (float value : acc) {
-        sink.write(nn::apply_activation(pass.activation, value));
+      for (float& value : acc) {
+        value = nn::apply_activation(pass.activation, value);
+      }
+      if (!sink.write_burst(acc)) {
+        return internal_error("PE '" + name() + "': sink closed mid-pass");
       }
       return Status::ok();
     }
@@ -122,41 +130,51 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
     case PassKind::kPooling: {
       const float window_size =
           static_cast<float>(pass.window_h * pass.window_w);
+      std::vector<float> out_row(pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        for (std::size_t point = 0; point < pass.out_h * pass.out_w; ++point) {
-          CONDOR_RETURN_IF_ERROR(read_window(c % lanes_));
-          float result = pass.pool_method == nn::PoolMethod::kMax
-                             ? -std::numeric_limits<float>::infinity()
-                             : 0.0F;
-          for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
-            for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
-              const float value = window[ky * pass.window_w + kx];
-              if (pass.pool_method == nn::PoolMethod::kMax) {
-                result = std::max(result, value);
-              } else {
-                result += value;
+        for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows));
+          for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
+            float result = pass.pool_method == nn::PoolMethod::kMax
+                               ? -std::numeric_limits<float>::infinity()
+                               : 0.0F;
+            for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+              for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+                const float value = port_rows[ky * pass.window_w + kx][ox];
+                if (pass.pool_method == nn::PoolMethod::kMax) {
+                  result = std::max(result, value);
+                } else {
+                  result += value;
+                }
               }
             }
+            if (pass.pool_method == nn::PoolMethod::kAverage) {
+              result /= window_size;
+            }
+            out_row[ox] = nn::apply_activation(pass.activation, result);
           }
-          if (pass.pool_method == nn::PoolMethod::kAverage) {
-            result /= window_size;
+          if (!sink.write_burst(out_row)) {
+            return internal_error("PE '" + name() + "': sink closed mid-pass");
           }
-          sink.write(nn::apply_activation(pass.activation, result));
         }
       }
       return Status::ok();
     }
 
     case PassKind::kElementwise: {
-      // 1x1 window: only access (0, 0) of the channel's lane.
+      // 1x1 window: only access (0, 0) of the channel's lane. The whole
+      // channel map transfers as one burst.
+      std::vector<float> map(pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream* port = ports_[(c % lanes_) * lane_stride];
-        for (std::size_t i = 0; i < pass.in_h * pass.in_w; ++i) {
-          float value = 0.0F;
-          if (!port->read(value)) {
-            return internal_error("PE '" + name() + "': port stream ended early");
-          }
-          sink.write(nn::apply_activation(pass.activation, value));
+        if (port->read_burst(std::span<float>(map)) != map.size()) {
+          return internal_error("PE '" + name() + "': port stream ended early");
+        }
+        for (float& value : map) {
+          value = nn::apply_activation(pass.activation, value);
+        }
+        if (!sink.write_burst(map)) {
+          return internal_error("PE '" + name() + "': sink closed mid-pass");
         }
       }
       return Status::ok();
@@ -168,9 +186,9 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
   return internal_error("unhandled pass kind");
 }
 
-Status ClassifierPeModule::run() {
+Status ClassifierPeModule::run(const RunContext& ctx) {
   // Runtime configuration load: the datamover delivers every pass's
-  // weights once; they stay resident for the whole batch.
+  // weights once per run; they stay resident for the whole batch.
   std::vector<std::vector<float>> pass_weights(program_.passes.size());
   std::vector<std::vector<float>> pass_bias(program_.passes.size());
   for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
@@ -184,13 +202,11 @@ Status ClassifierPeModule::run() {
         read_weights(weights_, pass.params->bias.size(), pass_bias[pi], name()));
   }
 
-  for (std::size_t image = 0; image < batch_; ++image) {
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
     // Stage the flattened input of the first pass.
     std::vector<float> current(program_.passes.front().input_elements());
-    for (float& value : current) {
-      if (!in_.read(value)) {
-        return internal_error("PE '" + name() + "': input stream ended early");
-      }
+    if (in_.read_burst(std::span<float>(current)) != current.size()) {
+      return internal_error("PE '" + name() + "': input stream ended early");
     }
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
@@ -220,8 +236,8 @@ Status ClassifierPeModule::run() {
           return internal_error("classifier PE got a windowed pass");
       }
     }
-    for (const float value : current) {
-      out_.write(value);
+    if (!out_.write_burst(current)) {
+      return internal_error("PE '" + name() + "': output closed mid-batch");
     }
   }
   out_.close();

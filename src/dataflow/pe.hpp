@@ -6,7 +6,10 @@
 // access port, in output raster order. Convolution accumulates into on-chip
 // output-map accumulators (seeded with the bias) so the input streams
 // through exactly once; accumulation order matches the golden reference
-// bit-for-bit (input channel outer, window row, window column).
+// bit-for-bit (input channel outer, window row, window column). Port data
+// is prefetched one output row at a time (each port delivers out_w
+// consecutive elements per row) so the PE stays off the FIFO slow path;
+// the arithmetic order over the fetched values is unchanged.
 //
 // ClassifierPeModule implements fully-connected layers as single-input/
 // single-output 1x1-convolution PEs (paper §3.3 step 4): no memory
@@ -32,13 +35,12 @@ class FeaturePeModule final : public Module {
   /// weight slices from the datamover; `loopback` (nullable) carries
   /// intermediate fused-pass results back to the source mux; `out` is the
   /// downstream PE stream.
-  FeaturePeModule(std::string name, const PeProgram& program, std::size_t batch,
+  FeaturePeModule(std::string name, const PeProgram& program,
                   std::size_t window_h_max, std::size_t window_w_max,
                   std::size_t lanes, std::vector<Stream*> ports, Stream* weights,
                   Stream* loopback, Stream& out)
       : Module(std::move(name)),
         program_(program),
-        batch_(batch),
         window_h_max_(window_h_max),
         window_w_max_(window_w_max),
         lanes_(lanes),
@@ -47,14 +49,18 @@ class FeaturePeModule final : public Module {
         loopback_(loopback),
         out_(out) {}
 
-  Status run() override;
+  Status run(const RunContext& ctx) override;
 
  private:
   Status run_pass(const LayerPass& pass, Stream& sink,
                   std::span<const float> weights, std::span<const float> bias);
 
+  /// Burst-reads the next out_w elements of every active port of `lane`
+  /// into `port_rows` (indexed ky * window_w + kx, each out_w long).
+  Status read_port_rows(const LayerPass& pass, std::size_t lane,
+                        std::vector<std::vector<float>>& port_rows);
+
   const PeProgram& program_;
-  std::size_t batch_;
   std::size_t window_h_max_;
   std::size_t window_w_max_;
   std::size_t lanes_;
@@ -68,20 +74,18 @@ class ClassifierPeModule final : public Module {
  public:
   /// `weights` delivers the one-time runtime weight load (the classifier's
   /// parameters stay chip-resident across the batch, per the methodology).
-  ClassifierPeModule(std::string name, const PeProgram& program, std::size_t batch,
-                     Stream& in, Stream* weights, Stream& out)
+  ClassifierPeModule(std::string name, const PeProgram& program, Stream& in,
+                     Stream* weights, Stream& out)
       : Module(std::move(name)),
         program_(program),
-        batch_(batch),
         in_(in),
         weights_(weights),
         out_(out) {}
 
-  Status run() override;
+  Status run(const RunContext& ctx) override;
 
  private:
   const PeProgram& program_;
-  std::size_t batch_;
   Stream& in_;
   Stream* weights_;
   Stream& out_;

@@ -68,8 +68,11 @@ Status Network::validate() const {
                                "' has invalid window geometry");
         }
         if (layer.pad != 0) {
-          return unsupported("pooling '" + layer.name +
-                             "' with padding is not supported");
+          // Same rejection (and status code) as nn::forward_pooling: the
+          // zero border is wrong for max pooling, so a padded pooling spec
+          // is an input error, not a backend limitation.
+          return invalid_input("pooling '" + layer.name +
+                               "' with padding is not supported");
         }
         break;
       case LayerKind::kInnerProduct:

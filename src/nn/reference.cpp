@@ -69,6 +69,13 @@ Result<Tensor> forward_pooling(const LayerSpec& layer, const Tensor& input) {
   if (input.shape().rank() != 3) {
     return invalid_input("pooling input must be CHW");
   }
+  if (layer.pad != 0) {
+    // A zero border is not a neutral element for max pooling, so padding
+    // cannot be lowered onto the shared windowed datapath. Reject instead
+    // of silently computing the pad-0 result.
+    return invalid_input("pooling '" + layer.name +
+                         "' with padding is not supported");
+  }
   const std::size_t channels = input.shape()[0];
   const std::size_t in_h = input.shape()[1];
   const std::size_t in_w = input.shape()[2];

@@ -338,6 +338,54 @@ TEST(DataflowExecutor, WeightStreamsCarryExpectedTraffic) {
   EXPECT_GE(weight_streams, 3u);
 }
 
+TEST(DataflowExecutor, RepeatedRunBatchIsBitIdentical) {
+  // The executor compiles its design once and reuses graph + pool across
+  // calls; every subsequent batch must still match the reference exactly
+  // (reopened streams carry no state over, stats are per-run).
+  const nn::Network network = nn::make_tc1();
+  auto weights = nn::initialize_weights(network, 101);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok());
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+
+  const auto inputs = testing::random_inputs(network, 3, 103);
+  auto first = executor.value().run_batch(inputs);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  const dataflow::RunStats first_stats = executor.value().last_run_stats();
+
+  for (int run = 0; run < 3; ++run) {
+    auto again = executor.value().run_batch(inputs);
+    ASSERT_TRUE(again.is_ok()) << "run " << run << ": "
+                               << again.status().to_string();
+    ASSERT_EQ(again.value().size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(max_abs_diff(again.value()[i], first.value()[i]), 0.0F)
+          << "run " << run << " image " << i << " differs from the first run";
+    }
+    // Per-run stream stats: identical traffic every batch.
+    const dataflow::RunStats stats = executor.value().last_run_stats();
+    ASSERT_EQ(stats.stream_stats.size(), first_stats.stream_stats.size());
+    for (std::size_t s = 0; s < stats.stream_stats.size(); ++s) {
+      EXPECT_EQ(stats.stream_stats[s].total_writes,
+                first_stats.stream_stats[s].total_writes);
+    }
+  }
+  // A different batch through the same compiled design also stays exact.
+  const auto other = testing::random_inputs(network, 5, 107);
+  auto outputs = executor.value().run_batch(other);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(outputs.value()[i],
+                           engine.value().forward(other[i]).value()),
+              0.0F);
+  }
+}
+
 TEST(DataflowExecutor, EmptyBatchIsOk) {
   const nn::Network network = testing::make_tiny_net(TinyNetConfig{});
   auto weights = nn::initialize_weights(network, 61);
