@@ -15,6 +15,7 @@
 #include "dataflow/executor.hpp"
 #include "dataflow/fifo.hpp"
 #include "hw/accel_plan.hpp"
+#include "nn/kernels.hpp"
 #include "nn/models.hpp"
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
@@ -192,6 +193,141 @@ void BM_Reference_LeNet(benchmark::State& state) {
 }
 BENCHMARK(BM_Reference_TC1)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_Reference_LeNet)->Unit(benchmark::kMillisecond);
+
+/// The packed OC-contiguous conv microkernel (nn/kernels.hpp) against the
+/// scalar oc-outer schedule it replaced, on one conv-shaped workload
+/// (32 output maps of 16x16, 16 input channels, 3x3 window). Arg: 0 =
+/// scalar baseline, 1 = packed kernel. Compare items/s (MACs) between the
+/// two rows; both run on a single thread.
+void BM_ConvMicrokernel(benchmark::State& state) {
+  // Runtime-opaque dimensions: the replaced scalar schedule ran with
+  // runtime loop bounds (LayerPass fields), so the baseline must not be
+  // constant-folded into a fully unrolled SIMD loop the original never saw.
+  volatile std::size_t dims[5] = {16, 32, 3, 16, 16};
+  const std::size_t kInC = dims[0];
+  const std::size_t kOutC = dims[1];
+  const std::size_t kK = dims[2];
+  const std::size_t kOutH = dims[3];
+  const std::size_t kOutW = dims[4];
+  const std::size_t kInH = kOutH + kK - 1;
+  const std::size_t kInW = kOutW + kK - 1;
+  const std::size_t kTaps = kK * kK;
+  const std::size_t kPoints = kOutH * kOutW;
+
+  Rng rng(3);
+  std::vector<float> frame(kInC * kInH * kInW);
+  std::vector<float> weights(kOutC * kInC * kTaps);
+  std::vector<float> bias(kOutC);
+  for (float& v : frame) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : weights) v = rng.uniform(-1.0F, 1.0F);
+  for (float& v : bias) v = rng.uniform(-1.0F, 1.0F);
+  std::vector<float> out(kOutC * kPoints);
+
+  const bool packed_variant = state.range(0) != 0;
+  const std::vector<float> packed =
+      nn::kernels::pack_conv_weights(weights, kOutC, kInC, kK, kK);
+  std::vector<float> acc(kPoints * kOutC);
+  std::vector<const float*> taps(kTaps);
+
+  for (auto _ : state) {
+    if (!packed_variant) {
+      // The pre-repack schedule: oc outer, strided weight walk with an
+      // index multiply per access, one scalar accumulator per point.
+      for (std::size_t oc = 0; oc < kOutC; ++oc) {
+        for (std::size_t oy = 0; oy < kOutH; ++oy) {
+          for (std::size_t ox = 0; ox < kOutW; ++ox) {
+            float value = bias[oc];
+            for (std::size_t ic = 0; ic < kInC; ++ic) {
+              for (std::size_t ky = 0; ky < kK; ++ky) {
+                for (std::size_t kx = 0; kx < kK; ++kx) {
+                  value += frame[(ic * kInH + oy + ky) * kInW + ox + kx] *
+                           weights[((oc * kInC + ic) * kK + ky) * kK + kx];
+                }
+              }
+            }
+            out[(oc * kOutH + oy) * kOutW + ox] = value;
+          }
+        }
+      }
+    } else {
+      // The packed point-major tile the reference and the PE now run.
+      for (std::size_t point = 0; point < kPoints; ++point) {
+        for (std::size_t j = 0; j < kOutC; ++j) {
+          acc[point * kOutC + j] = bias[j];
+        }
+      }
+      for (std::size_t ic = 0; ic < kInC; ++ic) {
+        const float* channel = frame.data() + ic * kInH * kInW;
+        const float* packed_ic = packed.data() + ic * kTaps * kOutC;
+        for (std::size_t oy = 0; oy < kOutH; ++oy) {
+          for (std::size_t ky = 0; ky < kK; ++ky) {
+            for (std::size_t kx = 0; kx < kK; ++kx) {
+              taps[ky * kK + kx] = channel + (oy + ky) * kInW + kx;
+            }
+          }
+          nn::kernels::conv_accumulate_row(acc.data() + oy * kOutW * kOutC,
+                                           kOutC, kOutW, taps.data(), kTaps,
+                                           1, packed_ic, kOutC);
+        }
+      }
+      for (std::size_t j = 0; j < kOutC; ++j) {
+        for (std::size_t point = 0; point < kPoints; ++point) {
+          out[j * kPoints + point] = acc[point * kOutC + j];
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(packed_variant ? "packed" : "scalar");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kOutC * kInC * kTaps *
+                                                    kPoints));
+}
+BENCHMARK(BM_ConvMicrokernel)->Arg(0)->Arg(1);
+
+/// Steady-state LeNet serving at uniform intra-layer unfolding degrees:
+/// parallel_out output-channel lanes per PE on the shared pool (Arg =
+/// degree). On a single hardware thread the degrees should roughly tie;
+/// with cores to spare the higher degrees cut batch latency.
+void BM_AcceleratorParallelOut(benchmark::State& state) {
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 1).value();
+  hw::HwNetwork hw_net = hw::with_default_annotations(model);
+  for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+    hw_net.hw.layers[i].parallel_out = static_cast<std::size_t>(state.range(0));
+  }
+  auto plan = hw::plan_accelerator(hw_net).value();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan, std::move(weights)).value();
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 8; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  if (!executor.run_batch(batch).is_ok()) {
+    state.SkipWithError("warm-up failed");
+  }
+  for (auto _ : state) {
+    auto outputs = executor.run_batch(batch);
+    if (!outputs.is_ok()) {
+      state.SkipWithError("run failed");
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_AcceleratorParallelOut)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineSimulator(benchmark::State& state) {
   const std::size_t stages = static_cast<std::size_t>(state.range(0));

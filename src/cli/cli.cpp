@@ -79,7 +79,8 @@ int usage(std::ostream& err) {
          "  dse     --model M [--features]       automated DSE\n"
          "  run     --xclbin F --weights F [--batch N]\n"
          "  fig5    --model M                    batch-size latency sweep\n"
-         "  validate --model M [--batch N]       dataflow engine vs reference\n"
+         "  validate --model M [--batch N] [--parallel-out D]\n"
+         "                                       dataflow engine vs reference\n"
          "  describe-afi --id I --aws-root DIR\n";
   return 2;
 }
@@ -316,7 +317,28 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     return 1;
   }
   auto engine = nn::ReferenceEngine::create(model.value(), weights.value());
-  auto plan = hw::plan_accelerator(hw::with_default_annotations(model.value()));
+  // Uniform intra-layer unfolding degree, clamped per layer to its output
+  // map count (a 10-output classifier caps at 10 lanes regardless of the
+  // requested degree).
+  const std::size_t parallel_out = static_cast<std::size_t>(
+      std::strtoull(args.get_or("parallel-out", "1").c_str(), nullptr, 10));
+  if (parallel_out == 0) {
+    err << "--parallel-out must be >= 1\n";
+    return 2;
+  }
+  hw::HwNetwork hw_net = hw::with_default_annotations(model.value());
+  if (parallel_out > 1) {
+    auto shapes = model.value().infer_shapes();
+    if (!shapes.is_ok()) {
+      err << shapes.status().to_string() << "\n";
+      return 1;
+    }
+    for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+      hw_net.hw.layers[i].parallel_out =
+          std::min(parallel_out, shapes.value()[i].output[0]);
+    }
+  }
+  auto plan = hw::plan_accelerator(hw_net);
   if (!plan.is_ok()) {
     err << plan.status().to_string() << "\n";
     return 1;
@@ -348,9 +370,9 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     worst = std::max(worst, max_abs_diff(outputs.value()[i], expected));
   }
   out << strings::format(
-      "dataflow engine vs golden reference on %zu images: max |diff| = %g "
-      "(%s)\n",
-      batch, worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
+      "dataflow engine (parallel_out=%zu) vs golden reference on %zu images: "
+      "max |diff| = %g (%s)\n",
+      parallel_out, batch, worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
   out << strings::format("KPN: %zu modules, %zu streams\n",
                          executor.value().last_run_stats().modules,
                          executor.value().last_run_stats().streams);

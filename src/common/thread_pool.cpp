@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <memory>
 
 namespace condor {
 
@@ -68,6 +69,52 @@ void ThreadPool::parallel_for(std::size_t count,
     });
   }
   wait_idle();
+}
+
+void ThreadPool::parallel_shards(std::size_t count,
+                                 const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::size_t count = 0;
+    std::function<void(std::size_t)> fn;
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::size_t done = 0;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->count = count;
+  state->fn = fn;
+  const auto drain = [](SharedState& s) {
+    std::size_t completed = 0;
+    for (std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+         i < s.count; i = s.next.fetch_add(1, std::memory_order_relaxed)) {
+      s.fn(i);
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.done += completed;
+      if (s.done == s.count) {
+        s.finished.notify_all();
+      }
+    }
+  };
+  // Helpers are best-effort: each grabs shards until the counter runs dry.
+  // The shared state is owned by shared_ptr so a helper scheduled after the
+  // join completed still finds valid (exhausted) state.
+  for (std::size_t h = 1; h < count; ++h) {
+    submit([state, drain] { drain(*state); });
+  }
+  drain(*state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock, [&] { return state->done == state->count; });
 }
 
 void ThreadPool::worker_loop() {

@@ -37,6 +37,18 @@ class ThreadPool {
   /// Convenience: runs fn(i) for i in [0, count) across the pool and waits.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Fork-join over [0, count) that is safe to call from *inside* a pool
+  /// task (unlike parallel_for, whose wait_idle() would wait on the calling
+  /// task itself). The caller participates: shards are handed out through a
+  /// shared counter that the calling thread also drains, so if every worker
+  /// is busy (e.g. pinned on blocked dataflow modules) the caller simply
+  /// runs all shards itself — helpers that arrive late find the counter
+  /// exhausted and return. Completion is tracked by a call-local latch, not
+  /// the pool-global idle state. Used for intra-module compute lanes
+  /// (parallel_out) and reference-engine output-channel sharding.
+  void parallel_shards(std::size_t count,
+                       const std::function<void(std::size_t)>& fn);
+
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
 
  private:

@@ -74,9 +74,17 @@ Status AcceleratorExecutor::build_design() {
                                           per_image, *weight_stream);
     }
 
+    // Intra-layer parallelism (paper §3.2): the plan's parallel_out degree
+    // becomes that many compute lanes fork-joined on the executor's
+    // persistent pool; extra_lane_workers tracks how many workers beyond
+    // one-per-module those lanes can occupy concurrently.
+    const std::size_t parallel_out = std::max<std::size_t>(pe.parallel_out, 1);
+    design->extra_lane_workers += parallel_out - 1;
+
     if (pe.kind == hw::PeKind::kClassifier) {
       graph.add_module<ClassifierPeModule>(pe.name, program, external_in,
-                                           weight_stream, pe_out);
+                                           weight_stream, pe_out, parallel_out,
+                                           pool_.get());
       continue;
     }
 
@@ -142,7 +150,8 @@ Status AcceleratorExecutor::build_design() {
 
     graph.add_module<FeaturePeModule>(pe.name, program, window_h, window_w,
                                       lanes, std::move(ports), weight_stream,
-                                      loopback, pe_out);
+                                      loopback, pe_out, parallel_out,
+                                      pool_.get());
   }
 
   // Datamover halves.
@@ -175,14 +184,22 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
     }
   }
 
+  // The pool must exist before the design: PE modules capture it for their
+  // parallel_out compute lanes.
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(1);
+  }
   if (design_ == nullptr) {
     CONDOR_RETURN_IF_ERROR(build_design());
   } else {
     design_->graph.reopen_streams();
   }
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(1);
-  }
+  // One worker per module (graph.run's requirement) plus headroom for the
+  // intra-layer lanes, so forked oc slices actually run concurrently
+  // instead of queueing behind blocked module bodies. parallel_shards'
+  // caller participation keeps this safe even without the headroom.
+  pool_->ensure_workers(design_->graph.module_count() +
+                        design_->extra_lane_workers);
 
   RunContext ctx;
   ctx.batch = inputs.size();

@@ -65,6 +65,9 @@ class AcceleratorExecutor {
     Graph graph;
     OutputMoverModule* sink = nullptr;
     Shape output_shape;
+    /// Workers the parallel_out compute lanes may occupy beyond the
+    /// one-per-module baseline (sum of parallel_out - 1 over the PEs).
+    std::size_t extra_lane_workers = 0;
   };
 
   AcceleratorExecutor(hw::AcceleratorPlan plan, nn::WeightStore weights)

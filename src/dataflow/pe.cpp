@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "nn/kernels.hpp"
 #include "nn/layer.hpp"
 
 namespace condor::dataflow {
@@ -17,6 +18,35 @@ Status read_weights(Stream* stream, std::size_t count, std::vector<float>& buffe
     return internal_error("PE '" + pe_name + "': weight stream ended early");
   }
   return Status::ok();
+}
+
+/// Executes fn(lane) for each of `lanes` compute lanes: inline when there is
+/// a single lane or no pool, fork-joined on the pool otherwise
+/// (parallel_shards is safe to call from inside a module task).
+void run_lanes(ThreadPool* pool, std::size_t lanes,
+               const std::function<void(std::size_t)>& fn) {
+  if (lanes <= 1 || pool == nullptr) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      fn(lane);
+    }
+    return;
+  }
+  pool->parallel_shards(lanes, fn);
+}
+
+/// Contiguous output-channel slice [begin, end) owned by `lane` out of
+/// `lanes` over `total` channels (ceil-chunked, robust to non-divisors and
+/// lanes > total).
+struct OcSlice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t width() const noexcept { return end - begin; }
+};
+
+OcSlice oc_slice(std::size_t total, std::size_t lanes, std::size_t lane) {
+  const std::size_t chunk = (total + lanes - 1) / lanes;
+  const std::size_t begin = std::min(total, lane * chunk);
+  return {begin, std::min(total, begin + chunk)};
 }
 
 }  // namespace
@@ -70,64 +100,116 @@ Status FeaturePeModule::read_port_rows(
   return Status::ok();
 }
 
+Status FeaturePeModule::read_port_stripe(const LayerPass& pass,
+                                         std::size_t lane,
+                                         std::vector<float>& stage) {
+  const std::size_t lane_stride = window_h_max_ * window_w_max_;
+  const std::size_t tap_count = pass.window_h * pass.window_w;
+  stage.resize(pass.out_h * tap_count * pass.out_w);
+  for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+    for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+      for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+        Stream* port = ports_[lane * lane_stride + ky * window_w_max_ + kx];
+        const std::size_t tap = ky * pass.window_w + kx;
+        std::span<float> row(
+            stage.data() + (oy * tap_count + tap) * pass.out_w, pass.out_w);
+        if (port->read_burst(row) != row.size()) {
+          return internal_error("PE '" + name() + "': port stream ended early");
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
 Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
                                  std::span<const float> weights,
                                  std::span<const float> bias) {
-  // Per-port staging rows: port (ky, kx) delivers the out_w consecutive
-  // window entries of one output row per burst. Channel c's window arrives
-  // on chain lane c % lanes. The accumulation order over the staged values
-  // is identical to the element-at-a-time schedule.
-  std::vector<std::vector<float>> port_rows(pass.window_h * pass.window_w);
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
 
   switch (pass.kind) {
     case PassKind::kConvolution: {
-      // Weight layout in the stream: row-major (oc, ic, ky, kx), the same
-      // order the weight tensor stores.
-      const auto weight_at = [&](std::size_t oc, std::size_t ic, std::size_t ky,
-                                 std::size_t kx) {
-        return weights[((oc * pass.in_channels + ic) * pass.window_h + ky) *
-                           pass.window_w +
-                       kx];
-      };
-
-      // Accumulators for all output maps, seeded with the bias so the
-      // overall addition sequence matches the reference engine exactly.
-      std::vector<float> acc(pass.output_elements(), 0.0F);
+      const std::size_t oc_total = pass.out_channels;
       const std::size_t map_points = pass.out_h * pass.out_w;
-      for (std::size_t oc = 0; oc < pass.out_channels; ++oc) {
-        const float seed = pass.has_bias ? bias[oc] : 0.0F;
-        std::fill_n(acc.begin() + static_cast<std::ptrdiff_t>(oc * map_points),
-                    map_points, seed);
-      }
-      for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
-        for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
-          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, ic % lanes_, port_rows));
-          for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
-            const std::size_t point = oy * pass.out_w + ox;
-            for (std::size_t oc = 0; oc < pass.out_channels; ++oc) {
-              float partial = acc[oc * map_points + point];
-              for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
-                for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
-                  partial += weight_at(oc, ic, ky, kx) *
-                             port_rows[ky * pass.window_w + kx][ox];
-                }
-              }
-              acc[oc * map_points + point] = partial;
-            }
+      const std::size_t tap_count = pass.window_h * pass.window_w;
+
+      // One-time repack per pass: the stream delivers the weights in their
+      // canonical (oc, ic, ky, kx) order; the microkernel wants the output
+      // channel innermost (ic, ky, kx, oc) so its hot loop is contiguous.
+      const std::vector<float> packed = nn::kernels::pack_conv_weights(
+          weights, oc_total, pass.in_channels, pass.window_h, pass.window_w);
+
+      // parallel_out compute lanes, each owning a disjoint oc slice with a
+      // point-major accumulator tile seeded with the bias. Per output
+      // element the accumulation chain (bias, then ic-major (ky, kx) adds)
+      // is byte-identical to the single-lane schedule.
+      const std::size_t compute_lanes =
+          std::clamp<std::size_t>(parallel_out_, 1, std::max<std::size_t>(oc_total, 1));
+      std::vector<std::vector<float>> lane_acc(compute_lanes);
+      std::vector<std::vector<const float*>> lane_taps(compute_lanes);
+      for (std::size_t lane = 0; lane < compute_lanes; ++lane) {
+        const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
+        lane_acc[lane].resize(map_points * slice.width());
+        float* acc = lane_acc[lane].data();
+        for (std::size_t point = 0; point < map_points; ++point) {
+          for (std::size_t j = 0; j < slice.width(); ++j) {
+            acc[point * slice.width() + j] =
+                pass.has_bias ? bias[slice.begin + j] : 0.0F;
           }
         }
+        lane_taps[lane].resize(tap_count);
       }
-      for (float& value : acc) {
-        value = nn::apply_activation(pass.activation, value);
+
+      // Stream one input-channel stripe at a time (identical FIFO read
+      // order to the row-at-a-time schedule) and fork the lanes over it.
+      std::vector<float> stage;
+      for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
+        CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage));
+        const float* packed_ic = packed.data() + ic * tap_count * oc_total;
+        run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
+          const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
+          if (slice.width() == 0) {
+            return;
+          }
+          float* acc = lane_acc[lane].data();
+          const float** taps = lane_taps[lane].data();
+          for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+            for (std::size_t tap = 0; tap < tap_count; ++tap) {
+              taps[tap] = stage.data() + (oy * tap_count + tap) * pass.out_w;
+            }
+            nn::kernels::conv_accumulate_row(
+                acc + oy * pass.out_w * slice.width(), slice.width(),
+                pass.out_w, taps, tap_count, 1, packed_ic + slice.begin,
+                oc_total);
+          }
+        });
       }
-      if (!sink.write_burst(acc)) {
+
+      // Activation + transpose into the (oc, oy, ox) emission order; each
+      // lane writes its disjoint contiguous output block.
+      std::vector<float> out_blob(oc_total * map_points);
+      run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
+        const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
+        const float* acc = lane_acc[lane].data();
+        for (std::size_t j = 0; j < slice.width(); ++j) {
+          float* out_map = out_blob.data() + (slice.begin + j) * map_points;
+          for (std::size_t point = 0; point < map_points; ++point) {
+            out_map[point] = nn::apply_activation(
+                pass.activation, acc[point * slice.width() + j]);
+          }
+        }
+      });
+      if (!sink.write_burst(out_blob)) {
         return internal_error("PE '" + name() + "': sink closed mid-pass");
       }
       return Status::ok();
     }
 
     case PassKind::kPooling: {
+      // Per-port staging rows: port (ky, kx) delivers the out_w consecutive
+      // window entries of one output row per burst. Channel c's window
+      // arrives on chain lane c % lanes.
+      std::vector<std::vector<float>> port_rows(pass.window_h * pass.window_w);
       const float window_size =
           static_cast<float>(pass.window_h * pass.window_w);
       std::vector<float> out_row(pass.out_w);
@@ -188,23 +270,31 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
 
 Status ClassifierPeModule::run(const RunContext& ctx) {
   // Runtime configuration load: the datamover delivers every pass's
-  // weights once per run; they stay resident for the whole batch.
-  std::vector<std::vector<float>> pass_weights(program_.passes.size());
+  // weights once per run; they stay resident for the whole batch, repacked
+  // once into the transposed (in, out) GEMV layout the microkernel wants.
+  std::vector<std::vector<float>> packed_weights(program_.passes.size());
   std::vector<std::vector<float>> pass_bias(program_.passes.size());
+  std::vector<float> weight_buffer;
   for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
     const LayerPass& pass = program_.passes[pi];
     if (pass.params == nullptr) {
       continue;
     }
     CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
-                                        pass_weights[pi], name()));
+                                        weight_buffer, name()));
+    packed_weights[pi] = nn::kernels::pack_inner_product_weights(
+        weight_buffer, pass.output_elements(), pass.input_elements());
     CONDOR_RETURN_IF_ERROR(
         read_weights(weights_, pass.params->bias.size(), pass_bias[pi], name()));
   }
 
+  // Scratch blobs reused across the whole batch (resize below the high-water
+  // capacity never reallocates).
+  std::vector<float> current;
+  std::vector<float> next;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     // Stage the flattened input of the first pass.
-    std::vector<float> current(program_.passes.front().input_elements());
+    current.resize(program_.passes.front().input_elements());
     if (in_.read_burst(std::span<float>(current)) != current.size()) {
       return internal_error("PE '" + name() + "': input stream ended early");
     }
@@ -214,16 +304,29 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
         case PassKind::kInnerProduct: {
           const std::size_t in_count = pass.input_elements();
           const std::size_t out_count = pass.output_elements();
-          const std::vector<float>& weights = pass_weights[pi];
-          std::vector<float> next(out_count, 0.0F);
-          for (std::size_t l = 0; l < out_count; ++l) {
-            float acc = pass.has_bias ? pass_bias[pi][l] : 0.0F;
-            for (std::size_t h = 0; h < in_count; ++h) {
-              acc += weights[l * in_count + h] * current[h];
+          const std::vector<float>& packed = packed_weights[pi];
+          next.resize(out_count);
+          // parallel_out lanes over disjoint output-neuron slices; each
+          // neuron's chain (bias, then ascending-h adds) is unchanged.
+          const std::size_t compute_lanes = std::clamp<std::size_t>(
+              parallel_out_, 1, std::max<std::size_t>(out_count, 1));
+          run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
+            const OcSlice slice = oc_slice(out_count, compute_lanes, lane);
+            if (slice.width() == 0) {
+              return;
             }
-            next[l] = nn::apply_activation(pass.activation, acc);
-          }
-          current = std::move(next);
+            float* acc = next.data() + slice.begin;
+            for (std::size_t j = 0; j < slice.width(); ++j) {
+              acc[j] = pass.has_bias ? pass_bias[pi][slice.begin + j] : 0.0F;
+            }
+            nn::kernels::inner_product_accumulate(
+                acc, slice.width(), current.data(), in_count,
+                packed.data() + slice.begin, out_count);
+            for (std::size_t j = 0; j < slice.width(); ++j) {
+              acc[j] = nn::apply_activation(pass.activation, acc[j]);
+            }
+          });
+          std::swap(current, next);
           break;
         }
         case PassKind::kElementwise: {

@@ -7,18 +7,30 @@
 // output-map accumulators (seeded with the bias) so the input streams
 // through exactly once; accumulation order matches the golden reference
 // bit-for-bit (input channel outer, window row, window column). Port data
-// is prefetched one output row at a time (each port delivers out_w
-// consecutive elements per row) so the PE stays off the FIFO slow path;
-// the arithmetic order over the fetched values is unchanged.
+// is prefetched one input-channel stripe at a time (each port delivers
+// out_w consecutive elements per row, out_h rows per stripe) so the PE
+// stays off the FIFO slow path; the arithmetic order over the fetched
+// values is unchanged.
+//
+// Convolution passes run the packed OC-contiguous microkernel
+// (nn/kernels.hpp) over a per-pass weight repack, and honor the plan's
+// parallel_out degree — the paper's intra-layer spatial unfolding — by
+// partitioning the output-channel range across `parallel_out` compute
+// lanes fork-joined on the executor's worker pool. Every lane owns a
+// disjoint oc slice with its own accumulator tile, so each output
+// element's accumulation chain (bias seed, then ic-major adds) is
+// byte-identical at any lane count.
 //
 // ClassifierPeModule implements fully-connected layers as single-input/
 // single-output 1x1-convolution PEs (paper §3.3 step 4): no memory
-// subsystem, weights resident on chip, one multiply-accumulate stream over
-// the flattened input.
+// subsystem, weights resident on chip (repacked once per batch into the
+// transposed GEMV layout), one multiply-accumulate stream over the
+// flattened input; parallel_out partitions the output neurons the same way.
 #pragma once
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "dataflow/fifo.hpp"
 #include "dataflow/module.hpp"
 #include "dataflow/program.hpp"
@@ -34,16 +46,21 @@ class FeaturePeModule final : public Module {
   /// (nullable when no pass carries parameters) delivers the per-image
   /// weight slices from the datamover; `loopback` (nullable) carries
   /// intermediate fused-pass results back to the source mux; `out` is the
-  /// downstream PE stream.
+  /// downstream PE stream. `parallel_out` compute lanes split each
+  /// convolution pass's output channels across `lane_pool` (nullable for
+  /// sequential execution).
   FeaturePeModule(std::string name, const PeProgram& program,
                   std::size_t window_h_max, std::size_t window_w_max,
                   std::size_t lanes, std::vector<Stream*> ports, Stream* weights,
-                  Stream* loopback, Stream& out)
+                  Stream* loopback, Stream& out, std::size_t parallel_out = 1,
+                  ThreadPool* lane_pool = nullptr)
       : Module(std::move(name)),
         program_(program),
         window_h_max_(window_h_max),
         window_w_max_(window_w_max),
         lanes_(lanes),
+        parallel_out_(parallel_out == 0 ? 1 : parallel_out),
+        lane_pool_(lane_pool),
         ports_(std::move(ports)),
         weights_(weights),
         loopback_(loopback),
@@ -60,10 +77,19 @@ class FeaturePeModule final : public Module {
   Status read_port_rows(const LayerPass& pass, std::size_t lane,
                         std::vector<std::vector<float>>& port_rows);
 
+  /// Burst-reads one full input-channel stripe (out_h rows of every active
+  /// port of `lane`) into `stage`, laid out (oy, tap, ox) — the same FIFO
+  /// read order as the row-at-a-time schedule, just prefetched so the
+  /// compute lanes can run over it concurrently.
+  Status read_port_stripe(const LayerPass& pass, std::size_t lane,
+                          std::vector<float>& stage);
+
   const PeProgram& program_;
   std::size_t window_h_max_;
   std::size_t window_w_max_;
   std::size_t lanes_;
+  std::size_t parallel_out_;
+  ThreadPool* lane_pool_;
   std::vector<Stream*> ports_;
   Stream* weights_;
   Stream* loopback_;
@@ -75,9 +101,12 @@ class ClassifierPeModule final : public Module {
   /// `weights` delivers the one-time runtime weight load (the classifier's
   /// parameters stay chip-resident across the batch, per the methodology).
   ClassifierPeModule(std::string name, const PeProgram& program, Stream& in,
-                     Stream* weights, Stream& out)
+                     Stream* weights, Stream& out, std::size_t parallel_out = 1,
+                     ThreadPool* lane_pool = nullptr)
       : Module(std::move(name)),
         program_(program),
+        parallel_out_(parallel_out == 0 ? 1 : parallel_out),
+        lane_pool_(lane_pool),
         in_(in),
         weights_(weights),
         out_(out) {}
@@ -86,6 +115,8 @@ class ClassifierPeModule final : public Module {
 
  private:
   const PeProgram& program_;
+  std::size_t parallel_out_;
+  ThreadPool* lane_pool_;
   Stream& in_;
   Stream* weights_;
   Stream& out_;

@@ -1,0 +1,90 @@
+#include "nn/kernels.hpp"
+
+namespace condor::nn::kernels {
+
+std::vector<float> pack_conv_weights(std::span<const float> weights,
+                                     std::size_t out_channels,
+                                     std::size_t in_channels,
+                                     std::size_t window_h,
+                                     std::size_t window_w) {
+  const std::size_t taps = window_h * window_w;
+  std::vector<float> packed(out_channels * in_channels * taps);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    const float* src = weights.data() + oc * in_channels * taps;
+    for (std::size_t it = 0; it < in_channels * taps; ++it) {
+      packed[it * out_channels + oc] = src[it];
+    }
+  }
+  return packed;
+}
+
+std::vector<float> unpack_conv_weights(std::span<const float> packed,
+                                       std::size_t out_channels,
+                                       std::size_t in_channels,
+                                       std::size_t window_h,
+                                       std::size_t window_w) {
+  const std::size_t taps = window_h * window_w;
+  std::vector<float> weights(out_channels * in_channels * taps);
+  for (std::size_t oc = 0; oc < out_channels; ++oc) {
+    float* dst = weights.data() + oc * in_channels * taps;
+    for (std::size_t it = 0; it < in_channels * taps; ++it) {
+      dst[it] = packed[it * out_channels + oc];
+    }
+  }
+  return weights;
+}
+
+std::vector<float> pack_inner_product_weights(std::span<const float> weights,
+                                              std::size_t out_count,
+                                              std::size_t in_count) {
+  std::vector<float> packed(out_count * in_count);
+  for (std::size_t o = 0; o < out_count; ++o) {
+    for (std::size_t h = 0; h < in_count; ++h) {
+      packed[h * out_count + o] = weights[o * in_count + h];
+    }
+  }
+  return packed;
+}
+
+std::vector<float> unpack_inner_product_weights(std::span<const float> packed,
+                                                std::size_t out_count,
+                                                std::size_t in_count) {
+  std::vector<float> weights(out_count * in_count);
+  for (std::size_t o = 0; o < out_count; ++o) {
+    for (std::size_t h = 0; h < in_count; ++h) {
+      weights[o * in_count + h] = packed[h * out_count + o];
+    }
+  }
+  return weights;
+}
+
+void conv_accumulate_row(float* acc, std::size_t oc_count, std::size_t out_w,
+                         const float* const* taps, std::size_t tap_count,
+                         std::size_t x_stride, const float* packed,
+                         std::size_t packed_stride) {
+  for (std::size_t ox = 0; ox < out_w; ++ox) {
+    float* __restrict point_acc = acc + ox * oc_count;
+    for (std::size_t t = 0; t < tap_count; ++t) {
+      const float x = taps[t][ox * x_stride];
+      const float* __restrict w = packed + t * packed_stride;
+      for (std::size_t j = 0; j < oc_count; ++j) {
+        point_acc[j] += w[j] * x;
+      }
+    }
+  }
+}
+
+void inner_product_accumulate(float* acc, std::size_t out_count,
+                              const float* x, std::size_t in_count,
+                              const float* packed, std::size_t packed_stride) {
+  for (std::size_t h = 0; h < in_count; ++h) {
+    const float xv = x[h];
+    const float* __restrict w = packed + h * packed_stride;
+    float* __restrict a = acc;
+    for (std::size_t j = 0; j < out_count; ++j) {
+      a[j] += w[j] * xv;
+    }
+  }
+}
+
+}  // namespace condor::nn::kernels

@@ -1,0 +1,90 @@
+// Packed, vectorization-friendly MAC microkernels shared by the golden CPU
+// reference and the dataflow PE modules.
+//
+// The scalar loops both engines used previously walk the weight tensor in
+// its storage order (oc, ic, ky, kx) with an index multiply per access and
+// an oc-outer accumulator stride of a whole output map — a pattern the
+// auto-vectorizer cannot turn into contiguous SIMD loads. These kernels
+// instead operate on a one-time repack of the weights that puts the output
+// channel innermost:
+//
+//   convolution    (oc, ic, ky, kx)  ->  (ic, ky, kx, oc)
+//   inner product  (out, in)         ->  (in, out)
+//
+// so the hot loop is a contiguous `acc[j] += w[j] * x` sweep over a register
+// tile of per-output-channel accumulators (the weight-reshaping-for-SIMD
+// trick of Caffeinated FPGAs / fpgaConvNet applied to the host kernels).
+//
+// Bit-exactness: for every output element the accumulation chain is
+// unchanged — the bias seed followed by the (ic, ky, kx)-ordered adds. Only
+// the iteration order *across* independent output channels moves, which
+// cannot alter any individual float result. Both engines call these same
+// functions, so they stay bit-identical to each other by construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace condor::nn::kernels {
+
+/// Repacks row-major (oc, ic, ky, kx) convolution weights into the packed
+/// (ic, ky, kx, oc) layout. `weights.size()` must equal
+/// `out_channels * in_channels * window_h * window_w`.
+std::vector<float> pack_conv_weights(std::span<const float> weights,
+                                     std::size_t out_channels,
+                                     std::size_t in_channels,
+                                     std::size_t window_h,
+                                     std::size_t window_w);
+
+/// Inverse of pack_conv_weights: packed (ic, ky, kx, oc) back to the
+/// canonical (oc, ic, ky, kx) storage order.
+std::vector<float> unpack_conv_weights(std::span<const float> packed,
+                                       std::size_t out_channels,
+                                       std::size_t in_channels,
+                                       std::size_t window_h,
+                                       std::size_t window_w);
+
+/// Repacks row-major (out, in) inner-product weights into the transposed
+/// (in, out) layout (out contiguous).
+std::vector<float> pack_inner_product_weights(std::span<const float> weights,
+                                              std::size_t out_count,
+                                              std::size_t in_count);
+
+/// Inverse of pack_inner_product_weights.
+std::vector<float> unpack_inner_product_weights(std::span<const float> packed,
+                                                std::size_t out_count,
+                                                std::size_t in_count);
+
+/// One (input-channel, output-row) convolution update over a tile of
+/// `oc_count` output channels:
+///
+///   acc[ox * oc_count + j] += taps[t][ox * x_stride] * packed[t * packed_stride + j]
+///
+/// for every output column ox in [0, out_w) and window tap t in
+/// [0, tap_count), with t enumerating (ky, kx) in lexicographic order.
+/// `taps[t]` points at the tap's window value for ox = 0; consecutive
+/// columns are `x_stride` elements apart (the convolution stride when
+/// reading a raw input row, 1 when reading pre-gathered PE port rows).
+/// `packed` points at the (possibly oc-sliced) packed weight block of the
+/// current input channel; rows of consecutive taps are `packed_stride`
+/// apart (the full out_channels when `oc_count` is a lane's slice).
+///
+/// The j-loop is contiguous in both `acc` and `packed`, so it vectorizes;
+/// per output element the adds still arrive in (ky, kx) order.
+void conv_accumulate_row(float* acc, std::size_t oc_count, std::size_t out_w,
+                         const float* const* taps, std::size_t tap_count,
+                         std::size_t x_stride, const float* packed,
+                         std::size_t packed_stride);
+
+/// Inner-product update over a tile of `out_count` outputs:
+///
+///   acc[j] += x[h] * packed[h * packed_stride + j]   for h in [0, in_count)
+///
+/// `acc` must be seeded (bias or zero) by the caller; adds arrive in
+/// ascending-h order, matching the scalar row-dot-product chain exactly.
+void inner_product_accumulate(float* acc, std::size_t out_count,
+                              const float* x, std::size_t in_count,
+                              const float* packed, std::size_t packed_stride);
+
+}  // namespace condor::nn::kernels

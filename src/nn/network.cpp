@@ -231,7 +231,12 @@ std::string Network::summary() const {
                            layer.name.c_str());
     if (shapes_result.is_ok()) {
       const LayerShapes& shapes = shapes_result.value()[i];
-      out += " " + shapes.input.to_string() + " -> " + shapes.output.to_string();
+      // Separate appends: the operator+ temporary chain trips GCC 12's
+      // -Wrestrict false positive (PR105651) under -O3 -Werror.
+      out += ' ';
+      out += shapes.input.to_string();
+      out += " -> ";
+      out += shapes.output.to_string();
     }
     if (layer.kind == LayerKind::kConvolution || layer.kind == LayerKind::kPooling) {
       out += strings::format("  k=%zux%zu s=%zu", layer.kernel_h, layer.kernel_w,

@@ -2,14 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/strings.hpp"
+#include "nn/kernels.hpp"
 
 namespace condor::nn {
+namespace {
+
+/// Minimum multiply-accumulate count before a convolution is worth sharding
+/// over output channels (below it the fork-join overhead dominates).
+constexpr std::size_t kConvShardMacThreshold = 1 << 15;
+
+}  // namespace
 
 Result<Tensor> forward_convolution(const LayerSpec& layer, const Tensor& input,
-                                   const LayerParameters& params) {
+                                   const LayerParameters& params,
+                                   ThreadPool* pool) {
   if (input.shape().rank() != 3) {
     return invalid_input("convolution input must be CHW");
   }
@@ -29,38 +39,88 @@ Result<Tensor> forward_convolution(const LayerSpec& layer, const Tensor& input,
     return invalid_input("convolution '" + layer.name + "': weight shape mismatch");
   }
 
-  Tensor output(Shape{out_c, out_h, out_w});
-  // Accumulation order fixed as (input channel, kh, kw): the same order the
-  // generated PE code uses, so float results match the simulator bit-exactly.
-  for (std::size_t oc = 0; oc < out_c; ++oc) {
-    const float bias = layer.has_bias ? params.bias[oc] : 0.0F;
-    for (std::size_t oy = 0; oy < out_h; ++oy) {
-      for (std::size_t ox = 0; ox < out_w; ++ox) {
-        float acc = bias;
-        for (std::size_t ic = 0; ic < in_c; ++ic) {
-          for (std::size_t ky = 0; ky < layer.kernel_h; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * layer.stride + ky) -
-                static_cast<std::ptrdiff_t>(layer.pad);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h)) {
-              continue;  // zero padding contributes nothing
-            }
-            for (std::size_t kx = 0; kx < layer.kernel_w; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox * layer.stride + kx) -
-                  static_cast<std::ptrdiff_t>(layer.pad);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w)) {
-                continue;
-              }
-              acc += params.weights.at4(oc, ic, ky, kx) *
-                     input.at(ic, static_cast<std::size_t>(iy),
-                              static_cast<std::size_t>(ix));
-            }
-          }
-        }
-        output.at(oc, oy, ox) = apply_activation(layer.activation, acc);
+  // Zero-padded input frame: the microkernel then reads raw rows without
+  // border logic. The explicit zero terms leave every accumulation chain's
+  // value unchanged (x + 0*w == x), matching the skip-the-border schedule
+  // and the dataflow engine's mux-inserted border alike.
+  const std::size_t frame_h = in_h + 2 * layer.pad;
+  const std::size_t frame_w = in_w + 2 * layer.pad;
+  const Tensor* frame = &input;
+  Tensor padded;
+  if (layer.pad != 0) {
+    padded = Tensor(Shape{in_c, frame_h, frame_w});
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      for (std::size_t y = 0; y < in_h; ++y) {
+        std::memcpy(&padded.at(ic, y + layer.pad, layer.pad),
+                    input.raw() + (ic * in_h + y) * in_w, in_w * sizeof(float));
       }
     }
+    frame = &padded;
+  }
+
+  const std::size_t tap_count = layer.kernel_h * layer.kernel_w;
+  const std::vector<float> packed = kernels::pack_conv_weights(
+      params.weights.data(), out_c, in_c, layer.kernel_h, layer.kernel_w);
+
+  Tensor output(Shape{out_c, out_h, out_w});
+  const std::size_t map_points = out_h * out_w;
+
+  // Output-channel sharding: each shard owns a disjoint oc slice with its
+  // own accumulator tile, so results are byte-identical at any shard count
+  // (an output element's chain never leaves its shard). This gives batch=1
+  // inference intra-image parallelism on multi-core hosts.
+  std::size_t shards = 1;
+  if (pool != nullptr && out_c > 1 &&
+      map_points * in_c * tap_count * out_c >= kConvShardMacThreshold) {
+    shards = std::min(out_c, pool->worker_count());
+  }
+  const std::size_t chunk = (out_c + shards - 1) / shards;
+
+  const auto run_slice = [&](std::size_t shard) {
+    const std::size_t oc0 = shard * chunk;
+    const std::size_t oc1 = std::min(out_c, oc0 + chunk);
+    if (oc0 >= oc1) {
+      return;
+    }
+    const std::size_t width = oc1 - oc0;
+    // Point-major accumulator tile (map point, oc) seeded with the bias:
+    // the microkernel's innermost loop stays contiguous over oc.
+    std::vector<float> acc(map_points * width);
+    for (std::size_t point = 0; point < map_points; ++point) {
+      for (std::size_t j = 0; j < width; ++j) {
+        acc[point * width + j] = layer.has_bias ? params.bias[oc0 + j] : 0.0F;
+      }
+    }
+    std::vector<const float*> taps(tap_count);
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      const float* channel = frame->raw() + ic * frame_h * frame_w;
+      const float* packed_ic = packed.data() + ic * tap_count * out_c + oc0;
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ky = 0; ky < layer.kernel_h; ++ky) {
+          for (std::size_t kx = 0; kx < layer.kernel_w; ++kx) {
+            taps[ky * layer.kernel_w + kx] =
+                channel + (oy * layer.stride + ky) * frame_w + kx;
+          }
+        }
+        kernels::conv_accumulate_row(acc.data() + oy * out_w * width, width,
+                                     out_w, taps.data(), tap_count,
+                                     layer.stride, packed_ic, out_c);
+      }
+    }
+    // Transpose the tile into the (oc, oy, ox) output, applying the
+    // activation (each shard writes a disjoint contiguous output block).
+    float* out_base = output.raw() + oc0 * map_points;
+    for (std::size_t j = 0; j < width; ++j) {
+      for (std::size_t point = 0; point < map_points; ++point) {
+        out_base[j * map_points + point] =
+            apply_activation(layer.activation, acc[point * width + j]);
+      }
+    }
+  };
+  if (shards == 1) {
+    run_slice(0);
+  } else {
+    pool->parallel_shards(shards, run_slice);
   }
   return output;
 }
@@ -172,7 +232,8 @@ Result<ReferenceEngine> ReferenceEngine::create(Network network,
   return ReferenceEngine(std::move(network), std::move(weights));
 }
 
-Result<std::vector<Tensor>> ReferenceEngine::forward_all(const Tensor& input) const {
+Result<std::vector<Tensor>> ReferenceEngine::forward_all(const Tensor& input,
+                                                         ThreadPool* pool) const {
   CONDOR_ASSIGN_OR_RETURN(Shape expected, network_.input_shape());
   if (input.shape() != expected) {
     return invalid_input(strings::format(
@@ -191,8 +252,8 @@ Result<std::vector<Tensor>> ReferenceEngine::forward_all(const Tensor& input) co
         if (params == nullptr) {
           return not_found("no weights for '" + layer.name + "'");
         }
-        CONDOR_ASSIGN_OR_RETURN(current,
-                                forward_convolution(layer, current, *params));
+        CONDOR_ASSIGN_OR_RETURN(
+            current, forward_convolution(layer, current, *params, pool));
         break;
       }
       case LayerKind::kPooling: {
@@ -220,8 +281,9 @@ Result<std::vector<Tensor>> ReferenceEngine::forward_all(const Tensor& input) co
   return outputs;
 }
 
-Result<Tensor> ReferenceEngine::forward(const Tensor& input) const {
-  CONDOR_ASSIGN_OR_RETURN(auto outputs, forward_all(input));
+Result<Tensor> ReferenceEngine::forward(const Tensor& input,
+                                        ThreadPool* pool) const {
+  CONDOR_ASSIGN_OR_RETURN(auto outputs, forward_all(input, pool));
   return outputs.back();
 }
 
@@ -229,8 +291,11 @@ Result<std::vector<Tensor>> ReferenceEngine::forward_batch(
     const std::vector<Tensor>& inputs, ThreadPool& pool) const {
   std::vector<Tensor> outputs(inputs.size());
   std::vector<Status> statuses(inputs.size());
+  // One task per image; inside each, the convolutions additionally shard
+  // over output channels (parallel_shards is nested-safe), so a batch of 1
+  // on a multi-core host still fills the pool.
   pool.parallel_for(inputs.size(), [&](std::size_t i) {
-    auto result = forward(inputs[i]);
+    auto result = forward(inputs[i], &pool);
     if (result.is_ok()) {
       outputs[i] = std::move(result).value();
     } else {

@@ -17,8 +17,13 @@
 namespace condor::nn {
 
 /// Per-layer forward functions, exposed for targeted unit tests.
+/// forward_convolution runs the packed OC-contiguous microkernel
+/// (nn/kernels.hpp); with a pool it additionally shards the output channels
+/// across workers — results are byte-identical at every shard count because
+/// each output element's accumulation chain stays within one shard.
 Result<Tensor> forward_convolution(const LayerSpec& layer, const Tensor& input,
-                                   const LayerParameters& params);
+                                   const LayerParameters& params,
+                                   ThreadPool* pool = nullptr);
 Result<Tensor> forward_pooling(const LayerSpec& layer, const Tensor& input);
 Result<Tensor> forward_inner_product(const LayerSpec& layer, const Tensor& input,
                                      const LayerParameters& params);
@@ -31,15 +36,19 @@ class ReferenceEngine {
   static Result<ReferenceEngine> create(Network network, WeightStore weights);
 
   /// Runs one image (CHW tensor matching the declared input shape) through
-  /// the network, returning the final blob.
-  Result<Tensor> forward(const Tensor& input) const;
+  /// the network, returning the final blob. With a pool, convolutions shard
+  /// their output channels across the workers (bit-exact at any degree).
+  Result<Tensor> forward(const Tensor& input, ThreadPool* pool = nullptr) const;
 
   /// Like forward(), but also returns every intermediate blob (one entry per
   /// layer, entry i being the *output* of layer i). Used for per-layer
   /// comparison against the dataflow simulation.
-  Result<std::vector<Tensor>> forward_all(const Tensor& input) const;
+  Result<std::vector<Tensor>> forward_all(const Tensor& input,
+                                          ThreadPool* pool = nullptr) const;
 
-  /// Batch inference across a thread pool (one image per task).
+  /// Batch inference across a thread pool: one image per task, plus
+  /// intra-image output-channel sharding of each convolution — so a batch
+  /// of one still benefits from a multi-core host.
   Result<std::vector<Tensor>> forward_batch(const std::vector<Tensor>& inputs,
                                             ThreadPool& pool) const;
 

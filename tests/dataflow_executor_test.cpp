@@ -4,8 +4,12 @@
 // reproduction).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "dataflow/executor.hpp"
 #include "hw/accel_plan.hpp"
+#include "hw/dse.hpp"
 #include "nn/models.hpp"
 #include "nn/reference.hpp"
 #include "test_util.hpp"
@@ -257,6 +261,104 @@ TEST(DataflowExecutor, ParallelInputLanesMatchReference) {
   // The module census reflects the replicated chains: conv2 alone owns
   // 5 lanes x 25 filters.
   EXPECT_GT(executor.value().last_run_stats().modules, 150u);
+}
+
+TEST(DataflowExecutor, ParallelOutSweepMatchesReference) {
+  // parallel_out > 1 partitions each pass's output channels across compute
+  // lanes (the paper's intra-layer unfolding). Sweep degrees including
+  // non-divisors of LeNet's map counts (conv1: 20, conv2: 50, ip2: 10);
+  // every degree must stay bit-exact against the golden reference.
+  const nn::Network network = nn::make_lenet();
+  for (const std::size_t degree : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{7}}) {
+    SCOPED_TRACE("parallel_out = " + std::to_string(degree));
+    hw::LayerHw uniform;
+    uniform.parallel_out = degree;
+    expect_dataflow_matches_reference(network, 2, 101 + degree, &uniform);
+  }
+}
+
+TEST(DataflowExecutor, ParallelOutDegreesAgreeBitForBit) {
+  // Randomized cross-degree check: the same random inputs through executors
+  // built at parallel_out 2, 4 and 7 must reproduce the sequential
+  // (parallel_out = 1) outputs byte for byte, not merely within tolerance —
+  // each output element's accumulation chain never leaves its lane.
+  TinyNetConfig config;
+  config.in_channels = 3;
+  config.in_size = 12;
+  config.conv_outputs = 10;  // non-multiple of 4 and 7
+  config.activation = nn::Activation::kReLU;
+  config.with_pool = true;
+  config.with_fc = true;
+  config.fc_outputs = 9;  // non-multiple of every swept degree
+  const nn::Network network = testing::make_tiny_net(config);
+  auto weights = nn::initialize_weights(network, 113);
+  ASSERT_TRUE(weights.is_ok());
+  const auto inputs = testing::random_inputs(network, 3, 127);
+
+  const auto run_at = [&](std::size_t degree) {
+    hw::HwNetwork hw_net = hw::with_default_annotations(network);
+    for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+      hw_net.hw.layers[i].parallel_out = degree;
+    }
+    auto plan = hw::plan_accelerator(hw_net);
+    EXPECT_TRUE(plan.is_ok()) << plan.status().to_string();
+    auto executor =
+        dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+    EXPECT_TRUE(executor.is_ok());
+    auto outputs = executor.value().run_batch(inputs);
+    EXPECT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+    return std::move(outputs).value();
+  };
+
+  const std::vector<Tensor> baseline = run_at(1);
+  ASSERT_EQ(baseline.size(), inputs.size());
+  for (const std::size_t degree : {std::size_t{2}, std::size_t{4},
+                                   std::size_t{7}}) {
+    SCOPED_TRACE("parallel_out = " + std::to_string(degree));
+    const std::vector<Tensor> outputs = run_at(degree);
+    ASSERT_EQ(outputs.size(), baseline.size());
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      EXPECT_EQ(max_abs_diff(outputs[i], baseline[i]), 0.0F)
+          << "image " << i << " diverges from the sequential run";
+    }
+  }
+}
+
+TEST(DataflowExecutor, DseSelectedParallelPlanMatchesReference) {
+  // End-to-end DSE -> executor: the exploration on LeNet's feature prefix
+  // picks parallel_out > 1 somewhere, and the selected configuration must
+  // still validate bit-exact through the dataflow engine.
+  const nn::Network network = nn::make_lenet().feature_extraction_prefix();
+  auto dse =
+      hw::explore(hw::with_default_annotations(network, "aws-f1", 250.0));
+  ASSERT_TRUE(dse.is_ok()) << dse.status().to_string();
+  const hw::HwNetwork& best = dse.value().best.config;
+  std::size_t max_parallel_out = 1;
+  for (const hw::LayerHw& layer : best.hw.layers) {
+    max_parallel_out = std::max(max_parallel_out, layer.parallel_out);
+  }
+  ASSERT_GT(max_parallel_out, 1u)
+      << "DSE no longer unfolds output channels on LeNet features";
+
+  auto weights = nn::initialize_weights(network, 131);
+  ASSERT_TRUE(weights.is_ok());
+  auto engine = nn::ReferenceEngine::create(network, weights.value());
+  ASSERT_TRUE(engine.is_ok());
+  auto plan = hw::plan_accelerator(best);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok());
+
+  const auto inputs = testing::random_inputs(network, 2, 137);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(outputs.value()[i],
+                           engine.value().forward(inputs[i]).value()),
+              0.0F);
+  }
 }
 
 TEST(DataflowExecutor, ParallelLanesOnFusedPeMatchReference) {

@@ -1,0 +1,142 @@
+// Unit tests of the packed MAC microkernels (nn/kernels.hpp): weight
+// repack round trips and bit-exact equivalence of the packed kernels
+// against the plain scalar accumulation loops they replace.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/kernels.hpp"
+
+namespace condor::nn::kernels {
+namespace {
+
+std::vector<float> random_values(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& value : values) {
+    value = rng.uniform(-1.0F, 1.0F);
+  }
+  return values;
+}
+
+TEST(NnKernels, ConvPackRoundTrips) {
+  const std::size_t oc = 5;
+  const std::size_t ic = 3;
+  const std::size_t kh = 3;
+  const std::size_t kw = 2;
+  const std::vector<float> weights = random_values(oc * ic * kh * kw, 7);
+
+  const std::vector<float> packed = pack_conv_weights(weights, oc, ic, kh, kw);
+  ASSERT_EQ(packed.size(), weights.size());
+  const std::vector<float> back = unpack_conv_weights(packed, oc, ic, kh, kw);
+  EXPECT_EQ(back, weights);
+}
+
+TEST(NnKernels, ConvPackLayoutIsOcInnermost) {
+  // packed[((ic * kh + ky) * kw + kx) * oc + o] == weights[((o * ic + c) * kh + ky) * kw + kx]
+  const std::size_t oc = 4;
+  const std::size_t ic = 2;
+  const std::size_t kh = 2;
+  const std::size_t kw = 3;
+  const std::vector<float> weights = random_values(oc * ic * kh * kw, 11);
+  const std::vector<float> packed = pack_conv_weights(weights, oc, ic, kh, kw);
+  for (std::size_t o = 0; o < oc; ++o) {
+    for (std::size_t c = 0; c < ic; ++c) {
+      for (std::size_t ky = 0; ky < kh; ++ky) {
+        for (std::size_t kx = 0; kx < kw; ++kx) {
+          EXPECT_EQ(packed[((c * kh + ky) * kw + kx) * oc + o],
+                    weights[((o * ic + c) * kh + ky) * kw + kx]);
+        }
+      }
+    }
+  }
+}
+
+TEST(NnKernels, InnerProductPackRoundTrips) {
+  const std::size_t out_count = 6;
+  const std::size_t in_count = 9;
+  const std::vector<float> weights = random_values(out_count * in_count, 13);
+
+  const std::vector<float> packed =
+      pack_inner_product_weights(weights, out_count, in_count);
+  ASSERT_EQ(packed.size(), weights.size());
+  // (out, in) transposed to (in, out).
+  for (std::size_t o = 0; o < out_count; ++o) {
+    for (std::size_t i = 0; i < in_count; ++i) {
+      EXPECT_EQ(packed[i * out_count + o], weights[o * in_count + i]);
+    }
+  }
+  EXPECT_EQ(unpack_inner_product_weights(packed, out_count, in_count), weights);
+}
+
+TEST(NnKernels, ConvAccumulateRowMatchesScalarLoop) {
+  // One (input-channel, output-row) update vs the straightforward scalar
+  // triple loop, over a strided row and an oc slice with a wider packed
+  // stride — both must agree bit for bit.
+  const std::size_t oc_total = 7;
+  const std::size_t oc0 = 2;       // slice [2, 7)
+  const std::size_t oc_count = 5;
+  const std::size_t out_w = 6;
+  const std::size_t kh = 3;
+  const std::size_t kw = 3;
+  const std::size_t tap_count = kh * kw;
+  const std::size_t x_stride = 2;
+
+  const std::vector<float> row =
+      random_values((out_w - 1) * x_stride + tap_count * 4, 17);
+  const std::vector<float> packed = random_values(tap_count * oc_total, 19);
+
+  std::vector<const float*> taps(tap_count);
+  for (std::size_t t = 0; t < tap_count; ++t) {
+    taps[t] = row.data() + t;  // arbitrary distinct per-tap base pointers
+  }
+
+  std::vector<float> acc = random_values(out_w * oc_count, 23);  // seeded
+  std::vector<float> expected = acc;
+
+  conv_accumulate_row(acc.data(), oc_count, out_w, taps.data(), tap_count,
+                      x_stride, packed.data() + oc0, oc_total);
+
+  for (std::size_t ox = 0; ox < out_w; ++ox) {
+    for (std::size_t t = 0; t < tap_count; ++t) {
+      const float x = taps[t][ox * x_stride];
+      for (std::size_t j = 0; j < oc_count; ++j) {
+        expected[ox * oc_count + j] += x * packed[t * oc_total + oc0 + j];
+      }
+    }
+  }
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(NnKernels, InnerProductAccumulateMatchesScalarDot) {
+  const std::size_t out_total = 9;
+  const std::size_t oc0 = 3;       // slice [3, 9)
+  const std::size_t out_count = 6;
+  const std::size_t in_count = 31;
+
+  const std::vector<float> x = random_values(in_count, 29);
+  const std::vector<float> weights = random_values(out_total * in_count, 31);
+  const std::vector<float> packed =
+      pack_inner_product_weights(weights, out_total, in_count);
+
+  std::vector<float> acc = random_values(out_count, 37);  // bias seed
+  std::vector<float> expected = acc;
+
+  inner_product_accumulate(acc.data(), out_count, x.data(), in_count,
+                           packed.data() + oc0, out_total);
+
+  // Scalar row dot products in the original (out, in) layout: identical
+  // ascending-input add order, so equality is exact.
+  for (std::size_t j = 0; j < out_count; ++j) {
+    for (std::size_t i = 0; i < in_count; ++i) {
+      expected[j] += weights[(oc0 + j) * in_count + i] * x[i];
+    }
+  }
+  EXPECT_EQ(acc, expected);
+}
+
+}  // namespace
+}  // namespace condor::nn::kernels
