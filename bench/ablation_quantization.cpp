@@ -6,12 +6,20 @@
 // quantifies that trade on Condor's own designs: for TC1 and LeNet at the
 // Table 1 configuration, it re-costs the accelerator with the fixed16 /
 // fixed8 model presets (single-DSP integer MACs, LUT multipliers,
-// table-based activations, narrower weight stores and FIFOs) and measures
+// table-based activations, narrower weight stores and FIFOs), measures
 // the numerical error of the dynamically-scaled fixed-point datapath
-// against the float reference on synthetic digits.
+// against the float reference on synthetic digits, and runs the real
+// dataflow executor at each datapath: measured software GOPS plus the max
+// |diff| against the matching software reference (0 = the executor is
+// bit-exact at that DataType, the property the test suite enforces).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "dataflow/executor.hpp"
+#include "hw/accel_plan.hpp"
 #include "hw/dse.hpp"
 #include "nn/models.hpp"
 #include "nn/quantization.hpp"
@@ -23,6 +31,51 @@ namespace {
 
 using namespace condor;
 
+/// Runs the dataflow executor over `images` with the network planned at
+/// `type`; reports measured GOPS and the max |diff| against `oracle` (the
+/// software reference of the same numeric datapath).
+struct ExecutorRun {
+  double gops = 0.0;
+  float max_diff = 0.0F;
+  bool ok = false;
+};
+
+ExecutorRun run_executor(const nn::Network& model, const nn::WeightStore& weights,
+                         nn::DataType type, const std::vector<Tensor>& images,
+                         const nn::QuantizedEngine& oracle) {
+  ExecutorRun result;
+  hw::HwNetwork net = hw::with_default_annotations(model, "aws-f1", 250.0);
+  net.hw.data_type = type;
+  auto plan = hw::plan_accelerator(net);
+  if (!plan.is_ok()) {
+    return result;
+  }
+  auto executor = dataflow::AcceleratorExecutor::create(plan.value(), weights);
+  if (!executor.is_ok()) {
+    return result;
+  }
+  executor.value().run_batch(images).value();  // warm-up: compile the design
+  const auto start = std::chrono::steady_clock::now();
+  auto outputs = executor.value().run_batch(images);
+  const auto stop = std::chrono::steady_clock::now();
+  if (!outputs.is_ok()) {
+    return result;
+  }
+  const double seconds = std::chrono::duration<double>(stop - start).count();
+  const auto flops = model.total_flops();
+  if (flops.is_ok() && seconds > 0.0) {
+    result.gops = static_cast<double>(flops.value()) *
+                  static_cast<double>(images.size()) / seconds / 1e9;
+  }
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    result.max_diff = std::max(
+        result.max_diff,
+        max_abs_diff(outputs.value()[i], oracle.forward(images[i]).value()));
+  }
+  result.ok = true;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -31,13 +84,19 @@ int main() {
 
   for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
     std::printf("%s (Table 1 configuration):\n", model.name().c_str());
-    std::printf("  %-8s %10s %8s %7s %8s %10s %14s %12s\n", "type", "LUT",
-                "DSP", "BRAM", "MHz", "GOPS", "mean|err|", "argmax agree");
+    std::printf("  %-8s %10s %8s %7s %8s %10s %14s %12s %10s %12s\n", "type",
+                "LUT", "DSP", "BRAM", "MHz", "GOPS", "mean|err|",
+                "argmax agree", "exec GOPS", "exec max|d|");
 
     auto weights = nn::initialize_weights(model, 2018).value();
     auto float_engine = nn::ReferenceEngine::create(model, weights).value();
     const auto digits =
         nn::make_digit_dataset(20, model.input_shape().value()[1]);
+    std::vector<Tensor> images;
+    images.reserve(digits.size());
+    for (const nn::DigitSample& sample : digits) {
+      images.push_back(sample.image);
+    }
 
     for (const nn::DataType type :
          {nn::DataType::kFloat32, nn::DataType::kFixed16, nn::DataType::kFixed8}) {
@@ -67,13 +126,19 @@ int main() {
       }
       mean_err /= static_cast<float>(digits.size());
 
-      std::printf("  %-8s %10llu %8llu %7llu %8.0f %10.2f %14.2e %9zu/%zu\n",
-                  std::string(nn::to_string(type)).c_str(),
-                  (unsigned long long)point.value().resources.total.luts,
-                  (unsigned long long)point.value().resources.total.dsps,
-                  (unsigned long long)point.value().resources.total.bram36,
-                  point.value().achieved_mhz, point.value().gflops(), mean_err,
-                  agree, digits.size());
+      // The real dataflow executor at this datapath, checked against the
+      // software reference of the same DataType (diff 0 = bit-exact).
+      const ExecutorRun exec =
+          run_executor(model, weights, type, images, quant_engine);
+
+      std::printf(
+          "  %-8s %10llu %8llu %7llu %8.0f %10.2f %14.2e %9zu/%zu %10.2f %12.2e\n",
+          std::string(nn::to_string(type)).c_str(),
+          (unsigned long long)point.value().resources.total.luts,
+          (unsigned long long)point.value().resources.total.dsps,
+          (unsigned long long)point.value().resources.total.bram36,
+          point.value().achieved_mhz, point.value().gflops(), mean_err, agree,
+          digits.size(), exec.gops, (double)exec.max_diff);
     }
     std::printf("\n");
   }

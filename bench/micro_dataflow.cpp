@@ -225,7 +225,7 @@ void BM_ConvMicrokernel(benchmark::State& state) {
 
   const bool packed_variant = state.range(0) != 0;
   const std::vector<float> packed =
-      nn::kernels::pack_conv_weights(weights, kOutC, kInC, kK, kK);
+      nn::kernels::pack_conv_weights<float>(weights, kOutC, kInC, kK, kK);
   std::vector<float> acc(kPoints * kOutC);
   std::vector<const float*> taps(kTaps);
 
@@ -327,6 +327,52 @@ BENCHMARK(BM_AcceleratorParallelOut)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Steady-state LeNet serving per numeric datapath (Arg: 0 = float32,
+/// 1 = fixed16, 2 = fixed8). The fixed designs run the integer MAC
+/// microkernels plus per-blob dynamic requantization and the per-edge
+/// format side-channels — this measures that host-side overhead against
+/// the float datapath on the identical topology.
+void BM_AcceleratorDataType(benchmark::State& state) {
+  const nn::DataType type = state.range(0) == 0   ? nn::DataType::kFloat32
+                            : state.range(0) == 1 ? nn::DataType::kFixed16
+                                                  : nn::DataType::kFixed8;
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 1).value();
+  hw::HwNetwork hw_net = hw::with_default_annotations(model);
+  hw_net.hw.data_type = type;
+  auto plan = hw::plan_accelerator(hw_net).value();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan, std::move(weights)).value();
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 8; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  if (!executor.run_batch(batch).is_ok()) {
+    state.SkipWithError("warm-up failed");
+  }
+  for (auto _ : state) {
+    auto outputs = executor.run_batch(batch);
+    if (!outputs.is_ok()) {
+      state.SkipWithError("run failed");
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetLabel(std::string(nn::to_string(type)));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_AcceleratorDataType)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineSimulator(benchmark::State& state) {

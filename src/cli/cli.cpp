@@ -15,6 +15,7 @@
 #include "hw/dse.hpp"
 #include "nn/models.hpp"
 #include "dataflow/executor.hpp"
+#include "nn/quantization.hpp"
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
 #include "runtime/kernel_runner.hpp"
@@ -80,6 +81,7 @@ int usage(std::ostream& err) {
          "  run     --xclbin F --weights F [--batch N]\n"
          "  fig5    --model M                    batch-size latency sweep\n"
          "  validate --model M [--batch N] [--parallel-out D]\n"
+         "           [--data-type float32|fixed16|fixed8]\n"
          "                                       dataflow engine vs reference\n"
          "  describe-afi --id I --aws-root DIR\n";
   return 2;
@@ -316,7 +318,16 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     err << weights.status().to_string() << "\n";
     return 1;
   }
-  auto engine = nn::ReferenceEngine::create(model.value(), weights.value());
+  // The oracle: the float golden reference for float32, the fixed-point
+  // QuantizedEngine otherwise (QuantizedEngine delegates to the float
+  // reference for float32, so one engine serves both).
+  auto data_type = nn::parse_data_type(args.get_or("data-type", "float32"));
+  if (!data_type.is_ok()) {
+    err << data_type.status().to_string() << "\n";
+    return 2;
+  }
+  auto engine = nn::QuantizedEngine::create(model.value(), weights.value(),
+                                            data_type.value());
   // Uniform intra-layer unfolding degree, clamped per layer to its output
   // map count (a 10-output classifier caps at 10 lanes regardless of the
   // requested degree).
@@ -327,6 +338,7 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   hw::HwNetwork hw_net = hw::with_default_annotations(model.value());
+  hw_net.hw.data_type = data_type.value();
   if (parallel_out > 1) {
     auto shapes = model.value().infer_shapes();
     if (!shapes.is_ok()) {
@@ -369,10 +381,18 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     const Tensor expected = engine.value().forward(inputs[i]).value();
     worst = std::max(worst, max_abs_diff(outputs.value()[i], expected));
   }
+  // Bit-exactness is expected at every data type: the fixed datapaths run
+  // the same integer arithmetic in both engines.
+  const bool fixed = nn::is_fixed_point(data_type.value());
+  const std::string degree =
+      fixed ? strings::format("parallel_out=%zu, %s", parallel_out,
+                              std::string(nn::to_string(data_type.value())).c_str())
+            : strings::format("parallel_out=%zu", parallel_out);
   out << strings::format(
-      "dataflow engine (parallel_out=%zu) vs golden reference on %zu images: "
+      "dataflow engine (%s) vs %s on %zu images: "
       "max |diff| = %g (%s)\n",
-      parallel_out, batch, worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
+      degree.c_str(), fixed ? "quantized reference" : "golden reference", batch,
+      worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
   out << strings::format("KPN: %zu modules, %zu streams\n",
                          executor.value().last_run_stats().modules,
                          executor.value().last_run_stats().streams);

@@ -24,6 +24,7 @@ json::Value make_metadata(const hw::HwNetwork& network,
   meta.set("kernel", kernel_name);
   meta.set("target_mhz", network.hw.target_frequency_mhz);
   meta.set("achieved_mhz", synthesis.achieved_clock_mhz);
+  meta.set("data_type", std::string(nn::to_string(network.hw.data_type)));
   return meta;
 }
 
@@ -101,11 +102,26 @@ Result<FlowResult> Flow::run(const FrontendInput& input, const FlowOptions& opti
   result.network = std::move(analyzed.first);
   result.weights = std::move(analyzed.second);
 
+  // A fixed-point annotation re-derives the cost/timing presets so the DSE
+  // and the synthesis estimates price the datapath the design actually
+  // runs. Explicitly overridden models in the options are left alone for
+  // float32 networks (the ablation benches rely on that).
+  hw::DseOptions dse_options = options.dse;
+  hls::SynthesisOptions synthesis_options = options.synthesis;
+  if (nn::is_fixed_point(result.network.hw.data_type)) {
+    const nn::DataType type = result.network.hw.data_type;
+    CONDOR_LOG_INFO(kTag) << "numeric datapath: " << nn::to_string(type);
+    dse_options.cost = hw::cost_model_for(type);
+    dse_options.timing = hw::timing_model_for(type);
+    synthesis_options.cost = dse_options.cost;
+    synthesis_options.timing = dse_options.timing;
+  }
+
   // -- Step 2: design space exploration ----------------------------------
   if (options.run_dse) {
     CONDOR_LOG_INFO(kTag) << "step 2: automated design space exploration";
     CONDOR_ASSIGN_OR_RETURN(hw::DseResult dse,
-                            hw::explore(result.network, options.dse));
+                            hw::explore(result.network, dse_options));
     result.network = std::move(dse.best.config);
   } else {
     CONDOR_LOG_INFO(kTag) << "step 2: DSE skipped (manual annotations)";
@@ -116,7 +132,7 @@ Result<FlowResult> Flow::run(const FrontendInput& input, const FlowOptions& opti
   CONDOR_ASSIGN_OR_RETURN(result.plan, hw::plan_accelerator(result.network));
   CONDOR_ASSIGN_OR_RETURN(result.sources, hls::generate_all_sources(result.plan));
   CONDOR_ASSIGN_OR_RETURN(result.synthesis,
-                          hls::synthesize(result.plan, options.synthesis));
+                          hls::synthesize(result.plan, synthesis_options));
 
   // -- Step 6: SDAccel integration ---------------------------------------
   CONDOR_LOG_INFO(kTag) << "step 6: SDAccel integration (kernel.xml + packaging)";

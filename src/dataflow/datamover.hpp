@@ -8,38 +8,75 @@
 // All three movers transfer whole blobs per FIFO call (write_burst /
 // read_burst): the datamover models a DMA engine, and blob-granular bursts
 // are what keep the host-side simulation off the park/wake slow path.
+//
+// For a fixed-point plan (see nn/numeric.hpp and dataflow/pe.hpp) the input
+// half quantizes each image with a per-image dynamic format — publishing
+// the format word on the side-channel BEFORE the blob of codes — and the
+// output half reads the final blob's format word, then dequantizes the
+// collected codes back to floats.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dataflow/fifo.hpp"
 #include "dataflow/module.hpp"
 #include "dataflow/program.hpp"
+#include "nn/numeric.hpp"
 #include "tensor/tensor.hpp"
 
 namespace condor::dataflow {
 
-/// Streams each input tensor's elements in CHW raster order.
+/// Streams each input tensor's elements in CHW raster order. Fixed
+/// datapaths quantize per image and announce the format on `fmt_out` ahead
+/// of the codes.
 class InputMoverModule final : public Module {
  public:
-  InputMoverModule(std::string name, Stream& out)
-      : Module(std::move(name)), out_(out) {}
+  InputMoverModule(std::string name, Stream& out,
+                   nn::DataType data_type = nn::DataType::kFloat32,
+                   Stream* fmt_out = nullptr)
+      : Module(std::move(name)),
+        data_type_(data_type),
+        out_(out),
+        fmt_out_(fmt_out) {}
 
   Status run(const RunContext& ctx) override {
     if (ctx.inputs == nullptr) {
       return internal_error("input mover: run context carries no inputs");
     }
+    if (!nn::is_fixed_point(data_type_)) {
+      for (const Tensor& image : *ctx.inputs) {
+        if (!out_.write_burst(image.data())) {
+          return internal_error("input mover: output stream closed early");
+        }
+      }
+      out_.close();
+      return Status::ok();
+    }
+    const int bits = nn::total_bits(data_type_);
+    std::vector<std::int32_t> codes;
+    std::vector<float> blob;
     for (const Tensor& image : *ctx.inputs) {
-      if (!out_.write_burst(image.data())) {
+      const nn::FixedPointFormat format =
+          nn::quantize_span(image.data(), bits, codes);
+      blob.assign(codes.begin(), codes.end());
+      if (fmt_out_ == nullptr ||
+          !fmt_out_->write(static_cast<float>(format.frac_bits))) {
+        return internal_error("input mover: format stream closed early");
+      }
+      if (!out_.write_burst(blob)) {
         return internal_error("input mover: output stream closed early");
       }
     }
     out_.close();
+    fmt_out_->close();
     return Status::ok();
   }
 
  private:
+  nn::DataType data_type_;
   Stream& out_;
+  Stream* fmt_out_;
 };
 
 /// Streams a PE's weights from (simulated) on-board memory, in canonical
@@ -80,21 +117,41 @@ class WeightMoverModule final : public Module {
 };
 
 /// Collects `batch` output blobs of `output_shape` from the final stream.
+/// Fixed datapaths read the blob's format word from `fmt_in` first and
+/// dequantize the collected codes in place.
 class OutputMoverModule final : public Module {
  public:
-  OutputMoverModule(std::string name, Shape output_shape, Stream& in)
+  OutputMoverModule(std::string name, Shape output_shape, Stream& in,
+                    nn::DataType data_type = nn::DataType::kFloat32,
+                    Stream* fmt_in = nullptr)
       : Module(std::move(name)),
         output_shape_(std::move(output_shape)),
-        in_(in) {}
+        data_type_(data_type),
+        in_(in),
+        fmt_in_(fmt_in) {}
 
   Status run(const RunContext& ctx) override {
+    const bool fixed = nn::is_fixed_point(data_type_);
     outputs_.clear();
     outputs_.reserve(ctx.batch);
     for (std::size_t image = 0; image < ctx.batch; ++image) {
+      int frac = 0;
+      if (fixed) {
+        float word = 0.0F;
+        if (fmt_in_ == nullptr || !fmt_in_->read(word)) {
+          return internal_error("output mover: format stream ended early");
+        }
+        frac = static_cast<int>(word);
+      }
       Tensor blob(output_shape_);
       const std::span<float> data = blob.data();
       if (in_.read_burst(data) != data.size()) {
         return internal_error("output mover: stream ended early");
+      }
+      if (fixed) {
+        for (float& value : data) {
+          value = nn::dequantize_code(static_cast<std::int64_t>(value), frac);
+        }
       }
       outputs_.push_back(std::move(blob));
     }
@@ -109,7 +166,9 @@ class OutputMoverModule final : public Module {
 
  private:
   Shape output_shape_;
+  nn::DataType data_type_;
   Stream& in_;
+  Stream* fmt_in_;
   std::vector<Tensor> outputs_;
 };
 

@@ -55,6 +55,18 @@ Status AcceleratorExecutor::build_design() {
         strings::format("stream_edge_%zu", e)));
   }
 
+  // Fixed datapaths add a per-edge format side-channel: one frac_bits word
+  // per image, always written ahead of the blob data (dataflow/pe.hpp). The
+  // float32 design is structurally untouched.
+  const nn::DataType data_type = plan_.data_type();
+  std::vector<Stream*> fmt_streams(plan_.edges.size(), nullptr);
+  if (nn::is_fixed_point(data_type)) {
+    for (std::size_t e = 0; e < plan_.edges.size(); ++e) {
+      fmt_streams[e] = &graph.make_stream(
+          kGlueFifoDepth, strings::format("fmt_edge_%zu", e));
+    }
+  }
+
   // The output blob shape the sink collects: the last PE's emission.
   const std::size_t out_elements = programs.back().output_elements();
 
@@ -82,9 +94,9 @@ Status AcceleratorExecutor::build_design() {
     design->extra_lane_workers += parallel_out - 1;
 
     if (pe.kind == hw::PeKind::kClassifier) {
-      graph.add_module<ClassifierPeModule>(pe.name, program, external_in,
-                                           weight_stream, pe_out, parallel_out,
-                                           pool_.get());
+      graph.add_module<ClassifierPeModule>(
+          pe.name, program, external_in, weight_stream, pe_out, parallel_out,
+          pool_.get(), data_type, fmt_streams[p], fmt_streams[p + 1]);
       continue;
     }
 
@@ -148,10 +160,10 @@ Status AcceleratorExecutor::build_design() {
       }
     }
 
-    graph.add_module<FeaturePeModule>(pe.name, program, window_h, window_w,
-                                      lanes, std::move(ports), weight_stream,
-                                      loopback, pe_out, parallel_out,
-                                      pool_.get());
+    graph.add_module<FeaturePeModule>(
+        pe.name, program, window_h, window_w, lanes, std::move(ports),
+        weight_stream, loopback, pe_out, parallel_out, pool_.get(), data_type,
+        fmt_streams[p], fmt_streams[p + 1]);
   }
 
   // Datamover halves.
@@ -162,9 +174,11 @@ Status AcceleratorExecutor::build_design() {
   if (shapes[last_layer].output.element_count() == out_elements) {
     design->output_shape = shapes[last_layer].output;
   }
-  graph.add_module<InputMoverModule>("datamover_in", *pe_streams.front());
+  graph.add_module<InputMoverModule>("datamover_in", *pe_streams.front(),
+                                     data_type, fmt_streams.front());
   design->sink = &graph.add_module<OutputMoverModule>(
-      "datamover_out", design->output_shape, *pe_streams.back());
+      "datamover_out", design->output_shape, *pe_streams.back(), data_type,
+      fmt_streams.back());
 
   design_ = std::move(design);
   return Status::ok();

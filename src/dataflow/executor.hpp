@@ -12,10 +12,14 @@
 // Host-side softmax (when the plan defers it) is applied to the collected
 // outputs, matching the generated host code of the real flow.
 //
-// The execution is bit-exact against nn::ReferenceEngine: identical
-// accumulation orders and activation functions. That equivalence is the
-// core correctness property of the reproduction and is enforced by the
-// integration test suite over every model in the zoo.
+// The execution is bit-exact against the software golden reference for the
+// plan's numeric datapath (hw::AcceleratorPlan::data_type): against
+// nn::ReferenceEngine for float32 plans (identical accumulation orders and
+// activation functions) and against nn::QuantizedEngine for fixed16/fixed8
+// plans (identical quantization helpers and layer-boundary requantization —
+// see nn/numeric.hpp). That equivalence is the core correctness property of
+// the reproduction and is enforced by the test suites over every
+// synthesizable model in the zoo.
 #pragma once
 
 #include <memory>

@@ -1,6 +1,7 @@
 #include "dataflow/pe.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 
 #include "nn/kernels.hpp"
@@ -18,6 +19,49 @@ Status read_weights(Stream* stream, std::size_t count, std::vector<float>& buffe
     return internal_error("PE '" + pe_name + "': weight stream ended early");
   }
   return Status::ok();
+}
+
+/// Reads one format word (a blob's frac_bits) from a format side-channel.
+Status read_fmt_word(Stream* stream, int& frac, const std::string& pe_name) {
+  float word = 0.0F;
+  if (stream == nullptr || !stream->read(word)) {
+    return internal_error("PE '" + pe_name + "': format stream ended early");
+  }
+  frac = static_cast<int>(word);
+  return Status::ok();
+}
+
+/// The canonical fixed layer-boundary step (mirrors the QuantizedEngine's
+/// requantize_layer_output): chooses a fresh dynamic format for the full
+/// activated float blob, quantizes to codes, and emits — format word first
+/// (when this edge has a format side-channel; the loopback keeps the format
+/// in a PE-local variable instead), then the codes stored in float words.
+Status emit_requantized(const std::string& pe_name, Stream& sink,
+                        Stream* fmt_sink, std::span<const float> values,
+                        int total_bits, int& out_frac) {
+  std::vector<std::int32_t> codes;
+  const nn::FixedPointFormat format =
+      nn::quantize_span(values, total_bits, codes);
+  out_frac = format.frac_bits;
+  if (fmt_sink != nullptr &&
+      !fmt_sink->write(static_cast<float>(format.frac_bits))) {
+    return internal_error("PE '" + pe_name + "': format sink closed mid-pass");
+  }
+  std::vector<float> blob(codes.begin(), codes.end());
+  if (!sink.write_burst(blob)) {
+    return internal_error("PE '" + pe_name + "': sink closed mid-pass");
+  }
+  return Status::ok();
+}
+
+/// Casts a blob of code-carrying float words back to integer codes (codes
+/// fit 16 bits, so the float representation is exact).
+void codes_from_floats(std::span<const float> words,
+                       std::vector<std::int32_t>& codes) {
+  codes.resize(words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(words[i]);
+  }
 }
 
 /// Executes fn(lane) for each of `lanes` compute lanes: inline when there is
@@ -52,9 +96,16 @@ OcSlice oc_slice(std::size_t total, std::size_t lanes, std::size_t lane) {
 }  // namespace
 
 Status FeaturePeModule::run(const RunContext& ctx) {
+  const bool fixed = nn::is_fixed_point(data_type_);
   std::vector<float> weight_buffer;
   std::vector<float> bias_buffer;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
+    int frac = 0;
+    if (fixed) {
+      // The upstream producer announces the image blob's dynamic format
+      // ahead of the blob data.
+      CONDOR_RETURN_IF_ERROR(read_fmt_word(fmt_in_, frac, name()));
+    }
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       const bool last = pi + 1 == program_.passes.size();
@@ -63,7 +114,8 @@ Status FeaturePeModule::run(const RunContext& ctx) {
         return internal_error("PE '" + name() + "': missing loopback stream");
       }
       // The datamover delivers this pass's weight slice per image (the
-      // full set streams from on-board memory, paper §3.2).
+      // full set streams from on-board memory, paper §3.2). Fixed
+      // datapaths stream the same raw floats and quantize locally.
       if (pass.params != nullptr) {
         CONDOR_RETURN_IF_ERROR(read_weights(
             weights_, pass.params->weights.size(), weight_buffer, name()));
@@ -73,12 +125,27 @@ Status FeaturePeModule::run(const RunContext& ctx) {
         weight_buffer.clear();
         bias_buffer.clear();
       }
-      CONDOR_RETURN_IF_ERROR(run_pass(pass, *sink, weight_buffer, bias_buffer));
+      if (!fixed) {
+        CONDOR_RETURN_IF_ERROR(
+            run_pass(pass, *sink, weight_buffer, bias_buffer));
+        continue;
+      }
+      // Fused intermediate blobs keep their format PE-local (no format
+      // side-channel on the loopback edge); only the last pass publishes.
+      int out_frac = 0;
+      CONDOR_RETURN_IF_ERROR(run_pass_fixed(pass, *sink,
+                                            last ? fmt_out_ : nullptr,
+                                            weight_buffer, bias_buffer, frac,
+                                            out_frac));
+      frac = out_frac;
     }
   }
   out_.close();
   if (loopback_ != nullptr) {
     loopback_->close();
+  }
+  if (fmt_out_ != nullptr) {
+    fmt_out_->close();
   }
   return Status::ok();
 }
@@ -268,7 +335,186 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
   return internal_error("unhandled pass kind");
 }
 
+template <typename Acc>
+Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
+                                            Stream* fmt_sink,
+                                            std::span<const float> weights,
+                                            std::span<const float> bias,
+                                            int in_frac, int& out_frac) {
+  const int bits = nn::total_bits(data_type_);
+  const std::size_t oc_total = pass.out_channels;
+  const std::size_t map_points = pass.out_h * pass.out_w;
+  const std::size_t tap_count = pass.window_h * pass.window_w;
+
+  // Quantize this pass's raw weight slice exactly as the QuantizedEngine
+  // quantizes the layer's parameter blobs: one dynamic format over the full
+  // weight tensor, one over the bias — identical codes by construction.
+  std::vector<std::int32_t> wcodes;
+  const nn::FixedPointFormat wf = nn::quantize_span(weights, bits, wcodes);
+  std::vector<std::int32_t> bcodes;
+  nn::FixedPointFormat bf{bits, bits - 1};
+  if (pass.has_bias) {
+    bf = nn::quantize_span(bias, bits, bcodes);
+  }
+  const int acc_frac = wf.frac_bits + in_frac;
+  const std::vector<std::int32_t> packed =
+      nn::kernels::pack_conv_weights<std::int32_t>(
+          wcodes, oc_total, pass.in_channels, pass.window_h, pass.window_w);
+
+  // Same lane decomposition as the float path: disjoint oc slices with
+  // integer accumulator tiles. Integer accumulation is exact, so the lane
+  // count cannot perturb any sum.
+  const std::size_t compute_lanes = std::clamp<std::size_t>(
+      parallel_out_, 1, std::max<std::size_t>(oc_total, 1));
+  std::vector<std::vector<Acc>> lane_acc(compute_lanes);
+  std::vector<std::vector<const std::int32_t*>> lane_taps(compute_lanes);
+  for (std::size_t lane = 0; lane < compute_lanes; ++lane) {
+    const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
+    lane_acc[lane].resize(map_points * slice.width());
+    Acc* acc = lane_acc[lane].data();
+    for (std::size_t point = 0; point < map_points; ++point) {
+      for (std::size_t j = 0; j < slice.width(); ++j) {
+        acc[point * slice.width() + j] =
+            pass.has_bias
+                ? static_cast<Acc>(nn::realign_code(bcodes[slice.begin + j],
+                                                    bf.frac_bits, acc_frac))
+                : Acc{0};
+      }
+    }
+    lane_taps[lane].resize(tap_count);
+  }
+
+  // The port streams carry codes in float words; stage one input-channel
+  // stripe, cast it back to integer codes (exact — see codes_from_floats),
+  // and fork the lanes over the integer MAC microkernel.
+  std::vector<float> stage;
+  std::vector<std::int32_t> int_stage;
+  for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
+    CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage));
+    codes_from_floats(stage, int_stage);
+    const std::int32_t* packed_ic = packed.data() + ic * tap_count * oc_total;
+    run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
+      const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
+      if (slice.width() == 0) {
+        return;
+      }
+      Acc* acc = lane_acc[lane].data();
+      const std::int32_t** taps = lane_taps[lane].data();
+      for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+        for (std::size_t tap = 0; tap < tap_count; ++tap) {
+          taps[tap] = int_stage.data() + (oy * tap_count + tap) * pass.out_w;
+        }
+        nn::kernels::conv_accumulate_row(
+            acc + oy * pass.out_w * slice.width(), slice.width(), pass.out_w,
+            taps, tap_count, 1, packed_ic + slice.begin, oc_total);
+      }
+    });
+  }
+
+  // Dequantize + activate into the (oc, oy, ox) emission order, then
+  // requantize the full blob with a fresh dynamic format (the canonical
+  // layer-boundary step; lanes join first so the format sees every value).
+  std::vector<float> values(oc_total * map_points);
+  run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
+    const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
+    const Acc* acc = lane_acc[lane].data();
+    for (std::size_t j = 0; j < slice.width(); ++j) {
+      float* out_map = values.data() + (slice.begin + j) * map_points;
+      for (std::size_t point = 0; point < map_points; ++point) {
+        out_map[point] = nn::apply_activation(
+            pass.activation,
+            nn::dequantize_code(
+                static_cast<std::int64_t>(acc[point * slice.width() + j]),
+                acc_frac));
+      }
+    }
+  });
+  return emit_requantized(name(), sink, fmt_sink, values, bits, out_frac);
+}
+
+Status FeaturePeModule::run_pass_fixed(const LayerPass& pass, Stream& sink,
+                                       Stream* fmt_sink,
+                                       std::span<const float> weights,
+                                       std::span<const float> bias, int in_frac,
+                                       int& out_frac) {
+  const int bits = nn::total_bits(data_type_);
+  const std::size_t lane_stride = window_h_max_ * window_w_max_;
+
+  switch (pass.kind) {
+    case PassKind::kConvolution:
+      return data_type_ == nn::DataType::kFixed16
+                 ? run_conv_pass_fixed<std::int64_t>(pass, sink, fmt_sink,
+                                                     weights, bias, in_frac,
+                                                     out_frac)
+                 : run_conv_pass_fixed<std::int32_t>(pass, sink, fmt_sink,
+                                                     weights, bias, in_frac,
+                                                     out_frac);
+
+    case PassKind::kPooling: {
+      // Max pooling reduces over codes directly (dequantization is
+      // monotone); average pooling sums codes exactly and divides once in
+      // float — both exactly as the QuantizedEngine's fixed_pooling. The
+      // blob requantizes as a whole, so the output buffers on chip.
+      std::vector<std::vector<float>> port_rows(pass.window_h * pass.window_w);
+      const float window_size =
+          static_cast<float>(pass.window_h * pass.window_w);
+      const bool is_max = pass.pool_method == nn::PoolMethod::kMax;
+      std::vector<float> values(pass.in_channels * pass.out_h * pass.out_w);
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows));
+          for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
+            std::int64_t acc =
+                is_max ? std::numeric_limits<std::int64_t>::min() : 0;
+            for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+              for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+                const auto code = static_cast<std::int64_t>(
+                    port_rows[ky * pass.window_w + kx][ox]);
+                acc = is_max ? std::max(acc, code) : acc + code;
+              }
+            }
+            float value = nn::dequantize_code(acc, in_frac);
+            if (!is_max) {
+              value /= window_size;
+            }
+            values[(c * pass.out_h + oy) * pass.out_w + ox] =
+                nn::apply_activation(pass.activation, value);
+          }
+        }
+      }
+      return emit_requantized(name(), sink, fmt_sink, values, bits, out_frac);
+    }
+
+    case PassKind::kElementwise: {
+      // Dequantize + activate every element, requantize the whole blob
+      // (the QuantizedEngine's fixed_activation).
+      std::vector<float> map(pass.in_h * pass.in_w);
+      std::vector<float> values(pass.in_channels * pass.in_h * pass.in_w);
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        Stream* port = ports_[(c % lanes_) * lane_stride];
+        if (port->read_burst(std::span<float>(map)) != map.size()) {
+          return internal_error("PE '" + name() + "': port stream ended early");
+        }
+        for (std::size_t i = 0; i < map.size(); ++i) {
+          values[c * map.size() + i] = nn::apply_activation(
+              pass.activation,
+              nn::dequantize_code(static_cast<std::int64_t>(map[i]), in_frac));
+        }
+      }
+      return emit_requantized(name(), sink, fmt_sink, values, bits, out_frac);
+    }
+
+    case PassKind::kInnerProduct:
+      return internal_error("feature PE cannot execute an inner-product pass");
+  }
+  return internal_error("unhandled pass kind");
+}
+
 Status ClassifierPeModule::run(const RunContext& ctx) {
+  if (nn::is_fixed_point(data_type_)) {
+    return data_type_ == nn::DataType::kFixed16 ? run_fixed<std::int64_t>(ctx)
+                                                : run_fixed<std::int32_t>(ctx);
+  }
   // Runtime configuration load: the datamover delivers every pass's
   // weights once per run; they stay resident for the whole batch, repacked
   // once into the transposed (in, out) GEMV layout the microkernel wants.
@@ -282,7 +528,7 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
     }
     CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
                                         weight_buffer, name()));
-    packed_weights[pi] = nn::kernels::pack_inner_product_weights(
+    packed_weights[pi] = nn::kernels::pack_inner_product_weights<float>(
         weight_buffer, pass.output_elements(), pass.input_elements());
     CONDOR_RETURN_IF_ERROR(
         read_weights(weights_, pass.params->bias.size(), pass_bias[pi], name()));
@@ -344,6 +590,121 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
     }
   }
   out_.close();
+  return Status::ok();
+}
+
+template <typename Acc>
+Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
+  const int bits = nn::total_bits(data_type_);
+
+  // One-time runtime configuration load, as in the float path — the raw
+  // float weights stream in and quantize on chip with the same per-blob
+  // dynamic formats the QuantizedEngine derives, then stay resident as
+  // packed integer codes for the whole batch.
+  struct FixedPassWeights {
+    std::vector<std::int32_t> packed;  ///< (in, out) transposed codes
+    std::vector<std::int32_t> bias_codes;
+    int weight_frac = 0;
+    int bias_frac = 0;
+  };
+  std::vector<FixedPassWeights> resident(program_.passes.size());
+  std::vector<float> weight_buffer;
+  std::vector<std::int32_t> wcodes;
+  for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+    const LayerPass& pass = program_.passes[pi];
+    if (pass.params == nullptr) {
+      continue;
+    }
+    FixedPassWeights& slot = resident[pi];
+    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
+                                        weight_buffer, name()));
+    slot.weight_frac = nn::quantize_span(weight_buffer, bits, wcodes).frac_bits;
+    slot.packed = nn::kernels::pack_inner_product_weights<std::int32_t>(
+        wcodes, pass.output_elements(), pass.input_elements());
+    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->bias.size(),
+                                        weight_buffer, name()));
+    slot.bias_frac =
+        nn::quantize_span(weight_buffer, bits, slot.bias_codes).frac_bits;
+  }
+
+  std::vector<float> words;
+  std::vector<std::int32_t> current;
+  std::vector<float> values;
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
+    int frac = 0;
+    CONDOR_RETURN_IF_ERROR(read_fmt_word(fmt_in_, frac, name()));
+    words.resize(program_.passes.front().input_elements());
+    if (in_.read_burst(std::span<float>(words)) != words.size()) {
+      return internal_error("PE '" + name() + "': input stream ended early");
+    }
+    codes_from_floats(words, current);
+    for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+      const LayerPass& pass = program_.passes[pi];
+      switch (pass.kind) {
+        case PassKind::kInnerProduct: {
+          const std::size_t in_count = pass.input_elements();
+          const std::size_t out_count = pass.output_elements();
+          const FixedPassWeights& slot = resident[pi];
+          const int acc_frac = slot.weight_frac + frac;
+          values.resize(out_count);
+          // Same disjoint output-neuron slices as the float path; the
+          // integer sums are exact so the lane count is immaterial. Each
+          // lane dequantizes + activates its slice; the blob-wide
+          // requantization joins the lanes first.
+          const std::size_t compute_lanes = std::clamp<std::size_t>(
+              parallel_out_, 1, std::max<std::size_t>(out_count, 1));
+          run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
+            const OcSlice slice = oc_slice(out_count, compute_lanes, lane);
+            if (slice.width() == 0) {
+              return;
+            }
+            std::vector<Acc> acc(slice.width());
+            for (std::size_t j = 0; j < slice.width(); ++j) {
+              acc[j] = pass.has_bias
+                           ? static_cast<Acc>(nn::realign_code(
+                                 slot.bias_codes[slice.begin + j],
+                                 slot.bias_frac, acc_frac))
+                           : Acc{0};
+            }
+            nn::kernels::inner_product_accumulate(
+                acc.data(), slice.width(), current.data(), in_count,
+                slot.packed.data() + slice.begin, out_count);
+            for (std::size_t j = 0; j < slice.width(); ++j) {
+              values[slice.begin + j] = nn::apply_activation(
+                  pass.activation,
+                  nn::dequantize_code(static_cast<std::int64_t>(acc[j]),
+                                      acc_frac));
+            }
+          });
+          frac = nn::quantize_span(values, bits, current).frac_bits;
+          break;
+        }
+        case PassKind::kElementwise: {
+          values.resize(current.size());
+          for (std::size_t i = 0; i < current.size(); ++i) {
+            values[i] = nn::apply_activation(
+                pass.activation, nn::dequantize_code(current[i], frac));
+          }
+          frac = nn::quantize_span(values, bits, current).frac_bits;
+          break;
+        }
+        default:
+          return internal_error("classifier PE got a windowed pass");
+      }
+    }
+    if (fmt_out_ == nullptr ||
+        !fmt_out_->write(static_cast<float>(frac))) {
+      return internal_error("PE '" + name() + "': format sink closed mid-batch");
+    }
+    words.assign(current.begin(), current.end());
+    if (!out_.write_burst(words)) {
+      return internal_error("PE '" + name() + "': output closed mid-batch");
+    }
+  }
+  out_.close();
+  if (fmt_out_ != nullptr) {
+    fmt_out_->close();
+  }
   return Status::ok();
 }
 

@@ -26,6 +26,19 @@
 // subsystem, weights resident on chip (repacked once per batch into the
 // transposed GEMV layout), one multiply-accumulate stream over the
 // flattened input; parallel_out partitions the output neurons the same way.
+//
+// Fixed-point datapath (plan data_type fixed16/fixed8, see nn/numeric.hpp):
+// blob streams carry integer codes stored in float words (|code| < 2^15 is
+// exact in a float mantissa; the mux's zero border is code 0, so the memory
+// subsystem is numeric-type agnostic). Each blob's dynamic Q-format travels
+// out of band on a per-edge format stream: one word per image, written by
+// the producer BEFORE the blob data (so readers never wait on a format word
+// behind unconsumed blob data). Fused passes keep the intermediate format
+// in a PE-local variable — the loopback channel has no format stream. PEs
+// quantize their own weights from the raw float weight stream with the same
+// nn/numeric.hpp helpers the QuantizedEngine uses, MAC raw codes in a
+// widened integer accumulator, and requantize the full output blob at every
+// pass boundary — bit-exact against nn::QuantizedEngine by construction.
 #pragma once
 
 #include <vector>
@@ -34,6 +47,7 @@
 #include "dataflow/fifo.hpp"
 #include "dataflow/module.hpp"
 #include "dataflow/program.hpp"
+#include "nn/numeric.hpp"
 
 namespace condor::dataflow {
 
@@ -48,12 +62,16 @@ class FeaturePeModule final : public Module {
   /// intermediate fused-pass results back to the source mux; `out` is the
   /// downstream PE stream. `parallel_out` compute lanes split each
   /// convolution pass's output channels across `lane_pool` (nullable for
-  /// sequential execution).
+  /// sequential execution). For a fixed `data_type`, `fmt_in` / `fmt_out`
+  /// carry the per-image input/output blob formats (one frac_bits word per
+  /// image, ahead of the blob data).
   FeaturePeModule(std::string name, const PeProgram& program,
                   std::size_t window_h_max, std::size_t window_w_max,
                   std::size_t lanes, std::vector<Stream*> ports, Stream* weights,
                   Stream* loopback, Stream& out, std::size_t parallel_out = 1,
-                  ThreadPool* lane_pool = nullptr)
+                  ThreadPool* lane_pool = nullptr,
+                  nn::DataType data_type = nn::DataType::kFloat32,
+                  Stream* fmt_in = nullptr, Stream* fmt_out = nullptr)
       : Module(std::move(name)),
         program_(program),
         window_h_max_(window_h_max),
@@ -61,16 +79,35 @@ class FeaturePeModule final : public Module {
         lanes_(lanes),
         parallel_out_(parallel_out == 0 ? 1 : parallel_out),
         lane_pool_(lane_pool),
+        data_type_(data_type),
         ports_(std::move(ports)),
         weights_(weights),
         loopback_(loopback),
-        out_(out) {}
+        out_(out),
+        fmt_in_(fmt_in),
+        fmt_out_(fmt_out) {}
 
   Status run(const RunContext& ctx) override;
 
  private:
   Status run_pass(const LayerPass& pass, Stream& sink,
                   std::span<const float> weights, std::span<const float> bias);
+
+  /// Fixed-point pass: codes in, codes out. `in_frac` is the input blob's
+  /// format; the requantized output blob's format lands in `out_frac` (and,
+  /// when `fmt_sink` is non-null, on the wire ahead of the blob).
+  Status run_pass_fixed(const LayerPass& pass, Stream& sink, Stream* fmt_sink,
+                        std::span<const float> weights,
+                        std::span<const float> bias, int in_frac,
+                        int& out_frac);
+
+  /// The convolution body of run_pass_fixed, templated over the widened
+  /// accumulator (int64 for fixed16, int32 for fixed8 — see nn/kernels.hpp).
+  template <typename Acc>
+  Status run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
+                             Stream* fmt_sink, std::span<const float> weights,
+                             std::span<const float> bias, int in_frac,
+                             int& out_frac);
 
   /// Burst-reads the next out_w elements of every active port of `lane`
   /// into `port_rows` (indexed ky * window_w + kx, each out_w long).
@@ -90,36 +127,54 @@ class FeaturePeModule final : public Module {
   std::size_t lanes_;
   std::size_t parallel_out_;
   ThreadPool* lane_pool_;
+  nn::DataType data_type_;
   std::vector<Stream*> ports_;
   Stream* weights_;
   Stream* loopback_;
   Stream& out_;
+  Stream* fmt_in_;
+  Stream* fmt_out_;
 };
 
 class ClassifierPeModule final : public Module {
  public:
   /// `weights` delivers the one-time runtime weight load (the classifier's
   /// parameters stay chip-resident across the batch, per the methodology).
+  /// `fmt_in` / `fmt_out` are the format side-channels of a fixed
+  /// `data_type` (see FeaturePeModule).
   ClassifierPeModule(std::string name, const PeProgram& program, Stream& in,
                      Stream* weights, Stream& out, std::size_t parallel_out = 1,
-                     ThreadPool* lane_pool = nullptr)
+                     ThreadPool* lane_pool = nullptr,
+                     nn::DataType data_type = nn::DataType::kFloat32,
+                     Stream* fmt_in = nullptr, Stream* fmt_out = nullptr)
       : Module(std::move(name)),
         program_(program),
         parallel_out_(parallel_out == 0 ? 1 : parallel_out),
         lane_pool_(lane_pool),
+        data_type_(data_type),
         in_(in),
         weights_(weights),
-        out_(out) {}
+        out_(out),
+        fmt_in_(fmt_in),
+        fmt_out_(fmt_out) {}
 
   Status run(const RunContext& ctx) override;
 
  private:
+  /// The fixed-point batch loop, templated over the widened accumulator
+  /// (int64 for fixed16, int32 for fixed8).
+  template <typename Acc>
+  Status run_fixed(const RunContext& ctx);
+
   const PeProgram& program_;
   std::size_t parallel_out_;
   ThreadPool* lane_pool_;
+  nn::DataType data_type_;
   Stream& in_;
   Stream* weights_;
   Stream& out_;
+  Stream* fmt_in_;
+  Stream* fmt_out_;
 };
 
 }  // namespace condor::dataflow

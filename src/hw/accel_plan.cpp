@@ -251,10 +251,17 @@ Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
 }
 
 std::string describe(const AcceleratorPlan& plan) {
+  // The datapath is mentioned only when it deviates from the paper's
+  // float32, keeping the default dump byte-identical.
+  const std::string datapath =
+      nn::is_fixed_point(plan.data_type())
+          ? strings::format(" [%s datapath]",
+                            std::string(nn::to_string(plan.data_type())).c_str())
+          : "";
   std::string out = strings::format(
-      "accelerator for '%s' on %s: %zu PEs%s\n", plan.source.net.name().c_str(),
+      "accelerator for '%s' on %s: %zu PEs%s%s\n", plan.source.net.name().c_str(),
       plan.board.id.c_str(), plan.pes.size(),
-      plan.softmax_on_host ? " (+softmax on host)" : "");
+      plan.softmax_on_host ? " (+softmax on host)" : "", datapath.c_str());
   for (const PePlan& pe : plan.pes) {
     const char* kind = pe.kind == PeKind::kFeature       ? "feature"
                        : pe.kind == PeKind::kClassifier ? "classifier"

@@ -96,6 +96,12 @@ struct AcceleratorPlan {
   /// Depth of the high-level pipeline (#PEs) — governs the batch size at
   /// which Figure 5's mean-time-per-image curve converges.
   [[nodiscard]] std::size_t pipeline_depth() const noexcept { return pes.size(); }
+
+  /// Numeric datapath selected by the source annotations; honored by the
+  /// dataflow engine, the HLS code generator and the cost/timing models.
+  [[nodiscard]] nn::DataType data_type() const noexcept {
+    return source.hw.data_type;
+  }
 };
 
 /// Derives the filter chain for a Kh x Kw window over a map_w-wide input:

@@ -90,6 +90,11 @@ json::Value to_json(const HwNetwork& network) {
   root.set("name", network.net.name());
   root.set("board", network.hw.board_id);
   root.set("target_frequency_mhz", network.hw.target_frequency_mhz);
+  if (network.hw.data_type != nn::DataType::kFloat32) {
+    // Emitted only for fixed datapaths so float32 files stay byte-identical
+    // to the pre-datapath format.
+    root.set("data_type", std::string(nn::to_string(network.hw.data_type)));
+  }
 
   const nn::LayerSpec& input = network.net.layers().front();
   json::Object input_obj;
@@ -181,6 +186,10 @@ Result<HwNetwork> from_json(const json::Value& value) {
   }
   if (const json::Value* freq = root.find("target_frequency_mhz"); freq != nullptr) {
     CONDOR_ASSIGN_OR_RETURN(out.hw.target_frequency_mhz, freq->as_double());
+  }
+  if (const json::Value* type = root.find("data_type"); type != nullptr) {
+    CONDOR_ASSIGN_OR_RETURN(std::string type_text, type->as_string());
+    CONDOR_ASSIGN_OR_RETURN(out.hw.data_type, nn::parse_data_type(type_text));
   }
 
   const json::Value* input = root.find("input");

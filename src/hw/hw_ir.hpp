@@ -17,6 +17,7 @@
 #include "hw/board.hpp"
 #include "json/json.hpp"
 #include "nn/network.hpp"
+#include "nn/numeric.hpp"
 
 namespace condor::hw {
 
@@ -37,6 +38,9 @@ struct LayerHw {
 struct HwAnnotations {
   std::string board_id = "aws-f1";
   double target_frequency_mhz = 200.0;
+  /// Numeric datapath of the accelerator (paper computes in float32;
+  /// fixed16/fixed8 select the dynamic fixed-point datapath of [14]).
+  nn::DataType data_type = nn::DataType::kFloat32;
   std::vector<LayerHw> layers;  ///< parallel to nn::Network::layers()
 };
 

@@ -24,6 +24,7 @@ std::uint64_t bram_for_elements(std::size_t elements, const CostModel& cost) {
 
 CostModel cost_model_for(nn::DataType type) {
   CostModel cost;  // float32 defaults
+  cost.element_bytes = nn::bytes_per_element(type);
   switch (type) {
     case nn::DataType::kFloat32:
       break;
@@ -36,7 +37,6 @@ CostModel cost_model_for(nn::DataType type) {
       cost.fdiv = {220, 300, 0, 0};
       cost.ftanh = {120, 160, 0, 2};
       cost.fsigmoid = {120, 160, 0, 2};
-      cost.element_bytes = 2;
       cost.fifo_lut_per_element = 0.3;
       break;
     case nn::DataType::kFixed8:
@@ -47,7 +47,6 @@ CostModel cost_model_for(nn::DataType type) {
       cost.fdiv = {120, 160, 0, 0};
       cost.ftanh = {60, 80, 0, 1};
       cost.fsigmoid = {60, 80, 0, 1};
-      cost.element_bytes = 1;
       cost.fifo_lut_per_element = 0.15;
       break;
   }

@@ -55,8 +55,9 @@ struct CostModel {
   double fifo_lut_per_element = 0.6;
   /// Bytes per 36Kb BRAM block.
   std::size_t bram_bytes = 4608;
-  /// Bytes per datapath element (4 for float32; 2/1 for the fixed-point
-  /// quantization presets — shrinks weight stores and FIFO footprints).
+  /// Bytes per datapath element; the presets derive this from
+  /// nn::bytes_per_element (4 for float32, 2/1 for fixed16/fixed8 — shrinks
+  /// weight stores and FIFO footprints).
   std::size_t element_bytes = 4;
   /// Fraction of board BRAM usable for on-chip data buffers before a PE
   /// must spill input re-scan traffic to on-board DDR.

@@ -2,15 +2,16 @@
 
 namespace condor::nn::kernels {
 
-std::vector<float> pack_conv_weights(std::span<const float> weights,
-                                     std::size_t out_channels,
-                                     std::size_t in_channels,
-                                     std::size_t window_h,
-                                     std::size_t window_w) {
+template <typename T>
+std::vector<T> pack_conv_weights(std::span<const T> weights,
+                                 std::size_t out_channels,
+                                 std::size_t in_channels,
+                                 std::size_t window_h,
+                                 std::size_t window_w) {
   const std::size_t taps = window_h * window_w;
-  std::vector<float> packed(out_channels * in_channels * taps);
+  std::vector<T> packed(out_channels * in_channels * taps);
   for (std::size_t oc = 0; oc < out_channels; ++oc) {
-    const float* src = weights.data() + oc * in_channels * taps;
+    const T* src = weights.data() + oc * in_channels * taps;
     for (std::size_t it = 0; it < in_channels * taps; ++it) {
       packed[it * out_channels + oc] = src[it];
     }
@@ -18,15 +19,16 @@ std::vector<float> pack_conv_weights(std::span<const float> weights,
   return packed;
 }
 
-std::vector<float> unpack_conv_weights(std::span<const float> packed,
-                                       std::size_t out_channels,
-                                       std::size_t in_channels,
-                                       std::size_t window_h,
-                                       std::size_t window_w) {
+template <typename T>
+std::vector<T> unpack_conv_weights(std::span<const T> packed,
+                                   std::size_t out_channels,
+                                   std::size_t in_channels,
+                                   std::size_t window_h,
+                                   std::size_t window_w) {
   const std::size_t taps = window_h * window_w;
-  std::vector<float> weights(out_channels * in_channels * taps);
+  std::vector<T> weights(out_channels * in_channels * taps);
   for (std::size_t oc = 0; oc < out_channels; ++oc) {
-    float* dst = weights.data() + oc * in_channels * taps;
+    T* dst = weights.data() + oc * in_channels * taps;
     for (std::size_t it = 0; it < in_channels * taps; ++it) {
       dst[it] = packed[it * out_channels + oc];
     }
@@ -34,10 +36,11 @@ std::vector<float> unpack_conv_weights(std::span<const float> packed,
   return weights;
 }
 
-std::vector<float> pack_inner_product_weights(std::span<const float> weights,
-                                              std::size_t out_count,
-                                              std::size_t in_count) {
-  std::vector<float> packed(out_count * in_count);
+template <typename T>
+std::vector<T> pack_inner_product_weights(std::span<const T> weights,
+                                          std::size_t out_count,
+                                          std::size_t in_count) {
+  std::vector<T> packed(out_count * in_count);
   for (std::size_t o = 0; o < out_count; ++o) {
     for (std::size_t h = 0; h < in_count; ++h) {
       packed[h * out_count + o] = weights[o * in_count + h];
@@ -46,10 +49,11 @@ std::vector<float> pack_inner_product_weights(std::span<const float> weights,
   return packed;
 }
 
-std::vector<float> unpack_inner_product_weights(std::span<const float> packed,
-                                                std::size_t out_count,
-                                                std::size_t in_count) {
-  std::vector<float> weights(out_count * in_count);
+template <typename T>
+std::vector<T> unpack_inner_product_weights(std::span<const T> packed,
+                                            std::size_t out_count,
+                                            std::size_t in_count) {
+  std::vector<T> weights(out_count * in_count);
   for (std::size_t o = 0; o < out_count; ++o) {
     for (std::size_t h = 0; h < in_count; ++h) {
       weights[o * in_count + h] = packed[h * out_count + o];
@@ -58,33 +62,76 @@ std::vector<float> unpack_inner_product_weights(std::span<const float> packed,
   return weights;
 }
 
-void conv_accumulate_row(float* acc, std::size_t oc_count, std::size_t out_w,
-                         const float* const* taps, std::size_t tap_count,
-                         std::size_t x_stride, const float* packed,
+template <typename T, typename Acc>
+void conv_accumulate_row(Acc* acc, std::size_t oc_count, std::size_t out_w,
+                         const T* const* taps, std::size_t tap_count,
+                         std::size_t x_stride, const T* packed,
                          std::size_t packed_stride) {
   for (std::size_t ox = 0; ox < out_w; ++ox) {
-    float* __restrict point_acc = acc + ox * oc_count;
+    Acc* __restrict point_acc = acc + ox * oc_count;
     for (std::size_t t = 0; t < tap_count; ++t) {
-      const float x = taps[t][ox * x_stride];
-      const float* __restrict w = packed + t * packed_stride;
+      const Acc x = static_cast<Acc>(taps[t][ox * x_stride]);
+      const T* __restrict w = packed + t * packed_stride;
       for (std::size_t j = 0; j < oc_count; ++j) {
-        point_acc[j] += w[j] * x;
+        point_acc[j] += static_cast<Acc>(w[j]) * x;
       }
     }
   }
 }
 
-void inner_product_accumulate(float* acc, std::size_t out_count,
-                              const float* x, std::size_t in_count,
-                              const float* packed, std::size_t packed_stride) {
+template <typename T, typename Acc>
+void inner_product_accumulate(Acc* acc, std::size_t out_count,
+                              const T* x, std::size_t in_count,
+                              const T* packed, std::size_t packed_stride) {
   for (std::size_t h = 0; h < in_count; ++h) {
-    const float xv = x[h];
-    const float* __restrict w = packed + h * packed_stride;
-    float* __restrict a = acc;
+    const Acc xv = static_cast<Acc>(x[h]);
+    const T* __restrict w = packed + h * packed_stride;
+    Acc* __restrict a = acc;
     for (std::size_t j = 0; j < out_count; ++j) {
-      a[j] += w[j] * xv;
+      a[j] += static_cast<Acc>(w[j]) * xv;
     }
   }
 }
+
+// Explicit instantiations — the only (T, Acc) combinations the datapaths
+// use (float, and int32 codes with a widened integer accumulator). They
+// live here so every caller links against this -O3-compiled TU.
+template std::vector<float> pack_conv_weights<float>(
+    std::span<const float>, std::size_t, std::size_t, std::size_t, std::size_t);
+template std::vector<std::int32_t> pack_conv_weights<std::int32_t>(
+    std::span<const std::int32_t>, std::size_t, std::size_t, std::size_t,
+    std::size_t);
+template std::vector<float> unpack_conv_weights<float>(
+    std::span<const float>, std::size_t, std::size_t, std::size_t, std::size_t);
+template std::vector<std::int32_t> unpack_conv_weights<std::int32_t>(
+    std::span<const std::int32_t>, std::size_t, std::size_t, std::size_t,
+    std::size_t);
+template std::vector<float> pack_inner_product_weights<float>(
+    std::span<const float>, std::size_t, std::size_t);
+template std::vector<std::int32_t> pack_inner_product_weights<std::int32_t>(
+    std::span<const std::int32_t>, std::size_t, std::size_t);
+template std::vector<float> unpack_inner_product_weights<float>(
+    std::span<const float>, std::size_t, std::size_t);
+template std::vector<std::int32_t> unpack_inner_product_weights<std::int32_t>(
+    std::span<const std::int32_t>, std::size_t, std::size_t);
+
+template void conv_accumulate_row<float, float>(
+    float*, std::size_t, std::size_t, const float* const*, std::size_t,
+    std::size_t, const float*, std::size_t);
+template void conv_accumulate_row<std::int32_t, std::int64_t>(
+    std::int64_t*, std::size_t, std::size_t, const std::int32_t* const*,
+    std::size_t, std::size_t, const std::int32_t*, std::size_t);
+template void conv_accumulate_row<std::int32_t, std::int32_t>(
+    std::int32_t*, std::size_t, std::size_t, const std::int32_t* const*,
+    std::size_t, std::size_t, const std::int32_t*, std::size_t);
+
+template void inner_product_accumulate<float, float>(
+    float*, std::size_t, const float*, std::size_t, const float*, std::size_t);
+template void inner_product_accumulate<std::int32_t, std::int64_t>(
+    std::int64_t*, std::size_t, const std::int32_t*, std::size_t,
+    const std::int32_t*, std::size_t);
+template void inner_product_accumulate<std::int32_t, std::int32_t>(
+    std::int32_t*, std::size_t, const std::int32_t*, std::size_t,
+    const std::int32_t*, std::size_t);
 
 }  // namespace condor::nn::kernels

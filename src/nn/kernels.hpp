@@ -15,14 +15,30 @@
 // tile of per-output-channel accumulators (the weight-reshaping-for-SIMD
 // trick of Caffeinated FPGAs / fpgaConvNet applied to the host kernels).
 //
-// Bit-exactness: for every output element the accumulation chain is
+// The kernels are templated over the element type `T` and the accumulator
+// type `Acc` so the same loops serve both datapaths (see nn/numeric.hpp):
+//
+//   float   datapath: T = float,        Acc = float
+//   fixed16 datapath: T = std::int32_t, Acc = std::int64_t  (codes; a
+//                     16x16-bit product needs 30 bits, int32 would overflow
+//                     mid-sum)
+//   fixed8  datapath: T = std::int32_t, Acc = std::int32_t  (widened int32)
+//
+// Only these combinations are instantiated (explicitly, in kernels.cpp,
+// which is compiled -O3 — the templates have no inline definitions here so
+// every caller links against the optimized instantiations).
+//
+// Bit-exactness: for every float output element the accumulation chain is
 // unchanged — the bias seed followed by the (ic, ky, kx)-ordered adds. Only
 // the iteration order *across* independent output channels moves, which
-// cannot alter any individual float result. Both engines call these same
-// functions, so they stay bit-identical to each other by construction.
+// cannot alter any individual float result. Integer accumulation is exact,
+// so for the fixed datapaths any order yields the same sum. Both engines
+// call these same functions, so they stay bit-identical to each other by
+// construction.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -31,30 +47,34 @@ namespace condor::nn::kernels {
 /// Repacks row-major (oc, ic, ky, kx) convolution weights into the packed
 /// (ic, ky, kx, oc) layout. `weights.size()` must equal
 /// `out_channels * in_channels * window_h * window_w`.
-std::vector<float> pack_conv_weights(std::span<const float> weights,
-                                     std::size_t out_channels,
-                                     std::size_t in_channels,
-                                     std::size_t window_h,
-                                     std::size_t window_w);
+template <typename T>
+std::vector<T> pack_conv_weights(std::span<const T> weights,
+                                 std::size_t out_channels,
+                                 std::size_t in_channels,
+                                 std::size_t window_h,
+                                 std::size_t window_w);
 
 /// Inverse of pack_conv_weights: packed (ic, ky, kx, oc) back to the
 /// canonical (oc, ic, ky, kx) storage order.
-std::vector<float> unpack_conv_weights(std::span<const float> packed,
-                                       std::size_t out_channels,
-                                       std::size_t in_channels,
-                                       std::size_t window_h,
-                                       std::size_t window_w);
+template <typename T>
+std::vector<T> unpack_conv_weights(std::span<const T> packed,
+                                   std::size_t out_channels,
+                                   std::size_t in_channels,
+                                   std::size_t window_h,
+                                   std::size_t window_w);
 
 /// Repacks row-major (out, in) inner-product weights into the transposed
 /// (in, out) layout (out contiguous).
-std::vector<float> pack_inner_product_weights(std::span<const float> weights,
-                                              std::size_t out_count,
-                                              std::size_t in_count);
+template <typename T>
+std::vector<T> pack_inner_product_weights(std::span<const T> weights,
+                                          std::size_t out_count,
+                                          std::size_t in_count);
 
 /// Inverse of pack_inner_product_weights.
-std::vector<float> unpack_inner_product_weights(std::span<const float> packed,
-                                                std::size_t out_count,
-                                                std::size_t in_count);
+template <typename T>
+std::vector<T> unpack_inner_product_weights(std::span<const T> packed,
+                                            std::size_t out_count,
+                                            std::size_t in_count);
 
 /// One (input-channel, output-row) convolution update over a tile of
 /// `oc_count` output channels:
@@ -71,10 +91,12 @@ std::vector<float> unpack_inner_product_weights(std::span<const float> packed,
 /// apart (the full out_channels when `oc_count` is a lane's slice).
 ///
 /// The j-loop is contiguous in both `acc` and `packed`, so it vectorizes;
-/// per output element the adds still arrive in (ky, kx) order.
-void conv_accumulate_row(float* acc, std::size_t oc_count, std::size_t out_w,
-                         const float* const* taps, std::size_t tap_count,
-                         std::size_t x_stride, const float* packed,
+/// per output element the adds still arrive in (ky, kx) order. Products
+/// are formed in `Acc` (widening first for the integer datapaths).
+template <typename T, typename Acc>
+void conv_accumulate_row(Acc* acc, std::size_t oc_count, std::size_t out_w,
+                         const T* const* taps, std::size_t tap_count,
+                         std::size_t x_stride, const T* packed,
                          std::size_t packed_stride);
 
 /// Inner-product update over a tile of `out_count` outputs:
@@ -83,8 +105,9 @@ void conv_accumulate_row(float* acc, std::size_t oc_count, std::size_t out_w,
 ///
 /// `acc` must be seeded (bias or zero) by the caller; adds arrive in
 /// ascending-h order, matching the scalar row-dot-product chain exactly.
-void inner_product_accumulate(float* acc, std::size_t out_count,
-                              const float* x, std::size_t in_count,
-                              const float* packed, std::size_t packed_stride);
+template <typename T, typename Acc>
+void inner_product_accumulate(Acc* acc, std::size_t out_count,
+                              const T* x, std::size_t in_count,
+                              const T* packed, std::size_t packed_stride);
 
 }  // namespace condor::nn::kernels

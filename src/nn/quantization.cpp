@@ -2,90 +2,235 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
 
 namespace condor::nn {
+namespace {
 
-std::string_view to_string(DataType type) noexcept {
-  switch (type) {
-    case DataType::kFloat32:
-      return "float32";
-    case DataType::kFixed16:
-      return "fixed16";
-    case DataType::kFixed8:
-      return "fixed8";
+/// A fixed-point blob: integer codes plus the dynamic format they carry.
+/// value[i] = codes[i] * 2^-frac_bits.
+struct FixedBlob {
+  Shape shape;
+  std::vector<std::int32_t> codes;
+  int frac_bits = 0;
+};
+
+/// Dequantizes, activates, and requantizes a finished layer output: the
+/// canonical layer-boundary step of the fixed datapath. `raw` holds one
+/// accumulator (or pooled code) per output element at scale `raw_frac`.
+FixedBlob requantize_layer_output(Shape shape, std::span<const std::int64_t> raw,
+                                  int raw_frac, Activation activation,
+                                  int total_bits) {
+  std::vector<float> values(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    values[i] = apply_activation(activation, dequantize_code(raw[i], raw_frac));
   }
-  return "?";
+  FixedBlob out;
+  out.shape = std::move(shape);
+  out.frac_bits = quantize_span(values, total_bits, out.codes).frac_bits;
+  return out;
 }
 
-std::size_t bytes_per_element(DataType type) noexcept {
-  switch (type) {
-    case DataType::kFloat32:
-      return 4;
-    case DataType::kFixed16:
-      return 2;
-    case DataType::kFixed8:
-      return 1;
+Result<FixedBlob> fixed_convolution(const LayerSpec& layer, const FixedBlob& in,
+                                    const LayerParameters& params,
+                                    int total_bits) {
+  const std::size_t in_c = in.shape[0];
+  const std::size_t in_h = in.shape[1];
+  const std::size_t in_w = in.shape[2];
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_h,
+      window_output_extent(in_h, layer.kernel_h, layer.stride, layer.pad));
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_w,
+      window_output_extent(in_w, layer.kernel_w, layer.stride, layer.pad));
+  const std::size_t out_c = layer.num_output;
+  if (params.weights.shape() !=
+      Shape{out_c, in_c, layer.kernel_h, layer.kernel_w}) {
+    return invalid_input("convolution '" + layer.name + "': weight shape mismatch");
   }
-  return 4;
-}
 
-float FixedPointFormat::resolution() const noexcept {
-  return std::ldexp(1.0F, -frac_bits);
-}
-
-float FixedPointFormat::max_value() const noexcept {
-  // Largest positive code: 2^(total-1) - 1 steps of the resolution.
-  return (std::ldexp(1.0F, total_bits - 1) - 1.0F) * resolution();
-}
-
-float quantize_value(float value, const FixedPointFormat& format) noexcept {
-  const float scaled = std::ldexp(value, format.frac_bits);
-  const float max_code = std::ldexp(1.0F, format.total_bits - 1) - 1.0F;
-  const float min_code = -std::ldexp(1.0F, format.total_bits - 1);
-  const float code = std::clamp(std::nearbyint(scaled), min_code, max_code);
-  return std::ldexp(code, -format.frac_bits);
-}
-
-FixedPointFormat choose_format(std::span<const float> values,
-                               int total_bits) noexcept {
-  float max_abs = 0.0F;
-  for (const float value : values) {
-    max_abs = std::max(max_abs, std::fabs(value));
+  // Quantize the layer's parameters from the raw floats: one dynamic format
+  // for the full weight blob, one for the bias — the same blobs the PEs see
+  // on the weight stream, so the codes match by construction.
+  std::vector<std::int32_t> wcodes;
+  const FixedPointFormat wf =
+      quantize_span(params.weights.data(), total_bits, wcodes);
+  std::vector<std::int32_t> bcodes;
+  FixedPointFormat bf{total_bits, total_bits - 1};
+  if (layer.has_bias) {
+    bf = quantize_span(params.bias.data(), total_bits, bcodes);
   }
-  FixedPointFormat format;
-  format.total_bits = total_bits;
-  if (max_abs == 0.0F) {
-    format.frac_bits = total_bits - 1;
-    return format;
+  const int acc_frac = wf.frac_bits + in.frac_bits;
+
+  // Zero-padded code frame — code 0 is exactly value 0, so the border is
+  // neutral for the accumulation just as in the float engine.
+  const std::size_t frame_h = in_h + 2 * layer.pad;
+  const std::size_t frame_w = in_w + 2 * layer.pad;
+  const std::int32_t* frame = in.codes.data();
+  std::vector<std::int32_t> padded;
+  if (layer.pad != 0) {
+    padded.assign(in_c * frame_h * frame_w, 0);
+    for (std::size_t ic = 0; ic < in_c; ++ic) {
+      for (std::size_t y = 0; y < in_h; ++y) {
+        std::memcpy(&padded[(ic * frame_h + y + layer.pad) * frame_w + layer.pad],
+                    in.codes.data() + (ic * in_h + y) * in_w,
+                    in_w * sizeof(std::int32_t));
+      }
+    }
+    frame = padded.data();
   }
-  // Integer bits needed so that max_abs fits: ceil(log2(max_abs + 1ulp)).
-  const int integer_bits =
-      std::max(0, static_cast<int>(std::ceil(std::log2(max_abs + 1e-12F))));
-  format.frac_bits = std::clamp(total_bits - 1 - integer_bits, 0, total_bits - 1);
-  return format;
+
+  // Integer accumulation is exact, so any iteration order yields the same
+  // accumulator value — no need to mirror the float engine's schedule.
+  std::vector<std::int64_t> acc(out_c * out_h * out_w);
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    const std::int64_t seed =
+        layer.has_bias ? realign_code(bcodes[oc], bf.frac_bits, acc_frac) : 0;
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        std::int64_t sum = seed;
+        for (std::size_t ic = 0; ic < in_c; ++ic) {
+          const std::int32_t* channel = frame + ic * frame_h * frame_w;
+          const std::int32_t* wrow =
+              wcodes.data() +
+              (oc * in_c + ic) * layer.kernel_h * layer.kernel_w;
+          for (std::size_t ky = 0; ky < layer.kernel_h; ++ky) {
+            const std::int32_t* xrow =
+                channel + (oy * layer.stride + ky) * frame_w + ox * layer.stride;
+            for (std::size_t kx = 0; kx < layer.kernel_w; ++kx) {
+              sum += static_cast<std::int64_t>(wrow[ky * layer.kernel_w + kx]) *
+                     xrow[kx];
+            }
+          }
+        }
+        acc[(oc * out_h + oy) * out_w + ox] = sum;
+      }
+    }
+  }
+  return requantize_layer_output(Shape{out_c, out_h, out_w}, acc, acc_frac,
+                                 layer.activation, total_bits);
 }
 
-FixedPointFormat quantize_tensor(Tensor& tensor, int total_bits) noexcept {
-  const FixedPointFormat format = choose_format(tensor.data(), total_bits);
-  for (float& value : tensor.data()) {
-    value = quantize_value(value, format);
+Result<FixedBlob> fixed_pooling(const LayerSpec& layer, const FixedBlob& in,
+                                int total_bits) {
+  if (layer.pad != 0) {
+    return invalid_input("pooling '" + layer.name +
+                         "' with padding is not supported");
   }
-  return format;
+  const std::size_t channels = in.shape[0];
+  const std::size_t in_h = in.shape[1];
+  const std::size_t in_w = in.shape[2];
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_h,
+      window_output_extent(in_h, layer.kernel_h, layer.stride, 0));
+  CONDOR_ASSIGN_OR_RETURN(
+      std::size_t out_w,
+      window_output_extent(in_w, layer.kernel_w, layer.stride, 0));
+
+  const bool is_max = layer.pool_method == PoolMethod::kMax;
+  const float window_size = static_cast<float>(layer.kernel_h * layer.kernel_w);
+  std::vector<float> values(channels * out_h * out_w);
+  for (std::size_t c = 0; c < channels; ++c) {
+    const std::int32_t* map = in.codes.data() + c * in_h * in_w;
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      for (std::size_t ox = 0; ox < out_w; ++ox) {
+        // Dequantization is monotone, so max over codes is max over values;
+        // the average sums codes exactly and divides once in float.
+        std::int64_t acc = is_max ? std::numeric_limits<std::int64_t>::min() : 0;
+        for (std::size_t ky = 0; ky < layer.kernel_h; ++ky) {
+          const std::int32_t* row =
+              map + (oy * layer.stride + ky) * in_w + ox * layer.stride;
+          for (std::size_t kx = 0; kx < layer.kernel_w; ++kx) {
+            acc = is_max ? std::max<std::int64_t>(acc, row[kx]) : acc + row[kx];
+          }
+        }
+        float value = dequantize_code(acc, in.frac_bits);
+        if (!is_max) {
+          value /= window_size;
+        }
+        values[(c * out_h + oy) * out_w + ox] =
+            apply_activation(layer.activation, value);
+      }
+    }
+  }
+  FixedBlob out;
+  out.shape = Shape{channels, out_h, out_w};
+  out.frac_bits = quantize_span(values, total_bits, out.codes).frac_bits;
+  return out;
 }
+
+Result<FixedBlob> fixed_inner_product(const LayerSpec& layer, const FixedBlob& in,
+                                      const LayerParameters& params,
+                                      int total_bits) {
+  const std::size_t in_count = in.codes.size();
+  const std::size_t out_count = layer.num_output;
+  if (params.weights.shape() != Shape{out_count, in_count}) {
+    return invalid_input("inner product '" + layer.name +
+                         "': weight shape mismatch");
+  }
+  std::vector<std::int32_t> wcodes;
+  const FixedPointFormat wf =
+      quantize_span(params.weights.data(), total_bits, wcodes);
+  std::vector<std::int32_t> bcodes;
+  FixedPointFormat bf{total_bits, total_bits - 1};
+  if (layer.has_bias) {
+    bf = quantize_span(params.bias.data(), total_bits, bcodes);
+  }
+  const int acc_frac = wf.frac_bits + in.frac_bits;
+
+  std::vector<std::int64_t> acc(out_count);
+  for (std::size_t o = 0; o < out_count; ++o) {
+    std::int64_t sum =
+        layer.has_bias ? realign_code(bcodes[o], bf.frac_bits, acc_frac) : 0;
+    const std::int32_t* row = wcodes.data() + o * in_count;
+    for (std::size_t i = 0; i < in_count; ++i) {
+      sum += static_cast<std::int64_t>(row[i]) * in.codes[i];
+    }
+    acc[o] = sum;
+  }
+  return requantize_layer_output(Shape{out_count}, acc, acc_frac,
+                                 layer.activation, total_bits);
+}
+
+FixedBlob fixed_activation(Activation activation, const FixedBlob& in,
+                           int total_bits) {
+  std::vector<float> values(in.codes.size());
+  for (std::size_t i = 0; i < in.codes.size(); ++i) {
+    values[i] =
+        apply_activation(activation, dequantize_code(in.codes[i], in.frac_bits));
+  }
+  FixedBlob out;
+  out.shape = in.shape;
+  out.frac_bits = quantize_span(values, total_bits, out.codes).frac_bits;
+  return out;
+}
+
+Tensor dequantize_blob(const FixedBlob& blob) {
+  Tensor out(blob.shape);
+  const auto view = out.data();
+  for (std::size_t i = 0; i < blob.codes.size(); ++i) {
+    view[i] = dequantize_code(blob.codes[i], blob.frac_bits);
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<WeightStore> quantize_weights(const WeightStore& weights, DataType type) {
   if (type == DataType::kFloat32) {
     return weights;
   }
-  const int total_bits = type == DataType::kFixed16 ? 16 : 8;
+  const int bits = total_bits(type);
   WeightStore quantized;
   for (const auto& [name, params] : weights.all()) {
     LayerParameters out;
     out.weights = params.weights;
-    quantize_tensor(out.weights, total_bits);
+    quantize_tensor(out.weights, bits);
     if (!params.bias.empty()) {
       out.bias = params.bias;
-      quantize_tensor(out.bias, total_bits);
+      quantize_tensor(out.bias, bits);
     }
     quantized.set(name, std::move(out));
   }
@@ -95,59 +240,61 @@ Result<WeightStore> quantize_weights(const WeightStore& weights, DataType type) 
 Result<QuantizedEngine> QuantizedEngine::create(Network network,
                                                 WeightStore weights,
                                                 DataType type) {
-  CONDOR_ASSIGN_OR_RETURN(WeightStore quantized, quantize_weights(weights, type));
   CONDOR_ASSIGN_OR_RETURN(
       ReferenceEngine engine,
-      ReferenceEngine::create(std::move(network), std::move(quantized)));
-  const int total_bits = type == DataType::kFixed8 ? 8 : 16;
-  return QuantizedEngine(std::move(engine), type, total_bits);
+      ReferenceEngine::create(std::move(network), std::move(weights)));
+  return QuantizedEngine(std::move(engine), type, total_bits(type));
 }
 
 Result<Tensor> QuantizedEngine::forward(const Tensor& input) const {
   if (type_ == DataType::kFloat32) {
     return engine_.forward(input);
   }
-  // Quantize the input, then every intermediate blob with its own dynamic
-  // format — the software emulation of a fixed-point datapath with
-  // per-layer scaling.
-  Tensor current = input;
-  quantize_tensor(current, total_bits_);
+  // The integer datapath: quantize the image once, then carry codes from
+  // layer to layer, requantizing each output blob with a fresh dynamic
+  // format (see nn/numeric.hpp for the conventions).
+  FixedBlob current;
+  current.shape = input.shape();
+  current.frac_bits =
+      quantize_span(input.data(), total_bits_, current.codes).frac_bits;
   const Network& net = engine_.network();
-  for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    const LayerSpec& layer = net.layers()[i];
+  for (const LayerSpec& layer : net.layers()) {
     switch (layer.kind) {
       case LayerKind::kInput:
         break;
       case LayerKind::kConvolution: {
+        const LayerParameters* params = engine_.weights().find(layer.name);
+        if (params == nullptr) {
+          return not_found("no weights for '" + layer.name + "'");
+        }
         CONDOR_ASSIGN_OR_RETURN(
-            current, forward_convolution(layer, current,
-                                         *engine_.weights().find(layer.name)));
-        quantize_tensor(current, total_bits_);
+            current, fixed_convolution(layer, current, *params, total_bits_));
         break;
       }
       case LayerKind::kPooling: {
-        CONDOR_ASSIGN_OR_RETURN(current, forward_pooling(layer, current));
-        quantize_tensor(current, total_bits_);
+        CONDOR_ASSIGN_OR_RETURN(current,
+                                fixed_pooling(layer, current, total_bits_));
         break;
       }
       case LayerKind::kInnerProduct: {
+        const LayerParameters* params = engine_.weights().find(layer.name);
+        if (params == nullptr) {
+          return not_found("no weights for '" + layer.name + "'");
+        }
         CONDOR_ASSIGN_OR_RETURN(
-            current, forward_inner_product(layer, current,
-                                           *engine_.weights().find(layer.name)));
-        quantize_tensor(current, total_bits_);
+            current, fixed_inner_product(layer, current, *params, total_bits_));
         break;
       }
       case LayerKind::kActivation:
-        current = forward_activation(layer.activation, current);
-        quantize_tensor(current, total_bits_);
+        current = fixed_activation(layer.activation, current, total_bits_);
         break;
       case LayerKind::kSoftmax:
-        // The normalization runs on the host in float (see the planner).
-        current = forward_softmax(current);
-        break;
+        // The normalization runs on the host in float (see the planner):
+        // dequantize and finish in floating point, no requantization.
+        return forward_softmax(dequantize_blob(current));
     }
   }
-  return current;
+  return dequantize_blob(current);
 }
 
 QuantizationError compare_outputs(const Tensor& reference, const Tensor& quantized) {

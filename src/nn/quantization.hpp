@@ -3,56 +3,45 @@
 // The paper's accelerator computes in single-precision float; contemporary
 // work it cites (Qiu et al., FPGA'16 [14]) shows dynamic-precision fixed
 // point cuts bandwidth and resources "with negligible impact on the
-// resulting accuracy". This module provides the numerical side of that
-// study: per-tensor dynamic Q-format selection, weight/activation
-// quantization, and a quantized inference engine used by the quantization
-// ablation bench to measure the accuracy cost on Condor's model zoo.
+// resulting accuracy". The numeric primitives (formats, rounding,
+// quantize/dequantize codes) live in nn/numeric.hpp and are shared with the
+// dataflow engine; this module provides the layer-level golden reference:
+// weight quantization and a fixed-point inference engine that executes the
+// canonical integer datapath the accelerator PEs implement, used both by
+// the quantization ablation bench (accuracy cost on the model zoo) and as
+// the bit-exactness oracle for `condor validate --data-type fixed16|fixed8`.
 #pragma once
 
 #include <cstdint>
 
 #include "common/status.hpp"
 #include "nn/network.hpp"
+#include "nn/numeric.hpp"
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
 
 namespace condor::nn {
 
-enum class DataType { kFloat32, kFixed16, kFixed8 };
-
-std::string_view to_string(DataType type) noexcept;
-std::size_t bytes_per_element(DataType type) noexcept;
-
-/// A signed fixed-point format: `total_bits` including sign, `frac_bits`
-/// fractional bits (Qm.n with m = total - 1 - n integer bits).
-struct FixedPointFormat {
-  int total_bits = 16;
-  int frac_bits = 12;
-
-  [[nodiscard]] float resolution() const noexcept;  ///< 2^-frac
-  [[nodiscard]] float max_value() const noexcept;   ///< largest representable
-};
-
-/// Rounds to nearest representable value, saturating at the format range.
-float quantize_value(float value, const FixedPointFormat& format) noexcept;
-
-/// Dynamic-precision format selection (after [14]): places the binary point
-/// so the largest magnitude in `values` just fits, maximizing fractional
-/// resolution. Falls back to all-fractional for all-zero inputs.
-FixedPointFormat choose_format(std::span<const float> values,
-                               int total_bits) noexcept;
-
-/// Quantizes every element in place with a per-tensor dynamic format.
-FixedPointFormat quantize_tensor(Tensor& tensor, int total_bits) noexcept;
-
-/// Quantizes all weights/biases of a store (per-blob dynamic formats).
+/// Quantizes all weights/biases of a store (per-blob dynamic formats,
+/// weights and bias of a layer each get their own format).
 Result<WeightStore> quantize_weights(const WeightStore& weights, DataType type);
 
-/// Inference with quantized weights and per-layer activation quantization
-/// (quantize-dequantize at every layer boundary — the standard software
-/// emulation of a fixed-point datapath).
+/// Inference at a selected DataType.
+///
+/// float32 delegates to the float ReferenceEngine unchanged. The fixed
+/// types execute the canonical integer datapath (see nn/numeric.hpp):
+/// blobs are integer codes with a dynamic per-blob format, MACs accumulate
+/// raw codes in a widened integer, and every layer boundary dequantizes,
+/// applies the activation in float, and requantizes the whole blob with a
+/// fresh format. The dataflow executor performs the identical operations
+/// (integer sums are exact and order-independent; the float conversions
+/// happen at the same points with the same inputs), so executor outputs are
+/// bit-exact against this engine per DataType.
 class QuantizedEngine {
  public:
+  /// Keeps the RAW float weights; the fixed-point forward quantizes each
+  /// layer's blob on the fly — exactly what the dataflow PEs do with the
+  /// raw weight stream, so both sides derive identical codes and formats.
   static Result<QuantizedEngine> create(Network network, WeightStore weights,
                                         DataType type);
 

@@ -136,6 +136,35 @@ TEST(Cli, ValidateReportsBitExactness) {
   EXPECT_EQ(run({"validate", "--model", "nope"}).exit_code, 1);
 }
 
+TEST(Cli, ValidateFixedDataTypesBitExact) {
+  for (const char* type : {"fixed16", "fixed8"}) {
+    SCOPED_TRACE(type);
+    const CliRun result = run(
+        {"validate", "--model", "tc1", "--batch", "2", "--data-type", type});
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_NE(result.out.find("bit-exact PASS"), std::string::npos);
+    EXPECT_NE(result.out.find(type), std::string::npos)
+        << "report should name the datapath";
+    EXPECT_NE(result.out.find("quantized reference"), std::string::npos);
+  }
+  // float32 is the explicit default and still validates against the golden
+  // reference; unknown names are a usage error.
+  const CliRun f32 = run(
+      {"validate", "--model", "tc1", "--batch", "1", "--data-type", "float32"});
+  EXPECT_EQ(f32.exit_code, 0) << f32.err;
+  EXPECT_NE(f32.out.find("golden reference"), std::string::npos);
+  EXPECT_EQ(run({"validate", "--model", "tc1", "--data-type", "fixed4"})
+                .exit_code,
+            2);
+}
+
+TEST(Cli, ValidateFixedLeNet) {
+  const CliRun result = run(
+      {"validate", "--model", "lenet", "--batch", "1", "--data-type", "fixed16"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("bit-exact PASS"), std::string::npos);
+}
+
 TEST(Cli, Fig5PrintsBatchSweep) {
   const CliRun result = run({"fig5", "--model", "tc1"});
   EXPECT_EQ(result.exit_code, 0) << result.err;

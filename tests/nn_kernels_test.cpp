@@ -29,9 +29,11 @@ TEST(NnKernels, ConvPackRoundTrips) {
   const std::size_t kw = 2;
   const std::vector<float> weights = random_values(oc * ic * kh * kw, 7);
 
-  const std::vector<float> packed = pack_conv_weights(weights, oc, ic, kh, kw);
+  const std::vector<float> packed =
+      pack_conv_weights<float>(weights, oc, ic, kh, kw);
   ASSERT_EQ(packed.size(), weights.size());
-  const std::vector<float> back = unpack_conv_weights(packed, oc, ic, kh, kw);
+  const std::vector<float> back =
+      unpack_conv_weights<float>(packed, oc, ic, kh, kw);
   EXPECT_EQ(back, weights);
 }
 
@@ -42,7 +44,8 @@ TEST(NnKernels, ConvPackLayoutIsOcInnermost) {
   const std::size_t kh = 2;
   const std::size_t kw = 3;
   const std::vector<float> weights = random_values(oc * ic * kh * kw, 11);
-  const std::vector<float> packed = pack_conv_weights(weights, oc, ic, kh, kw);
+  const std::vector<float> packed =
+      pack_conv_weights<float>(weights, oc, ic, kh, kw);
   for (std::size_t o = 0; o < oc; ++o) {
     for (std::size_t c = 0; c < ic; ++c) {
       for (std::size_t ky = 0; ky < kh; ++ky) {
@@ -61,7 +64,7 @@ TEST(NnKernels, InnerProductPackRoundTrips) {
   const std::vector<float> weights = random_values(out_count * in_count, 13);
 
   const std::vector<float> packed =
-      pack_inner_product_weights(weights, out_count, in_count);
+      pack_inner_product_weights<float>(weights, out_count, in_count);
   ASSERT_EQ(packed.size(), weights.size());
   // (out, in) transposed to (in, out).
   for (std::size_t o = 0; o < out_count; ++o) {
@@ -69,7 +72,8 @@ TEST(NnKernels, InnerProductPackRoundTrips) {
       EXPECT_EQ(packed[i * out_count + o], weights[o * in_count + i]);
     }
   }
-  EXPECT_EQ(unpack_inner_product_weights(packed, out_count, in_count), weights);
+  EXPECT_EQ(unpack_inner_product_weights<float>(packed, out_count, in_count),
+            weights);
 }
 
 TEST(NnKernels, ConvAccumulateRowMatchesScalarLoop) {
@@ -120,7 +124,7 @@ TEST(NnKernels, InnerProductAccumulateMatchesScalarDot) {
   const std::vector<float> x = random_values(in_count, 29);
   const std::vector<float> weights = random_values(out_total * in_count, 31);
   const std::vector<float> packed =
-      pack_inner_product_weights(weights, out_total, in_count);
+      pack_inner_product_weights<float>(weights, out_total, in_count);
 
   std::vector<float> acc = random_values(out_count, 37);  // bias seed
   std::vector<float> expected = acc;
@@ -133,6 +137,59 @@ TEST(NnKernels, InnerProductAccumulateMatchesScalarDot) {
   for (std::size_t j = 0; j < out_count; ++j) {
     for (std::size_t i = 0; i < in_count; ++i) {
       expected[j] += weights[(oc0 + j) * in_count + i] * x[i];
+    }
+  }
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(NnKernels, IntegerMacWidensBeforeMultiplying) {
+  // The fixed16 instantiation (int32 codes, int64 accumulator) must form
+  // products in the accumulator type: two near-max 16-bit codes multiply to
+  // ~2^30, and a handful of such terms overflows int32.
+  const std::size_t out_count = 3;
+  const std::size_t in_count = 8;
+  std::vector<std::int32_t> x(in_count, 32000);
+  std::vector<std::int32_t> packed(in_count * out_count, -32000);
+  std::vector<std::int64_t> acc(out_count, 5);
+
+  inner_product_accumulate(acc.data(), out_count, x.data(), in_count,
+                           packed.data(), out_count);
+
+  const std::int64_t expected =
+      5 + static_cast<std::int64_t>(in_count) * 32000 * -32000;
+  for (const std::int64_t a : acc) {
+    EXPECT_EQ(a, expected);
+  }
+}
+
+TEST(NnKernels, IntegerConvRowMatchesScalarLoop) {
+  const std::size_t oc_count = 4;
+  const std::size_t out_w = 5;
+  const std::size_t tap_count = 3;
+  std::vector<std::int32_t> row((out_w - 1) + tap_count + 2);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    row[i] = static_cast<std::int32_t>(i * 101) - 300;
+  }
+  std::vector<std::int32_t> packed(tap_count * oc_count);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    packed[i] = static_cast<std::int32_t>(i * 7) - 11;
+  }
+  std::vector<const std::int32_t*> taps(tap_count);
+  for (std::size_t t = 0; t < tap_count; ++t) {
+    taps[t] = row.data() + t;
+  }
+  std::vector<std::int64_t> acc(out_w * oc_count, 42);
+  std::vector<std::int64_t> expected = acc;
+
+  conv_accumulate_row(acc.data(), oc_count, out_w, taps.data(), tap_count,
+                      std::size_t{1}, packed.data(), oc_count);
+
+  for (std::size_t ox = 0; ox < out_w; ++ox) {
+    for (std::size_t t = 0; t < tap_count; ++t) {
+      for (std::size_t j = 0; j < oc_count; ++j) {
+        expected[ox * oc_count + j] +=
+            static_cast<std::int64_t>(taps[t][ox]) * packed[t * oc_count + j];
+      }
     }
   }
   EXPECT_EQ(acc, expected);

@@ -3,6 +3,8 @@
 
 #include <cmath>
 
+#include "dataflow/executor.hpp"
+#include "hw/accel_plan.hpp"
 #include "hw/dse.hpp"
 #include "nn/models.hpp"
 #include "nn/quantization.hpp"
@@ -59,6 +61,53 @@ TEST(FixedPoint, ChooseFormatFitsRange) {
 
   const std::vector<float> zeros = {0.0F, 0.0F};
   EXPECT_EQ(choose_format(zeros, 8).frac_bits, 7);
+}
+
+TEST(FixedPoint, RoundsTiesHalfAwayFromZero) {
+  const FixedPointFormat q2{4, 2};  // step 0.25
+  EXPECT_FLOAT_EQ(quantize_value(0.125F, q2), 0.25F);  // tie rounds away
+  EXPECT_FLOAT_EQ(quantize_value(-0.125F, q2), -0.25F);
+  EXPECT_FLOAT_EQ(quantize_value(0.375F, q2), 0.50F);
+  EXPECT_FLOAT_EQ(quantize_value(-0.375F, q2), -0.50F);
+}
+
+TEST(FixedPoint, ChooseFormatHandlesPowersOfTwo) {
+  // An exact power of two must not saturate: 2.0 needs frac 13 at 16 bits
+  // (frac 14 would scale to 32768 > max_code 32767).
+  EXPECT_EQ(choose_format(std::vector<float>{2.0F}, 16).frac_bits, 13);
+  // Just below the power of two keeps the extra fractional bit.
+  EXPECT_EQ(choose_format(std::vector<float>{1.99F}, 16).frac_bits, 14);
+  // Negative powers of two are exactly representable in the chosen format.
+  for (const float v : {-1.0F, -0.5F, -0.25F, -0.0625F}) {
+    const FixedPointFormat format = choose_format(std::vector<float>{v}, 16);
+    EXPECT_EQ(quantize_value(v, format), v) << "v = " << v;
+  }
+}
+
+TEST(FixedPoint, ChooseFormatDenormalScaleQuantizesToZero) {
+  // A denormal magnitude cannot be lifted into the code range by any
+  // non-negative frac_bits: the format stays all-fractional and the value
+  // rounds to code zero instead of misbehaving.
+  const std::vector<float> tiny = {1e-40F, -1e-41F};
+  const FixedPointFormat format = choose_format(tiny, 16);
+  EXPECT_EQ(format.frac_bits, 15);
+  EXPECT_FLOAT_EQ(quantize_value(tiny[0], format), 0.0F);
+}
+
+TEST(FixedPoint, QuantizeCodeSaturatesAtCodeRange) {
+  const FixedPointFormat q8{8, 4};
+  EXPECT_EQ(quantize_code(1000.0F, q8), q8.max_code());
+  EXPECT_EQ(quantize_code(-1000.0F, q8), q8.min_code());
+  EXPECT_EQ(q8.max_code(), 127);
+  EXPECT_EQ(q8.min_code(), -128);
+}
+
+TEST(FixedPoint, RealignCodeShiftsExactlyAndRoundsTiesAway) {
+  EXPECT_EQ(realign_code(5, 2, 6), 80);     // gaining bits: exact shift
+  EXPECT_EQ(realign_code(5, 6, 2), 0);      // 5/16 rounds to zero
+  EXPECT_EQ(realign_code(24, 6, 2), 2);     // 1.5 tie rounds away
+  EXPECT_EQ(realign_code(-24, 6, 2), -2);   // symmetric for negatives
+  EXPECT_EQ(realign_code(-40, 6, 2), -3);   // -2.5 tie rounds away
 }
 
 TEST(FixedPoint, DataTypeHelpers) {
@@ -161,6 +210,75 @@ TEST(QuantizationModels, Tc1TanhTableRemovesClockCap) {
   ASSERT_TRUE(fixed_point.is_ok());
   EXPECT_DOUBLE_EQ(float_point.value().achieved_mhz, 100.0);
   EXPECT_GE(fixed_point.value().achieved_mhz, 180.0);
+}
+
+/// Plans `network` with the given numeric datapath, runs the dataflow
+/// executor and EXPECTs its outputs bit-identical to nn::QuantizedEngine —
+/// the fixed-datapath counterpart of the float executor-vs-reference suite.
+void expect_executor_matches_quantized(const Network& network, DataType type,
+                                       std::size_t batch, std::uint64_t seed,
+                                       std::size_t parallel_out = 0) {
+  auto weights = initialize_weights(network, seed);
+  ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
+  auto engine = QuantizedEngine::create(network, weights.value(), type);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.data_type = type;
+  if (parallel_out > 0) {
+    for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+      hw_net.hw.layers[i].parallel_out = parallel_out;
+    }
+  }
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  EXPECT_EQ(plan.value().data_type(), type);
+
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok()) << executor.status().to_string();
+  const auto inputs = testing::random_inputs(network, batch, seed + 1);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  ASSERT_EQ(outputs.value().size(), batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    auto expected = engine.value().forward(inputs[i]);
+    ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();
+    EXPECT_EQ(max_abs_diff(outputs.value()[i], expected.value()), 0.0F)
+        << "image " << i << " diverges from the quantized reference";
+  }
+}
+
+TEST(FixedDataflow, Tc1Fixed16BitExact) {
+  expect_executor_matches_quantized(make_tc1(), DataType::kFixed16, 3, 51);
+}
+
+TEST(FixedDataflow, Tc1Fixed8BitExact) {
+  expect_executor_matches_quantized(make_tc1(), DataType::kFixed8, 3, 53);
+}
+
+TEST(FixedDataflow, LeNetFixed16BitExact) {
+  expect_executor_matches_quantized(make_lenet(), DataType::kFixed16, 2, 57);
+}
+
+TEST(FixedDataflow, LeNetFixed8BitExact) {
+  expect_executor_matches_quantized(make_lenet(), DataType::kFixed8, 2, 59);
+}
+
+TEST(FixedDataflow, ParallelOutDegreesStayBitExactPerDataType) {
+  // Integer accumulation is exact, so the intra-layer unfold degree must
+  // not perturb a single code: every degree has to reproduce the quantized
+  // reference (and hence the degree-1 design) byte for byte.
+  for (const DataType type : {DataType::kFixed16, DataType::kFixed8}) {
+    // TC1's narrowest layer has 6 output maps; 5 exercises the non-divisor
+    // slicing.
+    for (const std::size_t degree : {std::size_t{2}, std::size_t{3},
+                                     std::size_t{5}}) {
+      SCOPED_TRACE(std::string(to_string(type)) + " parallel_out=" +
+                   std::to_string(degree));
+      expect_executor_matches_quantized(make_tc1(), type, 2, 61, degree);
+    }
+  }
 }
 
 }  // namespace
