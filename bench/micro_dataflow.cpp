@@ -13,6 +13,7 @@
 
 #include "common/logging.hpp"
 #include "dataflow/executor.hpp"
+#include "dataflow/executor_pool.hpp"
 #include "dataflow/fifo.hpp"
 #include "hw/accel_plan.hpp"
 #include "nn/kernels.hpp"
@@ -373,6 +374,54 @@ BENCHMARK(BM_AcceleratorDataType)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Multi-instance serving: a LeNet batch of 64 sharded dynamically across
+/// N replicated accelerator instances (Arg = N) by the ExecutorPool. On a
+/// single hardware thread the counts should roughly tie (the replicas time-
+/// slice one core); with cores to spare, wall-clock throughput approaches
+/// N-fold. The label records the host's hardware threads so checked-in
+/// results stay interpretable.
+void BM_AcceleratorInstances(benchmark::State& state) {
+  const std::size_t instances = static_cast<std::size_t>(state.range(0));
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 1).value();
+  auto plan =
+      hw::plan_accelerator(hw::with_default_annotations(model)).value();
+  auto pool =
+      dataflow::ExecutorPool::create(plan, std::move(weights), instances)
+          .value();
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 64; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  // Warm-up: every instance compiles its design on first use, and with a
+  // dynamic queue an instance might see its first chunk mid-measurement.
+  if (!pool.run_batch(batch).is_ok()) {
+    state.SkipWithError("warm-up failed");
+  }
+  for (auto _ : state) {
+    auto outputs = pool.run_batch(batch);
+    if (!outputs.is_ok()) {
+      state.SkipWithError("run failed");
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetLabel("host_threads=" +
+                 std::to_string(std::thread::hardware_concurrency()));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_AcceleratorInstances)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineSimulator(benchmark::State& state) {

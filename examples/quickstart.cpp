@@ -93,8 +93,11 @@ int main() {
   (void)kernel.set_arg(2, weight_buffer);
   (void)kernel.set_arg(3, static_cast<std::int32_t>(batch));
 
-  auto stats = queue.enqueue_task(kernel);
-  queue.finish();
+  // The queue is in-order, so the task runs after the transfers above; its
+  // device-time statistics ride on the returned event.
+  auto task = queue.enqueue_task(kernel);
+  if (!task.is_ok()) return fail(task.status());
+  auto stats = task.value().kernel_stats();
   if (!stats.is_ok()) return fail(stats.status());
 
   std::printf("device time: %.3f ms for %zu images (%.0f img/s @ %.0f MHz)\n",
@@ -103,10 +106,12 @@ int main() {
   std::printf("\nclass probabilities (untrained weights, so near-uniform):\n");
   for (std::size_t i = 0; i < batch; ++i) {
     std::vector<float> probs(10);
-    (void)queue.enqueue_read_buffer(
+    auto read = queue.enqueue_read_buffer(
         out_buffer, i * 10 * sizeof(float),
         std::span<std::byte>(reinterpret_cast<std::byte*>(probs.data()),
                              10 * sizeof(float)));
+    if (!read.is_ok()) return fail(read.status());
+    read.value().wait();  // reads are zero-copy; the data lands on completion
     std::size_t best = 0;
     for (std::size_t c = 1; c < 10; ++c) {
       if (probs[c] > probs[best]) best = c;

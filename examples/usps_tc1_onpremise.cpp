@@ -86,7 +86,9 @@ int main() {
   (void)kernel.set_arg(1, out_buffer);
   (void)kernel.set_arg(2, weight_buffer);
   (void)kernel.set_arg(3, static_cast<std::int32_t>(digits.size()));
-  auto stats = queue.enqueue_task(kernel);
+  auto task = queue.enqueue_task(kernel);
+  if (!task.is_ok()) return fail(task.status());
+  auto stats = task.value().kernel_stats();
   if (!stats.is_ok()) return fail(stats.status());
   std::printf("batch of %zu USPS-style digits: %.3f ms device time @ %.0f MHz\n",
               digits.size(), stats.value().simulated_seconds * 1e3,

@@ -90,7 +90,7 @@ int main() {
   }
   std::printf("running one 224x224 image through block 1 (conv1_1 + conv1_2 + "
               "pool1) on the dataflow engine...\n");
-  auto outputs = executor.value().run_batch({image});
+  auto outputs = executor.value().run_batch(std::span<const Tensor>(&image, 1));
   if (!outputs.is_ok()) return fail(outputs.status());
   auto expected = engine.value().forward(image);
   if (!expected.is_ok()) return fail(expected.status());

@@ -15,6 +15,7 @@
 #include "hw/dse.hpp"
 #include "nn/models.hpp"
 #include "dataflow/executor.hpp"
+#include "dataflow/executor_pool.hpp"
 #include "nn/quantization.hpp"
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
@@ -78,10 +79,10 @@ int usage(std::ostream& err) {
          "          [--board ID] [--freq MHZ] [--out DIR] [--dse]\n"
          "          [--deploy onprem|cloud] [--bucket NAME] [--aws-root DIR]\n"
          "  dse     --model M [--features]       automated DSE\n"
-         "  run     --xclbin F --weights F [--batch N]\n"
+         "  run     --xclbin F --weights F [--batch N] [--instances N]\n"
          "  fig5    --model M                    batch-size latency sweep\n"
          "  validate --model M [--batch N] [--parallel-out D]\n"
-         "           [--data-type float32|fixed16|fixed8]\n"
+         "           [--data-type float32|fixed16|fixed8] [--instances N]\n"
          "                                       dataflow engine vs reference\n"
          "  describe-afi --id I --aws-root DIR\n";
   return 2;
@@ -269,6 +270,18 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
     err << weight_bytes.status().to_string() << "\n";
     return 1;
   }
+  // Replicated accelerator instances (one ExecutorPool under the kernel);
+  // the batch is sharded dynamically and device time is the slowest replica.
+  const std::size_t instances = static_cast<std::size_t>(
+      std::strtoull(args.get_or("instances", "1").c_str(), nullptr, 10));
+  if (instances == 0) {
+    err << "--instances must be >= 1\n";
+    return 2;
+  }
+  if (auto s = kernel.value().set_instances(instances); !s.is_ok()) {
+    err << s.to_string() << "\n";
+    return 1;
+  }
   if (auto s = kernel.value().load_weights(weight_bytes.value()); !s.is_ok()) {
     err << s.to_string() << "\n";
     return 1;
@@ -297,6 +310,16 @@ int cmd_run(const Args& args, std::ostream& out, std::ostream& err) {
       "%zu images in %.3f ms device time (%.1f img/s @ %.0f MHz)\n", batch,
       stats.simulated_seconds * 1e3, stats.images_per_second(batch),
       stats.clock_mhz);
+  if (instances > 1) {
+    const dataflow::PoolRunStats* shards = kernel.value().last_shard_stats();
+    std::string census;
+    for (const std::size_t images : shards->images_per_instance) {
+      census += census.empty() ? strings::format("%zu", images)
+                               : strings::format("+%zu", images);
+    }
+    out << strings::format("%zu instances (images per instance: %s)\n",
+                           instances, census.c_str());
+  }
   return 0;
 }
 
@@ -355,10 +378,18 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     err << plan.status().to_string() << "\n";
     return 1;
   }
-  auto executor =
-      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
-  if (!executor.is_ok()) {
-    err << executor.status().to_string() << "\n";
+  // Multi-instance validation proves the sharded pool stays bit-exact: the
+  // same oracle comparison runs with the batch split across N replicas.
+  const std::size_t instances = static_cast<std::size_t>(
+      std::strtoull(args.get_or("instances", "1").c_str(), nullptr, 10));
+  if (instances == 0) {
+    err << "--instances must be >= 1\n";
+    return 2;
+  }
+  auto pool = dataflow::ExecutorPool::create(plan.value(), weights.value(),
+                                             instances);
+  if (!pool.is_ok()) {
+    err << pool.status().to_string() << "\n";
     return 1;
   }
   Rng rng(777);
@@ -371,7 +402,7 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
     }
     inputs.push_back(std::move(image));
   }
-  auto outputs = executor.value().run_batch(inputs);
+  auto outputs = pool.value().run_batch(inputs);
   if (!outputs.is_ok()) {
     err << outputs.status().to_string() << "\n";
     return 1;
@@ -384,18 +415,22 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
   // Bit-exactness is expected at every data type: the fixed datapaths run
   // the same integer arithmetic in both engines.
   const bool fixed = nn::is_fixed_point(data_type.value());
-  const std::string degree =
+  std::string degree =
       fixed ? strings::format("parallel_out=%zu, %s", parallel_out,
                               std::string(nn::to_string(data_type.value())).c_str())
             : strings::format("parallel_out=%zu", parallel_out);
+  if (instances > 1) {
+    degree += strings::format(", instances=%zu", instances);
+  }
   out << strings::format(
       "dataflow engine (%s) vs %s on %zu images: "
       "max |diff| = %g (%s)\n",
       degree.c_str(), fixed ? "quantized reference" : "golden reference", batch,
       worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
-  out << strings::format("KPN: %zu modules, %zu streams\n",
-                         executor.value().last_run_stats().modules,
-                         executor.value().last_run_stats().streams);
+  const dataflow::RunStats& run_stats =
+      pool.value().instance(0).last_run_stats();
+  out << strings::format("KPN: %zu modules, %zu streams\n", run_stats.modules,
+                         run_stats.streams);
   return worst == 0.0F ? 0 : 1;
 }
 

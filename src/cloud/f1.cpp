@@ -1,8 +1,11 @@
 #include "cloud/f1.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "common/strings.hpp"
+#include "dataflow/executor_pool.hpp"
 
 namespace condor::cloud {
 
@@ -73,6 +76,62 @@ Result<std::string> F1Instance::describe_slot(std::size_t slot) const {
   return strings::format("slot %zu: loaded %s (clock %.0f MHz)", slot,
                          slots_[slot].loaded_agfi->c_str(),
                          slots_[slot].kernel->clock_mhz());
+}
+
+Result<std::vector<Tensor>> F1Instance::run_batch_sharded(
+    std::span<const Tensor> inputs, std::size_t slots,
+    MultiSlotRunStats* stats) {
+  if (slots == 0 || slots > slots_.size()) {
+    return invalid_input(strings::format(
+        "instance %s cannot shard over %zu slots (has %zu)",
+        instance_id_.c_str(), slots, slots_.size()));
+  }
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (slots_[s].kernel == nullptr) {
+      return unavailable(strings::format("slot %zu has no AFI loaded", s));
+    }
+    if (!slots_[s].kernel->weights_loaded()) {
+      return invalid_input(strings::format("slot %zu has no weights bound", s));
+    }
+  }
+
+  MultiSlotRunStats local;
+  local.images_per_slot.assign(slots, 0);
+  std::vector<double> device_seconds(slots, 0.0);
+  std::vector<Tensor> outputs(inputs.size());
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  // Same dynamic chunk queue the in-process ExecutorPool uses; each slot is
+  // an independent device so only the chunk handout needs coordination.
+  // Per-slot census/device-time entries are written solely by that slot's
+  // driver thread.
+  const std::size_t chunk_size = std::max<std::size_t>(
+      1, inputs.size() / (slots * 4));
+  const Status status = dataflow::dispatch_chunks(
+      inputs.size(), slots, chunk_size,
+      [&](std::size_t slot, std::size_t begin, std::size_t end) {
+        runtime::KernelStats run_stats;
+        CONDOR_ASSIGN_OR_RETURN(
+            std::vector<Tensor> chunk_out,
+            slots_[slot].kernel->run(inputs.subspan(begin, end - begin),
+                                     &run_stats));
+        std::move(chunk_out.begin(), chunk_out.end(), outputs.begin() + begin);
+        local.images_per_slot[slot] += end - begin;
+        // Chunks on one slot run back to back, so its device time adds up.
+        device_seconds[slot] += run_stats.simulated_seconds;
+        return Status::ok();
+      });
+  const auto wall_end = std::chrono::steady_clock::now();
+  CONDOR_RETURN_IF_ERROR(status);
+
+  local.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  local.device_seconds =
+      *std::max_element(device_seconds.begin(), device_seconds.end());
+  if (stats != nullptr) {
+    *stats = std::move(local);
+  }
+  return outputs;
 }
 
 Result<runtime::LoadedKernel*> F1Instance::slot_kernel(std::size_t slot) {

@@ -9,12 +9,14 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cloud/afi.hpp"
 #include "common/status.hpp"
 #include "runtime/kernel_runner.hpp"
+#include "tensor/tensor.hpp"
 
 namespace condor::cloud {
 
@@ -27,6 +29,18 @@ std::string_view to_string(F1InstanceType type) noexcept;
 struct FpgaSlot {
   std::optional<std::string> loaded_agfi;
   std::unique_ptr<runtime::LoadedKernel> kernel;
+};
+
+/// Aggregate timing of one sharded multi-slot dispatch.
+struct MultiSlotRunStats {
+  double wall_seconds = 0.0;    ///< host wall time of the whole dispatch
+  double device_seconds = 0.0;  ///< max over slots — the slots run concurrently
+  /// Images each slot ended up executing (dynamic sharding census).
+  std::vector<std::size_t> images_per_slot;
+
+  [[nodiscard]] double images_per_second(std::size_t batch) const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(batch) / wall_seconds : 0.0;
+  }
 };
 
 class F1Instance {
@@ -49,6 +63,16 @@ class F1Instance {
 
   /// Access to the programmed accelerator of a slot.
   Result<runtime::LoadedKernel*> slot_kernel(std::size_t slot);
+
+  /// Shards `inputs` dynamically across slots [0, slots) — all must be
+  /// programmed with weights bound — and returns the outputs in input
+  /// order, bit-exact vs a single-slot run. Each slot is driven by its own
+  /// host thread through a shared chunk queue (the slots are independent
+  /// devices, so a straggler takes fewer chunks). On the first failure no
+  /// new chunks are handed out and the first error is returned.
+  Result<std::vector<Tensor>> run_batch_sharded(
+      std::span<const Tensor> inputs, std::size_t slots,
+      MultiSlotRunStats* stats = nullptr);
 
  private:
   F1InstanceType type_;

@@ -1,16 +1,29 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 
 namespace condor {
 
+std::size_t thread_budget() noexcept {
+  static const std::size_t budget = [] {
+    if (const char* env = std::getenv("CONDOR_THREADS"); env != nullptr) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0' && value > 0) {
+        return static_cast<std::size_t>(value);
+      }
+    }
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : hw;
+  }();
+  return budget;
+}
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
-    workers = std::thread::hardware_concurrency();
-    if (workers == 0) {
-      workers = 1;
-    }
+    workers = thread_budget();
   }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

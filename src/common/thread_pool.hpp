@@ -14,9 +14,19 @@
 
 namespace condor {
 
+/// The host's worker-thread budget: the `CONDOR_THREADS` environment
+/// variable when set to a positive integer, otherwise
+/// `hardware_concurrency()` (at least 1). Read once and cached — the
+/// override exists so deployments can bound total worker growth when many
+/// executor instances share one host (each instance's *correctness* floor,
+/// one worker per KPN module, is never subject to the budget; only the
+/// perf-optional lane headroom is).
+std::size_t thread_budget() noexcept;
+
 class ThreadPool {
  public:
-  /// `workers == 0` means hardware_concurrency (at least 1).
+  /// `workers == 0` means thread_budget() (CONDOR_THREADS override or
+  /// hardware_concurrency, at least 1).
   explicit ThreadPool(std::size_t workers = 0);
   ~ThreadPool();
 

@@ -41,11 +41,11 @@ class InputMoverModule final : public Module {
         fmt_out_(fmt_out) {}
 
   Status run(const RunContext& ctx) override {
-    if (ctx.inputs == nullptr) {
+    if (ctx.inputs.size() != ctx.batch) {
       return internal_error("input mover: run context carries no inputs");
     }
     if (!nn::is_fixed_point(data_type_)) {
-      for (const Tensor& image : *ctx.inputs) {
+      for (const Tensor& image : ctx.inputs) {
         if (!out_.write_burst(image.data())) {
           return internal_error("input mover: output stream closed early");
         }
@@ -56,7 +56,7 @@ class InputMoverModule final : public Module {
     const int bits = nn::total_bits(data_type_);
     std::vector<std::int32_t> codes;
     std::vector<float> blob;
-    for (const Tensor& image : *ctx.inputs) {
+    for (const Tensor& image : ctx.inputs) {
       const nn::FixedPointFormat format =
           nn::quantize_span(image.data(), bits, codes);
       blob.assign(codes.begin(), codes.end());

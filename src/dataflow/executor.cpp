@@ -27,7 +27,17 @@ constexpr std::size_t kMinEdgeDepth = 256;
 
 Result<AcceleratorExecutor> AcceleratorExecutor::create(hw::AcceleratorPlan plan,
                                                         nn::WeightStore weights) {
-  CONDOR_RETURN_IF_ERROR(weights.validate_against(plan.source.net));
+  return create(std::make_shared<const hw::AcceleratorPlan>(std::move(plan)),
+                std::make_shared<const nn::WeightStore>(std::move(weights)));
+}
+
+Result<AcceleratorExecutor> AcceleratorExecutor::create(
+    std::shared_ptr<const hw::AcceleratorPlan> plan,
+    std::shared_ptr<const nn::WeightStore> weights) {
+  if (plan == nullptr || weights == nullptr) {
+    return invalid_input("executor needs a plan and a weight store");
+  }
+  CONDOR_RETURN_IF_ERROR(weights->validate_against(plan->source.net));
   return AcceleratorExecutor(std::move(plan), std::move(weights));
 }
 
@@ -37,10 +47,10 @@ Status AcceleratorExecutor::build_design() {
   // The programs reference the weight store and the plan; both live in the
   // executor and outlive the design. Programs are filled before any module
   // takes a reference, so the vector's final addresses are stable.
-  design->programs.reserve(plan_.pes.size());
-  for (std::size_t p = 0; p < plan_.pes.size(); ++p) {
+  design->programs.reserve(plan_->pes.size());
+  for (std::size_t p = 0; p < plan_->pes.size(); ++p) {
     CONDOR_ASSIGN_OR_RETURN(PeProgram program,
-                            build_pe_program(plan_, p, weights_));
+                            build_pe_program(*plan_, p, *weights_));
     design->programs.push_back(std::move(program));
   }
   const std::vector<PeProgram>& programs = design->programs;
@@ -48,20 +58,20 @@ Status AcceleratorExecutor::build_design() {
 
   // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover).
   std::vector<Stream*> pe_streams;  // pe_streams[p] = input stream of PE p
-  pe_streams.reserve(plan_.pes.size() + 1);
-  for (std::size_t e = 0; e < plan_.edges.size(); ++e) {
+  pe_streams.reserve(plan_->pes.size() + 1);
+  for (std::size_t e = 0; e < plan_->edges.size(); ++e) {
     pe_streams.push_back(&graph.make_stream(
-        std::max<std::size_t>(plan_.edges[e].fifo_depth, kMinEdgeDepth),
+        std::max<std::size_t>(plan_->edges[e].fifo_depth, kMinEdgeDepth),
         strings::format("stream_edge_%zu", e)));
   }
 
   // Fixed datapaths add a per-edge format side-channel: one frac_bits word
   // per image, always written ahead of the blob data (dataflow/pe.hpp). The
   // float32 design is structurally untouched.
-  const nn::DataType data_type = plan_.data_type();
-  std::vector<Stream*> fmt_streams(plan_.edges.size(), nullptr);
+  const nn::DataType data_type = plan_->data_type();
+  std::vector<Stream*> fmt_streams(plan_->edges.size(), nullptr);
   if (nn::is_fixed_point(data_type)) {
-    for (std::size_t e = 0; e < plan_.edges.size(); ++e) {
+    for (std::size_t e = 0; e < plan_->edges.size(); ++e) {
       fmt_streams[e] = &graph.make_stream(
           kGlueFifoDepth, strings::format("fmt_edge_%zu", e));
     }
@@ -70,8 +80,8 @@ Status AcceleratorExecutor::build_design() {
   // The output blob shape the sink collects: the last PE's emission.
   const std::size_t out_elements = programs.back().output_elements();
 
-  for (std::size_t p = 0; p < plan_.pes.size(); ++p) {
-    const hw::PePlan& pe = plan_.pes[p];
+  for (std::size_t p = 0; p < plan_->pes.size(); ++p) {
+    const hw::PePlan& pe = plan_->pes[p];
     const PeProgram& program = programs[p];
     Stream& external_in = *pe_streams[p];
     Stream& pe_out = *pe_streams[p + 1];
@@ -167,10 +177,10 @@ Status AcceleratorExecutor::build_design() {
   }
 
   // Datamover halves.
-  CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_.source.net.infer_shapes());
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_->source.net.infer_shapes());
   design->output_shape = Shape{out_elements};
   // Recover the true blob shape of the last mapped layer for nicer output.
-  const std::size_t last_layer = plan_.pes.back().layer_indices.back();
+  const std::size_t last_layer = plan_->pes.back().layer_indices.back();
   if (shapes[last_layer].output.element_count() == out_elements) {
     design->output_shape = shapes[last_layer].output;
   }
@@ -185,11 +195,11 @@ Status AcceleratorExecutor::build_design() {
 }
 
 Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
-    const std::vector<Tensor>& inputs) {
+    std::span<const Tensor> inputs) {
   if (inputs.empty()) {
     return std::vector<Tensor>{};
   }
-  CONDOR_ASSIGN_OR_RETURN(Shape input_shape, plan_.source.net.input_shape());
+  CONDOR_ASSIGN_OR_RETURN(Shape input_shape, plan_->source.net.input_shape());
   for (const Tensor& image : inputs) {
     if (image.shape() != input_shape) {
       return invalid_input(strings::format(
@@ -208,16 +218,23 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
   } else {
     design_->graph.reopen_streams();
   }
-  // One worker per module (graph.run's requirement) plus headroom for the
+  // One worker per module (graph.run's requirement — fewer would wedge the
+  // blocking channels, so this floor is never capped) plus headroom for the
   // intra-layer lanes, so forked oc slices actually run concurrently
-  // instead of queueing behind blocked module bodies. parallel_shards'
-  // caller participation keeps this safe even without the headroom.
+  // instead of queueing behind blocked module bodies. The headroom is a
+  // pure throughput lever and is capped by the host thread budget
+  // (CONDOR_THREADS or hardware_concurrency; an ExecutorPool divides it
+  // across instances) — parallel_shards' caller participation keeps the
+  // lanes correct at any headroom, including zero.
+  const std::size_t lane_cap = extra_lane_worker_cap_ > 0
+                                   ? extra_lane_worker_cap_
+                                   : thread_budget();
   pool_->ensure_workers(design_->graph.module_count() +
-                        design_->extra_lane_workers);
+                        std::min(design_->extra_lane_workers, lane_cap));
 
   RunContext ctx;
   ctx.batch = inputs.size();
-  ctx.inputs = &inputs;
+  ctx.inputs = inputs;
   const Status run_status = design_->graph.run(ctx, pool_.get());
 
   stats_.modules = design_->graph.module_count();
@@ -232,7 +249,7 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
   }
 
   std::vector<Tensor> outputs = std::move(design_->sink->outputs());
-  if (plan_.softmax_on_host) {
+  if (plan_->softmax_on_host) {
     // The generated host code applies the normalization layer (paper eq. 5).
     for (Tensor& blob : outputs) {
       blob = nn::forward_softmax(blob);

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
@@ -50,15 +51,32 @@ class AcceleratorExecutor {
   static Result<AcceleratorExecutor> create(hw::AcceleratorPlan plan,
                                             nn::WeightStore weights);
 
+  /// Shared-ownership variant: multiple executor instances (an ExecutorPool)
+  /// reference one immutable plan + weight store instead of copying them per
+  /// instance. Both pointers must be non-null.
+  static Result<AcceleratorExecutor> create(
+      std::shared_ptr<const hw::AcceleratorPlan> plan,
+      std::shared_ptr<const nn::WeightStore> weights);
+
   /// Runs a batch through the spatial pipeline; inputs must match the
-  /// network input shape. Returns one output blob per input. The compiled
-  /// design persists across calls; only the streamed data changes.
-  Result<std::vector<Tensor>> run_batch(const std::vector<Tensor>& inputs);
+  /// network input shape (vectors convert implicitly). Returns one output
+  /// blob per input. The compiled design persists across calls; only the
+  /// streamed data changes.
+  Result<std::vector<Tensor>> run_batch(std::span<const Tensor> inputs);
+
+  /// Caps the workers this instance may grow *beyond* its one-per-module
+  /// correctness floor for intra-layer compute lanes. Default: the host
+  /// thread budget (common::thread_budget — CONDOR_THREADS override or
+  /// hardware_concurrency). An ExecutorPool divides the budget across its
+  /// instances so N instances cannot oversubscribe the host N-fold.
+  void set_extra_lane_worker_cap(std::size_t cap) noexcept {
+    extra_lane_worker_cap_ = cap;
+  }
 
   /// Statistics of the most recent run_batch call.
   [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
 
-  [[nodiscard]] const hw::AcceleratorPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const hw::AcceleratorPlan& plan() const noexcept { return *plan_; }
 
  private:
   /// One compiled accelerator instance. Heap-held so the modules' references
@@ -74,16 +92,18 @@ class AcceleratorExecutor {
     std::size_t extra_lane_workers = 0;
   };
 
-  AcceleratorExecutor(hw::AcceleratorPlan plan, nn::WeightStore weights)
+  AcceleratorExecutor(std::shared_ptr<const hw::AcceleratorPlan> plan,
+                      std::shared_ptr<const nn::WeightStore> weights)
       : plan_(std::move(plan)), weights_(std::move(weights)) {}
 
   /// Builds programs + graph + modules into design_ (no data movement).
   Status build_design();
 
-  hw::AcceleratorPlan plan_;
-  nn::WeightStore weights_;
+  std::shared_ptr<const hw::AcceleratorPlan> plan_;
+  std::shared_ptr<const nn::WeightStore> weights_;
   std::unique_ptr<CompiledDesign> design_;
   std::unique_ptr<ThreadPool> pool_;
+  std::size_t extra_lane_worker_cap_ = 0;  ///< 0 = thread_budget() default
   RunStats stats_;
 };
 

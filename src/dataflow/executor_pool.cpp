@@ -1,0 +1,149 @@
+#include "dataflow/executor_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+
+namespace condor::dataflow {
+namespace {
+
+/// Chunks per instance the dynamic splitter aims for: enough granularity
+/// that a straggler sheds load to its peers, small enough that per-chunk
+/// dispatch cost (stream reopen + pipeline fill) stays amortized.
+constexpr std::size_t kChunksPerInstance = 4;
+
+std::size_t pick_chunk_size(std::size_t batch, std::size_t instances) {
+  return std::max<std::size_t>(1, batch / (instances * kChunksPerInstance));
+}
+
+}  // namespace
+
+Status dispatch_chunks(
+    std::size_t batch, std::size_t workers, std::size_t chunk_size,
+    const std::function<Status(std::size_t worker, std::size_t begin,
+                               std::size_t end)>& run_chunk) {
+  if (batch == 0) {
+    return Status::ok();
+  }
+  if (workers == 0 || chunk_size == 0) {
+    return invalid_input("dispatch_chunks needs workers and a chunk size");
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> poisoned{false};
+  std::mutex error_mutex;
+  Status first_error = Status::ok();
+
+  const auto drive = [&](std::size_t worker) {
+    for (;;) {
+      if (poisoned.load(std::memory_order_acquire)) {
+        return;
+      }
+      const std::size_t begin =
+          cursor.fetch_add(chunk_size, std::memory_order_relaxed);
+      if (begin >= batch) {
+        return;
+      }
+      const std::size_t end = std::min(begin + chunk_size, batch);
+      const Status status = run_chunk(worker, begin, end);
+      if (!status.is_ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.is_ok()) {
+          first_error = status;
+        }
+        poisoned.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  if (workers == 1 || batch <= chunk_size) {
+    drive(0);
+  } else {
+    // One driver thread per instance; the calling thread drives instance 0
+    // so a pool of N instances costs N-1 extra threads per dispatch.
+    std::vector<std::thread> drivers;
+    drivers.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) {
+      drivers.emplace_back(drive, w);
+    }
+    drive(0);
+    for (std::thread& driver : drivers) {
+      driver.join();
+    }
+  }
+  return first_error;
+}
+
+Result<ExecutorPool> ExecutorPool::create(hw::AcceleratorPlan plan,
+                                          nn::WeightStore weights,
+                                          std::size_t instances) {
+  return create(std::make_shared<const hw::AcceleratorPlan>(std::move(plan)),
+                std::make_shared<const nn::WeightStore>(std::move(weights)),
+                instances);
+}
+
+Result<ExecutorPool> ExecutorPool::create(
+    std::shared_ptr<const hw::AcceleratorPlan> plan,
+    std::shared_ptr<const nn::WeightStore> weights, std::size_t instances) {
+  if (instances == 0) {
+    return invalid_input("executor pool needs at least one instance");
+  }
+  ExecutorPool pool(std::move(plan), std::move(weights));
+  // Divide the host's lane-worker budget across the replicas: each keeps
+  // its one-worker-per-module correctness floor, only the perf headroom
+  // shrinks (see run_batch in executor.cpp).
+  const std::size_t lane_cap =
+      std::max<std::size_t>(1, thread_budget() / instances);
+  pool.executors_.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i) {
+    CONDOR_ASSIGN_OR_RETURN(AcceleratorExecutor executor,
+                            AcceleratorExecutor::create(pool.plan_,
+                                                        pool.weights_));
+    executor.set_extra_lane_worker_cap(lane_cap);
+    pool.executors_.push_back(
+        std::make_unique<AcceleratorExecutor>(std::move(executor)));
+  }
+  return pool;
+}
+
+Result<std::vector<Tensor>> ExecutorPool::run_batch(
+    std::span<const Tensor> inputs) {
+  const std::size_t batch = inputs.size();
+  pool_stats_ = PoolRunStats{};
+  pool_stats_.batch = batch;
+  pool_stats_.images_per_instance.assign(executors_.size(), 0);
+  if (batch == 0) {
+    return std::vector<Tensor>{};
+  }
+  if (executors_.size() == 1) {
+    pool_stats_.chunk_size = batch;
+    pool_stats_.images_per_instance[0] = batch;
+    return executors_[0]->run_batch(inputs);
+  }
+
+  const std::size_t chunk_size = pick_chunk_size(batch, executors_.size());
+  pool_stats_.chunk_size = chunk_size;
+  std::vector<Tensor> outputs(batch);
+  // images_per_instance slots are written only by that instance's driver;
+  // outputs[begin, end) only by the chunk's owner — no synchronization
+  // needed beyond the dispatcher's join.
+  std::vector<std::size_t>& census = pool_stats_.images_per_instance;
+  const Status status = dispatch_chunks(
+      batch, executors_.size(), chunk_size,
+      [&](std::size_t instance, std::size_t begin, std::size_t end) {
+        CONDOR_ASSIGN_OR_RETURN(
+            std::vector<Tensor> chunk_out,
+            executors_[instance]->run_batch(inputs.subspan(begin, end - begin)));
+        std::move(chunk_out.begin(), chunk_out.end(), outputs.begin() + begin);
+        census[instance] += end - begin;
+        return Status::ok();
+      });
+  CONDOR_RETURN_IF_ERROR(status);
+  return outputs;
+}
+
+}  // namespace condor::dataflow

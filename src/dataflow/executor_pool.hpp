@@ -1,0 +1,104 @@
+// ExecutorPool: N replicated accelerator instances behind one batch API.
+//
+// The paper's deployment story is multi-accelerator — an f1.16xlarge
+// exposes 8 FPGA slots that can all load the same AFI — and throughput-
+// driven CNN serving shards a batch across the replicas. The pool compiles
+// the plan once conceptually (the hw::AcceleratorPlan and the WeightStore
+// are immutable and shared by reference across instances; each instance
+// lazily builds its own CompiledDesign — module graph + stream topology —
+// because the KPN state is inherently per-replica) and dispatches run_batch
+// dynamically:
+//
+//   * the batch is cut into fixed-size chunks handed out through a shared
+//     work queue (an atomic cursor), NOT split statically — a straggling
+//     instance takes fewer chunks instead of gating the whole batch;
+//   * every chunk's outputs land at the chunk's own offset of the result
+//     vector, so reassembly is order-preserving by construction;
+//   * images are processed independently by the pipeline, so outputs are
+//     bit-exact vs a single-instance run at any instance count and any
+//     chunk assignment;
+//   * on the first failure the queue is poisoned: no new chunks are handed
+//     out, in-flight chunks drain cleanly, and exactly one (the first
+//     recorded) error is returned.
+//
+// Worker accounting: each instance owns module_count workers (a KPN
+// correctness floor) plus lane headroom capped at thread_budget() /
+// instances, so N instances cannot oversubscribe the host N-fold; the env
+// override CONDOR_THREADS bounds the budget (common/thread_pool.hpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "dataflow/executor.hpp"
+#include "hw/accel_plan.hpp"
+#include "nn/weights.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::dataflow {
+
+/// Dispatches [0, batch) in chunks of `chunk_size` across `workers`
+/// concurrent runners. `run_chunk(worker, begin, end)` is invoked with
+/// disjoint in-order ranges; distribution is dynamic (work queue). After
+/// the first failure no new chunks are handed out; in-flight chunks finish
+/// and the first error (by completion order) is returned. The generic core
+/// of ExecutorPool::run_batch and cloud::F1Instance::run_batch_sharded.
+Status dispatch_chunks(
+    std::size_t batch, std::size_t workers, std::size_t chunk_size,
+    const std::function<Status(std::size_t worker, std::size_t begin,
+                               std::size_t end)>& run_chunk);
+
+/// Per-run statistics of the pool's dynamic sharding.
+struct PoolRunStats {
+  std::size_t batch = 0;
+  std::size_t chunk_size = 0;
+  /// Images each instance ended up executing (sums to `batch` on success).
+  std::vector<std::size_t> images_per_instance;
+};
+
+class ExecutorPool {
+ public:
+  /// Validates the weights once and replicates `instances` (>= 1)
+  /// executors over the shared immutable plan + weight store.
+  static Result<ExecutorPool> create(hw::AcceleratorPlan plan,
+                                     nn::WeightStore weights,
+                                     std::size_t instances);
+  static Result<ExecutorPool> create(
+      std::shared_ptr<const hw::AcceleratorPlan> plan,
+      std::shared_ptr<const nn::WeightStore> weights, std::size_t instances);
+
+  /// Shards `inputs` across the instances and returns the outputs in input
+  /// order, bit-exact vs a single-instance run. A single instance (or a
+  /// batch of 1) short-circuits to a plain run_batch.
+  Result<std::vector<Tensor>> run_batch(std::span<const Tensor> inputs);
+
+  [[nodiscard]] std::size_t instances() const noexcept {
+    return executors_.size();
+  }
+  [[nodiscard]] const hw::AcceleratorPlan& plan() const noexcept {
+    return *plan_;
+  }
+  /// Stats of the most recent run_batch (sharding census).
+  [[nodiscard]] const PoolRunStats& last_pool_stats() const noexcept {
+    return pool_stats_;
+  }
+  /// Per-instance executor access (module/stream census, tests).
+  [[nodiscard]] const AcceleratorExecutor& instance(std::size_t i) const {
+    return *executors_[i];
+  }
+
+ private:
+  ExecutorPool(std::shared_ptr<const hw::AcceleratorPlan> plan,
+               std::shared_ptr<const nn::WeightStore> weights)
+      : plan_(std::move(plan)), weights_(std::move(weights)) {}
+
+  std::shared_ptr<const hw::AcceleratorPlan> plan_;
+  std::shared_ptr<const nn::WeightStore> weights_;
+  std::vector<std::unique_ptr<AcceleratorExecutor>> executors_;
+  PoolRunStats pool_stats_;
+};
+
+}  // namespace condor::dataflow

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,10 @@ namespace condor::dataflow {
 
 /// Per-run parameters shared by every module of one graph execution.
 struct RunContext {
-  std::size_t batch = 0;                       ///< images in this run
-  const std::vector<Tensor>* inputs = nullptr; ///< batch inputs (datamover)
+  std::size_t batch = 0;             ///< images in this run
+  std::span<const Tensor> inputs;    ///< batch inputs (datamover); a view so
+                                     ///< shard dispatchers can hand each
+                                     ///< instance a sub-range without copying
 };
 
 class Module {

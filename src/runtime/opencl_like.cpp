@@ -1,8 +1,11 @@
 #include "runtime/opencl_like.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "json/json.hpp"
 
 namespace condor::runtime::ocl {
@@ -88,25 +91,193 @@ Status Kernel::set_arg(std::uint32_t index, std::int32_t scalar) {
   return Status::ok();
 }
 
-Status CommandQueue::enqueue_write_buffer(Buffer& buffer, std::size_t offset,
-                                          std::span<const std::byte> data) {
-  if (offset + data.size() > buffer.size()) {
-    return invalid_input("write exceeds buffer size");
+// ---------------------------------------------------------------------------
+// Event
+
+void Event::wait() const {
+  if (shared_ == nullptr) {
+    return;
   }
-  std::memcpy(buffer.bytes().data() + offset, data.data(), data.size());
-  return Status::ok();
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait(lock, [&] { return shared_->done; });
 }
 
-Status CommandQueue::enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
-                                         std::span<std::byte> out) {
-  if (offset + out.size() > buffer.size()) {
-    return invalid_input("read exceeds buffer size");
+bool Event::is_complete() const {
+  if (shared_ == nullptr) {
+    return true;
   }
-  std::memcpy(out.data(), buffer.bytes().data() + offset, out.size());
-  return Status::ok();
+  std::lock_guard<std::mutex> lock(shared_->mutex);
+  return shared_->done;
 }
 
-Result<KernelStats> CommandQueue::enqueue_task(Kernel& kernel) {
+Status Event::status() const {
+  if (shared_ == nullptr) {
+    return Status::ok();
+  }
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait(lock, [&] { return shared_->done; });
+  return shared_->status;
+}
+
+Result<KernelStats> Event::kernel_stats() const {
+  if (shared_ == nullptr) {
+    return invalid_input("event is not a kernel task event");
+  }
+  std::unique_lock<std::mutex> lock(shared_->mutex);
+  shared_->cv.wait(lock, [&] { return shared_->done; });
+  CONDOR_RETURN_IF_ERROR(shared_->status);
+  if (!shared_->stats.has_value()) {
+    return invalid_input("event is not a kernel task event");
+  }
+  return *shared_->stats;
+}
+
+// ---------------------------------------------------------------------------
+// CommandQueue
+
+CommandQueue::CommandQueue(Context& context, QueueProperties properties)
+    : context_(&context) {
+  // One worker keeps an in-order queue strictly FIFO. An out-of-order queue
+  // drains with a few workers so independent commands genuinely overlap;
+  // more than the host budget (capped small — commands are coarse) only
+  // adds contention.
+  const std::size_t workers =
+      properties.out_of_order
+          ? std::min<std::size_t>(4, std::max<std::size_t>(2, thread_budget()))
+          : 1;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CommandQueue::~CommandQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void CommandQueue::worker_loop() {
+  for (;;) {
+    Command command;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) {
+        return;  // stopping and fully drained
+      }
+      command = std::move(pending_.front());
+      pending_.pop_front();
+      ++in_flight_;
+    }
+
+    // Dependencies first. Safe: every waited event belongs to a command
+    // enqueued before this one, and FIFO claiming means that command is
+    // already being executed by some worker (see the header's deadlock
+    // argument). A failed dependency fails this command without running it.
+    Status status = Status::ok();
+    for (const Event& dependency : command.waits) {
+      const Status dep_status = dependency.status();
+      if (!dep_status.is_ok()) {
+        status = Status(dep_status.code(),
+                        "dependency failed: " + dep_status.message());
+        break;
+      }
+    }
+    std::optional<KernelStats> stats;
+    if (status.is_ok()) {
+      status = command.body(stats);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(command.completion->mutex);
+      command.completion->done = true;
+      command.completion->status = status;
+      command.completion->stats = std::move(stats);
+    }
+    command.completion->cv.notify_all();
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (!status.is_ok() && deferred_error_.is_ok()) {
+        deferred_error_ = status;
+      }
+      if (pending_.empty() && in_flight_ == 0) {
+        queue_idle_.notify_all();
+      }
+    }
+  }
+}
+
+Event CommandQueue::submit(
+    std::function<Status(std::optional<KernelStats>&)> body,
+    std::vector<Event> waits) {
+  auto completion = std::make_shared<Event::Shared>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(
+        Command{std::move(body), std::move(waits), completion});
+  }
+  work_ready_.notify_one();
+  return Event(std::move(completion));
+}
+
+Status CommandQueue::finish() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_idle_.wait(lock, [&] { return pending_.empty() && in_flight_ == 0; });
+  Status first = std::move(deferred_error_);
+  deferred_error_ = Status::ok();
+  return first;
+}
+
+Result<Event> CommandQueue::enqueue_write_buffer(Buffer& buffer,
+                                                std::size_t offset,
+                                                std::span<const std::byte> data,
+                                                std::vector<Event> wait_events) {
+  if (offset > buffer.size() || data.size() > buffer.size() - offset) {
+    return invalid_input(strings::format(
+        "write of %zu bytes at offset %zu overruns buffer of %zu bytes",
+        data.size(), offset, buffer.size()));
+  }
+  // Stage the source bytes now so the caller's span may be released the
+  // moment this returns — the non-blocking write a double-buffered host
+  // loop needs.
+  std::vector<std::byte> staged(data.begin(), data.end());
+  std::byte* destination = buffer.bytes().data() + offset;
+  return submit(
+      [staged = std::move(staged), destination](std::optional<KernelStats>&) {
+        std::memcpy(destination, staged.data(), staged.size());
+        return Status::ok();
+      },
+      std::move(wait_events));
+}
+
+Result<Event> CommandQueue::enqueue_read_buffer(const Buffer& buffer,
+                                                std::size_t offset,
+                                                std::span<std::byte> out,
+                                                std::vector<Event> wait_events) {
+  if (offset > buffer.size() || out.size() > buffer.size() - offset) {
+    return invalid_input(strings::format(
+        "read of %zu bytes at offset %zu overruns buffer of %zu bytes",
+        out.size(), offset, buffer.size()));
+  }
+  const std::byte* source = buffer.bytes().data() + offset;
+  return submit(
+      [source, out](std::optional<KernelStats>&) {
+        std::memcpy(out.data(), source, out.size());
+        return Status::ok();
+      },
+      std::move(wait_events));
+}
+
+Result<Event> CommandQueue::enqueue_task(Kernel& kernel,
+                                         std::vector<Event> wait_events) {
   if (kernel.device_kernel_ == nullptr) {
     return internal_error("kernel is not bound to a program");
   }
@@ -114,43 +285,56 @@ Result<KernelStats> CommandQueue::enqueue_task(Kernel& kernel) {
       kernel.weights_ == nullptr || kernel.batch_ <= 0) {
     return invalid_input("kernel arguments incomplete (need in/out/weights/batch)");
   }
-  LoadedKernel& device = *kernel.device_kernel_;
-
-  // The weight buffer carries a Condor weight file image ("loaded
-  // dynamically at runtime", paper §3.1.1).
-  CONDOR_RETURN_IF_ERROR(device.load_weights(kernel.weights_->bytes()));
-
-  CONDOR_ASSIGN_OR_RETURN(Shape input_shape,
-                          device.plan().source.net.input_shape());
-  const std::size_t image_floats = input_shape.element_count();
+  // Snapshot the argument bindings: later set_arg calls must not affect a
+  // command already in flight (clSetKernelArg semantics).
+  const std::shared_ptr<LoadedKernel> device = kernel.device_kernel_;
+  Buffer* const input = kernel.input_;
+  Buffer* const output = kernel.output_;
+  Buffer* const weights = kernel.weights_;
   const auto batch = static_cast<std::size_t>(kernel.batch_);
-  if (kernel.input_->size() < batch * image_floats * sizeof(float)) {
-    return invalid_input("input buffer smaller than batch * image size");
-  }
 
-  std::vector<Tensor> inputs;
-  inputs.reserve(batch);
-  const auto* in_floats =
-      reinterpret_cast<const float*>(kernel.input_->bytes().data());
-  for (std::size_t i = 0; i < batch; ++i) {
-    Tensor image(input_shape);
-    std::memcpy(image.raw(), in_floats + i * image_floats,
-                image_floats * sizeof(float));
-    inputs.push_back(std::move(image));
-  }
+  return submit(
+      [device, input, output, weights, batch](std::optional<KernelStats>& stats)
+          -> Status {
+        // The weight buffer carries a Condor weight file image ("loaded
+        // dynamically at runtime", paper §3.1.1).
+        CONDOR_RETURN_IF_ERROR(device->load_weights(weights->bytes()));
 
-  CONDOR_ASSIGN_OR_RETURN(std::vector<Tensor> outputs, device.run(inputs));
+        CONDOR_ASSIGN_OR_RETURN(Shape input_shape,
+                                device->plan().source.net.input_shape());
+        const std::size_t image_floats = input_shape.element_count();
+        if (input->size() < batch * image_floats * sizeof(float)) {
+          return invalid_input("input buffer smaller than batch * image size");
+        }
 
-  const std::size_t out_floats = outputs.front().size();
-  if (kernel.output_->size() < batch * out_floats * sizeof(float)) {
-    return invalid_input("output buffer smaller than batch * result size");
-  }
-  auto* out_bytes = kernel.output_->bytes().data();
-  for (std::size_t i = 0; i < batch; ++i) {
-    std::memcpy(out_bytes + i * out_floats * sizeof(float), outputs[i].raw(),
-                out_floats * sizeof(float));
-  }
-  return device.last_stats();
+        std::vector<Tensor> inputs;
+        inputs.reserve(batch);
+        const auto* in_floats =
+            reinterpret_cast<const float*>(input->bytes().data());
+        for (std::size_t i = 0; i < batch; ++i) {
+          Tensor image(input_shape);
+          std::memcpy(image.raw(), in_floats + i * image_floats,
+                      image_floats * sizeof(float));
+          inputs.push_back(std::move(image));
+        }
+
+        KernelStats run_stats;
+        CONDOR_ASSIGN_OR_RETURN(std::vector<Tensor> outputs,
+                                device->run(inputs, &run_stats));
+
+        const std::size_t out_floats = outputs.front().size();
+        if (output->size() < batch * out_floats * sizeof(float)) {
+          return invalid_input("output buffer smaller than batch * result size");
+        }
+        auto* out_bytes = output->bytes().data();
+        for (std::size_t i = 0; i < batch; ++i) {
+          std::memcpy(out_bytes + i * out_floats * sizeof(float),
+                      outputs[i].raw(), out_floats * sizeof(float));
+        }
+        stats = run_stats;
+        return Status::ok();
+      },
+      std::move(wait_events));
 }
 
 }  // namespace condor::runtime::ocl

@@ -12,14 +12,37 @@
 //   ocl::Kernel kernel(program, "lenet_top");
 //   ocl::Buffer in(ctx, bytes), out(ctx, bytes), weights(ctx, bytes);
 //   ocl::CommandQueue queue(ctx);
-//   queue.enqueue_write_buffer(in, ...); kernel.set_arg(0, in); ...
-//   queue.enqueue_task(kernel); queue.finish();
+//   auto write = queue.enqueue_write_buffer(in, ...); kernel.set_arg(0, in); ...
+//   auto task = queue.enqueue_task(kernel, {write.value()});
+//   auto read = queue.enqueue_read_buffer(out, ..., {task.value()});
+//   queue.finish();
+//
+// The queue is genuinely asynchronous, mirroring the OpenCL event model:
+// every enqueue_* returns an Event immediately and the operation runs on a
+// queue worker thread. An in-order queue (the default) executes commands in
+// enqueue order; a QueueProperties{.out_of_order = true} queue orders
+// commands only by their explicit wait lists, so independent transfers and
+// kernel invocations overlap — the double-buffered host pattern enqueues
+// the write of batch k+1 while the task of batch k computes. Events chain
+// across queues, exactly like cl_event.
+//
+// Deadlock freedom: a wait list can only name events of commands enqueued
+// *earlier* (an Event only exists once its command is enqueued), and each
+// queue's workers claim commands in FIFO order — so every dependency of a
+// claimed command has itself been claimed (on this queue or another), and
+// progress is guaranteed for any DAG the API can express.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.hpp"
@@ -107,26 +130,103 @@ class Kernel {
   std::int32_t batch_ = 0;
 };
 
-/// In-order synchronous command queue.
-class CommandQueue {
+/// Completion handle of one enqueued command (the cl_event analogue).
+/// Copyable and cheap; a default-constructed Event is already complete.
+/// Pass events to later enqueue_* calls to order dependent commands —
+/// including across queues.
+class Event {
  public:
-  explicit CommandQueue(Context& context) : context_(&context) {}
+  Event() = default;
 
-  Status enqueue_write_buffer(Buffer& buffer, std::size_t offset,
-                              std::span<const std::byte> data);
-  Status enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
-                             std::span<std::byte> out);
-
-  /// Executes the kernel: loads the weight buffer into the accelerator,
-  /// streams the input buffer through the spatial pipeline, writes results
-  /// to the output buffer, and returns device-time statistics.
-  Result<KernelStats> enqueue_task(Kernel& kernel);
-
-  /// All operations are synchronous; finish() exists for API parity.
-  void finish() noexcept {}
+  /// Blocks until the command has executed (success or failure).
+  void wait() const;
+  [[nodiscard]] bool is_complete() const;
+  /// Waits, then returns the command's execution status. A command whose
+  /// wait list contains a failed event fails without executing.
+  [[nodiscard]] Status status() const;
+  /// Waits, then returns the device-time statistics of a kernel task.
+  /// Errors for transfer events and failed tasks.
+  [[nodiscard]] Result<KernelStats> kernel_stats() const;
 
  private:
+  friend class CommandQueue;
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::ok();
+    std::optional<KernelStats> stats;
+  };
+  explicit Event(std::shared_ptr<Shared> shared) : shared_(std::move(shared)) {}
+  std::shared_ptr<Shared> shared_;
+};
+
+struct QueueProperties {
+  /// When true, commands are ordered only by their wait lists (the
+  /// CL_QUEUE_OUT_OF_ORDER_EXEC_MODE_ENABLE analogue): several workers
+  /// drain the queue so independent commands overlap. When false (the
+  /// default) a single worker executes commands strictly in enqueue order.
+  bool out_of_order = false;
+};
+
+/// An asynchronous command queue. enqueue_* calls validate their arguments
+/// synchronously (bounds, kernel arg completeness) and return immediately;
+/// execution happens on the queue's worker thread(s). Execution errors
+/// surface on the command's Event and — first one wins — from finish().
+///
+/// Data lifetime: writes *stage* (copy) the source bytes at enqueue time,
+/// so the caller's span may be freed as soon as enqueue_write_buffer
+/// returns. Reads are zero-copy into the caller's span, which must stay
+/// valid until the read's event completes.
+class CommandQueue {
+ public:
+  explicit CommandQueue(Context& context, QueueProperties properties = {});
+  ~CommandQueue();
+  CommandQueue(const CommandQueue&) = delete;
+  CommandQueue& operator=(const CommandQueue&) = delete;
+
+  Result<Event> enqueue_write_buffer(Buffer& buffer, std::size_t offset,
+                                     std::span<const std::byte> data,
+                                     std::vector<Event> wait_events = {});
+  Result<Event> enqueue_read_buffer(const Buffer& buffer, std::size_t offset,
+                                    std::span<std::byte> out,
+                                    std::vector<Event> wait_events = {});
+
+  /// Executes the kernel: loads the weight buffer into the accelerator,
+  /// streams the input buffer through the spatial pipeline and writes
+  /// results to the output buffer. The kernel's arguments are snapshotted
+  /// at enqueue time (later set_arg calls do not affect commands already in
+  /// flight). Device-time statistics ride on the returned event
+  /// (Event::kernel_stats).
+  Result<Event> enqueue_task(Kernel& kernel,
+                             std::vector<Event> wait_events = {});
+
+  /// Blocks until every enqueued command has executed and returns the
+  /// first execution error since the previous finish() (ok if none).
+  Status finish();
+
+ private:
+  /// One queued command: the deferred body plus its dependencies and the
+  /// completion state its Event observes.
+  struct Command {
+    std::function<Status(std::optional<KernelStats>& stats)> body;
+    std::vector<Event> waits;
+    std::shared_ptr<Event::Shared> completion;
+  };
+
+  Event submit(std::function<Status(std::optional<KernelStats>&)> body,
+               std::vector<Event> waits);
+  void worker_loop();
+
   Context* context_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable queue_idle_;
+  std::deque<Command> pending_;
+  std::size_t in_flight_ = 0;
+  Status deferred_error_ = Status::ok();
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace condor::runtime::ocl

@@ -1,0 +1,332 @@
+// Tests for the asynchronous event-based ocl::CommandQueue: event
+// chaining (in-order, out-of-order, cross-queue), double-buffered
+// transfer/compute overlap, deferred error propagation, and multi-instance
+// kernels driven through the queue.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "condor/flow.hpp"
+#include "nn/models.hpp"
+#include "nn/reference.hpp"
+#include "nn/weights.hpp"
+#include "runtime/opencl_like.hpp"
+#include "test_util.hpp"
+
+namespace condor::runtime {
+namespace {
+
+struct FlowFixture {
+  condorflow::FlowResult flow;
+  nn::Network network;
+  nn::WeightStore weights;
+};
+
+FlowFixture run_flow(const nn::Network& model, std::uint64_t seed) {
+  FlowFixture fixture;
+  fixture.network = model;
+  fixture.weights = nn::initialize_weights(model, seed).value();
+  condorflow::FrontendInput input;
+  input.network_json_text =
+      hw::to_json_text(hw::with_default_annotations(model));
+  input.weight_file_bytes = fixture.weights.serialize();
+  condorflow::FlowOptions options;
+  fixture.flow = condorflow::Flow::run(input, options).value();
+  return fixture;
+}
+
+nn::Network tiny_model() {
+  condor::testing::TinyNetConfig config;
+  config.with_pool = true;
+  config.with_fc = true;
+  return condor::testing::make_tiny_net(config);
+}
+
+std::span<const std::byte> tensor_bytes(const Tensor& t) {
+  return {reinterpret_cast<const std::byte*>(t.raw()),
+          t.size() * sizeof(float)};
+}
+
+TEST(AsyncQueue, DefaultEventIsCompleteAndOk) {
+  ocl::Event event;
+  EXPECT_TRUE(event.is_complete());
+  EXPECT_TRUE(event.status().is_ok());
+  event.wait();  // no-op
+  EXPECT_FALSE(event.kernel_stats().is_ok());  // not a task event
+}
+
+TEST(AsyncQueue, WriteEventIsNotATaskEvent) {
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  ocl::Buffer buffer(context, 8);
+  ocl::CommandQueue queue(context);
+  std::vector<std::byte> bytes(8, std::byte{7});
+  auto write = queue.enqueue_write_buffer(buffer, 0, bytes);
+  ASSERT_TRUE(write.is_ok());
+  EXPECT_TRUE(write.value().status().is_ok());  // waits for completion
+  EXPECT_FALSE(write.value().kernel_stats().is_ok());
+  EXPECT_TRUE(queue.finish().is_ok());
+}
+
+TEST(AsyncQueue, InOrderQueueExecutesFifoWithoutExplicitEvents) {
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  ocl::Buffer buffer(context, 4);
+  ocl::CommandQueue queue(context);
+  // Three writes to the same byte range; FIFO order means the last wins.
+  for (std::byte value : {std::byte{1}, std::byte{2}, std::byte{3}}) {
+    std::vector<std::byte> bytes(4, value);
+    ASSERT_TRUE(queue.enqueue_write_buffer(buffer, 0, bytes).is_ok());
+  }
+  std::vector<std::byte> out(4);
+  auto read = queue.enqueue_read_buffer(buffer, 0, out);
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_TRUE(queue.finish().is_ok());
+  EXPECT_EQ(out[0], std::byte{3});
+  EXPECT_EQ(out[3], std::byte{3});
+}
+
+TEST(AsyncQueue, WritesAreStagedAtEnqueue) {
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  ocl::Buffer buffer(context, 4);
+  ocl::CommandQueue queue(context);
+  ocl::Event write;
+  {
+    // The source dies right after enqueue; the staged copy must survive.
+    std::vector<std::byte> ephemeral(4, std::byte{9});
+    auto result = queue.enqueue_write_buffer(buffer, 0, ephemeral);
+    ASSERT_TRUE(result.is_ok());
+    write = result.value();
+    ephemeral.assign(4, std::byte{0});  // clobber before completion
+  }
+  write.wait();
+  EXPECT_EQ(buffer.bytes()[0], std::byte{9});
+  EXPECT_TRUE(queue.finish().is_ok());
+}
+
+/// End-to-end through an out-of-order queue with explicit event chaining,
+/// double-buffered: while the task of batch k computes, the transfer for
+/// batch k+1 is already enqueued against an independent staging buffer.
+/// Results for both batches must match the golden reference bit-exactly.
+TEST(AsyncQueue, DoubleBufferedBatchesOverlapAndStayBitExact) {
+  const nn::Network model = tiny_model();
+  FlowFixture fixture = run_flow(model, 51);
+
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  auto program =
+      ocl::Program::create_with_binary(context, fixture.flow.xclbin_bytes);
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  ocl::Kernel kernel(program.value(), program.value().kernel_name());
+
+  constexpr std::size_t kBatch = 2;
+  const auto batch_a = condor::testing::random_inputs(model, kBatch, 61);
+  const auto batch_b = condor::testing::random_inputs(model, kBatch, 62);
+  const std::size_t image_floats = batch_a[0].size();
+  const std::size_t out_floats = model.output_shape().value().element_count();
+
+  ocl::Buffer in_a(context, kBatch * image_floats * sizeof(float));
+  ocl::Buffer in_b(context, kBatch * image_floats * sizeof(float));
+  ocl::Buffer out_a(context, kBatch * out_floats * sizeof(float));
+  ocl::Buffer out_b(context, kBatch * out_floats * sizeof(float));
+  ocl::Buffer weight_buffer(context, fixture.flow.weight_file_bytes.size());
+
+  ocl::CommandQueue queue(context, ocl::QueueProperties{.out_of_order = true});
+
+  auto weights_written =
+      queue.enqueue_write_buffer(weight_buffer, 0, fixture.flow.weight_file_bytes);
+  ASSERT_TRUE(weights_written.is_ok());
+
+  // Stage both input batches up front — on the out-of-order queue these
+  // transfers are independent of everything except their own buffers.
+  std::vector<ocl::Event> in_written;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    auto wa = queue.enqueue_write_buffer(in_a, i * image_floats * sizeof(float),
+                                         tensor_bytes(batch_a[i]));
+    ASSERT_TRUE(wa.is_ok());
+    in_written.push_back(wa.value());
+    auto wb = queue.enqueue_write_buffer(in_b, i * image_floats * sizeof(float),
+                                         tensor_bytes(batch_b[i]));
+    ASSERT_TRUE(wb.is_ok());
+    in_written.push_back(wb.value());
+  }
+
+  ASSERT_TRUE(kernel.set_arg(0, in_a).is_ok());
+  ASSERT_TRUE(kernel.set_arg(1, out_a).is_ok());
+  ASSERT_TRUE(kernel.set_arg(2, weight_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(3, static_cast<std::int32_t>(kBatch)).is_ok());
+  auto task_a = queue.enqueue_task(
+      kernel, {weights_written.value(), in_written[0], in_written[2]});
+  ASSERT_TRUE(task_a.is_ok());
+
+  // Re-binding args is safe immediately: task_a snapshotted its bindings.
+  ASSERT_TRUE(kernel.set_arg(0, in_b).is_ok());
+  ASSERT_TRUE(kernel.set_arg(1, out_b).is_ok());
+  auto task_b = queue.enqueue_task(
+      kernel,
+      {weights_written.value(), in_written[1], in_written[3], task_a.value()});
+  ASSERT_TRUE(task_b.is_ok());
+
+  std::vector<float> host_a(kBatch * out_floats);
+  std::vector<float> host_b(kBatch * out_floats);
+  auto read_a = queue.enqueue_read_buffer(
+      out_a, 0,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(host_a.data()),
+                           host_a.size() * sizeof(float)),
+      {task_a.value()});
+  auto read_b = queue.enqueue_read_buffer(
+      out_b, 0,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(host_b.data()),
+                           host_b.size() * sizeof(float)),
+      {task_b.value()});
+  ASSERT_TRUE(read_a.is_ok());
+  ASSERT_TRUE(read_b.is_ok());
+  ASSERT_TRUE(queue.finish().is_ok());
+
+  EXPECT_TRUE(task_a.value().kernel_stats().is_ok());
+  EXPECT_TRUE(task_b.value().kernel_stats().is_ok());
+
+  auto engine = nn::ReferenceEngine::create(model, fixture.weights);
+  ASSERT_TRUE(engine.is_ok());
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const Tensor expected_a = engine.value().forward(batch_a[i]).value();
+    const Tensor expected_b = engine.value().forward(batch_b[i]).value();
+    for (std::size_t c = 0; c < out_floats; ++c) {
+      EXPECT_EQ(host_a[i * out_floats + c], expected_a[c])
+          << "batch A image " << i << " class " << c;
+      EXPECT_EQ(host_b[i * out_floats + c], expected_b[c])
+          << "batch B image " << i << " class " << c;
+    }
+  }
+}
+
+TEST(AsyncQueue, EventsChainAcrossQueues) {
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  ocl::Buffer buffer(context, 4);
+  ocl::CommandQueue producer(context);
+  ocl::CommandQueue consumer(context,
+                             ocl::QueueProperties{.out_of_order = true});
+  std::vector<std::byte> bytes(4, std::byte{5});
+  auto written = producer.enqueue_write_buffer(buffer, 0, bytes);
+  ASSERT_TRUE(written.is_ok());
+  std::vector<std::byte> out(4);
+  auto read = consumer.enqueue_read_buffer(buffer, 0, out, {written.value()});
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_TRUE(read.value().status().is_ok());
+  EXPECT_EQ(out[0], std::byte{5});
+  EXPECT_TRUE(producer.finish().is_ok());
+  EXPECT_TRUE(consumer.finish().is_ok());
+}
+
+TEST(AsyncQueue, ExecutionErrorsDeferToEventAndFinish) {
+  const nn::Network model = tiny_model();
+  FlowFixture fixture = run_flow(model, 52);
+
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  auto program =
+      ocl::Program::create_with_binary(context, fixture.flow.xclbin_bytes);
+  ASSERT_TRUE(program.is_ok());
+  ocl::Kernel kernel(program.value(), program.value().kernel_name());
+
+  const std::size_t image_floats =
+      model.input_shape().value().element_count();
+  ocl::Buffer in_buffer(context, image_floats * sizeof(float));
+  ocl::Buffer out_buffer(context, 64 * sizeof(float));
+  // Garbage weight bytes: the enqueue succeeds (the arguments are shaped
+  // correctly) but the weight deserialization fails at execution time.
+  ocl::Buffer weight_buffer(context, 16);
+  ASSERT_TRUE(kernel.set_arg(0, in_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(1, out_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(2, weight_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(3, 1).is_ok());
+
+  ocl::CommandQueue queue(context);
+  auto task = queue.enqueue_task(kernel);
+  ASSERT_TRUE(task.is_ok());  // enqueue itself succeeds
+  const Status task_status = task.value().status();
+  EXPECT_FALSE(task_status.is_ok());
+  EXPECT_FALSE(task.value().kernel_stats().is_ok());
+
+  // A dependent read fails without executing, tagged as a dependency error.
+  std::vector<std::byte> out(4);
+  auto read = queue.enqueue_read_buffer(out_buffer, 0, out, {task.value()});
+  ASSERT_TRUE(read.is_ok());
+  const Status read_status = read.value().status();
+  EXPECT_FALSE(read_status.is_ok());
+  EXPECT_NE(read_status.message().find("dependency failed"), std::string::npos)
+      << read_status.to_string();
+
+  // finish() surfaces the FIRST deferred error, then resets.
+  const Status drained = queue.finish();
+  EXPECT_FALSE(drained.is_ok());
+  EXPECT_EQ(drained.message(), task_status.message());
+  EXPECT_TRUE(queue.finish().is_ok());
+}
+
+TEST(AsyncQueue, MultiInstanceKernelThroughQueue) {
+  const nn::Network model = tiny_model();
+  FlowFixture fixture = run_flow(model, 53);
+
+  auto device = ocl::get_device("aws-f1");
+  ocl::Context context(device.value());
+  auto program =
+      ocl::Program::create_with_binary(context, fixture.flow.xclbin_bytes);
+  ASSERT_TRUE(program.is_ok());
+  // Replicate the device kernel before any enqueue — the CLI's --instances
+  // path does exactly this.
+  ASSERT_TRUE(program.value().device_kernel()->set_instances(2).is_ok());
+  ocl::Kernel kernel(program.value(), program.value().kernel_name());
+
+  constexpr std::size_t kBatch = 5;
+  const auto inputs = condor::testing::random_inputs(model, kBatch, 71);
+  const std::size_t image_floats = inputs[0].size();
+  const std::size_t out_floats = model.output_shape().value().element_count();
+
+  ocl::Buffer in_buffer(context, kBatch * image_floats * sizeof(float));
+  ocl::Buffer out_buffer(context, kBatch * out_floats * sizeof(float));
+  ocl::Buffer weight_buffer(context, fixture.flow.weight_file_bytes.size());
+  ocl::CommandQueue queue(context);
+  ASSERT_TRUE(
+      queue.enqueue_write_buffer(weight_buffer, 0, fixture.flow.weight_file_bytes)
+          .is_ok());
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    ASSERT_TRUE(queue
+                    .enqueue_write_buffer(in_buffer,
+                                          i * image_floats * sizeof(float),
+                                          tensor_bytes(inputs[i]))
+                    .is_ok());
+  }
+  ASSERT_TRUE(kernel.set_arg(0, in_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(1, out_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(2, weight_buffer).is_ok());
+  ASSERT_TRUE(kernel.set_arg(3, static_cast<std::int32_t>(kBatch)).is_ok());
+  auto task = queue.enqueue_task(kernel);
+  ASSERT_TRUE(task.is_ok());
+  auto stats = task.value().kernel_stats();
+  ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
+  EXPECT_EQ(stats.value().instances, 2u);
+  EXPECT_GT(stats.value().simulated_cycles, 0u);
+
+  auto engine = nn::ReferenceEngine::create(model, fixture.weights);
+  ASSERT_TRUE(engine.is_ok());
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    std::vector<float> device_out(out_floats);
+    auto read = queue.enqueue_read_buffer(
+        out_buffer, i * out_floats * sizeof(float),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(device_out.data()),
+                             out_floats * sizeof(float)));
+    ASSERT_TRUE(read.is_ok());
+    read.value().wait();
+    const Tensor expected = engine.value().forward(inputs[i]).value();
+    for (std::size_t c = 0; c < out_floats; ++c) {
+      EXPECT_EQ(device_out[c], expected[c]) << "image " << i << " class " << c;
+    }
+  }
+  EXPECT_TRUE(queue.finish().is_ok());
+}
+
+}  // namespace
+}  // namespace condor::runtime

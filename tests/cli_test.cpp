@@ -101,6 +101,22 @@ TEST(Cli, BuildFromOnnxAndRun) {
   EXPECT_EQ(exec.exit_code, 0) << exec.err;
   EXPECT_NE(exec.out.find("4 images"), std::string::npos);
   EXPECT_NE(exec.out.find("MHz"), std::string::npos);
+
+  // Multi-instance execution shards the batch across replicas and reports
+  // the per-instance census.
+  const CliRun sharded =
+      run({"run", "--xclbin", dir + "/artifacts/accelerator.xclbin",
+           "--weights", dir + "/artifacts/weights.bin", "--batch", "6",
+           "--instances", "2"});
+  EXPECT_EQ(sharded.exit_code, 0) << sharded.err;
+  EXPECT_NE(sharded.out.find("6 images"), std::string::npos);
+  EXPECT_NE(sharded.out.find("2 instances"), std::string::npos);
+  EXPECT_NE(sharded.out.find("images per instance"), std::string::npos);
+  EXPECT_EQ(run({"run", "--xclbin", dir + "/artifacts/accelerator.xclbin",
+                 "--weights", dir + "/artifacts/weights.bin", "--instances",
+                 "0"})
+                .exit_code,
+            2);
 }
 
 TEST(Cli, BuildCloudCreatesAfiAndDescribeFindsIt) {
@@ -163,6 +179,22 @@ TEST(Cli, ValidateFixedLeNet) {
       {"validate", "--model", "lenet", "--batch", "1", "--data-type", "fixed16"});
   EXPECT_EQ(result.exit_code, 0) << result.err;
   EXPECT_NE(result.out.find("bit-exact PASS"), std::string::npos);
+}
+
+TEST(Cli, ValidateMultiInstanceStaysBitExact) {
+  // The sharded pool against the same oracle — float and fixed datapaths,
+  // with a batch that does not divide evenly across the instances.
+  for (const char* type : {"float32", "fixed16"}) {
+    SCOPED_TRACE(type);
+    const CliRun result =
+        run({"validate", "--model", "tc1", "--batch", "5", "--instances", "2",
+             "--data-type", type});
+    EXPECT_EQ(result.exit_code, 0) << result.err;
+    EXPECT_NE(result.out.find("bit-exact PASS"), std::string::npos);
+    EXPECT_NE(result.out.find("instances=2"), std::string::npos);
+  }
+  EXPECT_EQ(run({"validate", "--model", "tc1", "--instances", "0"}).exit_code,
+            2);
 }
 
 TEST(Cli, Fig5PrintsBatchSweep) {

@@ -204,6 +204,63 @@ TEST(F1, LoadDescribeClearSlot) {
   EXPECT_FALSE(instance.slot_kernel(0).is_ok());
 }
 
+TEST(F1, MultiSlotShardedRunIsBitExactWithCompleteCensus) {
+  const nn::Network model =
+      condor::testing::make_tiny_net(condor::testing::TinyNetConfig{});
+  condorflow::FrontendInput input;
+  input.network_json_text = hw::to_json_text(hw::with_default_annotations(model));
+  input.weight_file_bytes = nn::initialize_weights(model, 9).value().serialize();
+  auto flow = condorflow::Flow::run(input, condorflow::FlowOptions{});
+  ASSERT_TRUE(flow.is_ok()) << flow.status().to_string();
+
+  ObjectStore store(fresh_root("f1_sharded"));
+  AfiService service(store, 0);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(
+      store.put_object("designs", "d.xclbin", flow.value().xclbin_bytes).is_ok());
+  auto afi = service.create_fpga_image("tiny", "", "designs", "d.xclbin");
+  ASSERT_TRUE(afi.is_ok());
+  ASSERT_TRUE(service.wait_until_available(afi.value().afi_id).is_ok());
+
+  F1Instance instance(F1InstanceType::k4xlarge, service);
+  ASSERT_TRUE(instance.load_afi(0, afi.value().agfi_id).is_ok());
+  ASSERT_TRUE(instance.load_afi(1, afi.value().agfi_id).is_ok());
+
+  const auto inputs = condor::testing::random_inputs(model, 7, 13);
+  // Slots exist but have no weights bound yet.
+  EXPECT_FALSE(instance.run_batch_sharded(inputs, 2).is_ok());
+  for (std::size_t s = 0; s < 2; ++s) {
+    ASSERT_TRUE(instance.slot_kernel(s)
+                    .value()
+                    ->load_weights(flow.value().weight_file_bytes)
+                    .is_ok());
+  }
+
+  // Reference: the whole batch on slot 0 alone.
+  auto expected = instance.slot_kernel(0).value()->run(inputs);
+  ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();
+
+  MultiSlotRunStats stats;
+  auto sharded = instance.run_batch_sharded(inputs, 2, &stats);
+  ASSERT_TRUE(sharded.is_ok()) << sharded.status().to_string();
+  ASSERT_EQ(sharded.value().size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t e = 0; e < sharded.value()[i].size(); ++e) {
+      ASSERT_EQ(sharded.value()[i][e], expected.value()[i][e])
+          << "image " << i << " element " << e;
+    }
+  }
+  ASSERT_EQ(stats.images_per_slot.size(), 2u);
+  EXPECT_EQ(stats.images_per_slot[0] + stats.images_per_slot[1], inputs.size());
+  EXPECT_GT(stats.device_seconds, 0.0);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.images_per_second(inputs.size()), 0.0);
+
+  // Slot-count bounds.
+  EXPECT_FALSE(instance.run_batch_sharded(inputs, 0).is_ok());
+  EXPECT_FALSE(instance.run_batch_sharded(inputs, 3).is_ok());
+}
+
 TEST(F1, PendingAfiCannotBeLoaded) {
   ObjectStore store(fresh_root("f1_pending"));
   AfiService service(store, /*ingestion_polls=*/10);

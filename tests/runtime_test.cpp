@@ -144,7 +144,9 @@ TEST(OclApi, EndToEndMatchesReference) {
   ASSERT_TRUE(kernel.set_arg(2, weight_buffer).is_ok());
   ASSERT_TRUE(kernel.set_arg(3, static_cast<std::int32_t>(inputs.size())).is_ok());
 
-  auto stats = queue.enqueue_task(kernel);
+  auto task = queue.enqueue_task(kernel);
+  ASSERT_TRUE(task.is_ok()) << task.status().to_string();
+  auto stats = task.value().kernel_stats();  // waits for the task to execute
   ASSERT_TRUE(stats.is_ok()) << stats.status().to_string();
   EXPECT_GT(stats.value().simulated_cycles, 0u);
   EXPECT_GT(stats.value().clock_mhz, 0.0);
@@ -153,13 +155,12 @@ TEST(OclApi, EndToEndMatchesReference) {
   ASSERT_TRUE(engine.is_ok());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     std::vector<float> device_out(out_floats);
-    ASSERT_TRUE(queue
-                    .enqueue_read_buffer(
-                        out_buffer, i * out_floats * sizeof(float),
-                        std::span<std::byte>(
-                            reinterpret_cast<std::byte*>(device_out.data()),
-                            out_floats * sizeof(float)))
-                    .is_ok());
+    auto read = queue.enqueue_read_buffer(
+        out_buffer, i * out_floats * sizeof(float),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(device_out.data()),
+                             out_floats * sizeof(float)));
+    ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+    read.value().wait();  // zero-copy read: the span fills on completion
     const Tensor expected = engine.value().forward(inputs[i]).value();
     for (std::size_t c = 0; c < out_floats; ++c) {
       EXPECT_EQ(device_out[c], expected[c]) << "image " << i << " class " << c;
@@ -205,11 +206,29 @@ TEST(OclApi, BufferBoundsChecked) {
   ocl::Buffer buffer(context, 8);
   ocl::CommandQueue queue(context);
   std::vector<std::byte> big(16);
-  EXPECT_FALSE(queue.enqueue_write_buffer(buffer, 0, big).is_ok());
-  EXPECT_FALSE(queue.enqueue_write_buffer(buffer, 4, std::span(big).first(8)).is_ok());
+  auto oversized = queue.enqueue_write_buffer(buffer, 0, big);
+  EXPECT_FALSE(oversized.is_ok());
+  EXPECT_NE(oversized.status().message().find("write of 16 bytes at offset 0"),
+            std::string::npos)
+      << oversized.status().to_string();
+  EXPECT_NE(oversized.status().message().find("buffer of 8 bytes"),
+            std::string::npos);
+  auto past_end = queue.enqueue_write_buffer(buffer, 4, std::span(big).first(8));
+  EXPECT_FALSE(past_end.is_ok());
+  EXPECT_NE(past_end.status().message().find("write of 8 bytes at offset 4"),
+            std::string::npos);
+  // Offset alone past the end must not wrap (offset + size could overflow).
+  EXPECT_FALSE(
+      queue.enqueue_write_buffer(buffer, 9, std::span(big).first(0)).is_ok());
   std::vector<std::byte> out(4);
   EXPECT_TRUE(queue.enqueue_read_buffer(buffer, 4, out).is_ok());
-  EXPECT_FALSE(queue.enqueue_read_buffer(buffer, 6, out).is_ok());
+  auto bad_read = queue.enqueue_read_buffer(buffer, 6, out);
+  EXPECT_FALSE(bad_read.is_ok());
+  EXPECT_NE(bad_read.status().message().find("read of 4 bytes at offset 6"),
+            std::string::npos)
+      << bad_read.status().to_string();
+  // Drain the pending valid read before `out` goes out of scope.
+  EXPECT_TRUE(queue.finish().is_ok());
 }
 
 TEST(KernelRunner, RequiresWeightsBeforeRun) {
