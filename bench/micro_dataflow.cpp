@@ -17,6 +17,7 @@
 #include "dataflow/fifo.hpp"
 #include "hw/accel_plan.hpp"
 #include "nn/kernels.hpp"
+#include "nn/kernels_simd.hpp"
 #include "nn/models.hpp"
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
@@ -197,9 +198,11 @@ BENCHMARK(BM_Reference_LeNet)->Unit(benchmark::kMillisecond);
 
 /// The packed OC-contiguous conv microkernel (nn/kernels.hpp) against the
 /// scalar oc-outer schedule it replaced, on one conv-shaped workload
-/// (32 output maps of 16x16, 16 input channels, 3x3 window). Arg: 0 =
-/// scalar baseline, 1 = packed kernel. Compare items/s (MACs) between the
-/// two rows; both run on a single thread.
+/// (32 output maps of 16x16, 16 input channels, 3x3 window). Args:
+/// {0, _} = the pre-repack scalar schedule baseline; {1, level} = the
+/// packed kernel pinned to SIMD dispatch level `level` (0 scalar, 1 avx2,
+/// 2 avx512 — unsupported levels skip). Compare items/s (MACs) between
+/// rows; all run on a single thread. The label records the variant.
 void BM_ConvMicrokernel(benchmark::State& state) {
   // Runtime-opaque dimensions: the replaced scalar schedule ran with
   // runtime loop bounds (LayerPass fields), so the baseline must not be
@@ -225,6 +228,17 @@ void BM_ConvMicrokernel(benchmark::State& state) {
   std::vector<float> out(kOutC * kPoints);
 
   const bool packed_variant = state.range(0) != 0;
+  const auto requested_level =
+      static_cast<nn::kernels::SimdLevel>(state.range(1));
+  const nn::kernels::SimdLevel previous_level =
+      nn::kernels::active_simd_level();
+  if (packed_variant &&
+      nn::kernels::set_active_simd_level_for_testing(requested_level) !=
+          requested_level) {
+    nn::kernels::set_active_simd_level_for_testing(previous_level);
+    state.SkipWithError("SIMD level unsupported on this host");
+    return;
+  }
   const std::vector<float> packed =
       nn::kernels::pack_conv_weights<float>(weights, kOutC, kInC, kK, kK);
   std::vector<float> acc(kPoints * kOutC);
@@ -280,12 +294,23 @@ void BM_ConvMicrokernel(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
     benchmark::ClobberMemory();
   }
-  state.SetLabel(packed_variant ? "packed" : "scalar");
+  if (packed_variant) {
+    nn::kernels::set_active_simd_level_for_testing(previous_level);
+  }
+  std::string label = packed_variant ? "packed-" : "scalar";
+  if (packed_variant) {
+    label += nn::kernels::to_string(requested_level);
+  }
+  state.SetLabel(label);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(kOutC * kInC * kTaps *
                                                     kPoints));
 }
-BENCHMARK(BM_ConvMicrokernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_ConvMicrokernel)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2});
 
 /// Steady-state LeNet serving at uniform intra-layer unfolding degrees:
 /// parallel_out output-channel lanes per PE on the shared pool (Arg =
@@ -443,6 +468,16 @@ BENCHMARK(BM_PipelineSimulator)->Arg(6)->Arg(18);
 int main(int argc, char** argv) {
   condor::log::set_level(condor::log::Level::kError);
   benchmark::Initialize(&argc, argv);
+  // Recorded next to host_threads so checked-in BENCH json stays
+  // interpretable: which microkernel dispatch level the run used and what
+  // the host CPU offered (see nn/kernels_simd.hpp; CONDOR_SIMD overrides).
+  benchmark::AddCustomContext(
+      "simd_level", std::string(condor::nn::kernels::to_string(
+                        condor::nn::kernels::active_simd_level())));
+  benchmark::AddCustomContext("cpu_features",
+                              condor::nn::kernels::cpu_feature_string());
+  benchmark::AddCustomContext(
+      "host_threads", std::to_string(std::thread::hardware_concurrency()));
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -1,0 +1,34 @@
+#include "common/alloc_probe.hpp"
+
+namespace condor::common {
+namespace {
+
+std::atomic<std::atomic<std::size_t>*> g_counter{nullptr};
+
+}  // namespace
+
+int& AllocProbe::depth() noexcept {
+  thread_local int t_depth = 0;
+  return t_depth;
+}
+
+int& AllocProbe::paused() noexcept {
+  thread_local int t_paused = 0;
+  return t_paused;
+}
+
+std::atomic<std::size_t>* AllocProbe::arm(
+    std::atomic<std::size_t>* counter) noexcept {
+  return g_counter.exchange(counter, std::memory_order_acq_rel);
+}
+
+void AllocProbe::notify() noexcept {
+  std::atomic<std::size_t>* counter =
+      g_counter.load(std::memory_order_acquire);
+  if (counter == nullptr || depth() <= 0 || paused() > 0) {
+    return;
+  }
+  counter->fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace condor::common

@@ -5,6 +5,7 @@
 #include "common/strings.hpp"
 #include "dataflow/filter.hpp"
 #include "dataflow/pe.hpp"
+#include "nn/kernels_simd.hpp"
 #include "nn/reference.hpp"
 
 namespace condor::dataflow {
@@ -240,6 +241,7 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
   stats_.modules = design_->graph.module_count();
   stats_.streams = design_->graph.stream_count();
   stats_.stream_stats = design_->graph.stream_stats();
+  stats_.simd_level = nn::kernels::to_string(nn::kernels::active_simd_level());
 
   if (!run_status.is_ok()) {
     // A failed run leaves streams partially drained; drop the instance so

@@ -24,6 +24,7 @@
 
 #include <memory>
 #include <span>
+#include <string_view>
 
 #include "common/status.hpp"
 #include "common/thread_pool.hpp"
@@ -41,6 +42,9 @@ namespace condor::dataflow {
 struct RunStats {
   std::size_t modules = 0;
   std::size_t streams = 0;
+  /// The microkernel dispatch level the batch executed with ("scalar",
+  /// "avx2" or "avx512" — see nn/kernels_simd.hpp).
+  std::string_view simd_level;
   std::vector<FifoStats> stream_stats;
 };
 

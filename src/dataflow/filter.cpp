@@ -1,5 +1,7 @@
 #include "dataflow/filter.hpp"
 
+#include "common/alloc_probe.hpp"
+
 namespace condor::dataflow {
 
 bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pass,
@@ -16,9 +18,12 @@ bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pa
 }
 
 Status FilterModule::run(const RunContext& ctx) {
-  std::vector<float> row;
-  std::vector<float> matched;
-  std::vector<std::size_t> match_cols;
+  // Row/match staging lives in members that persist across images and
+  // run_batch calls; after a warmup batch the loop never allocates.
+  const common::AllocProbe::Scope alloc_scope;
+  std::vector<float>& row = row_;
+  std::vector<float>& matched = matched_;
+  std::vector<std::size_t>& match_cols = match_cols_;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (const LayerPass& pass : program_.passes) {
       if (pass.kind == PassKind::kInnerProduct) {
@@ -77,7 +82,8 @@ Status FilterModule::run(const RunContext& ctx) {
 }
 
 Status SourceMuxModule::run(const RunContext& ctx) {
-  std::vector<float> row;
+  const common::AllocProbe::Scope alloc_scope;
+  std::vector<float>& row = row_;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];

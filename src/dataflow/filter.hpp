@@ -74,6 +74,12 @@ class FilterModule final : public Module {
   Stream& upstream_;
   Stream* downstream_;
   Stream& to_pe_;
+
+  /// Steady-state scratch: persists across images and run_batch calls so
+  /// the row loop never allocates after warmup (see common/alloc_probe.hpp).
+  std::vector<float> row_;
+  std::vector<float> matched_;
+  std::vector<std::size_t> match_cols_;
 };
 
 /// Source multiplexer feeding a feature PE's filter chains.
@@ -103,6 +109,9 @@ class SourceMuxModule final : public Module {
   Stream& external_;
   Stream* loopback_;
   std::vector<Stream*> outs_;
+
+  /// Steady-state row buffer (persists across images and batches).
+  std::vector<float> row_;
 };
 
 }  // namespace condor::dataflow

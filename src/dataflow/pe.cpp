@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/alloc_probe.hpp"
 #include "nn/kernels.hpp"
 #include "nn/layer.hpp"
 
@@ -36,10 +37,13 @@ Status read_fmt_word(Stream* stream, int& frac, const std::string& pe_name) {
 /// activated float blob, quantizes to codes, and emits — format word first
 /// (when this edge has a format side-channel; the loopback keeps the format
 /// in a PE-local variable instead), then the codes stored in float words.
+/// `codes` / `blob` are caller-owned scratch (module members) so the steady
+/// state stays off the heap.
 Status emit_requantized(const std::string& pe_name, Stream& sink,
                         Stream* fmt_sink, std::span<const float> values,
-                        int total_bits, int& out_frac) {
-  std::vector<std::int32_t> codes;
+                        int total_bits, int& out_frac,
+                        std::vector<std::int32_t>& codes,
+                        std::vector<float>& blob) {
   const nn::FixedPointFormat format =
       nn::quantize_span(values, total_bits, codes);
   out_frac = format.frac_bits;
@@ -47,7 +51,7 @@ Status emit_requantized(const std::string& pe_name, Stream& sink,
       !fmt_sink->write(static_cast<float>(format.frac_bits))) {
     return internal_error("PE '" + pe_name + "': format sink closed mid-pass");
   }
-  std::vector<float> blob(codes.begin(), codes.end());
+  blob.assign(codes.begin(), codes.end());
   if (!sink.write_burst(blob)) {
     return internal_error("PE '" + pe_name + "': sink closed mid-pass");
   }
@@ -66,15 +70,23 @@ void codes_from_floats(std::span<const float> words,
 
 /// Executes fn(lane) for each of `lanes` compute lanes: inline when there is
 /// a single lane or no pool, fork-joined on the pool otherwise
-/// (parallel_shards is safe to call from inside a module task).
-void run_lanes(ThreadPool* pool, std::size_t lanes,
-               const std::function<void(std::size_t)>& fn) {
+/// (parallel_shards is safe to call from inside a module task). Templated on
+/// the callable so the inline single-lane path never materializes a
+/// std::function (which would heap-allocate per pass); only the actual
+/// fork-join submission pays that cost.
+template <typename Fn>
+void run_lanes(ThreadPool* pool, std::size_t lanes, const Fn& fn) {
   if (lanes <= 1 || pool == nullptr) {
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       fn(lane);
     }
     return;
   }
+  // The fork itself heap-allocates (type-erased tasks + shared join state
+  // owned by the pool) — pool plumbing, not module scratch, so it is
+  // excluded from the steady-state allocation probe. The lane bodies run
+  // on worker threads outside the probed scope either way.
+  const common::AllocProbe::Pause pause;
   pool->parallel_shards(lanes, fn);
 }
 
@@ -96,9 +108,9 @@ OcSlice oc_slice(std::size_t total, std::size_t lanes, std::size_t lane) {
 }  // namespace
 
 Status FeaturePeModule::run(const RunContext& ctx) {
+  const common::AllocProbe::Scope alloc_scope;
   const bool fixed = nn::is_fixed_point(data_type_);
-  std::vector<float> weight_buffer;
-  std::vector<float> bias_buffer;
+  weight_cache_.resize(program_.passes.size());
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     int frac = 0;
     if (fixed) {
@@ -118,24 +130,24 @@ Status FeaturePeModule::run(const RunContext& ctx) {
       // datapaths stream the same raw floats and quantize locally.
       if (pass.params != nullptr) {
         CONDOR_RETURN_IF_ERROR(read_weights(
-            weights_, pass.params->weights.size(), weight_buffer, name()));
+            weights_, pass.params->weights.size(), weight_buffer_, name()));
         CONDOR_RETURN_IF_ERROR(read_weights(
-            weights_, pass.params->bias.size(), bias_buffer, name()));
+            weights_, pass.params->bias.size(), bias_buffer_, name()));
       } else {
-        weight_buffer.clear();
-        bias_buffer.clear();
+        weight_buffer_.clear();
+        bias_buffer_.clear();
       }
       if (!fixed) {
         CONDOR_RETURN_IF_ERROR(
-            run_pass(pass, *sink, weight_buffer, bias_buffer));
+            run_pass(pi, pass, *sink, weight_buffer_, bias_buffer_));
         continue;
       }
       // Fused intermediate blobs keep their format PE-local (no format
       // side-channel on the loopback edge); only the last pass publishes.
       int out_frac = 0;
-      CONDOR_RETURN_IF_ERROR(run_pass_fixed(pass, *sink,
+      CONDOR_RETURN_IF_ERROR(run_pass_fixed(pi, pass, *sink,
                                             last ? fmt_out_ : nullptr,
-                                            weight_buffer, bias_buffer, frac,
+                                            weight_buffer_, bias_buffer_, frac,
                                             out_frac));
       frac = out_frac;
     }
@@ -189,8 +201,8 @@ Status FeaturePeModule::read_port_stripe(const LayerPass& pass,
   return Status::ok();
 }
 
-Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
-                                 std::span<const float> weights,
+Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
+                                 Stream& sink, std::span<const float> weights,
                                  std::span<const float> bias) {
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
 
@@ -200,11 +212,17 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
       const std::size_t map_points = pass.out_h * pass.out_w;
       const std::size_t tap_count = pass.window_h * pass.window_w;
 
-      // One-time repack per pass: the stream delivers the weights in their
-      // canonical (oc, ic, ky, kx) order; the microkernel wants the output
-      // channel innermost (ic, ky, kx, oc) so its hot loop is contiguous.
-      const std::vector<float> packed = nn::kernels::pack_conv_weights(
-          weights, oc_total, pass.in_channels, pass.window_h, pass.window_w);
+      // One-time repack per pass, cached across images and batches: the
+      // stream re-delivers the same weights every image, but the
+      // microkernel's (ic, ky, kx, oc) layout — output channel innermost so
+      // its hot loop is contiguous — is a pure function of the pass.
+      PassWeightCache& cache = weight_cache_[pass_index];
+      if (!cache.ready) {
+        cache.packed = nn::kernels::pack_conv_weights(
+            weights, oc_total, pass.in_channels, pass.window_h, pass.window_w);
+        cache.ready = true;
+      }
+      const std::vector<float>& packed = cache.packed;
 
       // parallel_out compute lanes, each owning a disjoint oc slice with a
       // point-major accumulator tile seeded with the bias. Per output
@@ -212,37 +230,40 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
       // is byte-identical to the single-lane schedule.
       const std::size_t compute_lanes =
           std::clamp<std::size_t>(parallel_out_, 1, std::max<std::size_t>(oc_total, 1));
-      std::vector<std::vector<float>> lane_acc(compute_lanes);
-      std::vector<std::vector<const float*>> lane_taps(compute_lanes);
+      if (lane_acc_.size() < compute_lanes) {
+        lane_acc_.resize(compute_lanes);
+      }
+      if (lane_taps_.size() < compute_lanes) {
+        lane_taps_.resize(compute_lanes);
+      }
       for (std::size_t lane = 0; lane < compute_lanes; ++lane) {
         const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
-        lane_acc[lane].resize(map_points * slice.width());
-        float* acc = lane_acc[lane].data();
+        lane_acc_[lane].resize(map_points * slice.width());
+        float* acc = lane_acc_[lane].data();
         for (std::size_t point = 0; point < map_points; ++point) {
           for (std::size_t j = 0; j < slice.width(); ++j) {
             acc[point * slice.width() + j] =
                 pass.has_bias ? bias[slice.begin + j] : 0.0F;
           }
         }
-        lane_taps[lane].resize(tap_count);
+        lane_taps_[lane].resize(tap_count);
       }
 
       // Stream one input-channel stripe at a time (identical FIFO read
       // order to the row-at-a-time schedule) and fork the lanes over it.
-      std::vector<float> stage;
       for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
-        CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage));
+        CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage_));
         const float* packed_ic = packed.data() + ic * tap_count * oc_total;
         run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
           const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
           if (slice.width() == 0) {
             return;
           }
-          float* acc = lane_acc[lane].data();
-          const float** taps = lane_taps[lane].data();
+          float* acc = lane_acc_[lane].data();
+          const float** taps = lane_taps_[lane].data();
           for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
             for (std::size_t tap = 0; tap < tap_count; ++tap) {
-              taps[tap] = stage.data() + (oy * tap_count + tap) * pass.out_w;
+              taps[tap] = stage_.data() + (oy * tap_count + tap) * pass.out_w;
             }
             nn::kernels::conv_accumulate_row(
                 acc + oy * pass.out_w * slice.width(), slice.width(),
@@ -254,19 +275,19 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
 
       // Activation + transpose into the (oc, oy, ox) emission order; each
       // lane writes its disjoint contiguous output block.
-      std::vector<float> out_blob(oc_total * map_points);
+      out_blob_.resize(oc_total * map_points);
       run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
         const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
-        const float* acc = lane_acc[lane].data();
+        const float* acc = lane_acc_[lane].data();
         for (std::size_t j = 0; j < slice.width(); ++j) {
-          float* out_map = out_blob.data() + (slice.begin + j) * map_points;
+          float* out_map = out_blob_.data() + (slice.begin + j) * map_points;
           for (std::size_t point = 0; point < map_points; ++point) {
             out_map[point] = nn::apply_activation(
                 pass.activation, acc[point * slice.width() + j]);
           }
         }
       });
-      if (!sink.write_burst(out_blob)) {
+      if (!sink.write_burst(out_blob_)) {
         return internal_error("PE '" + name() + "': sink closed mid-pass");
       }
       return Status::ok();
@@ -276,20 +297,22 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
       // Per-port staging rows: port (ky, kx) delivers the out_w consecutive
       // window entries of one output row per burst. Channel c's window
       // arrives on chain lane c % lanes.
-      std::vector<std::vector<float>> port_rows(pass.window_h * pass.window_w);
+      if (port_rows_.size() < pass.window_h * pass.window_w) {
+        port_rows_.resize(pass.window_h * pass.window_w);
+      }
       const float window_size =
           static_cast<float>(pass.window_h * pass.window_w);
-      std::vector<float> out_row(pass.out_w);
+      out_row_.resize(pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
-          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows));
+          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows_));
           for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
             float result = pass.pool_method == nn::PoolMethod::kMax
                                ? -std::numeric_limits<float>::infinity()
                                : 0.0F;
             for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
               for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
-                const float value = port_rows[ky * pass.window_w + kx][ox];
+                const float value = port_rows_[ky * pass.window_w + kx][ox];
                 if (pass.pool_method == nn::PoolMethod::kMax) {
                   result = std::max(result, value);
                 } else {
@@ -300,9 +323,9 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
             if (pass.pool_method == nn::PoolMethod::kAverage) {
               result /= window_size;
             }
-            out_row[ox] = nn::apply_activation(pass.activation, result);
+            out_row_[ox] = nn::apply_activation(pass.activation, result);
           }
-          if (!sink.write_burst(out_row)) {
+          if (!sink.write_burst(out_row_)) {
             return internal_error("PE '" + name() + "': sink closed mid-pass");
           }
         }
@@ -313,16 +336,16 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
     case PassKind::kElementwise: {
       // 1x1 window: only access (0, 0) of the channel's lane. The whole
       // channel map transfers as one burst.
-      std::vector<float> map(pass.in_h * pass.in_w);
+      map_.resize(pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream* port = ports_[(c % lanes_) * lane_stride];
-        if (port->read_burst(std::span<float>(map)) != map.size()) {
+        if (port->read_burst(std::span<float>(map_)) != map_.size()) {
           return internal_error("PE '" + name() + "': port stream ended early");
         }
-        for (float& value : map) {
+        for (float& value : map_) {
           value = nn::apply_activation(pass.activation, value);
         }
-        if (!sink.write_burst(map)) {
+        if (!sink.write_burst(map_)) {
           return internal_error("PE '" + name() + "': sink closed mid-pass");
         }
       }
@@ -336,7 +359,8 @@ Status FeaturePeModule::run_pass(const LayerPass& pass, Stream& sink,
 }
 
 template <typename Acc>
-Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
+Status FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
+                                            const LayerPass& pass, Stream& sink,
                                             Stream* fmt_sink,
                                             std::span<const float> weights,
                                             std::span<const float> bias,
@@ -349,25 +373,36 @@ Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
   // Quantize this pass's raw weight slice exactly as the QuantizedEngine
   // quantizes the layer's parameter blobs: one dynamic format over the full
   // weight tensor, one over the bias — identical codes by construction.
-  std::vector<std::int32_t> wcodes;
-  const nn::FixedPointFormat wf = nn::quantize_span(weights, bits, wcodes);
-  std::vector<std::int32_t> bcodes;
-  nn::FixedPointFormat bf{bits, bits - 1};
-  if (pass.has_bias) {
-    bf = nn::quantize_span(bias, bits, bcodes);
+  // Cached across images and batches (the stream re-delivers the same
+  // immutable floats), so quantization + repack run once per pass.
+  PassWeightCache& cache = weight_cache_[pass_index];
+  if (!cache.ready) {
+    std::vector<std::int32_t> wcodes;
+    cache.weight_frac = nn::quantize_span(weights, bits, wcodes).frac_bits;
+    cache.bias_frac = bits - 1;
+    if (pass.has_bias) {
+      cache.bias_frac =
+          nn::quantize_span(bias, bits, cache.bias_codes).frac_bits;
+    }
+    cache.packed_codes = nn::kernels::pack_conv_weights<std::int32_t>(
+        wcodes, oc_total, pass.in_channels, pass.window_h, pass.window_w);
+    cache.ready = true;
   }
-  const int acc_frac = wf.frac_bits + in_frac;
-  const std::vector<std::int32_t> packed =
-      nn::kernels::pack_conv_weights<std::int32_t>(
-          wcodes, oc_total, pass.in_channels, pass.window_h, pass.window_w);
+  const int acc_frac = cache.weight_frac + in_frac;
+  const std::vector<std::int32_t>& packed = cache.packed_codes;
 
   // Same lane decomposition as the float path: disjoint oc slices with
   // integer accumulator tiles. Integer accumulation is exact, so the lane
   // count cannot perturb any sum.
   const std::size_t compute_lanes = std::clamp<std::size_t>(
       parallel_out_, 1, std::max<std::size_t>(oc_total, 1));
-  std::vector<std::vector<Acc>> lane_acc(compute_lanes);
-  std::vector<std::vector<const std::int32_t*>> lane_taps(compute_lanes);
+  std::vector<std::vector<Acc>>& lane_acc = fixed_lane_acc<Acc>();
+  if (lane_acc.size() < compute_lanes) {
+    lane_acc.resize(compute_lanes);
+  }
+  if (lane_taps_fixed_.size() < compute_lanes) {
+    lane_taps_fixed_.resize(compute_lanes);
+  }
   for (std::size_t lane = 0; lane < compute_lanes; ++lane) {
     const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
     lane_acc[lane].resize(map_points * slice.width());
@@ -376,22 +411,21 @@ Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
       for (std::size_t j = 0; j < slice.width(); ++j) {
         acc[point * slice.width() + j] =
             pass.has_bias
-                ? static_cast<Acc>(nn::realign_code(bcodes[slice.begin + j],
-                                                    bf.frac_bits, acc_frac))
+                ? static_cast<Acc>(
+                      nn::realign_code(cache.bias_codes[slice.begin + j],
+                                       cache.bias_frac, acc_frac))
                 : Acc{0};
       }
     }
-    lane_taps[lane].resize(tap_count);
+    lane_taps_fixed_[lane].resize(tap_count);
   }
 
   // The port streams carry codes in float words; stage one input-channel
   // stripe, cast it back to integer codes (exact — see codes_from_floats),
   // and fork the lanes over the integer MAC microkernel.
-  std::vector<float> stage;
-  std::vector<std::int32_t> int_stage;
   for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
-    CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage));
-    codes_from_floats(stage, int_stage);
+    CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage_));
+    codes_from_floats(stage_, int_stage_);
     const std::int32_t* packed_ic = packed.data() + ic * tap_count * oc_total;
     run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
       const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
@@ -399,10 +433,10 @@ Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
         return;
       }
       Acc* acc = lane_acc[lane].data();
-      const std::int32_t** taps = lane_taps[lane].data();
+      const std::int32_t** taps = lane_taps_fixed_[lane].data();
       for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
         for (std::size_t tap = 0; tap < tap_count; ++tap) {
-          taps[tap] = int_stage.data() + (oy * tap_count + tap) * pass.out_w;
+          taps[tap] = int_stage_.data() + (oy * tap_count + tap) * pass.out_w;
         }
         nn::kernels::conv_accumulate_row(
             acc + oy * pass.out_w * slice.width(), slice.width(), pass.out_w,
@@ -414,12 +448,12 @@ Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
   // Dequantize + activate into the (oc, oy, ox) emission order, then
   // requantize the full blob with a fresh dynamic format (the canonical
   // layer-boundary step; lanes join first so the format sees every value).
-  std::vector<float> values(oc_total * map_points);
+  out_blob_.resize(oc_total * map_points);
   run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
     const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
     const Acc* acc = lane_acc[lane].data();
     for (std::size_t j = 0; j < slice.width(); ++j) {
-      float* out_map = values.data() + (slice.begin + j) * map_points;
+      float* out_map = out_blob_.data() + (slice.begin + j) * map_points;
       for (std::size_t point = 0; point < map_points; ++point) {
         out_map[point] = nn::apply_activation(
             pass.activation,
@@ -429,10 +463,12 @@ Status FeaturePeModule::run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
       }
     }
   });
-  return emit_requantized(name(), sink, fmt_sink, values, bits, out_frac);
+  return emit_requantized(name(), sink, fmt_sink, out_blob_, bits, out_frac,
+                          emit_codes_, emit_blob_);
 }
 
-Status FeaturePeModule::run_pass_fixed(const LayerPass& pass, Stream& sink,
+Status FeaturePeModule::run_pass_fixed(std::size_t pass_index,
+                                       const LayerPass& pass, Stream& sink,
                                        Stream* fmt_sink,
                                        std::span<const float> weights,
                                        std::span<const float> bias, int in_frac,
@@ -443,33 +479,35 @@ Status FeaturePeModule::run_pass_fixed(const LayerPass& pass, Stream& sink,
   switch (pass.kind) {
     case PassKind::kConvolution:
       return data_type_ == nn::DataType::kFixed16
-                 ? run_conv_pass_fixed<std::int64_t>(pass, sink, fmt_sink,
-                                                     weights, bias, in_frac,
-                                                     out_frac)
-                 : run_conv_pass_fixed<std::int32_t>(pass, sink, fmt_sink,
-                                                     weights, bias, in_frac,
-                                                     out_frac);
+                 ? run_conv_pass_fixed<std::int64_t>(pass_index, pass, sink,
+                                                     fmt_sink, weights, bias,
+                                                     in_frac, out_frac)
+                 : run_conv_pass_fixed<std::int32_t>(pass_index, pass, sink,
+                                                     fmt_sink, weights, bias,
+                                                     in_frac, out_frac);
 
     case PassKind::kPooling: {
       // Max pooling reduces over codes directly (dequantization is
       // monotone); average pooling sums codes exactly and divides once in
       // float — both exactly as the QuantizedEngine's fixed_pooling. The
       // blob requantizes as a whole, so the output buffers on chip.
-      std::vector<std::vector<float>> port_rows(pass.window_h * pass.window_w);
+      if (port_rows_.size() < pass.window_h * pass.window_w) {
+        port_rows_.resize(pass.window_h * pass.window_w);
+      }
       const float window_size =
           static_cast<float>(pass.window_h * pass.window_w);
       const bool is_max = pass.pool_method == nn::PoolMethod::kMax;
-      std::vector<float> values(pass.in_channels * pass.out_h * pass.out_w);
+      out_blob_.resize(pass.in_channels * pass.out_h * pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
-          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows));
+          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows_));
           for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
             std::int64_t acc =
                 is_max ? std::numeric_limits<std::int64_t>::min() : 0;
             for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
               for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
                 const auto code = static_cast<std::int64_t>(
-                    port_rows[ky * pass.window_w + kx][ox]);
+                    port_rows_[ky * pass.window_w + kx][ox]);
                 acc = is_max ? std::max(acc, code) : acc + code;
               }
             }
@@ -477,31 +515,33 @@ Status FeaturePeModule::run_pass_fixed(const LayerPass& pass, Stream& sink,
             if (!is_max) {
               value /= window_size;
             }
-            values[(c * pass.out_h + oy) * pass.out_w + ox] =
+            out_blob_[(c * pass.out_h + oy) * pass.out_w + ox] =
                 nn::apply_activation(pass.activation, value);
           }
         }
       }
-      return emit_requantized(name(), sink, fmt_sink, values, bits, out_frac);
+      return emit_requantized(name(), sink, fmt_sink, out_blob_, bits,
+                              out_frac, emit_codes_, emit_blob_);
     }
 
     case PassKind::kElementwise: {
       // Dequantize + activate every element, requantize the whole blob
       // (the QuantizedEngine's fixed_activation).
-      std::vector<float> map(pass.in_h * pass.in_w);
-      std::vector<float> values(pass.in_channels * pass.in_h * pass.in_w);
+      map_.resize(pass.in_h * pass.in_w);
+      out_blob_.resize(pass.in_channels * pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream* port = ports_[(c % lanes_) * lane_stride];
-        if (port->read_burst(std::span<float>(map)) != map.size()) {
+        if (port->read_burst(std::span<float>(map_)) != map_.size()) {
           return internal_error("PE '" + name() + "': port stream ended early");
         }
-        for (std::size_t i = 0; i < map.size(); ++i) {
-          values[c * map.size() + i] = nn::apply_activation(
+        for (std::size_t i = 0; i < map_.size(); ++i) {
+          out_blob_[c * map_.size() + i] = nn::apply_activation(
               pass.activation,
-              nn::dequantize_code(static_cast<std::int64_t>(map[i]), in_frac));
+              nn::dequantize_code(static_cast<std::int64_t>(map_[i]), in_frac));
         }
       }
-      return emit_requantized(name(), sink, fmt_sink, values, bits, out_frac);
+      return emit_requantized(name(), sink, fmt_sink, out_blob_, bits,
+                              out_frac, emit_codes_, emit_blob_);
     }
 
     case PassKind::kInnerProduct:
@@ -511,6 +551,7 @@ Status FeaturePeModule::run_pass_fixed(const LayerPass& pass, Stream& sink,
 }
 
 Status ClassifierPeModule::run(const RunContext& ctx) {
+  const common::AllocProbe::Scope alloc_scope;
   if (nn::is_fixed_point(data_type_)) {
     return data_type_ == nn::DataType::kFixed16 ? run_fixed<std::int64_t>(ctx)
                                                 : run_fixed<std::int32_t>(ctx);
@@ -518,30 +559,35 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
   // Runtime configuration load: the datamover delivers every pass's
   // weights once per run; they stay resident for the whole batch, repacked
   // once into the transposed (in, out) GEMV layout the microkernel wants.
-  std::vector<std::vector<float>> packed_weights(program_.passes.size());
-  std::vector<std::vector<float>> pass_bias(program_.passes.size());
-  std::vector<float> weight_buffer;
+  // The repack survives across batches too — the stream re-delivers the
+  // same immutable slices every run, so later runs just drain it.
+  packed_weights_.resize(program_.passes.size());
+  pass_bias_.resize(program_.passes.size());
   for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
     const LayerPass& pass = program_.passes[pi];
     if (pass.params == nullptr) {
       continue;
     }
     CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
-                                        weight_buffer, name()));
-    packed_weights[pi] = nn::kernels::pack_inner_product_weights<float>(
-        weight_buffer, pass.output_elements(), pass.input_elements());
-    CONDOR_RETURN_IF_ERROR(
-        read_weights(weights_, pass.params->bias.size(), pass_bias[pi], name()));
+                                        weight_buffer_, name()));
+    if (!resident_ready_) {
+      packed_weights_[pi] = nn::kernels::pack_inner_product_weights<float>(
+          weight_buffer_, pass.output_elements(), pass.input_elements());
+    }
+    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->bias.size(),
+                                        weight_buffer_, name()));
+    if (!resident_ready_) {
+      pass_bias_[pi] = weight_buffer_;
+    }
   }
+  resident_ready_ = true;
 
   // Scratch blobs reused across the whole batch (resize below the high-water
   // capacity never reallocates).
-  std::vector<float> current;
-  std::vector<float> next;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     // Stage the flattened input of the first pass.
-    current.resize(program_.passes.front().input_elements());
-    if (in_.read_burst(std::span<float>(current)) != current.size()) {
+    current_.resize(program_.passes.front().input_elements());
+    if (in_.read_burst(std::span<float>(current_)) != current_.size()) {
       return internal_error("PE '" + name() + "': input stream ended early");
     }
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
@@ -550,8 +596,8 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
         case PassKind::kInnerProduct: {
           const std::size_t in_count = pass.input_elements();
           const std::size_t out_count = pass.output_elements();
-          const std::vector<float>& packed = packed_weights[pi];
-          next.resize(out_count);
+          const std::vector<float>& packed = packed_weights_[pi];
+          next_.resize(out_count);
           // parallel_out lanes over disjoint output-neuron slices; each
           // neuron's chain (bias, then ascending-h adds) is unchanged.
           const std::size_t compute_lanes = std::clamp<std::size_t>(
@@ -561,22 +607,22 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
             if (slice.width() == 0) {
               return;
             }
-            float* acc = next.data() + slice.begin;
+            float* acc = next_.data() + slice.begin;
             for (std::size_t j = 0; j < slice.width(); ++j) {
-              acc[j] = pass.has_bias ? pass_bias[pi][slice.begin + j] : 0.0F;
+              acc[j] = pass.has_bias ? pass_bias_[pi][slice.begin + j] : 0.0F;
             }
             nn::kernels::inner_product_accumulate(
-                acc, slice.width(), current.data(), in_count,
+                acc, slice.width(), current_.data(), in_count,
                 packed.data() + slice.begin, out_count);
             for (std::size_t j = 0; j < slice.width(); ++j) {
               acc[j] = nn::apply_activation(pass.activation, acc[j]);
             }
           });
-          std::swap(current, next);
+          std::swap(current_, next_);
           break;
         }
         case PassKind::kElementwise: {
-          for (float& value : current) {
+          for (float& value : current_) {
             value = nn::apply_activation(pass.activation, value);
           }
           break;
@@ -585,7 +631,7 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
           return internal_error("classifier PE got a windowed pass");
       }
     }
-    if (!out_.write_burst(current)) {
+    if (!out_.write_burst(current_)) {
       return internal_error("PE '" + name() + "': output closed mid-batch");
     }
   }
@@ -600,53 +646,56 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
   // One-time runtime configuration load, as in the float path — the raw
   // float weights stream in and quantize on chip with the same per-blob
   // dynamic formats the QuantizedEngine derives, then stay resident as
-  // packed integer codes for the whole batch.
-  struct FixedPassWeights {
-    std::vector<std::int32_t> packed;  ///< (in, out) transposed codes
-    std::vector<std::int32_t> bias_codes;
-    int weight_frac = 0;
-    int bias_frac = 0;
-  };
-  std::vector<FixedPassWeights> resident(program_.passes.size());
-  std::vector<float> weight_buffer;
-  std::vector<std::int32_t> wcodes;
+  // packed integer codes for the whole batch (and across batches: later
+  // runs re-drain the stream but skip the requantization).
+  resident_.resize(program_.passes.size());
   for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
     const LayerPass& pass = program_.passes[pi];
     if (pass.params == nullptr) {
       continue;
     }
-    FixedPassWeights& slot = resident[pi];
+    FixedPassWeights& slot = resident_[pi];
     CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
-                                        weight_buffer, name()));
-    slot.weight_frac = nn::quantize_span(weight_buffer, bits, wcodes).frac_bits;
-    slot.packed = nn::kernels::pack_inner_product_weights<std::int32_t>(
-        wcodes, pass.output_elements(), pass.input_elements());
+                                        weight_buffer_, name()));
+    if (!resident_ready_) {
+      slot.weight_frac =
+          nn::quantize_span(weight_buffer_, bits, wcodes_).frac_bits;
+      slot.packed = nn::kernels::pack_inner_product_weights<std::int32_t>(
+          wcodes_, pass.output_elements(), pass.input_elements());
+    }
     CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->bias.size(),
-                                        weight_buffer, name()));
-    slot.bias_frac =
-        nn::quantize_span(weight_buffer, bits, slot.bias_codes).frac_bits;
+                                        weight_buffer_, name()));
+    if (!resident_ready_) {
+      slot.bias_frac =
+          nn::quantize_span(weight_buffer_, bits, slot.bias_codes).frac_bits;
+    }
+  }
+  resident_ready_ = true;
+
+  // Per-lane accumulator scratch: sized once to the lane ceiling, the inner
+  // vectors keep their high-water capacity across passes and batches.
+  std::vector<std::vector<Acc>>& lane_acc = fixed_lane_acc<Acc>();
+  if (lane_acc.size() < parallel_out_) {
+    lane_acc.resize(parallel_out_);
   }
 
-  std::vector<float> words;
-  std::vector<std::int32_t> current;
-  std::vector<float> values;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     int frac = 0;
     CONDOR_RETURN_IF_ERROR(read_fmt_word(fmt_in_, frac, name()));
-    words.resize(program_.passes.front().input_elements());
-    if (in_.read_burst(std::span<float>(words)) != words.size()) {
+    words_.resize(program_.passes.front().input_elements());
+    if (in_.read_burst(std::span<float>(words_)) != words_.size()) {
       return internal_error("PE '" + name() + "': input stream ended early");
     }
-    codes_from_floats(words, current);
+    codes_from_floats(words_, codes_);
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       switch (pass.kind) {
         case PassKind::kInnerProduct: {
           const std::size_t in_count = pass.input_elements();
           const std::size_t out_count = pass.output_elements();
-          const FixedPassWeights& slot = resident[pi];
+          const FixedPassWeights& slot = resident_[pi];
           const int acc_frac = slot.weight_frac + frac;
-          values.resize(out_count);
+          values_.resize(out_count);
           // Same disjoint output-neuron slices as the float path; the
           // integer sums are exact so the lane count is immaterial. Each
           // lane dequantizes + activates its slice; the blob-wide
@@ -658,7 +707,9 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
             if (slice.width() == 0) {
               return;
             }
-            std::vector<Acc> acc(slice.width());
+            std::vector<Acc>& acc_tile = lane_acc[lane];
+            acc_tile.resize(slice.width());
+            Acc* const acc = acc_tile.data();
             for (std::size_t j = 0; j < slice.width(); ++j) {
               acc[j] = pass.has_bias
                            ? static_cast<Acc>(nn::realign_code(
@@ -667,25 +718,25 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
                            : Acc{0};
             }
             nn::kernels::inner_product_accumulate(
-                acc.data(), slice.width(), current.data(), in_count,
+                acc, slice.width(), codes_.data(), in_count,
                 slot.packed.data() + slice.begin, out_count);
             for (std::size_t j = 0; j < slice.width(); ++j) {
-              values[slice.begin + j] = nn::apply_activation(
+              values_[slice.begin + j] = nn::apply_activation(
                   pass.activation,
                   nn::dequantize_code(static_cast<std::int64_t>(acc[j]),
                                       acc_frac));
             }
           });
-          frac = nn::quantize_span(values, bits, current).frac_bits;
+          frac = nn::quantize_span(values_, bits, codes_).frac_bits;
           break;
         }
         case PassKind::kElementwise: {
-          values.resize(current.size());
-          for (std::size_t i = 0; i < current.size(); ++i) {
-            values[i] = nn::apply_activation(
-                pass.activation, nn::dequantize_code(current[i], frac));
+          values_.resize(codes_.size());
+          for (std::size_t i = 0; i < codes_.size(); ++i) {
+            values_[i] = nn::apply_activation(
+                pass.activation, nn::dequantize_code(codes_[i], frac));
           }
-          frac = nn::quantize_span(values, bits, current).frac_bits;
+          frac = nn::quantize_span(values_, bits, codes_).frac_bits;
           break;
         }
         default:
@@ -696,8 +747,8 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
         !fmt_out_->write(static_cast<float>(frac))) {
       return internal_error("PE '" + name() + "': format sink closed mid-batch");
     }
-    words.assign(current.begin(), current.end());
-    if (!out_.write_burst(words)) {
+    words_.assign(codes_.begin(), codes_.end());
+    if (!out_.write_burst(words_)) {
       return internal_error("PE '" + name() + "': output closed mid-batch");
     }
   }

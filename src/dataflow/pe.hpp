@@ -39,8 +39,22 @@
 // nn/numeric.hpp helpers the QuantizedEngine uses, MAC raw codes in a
 // widened integer accumulator, and requantize the full output blob at every
 // pass boundary — bit-exact against nn::QuantizedEngine by construction.
+//
+// Zero-allocation steady state: every per-image buffer (accumulator tiles,
+// port-stripe staging, dequantize/requantize scratch) is a module member
+// that persists across images AND across run_batch calls (the executor's
+// compiled design owns the modules for its whole life). Buffers resize to
+// each pass's needs; once a warmup batch has grown them to their high-water
+// capacity no later image touches the heap. Packed (and, for fixed
+// datapaths, quantized) weight blocks are likewise derived once per pass
+// and cached — the weight streams still drain every image/run (the
+// datamover re-sends the same immutable WeightStore slices), but the
+// repack/requantize work and its allocations happen only the first time.
+// steady_state_alloc_test enforces this via common::AllocProbe.
 #pragma once
 
+#include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -90,13 +104,16 @@ class FeaturePeModule final : public Module {
   Status run(const RunContext& ctx) override;
 
  private:
-  Status run_pass(const LayerPass& pass, Stream& sink,
+  /// `pass_index` keys the weight cache (weight-derived blocks are computed
+  /// the first time the pass runs, reused for every later image/batch).
+  Status run_pass(std::size_t pass_index, const LayerPass& pass, Stream& sink,
                   std::span<const float> weights, std::span<const float> bias);
 
   /// Fixed-point pass: codes in, codes out. `in_frac` is the input blob's
   /// format; the requantized output blob's format lands in `out_frac` (and,
   /// when `fmt_sink` is non-null, on the wire ahead of the blob).
-  Status run_pass_fixed(const LayerPass& pass, Stream& sink, Stream* fmt_sink,
+  Status run_pass_fixed(std::size_t pass_index, const LayerPass& pass,
+                        Stream& sink, Stream* fmt_sink,
                         std::span<const float> weights,
                         std::span<const float> bias, int in_frac,
                         int& out_frac);
@@ -104,8 +121,9 @@ class FeaturePeModule final : public Module {
   /// The convolution body of run_pass_fixed, templated over the widened
   /// accumulator (int64 for fixed16, int32 for fixed8 — see nn/kernels.hpp).
   template <typename Acc>
-  Status run_conv_pass_fixed(const LayerPass& pass, Stream& sink,
-                             Stream* fmt_sink, std::span<const float> weights,
+  Status run_conv_pass_fixed(std::size_t pass_index, const LayerPass& pass,
+                             Stream& sink, Stream* fmt_sink,
+                             std::span<const float> weights,
                              std::span<const float> bias, int in_frac,
                              int& out_frac);
 
@@ -121,6 +139,31 @@ class FeaturePeModule final : public Module {
   Status read_port_stripe(const LayerPass& pass, std::size_t lane,
                           std::vector<float>& stage);
 
+  /// Pass-indexed cache of weight-derived blocks. Filled the first time a
+  /// pass executes, then reused for every later image and batch: the
+  /// datamover re-sends identical slices of the immutable WeightStore, so
+  /// the repack (and the fixed paths' quantization) is a pure function of
+  /// the pass.
+  struct PassWeightCache {
+    bool ready = false;
+    std::vector<float> packed;              ///< float path: (ic,ky,kx,oc)
+    std::vector<std::int32_t> packed_codes; ///< fixed path: same, as codes
+    std::vector<std::int32_t> bias_codes;
+    int weight_frac = 0;
+    int bias_frac = 0;
+  };
+
+  /// The per-lane accumulator tiles of the fixed conv path, selected by the
+  /// widened accumulator type.
+  template <typename Acc>
+  std::vector<std::vector<Acc>>& fixed_lane_acc() noexcept {
+    if constexpr (std::is_same_v<Acc, std::int64_t>) {
+      return lane_acc64_;
+    } else {
+      return lane_acc32_;
+    }
+  }
+
   const PeProgram& program_;
   std::size_t window_h_max_;
   std::size_t window_w_max_;
@@ -134,6 +177,27 @@ class FeaturePeModule final : public Module {
   Stream& out_;
   Stream* fmt_in_;
   Stream* fmt_out_;
+
+  // --- steady-state scratch arena (see the header comment) ---------------
+  // The outer per-lane vectors are sized once to parallel_out_ and never
+  // shrink, so the inner tiles keep their high-water capacity even when a
+  // pass clamps its compute-lane count below parallel_out_.
+  std::vector<PassWeightCache> weight_cache_;  ///< one slot per pass
+  std::vector<float> weight_buffer_;           ///< raw stream drain
+  std::vector<float> bias_buffer_;
+  std::vector<float> stage_;                   ///< port-stripe staging
+  std::vector<std::int32_t> int_stage_;        ///< fixed: stage as codes
+  std::vector<std::vector<float>> lane_acc_;   ///< float conv acc tiles
+  std::vector<std::vector<std::int64_t>> lane_acc64_;  ///< fixed16 tiles
+  std::vector<std::vector<std::int32_t>> lane_acc32_;  ///< fixed8 tiles
+  std::vector<std::vector<const float*>> lane_taps_;
+  std::vector<std::vector<const std::int32_t*>> lane_taps_fixed_;
+  std::vector<std::vector<float>> port_rows_;  ///< pooling row staging
+  std::vector<float> out_blob_;                ///< activated output / values
+  std::vector<float> out_row_;
+  std::vector<float> map_;
+  std::vector<std::int32_t> emit_codes_;       ///< requantize scratch
+  std::vector<float> emit_blob_;
 };
 
 class ClassifierPeModule final : public Module {
@@ -166,6 +230,25 @@ class ClassifierPeModule final : public Module {
   template <typename Acc>
   Status run_fixed(const RunContext& ctx);
 
+  /// Chip-resident quantized weights of one weighted pass (fixed path).
+  struct FixedPassWeights {
+    std::vector<std::int32_t> packed;  ///< (in, out) transposed codes
+    std::vector<std::int32_t> bias_codes;
+    int weight_frac = 0;
+    int bias_frac = 0;
+  };
+
+  /// Per-lane accumulator scratch of the fixed path, selected by the
+  /// widened accumulator type.
+  template <typename Acc>
+  std::vector<std::vector<Acc>>& fixed_lane_acc() noexcept {
+    if constexpr (std::is_same_v<Acc, std::int64_t>) {
+      return lane_acc64_;
+    } else {
+      return lane_acc32_;
+    }
+  }
+
   const PeProgram& program_;
   std::size_t parallel_out_;
   ThreadPool* lane_pool_;
@@ -175,6 +258,23 @@ class ClassifierPeModule final : public Module {
   Stream& out_;
   Stream* fmt_in_;
   Stream* fmt_out_;
+
+  // --- steady-state scratch + resident weights (persist across batches;
+  // the weight stream still drains every run — the repack/quantization
+  // happens only on the first) ---------------------------------------------
+  bool resident_ready_ = false;
+  std::vector<std::vector<float>> packed_weights_;  ///< float path, per pass
+  std::vector<std::vector<float>> pass_bias_;
+  std::vector<FixedPassWeights> resident_;          ///< fixed path, per pass
+  std::vector<float> weight_buffer_;
+  std::vector<float> words_;
+  std::vector<float> current_;
+  std::vector<float> next_;
+  std::vector<std::int32_t> codes_;                 ///< fixed: current blob
+  std::vector<float> values_;
+  std::vector<std::int32_t> wcodes_;
+  std::vector<std::vector<std::int64_t>> lane_acc64_;
+  std::vector<std::vector<std::int32_t>> lane_acc32_;
 };
 
 }  // namespace condor::dataflow

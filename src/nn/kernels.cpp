@@ -1,5 +1,7 @@
 #include "nn/kernels.hpp"
 
+#include "nn/kernels_simd_internal.hpp"
+
 namespace condor::nn::kernels {
 
 template <typename T>
@@ -62,11 +64,18 @@ std::vector<T> unpack_inner_product_weights(std::span<const T> packed,
   return weights;
 }
 
+namespace detail {
+namespace {
+
+// Portable loop bodies: the dispatch's always-available fallback, and the
+// byte-equality oracle every SIMD variant is tested against. Auto-vectorized
+// at -O3 with contraction disabled (see nn/CMakeLists.txt) so the float
+// multiply-then-add keeps two roundings on every build.
 template <typename T, typename Acc>
-void conv_accumulate_row(Acc* acc, std::size_t oc_count, std::size_t out_w,
-                         const T* const* taps, std::size_t tap_count,
-                         std::size_t x_stride, const T* packed,
-                         std::size_t packed_stride) {
+void scalar_conv_row(Acc* acc, std::size_t oc_count, std::size_t out_w,
+                     const T* const* taps, std::size_t tap_count,
+                     std::size_t x_stride, const T* packed,
+                     std::size_t packed_stride) {
   for (std::size_t ox = 0; ox < out_w; ++ox) {
     Acc* __restrict point_acc = acc + ox * oc_count;
     for (std::size_t t = 0; t < tap_count; ++t) {
@@ -80,9 +89,9 @@ void conv_accumulate_row(Acc* acc, std::size_t oc_count, std::size_t out_w,
 }
 
 template <typename T, typename Acc>
-void inner_product_accumulate(Acc* acc, std::size_t out_count,
-                              const T* x, std::size_t in_count,
-                              const T* packed, std::size_t packed_stride) {
+void scalar_inner_product(Acc* acc, std::size_t out_count,
+                          const T* x, std::size_t in_count,
+                          const T* packed, std::size_t packed_stride) {
   for (std::size_t h = 0; h < in_count; ++h) {
     const Acc xv = static_cast<Acc>(x[h]);
     const T* __restrict w = packed + h * packed_stride;
@@ -91,6 +100,39 @@ void inner_product_accumulate(Acc* acc, std::size_t out_count,
       a[j] += static_cast<Acc>(w[j]) * xv;
     }
   }
+}
+
+}  // namespace
+
+const IsaKernels& scalar_kernels() noexcept {
+  static const IsaKernels kTable = {
+      &scalar_conv_row<float, float>,
+      &scalar_conv_row<std::int32_t, std::int64_t>,
+      &scalar_conv_row<std::int32_t, std::int32_t>,
+      &scalar_inner_product<float, float>,
+      &scalar_inner_product<std::int32_t, std::int64_t>,
+      &scalar_inner_product<std::int32_t, std::int32_t>,
+  };
+  return kTable;
+}
+
+}  // namespace detail
+
+template <typename T, typename Acc>
+void conv_accumulate_row(Acc* acc, std::size_t oc_count, std::size_t out_w,
+                         const T* const* taps, std::size_t tap_count,
+                         std::size_t x_stride, const T* packed,
+                         std::size_t packed_stride) {
+  detail::active_conv_row<T, Acc>()(acc, oc_count, out_w, taps, tap_count,
+                                    x_stride, packed, packed_stride);
+}
+
+template <typename T, typename Acc>
+void inner_product_accumulate(Acc* acc, std::size_t out_count,
+                              const T* x, std::size_t in_count,
+                              const T* packed, std::size_t packed_stride) {
+  detail::active_inner_product<T, Acc>()(acc, out_count, x, in_count, packed,
+                                         packed_stride);
 }
 
 // Explicit instantiations — the only (T, Acc) combinations the datapaths

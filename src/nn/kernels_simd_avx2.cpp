@@ -1,0 +1,143 @@
+// AVX2 variants of the packed MAC microkernels. This translation unit is
+// compiled with -mavx2 -mfma -ffp-contract=off (see src/nn/CMakeLists.txt):
+// the ISA flags gate the intrinsics, contraction stays off so the float
+// multiply-then-add keeps the scalar kernels' two-rounding semantics (FMA
+// fusion would break cross-level byte equality). When the toolchain cannot
+// target AVX2 (non-x86, missing flag support) the table getter returns
+// nullptr and dispatch falls back to scalar.
+#include "nn/kernels_simd_internal.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace condor::nn::kernels::detail {
+
+#if defined(__AVX2__)
+namespace {
+
+/// float datapath: 8 lanes, multiply then add (two roundings, matching the
+/// scalar chain exactly).
+struct F32Avx2 {
+  using Elem = float;
+  using Acc = float;
+  using AccVec = __m256;
+  using XVec = __m256;
+  static constexpr std::size_t kWidth = 8;
+  static AccVec load_acc(const float* p) noexcept { return _mm256_loadu_ps(p); }
+  static void store_acc(float* p, AccVec v) noexcept { _mm256_storeu_ps(p, v); }
+  static XVec broadcast(float x) noexcept { return _mm256_set1_ps(x); }
+  static AccVec load_weights(const float* p) noexcept {
+    return _mm256_loadu_ps(p);
+  }
+  static AccVec mac(AccVec a, AccVec w, XVec x) noexcept {
+    return _mm256_add_ps(a, _mm256_mul_ps(w, x));
+  }
+};
+
+/// fixed16 datapath: int32 codes, widening 32x32->64 multiply
+/// (_mm256_mul_epi32 sign-extends the low halves of each 64-bit lane — the
+/// weights arrive sign-extended via cvtepi32_epi64, the broadcast code fits
+/// int32), exact int64 accumulation. 4 lanes.
+struct I64Avx2 {
+  using Elem = std::int32_t;
+  using Acc = std::int64_t;
+  using AccVec = __m256i;
+  using XVec = __m256i;
+  static constexpr std::size_t kWidth = 4;
+  static AccVec load_acc(const Acc* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store_acc(Acc* p, AccVec v) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static XVec broadcast(Elem x) noexcept { return _mm256_set1_epi64x(x); }
+  static AccVec load_weights(const Elem* p) noexcept {
+    return _mm256_cvtepi32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+  }
+  static AccVec mac(AccVec a, AccVec w, XVec x) noexcept {
+    return _mm256_add_epi64(a, _mm256_mul_epi32(w, x));
+  }
+};
+
+/// fixed8 datapath: int32 codes and accumulators (8-bit products plus
+/// blob-length sums provably fit int32), low-half multiply is exact. 8 lanes.
+struct I32Avx2 {
+  using Elem = std::int32_t;
+  using Acc = std::int32_t;
+  using AccVec = __m256i;
+  using XVec = __m256i;
+  static constexpr std::size_t kWidth = 8;
+  static AccVec load_acc(const Acc* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store_acc(Acc* p, AccVec v) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static XVec broadcast(Elem x) noexcept { return _mm256_set1_epi32(x); }
+  static AccVec load_weights(const Elem* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static AccVec mac(AccVec a, AccVec w, XVec x) noexcept {
+    return _mm256_add_epi32(a, _mm256_mullo_epi32(w, x));
+  }
+};
+
+void conv_f32(float* acc, std::size_t oc_count, std::size_t out_w,
+              const float* const* taps, std::size_t tap_count,
+              std::size_t x_stride, const float* packed,
+              std::size_t packed_stride) {
+  conv_row_impl<F32Avx2>(acc, oc_count, out_w, taps, tap_count, x_stride,
+                         packed, packed_stride);
+}
+void conv_i32_i64(std::int64_t* acc, std::size_t oc_count, std::size_t out_w,
+                  const std::int32_t* const* taps, std::size_t tap_count,
+                  std::size_t x_stride, const std::int32_t* packed,
+                  std::size_t packed_stride) {
+  conv_row_impl<I64Avx2>(acc, oc_count, out_w, taps, tap_count, x_stride,
+                         packed, packed_stride);
+}
+void conv_i32_i32(std::int32_t* acc, std::size_t oc_count, std::size_t out_w,
+                  const std::int32_t* const* taps, std::size_t tap_count,
+                  std::size_t x_stride, const std::int32_t* packed,
+                  std::size_t packed_stride) {
+  conv_row_impl<I32Avx2>(acc, oc_count, out_w, taps, tap_count, x_stride,
+                         packed, packed_stride);
+}
+void ip_f32(float* acc, std::size_t out_count, const float* x,
+            std::size_t in_count, const float* packed,
+            std::size_t packed_stride) {
+  inner_product_impl<F32Avx2>(acc, out_count, x, in_count, packed,
+                              packed_stride);
+}
+void ip_i32_i64(std::int64_t* acc, std::size_t out_count,
+                const std::int32_t* x, std::size_t in_count,
+                const std::int32_t* packed, std::size_t packed_stride) {
+  inner_product_impl<I64Avx2>(acc, out_count, x, in_count, packed,
+                              packed_stride);
+}
+void ip_i32_i32(std::int32_t* acc, std::size_t out_count,
+                const std::int32_t* x, std::size_t in_count,
+                const std::int32_t* packed, std::size_t packed_stride) {
+  inner_product_impl<I32Avx2>(acc, out_count, x, in_count, packed,
+                              packed_stride);
+}
+
+}  // namespace
+
+const IsaKernels* avx2_kernels() noexcept {
+  static const IsaKernels kTable = {
+      &conv_f32, &conv_i32_i64, &conv_i32_i32,
+      &ip_f32,   &ip_i32_i64,   &ip_i32_i32,
+  };
+  return &kTable;
+}
+
+#else  // !defined(__AVX2__)
+
+const IsaKernels* avx2_kernels() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace condor::nn::kernels::detail

@@ -1,0 +1,137 @@
+// AVX-512 variants of the packed MAC microkernels, compiled with
+// -mavx512f -ffp-contract=off (AVX512F only — no BW/VL dependence). Same
+// structure and bit-exactness contract as the AVX2 unit; the wider registers
+// double the j-lane count per MAC. Getter returns nullptr when the
+// toolchain cannot target AVX-512.
+#include "nn/kernels_simd_internal.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace condor::nn::kernels::detail {
+
+#if defined(__AVX512F__)
+namespace {
+
+/// float datapath: 16 lanes, multiply then add (two roundings).
+struct F32Avx512 {
+  using Elem = float;
+  using Acc = float;
+  using AccVec = __m512;
+  using XVec = __m512;
+  static constexpr std::size_t kWidth = 16;
+  static AccVec load_acc(const float* p) noexcept { return _mm512_loadu_ps(p); }
+  static void store_acc(float* p, AccVec v) noexcept { _mm512_storeu_ps(p, v); }
+  static XVec broadcast(float x) noexcept { return _mm512_set1_ps(x); }
+  static AccVec load_weights(const float* p) noexcept {
+    return _mm512_loadu_ps(p);
+  }
+  static AccVec mac(AccVec a, AccVec w, XVec x) noexcept {
+    return _mm512_add_ps(a, _mm512_mul_ps(w, x));
+  }
+};
+
+/// fixed16 datapath: widening 32x32->64 multiply, int64 accumulation,
+/// 8 lanes.
+struct I64Avx512 {
+  using Elem = std::int32_t;
+  using Acc = std::int64_t;
+  using AccVec = __m512i;
+  using XVec = __m512i;
+  static constexpr std::size_t kWidth = 8;
+  static AccVec load_acc(const Acc* p) noexcept {
+    return _mm512_loadu_si512(p);
+  }
+  static void store_acc(Acc* p, AccVec v) noexcept {
+    _mm512_storeu_si512(p, v);
+  }
+  static XVec broadcast(Elem x) noexcept { return _mm512_set1_epi64(x); }
+  static AccVec load_weights(const Elem* p) noexcept {
+    return _mm512_cvtepi32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  static AccVec mac(AccVec a, AccVec w, XVec x) noexcept {
+    return _mm512_add_epi64(a, _mm512_mul_epi32(w, x));
+  }
+};
+
+/// fixed8 datapath: exact low-half int32 multiply, 16 lanes.
+struct I32Avx512 {
+  using Elem = std::int32_t;
+  using Acc = std::int32_t;
+  using AccVec = __m512i;
+  using XVec = __m512i;
+  static constexpr std::size_t kWidth = 16;
+  static AccVec load_acc(const Acc* p) noexcept {
+    return _mm512_loadu_si512(p);
+  }
+  static void store_acc(Acc* p, AccVec v) noexcept {
+    _mm512_storeu_si512(p, v);
+  }
+  static XVec broadcast(Elem x) noexcept { return _mm512_set1_epi32(x); }
+  static AccVec load_weights(const Elem* p) noexcept {
+    return _mm512_loadu_si512(p);
+  }
+  static AccVec mac(AccVec a, AccVec w, XVec x) noexcept {
+    return _mm512_add_epi32(a, _mm512_mullo_epi32(w, x));
+  }
+};
+
+void conv_f32(float* acc, std::size_t oc_count, std::size_t out_w,
+              const float* const* taps, std::size_t tap_count,
+              std::size_t x_stride, const float* packed,
+              std::size_t packed_stride) {
+  conv_row_impl<F32Avx512>(acc, oc_count, out_w, taps, tap_count, x_stride,
+                           packed, packed_stride);
+}
+void conv_i32_i64(std::int64_t* acc, std::size_t oc_count, std::size_t out_w,
+                  const std::int32_t* const* taps, std::size_t tap_count,
+                  std::size_t x_stride, const std::int32_t* packed,
+                  std::size_t packed_stride) {
+  conv_row_impl<I64Avx512>(acc, oc_count, out_w, taps, tap_count, x_stride,
+                           packed, packed_stride);
+}
+void conv_i32_i32(std::int32_t* acc, std::size_t oc_count, std::size_t out_w,
+                  const std::int32_t* const* taps, std::size_t tap_count,
+                  std::size_t x_stride, const std::int32_t* packed,
+                  std::size_t packed_stride) {
+  conv_row_impl<I32Avx512>(acc, oc_count, out_w, taps, tap_count, x_stride,
+                           packed, packed_stride);
+}
+void ip_f32(float* acc, std::size_t out_count, const float* x,
+            std::size_t in_count, const float* packed,
+            std::size_t packed_stride) {
+  inner_product_impl<F32Avx512>(acc, out_count, x, in_count, packed,
+                                packed_stride);
+}
+void ip_i32_i64(std::int64_t* acc, std::size_t out_count,
+                const std::int32_t* x, std::size_t in_count,
+                const std::int32_t* packed, std::size_t packed_stride) {
+  inner_product_impl<I64Avx512>(acc, out_count, x, in_count, packed,
+                                packed_stride);
+}
+void ip_i32_i32(std::int32_t* acc, std::size_t out_count,
+                const std::int32_t* x, std::size_t in_count,
+                const std::int32_t* packed, std::size_t packed_stride) {
+  inner_product_impl<I32Avx512>(acc, out_count, x, in_count, packed,
+                                packed_stride);
+}
+
+}  // namespace
+
+const IsaKernels* avx512_kernels() noexcept {
+  static const IsaKernels kTable = {
+      &conv_f32, &conv_i32_i64, &conv_i32_i32,
+      &ip_f32,   &ip_i32_i64,   &ip_i32_i32,
+  };
+  return &kTable;
+}
+
+#else  // !defined(__AVX512F__)
+
+const IsaKernels* avx512_kernels() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace condor::nn::kernels::detail

@@ -1,0 +1,278 @@
+// Internals shared by the SIMD dispatch (kernels_simd.cpp), the scalar
+// fallback (kernels.cpp) and the per-ISA translation units. Not part of the
+// public kernel API.
+//
+// Each ISA translation unit exports one IsaKernels table of the six raw
+// kernel entry points (3 type combinations x 2 kernels); the getters return
+// nullptr when the variant is not compiled in (non-x86 target, or the
+// compiler lacks the flag). The generic register-blocked loop bodies live
+// here as templates over a Traits type so the AVX2 and AVX-512 units share
+// one implementation, each instantiated under its own per-file ISA flags.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+#include "nn/kernels_simd.hpp"
+
+namespace condor::nn::kernels::detail {
+
+/// One ISA's kernel entry points.
+struct IsaKernels {
+  ConvRowFn<float, float> conv_f32 = nullptr;
+  ConvRowFn<std::int32_t, std::int64_t> conv_i32_i64 = nullptr;
+  ConvRowFn<std::int32_t, std::int32_t> conv_i32_i32 = nullptr;
+  InnerProductFn<float, float> ip_f32 = nullptr;
+  InnerProductFn<std::int32_t, std::int64_t> ip_i32_i64 = nullptr;
+  InnerProductFn<std::int32_t, std::int32_t> ip_i32_i32 = nullptr;
+};
+
+/// The portable fallback (kernels.cpp). Always fully populated.
+const IsaKernels& scalar_kernels() noexcept;
+/// The vector variants; nullptr when not compiled in.
+const IsaKernels* avx2_kernels() noexcept;
+const IsaKernels* avx512_kernels() noexcept;
+
+/// Table-entry selection per (T, Acc) instantiation.
+template <typename T, typename Acc>
+constexpr ConvRowFn<T, Acc> conv_entry(const IsaKernels& k) noexcept {
+  if constexpr (std::is_same_v<T, float>) {
+    return k.conv_f32;
+  } else if constexpr (std::is_same_v<Acc, std::int64_t>) {
+    return k.conv_i32_i64;
+  } else {
+    return k.conv_i32_i32;
+  }
+}
+template <typename T, typename Acc>
+constexpr InnerProductFn<T, Acc> inner_product_entry(
+    const IsaKernels& k) noexcept {
+  if constexpr (std::is_same_v<T, float>) {
+    return k.ip_f32;
+  } else if constexpr (std::is_same_v<Acc, std::int64_t>) {
+    return k.ip_i32_i64;
+  } else {
+    return k.ip_i32_i32;
+  }
+}
+
+/// The live dispatch target of the kernels.hpp templates. The pointers are
+/// plain atomics so the testing hook can swap levels mid-process; loads on
+/// the hot path are relaxed (any published table is internally consistent —
+/// every level computes bit-identical results).
+struct ActiveKernels {
+  ActiveKernels() noexcept;  // resolves the startup level (env + CPUID)
+
+  void install(SimdLevel level) noexcept;
+
+  std::atomic<SimdLevel> level{SimdLevel::kScalar};
+  std::atomic<ConvRowFn<float, float>> conv_f32{nullptr};
+  std::atomic<ConvRowFn<std::int32_t, std::int64_t>> conv_i32_i64{nullptr};
+  std::atomic<ConvRowFn<std::int32_t, std::int32_t>> conv_i32_i32{nullptr};
+  std::atomic<InnerProductFn<float, float>> ip_f32{nullptr};
+  std::atomic<InnerProductFn<std::int32_t, std::int64_t>> ip_i32_i64{nullptr};
+  std::atomic<InnerProductFn<std::int32_t, std::int32_t>> ip_i32_i32{nullptr};
+};
+
+ActiveKernels& active_kernels() noexcept;
+
+template <typename T, typename Acc>
+inline ConvRowFn<T, Acc> active_conv_row() noexcept {
+  ActiveKernels& a = active_kernels();
+  if constexpr (std::is_same_v<T, float>) {
+    return a.conv_f32.load(std::memory_order_relaxed);
+  } else if constexpr (std::is_same_v<Acc, std::int64_t>) {
+    return a.conv_i32_i64.load(std::memory_order_relaxed);
+  } else {
+    return a.conv_i32_i32.load(std::memory_order_relaxed);
+  }
+}
+template <typename T, typename Acc>
+inline InnerProductFn<T, Acc> active_inner_product() noexcept {
+  ActiveKernels& a = active_kernels();
+  if constexpr (std::is_same_v<T, float>) {
+    return a.ip_f32.load(std::memory_order_relaxed);
+  } else if constexpr (std::is_same_v<Acc, std::int64_t>) {
+    return a.ip_i32_i64.load(std::memory_order_relaxed);
+  } else {
+    return a.ip_i32_i32.load(std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic register-blocked loop bodies, instantiated by each ISA unit with
+// its own Traits (vector width, load/store/broadcast/mac on the ISA's
+// registers). Traits::mac must multiply THEN add for the float combination
+// (two roundings — see kernels_simd.hpp on contraction); integer math is
+// exact either way.
+//
+// Vectorization is strictly across the output-channel index j. Per output
+// element the adds arrive in ascending-t (respectively ascending-h) order,
+// identical to the scalar kernels, so results are byte-equal by
+// construction; only j-tail elements run the scalar sweep, which is the
+// scalar kernel's own order.
+// ---------------------------------------------------------------------------
+
+template <typename Tr>
+void conv_row_impl(typename Tr::Acc* acc, std::size_t oc_count,
+                   std::size_t out_w, const typename Tr::Elem* const* taps,
+                   std::size_t tap_count, std::size_t x_stride,
+                   const typename Tr::Elem* packed,
+                   std::size_t packed_stride) {
+  using Acc = typename Tr::Acc;
+  using Elem = typename Tr::Elem;
+  using AccVec = typename Tr::AccVec;
+  using XVec = typename Tr::XVec;
+  constexpr std::size_t W = Tr::kWidth;
+
+  std::size_t ox = 0;
+  // 4-point x 2-vector register block: 8 accumulator registers stay live
+  // across the whole tap loop, so each accumulator element moves through
+  // memory once per (input channel, output row) instead of once per tap,
+  // and each weight vector load is reused by 4 output points.
+  for (; ox + 4 <= out_w; ox += 4) {
+    Acc* const a0 = acc + (ox + 0) * oc_count;
+    Acc* const a1 = acc + (ox + 1) * oc_count;
+    Acc* const a2 = acc + (ox + 2) * oc_count;
+    Acc* const a3 = acc + (ox + 3) * oc_count;
+    std::size_t j = 0;
+    for (; j + 2 * W <= oc_count; j += 2 * W) {
+      AccVec v00 = Tr::load_acc(a0 + j);
+      AccVec v01 = Tr::load_acc(a0 + j + W);
+      AccVec v10 = Tr::load_acc(a1 + j);
+      AccVec v11 = Tr::load_acc(a1 + j + W);
+      AccVec v20 = Tr::load_acc(a2 + j);
+      AccVec v21 = Tr::load_acc(a2 + j + W);
+      AccVec v30 = Tr::load_acc(a3 + j);
+      AccVec v31 = Tr::load_acc(a3 + j + W);
+      for (std::size_t t = 0; t < tap_count; ++t) {
+        const Elem* const row = taps[t];
+        const Elem* const w = packed + t * packed_stride + j;
+        const AccVec w0 = Tr::load_weights(w);
+        const AccVec w1 = Tr::load_weights(w + W);
+        const XVec x0 = Tr::broadcast(row[(ox + 0) * x_stride]);
+        v00 = Tr::mac(v00, w0, x0);
+        v01 = Tr::mac(v01, w1, x0);
+        const XVec x1 = Tr::broadcast(row[(ox + 1) * x_stride]);
+        v10 = Tr::mac(v10, w0, x1);
+        v11 = Tr::mac(v11, w1, x1);
+        const XVec x2 = Tr::broadcast(row[(ox + 2) * x_stride]);
+        v20 = Tr::mac(v20, w0, x2);
+        v21 = Tr::mac(v21, w1, x2);
+        const XVec x3 = Tr::broadcast(row[(ox + 3) * x_stride]);
+        v30 = Tr::mac(v30, w0, x3);
+        v31 = Tr::mac(v31, w1, x3);
+      }
+      Tr::store_acc(a0 + j, v00);
+      Tr::store_acc(a0 + j + W, v01);
+      Tr::store_acc(a1 + j, v10);
+      Tr::store_acc(a1 + j + W, v11);
+      Tr::store_acc(a2 + j, v20);
+      Tr::store_acc(a2 + j + W, v21);
+      Tr::store_acc(a3 + j, v30);
+      Tr::store_acc(a3 + j + W, v31);
+    }
+    for (; j + W <= oc_count; j += W) {
+      AccVec v0 = Tr::load_acc(a0 + j);
+      AccVec v1 = Tr::load_acc(a1 + j);
+      AccVec v2 = Tr::load_acc(a2 + j);
+      AccVec v3 = Tr::load_acc(a3 + j);
+      for (std::size_t t = 0; t < tap_count; ++t) {
+        const Elem* const row = taps[t];
+        const AccVec w0 = Tr::load_weights(packed + t * packed_stride + j);
+        v0 = Tr::mac(v0, w0, Tr::broadcast(row[(ox + 0) * x_stride]));
+        v1 = Tr::mac(v1, w0, Tr::broadcast(row[(ox + 1) * x_stride]));
+        v2 = Tr::mac(v2, w0, Tr::broadcast(row[(ox + 2) * x_stride]));
+        v3 = Tr::mac(v3, w0, Tr::broadcast(row[(ox + 3) * x_stride]));
+      }
+      Tr::store_acc(a0 + j, v0);
+      Tr::store_acc(a1 + j, v1);
+      Tr::store_acc(a2 + j, v2);
+      Tr::store_acc(a3 + j, v3);
+    }
+    if (j < oc_count) {
+      for (std::size_t p = 0; p < 4; ++p) {
+        Acc* const pa = acc + (ox + p) * oc_count;
+        for (std::size_t t = 0; t < tap_count; ++t) {
+          const Acc x = static_cast<Acc>(taps[t][(ox + p) * x_stride]);
+          const Elem* const w = packed + t * packed_stride;
+          for (std::size_t jj = j; jj < oc_count; ++jj) {
+            pa[jj] += static_cast<Acc>(w[jj]) * x;
+          }
+        }
+      }
+    }
+  }
+  // Remaining output points one at a time.
+  for (; ox < out_w; ++ox) {
+    Acc* const pa = acc + ox * oc_count;
+    std::size_t j = 0;
+    for (; j + W <= oc_count; j += W) {
+      AccVec v = Tr::load_acc(pa + j);
+      for (std::size_t t = 0; t < tap_count; ++t) {
+        v = Tr::mac(v, Tr::load_weights(packed + t * packed_stride + j),
+                    Tr::broadcast(taps[t][ox * x_stride]));
+      }
+      Tr::store_acc(pa + j, v);
+    }
+    for (std::size_t t = 0; t < tap_count; ++t) {
+      const Acc x = static_cast<Acc>(taps[t][ox * x_stride]);
+      const Elem* const w = packed + t * packed_stride;
+      for (std::size_t jj = j; jj < oc_count; ++jj) {
+        pa[jj] += static_cast<Acc>(w[jj]) * x;
+      }
+    }
+  }
+}
+
+template <typename Tr>
+void inner_product_impl(typename Tr::Acc* acc, std::size_t out_count,
+                        const typename Tr::Elem* x, std::size_t in_count,
+                        const typename Tr::Elem* packed,
+                        std::size_t packed_stride) {
+  using Acc = typename Tr::Acc;
+  using Elem = typename Tr::Elem;
+  using AccVec = typename Tr::AccVec;
+  using XVec = typename Tr::XVec;
+  constexpr std::size_t W = Tr::kWidth;
+
+  std::size_t j = 0;
+  // 4-vector register block: the accumulators live in registers across the
+  // whole input sweep; each x[h] broadcast feeds 4 weight-vector MACs.
+  for (; j + 4 * W <= out_count; j += 4 * W) {
+    AccVec v0 = Tr::load_acc(acc + j);
+    AccVec v1 = Tr::load_acc(acc + j + W);
+    AccVec v2 = Tr::load_acc(acc + j + 2 * W);
+    AccVec v3 = Tr::load_acc(acc + j + 3 * W);
+    for (std::size_t h = 0; h < in_count; ++h) {
+      const XVec xv = Tr::broadcast(x[h]);
+      const Elem* const w = packed + h * packed_stride + j;
+      v0 = Tr::mac(v0, Tr::load_weights(w), xv);
+      v1 = Tr::mac(v1, Tr::load_weights(w + W), xv);
+      v2 = Tr::mac(v2, Tr::load_weights(w + 2 * W), xv);
+      v3 = Tr::mac(v3, Tr::load_weights(w + 3 * W), xv);
+    }
+    Tr::store_acc(acc + j, v0);
+    Tr::store_acc(acc + j + W, v1);
+    Tr::store_acc(acc + j + 2 * W, v2);
+    Tr::store_acc(acc + j + 3 * W, v3);
+  }
+  for (; j + W <= out_count; j += W) {
+    AccVec v = Tr::load_acc(acc + j);
+    for (std::size_t h = 0; h < in_count; ++h) {
+      v = Tr::mac(v, Tr::load_weights(packed + h * packed_stride + j),
+                  Tr::broadcast(x[h]));
+    }
+    Tr::store_acc(acc + j, v);
+  }
+  for (std::size_t h = 0; h < in_count; ++h) {
+    const Acc xv = static_cast<Acc>(x[h]);
+    const Elem* const w = packed + h * packed_stride;
+    for (std::size_t jj = j; jj < out_count; ++jj) {
+      acc[jj] += static_cast<Acc>(w[jj]) * xv;
+    }
+  }
+}
+
+}  // namespace condor::nn::kernels::detail
