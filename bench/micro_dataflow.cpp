@@ -15,6 +15,7 @@
 #include "dataflow/executor.hpp"
 #include "dataflow/executor_pool.hpp"
 #include "dataflow/fifo.hpp"
+#include "dataflow/graph.hpp"
 #include "hw/accel_plan.hpp"
 #include "nn/kernels.hpp"
 #include "nn/kernels_simd.hpp"
@@ -99,7 +100,7 @@ void BM_FifoBurstProducerConsumer(benchmark::State& state) {
 }
 BENCHMARK(BM_FifoBurstProducerConsumer)->Arg(16)->Arg(1024);
 
-/// One image through the full KPN accelerator (thread-per-module).
+/// One image through the full KPN accelerator.
 void BM_AcceleratorFunctional(benchmark::State& state, const nn::Network& model) {
   auto weights = nn::initialize_weights(model, 1).value();
   auto plan =
@@ -447,6 +448,10 @@ BENCHMARK(BM_AcceleratorInstances)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    // At ~90 ms per 64-image iteration the default 0.5 s budget averages
+    // only a handful of iterations; a longer window keeps host-share drift
+    // from dominating the instance-count comparison.
+    ->MinTime(4.0)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PipelineSimulator(benchmark::State& state) {
@@ -478,6 +483,9 @@ int main(int argc, char** argv) {
                               condor::nn::kernels::cpu_feature_string());
   benchmark::AddCustomContext(
       "host_threads", std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext(
+      "scheduler", std::string(condor::dataflow::to_string(
+                       condor::dataflow::scheduler_mode_from_env())));
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -431,6 +431,26 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
       pool.value().instance(0).last_run_stats();
   out << strings::format("KPN: %zu modules, %zu streams\n", run_stats.modules,
                          run_stats.streams);
+  std::uint64_t fires = 0;
+  std::uint64_t module_blocks = 0;
+  for (const dataflow::ModuleRunStats& module : run_stats.module_stats) {
+    fires += module.fires;
+    module_blocks += module.blocked;
+  }
+  std::uint64_t blocked_reads = 0;
+  std::uint64_t blocked_writes = 0;
+  for (const dataflow::FifoStats& stream : run_stats.stream_stats) {
+    blocked_reads += stream.blocked_reads;
+    blocked_writes += stream.blocked_writes;
+  }
+  out << strings::format(
+      "scheduler: %s, %zu workers, %llu fires, %llu suspensions "
+      "(%llu read blocks, %llu write blocks)\n",
+      std::string(run_stats.scheduler).c_str(), run_stats.workers,
+      static_cast<unsigned long long>(fires),
+      static_cast<unsigned long long>(module_blocks),
+      static_cast<unsigned long long>(blocked_reads),
+      static_cast<unsigned long long>(blocked_writes));
   return worst == 0.0F ? 0 : 1;
 }
 

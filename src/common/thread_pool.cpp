@@ -29,6 +29,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  worker_count_.store(threads_.size(), std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
@@ -43,11 +44,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ensure_workers(std::size_t workers) {
-  // Callers grow the pool between runs, never concurrently with submit()
-  // from other threads, so touching threads_ here is safe.
+  // Executor instances sharing one pool grow it concurrently with each
+  // other and with submit(), so membership changes take the queue mutex.
+  std::lock_guard<std::mutex> lock(mutex_);
   while (threads_.size() < workers) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  worker_count_.store(threads_.size(), std::memory_order_relaxed);
 }
 
 void ThreadPool::submit(std::function<void()> task) {

@@ -4,6 +4,7 @@
 // joined before the data it touches dies).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -36,9 +37,9 @@ class ThreadPool {
   /// Enqueues a task; wake exactly one worker.
   void submit(std::function<void()> task);
 
-  /// Grows the pool to at least `workers` threads (never shrinks). Used by
-  /// callers whose tasks block on each other (e.g. the dataflow graph's
-  /// KPN modules) and therefore need guaranteed concurrent occupancy.
+  /// Grows the pool to at least `workers` threads (never shrinks). Safe to
+  /// call concurrently with submit() and with other ensure_workers() calls:
+  /// executor instances share one pool and size it independently.
   void ensure_workers(std::size_t workers);
 
   /// Blocks until every submitted task has finished executing.
@@ -59,7 +60,9 @@ class ThreadPool {
   void parallel_shards(std::size_t count,
                        const std::function<void(std::size_t)>& fn);
 
-  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return worker_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
@@ -70,7 +73,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;     ///< guarded by mutex_
+  std::atomic<std::size_t> worker_count_{0};
 };
 
 }  // namespace condor

@@ -5,9 +5,9 @@
 // blobs. Weight streaming is implicit: PE programs hold references into the
 // WeightStore, which stands in for the weight regions of on-board memory.
 //
-// All three movers transfer whole blobs per FIFO call (write_burst /
-// read_burst): the datamover models a DMA engine, and blob-granular bursts
-// are what keep the host-side simulation off the park/wake slow path.
+// All three movers transfer whole blobs per FIFO call (burst writes /
+// reads): the datamover models a DMA engine, and blob-granular bursts are
+// what keep the host-side simulation off the suspend/wake slow path.
 //
 // For a fixed-point plan (see nn/numeric.hpp and dataflow/pe.hpp) the input
 // half quantizes each image with a per-image dynamic format — publishing
@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/alloc_probe.hpp"
 #include "dataflow/fifo.hpp"
 #include "dataflow/module.hpp"
 #include "dataflow/program.hpp"
@@ -40,43 +41,47 @@ class InputMoverModule final : public Module {
         out_(out),
         fmt_out_(fmt_out) {}
 
-  Status run(const RunContext& ctx) override {
+  Fire fire(const RunContext& ctx) override {
     if (ctx.inputs.size() != ctx.batch) {
-      return internal_error("input mover: run context carries no inputs");
+      co_return internal_error("input mover: run context carries no inputs");
     }
     if (!nn::is_fixed_point(data_type_)) {
       for (const Tensor& image : ctx.inputs) {
-        if (!out_.write_burst(image.data())) {
-          return internal_error("input mover: output stream closed early");
-        }
+        CONDOR_CO_WRITE_BURST(
+            out_, image.data(),
+            internal_error("input mover: output stream closed early"));
       }
       out_.close();
-      return Status::ok();
+      co_return Status::ok();
     }
     const int bits = nn::total_bits(data_type_);
-    std::vector<std::int32_t> codes;
-    std::vector<float> blob;
     for (const Tensor& image : ctx.inputs) {
       const nn::FixedPointFormat format =
-          nn::quantize_span(image.data(), bits, codes);
-      blob.assign(codes.begin(), codes.end());
-      if (fmt_out_ == nullptr ||
-          !fmt_out_->write(static_cast<float>(format.frac_bits))) {
-        return internal_error("input mover: format stream closed early");
+          nn::quantize_span(image.data(), bits, codes_);
+      blob_.assign(codes_.begin(), codes_.end());
+      if (fmt_out_ == nullptr) {
+        co_return internal_error("input mover: format stream closed early");
       }
-      if (!out_.write_burst(blob)) {
-        return internal_error("input mover: output stream closed early");
-      }
+      CONDOR_CO_WRITE_ONE(
+          *fmt_out_, static_cast<float>(format.frac_bits),
+          internal_error("input mover: format stream closed early"));
+      CONDOR_CO_WRITE_BURST(
+          out_, blob_,
+          internal_error("input mover: output stream closed early"));
     }
     out_.close();
     fmt_out_->close();
-    return Status::ok();
+    co_return Status::ok();
   }
 
  private:
   nn::DataType data_type_;
   Stream& out_;
   Stream* fmt_out_;
+  // Quantization scratch persists across runs so steady-state firings
+  // allocate nothing.
+  std::vector<std::int32_t> codes_;
+  std::vector<float> blob_;
 };
 
 /// Streams a PE's weights from (simulated) on-board memory, in canonical
@@ -93,21 +98,23 @@ class WeightMoverModule final : public Module {
         per_image_(per_image),
         out_(out) {}
 
-  Status run(const RunContext& ctx) override {
+  Fire fire(const RunContext& ctx) override {
     const std::size_t repeats = per_image_ ? ctx.batch : 1;
     for (std::size_t r = 0; r < repeats; ++r) {
       for (const LayerPass& pass : program_.passes) {
         if (pass.params == nullptr) {
           continue;
         }
-        if (!out_.write_burst(pass.params->weights.data()) ||
-            !out_.write_burst(pass.params->bias.data())) {
-          return internal_error("weight mover: output stream closed early");
-        }
+        CONDOR_CO_WRITE_BURST(
+            out_, pass.params->weights.data(),
+            internal_error("weight mover: output stream closed early"));
+        CONDOR_CO_WRITE_BURST(
+            out_, pass.params->bias.data(),
+            internal_error("weight mover: output stream closed early"));
       }
     }
     out_.close();
-    return Status::ok();
+    co_return Status::ok();
   }
 
  private:
@@ -130,24 +137,38 @@ class OutputMoverModule final : public Module {
         in_(in),
         fmt_in_(fmt_in) {}
 
-  Status run(const RunContext& ctx) override {
+  Fire fire(const RunContext& ctx) override {
     const bool fixed = nn::is_fixed_point(data_type_);
-    outputs_.clear();
-    outputs_.reserve(ctx.batch);
+    {
+      // The output vector escapes to the caller (run_batch moves it out
+      // every run), so its storage is outside the zero-allocation contract,
+      // same as the Tensor payloads below.
+      const common::AllocProbe::Pause pause;
+      outputs_.clear();
+      outputs_.reserve(ctx.batch);
+    }
     for (std::size_t image = 0; image < ctx.batch; ++image) {
       int frac = 0;
       if (fixed) {
-        float word = 0.0F;
-        if (fmt_in_ == nullptr || !fmt_in_->read(word)) {
-          return internal_error("output mover: format stream ended early");
+        if (fmt_in_ == nullptr) {
+          co_return internal_error("output mover: format stream ended early");
         }
+        float word = 0.0F;
+        CONDOR_CO_READ_ONE(
+            *fmt_in_, word,
+            internal_error("output mover: format stream ended early"));
         frac = static_cast<int>(word);
       }
-      Tensor blob(output_shape_);
+      // Output tensor construction is intentionally outside the
+      // zero-allocation contract (it escapes to the caller); pause the
+      // probe for exactly that allocation.
+      Tensor blob = [&] {
+        const common::AllocProbe::Pause pause;
+        return Tensor(output_shape_);
+      }();
       const std::span<float> data = blob.data();
-      if (in_.read_burst(data) != data.size()) {
-        return internal_error("output mover: stream ended early");
-      }
+      CONDOR_CO_READ_EXACT(
+          in_, data, internal_error("output mover: stream ended early"));
       if (fixed) {
         for (float& value : data) {
           value = nn::dequantize_code(static_cast<std::int64_t>(value), frac);
@@ -156,10 +177,12 @@ class OutputMoverModule final : public Module {
       outputs_.push_back(std::move(blob));
     }
     float extra = 0.0F;
-    if (in_.read(extra)) {
-      return internal_error("output mover: trailing elements in stream");
+    bool got_extra = false;
+    CONDOR_CO_READ_ONE_OR_EOS(in_, extra, got_extra);
+    if (got_extra) {
+      co_return internal_error("output mover: trailing elements in stream");
     }
-    return Status::ok();
+    co_return Status::ok();
   }
 
   [[nodiscard]] std::vector<Tensor>& outputs() noexcept { return outputs_; }

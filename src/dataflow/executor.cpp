@@ -20,9 +20,10 @@ constexpr std::size_t kWeightFifoDepth = 1024;
 
 /// Minimum capacity of the inter-PE blob streams. The hardware plan sizes
 /// these edges for FPGA BRAM; the software KPN widens shallow ones so blob
-/// bursts move in few chunks (KPN results are capacity-independent, and
-/// enlarging a channel can never introduce a deadlock).
-constexpr std::size_t kMinEdgeDepth = 256;
+/// bursts move in few chunks and each module firing moves more data per
+/// suspension (KPN results are capacity-independent, and enlarging a
+/// channel can never introduce a deadlock).
+constexpr std::size_t kMinEdgeDepth = 1024;
 
 }  // namespace
 
@@ -107,7 +108,7 @@ Status AcceleratorExecutor::build_design() {
     if (pe.kind == hw::PeKind::kClassifier) {
       graph.add_module<ClassifierPeModule>(
           pe.name, program, external_in, weight_stream, pe_out, parallel_out,
-          pool_.get(), data_type, fmt_streams[p], fmt_streams[p + 1]);
+          runtime_pool(), data_type, fmt_streams[p], fmt_streams[p + 1]);
       continue;
     }
 
@@ -125,11 +126,15 @@ Status AcceleratorExecutor::build_design() {
           std::max<std::size_t>(program.max_loopback_elements(), 1),
           pe.name + "_loopback");
     }
-    // Two rows of skid on the chain entrance and the PE ports: the mux and
-    // the filters move whole rows per burst, so one row of slack per side
-    // keeps producer and consumer off each other's park path.
+    // Thirty-two rows of skid on the chain entrance and the PE ports. The mux
+    // and the filters move whole rows per burst; with the cooperative
+    // scheduler every full/empty edge is a suspend/re-fire round-trip, so
+    // the skid directly sets how many rows a module processes per firing.
+    // Two rows kept threads off each other's park path; thirty-two cuts the
+    // suspension count by ~4x at row-scale memory cost (in hardware these
+    // are direct wires either way).
     const std::size_t row_buffer_depth =
-        std::max<std::size_t>(2 * map_w + 4, kGlueFifoDepth);
+        std::max<std::size_t>(32 * map_w + 4, kGlueFifoDepth);
     std::vector<Stream*> chain_heads;
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       chain_heads.push_back(&graph.make_stream(
@@ -140,10 +145,12 @@ Status AcceleratorExecutor::build_design() {
                                       loopback, chain_heads);
 
     // Filter chains in lexicographically inverse access order; each
-    // filter's PE-port stream holds two output rows of skid (decouples the
-    // software thread schedule; in hardware these are direct wires), and
-    // the inter-filter FIFOs hold at least one full row so a filter can
-    // always forward the row it just consumed.
+    // filter's PE-port stream carries the same row-scale skid as the chain
+    // entrance, and the inter-filter FIFOs hold at least eight rows so a
+    // filter forwards several consumed rows per firing instead of
+    // suspending after each one. (The hardware plan's fifo_to_next_depth
+    // still wins when it is larger — KPN results are capacity-independent,
+    // so the widening is observable only in the software schedule.)
     const std::size_t port_depth = row_buffer_depth;
     std::vector<Stream*> ports(lanes * window_h * window_w, nullptr);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
@@ -154,7 +161,7 @@ Status AcceleratorExecutor::build_design() {
         Stream* downstream = nullptr;
         if (!last) {
           downstream = &graph.make_stream(
-              std::max<std::size_t>(node.fifo_to_next_depth, map_w + 4),
+              std::max<std::size_t>(node.fifo_to_next_depth, 8 * map_w + 4),
               strings::format("%s_chain_l%zu_%zu", pe.name.c_str(), lane, f));
         }
         Stream& port = graph.make_stream(
@@ -173,8 +180,8 @@ Status AcceleratorExecutor::build_design() {
 
     graph.add_module<FeaturePeModule>(
         pe.name, program, window_h, window_w, lanes, std::move(ports),
-        weight_stream, loopback, pe_out, parallel_out, pool_.get(), data_type,
-        fmt_streams[p], fmt_streams[p + 1]);
+        weight_stream, loopback, pe_out, parallel_out, runtime_pool(),
+        data_type, fmt_streams[p], fmt_streams[p + 1]);
   }
 
   // Datamover halves.
@@ -211,37 +218,61 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
 
   // The pool must exist before the design: PE modules capture it for their
   // parallel_out compute lanes.
-  if (pool_ == nullptr) {
+  if (shared_pool_ == nullptr && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(1);
   }
+  ThreadPool* pool = runtime_pool();
   if (design_ == nullptr) {
     CONDOR_RETURN_IF_ERROR(build_design());
   } else {
     design_->graph.reopen_streams();
   }
-  // One worker per module (graph.run's requirement — fewer would wedge the
-  // blocking channels, so this floor is never capped) plus headroom for the
-  // intra-layer lanes, so forked oc slices actually run concurrently
-  // instead of queueing behind blocked module bodies. The headroom is a
-  // pure throughput lever and is capped by the host thread budget
-  // (CONDOR_THREADS or hardware_concurrency; an ExecutorPool divides it
-  // across instances) — parallel_shards' caller participation keeps the
+
+  GraphRunOptions options;
+  options.mode = scheduler_override_.has_value() ? *scheduler_override_
+                                                 : scheduler_mode_from_env();
+  options.workers = scheduler_workers_;
+
+  // Size the pool for the scheduler plus headroom for the intra-layer
+  // compute lanes, so forked oc slices actually run concurrently instead of
+  // queueing behind module firings. The headroom is a pure throughput lever
+  // capped by the host thread budget (CONDOR_THREADS or
+  // hardware_concurrency) — parallel_shards' caller participation keeps the
   // lanes correct at any headroom, including zero.
   const std::size_t lane_cap = extra_lane_worker_cap_ > 0
                                    ? extra_lane_worker_cap_
                                    : thread_budget();
-  pool_->ensure_workers(design_->graph.module_count() +
-                        std::min(design_->extra_lane_workers, lane_cap));
+  const std::size_t lane_headroom =
+      std::min(design_->extra_lane_workers, lane_cap);
+  const std::size_t modules = design_->graph.module_count();
+  if (options.mode == SchedulerMode::kThreaded) {
+    // The threaded scheduler needs every module live at once (Graph::run
+    // enforces the same floor).
+    pool->ensure_workers(modules + lane_headroom);
+  } else {
+    // Cooperative: the scheduler needs W workers of which one is the
+    // calling thread; the pool never has to scale with module_count().
+    const std::size_t target = options.workers > 0
+                                   ? options.workers
+                                   : thread_budget();
+    const std::size_t coop_workers =
+        std::clamp<std::size_t>(target, 1, std::max<std::size_t>(modules, 1));
+    pool->ensure_workers(std::max<std::size_t>(
+        1, coop_workers - 1 + lane_headroom));
+  }
 
   RunContext ctx;
   ctx.batch = inputs.size();
   ctx.inputs = inputs;
-  const Status run_status = design_->graph.run(ctx, pool_.get());
+  const Status run_status = design_->graph.run(ctx, pool, options);
 
   stats_.modules = design_->graph.module_count();
   stats_.streams = design_->graph.stream_count();
   stats_.stream_stats = design_->graph.stream_stats();
   stats_.simd_level = nn::kernels::to_string(nn::kernels::active_simd_level());
+  stats_.scheduler = to_string(design_->graph.last_run_mode());
+  stats_.workers = design_->graph.last_run_workers();
+  stats_.module_stats = design_->graph.module_stats();
 
   if (!run_status.is_ok()) {
     // A failed run leaves streams partially drained; drop the instance so

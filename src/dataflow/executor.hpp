@@ -23,6 +23,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 
@@ -45,7 +46,13 @@ struct RunStats {
   /// The microkernel dispatch level the batch executed with ("scalar",
   /// "avx2" or "avx512" — see nn/kernels_simd.hpp).
   std::string_view simd_level;
+  /// Scheduler the batch ran under ("coop" or "threads") and the worker
+  /// count it used (including the calling thread).
+  std::string_view scheduler;
+  std::size_t workers = 0;
   std::vector<FifoStats> stream_stats;
+  /// Per-module fire/blocked counters of the run.
+  std::vector<ModuleRunStats> module_stats;
 };
 
 class AcceleratorExecutor {
@@ -68,14 +75,33 @@ class AcceleratorExecutor {
   /// streamed data changes.
   Result<std::vector<Tensor>> run_batch(std::span<const Tensor> inputs);
 
-  /// Caps the workers this instance may grow *beyond* its one-per-module
-  /// correctness floor for intra-layer compute lanes. Default: the host
-  /// thread budget (common::thread_budget — CONDOR_THREADS override or
-  /// hardware_concurrency). An ExecutorPool divides the budget across its
-  /// instances so N instances cannot oversubscribe the host N-fold.
+  /// Caps the extra workers this instance may grow for intra-layer compute
+  /// lanes beyond what the module scheduler needs. Default: the host thread
+  /// budget (common::thread_budget — CONDOR_THREADS override or
+  /// hardware_concurrency). The lanes are a pure throughput lever;
+  /// parallel_shards' caller participation keeps them correct at any cap.
   void set_extra_lane_worker_cap(std::size_t cap) noexcept {
     extra_lane_worker_cap_ = cap;
   }
+
+  /// Pins the scheduler for this instance (otherwise CONDOR_SCHED decides
+  /// per run_batch call).
+  void set_scheduler_mode(SchedulerMode mode) noexcept {
+    scheduler_override_ = mode;
+  }
+
+  /// Worker-thread target handed to the cooperative scheduler (0 = derive
+  /// from thread_budget(); clamped to [1, module_count()] per run).
+  void set_scheduler_workers(std::size_t workers) noexcept {
+    scheduler_workers_ = workers;
+  }
+
+  /// Runs this instance on an externally owned pool instead of a private
+  /// one. With the cooperative scheduler many executor instances can share
+  /// one host-sized pool (an ExecutorPool does exactly that): worker demand
+  /// no longer scales with module_count() per instance. Must be called
+  /// before the first run_batch; the pool must outlive the executor.
+  void set_shared_pool(ThreadPool* pool) noexcept { shared_pool_ = pool; }
 
   /// Statistics of the most recent run_batch call.
   [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
@@ -103,11 +129,20 @@ class AcceleratorExecutor {
   /// Builds programs + graph + modules into design_ (no data movement).
   Status build_design();
 
+  /// The pool this instance runs on: the shared pool when set, else the
+  /// lazily created private pool.
+  [[nodiscard]] ThreadPool* runtime_pool() const noexcept {
+    return shared_pool_ != nullptr ? shared_pool_ : pool_.get();
+  }
+
   std::shared_ptr<const hw::AcceleratorPlan> plan_;
   std::shared_ptr<const nn::WeightStore> weights_;
   std::unique_ptr<CompiledDesign> design_;
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* shared_pool_ = nullptr;
   std::size_t extra_lane_worker_cap_ = 0;  ///< 0 = thread_budget() default
+  std::optional<SchedulerMode> scheduler_override_;
+  std::size_t scheduler_workers_ = 0;
   RunStats stats_;
 };
 

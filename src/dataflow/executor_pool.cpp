@@ -16,8 +16,13 @@ namespace {
 /// dispatch cost (stream reopen + pipeline fill) stays amortized.
 constexpr std::size_t kChunksPerInstance = 4;
 
-std::size_t pick_chunk_size(std::size_t batch, std::size_t instances) {
-  return std::max<std::size_t>(1, batch / (instances * kChunksPerInstance));
+std::size_t pick_chunk_size(std::size_t batch, std::size_t drivers) {
+  if (drivers <= 1) {
+    // A lone driver has no peers to shed load to; chunking would only
+    // multiply the per-chunk reopen + pipeline-fill cost.
+    return batch;
+  }
+  return std::max<std::size_t>(1, batch / (drivers * kChunksPerInstance));
 }
 
 }  // namespace
@@ -93,17 +98,19 @@ Result<ExecutorPool> ExecutorPool::create(
     return invalid_input("executor pool needs at least one instance");
   }
   ExecutorPool pool(std::move(plan), std::move(weights));
-  // Divide the host's lane-worker budget across the replicas: each keeps
-  // its one-worker-per-module correctness floor, only the perf headroom
-  // shrinks (see run_batch in executor.cpp).
-  const std::size_t lane_cap =
-      std::max<std::size_t>(1, thread_budget() / instances);
+  // All replicas run on one host-sized pool: the cooperative scheduler
+  // needs no per-module worker floor, so worker demand is a property of
+  // the machine, not of instances * module_count. The lane-worker cap is
+  // likewise the whole budget — lanes from every replica share the same
+  // workers instead of carving the budget into per-instance slices.
+  pool.shared_pool_ =
+      std::make_unique<ThreadPool>(std::max<std::size_t>(1, thread_budget()));
   pool.executors_.reserve(instances);
   for (std::size_t i = 0; i < instances; ++i) {
     CONDOR_ASSIGN_OR_RETURN(AcceleratorExecutor executor,
                             AcceleratorExecutor::create(pool.plan_,
                                                         pool.weights_));
-    executor.set_extra_lane_worker_cap(lane_cap);
+    executor.set_shared_pool(pool.shared_pool_.get());
     pool.executors_.push_back(
         std::make_unique<AcceleratorExecutor>(std::move(executor)));
   }
@@ -125,7 +132,15 @@ Result<std::vector<Tensor>> ExecutorPool::run_batch(
     return executors_[0]->run_batch(inputs);
   }
 
-  const std::size_t chunk_size = pick_chunk_size(batch, executors_.size());
+  // Drivers beyond the host's thread budget cannot run concurrently — they
+  // would only time-slice one core while paying the chunking overhead
+  // (smaller chunks mean more stream-reopen/pipeline-fill cycles). Cap the
+  // concurrent drivers at the budget; surplus replicas simply draw no
+  // chunks this batch, so N instances on a small host cost the same as the
+  // largest count the host can actually parallelize.
+  const std::size_t drivers = std::min(
+      executors_.size(), std::max<std::size_t>(1, thread_budget()));
+  const std::size_t chunk_size = pick_chunk_size(batch, drivers);
   pool_stats_.chunk_size = chunk_size;
   std::vector<Tensor> outputs(batch);
   // images_per_instance slots are written only by that instance's driver;
@@ -133,7 +148,7 @@ Result<std::vector<Tensor>> ExecutorPool::run_batch(
   // needed beyond the dispatcher's join.
   std::vector<std::size_t>& census = pool_stats_.images_per_instance;
   const Status status = dispatch_chunks(
-      batch, executors_.size(), chunk_size,
+      batch, drivers, chunk_size,
       [&](std::size_t instance, std::size_t begin, std::size_t end) {
         CONDOR_ASSIGN_OR_RETURN(
             std::vector<Tensor> chunk_out,

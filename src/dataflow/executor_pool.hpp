@@ -21,10 +21,13 @@
 //     out, in-flight chunks drain cleanly, and exactly one (the first
 //     recorded) error is returned.
 //
-// Worker accounting: each instance owns module_count workers (a KPN
-// correctness floor) plus lane headroom capped at thread_budget() /
-// instances, so N instances cannot oversubscribe the host N-fold; the env
-// override CONDOR_THREADS bounds the budget (common/thread_pool.hpp).
+// Worker accounting: all instances share ONE ThreadPool sized to the host
+// thread budget (CONDOR_THREADS override or hardware_concurrency). The
+// cooperative scheduler has no per-module worker floor, so N instances
+// never demand N * module_count threads — adding a replica adds zero
+// threads, and the shared workers flow to whichever instance has runnable
+// firings. Under CONDOR_SCHED=threads each instance falls back to growing
+// the shared pool to its module count (the legacy footprint).
 #pragma once
 
 #include <functional>
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/thread_pool.hpp"
 #include "dataflow/executor.hpp"
 #include "hw/accel_plan.hpp"
 #include "nn/weights.hpp"
@@ -97,6 +101,9 @@ class ExecutorPool {
 
   std::shared_ptr<const hw::AcceleratorPlan> plan_;
   std::shared_ptr<const nn::WeightStore> weights_;
+  /// One worker pool for every replica. Declared before executors_ so it
+  /// outlives them (instances hold a raw pointer via set_shared_pool).
+  std::unique_ptr<ThreadPool> shared_pool_;
   std::vector<std::unique_ptr<AcceleratorExecutor>> executors_;
   PoolRunStats pool_stats_;
 };

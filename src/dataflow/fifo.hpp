@@ -60,6 +60,31 @@ struct FifoStats {
   std::uint64_t total_writes = 0;
   std::uint64_t write_blocks = 0;  ///< writes that found the FIFO full
   std::uint64_t read_blocks = 0;   ///< reads that found the FIFO empty
+  /// Transitions of an endpoint into a blocked state (parked thread or
+  /// suspended cooperative firing) — the scheduler-hotspot signal surfaced
+  /// through `condor validate` and the bench context.
+  std::uint64_t blocked_reads = 0;
+  std::uint64_t blocked_writes = 0;
+};
+
+/// Readiness-notification hook for the cooperative scheduler: one endpoint
+/// (reader or writer) of a Fifo registers a hook, and the peer invokes
+/// wake() from every publish and on close (unconditionally — see
+/// publish_write for why edge-filtering the wake is unsound). wake() must
+/// be cheap, non-blocking, and tolerant of spurious calls — the scheduler
+/// re-checks actual readiness after every wake.
+class FifoWakeHook {
+ public:
+  virtual ~FifoWakeHook() = default;
+  virtual void wake() noexcept = 0;
+};
+
+/// Result of a non-blocking burst: how many elements transferred, and
+/// whether the transfer stopped because the FIFO is closed (for reads:
+/// closed *and drained* — a definitive EOS).
+struct TryTransfer {
+  std::size_t count = 0;
+  bool closed = false;
 };
 
 namespace detail {
@@ -149,6 +174,62 @@ class Fifo {
     return true;
   }
 
+  /// Non-blocking burst read: consumes whatever is immediately available
+  /// into the front of `out` and returns without parking. `closed` is true
+  /// only when the FIFO is closed *and* drained (EOS): a close racing the
+  /// final writes re-checks the head so published elements are never
+  /// dropped.
+  TryTransfer try_read_burst(std::span<T> out) {
+    std::size_t total = 0;
+    while (total < out.size()) {
+      const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+      if (cached_head_ == tail) {
+        cached_head_ = head_.load(std::memory_order_acquire);
+      }
+      if (cached_head_ == tail) {
+        if (!closed_.load(std::memory_order_acquire)) {
+          return {total, false};
+        }
+        cached_head_ = head_.load(std::memory_order_acquire);
+        if (cached_head_ == tail) {
+          return {total, true};
+        }
+      }
+      const std::size_t available = static_cast<std::size_t>(cached_head_ - tail);
+      const std::size_t chunk = std::min(available, out.size() - total);
+      copy_out(out.subspan(total, chunk));
+      publish_read(tail, chunk);
+      total += chunk;
+    }
+    return {total, false};
+  }
+
+  /// Non-blocking burst write: moves as much of `items` as currently fits
+  /// and returns without parking. `closed` is true when the FIFO is closed
+  /// (writing after close is a hard error the caller must surface).
+  TryTransfer try_write_burst(std::span<const T> items) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return {0, true};
+    }
+    std::size_t total = 0;
+    while (total < items.size()) {
+      const std::uint64_t head = head_.load(std::memory_order_relaxed);
+      if (head - cached_tail_ >= capacity_) {
+        cached_tail_ = tail_.load(std::memory_order_acquire);
+        if (head - cached_tail_ >= capacity_) {
+          return {total, false};
+        }
+      }
+      const std::size_t space =
+          capacity_ - static_cast<std::size_t>(head - cached_tail_);
+      const std::size_t chunk = std::min(space, items.size() - total);
+      copy_in(items.subspan(total, chunk));
+      publish_write(head, chunk);
+      total += chunk;
+    }
+    return {total, false};
+  }
+
   /// Blocking burst read: fills `out` in stream order, consuming each chunk
   /// as it arrives. Returns the number of elements read — short only when
   /// the FIFO was closed and drained before `out` was full.
@@ -171,13 +252,35 @@ class Fifo {
   /// Signals end-of-stream; readers drain remaining elements then see EOS.
   /// Also wakes any writer blocked on a full FIFO (error-path teardown):
   /// its pending write fails with `false` instead of hanging forever.
+  /// Registered wakeup hooks fire on both endpoints — a cooperatively
+  /// suspended firing re-checks readiness and sees the close.
   void close() {
+    FifoWakeHook* reader_hook = nullptr;
+    FifoWakeHook* writer_hook = nullptr;
     {
       std::lock_guard<std::mutex> lock(park_mutex_);
       closed_.store(true, std::memory_order_release);
+#if CONDOR_FIFO_TSAN
+      reader_hook = reader_hook_.load(std::memory_order_relaxed);
+      writer_hook = writer_hook_.load(std::memory_order_relaxed);
+#endif
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+#if !CONDOR_FIFO_TSAN
+    // Pair with the suspending side's waiter_sync() fence: either this load
+    // observes a hook registered before the suspension committed, or the
+    // suspender's readiness re-check observes closed_.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    reader_hook = reader_hook_.load(std::memory_order_relaxed);
+    writer_hook = writer_hook_.load(std::memory_order_relaxed);
+#endif
+    if (reader_hook != nullptr) {
+      reader_hook->wake();
+    }
+    if (writer_hook != nullptr) {
+      writer_hook->wake();
+    }
   }
 
   /// Re-arms a drained FIFO for another run over the same topology (the
@@ -195,7 +298,90 @@ class Fifo {
     total_writes_.store(0, std::memory_order_relaxed);
     write_blocks_.store(0, std::memory_order_relaxed);
     read_blocks_.store(0, std::memory_order_relaxed);
+    blocked_reads_.store(0, std::memory_order_relaxed);
+    blocked_writes_.store(0, std::memory_order_relaxed);
     max_occupancy_.store(0, std::memory_order_relaxed);
+    reader_hook_.store(nullptr, std::memory_order_relaxed);
+    writer_hook_.store(nullptr, std::memory_order_relaxed);
+  }
+
+  /// True when a read would make progress: data available, or closed (the
+  /// read then reports EOS instead of blocking). Safe from any thread.
+  [[nodiscard]] bool read_ready() const noexcept {
+    if (head_.load(std::memory_order_acquire) !=
+        tail_.load(std::memory_order_acquire)) {
+      return true;
+    }
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// True when a write would make progress: free space, or closed (the
+  /// write then fails fast instead of blocking). Safe from any thread.
+  [[nodiscard]] bool write_ready() const noexcept {
+    if (closed_.load(std::memory_order_acquire)) {
+      return true;
+    }
+    return head_.load(std::memory_order_acquire) -
+               tail_.load(std::memory_order_acquire) <
+           capacity_;
+  }
+
+  /// Registers the cooperative wakeup hook for the consumer endpoint
+  /// (nullptr clears). Hooks are sticky: the scheduler registers once per
+  /// suspension and tolerates spurious wakes, so the peer may invoke a
+  /// stale hook harmlessly.
+  void set_reader_hook(FifoWakeHook* hook) noexcept {
+#if CONDOR_FIFO_TSAN
+    std::lock_guard<std::mutex> lock(park_mutex_);
+#endif
+    reader_hook_.store(hook, std::memory_order_seq_cst);
+  }
+
+  /// Registers the cooperative wakeup hook for the producer endpoint.
+  void set_writer_hook(FifoWakeHook* hook) noexcept {
+#if CONDOR_FIFO_TSAN
+    std::lock_guard<std::mutex> lock(park_mutex_);
+#endif
+    writer_hook_.store(hook, std::memory_order_seq_cst);
+  }
+
+  /// The suspender half of the cooperative Dekker handshake: after
+  /// registering its hook and publishing its blocked state, the scheduler
+  /// calls this then re-checks readiness. Pairs with the fence (or mutex
+  /// section, under TSan) in wake_reader()/wake_writer()/close(), so either
+  /// the peer sees the hook or the re-check sees the peer's transition.
+  void waiter_sync() noexcept {
+#if CONDOR_FIFO_TSAN
+    std::lock_guard<std::mutex> lock(park_mutex_);
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  /// Statistics entry points for the cooperative scheduler, which blocks in
+  /// its own suspension machinery rather than in await_data/await_space.
+  void record_read_block() noexcept {
+    read_blocks_.fetch_add(1, std::memory_order_relaxed);
+    blocked_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_write_block() noexcept {
+    write_blocks_.fetch_add(1, std::memory_order_relaxed);
+    blocked_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Parks the calling (consumer) thread until a read would make progress.
+  /// Does not consume — the blocking driver's re-fired coroutine does.
+  void wait_read_ready() {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (cached_head_ != tail) {
+      return;
+    }
+    (void)await_data(tail);
+  }
+
+  /// Parks the calling (producer) thread until a write would make progress.
+  void wait_write_ready() {
+    (void)await_space(head_.load(std::memory_order_relaxed));
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -211,6 +397,8 @@ class Fifo {
     out.total_writes = total_writes_.load(std::memory_order_relaxed);
     out.write_blocks = write_blocks_.load(std::memory_order_relaxed);
     out.read_blocks = read_blocks_.load(std::memory_order_relaxed);
+    out.blocked_reads = blocked_reads_.load(std::memory_order_relaxed);
+    out.blocked_writes = blocked_writes_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -235,6 +423,7 @@ class Fifo {
       return true;
     }
     write_blocks_.fetch_add(1, std::memory_order_relaxed);
+    blocked_writes_.fetch_add(1, std::memory_order_relaxed);
     const auto have_space = [&]() noexcept {
       cached_tail_ = tail_.load(std::memory_order_acquire);
       return head - cached_tail_ < capacity_;
@@ -263,6 +452,7 @@ class Fifo {
       return cached_head_ != tail;
     }
     read_blocks_.fetch_add(1, std::memory_order_relaxed);
+    blocked_reads_.fetch_add(1, std::memory_order_relaxed);
     const auto have_data = [&]() noexcept {
       cached_head_ = head_.load(std::memory_order_acquire);
       return cached_head_ != tail;
@@ -318,13 +508,17 @@ class Fifo {
     return ok;
   }
 
-  /// Publishes `count` freshly written elements and wakes a parked reader
-  /// if there may be one. A reader can only park after observing a truly
-  /// empty FIFO (its parking fence orders the waiter counter before the
-  /// predicate re-load), so the wake handshake — seq_cst fence pairing with
-  /// the parking side's fence, then the waiter-counter check — only needs
-  /// to run on the empty -> non-empty transition; steady-state writes skip
-  /// it. The timed park re-check bounds any theoretically missed edge.
+  /// Publishes `count` freshly written elements and runs the reader-side
+  /// wake handshake. The wake is unconditional: any pre-filter here (an
+  /// empty -> non-empty edge test from a stale tail snapshot, or a relaxed
+  /// peek at the hook slot) executes its loads before the head store has
+  /// drained the store buffer, while a concurrently suspending reader's
+  /// hook/state stores are buffered the same way during its readiness
+  /// re-check — the classic two-sided Dekker miss. Parked threads absorbed
+  /// that window via the timed park re-check; cooperative hooks have no
+  /// backstop, so the handshake must start with wake_reader()'s seq_cst
+  /// fence every time. The waiter-counter and hook checks after the fence
+  /// keep the steady-state cost to the fence itself.
   void publish_write(std::uint64_t head, std::size_t count) {
     const std::uint64_t tail_now = tail_.load(std::memory_order_relaxed);
     head_.store(head + count, std::memory_order_release);
@@ -333,32 +527,66 @@ class Fifo {
     if (occupancy > max_occupancy_.load(std::memory_order_relaxed)) {
       max_occupancy_.store(occupancy, std::memory_order_relaxed);
     }
-    if (head == tail_now) {
-      maybe_wake(parked_readers_, not_empty_);
-    }
+    wake_reader();
   }
 
-  /// Publishes `count` freshly consumed slots; the full -> non-full
-  /// transition mirrors the write side's wake handshake.
+  /// Publishes `count` freshly consumed slots; unconditional wake for the
+  /// same reason as publish_write (a full -> non-full or hook pre-filter
+  /// would race a concurrently suspending writer).
   void publish_read(std::uint64_t tail, std::size_t count) {
-    const std::uint64_t head_now = head_.load(std::memory_order_relaxed);
     tail_.store(tail + count, std::memory_order_release);
-    if (head_now - tail == capacity_) {
-      maybe_wake(parked_writers_, not_full_);
-    }
+    wake_writer();
   }
 
-  /// The waker half of the park handshake: the seq_cst fence pairs with the
-  /// parking side's fence, so either this load observes the waiter counter
-  /// or the waiter's predicate re-check observes the published position.
-  void maybe_wake(std::atomic<int>& parked, std::condition_variable& cv) {
+  /// Wakes the consumer endpoint on the empty -> non-empty transition: a
+  /// parked thread via the CV handshake, and/or a cooperatively suspended
+  /// firing via its registered hook. Both paths use the same Dekker
+  /// structure — publish position, synchronize, then check for a waiter —
+  /// so either this side delivers the wake or the suspending side's
+  /// readiness re-check sees the published position.
+  void wake_reader() {
 #if CONDOR_FIFO_TSAN
-    (void)parked;
-    wake(cv);
+    FifoWakeHook* hook = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      hook = reader_hook_.load(std::memory_order_relaxed);
+    }
+    not_empty_.notify_all();
+    if (hook != nullptr) {
+      hook->wake();
+    }
 #else
     std::atomic_thread_fence(std::memory_order_seq_cst);
-    if (parked.load(std::memory_order_relaxed) != 0) {
-      wake(cv);
+    if (parked_readers_.load(std::memory_order_relaxed) != 0) {
+      wake(not_empty_);
+    }
+    if (FifoWakeHook* hook = reader_hook_.load(std::memory_order_relaxed);
+        hook != nullptr) {
+      hook->wake();
+    }
+#endif
+  }
+
+  /// Wakes the producer endpoint on the full -> non-full transition.
+  void wake_writer() {
+#if CONDOR_FIFO_TSAN
+    FifoWakeHook* hook = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      hook = writer_hook_.load(std::memory_order_relaxed);
+    }
+    not_full_.notify_all();
+    if (hook != nullptr) {
+      hook->wake();
+    }
+#else
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_writers_.load(std::memory_order_relaxed) != 0) {
+      wake(not_full_);
+    }
+    if (FifoWakeHook* hook = writer_hook_.load(std::memory_order_relaxed);
+        hook != nullptr) {
+      hook->wake();
     }
 #endif
   }
@@ -402,6 +630,7 @@ class Fifo {
   std::uint64_t cached_tail_ = 0;
   std::atomic<std::uint64_t> total_writes_{0};
   std::atomic<std::uint64_t> write_blocks_{0};
+  std::atomic<std::uint64_t> blocked_writes_{0};
   std::atomic<std::uint64_t> max_occupancy_{0};
 
   // Consumer-owned line.
@@ -409,11 +638,15 @@ class Fifo {
   std::size_t cons_idx_ = 0;
   std::uint64_t cached_head_ = 0;
   std::atomic<std::uint64_t> read_blocks_{0};
+  std::atomic<std::uint64_t> blocked_reads_{0};
 
-  // Shared cold state: EOS flag and the park/wake machinery.
+  // Shared cold state: EOS flag, the park/wake machinery, and the
+  // cooperative scheduler's readiness hooks.
   alignas(detail::kCacheLine) std::atomic<bool> closed_{false};
   std::atomic<int> parked_writers_{0};
   std::atomic<int> parked_readers_{0};
+  std::atomic<FifoWakeHook*> reader_hook_{nullptr};
+  std::atomic<FifoWakeHook*> writer_hook_{nullptr};
   std::mutex park_mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

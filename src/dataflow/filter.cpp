@@ -1,7 +1,5 @@
 #include "dataflow/filter.hpp"
 
-#include "common/alloc_probe.hpp"
-
 namespace condor::dataflow {
 
 bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pass,
@@ -17,10 +15,9 @@ bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pa
   return ry / pass.stride < pass.out_h && rx / pass.stride < pass.out_w;
 }
 
-Status FilterModule::run(const RunContext& ctx) {
+Fire FilterModule::fire(const RunContext& ctx) {
   // Row/match staging lives in members that persist across images and
   // run_batch calls; after a warmup batch the loop never allocates.
-  const common::AllocProbe::Scope alloc_scope;
   std::vector<float>& row = row_;
   std::vector<float>& matched = matched_;
   std::vector<std::size_t>& match_cols = match_cols_;
@@ -48,10 +45,9 @@ Status FilterModule::run(const RunContext& ctx) {
       matched.reserve(match_cols.size());
       for (std::size_t c = lane_; c < pass.in_channels; c += lane_count_) {
         for (std::size_t y = 0; y < pass.in_h; ++y) {
-          if (upstream_.read_burst(row) != row.size()) {
-            return internal_error("filter '" + name() +
-                                  "': upstream ended mid-pass");
-          }
+          CONDOR_CO_READ_EXACT(
+              upstream_, std::span<float>(row),
+              internal_error("filter '" + name() + "': upstream ended mid-pass"));
           const bool row_matches =
               active && y >= access_.ky &&
               (y - access_.ky) % pass.stride == 0 &&
@@ -61,14 +57,15 @@ Status FilterModule::run(const RunContext& ctx) {
             for (const std::size_t x : match_cols) {
               matched.push_back(row[x]);
             }
-            if (!to_pe_.write_burst(matched)) {
-              return internal_error("filter '" + name() +
-                                    "': PE port closed mid-pass");
-            }
+            CONDOR_CO_WRITE_BURST(
+                to_pe_, matched,
+                internal_error("filter '" + name() + "': PE port closed mid-pass"));
           }
-          if (downstream_ != nullptr && !downstream_->write_burst(row)) {
-            return internal_error("filter '" + name() +
-                                  "': downstream closed mid-pass");
+          if (downstream_ != nullptr) {
+            CONDOR_CO_WRITE_BURST(
+                *downstream_, row,
+                internal_error("filter '" + name() +
+                               "': downstream closed mid-pass"));
           }
         }
       }
@@ -78,11 +75,10 @@ Status FilterModule::run(const RunContext& ctx) {
   if (downstream_ != nullptr) {
     downstream_->close();
   }
-  return Status::ok();
+  co_return Status::ok();
 }
 
-Status SourceMuxModule::run(const RunContext& ctx) {
-  const common::AllocProbe::Scope alloc_scope;
+Fire SourceMuxModule::fire(const RunContext& ctx) {
   std::vector<float>& row = row_;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
@@ -92,7 +88,7 @@ Status SourceMuxModule::run(const RunContext& ctx) {
       }
       Stream* source = pi == 0 ? &external_ : loopback_;
       if (source == nullptr) {
-        return internal_error("mux '" + name() + "': missing loopback stream");
+        co_return internal_error("mux '" + name() + "': missing loopback stream");
       }
       const std::size_t inner_h = pass.in_h - 2 * pass.pad;
       const std::size_t inner_w = pass.in_w - 2 * pass.pad;
@@ -111,13 +107,13 @@ Status SourceMuxModule::run(const RunContext& ctx) {
                       row.end(), 0.0F);
             const std::span<float> interior =
                 std::span<float>(row).subspan(pass.pad, inner_w);
-            if (source->read_burst(interior) != interior.size()) {
-              return internal_error("mux '" + name() + "': source ended mid-pass");
-            }
+            CONDOR_CO_READ_EXACT(
+                *source, interior,
+                internal_error("mux '" + name() + "': source ended mid-pass"));
           }
-          if (!out.write_burst(row)) {
-            return internal_error("mux '" + name() + "': chain closed mid-pass");
-          }
+          CONDOR_CO_WRITE_BURST(
+              out, row,
+              internal_error("mux '" + name() + "': chain closed mid-pass"));
         }
       }
     }
@@ -125,7 +121,7 @@ Status SourceMuxModule::run(const RunContext& ctx) {
   for (Stream* out : outs_) {
     out->close();
   }
-  return Status::ok();
+  co_return Status::ok();
 }
 
 }  // namespace condor::dataflow

@@ -60,7 +60,7 @@ class FilterModule final : public Module {
         downstream_(downstream),
         to_pe_(to_pe) {}
 
-  Status run(const RunContext& ctx) override;
+  Fire fire(const RunContext& ctx) override;
 
   /// Domain-membership test for one coordinate (exposed for unit tests).
   static bool in_domain(const hw::WindowAccess& access, const LayerPass& pass,
@@ -102,7 +102,7 @@ class SourceMuxModule final : public Module {
         loopback_(loopback),
         outs_(std::move(outs)) {}
 
-  Status run(const RunContext& ctx) override;
+  Fire fire(const RunContext& ctx) override;
 
  private:
   const PeProgram& program_;

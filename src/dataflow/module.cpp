@@ -1,0 +1,47 @@
+#include "dataflow/module.hpp"
+
+#include <coroutine>
+#include <utility>
+
+#include "common/alloc_probe.hpp"
+
+namespace condor::dataflow {
+
+Status Module::run(const RunContext& ctx) {
+  counters_ = FireCounters{};
+  // on_block/on_done stay null: every StreamBlock suspension returns control
+  // to this loop, which parks the thread on the blocked stream — the
+  // classical one-thread-per-module KPN execution.
+  FireContext fire_ctx;
+  FireContext* prev_ctx = std::exchange(active_fire_context(), &fire_ctx);
+  FrameArena* prev_arena = std::exchange(active_frame_arena(), &arena_);
+  Fire task = fire(ctx);
+  std::coroutine_handle<> next = task.handle();
+  for (;;) {
+    ++counters_.fires;
+    {
+      // The allocation probe's zero-allocation contract covers executed
+      // module code; the probe scope is thread-local RAII, so it wraps each
+      // resume rather than living inside the (migratable) coroutine.
+      const common::AllocProbe::Scope probe_scope;
+      next.resume();
+    }
+    if (task.done()) {
+      break;
+    }
+    ++counters_.blocked;
+    if (fire_ctx.blocked_op == StreamOp::kRead) {
+      fire_ctx.blocked_stream->wait_read_ready();
+    } else {
+      fire_ctx.blocked_stream->wait_write_ready();
+    }
+    next = fire_ctx.resume_point;
+  }
+  active_fire_context() = prev_ctx;
+  active_frame_arena() = prev_arena;
+  Status status = std::move(task.status());
+  task.reset();
+  return status;
+}
+
+}  // namespace condor::dataflow

@@ -1,19 +1,25 @@
 // Actor base class for dataflow modules (filters, PEs, datamover halves).
 //
-// Each module runs as one worker task (the KPN execution of the spatial
-// design) and communicates exclusively through Fifo channels, mirroring the
-// independent always-running hardware blocks of the accelerator. Per-run
+// Each module's body is a resumable coroutine (`fire`, returning Fire) that
+// communicates exclusively through Fifo channels, mirroring the independent
+// always-running hardware blocks of the accelerator. The same body executes
+// under two drivers: the cooperative readiness-driven scheduler in
+// Graph::run (default — any worker count), or the blocking `run` driver
+// below, which parks the calling thread at every suspension and so
+// reproduces the historical thread-per-module KPN execution. Per-run
 // parameters (the batch and its input tensors) arrive through RunContext so
 // the same module graph can be re-executed batch after batch without being
 // rebuilt.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "dataflow/fire.hpp"
 #include "tensor/tensor.hpp"
 
 namespace condor::dataflow {
@@ -28,21 +34,46 @@ struct RunContext {
 
 class Module {
  public:
+  /// Scheduler-maintained execution counters for one run: how often the
+  /// module was fired (resumed) and how often it suspended on a stream.
+  /// Maintained by whichever driver executes the module (module execution
+  /// is serialized, so plain integers suffice).
+  struct FireCounters {
+    std::uint64_t fires = 0;
+    std::uint64_t blocked = 0;
+  };
+
   explicit Module(std::string name) : name_(std::move(name)) {}
   virtual ~Module() = default;
 
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
-  /// The module body: consume inputs, produce outputs, return when the
-  /// configured workload (the context's batch of images) is complete. An
-  /// error status aborts the whole graph run.
-  virtual Status run(const RunContext& ctx) = 0;
+  /// The module body: a coroutine that consumes inputs, produces outputs,
+  /// and co_returns when the configured workload (the context's batch of
+  /// images) is complete. Stream accesses go through the CONDOR_CO_* macros
+  /// so the body suspends — instead of parking — when a FIFO would block.
+  /// An error status aborts the whole graph run.
+  virtual Fire fire(const RunContext& ctx) = 0;
+
+  /// Blocking driver: executes fire() to completion on the calling thread,
+  /// parking on the blocked stream between resumes (thread-per-module KPN
+  /// mode, selectable via CONDOR_SCHED=threads).
+  Status run(const RunContext& ctx);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+  /// The arena this module's coroutine frames are recycled through.
+  [[nodiscard]] FrameArena& frame_arena() noexcept { return arena_; }
+  [[nodiscard]] FireCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const FireCounters& counters() const noexcept {
+    return counters_;
+  }
+
  private:
   std::string name_;
+  FrameArena arena_;
+  FireCounters counters_;
 };
 
 }  // namespace condor::dataflow

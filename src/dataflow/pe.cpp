@@ -11,25 +11,32 @@
 namespace condor::dataflow {
 namespace {
 
-/// Drains `count` elements from a weight stream into `buffer`.
-Status read_weights(Stream* stream, std::size_t count, std::vector<float>& buffer,
-                    const std::string& pe_name) {
+/// Drains `count` elements from a weight stream into `buffer`. A nested
+/// firing: the caller co_awaits it, so a dry stream suspends the whole
+/// module firing at this read.
+Fire read_weights(Stream* stream, std::size_t count, std::vector<float>& buffer,
+                  const std::string& pe_name) {
   buffer.resize(count);
-  if (stream == nullptr ||
-      stream->read_burst(std::span<float>(buffer)) != count) {
-    return internal_error("PE '" + pe_name + "': weight stream ended early");
+  if (stream == nullptr) {
+    co_return internal_error("PE '" + pe_name + "': weight stream ended early");
   }
-  return Status::ok();
+  CONDOR_CO_READ_EXACT(
+      *stream, std::span<float>(buffer),
+      internal_error("PE '" + pe_name + "': weight stream ended early"));
+  co_return Status::ok();
 }
 
 /// Reads one format word (a blob's frac_bits) from a format side-channel.
-Status read_fmt_word(Stream* stream, int& frac, const std::string& pe_name) {
-  float word = 0.0F;
-  if (stream == nullptr || !stream->read(word)) {
-    return internal_error("PE '" + pe_name + "': format stream ended early");
+Fire read_fmt_word(Stream* stream, int& frac, const std::string& pe_name) {
+  if (stream == nullptr) {
+    co_return internal_error("PE '" + pe_name + "': format stream ended early");
   }
+  float word = 0.0F;
+  CONDOR_CO_READ_ONE(
+      *stream, word,
+      internal_error("PE '" + pe_name + "': format stream ended early"));
   frac = static_cast<int>(word);
-  return Status::ok();
+  co_return Status::ok();
 }
 
 /// The canonical fixed layer-boundary step (mirrors the QuantizedEngine's
@@ -39,23 +46,23 @@ Status read_fmt_word(Stream* stream, int& frac, const std::string& pe_name) {
 /// in a PE-local variable instead), then the codes stored in float words.
 /// `codes` / `blob` are caller-owned scratch (module members) so the steady
 /// state stays off the heap.
-Status emit_requantized(const std::string& pe_name, Stream& sink,
-                        Stream* fmt_sink, std::span<const float> values,
-                        int total_bits, int& out_frac,
-                        std::vector<std::int32_t>& codes,
-                        std::vector<float>& blob) {
+Fire emit_requantized(const std::string& pe_name, Stream& sink,
+                      Stream* fmt_sink, std::span<const float> values,
+                      int total_bits, int& out_frac,
+                      std::vector<std::int32_t>& codes,
+                      std::vector<float>& blob) {
   const nn::FixedPointFormat format =
       nn::quantize_span(values, total_bits, codes);
   out_frac = format.frac_bits;
-  if (fmt_sink != nullptr &&
-      !fmt_sink->write(static_cast<float>(format.frac_bits))) {
-    return internal_error("PE '" + pe_name + "': format sink closed mid-pass");
+  if (fmt_sink != nullptr) {
+    CONDOR_CO_WRITE_ONE(
+        *fmt_sink, static_cast<float>(format.frac_bits),
+        internal_error("PE '" + pe_name + "': format sink closed mid-pass"));
   }
   blob.assign(codes.begin(), codes.end());
-  if (!sink.write_burst(blob)) {
-    return internal_error("PE '" + pe_name + "': sink closed mid-pass");
-  }
-  return Status::ok();
+  CONDOR_CO_WRITE_BURST(
+      sink, blob, internal_error("PE '" + pe_name + "': sink closed mid-pass"));
+  co_return Status::ok();
 }
 
 /// Casts a blob of code-carrying float words back to integer codes (codes
@@ -107,8 +114,7 @@ OcSlice oc_slice(std::size_t total, std::size_t lanes, std::size_t lane) {
 
 }  // namespace
 
-Status FeaturePeModule::run(const RunContext& ctx) {
-  const common::AllocProbe::Scope alloc_scope;
+Fire FeaturePeModule::fire(const RunContext& ctx) {
   const bool fixed = nn::is_fixed_point(data_type_);
   weight_cache_.resize(program_.passes.size());
   for (std::size_t image = 0; image < ctx.batch; ++image) {
@@ -116,39 +122,39 @@ Status FeaturePeModule::run(const RunContext& ctx) {
     if (fixed) {
       // The upstream producer announces the image blob's dynamic format
       // ahead of the blob data.
-      CONDOR_RETURN_IF_ERROR(read_fmt_word(fmt_in_, frac, name()));
+      CONDOR_CO_RETURN_IF_ERROR(co_await read_fmt_word(fmt_in_, frac, name()));
     }
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       const bool last = pi + 1 == program_.passes.size();
       Stream* sink = last ? &out_ : loopback_;
       if (sink == nullptr) {
-        return internal_error("PE '" + name() + "': missing loopback stream");
+        co_return internal_error("PE '" + name() + "': missing loopback stream");
       }
       // The datamover delivers this pass's weight slice per image (the
       // full set streams from on-board memory, paper §3.2). Fixed
       // datapaths stream the same raw floats and quantize locally.
       if (pass.params != nullptr) {
-        CONDOR_RETURN_IF_ERROR(read_weights(
+        CONDOR_CO_RETURN_IF_ERROR(co_await read_weights(
             weights_, pass.params->weights.size(), weight_buffer_, name()));
-        CONDOR_RETURN_IF_ERROR(read_weights(
+        CONDOR_CO_RETURN_IF_ERROR(co_await read_weights(
             weights_, pass.params->bias.size(), bias_buffer_, name()));
       } else {
         weight_buffer_.clear();
         bias_buffer_.clear();
       }
       if (!fixed) {
-        CONDOR_RETURN_IF_ERROR(
-            run_pass(pi, pass, *sink, weight_buffer_, bias_buffer_));
+        CONDOR_CO_RETURN_IF_ERROR(co_await run_pass(pi, pass, *sink,
+                                                    weight_buffer_,
+                                                    bias_buffer_));
         continue;
       }
       // Fused intermediate blobs keep their format PE-local (no format
       // side-channel on the loopback edge); only the last pass publishes.
       int out_frac = 0;
-      CONDOR_RETURN_IF_ERROR(run_pass_fixed(pi, pass, *sink,
-                                            last ? fmt_out_ : nullptr,
-                                            weight_buffer_, bias_buffer_, frac,
-                                            out_frac));
+      CONDOR_CO_RETURN_IF_ERROR(co_await run_pass_fixed(
+          pi, pass, *sink, last ? fmt_out_ : nullptr, weight_buffer_,
+          bias_buffer_, frac, out_frac));
       frac = out_frac;
     }
   }
@@ -159,10 +165,10 @@ Status FeaturePeModule::run(const RunContext& ctx) {
   if (fmt_out_ != nullptr) {
     fmt_out_->close();
   }
-  return Status::ok();
+  co_return Status::ok();
 }
 
-Status FeaturePeModule::read_port_rows(
+Fire FeaturePeModule::read_port_rows(
     const LayerPass& pass, std::size_t lane,
     std::vector<std::vector<float>>& port_rows) {
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
@@ -171,17 +177,17 @@ Status FeaturePeModule::read_port_rows(
       Stream* port = ports_[lane * lane_stride + ky * window_w_max_ + kx];
       std::vector<float>& row = port_rows[ky * pass.window_w + kx];
       row.resize(pass.out_w);
-      if (port->read_burst(std::span<float>(row)) != row.size()) {
-        return internal_error("PE '" + name() + "': port stream ended early");
-      }
+      CONDOR_CO_READ_EXACT(
+          *port, std::span<float>(row),
+          internal_error("PE '" + name() + "': port stream ended early"));
     }
   }
-  return Status::ok();
+  co_return Status::ok();
 }
 
-Status FeaturePeModule::read_port_stripe(const LayerPass& pass,
-                                         std::size_t lane,
-                                         std::vector<float>& stage) {
+Fire FeaturePeModule::read_port_stripe(const LayerPass& pass,
+                                       std::size_t lane,
+                                       std::vector<float>& stage) {
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
   const std::size_t tap_count = pass.window_h * pass.window_w;
   stage.resize(pass.out_h * tap_count * pass.out_w);
@@ -192,18 +198,18 @@ Status FeaturePeModule::read_port_stripe(const LayerPass& pass,
         const std::size_t tap = ky * pass.window_w + kx;
         std::span<float> row(
             stage.data() + (oy * tap_count + tap) * pass.out_w, pass.out_w);
-        if (port->read_burst(row) != row.size()) {
-          return internal_error("PE '" + name() + "': port stream ended early");
-        }
+        CONDOR_CO_READ_EXACT(
+            *port, row,
+            internal_error("PE '" + name() + "': port stream ended early"));
       }
     }
   }
-  return Status::ok();
+  co_return Status::ok();
 }
 
-Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
-                                 Stream& sink, std::span<const float> weights,
-                                 std::span<const float> bias) {
+Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
+                               Stream& sink, std::span<const float> weights,
+                               std::span<const float> bias) {
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
 
   switch (pass.kind) {
@@ -252,7 +258,8 @@ Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       // Stream one input-channel stripe at a time (identical FIFO read
       // order to the row-at-a-time schedule) and fork the lanes over it.
       for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
-        CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage_));
+        CONDOR_CO_RETURN_IF_ERROR(
+            co_await read_port_stripe(pass, ic % lanes_, stage_));
         const float* packed_ic = packed.data() + ic * tap_count * oc_total;
         run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
           const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
@@ -287,10 +294,10 @@ Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
           }
         }
       });
-      if (!sink.write_burst(out_blob_)) {
-        return internal_error("PE '" + name() + "': sink closed mid-pass");
-      }
-      return Status::ok();
+      CONDOR_CO_WRITE_BURST(
+          sink, out_blob_,
+          internal_error("PE '" + name() + "': sink closed mid-pass"));
+      co_return Status::ok();
     }
 
     case PassKind::kPooling: {
@@ -305,7 +312,8 @@ Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       out_row_.resize(pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
-          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows_));
+          CONDOR_CO_RETURN_IF_ERROR(
+              co_await read_port_rows(pass, c % lanes_, port_rows_));
           for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
             float result = pass.pool_method == nn::PoolMethod::kMax
                                ? -std::numeric_limits<float>::infinity()
@@ -325,12 +333,12 @@ Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
             }
             out_row_[ox] = nn::apply_activation(pass.activation, result);
           }
-          if (!sink.write_burst(out_row_)) {
-            return internal_error("PE '" + name() + "': sink closed mid-pass");
-          }
+          CONDOR_CO_WRITE_BURST(
+              sink, out_row_,
+              internal_error("PE '" + name() + "': sink closed mid-pass"));
         }
       }
-      return Status::ok();
+      co_return Status::ok();
     }
 
     case PassKind::kElementwise: {
@@ -339,32 +347,33 @@ Status FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       map_.resize(pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream* port = ports_[(c % lanes_) * lane_stride];
-        if (port->read_burst(std::span<float>(map_)) != map_.size()) {
-          return internal_error("PE '" + name() + "': port stream ended early");
-        }
+        CONDOR_CO_READ_EXACT(
+            *port, std::span<float>(map_),
+            internal_error("PE '" + name() + "': port stream ended early"));
         for (float& value : map_) {
           value = nn::apply_activation(pass.activation, value);
         }
-        if (!sink.write_burst(map_)) {
-          return internal_error("PE '" + name() + "': sink closed mid-pass");
-        }
+        CONDOR_CO_WRITE_BURST(
+            sink, map_,
+            internal_error("PE '" + name() + "': sink closed mid-pass"));
       }
-      return Status::ok();
+      co_return Status::ok();
     }
 
     case PassKind::kInnerProduct:
-      return internal_error("feature PE cannot execute an inner-product pass");
+      co_return internal_error(
+          "feature PE cannot execute an inner-product pass");
   }
-  return internal_error("unhandled pass kind");
+  co_return internal_error("unhandled pass kind");
 }
 
 template <typename Acc>
-Status FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
-                                            const LayerPass& pass, Stream& sink,
-                                            Stream* fmt_sink,
-                                            std::span<const float> weights,
-                                            std::span<const float> bias,
-                                            int in_frac, int& out_frac) {
+Fire FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
+                                          const LayerPass& pass, Stream& sink,
+                                          Stream* fmt_sink,
+                                          std::span<const float> weights,
+                                          std::span<const float> bias,
+                                          int in_frac, int& out_frac) {
   const int bits = nn::total_bits(data_type_);
   const std::size_t oc_total = pass.out_channels;
   const std::size_t map_points = pass.out_h * pass.out_w;
@@ -424,7 +433,8 @@ Status FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
   // stripe, cast it back to integer codes (exact — see codes_from_floats),
   // and fork the lanes over the integer MAC microkernel.
   for (std::size_t ic = 0; ic < pass.in_channels; ++ic) {
-    CONDOR_RETURN_IF_ERROR(read_port_stripe(pass, ic % lanes_, stage_));
+    CONDOR_CO_RETURN_IF_ERROR(
+        co_await read_port_stripe(pass, ic % lanes_, stage_));
     codes_from_floats(stage_, int_stage_);
     const std::int32_t* packed_ic = packed.data() + ic * tap_count * oc_total;
     run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
@@ -463,28 +473,31 @@ Status FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
       }
     }
   });
-  return emit_requantized(name(), sink, fmt_sink, out_blob_, bits, out_frac,
-                          emit_codes_, emit_blob_);
+  co_return co_await emit_requantized(name(), sink, fmt_sink, out_blob_, bits,
+                                      out_frac, emit_codes_, emit_blob_);
 }
 
-Status FeaturePeModule::run_pass_fixed(std::size_t pass_index,
-                                       const LayerPass& pass, Stream& sink,
-                                       Stream* fmt_sink,
-                                       std::span<const float> weights,
-                                       std::span<const float> bias, int in_frac,
-                                       int& out_frac) {
+Fire FeaturePeModule::run_pass_fixed(std::size_t pass_index,
+                                     const LayerPass& pass, Stream& sink,
+                                     Stream* fmt_sink,
+                                     std::span<const float> weights,
+                                     std::span<const float> bias, int in_frac,
+                                     int& out_frac) {
   const int bits = nn::total_bits(data_type_);
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
 
   switch (pass.kind) {
     case PassKind::kConvolution:
-      return data_type_ == nn::DataType::kFixed16
-                 ? run_conv_pass_fixed<std::int64_t>(pass_index, pass, sink,
-                                                     fmt_sink, weights, bias,
-                                                     in_frac, out_frac)
-                 : run_conv_pass_fixed<std::int32_t>(pass_index, pass, sink,
-                                                     fmt_sink, weights, bias,
-                                                     in_frac, out_frac);
+      // Branch with if/else, not a conditional expression: gcc's coroutine
+      // transform mis-handles coroutine-returning prvalues inside ?: arms
+      // (both arms get materialized and the taken frame is destroyed twice).
+      if (data_type_ == nn::DataType::kFixed16) {
+        co_return co_await run_conv_pass_fixed<std::int64_t>(
+            pass_index, pass, sink, fmt_sink, weights, bias, in_frac,
+            out_frac);
+      }
+      co_return co_await run_conv_pass_fixed<std::int32_t>(
+          pass_index, pass, sink, fmt_sink, weights, bias, in_frac, out_frac);
 
     case PassKind::kPooling: {
       // Max pooling reduces over codes directly (dequantization is
@@ -500,7 +513,8 @@ Status FeaturePeModule::run_pass_fixed(std::size_t pass_index,
       out_blob_.resize(pass.in_channels * pass.out_h * pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
-          CONDOR_RETURN_IF_ERROR(read_port_rows(pass, c % lanes_, port_rows_));
+          CONDOR_CO_RETURN_IF_ERROR(
+              co_await read_port_rows(pass, c % lanes_, port_rows_));
           for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
             std::int64_t acc =
                 is_max ? std::numeric_limits<std::int64_t>::min() : 0;
@@ -520,8 +534,9 @@ Status FeaturePeModule::run_pass_fixed(std::size_t pass_index,
           }
         }
       }
-      return emit_requantized(name(), sink, fmt_sink, out_blob_, bits,
-                              out_frac, emit_codes_, emit_blob_);
+      co_return co_await emit_requantized(name(), sink, fmt_sink, out_blob_,
+                                          bits, out_frac, emit_codes_,
+                                          emit_blob_);
     }
 
     case PassKind::kElementwise: {
@@ -531,30 +546,35 @@ Status FeaturePeModule::run_pass_fixed(std::size_t pass_index,
       out_blob_.resize(pass.in_channels * pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream* port = ports_[(c % lanes_) * lane_stride];
-        if (port->read_burst(std::span<float>(map_)) != map_.size()) {
-          return internal_error("PE '" + name() + "': port stream ended early");
-        }
+        CONDOR_CO_READ_EXACT(
+            *port, std::span<float>(map_),
+            internal_error("PE '" + name() + "': port stream ended early"));
         for (std::size_t i = 0; i < map_.size(); ++i) {
           out_blob_[c * map_.size() + i] = nn::apply_activation(
               pass.activation,
               nn::dequantize_code(static_cast<std::int64_t>(map_[i]), in_frac));
         }
       }
-      return emit_requantized(name(), sink, fmt_sink, out_blob_, bits,
-                              out_frac, emit_codes_, emit_blob_);
+      co_return co_await emit_requantized(name(), sink, fmt_sink, out_blob_,
+                                          bits, out_frac, emit_codes_,
+                                          emit_blob_);
     }
 
     case PassKind::kInnerProduct:
-      return internal_error("feature PE cannot execute an inner-product pass");
+      co_return internal_error(
+          "feature PE cannot execute an inner-product pass");
   }
-  return internal_error("unhandled pass kind");
+  co_return internal_error("unhandled pass kind");
 }
 
-Status ClassifierPeModule::run(const RunContext& ctx) {
-  const common::AllocProbe::Scope alloc_scope;
+Fire ClassifierPeModule::fire(const RunContext& ctx) {
   if (nn::is_fixed_point(data_type_)) {
-    return data_type_ == nn::DataType::kFixed16 ? run_fixed<std::int64_t>(ctx)
-                                                : run_fixed<std::int32_t>(ctx);
+    // if/else instead of ?: — see run_pass_fixed for the gcc coroutine
+    // transform pitfall with conditional expressions.
+    if (data_type_ == nn::DataType::kFixed16) {
+      co_return co_await run_fixed<std::int64_t>(ctx);
+    }
+    co_return co_await run_fixed<std::int32_t>(ctx);
   }
   // Runtime configuration load: the datamover delivers every pass's
   // weights once per run; they stay resident for the whole batch, repacked
@@ -568,14 +588,14 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
     if (pass.params == nullptr) {
       continue;
     }
-    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
-                                        weight_buffer_, name()));
+    CONDOR_CO_RETURN_IF_ERROR(co_await read_weights(
+        weights_, pass.params->weights.size(), weight_buffer_, name()));
     if (!resident_ready_) {
       packed_weights_[pi] = nn::kernels::pack_inner_product_weights<float>(
           weight_buffer_, pass.output_elements(), pass.input_elements());
     }
-    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->bias.size(),
-                                        weight_buffer_, name()));
+    CONDOR_CO_RETURN_IF_ERROR(co_await read_weights(
+        weights_, pass.params->bias.size(), weight_buffer_, name()));
     if (!resident_ready_) {
       pass_bias_[pi] = weight_buffer_;
     }
@@ -587,9 +607,9 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     // Stage the flattened input of the first pass.
     current_.resize(program_.passes.front().input_elements());
-    if (in_.read_burst(std::span<float>(current_)) != current_.size()) {
-      return internal_error("PE '" + name() + "': input stream ended early");
-    }
+    CONDOR_CO_READ_EXACT(
+        in_, std::span<float>(current_),
+        internal_error("PE '" + name() + "': input stream ended early"));
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       switch (pass.kind) {
@@ -628,19 +648,19 @@ Status ClassifierPeModule::run(const RunContext& ctx) {
           break;
         }
         default:
-          return internal_error("classifier PE got a windowed pass");
+          co_return internal_error("classifier PE got a windowed pass");
       }
     }
-    if (!out_.write_burst(current_)) {
-      return internal_error("PE '" + name() + "': output closed mid-batch");
-    }
+    CONDOR_CO_WRITE_BURST(
+        out_, current_,
+        internal_error("PE '" + name() + "': output closed mid-batch"));
   }
   out_.close();
-  return Status::ok();
+  co_return Status::ok();
 }
 
 template <typename Acc>
-Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
+Fire ClassifierPeModule::run_fixed(const RunContext& ctx) {
   const int bits = nn::total_bits(data_type_);
 
   // One-time runtime configuration load, as in the float path — the raw
@@ -655,16 +675,16 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
       continue;
     }
     FixedPassWeights& slot = resident_[pi];
-    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->weights.size(),
-                                        weight_buffer_, name()));
+    CONDOR_CO_RETURN_IF_ERROR(co_await read_weights(
+        weights_, pass.params->weights.size(), weight_buffer_, name()));
     if (!resident_ready_) {
       slot.weight_frac =
           nn::quantize_span(weight_buffer_, bits, wcodes_).frac_bits;
       slot.packed = nn::kernels::pack_inner_product_weights<std::int32_t>(
           wcodes_, pass.output_elements(), pass.input_elements());
     }
-    CONDOR_RETURN_IF_ERROR(read_weights(weights_, pass.params->bias.size(),
-                                        weight_buffer_, name()));
+    CONDOR_CO_RETURN_IF_ERROR(co_await read_weights(
+        weights_, pass.params->bias.size(), weight_buffer_, name()));
     if (!resident_ready_) {
       slot.bias_frac =
           nn::quantize_span(weight_buffer_, bits, slot.bias_codes).frac_bits;
@@ -681,11 +701,11 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
 
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     int frac = 0;
-    CONDOR_RETURN_IF_ERROR(read_fmt_word(fmt_in_, frac, name()));
+    CONDOR_CO_RETURN_IF_ERROR(co_await read_fmt_word(fmt_in_, frac, name()));
     words_.resize(program_.passes.front().input_elements());
-    if (in_.read_burst(std::span<float>(words_)) != words_.size()) {
-      return internal_error("PE '" + name() + "': input stream ended early");
-    }
+    CONDOR_CO_READ_EXACT(
+        in_, std::span<float>(words_),
+        internal_error("PE '" + name() + "': input stream ended early"));
     codes_from_floats(words_, codes_);
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
@@ -740,23 +760,26 @@ Status ClassifierPeModule::run_fixed(const RunContext& ctx) {
           break;
         }
         default:
-          return internal_error("classifier PE got a windowed pass");
+          co_return internal_error("classifier PE got a windowed pass");
       }
     }
-    if (fmt_out_ == nullptr ||
-        !fmt_out_->write(static_cast<float>(frac))) {
-      return internal_error("PE '" + name() + "': format sink closed mid-batch");
+    if (fmt_out_ == nullptr) {
+      co_return internal_error("PE '" + name() +
+                               "': format sink closed mid-batch");
     }
+    CONDOR_CO_WRITE_ONE(
+        *fmt_out_, static_cast<float>(frac),
+        internal_error("PE '" + name() + "': format sink closed mid-batch"));
     words_.assign(codes_.begin(), codes_.end());
-    if (!out_.write_burst(words_)) {
-      return internal_error("PE '" + name() + "': output closed mid-batch");
-    }
+    CONDOR_CO_WRITE_BURST(
+        out_, words_,
+        internal_error("PE '" + name() + "': output closed mid-batch"));
   }
   out_.close();
   if (fmt_out_ != nullptr) {
     fmt_out_->close();
   }
-  return Status::ok();
+  co_return Status::ok();
 }
 
 }  // namespace condor::dataflow

@@ -101,43 +101,47 @@ class FeaturePeModule final : public Module {
         fmt_in_(fmt_in),
         fmt_out_(fmt_out) {}
 
-  Status run(const RunContext& ctx) override;
+  Fire fire(const RunContext& ctx) override;
 
  private:
+  // The pass/stripe helpers are nested firings (Fire coroutines co_awaited
+  // by the body): a stream suspension inside a helper suspends the whole
+  // module firing at that innermost point.
+
   /// `pass_index` keys the weight cache (weight-derived blocks are computed
   /// the first time the pass runs, reused for every later image/batch).
-  Status run_pass(std::size_t pass_index, const LayerPass& pass, Stream& sink,
-                  std::span<const float> weights, std::span<const float> bias);
+  Fire run_pass(std::size_t pass_index, const LayerPass& pass, Stream& sink,
+                std::span<const float> weights, std::span<const float> bias);
 
   /// Fixed-point pass: codes in, codes out. `in_frac` is the input blob's
   /// format; the requantized output blob's format lands in `out_frac` (and,
   /// when `fmt_sink` is non-null, on the wire ahead of the blob).
-  Status run_pass_fixed(std::size_t pass_index, const LayerPass& pass,
-                        Stream& sink, Stream* fmt_sink,
-                        std::span<const float> weights,
-                        std::span<const float> bias, int in_frac,
-                        int& out_frac);
+  Fire run_pass_fixed(std::size_t pass_index, const LayerPass& pass,
+                      Stream& sink, Stream* fmt_sink,
+                      std::span<const float> weights,
+                      std::span<const float> bias, int in_frac,
+                      int& out_frac);
 
   /// The convolution body of run_pass_fixed, templated over the widened
   /// accumulator (int64 for fixed16, int32 for fixed8 — see nn/kernels.hpp).
   template <typename Acc>
-  Status run_conv_pass_fixed(std::size_t pass_index, const LayerPass& pass,
-                             Stream& sink, Stream* fmt_sink,
-                             std::span<const float> weights,
-                             std::span<const float> bias, int in_frac,
-                             int& out_frac);
+  Fire run_conv_pass_fixed(std::size_t pass_index, const LayerPass& pass,
+                           Stream& sink, Stream* fmt_sink,
+                           std::span<const float> weights,
+                           std::span<const float> bias, int in_frac,
+                           int& out_frac);
 
   /// Burst-reads the next out_w elements of every active port of `lane`
   /// into `port_rows` (indexed ky * window_w + kx, each out_w long).
-  Status read_port_rows(const LayerPass& pass, std::size_t lane,
-                        std::vector<std::vector<float>>& port_rows);
+  Fire read_port_rows(const LayerPass& pass, std::size_t lane,
+                      std::vector<std::vector<float>>& port_rows);
 
   /// Burst-reads one full input-channel stripe (out_h rows of every active
   /// port of `lane`) into `stage`, laid out (oy, tap, ox) — the same FIFO
   /// read order as the row-at-a-time schedule, just prefetched so the
   /// compute lanes can run over it concurrently.
-  Status read_port_stripe(const LayerPass& pass, std::size_t lane,
-                          std::vector<float>& stage);
+  Fire read_port_stripe(const LayerPass& pass, std::size_t lane,
+                        std::vector<float>& stage);
 
   /// Pass-indexed cache of weight-derived blocks. Filled the first time a
   /// pass executes, then reused for every later image and batch: the
@@ -222,13 +226,14 @@ class ClassifierPeModule final : public Module {
         fmt_in_(fmt_in),
         fmt_out_(fmt_out) {}
 
-  Status run(const RunContext& ctx) override;
+  Fire fire(const RunContext& ctx) override;
 
  private:
   /// The fixed-point batch loop, templated over the widened accumulator
-  /// (int64 for fixed16, int32 for fixed8).
+  /// (int64 for fixed16, int32 for fixed8). A nested firing (see
+  /// FeaturePeModule).
   template <typename Acc>
-  Status run_fixed(const RunContext& ctx);
+  Fire run_fixed(const RunContext& ctx);
 
   /// Chip-resident quantized weights of one weighted pass (fixed path).
   struct FixedPassWeights {

@@ -311,12 +311,13 @@ TEST(FilterDomain, MatchCountEqualsOutputPoints) {
 class ProducerModule final : public Module {
  public:
   ProducerModule(Stream& out, int count) : Module("producer"), out_(out), count_(count) {}
-  Status run(const RunContext&) override {
+  Fire fire(const RunContext&) override {
     for (int i = 0; i < count_; ++i) {
-      out_.write(static_cast<float>(i));
+      CONDOR_CO_WRITE_ONE(out_, static_cast<float>(i),
+                          internal_error("producer: stream closed early"));
     }
     out_.close();
-    return Status::ok();
+    co_return Status::ok();
   }
 
  private:
@@ -327,13 +328,18 @@ class ProducerModule final : public Module {
 class SummerModule final : public Module {
  public:
   SummerModule(Stream& in, double& sum) : Module("summer"), in_(in), sum_(sum) {}
-  Status run(const RunContext&) override {
+  Fire fire(const RunContext&) override {
     sum_ = 0.0;
-    float value = 0.0F;
-    while (in_.read(value)) {
+    for (;;) {
+      float value = 0.0F;
+      bool got = false;
+      CONDOR_CO_READ_ONE_OR_EOS(in_, value, got);
+      if (!got) {
+        break;
+      }
       sum_ += value;
     }
-    return Status::ok();
+    co_return Status::ok();
   }
 
  private:
@@ -344,9 +350,9 @@ class SummerModule final : public Module {
 class FailingModule final : public Module {
  public:
   explicit FailingModule(Stream& out) : Module("failing"), out_(out) {}
-  Status run(const RunContext&) override {
+  Fire fire(const RunContext&) override {
     out_.close();  // release downstream before erroring
-    return internal_error("deliberate failure");
+    co_return internal_error("deliberate failure");
   }
 
  private:
@@ -390,12 +396,33 @@ TEST(Graph, RunsOnPersistentPoolAcrossReopens) {
     if (run > 0) {
       graph.reopen_streams();
     }
-    ASSERT_TRUE(graph.run({}, &pool).is_ok()) << "run " << run;
+    GraphRunOptions options;
+    options.mode = SchedulerMode::kCooperative;
+    ASSERT_TRUE(graph.run({}, &pool, options).is_ok()) << "run " << run;
     EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
     EXPECT_EQ(graph.stream_stats()[0].total_writes, 1000u);
   }
-  // The pool grew to cover every module and stayed that size.
+  // The cooperative scheduler never grows the pool: a 1-worker pool runs
+  // any module count (here the calling thread plus at most one worker).
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_LE(graph.last_run_workers(), graph.module_count());
+}
+
+TEST(Graph, ThreadedEscapeHatchStillRuns) {
+  // CONDOR_SCHED=threads maps to the legacy one-task-per-module executor;
+  // results are identical and the pool grows to the module count.
+  Graph graph;
+  Stream& stream = graph.make_stream(4, "s");
+  double sum = 0.0;
+  graph.add_module<ProducerModule>(stream, 1000);
+  graph.add_module<SummerModule>(stream, sum);
+  ThreadPool pool(1);
+  GraphRunOptions options;
+  options.mode = SchedulerMode::kThreaded;
+  ASSERT_TRUE(graph.run({}, &pool, options).is_ok());
+  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
   EXPECT_GE(pool.worker_count(), graph.module_count());
+  EXPECT_EQ(graph.last_run_mode(), SchedulerMode::kThreaded);
 }
 
 }  // namespace
