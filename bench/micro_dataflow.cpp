@@ -7,6 +7,7 @@
 // simulator in the table/figure benches).
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <span>
 #include <thread>
 #include <vector>
@@ -172,6 +173,78 @@ void BM_AcceleratorRepeatedBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch_size));
 }
 BENCHMARK(BM_AcceleratorRepeatedBatch)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Weight residency + multi-image pipelining on LeNet at batch 1 / 4 / 16.
+/// arg1 selects the serving mode: 0 = resident (one executor reused across
+/// iterations — warm runs stream zero weight bytes and overlap images),
+/// 1 = drain (a fresh executor per iteration, re-streaming and re-latching
+/// every weight slice — the cost the legacy per-image drain paid
+/// continuously). The gap between the two rows is the residency win; the
+/// sub-linear growth of the resident row across batch sizes is the
+/// pipelining win.
+void BM_AcceleratorBatchPipelining(benchmark::State& state) {
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 1).value();
+  auto plan =
+      hw::plan_accelerator(hw::with_default_annotations(model)).value();
+  const auto shared_plan =
+      std::make_shared<const condor::hw::AcceleratorPlan>(std::move(plan));
+  const auto shared_weights =
+      std::make_shared<const condor::nn::WeightStore>(std::move(weights));
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  const std::size_t batch_size = static_cast<std::size_t>(state.range(0));
+  const bool drain = state.range(1) != 0;
+  std::vector<Tensor> batch;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  auto resident = dataflow::AcceleratorExecutor::create(shared_plan,
+                                                        shared_weights)
+                      .value();
+  if (!resident.run_batch(batch).is_ok()) {
+    state.SkipWithError("warm-up failed");
+  }
+  for (auto _ : state) {
+    if (drain) {
+      auto executor = dataflow::AcceleratorExecutor::create(shared_plan,
+                                                            shared_weights)
+                          .value();
+      auto outputs = executor.run_batch(batch);
+      if (!outputs.is_ok()) {
+        state.SkipWithError("run failed");
+      }
+      benchmark::DoNotOptimize(outputs);
+    } else {
+      auto outputs = resident.run_batch(batch);
+      if (!outputs.is_ok()) {
+        state.SkipWithError("run failed");
+      }
+      benchmark::DoNotOptimize(outputs);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch_size));
+  if (!drain) {
+    state.counters["weight_bytes_warm"] = static_cast<double>(
+        resident.last_run_stats().weight_bytes_streamed);
+    state.counters["images_in_flight_hwm"] = static_cast<double>(
+        resident.last_run_stats().images_in_flight_hwm);
+  }
+}
+BENCHMARK(BM_AcceleratorBatchPipelining)
+    ->ArgNames({"batch", "drain"})
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({16, 0})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
 
 /// The golden reference, for an apples-to-apples host-cost comparison.
 void BM_Reference(benchmark::State& state, const nn::Network& model) {
@@ -483,9 +556,9 @@ int main(int argc, char** argv) {
                               condor::nn::kernels::cpu_feature_string());
   benchmark::AddCustomContext(
       "host_threads", std::to_string(std::thread::hardware_concurrency()));
-  benchmark::AddCustomContext(
-      "scheduler", std::string(condor::dataflow::to_string(
-                       condor::dataflow::scheduler_mode_from_env())));
+  // The cooperative scheduler is the only scheduler; recorded so older
+  // BENCH json rows (which carried a scheduler switch) stay comparable.
+  benchmark::AddCustomContext("scheduler", "coop");
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -451,6 +451,11 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
       static_cast<unsigned long long>(module_blocks),
       static_cast<unsigned long long>(blocked_reads),
       static_cast<unsigned long long>(blocked_writes));
+  out << strings::format(
+      "weights streamed: %llu bytes (resident after the first run), "
+      "images in flight (peak): %llu\n",
+      static_cast<unsigned long long>(run_stats.weight_bytes_streamed),
+      static_cast<unsigned long long>(run_stats.images_in_flight_hwm));
   return worst == 0.0F ? 0 : 1;
 }
 

@@ -2,12 +2,23 @@
 // accelerator using streaming connections" (paper §3.2). In the functional
 // simulation the input half streams the batch's images from (simulated)
 // on-board memory into the first PE, and the output half collects result
-// blobs. Weight streaming is implicit: PE programs hold references into the
-// WeightStore, which stands in for the weight regions of on-board memory.
+// blobs. The weight half streams each PE's slices exactly once per compiled
+// design — the PE latches them (weight residency, dataflow/pe.hpp) and every
+// later image and every later run_batch over the same design reuses the
+// resident copy, so the warm path is weight-traffic-free. PE programs hold
+// references into the WeightStore, which stands in for the weight regions
+// of on-board memory; a changed plan or weight store always recompiles the
+// design, which rebuilds the movers and re-arms the one-time load.
 //
 // All three movers transfer whole blobs per FIFO call (burst writes /
 // reads): the datamover models a DMA engine, and blob-granular bursts are
 // what keep the host-side simulation off the suspend/wake slow path.
+//
+// The input and output halves also frame images for the run telemetry
+// (RunTelemetry): the source counts an image as injected once its blob is
+// fully in the first channel, the sink counts it retired once the blob is
+// collected — their difference proves how many images the pipeline held
+// concurrently.
 //
 // For a fixed-point plan (see nn/numeric.hpp and dataflow/pe.hpp) the input
 // half quantizes each image with a per-image dynamic format — publishing
@@ -50,6 +61,9 @@ class InputMoverModule final : public Module {
         CONDOR_CO_WRITE_BURST(
             out_, image.data(),
             internal_error("input mover: output stream closed early"));
+        if (ctx.telemetry != nullptr) {
+          ctx.telemetry->on_image_injected();
+        }
       }
       out_.close();
       co_return Status::ok();
@@ -68,6 +82,9 @@ class InputMoverModule final : public Module {
       CONDOR_CO_WRITE_BURST(
           out_, blob_,
           internal_error("input mover: output stream closed early"));
+      if (ctx.telemetry != nullptr) {
+        ctx.telemetry->on_image_injected();
+      }
     }
     out_.close();
     fmt_out_->close();
@@ -86,21 +103,20 @@ class InputMoverModule final : public Module {
 
 /// Streams a PE's weights from (simulated) on-board memory, in canonical
 /// order: per weighted pass, the weight tensor row-major, then the bias.
-/// Feature PEs re-fetch their slices per image (`per_image`); classifier
-/// PEs receive one runtime configuration load per run, then the weights
-/// stay chip-resident.
+/// The load happens exactly once per compiled design — the receiving PE
+/// latches the slices (weight residency), so every later image of the first
+/// run and every subsequent warm run over the same design sees only a
+/// closed, empty weight stream. Residency is invalidated with the design
+/// itself: a new plan or weight store recompiles the graph, recreating this
+/// module with `sent_` cleared.
 class WeightMoverModule final : public Module {
  public:
-  WeightMoverModule(std::string name, const PeProgram& program, bool per_image,
-                    Stream& out)
-      : Module(std::move(name)),
-        program_(program),
-        per_image_(per_image),
-        out_(out) {}
+  WeightMoverModule(std::string name, const PeProgram& program, Stream& out)
+      : Module(std::move(name)), program_(program), out_(out) {}
 
   Fire fire(const RunContext& ctx) override {
-    const std::size_t repeats = per_image_ ? ctx.batch : 1;
-    for (std::size_t r = 0; r < repeats; ++r) {
+    (void)ctx;
+    if (!sent_) {
       for (const LayerPass& pass : program_.passes) {
         if (pass.params == nullptr) {
           continue;
@@ -112,6 +128,7 @@ class WeightMoverModule final : public Module {
             out_, pass.params->bias.data(),
             internal_error("weight mover: output stream closed early"));
       }
+      sent_ = true;
     }
     out_.close();
     co_return Status::ok();
@@ -119,8 +136,8 @@ class WeightMoverModule final : public Module {
 
  private:
   const PeProgram& program_;
-  bool per_image_;
   Stream& out_;
+  bool sent_ = false;  ///< one-time load latch; lives as long as the design
 };
 
 /// Collects `batch` output blobs of `output_shape` from the final stream.
@@ -175,6 +192,9 @@ class OutputMoverModule final : public Module {
         }
       }
       outputs_.push_back(std::move(blob));
+      if (ctx.telemetry != nullptr) {
+        ctx.telemetry->on_image_retired();
+      }
     }
     float extra = 0.0F;
     bool got_extra = false;

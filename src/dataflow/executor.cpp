@@ -25,6 +25,13 @@ constexpr std::size_t kWeightFifoDepth = 1024;
 /// channel can never introduce a deadlock).
 constexpr std::size_t kMinEdgeDepth = 1024;
 
+/// Ceiling on the image-pipelining edge widening below (elements). Inter-PE
+/// edges grow to hold one full blob plus a word so image k can finish
+/// draining downstream while image k+1 already streams in behind it; blobs
+/// beyond this cap fall back to the plan/kMinEdgeDepth sizing (correctness
+/// is capacity-independent, only the overlap depth shrinks).
+constexpr std::size_t kMaxPipelineEdgeDepth = std::size_t{1} << 18;
+
 }  // namespace
 
 Result<AcceleratorExecutor> AcceleratorExecutor::create(hw::AcceleratorPlan plan,
@@ -57,14 +64,27 @@ Status AcceleratorExecutor::build_design() {
   }
   const std::vector<PeProgram>& programs = design->programs;
   Graph& graph = design->graph;
+  CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_->source.net.infer_shapes());
 
-  // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover).
+  // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover). Each
+  // edge is sized to buffer one full image blob (when that fits under
+  // kMaxPipelineEdgeDepth) so consecutive images genuinely overlap: the
+  // producer parks image k's whole output in the channel and moves on to
+  // image k+1 without waiting for the consumer to catch up.
   std::vector<Stream*> pe_streams;  // pe_streams[p] = input stream of PE p
   pe_streams.reserve(plan_->pes.size() + 1);
   for (std::size_t e = 0; e < plan_->edges.size(); ++e) {
-    pe_streams.push_back(&graph.make_stream(
-        std::max<std::size_t>(plan_->edges[e].fifo_depth, kMinEdgeDepth),
-        strings::format("stream_edge_%zu", e)));
+    const std::size_t blob_elements =
+        e < plan_->pes.size()
+            ? shapes[plan_->pes[e].layer_indices.front()].input.element_count()
+            : programs.back().output_elements();
+    std::size_t depth =
+        std::max<std::size_t>(plan_->edges[e].fifo_depth, kMinEdgeDepth);
+    if (blob_elements + 1 <= kMaxPipelineEdgeDepth) {
+      depth = std::max(depth, blob_elements + 1);
+    }
+    pe_streams.push_back(
+        &graph.make_stream(depth, strings::format("stream_edge_%zu", e)));
   }
 
   // Fixed datapaths add a per-edge format side-channel: one frac_bits word
@@ -88,14 +108,16 @@ Status AcceleratorExecutor::build_design() {
     Stream& external_in = *pe_streams[p];
     Stream& pe_out = *pe_streams[p + 1];
 
-    // Weight delivery from the datamover: classifier PEs get a one-time
-    // configuration load; feature PEs receive their slices per image.
+    // Weight delivery from the datamover: every PE gets a one-time
+    // configuration load on the first run after compilation; it latches the
+    // packed slices and later images/runs skip the stream entirely
+    // (residency — see dataflow/pe.hpp).
     Stream* weight_stream = nullptr;
     if (program.weight_stream_elements() > 0) {
       weight_stream = &graph.make_stream(kWeightFifoDepth, pe.name + "_weights");
-      const bool per_image = pe.kind != hw::PeKind::kClassifier;
       graph.add_module<WeightMoverModule>(pe.name + "_weight_mover", program,
-                                          per_image, *weight_stream);
+                                          *weight_stream);
+      design->weight_streams.push_back(weight_stream);
     }
 
     // Intra-layer parallelism (paper §3.2): the plan's parallel_out degree
@@ -108,7 +130,8 @@ Status AcceleratorExecutor::build_design() {
     if (pe.kind == hw::PeKind::kClassifier) {
       graph.add_module<ClassifierPeModule>(
           pe.name, program, external_in, weight_stream, pe_out, parallel_out,
-          runtime_pool(), data_type, fmt_streams[p], fmt_streams[p + 1]);
+          std::max<std::size_t>(pe.parallel_in, 1), runtime_pool(), data_type,
+          fmt_streams[p], fmt_streams[p + 1]);
       continue;
     }
 
@@ -185,7 +208,6 @@ Status AcceleratorExecutor::build_design() {
   }
 
   // Datamover halves.
-  CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_->source.net.infer_shapes());
   design->output_shape = Shape{out_elements};
   // Recover the true blob shape of the last mapped layer for nicer output.
   const std::size_t last_layer = plan_->pes.back().layer_indices.back();
@@ -229,8 +251,6 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
   }
 
   GraphRunOptions options;
-  options.mode = scheduler_override_.has_value() ? *scheduler_override_
-                                                 : scheduler_mode_from_env();
   options.workers = scheduler_workers_;
 
   // Size the pool for the scheduler plus headroom for the intra-layer
@@ -245,34 +265,39 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
   const std::size_t lane_headroom =
       std::min(design_->extra_lane_workers, lane_cap);
   const std::size_t modules = design_->graph.module_count();
-  if (options.mode == SchedulerMode::kThreaded) {
-    // The threaded scheduler needs every module live at once (Graph::run
-    // enforces the same floor).
-    pool->ensure_workers(modules + lane_headroom);
-  } else {
-    // Cooperative: the scheduler needs W workers of which one is the
-    // calling thread; the pool never has to scale with module_count().
-    const std::size_t target = options.workers > 0
-                                   ? options.workers
-                                   : thread_budget();
-    const std::size_t coop_workers =
-        std::clamp<std::size_t>(target, 1, std::max<std::size_t>(modules, 1));
-    pool->ensure_workers(std::max<std::size_t>(
-        1, coop_workers - 1 + lane_headroom));
-  }
+  // The scheduler needs W workers of which one is the calling thread; the
+  // pool never has to scale with module_count().
+  const std::size_t target = options.workers > 0
+                                 ? options.workers
+                                 : thread_budget();
+  const std::size_t coop_workers =
+      std::clamp<std::size_t>(target, 1, std::max<std::size_t>(modules, 1));
+  pool->ensure_workers(std::max<std::size_t>(
+      1, coop_workers - 1 + lane_headroom));
 
+  design_->telemetry.reset();
   RunContext ctx;
   ctx.batch = inputs.size();
   ctx.inputs = inputs;
+  ctx.telemetry = &design_->telemetry;
   const Status run_status = design_->graph.run(ctx, pool, options);
 
   stats_.modules = design_->graph.module_count();
   stats_.streams = design_->graph.stream_count();
   stats_.stream_stats = design_->graph.stream_stats();
   stats_.simd_level = nn::kernels::to_string(nn::kernels::active_simd_level());
-  stats_.scheduler = to_string(design_->graph.last_run_mode());
+  stats_.scheduler = "coop";
   stats_.workers = design_->graph.last_run_workers();
   stats_.module_stats = design_->graph.module_stats();
+  stats_.weight_bytes_streamed = 0;
+  for (const Stream* stream : design_->weight_streams) {
+    // Per-run counters (reopen_streams resets them), so a warm run's total
+    // is its own traffic: zero once every PE holds its weights resident.
+    stats_.weight_bytes_streamed +=
+        stream->stats().total_writes * sizeof(float);
+  }
+  stats_.images_in_flight_hwm =
+      design_->telemetry.images_in_flight_hwm.load(std::memory_order_relaxed);
 
   if (!run_status.is_ok()) {
     // A failed run leaves streams partially drained; drop the instance so

@@ -46,10 +46,18 @@ struct RunStats {
   /// The microkernel dispatch level the batch executed with ("scalar",
   /// "avx2" or "avx512" — see nn/kernels_simd.hpp).
   std::string_view simd_level;
-  /// Scheduler the batch ran under ("coop" or "threads") and the worker
-  /// count it used (including the calling thread).
+  /// Scheduler the batch ran under (always the cooperative scheduler) and
+  /// the worker count it used (including the calling thread).
   std::string_view scheduler;
   std::size_t workers = 0;
+  /// Bytes the datamover pushed through the weight streams this run. The
+  /// first run after compilation streams every PE's slice exactly once;
+  /// warm runs report zero — the residency proof the tests assert on.
+  std::uint64_t weight_bytes_streamed = 0;
+  /// High-water mark of images simultaneously in flight between the input
+  /// mover and the output collector (>= 2 proves consecutive images
+  /// overlapped in the pipeline).
+  std::uint64_t images_in_flight_hwm = 0;
   std::vector<FifoStats> stream_stats;
   /// Per-module fire/blocked counters of the run.
   std::vector<ModuleRunStats> module_stats;
@@ -84,12 +92,6 @@ class AcceleratorExecutor {
     extra_lane_worker_cap_ = cap;
   }
 
-  /// Pins the scheduler for this instance (otherwise CONDOR_SCHED decides
-  /// per run_batch call).
-  void set_scheduler_mode(SchedulerMode mode) noexcept {
-    scheduler_override_ = mode;
-  }
-
   /// Worker-thread target handed to the cooperative scheduler (0 = derive
   /// from thread_budget(); clamped to [1, module_count()] per run).
   void set_scheduler_workers(std::size_t workers) noexcept {
@@ -120,6 +122,11 @@ class AcceleratorExecutor {
     /// Workers the parallel_out compute lanes may occupy beyond the
     /// one-per-module baseline (sum of parallel_out - 1 over the PEs).
     std::size_t extra_lane_workers = 0;
+    /// The weight streams of the design, for per-run traffic accounting
+    /// (their FifoStats reset on reopen, so a warm run's writes are its own).
+    std::vector<const Stream*> weight_streams;
+    /// Image-framing counters maintained by the datamover halves.
+    RunTelemetry telemetry;
   };
 
   AcceleratorExecutor(std::shared_ptr<const hw::AcceleratorPlan> plan,
@@ -141,7 +148,6 @@ class AcceleratorExecutor {
   std::unique_ptr<ThreadPool> pool_;
   ThreadPool* shared_pool_ = nullptr;
   std::size_t extra_lane_worker_cap_ = 0;  ///< 0 = thread_budget() default
-  std::optional<SchedulerMode> scheduler_override_;
   std::size_t scheduler_workers_ = 0;
   RunStats stats_;
 };

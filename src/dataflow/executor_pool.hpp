@@ -26,8 +26,7 @@
 // cooperative scheduler has no per-module worker floor, so N instances
 // never demand N * module_count threads — adding a replica adds zero
 // threads, and the shared workers flow to whichever instance has runnable
-// firings. Under CONDOR_SCHED=threads each instance falls back to growing
-// the shared pool to its module count (the legacy footprint).
+// firings.
 #pragma once
 
 #include <functional>

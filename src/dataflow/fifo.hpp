@@ -369,21 +369,6 @@ class Fifo {
     blocked_writes_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Parks the calling (consumer) thread until a read would make progress.
-  /// Does not consume — the blocking driver's re-fired coroutine does.
-  void wait_read_ready() {
-    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    if (cached_head_ != tail) {
-      return;
-    }
-    (void)await_data(tail);
-  }
-
-  /// Parks the calling (producer) thread until a write would make progress.
-  void wait_write_ready() {
-    (void)await_space(head_.load(std::memory_order_relaxed));
-  }
-
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] bool closed() const noexcept {

@@ -1,5 +1,7 @@
 #include "dataflow/filter.hpp"
 
+#include <algorithm>
+
 namespace condor::dataflow {
 
 bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pass,
@@ -16,11 +18,8 @@ bool FilterModule::in_domain(const hw::WindowAccess& access, const LayerPass& pa
 }
 
 Fire FilterModule::fire(const RunContext& ctx) {
-  // Row/match staging lives in members that persist across images and
+  // Map/match staging lives in members that persist across images and
   // run_batch calls; after a warmup batch the loop never allocates.
-  std::vector<float>& row = row_;
-  std::vector<float>& matched = matched_;
-  std::vector<std::size_t>& match_cols = match_cols_;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (const LayerPass& pass : program_.passes) {
       if (pass.kind == PassKind::kInnerProduct) {
@@ -32,41 +31,53 @@ Fire FilterModule::fire(const RunContext& ctx) {
           access_.ky < pass.window_h && access_.kx < pass.window_w;
       // The column part of the domain inequalities is row-invariant:
       // precompute the matching x positions once per pass.
-      match_cols.clear();
+      match_cols_.clear();
       if (active) {
         for (std::size_t x = access_.kx; x < pass.in_w; ++x) {
           const std::size_t rx = x - access_.kx;
           if (rx % pass.stride == 0 && rx / pass.stride < pass.out_w) {
-            match_cols.push_back(x);
+            match_cols_.push_back(x);
           }
         }
       }
-      row.resize(pass.in_w);
-      matched.reserve(match_cols.size());
+      map_.resize(pass.in_h * pass.in_w);
       for (std::size_t c = lane_; c < pass.in_channels; c += lane_count_) {
-        for (std::size_t y = 0; y < pass.in_h; ++y) {
-          CONDOR_CO_READ_EXACT(
-              upstream_, std::span<float>(row),
-              internal_error("filter '" + name() + "': upstream ended mid-pass"));
-          const bool row_matches =
-              active && y >= access_.ky &&
-              (y - access_.ky) % pass.stride == 0 &&
-              (y - access_.ky) / pass.stride < pass.out_h;
-          if (row_matches && !match_cols.empty()) {
-            matched.clear();
-            for (const std::size_t x : match_cols) {
-              matched.push_back(row[x]);
+        // One exact read per map: the filter privately buffers the whole
+        // channel, so the chain's progress never depends on the PE's port
+        // consumption order (see the forwarding note below).
+        CONDOR_CO_READ_EXACT(
+            upstream_, std::span<float>(map_),
+            internal_error("filter '" + name() + "': upstream ended mid-pass"));
+        matched_.clear();
+        if (active && !match_cols_.empty()) {
+          for (std::size_t y = access_.ky; y < pass.in_h; ++y) {
+            const std::size_t ry = y - access_.ky;
+            if (ry % pass.stride != 0 || ry / pass.stride >= pass.out_h) {
+              continue;
             }
-            CONDOR_CO_WRITE_BURST(
-                to_pe_, matched,
-                internal_error("filter '" + name() + "': PE port closed mid-pass"));
+            const float* row = map_.data() + y * pass.in_w;
+            for (const std::size_t x : match_cols_) {
+              matched_.push_back(row[x]);
+            }
           }
-          if (downstream_ != nullptr) {
-            CONDOR_CO_WRITE_BURST(
-                *downstream_, row,
-                internal_error("filter '" + name() +
-                               "': downstream closed mid-pass"));
-          }
+        }
+        // Forward the map BEFORE the port write. The PE drains ports in
+        // ascending (ky, kx) tap order while the chain runs in inverse
+        // access order, so a filter that blocked on its port first could
+        // starve the later-chain filters whose taps the PE wants earlier.
+        // Forward-first keeps the chain live at any FIFO capacity: every
+        // filter gets its private copy of the map, and each pending port
+        // burst drains when the PE reaches that tap.
+        if (downstream_ != nullptr) {
+          CONDOR_CO_WRITE_BURST(
+              *downstream_, map_,
+              internal_error("filter '" + name() +
+                             "': downstream closed mid-pass"));
+        }
+        if (!matched_.empty()) {
+          CONDOR_CO_WRITE_BURST(
+              to_pe_, matched_,
+              internal_error("filter '" + name() + "': PE port closed mid-pass"));
         }
       }
     }
@@ -79,7 +90,6 @@ Fire FilterModule::fire(const RunContext& ctx) {
 }
 
 Fire SourceMuxModule::fire(const RunContext& ctx) {
-  std::vector<float>& row = row_;
   for (std::size_t image = 0; image < ctx.batch; ++image) {
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
@@ -92,29 +102,30 @@ Fire SourceMuxModule::fire(const RunContext& ctx) {
       }
       const std::size_t inner_h = pass.in_h - 2 * pass.pad;
       const std::size_t inner_w = pass.in_w - 2 * pass.pad;
-      row.assign(pass.in_w, 0.0F);
+      // Zero padding is inserted at the chain entrance: the padded map is
+      // border zeros around the burst-read interior. The border cells are
+      // written once per pass (the per-channel scatter only touches the
+      // interior), and the whole padded map leaves in one burst.
+      map_.assign(pass.in_h * pass.in_w, 0.0F);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
         Stream& out = *outs_[c % outs_.size()];
-        for (std::size_t y = 0; y < pass.in_h; ++y) {
-          const bool border_row = y < pass.pad || y >= pass.pad + inner_h;
-          if (border_row) {
-            std::fill(row.begin(), row.end(), 0.0F);
-          } else {
-            // Zero padding is inserted at the chain entrance: the row is
-            // border zeros around a burst-read interior segment.
-            std::fill_n(row.begin(), pass.pad, 0.0F);
-            std::fill(row.begin() + static_cast<std::ptrdiff_t>(pass.pad + inner_w),
-                      row.end(), 0.0F);
-            const std::span<float> interior =
-                std::span<float>(row).subspan(pass.pad, inner_w);
-            CONDOR_CO_READ_EXACT(
-                *source, interior,
-                internal_error("mux '" + name() + "': source ended mid-pass"));
+        if (pass.pad == 0) {
+          CONDOR_CO_READ_EXACT(
+              *source, std::span<float>(map_),
+              internal_error("mux '" + name() + "': source ended mid-pass"));
+        } else {
+          interior_.resize(inner_h * inner_w);
+          CONDOR_CO_READ_EXACT(
+              *source, std::span<float>(interior_),
+              internal_error("mux '" + name() + "': source ended mid-pass"));
+          for (std::size_t iy = 0; iy < inner_h; ++iy) {
+            std::copy_n(interior_.data() + iy * inner_w, inner_w,
+                        map_.data() + (pass.pad + iy) * pass.in_w + pass.pad);
           }
-          CONDOR_CO_WRITE_BURST(
-              out, row,
-              internal_error("mux '" + name() + "': chain closed mid-pass"));
         }
+        CONDOR_CO_WRITE_BURST(
+            out, map_,
+            internal_error("mux '" + name() + "': chain closed mid-pass"));
       }
     }
   }

@@ -17,12 +17,16 @@
 // matching elements leave toward the PE in output raster order, which is
 // exactly the order the PE consumes them.
 //
-// The software implementation streams one input-map row per FIFO call: the
-// row is burst-read from upstream, the domain-matching columns (decided by
-// a per-pass precomputed column pattern + the row inequality) are burst to
-// the PE port, and the full row is burst onward to the next filter. The
-// element order on every stream is identical to the element-at-a-time
-// schedule — only the transfer granularity changes.
+// The software implementation streams one input map per FIFO call: the
+// whole map is burst-read from upstream into a private member buffer, the
+// domain-matching elements (decided by a per-pass precomputed column
+// pattern + the row inequality) are gathered and burst to the PE port, and
+// the full map is burst onward to the next filter. The element order on
+// every stream is identical to the element-at-a-time schedule — only the
+// transfer granularity changes. Because each filter owns a private copy of
+// the map, the chain forwards BEFORE writing its port: the map reaches
+// every filter regardless of which tap the PE drains first, which keeps
+// the pipeline deadlock-free at any FIFO capacity (see fire()).
 //
 // Conditionals for fused layers (paper: "a set of conditionals within the
 // filters then ensures that the pipeline works properly ... according to
@@ -76,8 +80,8 @@ class FilterModule final : public Module {
   Stream& to_pe_;
 
   /// Steady-state scratch: persists across images and run_batch calls so
-  /// the row loop never allocates after warmup (see common/alloc_probe.hpp).
-  std::vector<float> row_;
+  /// the map loop never allocates after warmup (see common/alloc_probe.hpp).
+  std::vector<float> map_;
   std::vector<float> matched_;
   std::vector<std::size_t> match_cols_;
 };
@@ -89,8 +93,8 @@ class FilterModule final : public Module {
 // convolutions (border handling happens at the chain entrance so filters
 // operate on padded coordinates only), and deals input channel c to chain
 // lane c % lanes (the replicated memory subsystems of inter-layer
-// parallelism). Rows are assembled in a local buffer (border zeros + a
-// burst read of the interior) and burst to the lane stream whole.
+// parallelism). Each padded map is assembled in a local buffer (border
+// zeros + a burst read of the interior) and burst to the lane stream whole.
 class SourceMuxModule final : public Module {
  public:
   /// `loopback` may be null when the program has a single pass.
@@ -110,8 +114,9 @@ class SourceMuxModule final : public Module {
   Stream* loopback_;
   std::vector<Stream*> outs_;
 
-  /// Steady-state row buffer (persists across images and batches).
-  std::vector<float> row_;
+  /// Steady-state map/interior buffers (persist across images and batches).
+  std::vector<float> map_;
+  std::vector<float> interior_;
 };
 
 }  // namespace condor::dataflow

@@ -2,21 +2,15 @@
 //
 // A module body is a C++20 coroutine returning `Fire`: it runs until a
 // stream operation would block, then suspends with a "blocked on stream S
-// for read/write" record instead of parking the OS thread. Two drivers
-// execute the same coroutine:
-//
-//  - the blocking driver (`Module::run`) resumes in a loop and parks the
-//    calling thread on the blocked stream between resumes — the historical
-//    thread-per-module KPN execution;
-//  - the cooperative scheduler (`Graph::run`) re-fires a blocked module only
-//    once a FIFO wakeup hook reports the stream ready, so a whole graph runs
-//    on any number of workers, including one.
+// for read/write" record instead of parking the OS thread. The cooperative
+// scheduler (`Graph::run`) — the only driver — re-fires a blocked module
+// once a FIFO wakeup hook reports the stream ready, so a whole graph runs
+// on any number of workers, including one.
 //
 // The driver contract is carried in a thread-local `FireContext`: the
 // StreamBlock awaiter records the blocked stream/op and the innermost resume
-// point there, then either suspends back to the blocking driver
-// (`on_block == nullptr`) or asks the scheduler (`on_block`) whether the
-// suspension should stand. Nested firings (helper coroutines) chain through
+// point there, then asks the scheduler (`on_block`) whether the suspension
+// should stand. Nested firings (helper coroutines) chain through
 // continuations with symmetric transfer, so one module firing is one logical
 // stack that always resumes at its innermost suspension point.
 //

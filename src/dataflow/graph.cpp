@@ -4,10 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <coroutine>
-#include <cstdlib>
-#include <cstring>
 #include <mutex>
-#include <thread>
 #include <utility>
 
 #include "common/alloc_probe.hpp"
@@ -15,20 +12,6 @@
 #include "dataflow/fire.hpp"
 
 namespace condor::dataflow {
-
-SchedulerMode scheduler_mode_from_env() noexcept {
-  // Read per call (not a cached static): tests and the CONDOR_SCHED escape
-  // hatch must be able to flip modes within one process.
-  if (const char* env = std::getenv("CONDOR_SCHED");
-      env != nullptr && std::strcmp(env, "threads") == 0) {
-    return SchedulerMode::kThreaded;
-  }
-  return SchedulerMode::kCooperative;
-}
-
-std::string_view to_string(SchedulerMode mode) noexcept {
-  return mode == SchedulerMode::kCooperative ? "coop" : "threads";
-}
 
 Stream& Graph::make_stream(std::size_t capacity, std::string name) {
   streams_.push_back(std::make_unique<Stream>(capacity, std::move(name)));
@@ -283,20 +266,13 @@ void coop_on_done(FireContext& fc, Status&& status) {
 }  // namespace
 
 Status Graph::run(const RunContext& ctx, ThreadPool* pool) {
-  GraphRunOptions options;
-  options.mode = scheduler_mode_from_env();
-  return run(ctx, pool, options);
+  return run(ctx, pool, GraphRunOptions{});
 }
 
 Status Graph::run(const RunContext& ctx, ThreadPool* pool,
                   const GraphRunOptions& options) {
   if (modules_.empty()) {
     return Status::ok();
-  }
-  last_run_mode_ = options.mode;
-  if (options.mode == SchedulerMode::kThreaded) {
-    last_run_workers_ = modules_.size();
-    return run_threaded(ctx, pool);
   }
   // Effective worker count: caller + (workers-1) pool tasks, never more
   // than one per module, sequential on the caller when it comes out as 1.
@@ -307,42 +283,6 @@ Status Graph::run(const RunContext& ctx, ThreadPool* pool,
   }
   last_run_workers_ = workers;
   return run_cooperative(ctx, pool, workers);
-}
-
-Status Graph::run_threaded(const RunContext& ctx, ThreadPool* pool) {
-  std::vector<Status> statuses(modules_.size());
-  const auto body = [this, &ctx, &statuses](std::size_t i) {
-    statuses[i] = modules_[i]->run(ctx);
-    if (!statuses[i].is_ok()) {
-      CONDOR_LOG_ERROR("dataflow")
-          << "module '" << modules_[i]->name()
-          << "' failed: " << statuses[i].to_string();
-    }
-  };
-  if (pool != nullptr) {
-    // Blocking execution needs every module live at once — this floor is
-    // what the cooperative scheduler exists to remove.
-    pool->ensure_workers(modules_.size());
-    for (std::size_t i = 0; i < modules_.size(); ++i) {
-      pool->submit([&body, i] { body(i); });
-    }
-    pool->wait_idle();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(modules_.size());
-    for (std::size_t i = 0; i < modules_.size(); ++i) {
-      threads.emplace_back([&body, i] { body(i); });
-    }
-    for (std::thread& thread : threads) {
-      thread.join();
-    }
-  }
-  for (const Status& status : statuses) {
-    if (!status.is_ok()) {
-      return status;
-    }
-  }
-  return Status::ok();
 }
 
 Status Graph::run_cooperative(const RunContext& ctx, ThreadPool* pool,
@@ -377,9 +317,8 @@ Status Graph::run_cooperative(const RunContext& ctx, ThreadPool* pool,
   }
   run->work();
 
-  // The run is finished: clear the sticky hooks (streams outlive this run
-  // and may next be driven by the blocking scheduler) and destroy the
-  // firings before their modules' arenas see further use.
+  // The run is finished: clear the sticky hooks (streams outlive this run)
+  // and destroy the firings before their modules' arenas see further use.
   for (const auto& stream : streams_) {
     stream->set_reader_hook(nullptr);
     stream->set_writer_hook(nullptr);

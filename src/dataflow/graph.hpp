@@ -1,26 +1,21 @@
 // Dataflow graph container and module scheduler.
 //
 // Owns the modules and stream FIFOs of one accelerator instance and
-// executes them to completion under one of two schedulers:
+// executes them to completion under a readiness-driven cooperative
+// scheduler on the caller's ThreadPool. Modules are resumable firings
+// (Module::fire) that run until a stream would block, then suspend; FIFO
+// wakeup hooks re-enqueue a module only once its blocked stream turns
+// ready. Any worker count executes any graph — a 40-module design runs on
+// 2 workers, or purely sequentially on the calling thread when the
+// effective worker count is one — so the pool never needs one OS thread
+// per module.
 //
-//  - kCooperative (default): a readiness-driven scheduler on the caller's
-//    ThreadPool. Modules are resumable firings (Module::fire) that run until
-//    a stream would block, then suspend; FIFO wakeup hooks re-enqueue a
-//    module only once its blocked stream turns ready. Any worker count
-//    executes any graph — a 40-module design runs on 2 workers, or purely
-//    sequentially on the calling thread when the effective worker count is
-//    one — so the pool never needs one OS thread per module.
-//  - kThreaded: the historical Kahn-process-network execution, one blocking
-//    task per module (Module::run) with the pool grown to module_count().
-//    Kept for one release as the CONDOR_SCHED=threads escape hatch.
-//
-// Both schedulers execute the same module coroutines over the same FIFOs in
-// KPN fashion — blocking semantics, per-stream FIFO order, deterministic
-// dataflow — so results are bit-identical regardless of scheduler or worker
-// count. The first module error is reported (by module order); a wedged
-// cooperative run (every module blocked, typically after a module error
-// left channels unserviced) is torn down by closing all streams, which
-// fails the remaining firings fast instead of hanging.
+// Execution is KPN-faithful — blocking semantics, per-stream FIFO order,
+// deterministic dataflow — so results are bit-identical regardless of
+// worker count. The first module error is reported (by module order); a
+// wedged run (every module blocked, typically after a module error left
+// channels unserviced) is torn down by closing all streams, which fails
+// the remaining firings fast instead of hanging.
 #pragma once
 
 #include <cstdint>
@@ -35,19 +30,6 @@
 
 namespace condor::dataflow {
 
-/// How Graph::run executes its modules.
-enum class SchedulerMode {
-  kCooperative,  ///< readiness-driven firings, any worker count
-  kThreaded,     ///< one blocking task per module (legacy escape hatch)
-};
-
-/// Scheduler selection from the environment: `CONDOR_SCHED=threads` picks
-/// the legacy thread-per-module executor, anything else (including unset)
-/// the cooperative scheduler. Read per call so tests can override.
-SchedulerMode scheduler_mode_from_env() noexcept;
-
-[[nodiscard]] std::string_view to_string(SchedulerMode mode) noexcept;
-
 /// Per-module execution counters of the most recent run.
 struct ModuleRunStats {
   std::string_view name;
@@ -56,12 +38,9 @@ struct ModuleRunStats {
 };
 
 struct GraphRunOptions {
-  SchedulerMode mode = SchedulerMode::kCooperative;
-  /// Worker-thread target for the cooperative scheduler: 0 means
-  /// min(thread_budget(), module_count()); any value is clamped to
-  /// [1, module_count()]. An effective count of 1 runs sequentially on the
-  /// calling thread. Ignored by the threaded scheduler (which always needs
-  /// module_count() workers).
+  /// Worker-thread target: 0 means min(thread_budget(), module_count());
+  /// any value is clamped to [1, module_count()]. An effective count of 1
+  /// runs sequentially on the calling thread.
   std::size_t workers = 0;
 };
 
@@ -79,12 +58,11 @@ class Graph {
     return ref;
   }
 
-  /// Runs every module to completion under the scheduler chosen by
-  /// CONDOR_SCHED (cooperative unless =threads). Returns the first module
-  /// failure (by module order), or OK.
+  /// Runs every module to completion. Returns the first module failure (by
+  /// module order), or OK.
   Status run(const RunContext& ctx = {}, ThreadPool* pool = nullptr);
 
-  /// As above with explicit scheduler/worker selection.
+  /// As above with an explicit worker-count target.
   Status run(const RunContext& ctx, ThreadPool* pool,
              const GraphRunOptions& options);
 
@@ -108,19 +86,14 @@ class Graph {
   [[nodiscard]] std::size_t last_run_workers() const noexcept {
     return last_run_workers_;
   }
-  [[nodiscard]] SchedulerMode last_run_mode() const noexcept {
-    return last_run_mode_;
-  }
 
  private:
-  Status run_threaded(const RunContext& ctx, ThreadPool* pool);
   Status run_cooperative(const RunContext& ctx, ThreadPool* pool,
                          std::size_t workers);
 
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Module>> modules_;
   std::size_t last_run_workers_ = 0;
-  SchedulerMode last_run_mode_ = SchedulerMode::kCooperative;
 };
 
 }  // namespace condor::dataflow

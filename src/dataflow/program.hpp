@@ -59,10 +59,10 @@ struct PeProgram {
   std::vector<LayerPass> passes;
 
   /// Weight elements the datamover streams to this PE, in canonical order
-  /// (per weighted pass: all weights oc-major, then the biases). Feature
-  /// PEs receive this once per image (weight slices re-fetched from
-  /// on-board memory); classifier PEs once per batch (their weights are
-  /// resident on chip after the runtime load).
+  /// (per weighted pass: all weights oc-major, then the biases). Every PE
+  /// receives this exactly once per compiled design (weight residency: the
+  /// slices latch on chip at the first run and every warm run moves zero
+  /// weight bytes — see pe.hpp).
   [[nodiscard]] std::size_t weight_stream_elements() const noexcept;
 
   /// Elements entering the PE's subsystem from the upstream stream

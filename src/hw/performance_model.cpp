@@ -48,12 +48,14 @@ std::string PerformanceEstimate::to_string() const {
       gflops());
   for (const PeTiming& pe : pes) {
     out += strings::format(
-        "  %-20s interval=%llu (compute=%llu, memory=%llu) fill=%llu ddr=%s\n",
+        "  %-20s interval=%llu (compute=%llu, memory=%llu) fill=%llu ddr=%s "
+        "resident_weights=%s\n",
         pe.name.c_str(), static_cast<unsigned long long>(pe.interval()),
         static_cast<unsigned long long>(pe.compute_interval),
         static_cast<unsigned long long>(pe.memory_interval),
         static_cast<unsigned long long>(pe.fill_latency),
-        strings::human_bytes(pe.ddr_bytes_per_image).c_str());
+        strings::human_bytes(pe.ddr_bytes_per_image).c_str(),
+        strings::human_bytes(pe.resident_weight_bytes).c_str());
   }
   return out;
 }
@@ -105,11 +107,12 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
           const std::uint64_t passes = ceil_div(in[0], pe.parallel_in) *
                                        ceil_div(out[0], pe.parallel_out);
           timing.compute_interval += passes * out[1] * out[2];
-          // Weight slices stream once per output tile.
-          const std::uint64_t weight_bytes =
+          // Weight residency: the slice streams from DDR once per design
+          // load and is latched on chip — first-image latency, not
+          // steady-state traffic.
+          timing.resident_weight_bytes +=
               static_cast<std::uint64_t>(out[0]) * in[0] * layer.kernel_h *
               layer.kernel_w * sizeof(float);
-          timing.ddr_bytes_per_image += weight_bytes;
           if (report.spills_to_ddr[p]) {
             // Input set re-streamed once per output tile.
             timing.ddr_bytes_per_image +=
@@ -130,8 +133,9 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
               in.element_count() * static_cast<std::uint64_t>(out[0]);
           timing.compute_interval +=
               ceil_div(macs, pe.parallel_in * pe.parallel_out);
-          // FC weights are on chip (loaded once, reused across the batch):
-          // no per-image DDR traffic.
+          // FC weights are resident too: streamed once per design load,
+          // never per image.
+          timing.resident_weight_bytes += macs * sizeof(float);
           break;
         }
         case nn::LayerKind::kActivation: {
@@ -156,8 +160,13 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
 
     timing.memory_interval = static_cast<std::uint64_t>(
         static_cast<double>(timing.ddr_bytes_per_image) / ddr_bytes_per_cycle);
+    // One-time weight load at design-load time: pure first-image latency.
+    timing.weight_load_cycles = static_cast<std::uint64_t>(
+        static_cast<double>(timing.resident_weight_bytes) /
+        ddr_bytes_per_cycle);
 
-    estimate.image_latency += timing.interval() + timing.fill_latency;
+    estimate.image_latency +=
+        timing.interval() + timing.fill_latency + timing.weight_load_cycles;
     // Steady-state interval includes the fill: the sliding window drains
     // and refills between consecutive images, so a PE cannot accept a new
     // image every `interval` cycles alone. This matches the event-driven

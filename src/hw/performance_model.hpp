@@ -14,9 +14,11 @@
 // Compute intervals assume II=1 pipelined loops over output points with the
 // window fully unrolled (the memory subsystem supplies all window elements
 // per cycle) and sequential iteration over feature maps not covered by
-// parallel_in/parallel_out. DDR traffic (streamed weight slices, spilled
-// re-scan input) is converted to cycles through the board bandwidth and
-// bounds the interval from below.
+// parallel_in/parallel_out. DDR traffic (spilled re-scan input) is converted
+// to cycles through the board bandwidth and bounds the interval from below.
+// Weights are resident: every PE's slice streams from DDR exactly once per
+// design load, so weight traffic charges the first image's latency
+// (weight_load_cycles) and never the steady-state interval.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +38,10 @@ struct PeTiming {
   std::uint64_t memory_interval = 0;   ///< cycles/image, DDR-traffic-bound
   std::uint64_t fill_latency = 0;      ///< extra cycles before first output
   std::uint64_t ddr_bytes_per_image = 0;
+  /// Weight slice streamed once per design load (residency) — charged to
+  /// the first image's latency, not the per-image interval.
+  std::uint64_t resident_weight_bytes = 0;
+  std::uint64_t weight_load_cycles = 0;
 
   [[nodiscard]] std::uint64_t interval() const noexcept {
     return std::max(compute_interval, memory_interval);

@@ -1,13 +1,13 @@
 // Cooperative-scheduler regression suite: the readiness-driven scheduler
-// must reproduce the legacy thread-per-module execution byte for byte at
-// ANY worker count — including worker counts far below the module count,
-// which the threaded scheduler could never run — and must never wedge
-// (each run executes under a watchdog that fails the test instead of
-// hanging CI).
+// (the only scheduler since the threaded KPN's retirement) must produce
+// byte-identical outputs at ANY worker count — including fully sequential
+// execution, which a thread-per-module design could never run — and must
+// never wedge (each run executes under a watchdog that fails the test
+// instead of hanging CI).
 //
 // Sweep: TC1 + LeNet x {float32, fixed16, fixed8} x parallel_out {1, 2, 4}
 // x cooperative workers {1, 2, modules/2}, all compared against the
-// CONDOR_SCHED=threads baseline of the same plan and inputs.
+// single-worker run of the same plan and inputs.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -54,17 +54,14 @@ Fixture make_fixture(const nn::Network& network, nn::DataType data_type,
   return fixture;
 }
 
-/// Runs one batch under `mode` with the given cooperative worker target,
-/// guarded by the watchdog. Returns the outputs (empty on failure, with a
-/// test failure already recorded).
-std::vector<Tensor> run_guarded(const Fixture& fixture,
-                                dataflow::SchedulerMode mode,
-                                std::size_t workers) {
+/// Runs one batch with the given cooperative worker target, guarded by the
+/// watchdog. Returns the outputs (empty on failure, with a test failure
+/// already recorded).
+std::vector<Tensor> run_guarded(const Fixture& fixture, std::size_t workers) {
   auto task = std::async(std::launch::async, [&]() -> Result<std::vector<Tensor>> {
     auto executor =
         dataflow::AcceleratorExecutor::create(fixture.plan, fixture.weights);
     CONDOR_RETURN_IF_ERROR(executor.status());
-    executor.value().set_scheduler_mode(mode);
     executor.value().set_scheduler_workers(workers);
     return executor.value().run_batch(fixture.inputs);
   });
@@ -87,7 +84,7 @@ void expect_equal_outputs(const std::vector<Tensor>& actual,
   ASSERT_EQ(actual.size(), expected.size());
   for (std::size_t i = 0; i < actual.size(); ++i) {
     EXPECT_EQ(max_abs_diff(actual[i], expected[i]), 0.0F)
-        << "image " << i << " diverges from the threaded baseline";
+        << "image " << i << " diverges from the single-worker baseline";
   }
 }
 
@@ -99,7 +96,7 @@ struct SweepParam {
 
 class CoopScheduler : public ::testing::TestWithParam<SweepParam> {};
 
-TEST_P(CoopScheduler, MatchesThreadedBaselineAtEveryWorkerCount) {
+TEST_P(CoopScheduler, SelfConsistentAtEveryWorkerCount) {
   const SweepParam& param = GetParam();
   const nn::Network network = std::string(param.model) == "tc1"
                                   ? nn::make_tc1()
@@ -109,12 +106,11 @@ TEST_P(CoopScheduler, MatchesThreadedBaselineAtEveryWorkerCount) {
   const Fixture fixture =
       make_fixture(network, param.data_type, param.parallel_out, 2, seed);
 
-  const std::vector<Tensor> baseline =
-      run_guarded(fixture, dataflow::SchedulerMode::kThreaded, 0);
+  // Fully sequential execution is the baseline: one worker, deterministic
+  // module interleaving, no concurrency anywhere.
+  const std::vector<Tensor> baseline = run_guarded(fixture, 1);
   ASSERT_EQ(baseline.size(), fixture.inputs.size());
 
-  // Worker counts below the module count — including fully sequential —
-  // are exactly what the threaded scheduler could not execute.
   std::size_t modules = 0;
   {
     auto executor =
@@ -127,10 +123,9 @@ TEST_P(CoopScheduler, MatchesThreadedBaselineAtEveryWorkerCount) {
   ASSERT_GT(modules, 2u);
 
   for (const std::size_t workers :
-       {std::size_t{1}, std::size_t{2}, modules / 2}) {
+       {std::size_t{2}, modules / 2, modules}) {
     SCOPED_TRACE("workers = " + std::to_string(workers));
-    const std::vector<Tensor> outputs =
-        run_guarded(fixture, dataflow::SchedulerMode::kCooperative, workers);
+    const std::vector<Tensor> outputs = run_guarded(fixture, workers);
     expect_equal_outputs(outputs, baseline);
   }
 }
@@ -168,7 +163,6 @@ TEST(CoopScheduler, RunStatsReportSchedulerAndCounters) {
   auto executor =
       dataflow::AcceleratorExecutor::create(fixture.plan, fixture.weights);
   ASSERT_TRUE(executor.is_ok());
-  executor.value().set_scheduler_mode(dataflow::SchedulerMode::kCooperative);
   executor.value().set_scheduler_workers(2);
   auto outputs = executor.value().run_batch(fixture.inputs);
   ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
@@ -200,16 +194,6 @@ TEST(CoopScheduler, RunStatsReportSchedulerAndCounters) {
   EXPECT_EQ(stream_blocks, total_blocked);
 }
 
-TEST(CoopScheduler, EnvSelectionAndDefault) {
-  EXPECT_EQ(dataflow::to_string(dataflow::SchedulerMode::kCooperative),
-            "coop");
-  EXPECT_EQ(dataflow::to_string(dataflow::SchedulerMode::kThreaded),
-            "threads");
-  // Unset (the suite never sets CONDOR_SCHED) defaults to cooperative.
-  EXPECT_EQ(dataflow::scheduler_mode_from_env(),
-            dataflow::SchedulerMode::kCooperative);
-}
-
 TEST(CoopScheduler, ModuleErrorTearsDownInsteadOfWedging) {
   // A plan run against a wrong-shaped input cannot happen (run_batch
   // validates), but a module failure mid-run must still terminate every
@@ -221,7 +205,6 @@ TEST(CoopScheduler, ModuleErrorTearsDownInsteadOfWedging) {
     auto executor =
         dataflow::AcceleratorExecutor::create(fixture.plan, fixture.weights);
     CONDOR_RETURN_IF_ERROR(executor.status());
-    executor.value().set_scheduler_mode(dataflow::SchedulerMode::kCooperative);
     executor.value().set_scheduler_workers(2);
     // Batch of one with doctored inputs: stream a batch but only reopen —
     // a second run without reopen poisons nothing; instead run twice and

@@ -396,9 +396,8 @@ TEST(Graph, RunsOnPersistentPoolAcrossReopens) {
     if (run > 0) {
       graph.reopen_streams();
     }
-    GraphRunOptions options;
-    options.mode = SchedulerMode::kCooperative;
-    ASSERT_TRUE(graph.run({}, &pool, options).is_ok()) << "run " << run;
+    ASSERT_TRUE(graph.run({}, &pool, GraphRunOptions{}).is_ok())
+        << "run " << run;
     EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
     EXPECT_EQ(graph.stream_stats()[0].total_writes, 1000u);
   }
@@ -408,21 +407,23 @@ TEST(Graph, RunsOnPersistentPoolAcrossReopens) {
   EXPECT_LE(graph.last_run_workers(), graph.module_count());
 }
 
-TEST(Graph, ThreadedEscapeHatchStillRuns) {
-  // CONDOR_SCHED=threads maps to the legacy one-task-per-module executor;
-  // results are identical and the pool grows to the module count.
-  Graph graph;
-  Stream& stream = graph.make_stream(4, "s");
-  double sum = 0.0;
-  graph.add_module<ProducerModule>(stream, 1000);
-  graph.add_module<SummerModule>(stream, sum);
-  ThreadPool pool(1);
-  GraphRunOptions options;
-  options.mode = SchedulerMode::kThreaded;
-  ASSERT_TRUE(graph.run({}, &pool, options).is_ok());
-  EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0);
-  EXPECT_GE(pool.worker_count(), graph.module_count());
-  EXPECT_EQ(graph.last_run_mode(), SchedulerMode::kThreaded);
+TEST(Graph, WorkerCountDoesNotChangeResults) {
+  // The cooperative scheduler is the only scheduler; any requested worker
+  // count (clamped to the module count) produces identical results.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Graph graph;
+    Stream& stream = graph.make_stream(4, "s");
+    double sum = 0.0;
+    graph.add_module<ProducerModule>(stream, 1000);
+    graph.add_module<SummerModule>(stream, sum);
+    ThreadPool pool(1);
+    GraphRunOptions options;
+    options.workers = workers;
+    ASSERT_TRUE(graph.run({}, &pool, options).is_ok()) << workers;
+    EXPECT_DOUBLE_EQ(sum, 999.0 * 1000.0 / 2.0) << workers;
+    EXPECT_LE(graph.last_run_workers(), graph.module_count()) << workers;
+  }
 }
 
 }  // namespace

@@ -49,6 +49,8 @@ namespace {
 
 /// Builds an executor for `network` at `data_type` / `parallel_out`, runs
 /// two warmup batches, then counts module-body allocations of a third.
+/// Also asserts the weight-residency contract: the cold run streams weight
+/// bytes, every warm run streams exactly zero.
 void expect_steady_state_allocates_nothing(const nn::Network& network,
                                            nn::DataType data_type,
                                            std::size_t parallel_out,
@@ -84,9 +86,14 @@ void expect_steady_state_allocates_nothing(const nn::Network& network,
   }
   ASSERT_GT(warmup_allocations.load(), 0U)
       << "cold run must allocate scratch; is the allocation hook linked?";
+  // The cold run is also the one-time weight load.
+  EXPECT_GT(executor.value().last_run_stats().weight_bytes_streamed, 0U)
+      << "first run must stream the resident weight slices";
   {
     auto outputs = executor.value().run_batch(inputs);
     ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+    EXPECT_EQ(executor.value().last_run_stats().weight_bytes_streamed, 0U)
+        << "warm run re-streamed weights despite residency";
   }
 
   std::atomic<std::size_t> allocations{0};
@@ -97,6 +104,8 @@ void expect_steady_state_allocates_nothing(const nn::Network& network,
   EXPECT_EQ(allocations.load(), 0U)
       << "module bodies allocated in steady state (" << allocations.load()
       << " allocations)";
+  EXPECT_EQ(executor.value().last_run_stats().weight_bytes_streamed, 0U)
+      << "steady-state run re-streamed weights despite residency";
 }
 
 TEST(SteadyStateAlloc, ProbeCountsOnlyInsideArmedScopes) {
