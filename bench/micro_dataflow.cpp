@@ -133,8 +133,14 @@ void BM_AcceleratorFunctional_TC1(benchmark::State& state) {
 void BM_AcceleratorFunctional_LeNet(benchmark::State& state) {
   BM_AcceleratorFunctional(state, nn::make_lenet());
 }
+/// The DAG path: two residual blocks plus a concat head, so every image
+/// crosses broadcast fan-outs and two-operand join PEs.
+void BM_AcceleratorResidual(benchmark::State& state) {
+  BM_AcceleratorFunctional(state, nn::make_tiny_resnet());
+}
 BENCHMARK(BM_AcceleratorFunctional_TC1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AcceleratorFunctional_LeNet)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AcceleratorResidual)->Unit(benchmark::kMillisecond);
 
 /// Steady-state serving: repeated batches through ONE executor, so the
 /// compiled design, stream topology and worker pool are reused and only

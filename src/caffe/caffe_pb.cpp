@@ -78,6 +78,24 @@ Writer encode_inner_product_param(const InnerProductParameter& param) {
   return out;
 }
 
+Writer encode_eltwise_param(const EltwiseParameter& param) {
+  Writer out;
+  out.varint_field(1, static_cast<std::uint64_t>(param.operation));
+  return out;
+}
+
+Writer encode_concat_param(const ConcatParameter& param) {
+  Writer out;
+  out.int_field(2, param.axis);
+  return out;
+}
+
+Writer encode_relu_param(const ReLUParameter& param) {
+  Writer out;
+  out.float_field(1, param.negative_slope);
+  return out;
+}
+
 Writer encode_input_param(const InputParameter& param) {
   Writer out;
   for (const BlobShape& shape : param.shape) {
@@ -95,14 +113,23 @@ Writer encode_layer(const LayerParameter& layer) {
   for (const BlobProto& blob : layer.blobs) {
     out.message_field(7, encode_blob(blob));
   }
+  if (layer.concat_param) {
+    out.message_field(104, encode_concat_param(*layer.concat_param));
+  }
   if (layer.convolution_param) {
     out.message_field(106, encode_convolution_param(*layer.convolution_param));
+  }
+  if (layer.eltwise_param) {
+    out.message_field(110, encode_eltwise_param(*layer.eltwise_param));
   }
   if (layer.inner_product_param) {
     out.message_field(117, encode_inner_product_param(*layer.inner_product_param));
   }
   if (layer.pooling_param) {
     out.message_field(121, encode_pooling_param(*layer.pooling_param));
+  }
+  if (layer.relu_param) {
+    out.message_field(123, encode_relu_param(*layer.relu_param));
   }
   if (layer.input_param) {
     out.message_field(143, encode_input_param(*layer.input_param));
@@ -270,6 +297,50 @@ Result<InnerProductParameter> decode_inner_product_param(
   return param;
 }
 
+Result<EltwiseParameter> decode_eltwise_param(std::span<const std::byte> data) {
+  EltwiseParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    if (tag.field_number == 1 && tag.wire_type == WireType::kVarint) {
+      CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+      param.operation = static_cast<EltwiseParameter::Operation>(value);
+    } else {
+      CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
+Result<ConcatParameter> decode_concat_param(std::span<const std::byte> data) {
+  ConcatParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    if (tag.field_number == 2 && tag.wire_type == WireType::kVarint) {
+      CONDOR_ASSIGN_OR_RETURN(std::uint64_t value, in.read_varint());
+      param.axis = static_cast<std::int32_t>(value);
+    } else {
+      CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
+Result<ReLUParameter> decode_relu_param(std::span<const std::byte> data) {
+  ReLUParameter param;
+  Reader in(data);
+  while (!in.at_end()) {
+    CONDOR_ASSIGN_OR_RETURN(Tag tag, in.read_tag());
+    if (tag.field_number == 1 && tag.wire_type == WireType::kI32) {
+      CONDOR_ASSIGN_OR_RETURN(param.negative_slope, in.read_float());
+    } else {
+      CONDOR_RETURN_IF_ERROR(in.skip(tag));
+    }
+  }
+  return param;
+}
+
 Result<InputParameter> decode_input_param(std::span<const std::byte> data) {
   InputParameter param;
   Reader in(data);
@@ -316,10 +387,21 @@ Result<LayerParameter> decode_layer(std::span<const std::byte> data) {
         layer.blobs.push_back(std::move(blob));
         break;
       }
+      case 104: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.concat_param, decode_concat_param(payload));
+        break;
+      }
       case 106: {
         CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
         CONDOR_ASSIGN_OR_RETURN(layer.convolution_param,
                                 decode_convolution_param(payload));
+        break;
+      }
+      case 110: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.eltwise_param,
+                                decode_eltwise_param(payload));
         break;
       }
       case 117: {
@@ -331,6 +413,11 @@ Result<LayerParameter> decode_layer(std::span<const std::byte> data) {
       case 121: {
         CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
         CONDOR_ASSIGN_OR_RETURN(layer.pooling_param, decode_pooling_param(payload));
+        break;
+      }
+      case 123: {
+        CONDOR_ASSIGN_OR_RETURN(auto payload, in.read_len());
+        CONDOR_ASSIGN_OR_RETURN(layer.relu_param, decode_relu_param(payload));
         break;
       }
       case 143: {

@@ -9,7 +9,7 @@
 // reads a prototxt for topology and a caffemodel for weights):
 //   NetParameter, LayerParameter, BlobProto, BlobShape,
 //   ConvolutionParameter, PoolingParameter, InnerProductParameter,
-//   InputParameter.
+//   EltwiseParameter, ConcatParameter, ReLUParameter, InputParameter.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +67,22 @@ struct InnerProductParameter {
   bool bias_term = true;         // 2
 };
 
+/// caffe.EltwiseParameter.
+struct EltwiseParameter {
+  enum class Operation : std::uint32_t { kProd = 0, kSum = 1, kMax = 2 };
+  Operation operation = Operation::kSum;  // 1
+};
+
+/// caffe.ConcatParameter — axis = 2 (default 1: channels).
+struct ConcatParameter {
+  std::int32_t axis = 1;  // 2
+};
+
+/// caffe.ReLUParameter — negative_slope = 1 (leaky ReLU when non-zero).
+struct ReLUParameter {
+  float negative_slope = 0.0F;  // 1
+};
+
 /// caffe.InputParameter — shape = 1 (repeated BlobShape).
 struct InputParameter {
   std::vector<BlobShape> shape;
@@ -79,9 +95,12 @@ struct LayerParameter {
   std::vector<std::string> bottom;  // 3
   std::vector<std::string> top;     // 4
   std::vector<BlobProto> blobs;     // 7
+  std::optional<ConcatParameter> concat_param;             // 104
   std::optional<ConvolutionParameter> convolution_param;   // 106
+  std::optional<EltwiseParameter> eltwise_param;           // 110
   std::optional<InnerProductParameter> inner_product_param;  // 117
   std::optional<PoolingParameter> pooling_param;           // 121
+  std::optional<ReLUParameter> relu_param;                 // 123
   std::optional<InputParameter> input_param;               // 143
 };
 

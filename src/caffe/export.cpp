@@ -9,6 +9,7 @@ namespace {
 std::string caffe_activation_type(nn::Activation activation) {
   switch (activation) {
     case nn::Activation::kReLU:
+    case nn::Activation::kLeakyReLU:  // ReLU with a negative_slope param
       return "ReLU";
     case nn::Activation::kSigmoid:
       return "Sigmoid";
@@ -20,13 +21,30 @@ std::string caffe_activation_type(nn::Activation activation) {
   return "";
 }
 
+/// The relu_param line for a leaky ReLU, empty otherwise (prototxt form).
+std::string relu_param_text(nn::Activation activation) {
+  if (activation != nn::Activation::kLeakyReLU) {
+    return "";
+  }
+  return strings::format("  relu_param { negative_slope: %g }\n",
+                         static_cast<double>(nn::kLeakyReluSlope));
+}
+
 }  // namespace
 
 Result<std::string> to_prototxt(const nn::Network& network) {
   CONDOR_RETURN_IF_ERROR(network.validate());
+  const auto& layers = network.layers();
   std::string out = "name: \"" + network.name() + "\"\n";
-  std::string previous_top;
-  for (const nn::LayerSpec& layer : network.layers()) {
+  // Blob name each layer's output goes by. In-place activation layers alias
+  // their producer's blob, every other layer tops its own name; bottoms are
+  // resolved through the DAG's producer edges.
+  std::vector<std::string> top_of(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::LayerSpec& layer = layers[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network.producers(i));
+    top_of[i] = layer.name;
+    const std::string bottom = prods.empty() ? "" : top_of[prods[0]];
     switch (layer.kind) {
       case nn::LayerKind::kInput: {
         out += "layer {\n";
@@ -37,14 +55,13 @@ Result<std::string> to_prototxt(const nn::Network& network) {
             "  input_param { shape { dim: 1 dim: %zu dim: %zu dim: %zu } }\n",
             layer.input_channels, layer.input_height, layer.input_width);
         out += "}\n";
-        previous_top = layer.name;
         continue;
       }
       case nn::LayerKind::kConvolution: {
         out += "layer {\n";
         out += "  name: \"" + layer.name + "\"\n";
         out += "  type: \"Convolution\"\n";
-        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
         out += "  top: \"" + layer.name + "\"\n";
         out += "  convolution_param {\n";
         out += strings::format("    num_output: %zu\n", layer.num_output);
@@ -63,14 +80,13 @@ Result<std::string> to_prototxt(const nn::Network& network) {
         }
         out += "  }\n";
         out += "}\n";
-        previous_top = layer.name;
         break;
       }
       case nn::LayerKind::kPooling: {
         out += "layer {\n";
         out += "  name: \"" + layer.name + "\"\n";
         out += "  type: \"Pooling\"\n";
-        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
         out += "  top: \"" + layer.name + "\"\n";
         out += "  pooling_param {\n";
         out += strings::format(
@@ -80,14 +96,13 @@ Result<std::string> to_prototxt(const nn::Network& network) {
         out += strings::format("    stride: %zu\n", layer.stride);
         out += "  }\n";
         out += "}\n";
-        previous_top = layer.name;
         break;
       }
       case nn::LayerKind::kInnerProduct: {
         out += "layer {\n";
         out += "  name: \"" + layer.name + "\"\n";
         out += "  type: \"InnerProduct\"\n";
-        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
         out += "  top: \"" + layer.name + "\"\n";
         out += "  inner_product_param {\n";
         out += strings::format("    num_output: %zu\n", layer.num_output);
@@ -96,34 +111,67 @@ Result<std::string> to_prototxt(const nn::Network& network) {
         }
         out += "  }\n";
         out += "}\n";
-        previous_top = layer.name;
         break;
       }
       case nn::LayerKind::kActivation: {
         out += "layer {\n";
         out += "  name: \"" + layer.name + "\"\n";
         out += "  type: \"" + caffe_activation_type(layer.activation) + "\"\n";
-        out += "  bottom: \"" + previous_top + "\"\n";
-        out += "  top: \"" + previous_top + "\"\n";  // in-place
+        out += relu_param_text(layer.activation);
+        out += "  bottom: \"" + bottom + "\"\n";
+        out += "  top: \"" + bottom + "\"\n";  // in-place
         out += "}\n";
+        top_of[i] = bottom;
         break;
       }
       case nn::LayerKind::kSoftmax: {
         out += "layer {\n";
         out += "  name: \"" + layer.name + "\"\n";
         out += "  type: \"Softmax\"\n";
-        out += "  bottom: \"" + previous_top + "\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
         out += "  top: \"" + layer.name + "\"\n";
         out += "}\n";
-        previous_top = layer.name;
+        break;
+      }
+      case nn::LayerKind::kEltwiseAdd: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Eltwise\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
+        out += "  bottom: \"" + top_of[prods[1]] + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += "  eltwise_param { operation: SUM }\n";
+        out += "}\n";
+        break;
+      }
+      case nn::LayerKind::kConcat: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Concat\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
+        out += "  bottom: \"" + top_of[prods[1]] + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += "}\n";
+        break;
+      }
+      case nn::LayerKind::kUpsample: {
+        out += "layer {\n";
+        out += "  name: \"" + layer.name + "\"\n";
+        out += "  type: \"Upsample\"\n";
+        out += "  bottom: \"" + bottom + "\"\n";
+        out += "  top: \"" + layer.name + "\"\n";
+        out += strings::format("  upsample_param { scale: %zu }\n", layer.stride);
+        out += "}\n";
         break;
       }
     }
     // Fused activations exported as separate in-place Caffe layers.
-    if (layer.has_weights() && layer.activation != nn::Activation::kNone) {
+    if (layer.kind != nn::LayerKind::kActivation &&
+        layer.activation != nn::Activation::kNone) {
       out += "layer {\n";
       out += "  name: \"" + layer.name + "_act\"\n";
       out += "  type: \"" + caffe_activation_type(layer.activation) + "\"\n";
+      out += relu_param_text(layer.activation);
       out += "  bottom: \"" + layer.name + "\"\n";
       out += "  top: \"" + layer.name + "\"\n";
       out += "}\n";
@@ -140,18 +188,21 @@ Result<NetParameter> to_net_parameter(const nn::Network& network,
   NetParameter net;
   net.name = network.name();
   const auto& layers = network.layers();
-  std::string previous_top;
+  std::vector<std::string> top_of(layers.size());
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const nn::LayerSpec& spec = layers[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network.producers(i));
+    top_of[i] = spec.name;
     if (spec.kind == nn::LayerKind::kInput) {
-      previous_top = spec.name;
       continue;
     }
     LayerParameter layer;
     layer.name = spec.name;
-    layer.bottom.push_back(previous_top);
+    layer.bottom.push_back(top_of[prods[0]]);
+    if (prods.size() > 1) {
+      layer.bottom.push_back(top_of[prods[1]]);
+    }
     layer.top.push_back(spec.name);
-    previous_top = spec.name;
     switch (spec.kind) {
       case nn::LayerKind::kConvolution: {
         layer.type = "Convolution";
@@ -192,12 +243,35 @@ Result<NetParameter> to_net_parameter(const nn::Network& network,
       }
       case nn::LayerKind::kActivation:
         layer.type = caffe_activation_type(spec.activation);
+        if (spec.activation == nn::Activation::kLeakyReLU) {
+          ReLUParameter param;
+          param.negative_slope = nn::kLeakyReluSlope;
+          layer.relu_param = param;
+        }
         // in-place: top == bottom
         layer.top[0] = layer.bottom[0];
-        previous_top = layer.bottom[0];
+        top_of[i] = layer.bottom[0];
         break;
       case nn::LayerKind::kSoftmax:
         layer.type = "Softmax";
+        break;
+      case nn::LayerKind::kEltwiseAdd: {
+        layer.type = "Eltwise";
+        EltwiseParameter param;
+        param.operation = EltwiseParameter::Operation::kSum;
+        layer.eltwise_param = param;
+        break;
+      }
+      case nn::LayerKind::kConcat: {
+        layer.type = "Concat";
+        ConcatParameter param;
+        layer.concat_param = param;
+        break;
+      }
+      case nn::LayerKind::kUpsample:
+        // No upstream BVLC param message: topology (incl. the scale) comes
+        // from the prototxt; the caffemodel only carries weights.
+        layer.type = "Upsample";
         break;
       case nn::LayerKind::kInput:
         break;  // handled above

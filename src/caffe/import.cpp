@@ -1,6 +1,9 @@
 #include "caffe/import.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
 
 #include "common/byte_io.hpp"
 #include "common/logging.hpp"
@@ -18,9 +21,34 @@ bool is_training_only(std::string_view type) {
          type == "HDF5Data" || type == "ImageData";
 }
 
-Result<nn::Activation> activation_for_type(std::string_view type) {
+/// Parses a FLOAT scalar field, or the fallback when absent.
+float float_or(const TextMessage& message, std::string_view name,
+               float fallback) {
+  const std::string* text = message.scalar(name);
+  return text == nullptr ? fallback : std::strtof(text->c_str(), nullptr);
+}
+
+/// Maps an activation layer type to Condor's enum. ReLU consults
+/// relu_param.negative_slope: zero is a plain ReLU, the Darknet 0.1 slope
+/// is Condor's leaky ReLU, anything else cannot be represented.
+Result<nn::Activation> activation_for_layer(const TextMessage& message,
+                                            std::string_view type,
+                                            const std::string& name) {
   if (type == "ReLU") {
-    return nn::Activation::kReLU;
+    float slope = 0.0F;
+    if (const TextMessage* param = message.message("relu_param")) {
+      slope = float_or(*param, "negative_slope", 0.0F);
+    }
+    if (slope == 0.0F) {
+      return nn::Activation::kReLU;
+    }
+    if (slope == nn::kLeakyReluSlope) {
+      return nn::Activation::kLeakyReLU;
+    }
+    return unsupported(strings::format(
+        "ReLU '%s': negative_slope must be 0 or %g (got %g)", name.c_str(),
+        static_cast<double>(nn::kLeakyReluSlope),
+        static_cast<double>(slope)));
   }
   if (type == "Sigmoid") {
     return nn::Activation::kSigmoid;
@@ -128,7 +156,8 @@ Result<nn::LayerSpec> resolve_input(const TextMessage& root) {
 
 }  // namespace
 
-Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
+Result<nn::Network> network_from_prototxt(std::string_view prototxt_text,
+                                          std::vector<BatchNormFold>* folds) {
   CONDOR_ASSIGN_OR_RETURN(TextMessage root, parse_text_format(prototxt_text));
 
   nn::Network network;
@@ -141,6 +170,37 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
   CONDOR_ASSIGN_OR_RETURN(nn::LayerSpec input, resolve_input(root));
   network.add(input);
 
+  // Caffe blob name -> the Condor layer whose output carries it. In-place
+  // layers and folded BatchNorm/Scale pairs alias a blob onto the layer
+  // that last (re)wrote it, which is exactly Caffe's overwrite semantics.
+  std::map<std::string, std::string> blob_layer;
+  blob_layer[input.name] = input.name;
+
+  const auto resolve = [&](std::string_view blob) -> Result<std::string> {
+    const auto it = blob_layer.find(std::string(blob));
+    if (it == blob_layer.end()) {
+      return invalid_input("blob '" + std::string(blob) +
+                           "' is consumed before any layer produces it");
+    }
+    return it->second;
+  };
+
+  // Registers `layer`. The explicit `inputs` list is spelled out only when
+  // the producers differ from the implicit previous-layer chain, keeping
+  // linear prototxts byte-identical to the legacy importer. A layer with
+  // no `bottom` chains implicitly (legacy prototxts omit blob wiring).
+  const auto attach = [&](nn::LayerSpec layer,
+                          std::vector<std::string> producers,
+                          std::string_view top) {
+    const std::string& previous = network.layers().back().name;
+    if (!producers.empty() &&
+        !(producers.size() == 1 && producers.front() == previous)) {
+      layer.inputs = std::move(producers);
+    }
+    blob_layer[top.empty() ? layer.name : std::string(top)] = layer.name;
+    network.add(std::move(layer));
+  };
+
   // Accept both the modern `layer` and legacy `layers` field names.
   std::vector<const TextMessage*> layer_messages = root.messages("layer");
   for (const TextMessage* legacy : root.messages("layers")) {
@@ -150,9 +210,33 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
   for (const TextMessage* message : layer_messages) {
     CONDOR_ASSIGN_OR_RETURN(std::string type, message->get_string("type"));
     CONDOR_ASSIGN_OR_RETURN(std::string name, message->get_string("name"));
+    const auto bottoms = message->scalars("bottom");
+    const auto tops = message->scalars("top");
     if (type == "Input" || is_training_only(type)) {
+      // Keep blob continuity: Input/Data tops carry the network input,
+      // and inference no-ops (Dropout) forward their bottom unchanged.
+      for (const auto& t : tops) {
+        if (type == "Input" || bottoms.empty()) {
+          blob_layer[std::string(t)] = input.name;
+        } else if (const auto it = blob_layer.find(std::string(bottoms[0]));
+                   it != blob_layer.end()) {
+          blob_layer[std::string(t)] = it->second;
+        }
+      }
       continue;
     }
+    const std::string_view top = tops.empty() ? std::string_view() : tops[0];
+
+    // Resolves the single data bottom, tolerating legacy prototxts that
+    // omit blob wiring entirely (implicit chain).
+    const auto single_producer =
+        [&]() -> Result<std::vector<std::string>> {
+      if (bottoms.empty()) {
+        return std::vector<std::string>{};
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(bottoms[0]));
+      return std::vector<std::string>{std::move(producer)};
+    };
 
     if (type == "Convolution") {
       nn::LayerSpec layer;
@@ -167,7 +251,8 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
       layer.num_output = static_cast<std::size_t>(num_output);
       layer.has_bias = param->get_bool_or("bias_term", true);
       CONDOR_RETURN_IF_ERROR(read_conv_geometry(*param, layer));
-      network.add(std::move(layer));
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      attach(std::move(layer), std::move(producers), top);
       continue;
     }
 
@@ -185,7 +270,8 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
       if (const std::string* method = param->scalar("pool")) {
         CONDOR_ASSIGN_OR_RETURN(layer.pool_method, nn::parse_pool_method(*method));
       }
-      network.add(std::move(layer));
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      attach(std::move(layer), std::move(producers), top);
       continue;
     }
 
@@ -201,30 +287,151 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
       CONDOR_ASSIGN_OR_RETURN(std::int64_t num_output, param->get_int("num_output"));
       layer.num_output = static_cast<std::size_t>(num_output);
       layer.has_bias = param->get_bool_or("bias_term", true);
-      network.add(std::move(layer));
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      attach(std::move(layer), std::move(producers), top);
       continue;
     }
 
-    if (auto activation = activation_for_type(type); activation.is_ok()) {
+    if (type == "Eltwise") {
+      if (const TextMessage* param = message->message("eltwise_param")) {
+        if (const std::string* operation = param->scalar("operation");
+            operation != nullptr && *operation != "SUM") {
+          return unsupported("Eltwise '" + name + "': operation '" +
+                             *operation + "' (only SUM is supported)");
+        }
+      }
+      if (bottoms.size() != 2) {
+        return unsupported("Eltwise '" + name +
+                           "': exactly 2 bottoms are supported");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string lhs, resolve(bottoms[0]));
+      CONDOR_ASSIGN_OR_RETURN(std::string rhs, resolve(bottoms[1]));
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kEltwiseAdd;
+      layer.name = std::move(name);
+      attach(std::move(layer), {std::move(lhs), std::move(rhs)}, top);
+      continue;
+    }
+
+    if (type == "Concat") {
+      std::int64_t axis = 1;
+      if (const TextMessage* param = message->message("concat_param")) {
+        axis = param->get_int_or("axis", param->get_int_or("concat_dim", 1));
+      }
+      if (axis != 1) {
+        return unsupported("Concat '" + name +
+                           "': only channel (axis=1) concatenation is "
+                           "supported");
+      }
+      if (bottoms.size() != 2) {
+        return unsupported("Concat '" + name +
+                           "': exactly 2 bottoms are supported");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string lhs, resolve(bottoms[0]));
+      CONDOR_ASSIGN_OR_RETURN(std::string rhs, resolve(bottoms[1]));
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kConcat;
+      layer.name = std::move(name);
+      attach(std::move(layer), {std::move(lhs), std::move(rhs)}, top);
+      continue;
+    }
+
+    if (type == "Upsample") {
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kUpsample;
+      layer.name = std::move(name);
+      layer.stride = 2;
+      if (const TextMessage* param = message->message("upsample_param")) {
+        layer.stride = static_cast<std::size_t>(param->get_int_or("scale", 2));
+      }
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      attach(std::move(layer), std::move(producers), top);
+      continue;
+    }
+
+    if (type == "BatchNorm") {
+      // Earmarked for folding into the preceding convolution; the actual
+      // statistics live in the caffemodel and are applied by the weight
+      // loader. The conv gains a bias to absorb the shift.
+      if (folds == nullptr) {
+        return unsupported("BatchNorm '" + name +
+                           "': caller provides no fold sink (weights-free "
+                           "topology import cannot represent BatchNorm)");
+      }
+      nn::LayerSpec& conv = network.layers().back();
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      if ((!producers.empty() && producers.front() != conv.name) ||
+          conv.kind != nn::LayerKind::kConvolution ||
+          conv.activation != nn::Activation::kNone) {
+        return unsupported("BatchNorm '" + name +
+                           "': only folds into an immediately preceding "
+                           "convolution are supported");
+      }
+      BatchNormFold fold;
+      fold.conv = conv.name;
+      fold.batch_norm = name;
+      fold.epsilon = 1e-5F;
+      if (const TextMessage* param = message->message("batch_norm_param")) {
+        fold.epsilon = float_or(*param, "eps", 1e-5F);
+      }
+      fold.conv_had_bias = conv.has_bias;
+      conv.has_bias = true;
+      folds->push_back(std::move(fold));
+      blob_layer[top.empty() ? conv.name : std::string(top)] = conv.name;
+      CONDOR_LOG_DEBUG(kTag) << "folding BatchNorm '" << name << "' into '"
+                             << conv.name << "'";
+      continue;
+    }
+
+    if (type == "Scale") {
+      // gamma/beta of the BatchNorm immediately before it.
+      nn::LayerSpec& conv = network.layers().back();
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      const bool follows_fold = folds != nullptr && !folds->empty() &&
+                                folds->back().conv == conv.name &&
+                                folds->back().scale.empty();
+      if (!follows_fold ||
+          (!producers.empty() && producers.front() != conv.name)) {
+        return unsupported("Scale '" + name +
+                           "': only supported immediately after a folded "
+                           "BatchNorm");
+      }
+      folds->back().scale = name;
+      blob_layer[top.empty() ? conv.name : std::string(top)] = conv.name;
+      continue;
+    }
+
+    if (type == "ReLU" || type == "Sigmoid" || type == "TanH") {
+      CONDOR_ASSIGN_OR_RETURN(nn::Activation activation,
+                              activation_for_layer(*message, type, name));
       // In-place activations (bottom == top) fuse into the producing layer —
       // this is how the generated PE applies them (inside the output loop).
-      const auto bottoms = message->scalars("bottom");
-      const auto tops = message->scalars("top");
+      // Joins and upsamples apply activations in their passes too, so they
+      // absorb in-place activations like the weighted layers do.
       const bool in_place =
           !bottoms.empty() && !tops.empty() && bottoms[0] == tops[0];
       nn::LayerSpec* producer =
           network.layers().empty() ? nullptr : &network.layers().back();
-      if (in_place && producer != nullptr && producer->has_weights() &&
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      const bool feeds_previous =
+          producers.empty() ||
+          (producer != nullptr && producers.front() == producer->name);
+      const bool fusable =
+          producer != nullptr &&
+          (producer->has_weights() || producer->is_join() ||
+           producer->kind == nn::LayerKind::kUpsample);
+      if (in_place && feeds_previous && fusable &&
           producer->activation == nn::Activation::kNone) {
-        producer->activation = activation.value();
+        producer->activation = activation;
+        blob_layer[std::string(tops[0])] = producer->name;
         CONDOR_LOG_DEBUG(kTag) << "fused activation '" << name << "' into '"
                                << producer->name << "'";
       } else {
         nn::LayerSpec layer;
         layer.kind = nn::LayerKind::kActivation;
         layer.name = std::move(name);
-        layer.activation = activation.value();
-        network.add(std::move(layer));
+        layer.activation = activation;
+        attach(std::move(layer), std::move(producers), top);
       }
       continue;
     }
@@ -233,7 +440,8 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
       nn::LayerSpec layer;
       layer.kind = nn::LayerKind::kSoftmax;
       layer.name = std::move(name);
-      network.add(std::move(layer));
+      CONDOR_ASSIGN_OR_RETURN(auto producers, single_producer());
+      attach(std::move(layer), std::move(producers), top);
       continue;
     }
 
@@ -245,8 +453,72 @@ Result<nn::Network> network_from_prototxt(std::string_view prototxt_text) {
   return network;
 }
 
-Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
-                                                   const nn::Network& network) {
+namespace {
+
+/// Bakes one BatchNorm(+Scale) pair into the conv's weights and bias.
+/// Caffe stores running sums plus a scale factor in the BatchNorm blobs:
+/// mean = blobs[0] / blobs[2], variance = blobs[1] / blobs[2].
+Status apply_batch_norm_fold(const NetParameter& net, const BatchNormFold& fold,
+                             std::size_t channels,
+                             nn::LayerParameters& params) {
+  const auto find_layer = [&](const std::string& name) {
+    return std::find_if(
+        net.layer.begin(), net.layer.end(),
+        [&](const LayerParameter& l) { return l.name == name; });
+  };
+  const auto bn = find_layer(fold.batch_norm);
+  if (bn == net.layer.end() || bn->blobs.size() < 3) {
+    return invalid_input("caffemodel BatchNorm '" + fold.batch_norm +
+                         "' must carry mean, variance and scale-factor blobs");
+  }
+  if (bn->blobs[0].data.size() != channels ||
+      bn->blobs[1].data.size() != channels || bn->blobs[2].data.empty()) {
+    return invalid_input("caffemodel BatchNorm '" + fold.batch_norm +
+                         "': statistics do not match " +
+                         std::to_string(channels) + " conv channels");
+  }
+  const float scale_factor = bn->blobs[2].data[0];
+  const float inv_factor = scale_factor == 0.0F ? 0.0F : 1.0F / scale_factor;
+
+  std::vector<float> gamma(channels, 1.0F);
+  std::vector<float> beta(channels, 0.0F);
+  if (!fold.scale.empty()) {
+    const auto scale = find_layer(fold.scale);
+    if (scale == net.layer.end() || scale->blobs.empty() ||
+        scale->blobs[0].data.size() != channels) {
+      return invalid_input("caffemodel Scale '" + fold.scale +
+                           "' must carry a gamma blob of " +
+                           std::to_string(channels) + " channels");
+    }
+    gamma.assign(scale->blobs[0].data.begin(), scale->blobs[0].data.end());
+    if (scale->blobs.size() > 1) {
+      if (scale->blobs[1].data.size() != channels) {
+        return invalid_input("caffemodel Scale '" + fold.scale +
+                             "': beta blob size mismatch");
+      }
+      beta.assign(scale->blobs[1].data.begin(), scale->blobs[1].data.end());
+    }
+  }
+
+  // w' = w * gamma / sqrt(var + eps); b' = (b - mean) * that + beta.
+  const std::size_t per_channel = params.weights.size() / channels;
+  for (std::size_t oc = 0; oc < channels; ++oc) {
+    const float mean = bn->blobs[0].data[oc] * inv_factor;
+    const float variance = bn->blobs[1].data[oc] * inv_factor;
+    const float factor = gamma[oc] / std::sqrt(variance + fold.epsilon);
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      params.weights[oc * per_channel + i] *= factor;
+    }
+    params.bias[oc] = (params.bias[oc] - mean) * factor + beta[oc];
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<nn::WeightStore> weights_from_net_parameter(
+    const NetParameter& net, const nn::Network& network,
+    std::span<const BatchNormFold> folds) {
   CONDOR_ASSIGN_OR_RETURN(auto shapes, network.infer_shapes());
   nn::WeightStore store;
   const auto& layers = network.layers();
@@ -267,6 +539,14 @@ Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
     CONDOR_ASSIGN_OR_RETURN(auto expected,
                             nn::parameter_shapes(layers[i], shapes[i].input));
 
+    // A conv that gained its bias through a BatchNorm fold has no bias
+    // blob in the caffemodel; the fold synthesizes one.
+    const auto fold = std::find_if(
+        folds.begin(), folds.end(),
+        [&](const BatchNormFold& f) { return f.conv == layers[i].name; });
+    const bool bias_from_model =
+        layers[i].has_bias && (fold == folds.end() || fold->conv_had_bias);
+
     nn::LayerParameters params;
     const BlobProto& weight_blob = it->blobs[0];
     if (weight_blob.data.size() != expected.weights.element_count()) {
@@ -277,7 +557,7 @@ Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
     }
     params.weights = Tensor(expected.weights, weight_blob.data);
 
-    if (layers[i].has_bias) {
+    if (bias_from_model) {
       if (it->blobs.size() < 2) {
         return invalid_input("layer '" + layers[i].name +
                              "' declares a bias but caffemodel has no bias blob");
@@ -288,6 +568,13 @@ Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
                              "': bias blob size mismatch");
       }
       params.bias = Tensor(expected.bias, bias_blob.data);
+    } else if (layers[i].has_bias) {
+      params.bias = Tensor(expected.bias);
+    }
+
+    if (fold != folds.end()) {
+      CONDOR_RETURN_IF_ERROR(
+          apply_batch_norm_fold(net, *fold, layers[i].num_output, params));
     }
     store.set(layers[i].name, std::move(params));
   }
@@ -295,20 +582,24 @@ Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
   return store;
 }
 
-Result<nn::WeightStore> weights_from_caffemodel(std::span<const std::byte> data,
-                                                const nn::Network& network) {
+Result<nn::WeightStore> weights_from_caffemodel(
+    std::span<const std::byte> data, const nn::Network& network,
+    std::span<const BatchNormFold> folds) {
   CONDOR_ASSIGN_OR_RETURN(NetParameter net, decode_net_parameter(data));
-  return weights_from_net_parameter(net, network);
+  return weights_from_net_parameter(net, network, folds);
 }
 
 Result<CaffeModel> load_caffe_model(std::string_view prototxt_text,
                                     std::span<const std::byte> caffemodel_bytes) {
+  std::vector<BatchNormFold> folds;
   CONDOR_ASSIGN_OR_RETURN(nn::Network network,
-                          network_from_prototxt(prototxt_text));
-  CONDOR_ASSIGN_OR_RETURN(nn::WeightStore weights,
-                          weights_from_caffemodel(caffemodel_bytes, network));
+                          network_from_prototxt(prototxt_text, &folds));
+  CONDOR_ASSIGN_OR_RETURN(
+      nn::WeightStore weights,
+      weights_from_caffemodel(caffemodel_bytes, network, folds));
   CONDOR_LOG_INFO(kTag) << "imported '" << network.name() << "' ("
-                        << network.layer_count() << " layers)";
+                        << network.layer_count() << " layers, "
+                        << network.join_count() << " joins)";
   return CaffeModel{std::move(network), std::move(weights)};
 }
 

@@ -3,12 +3,16 @@
 // weight blob into the Condor-internal Network IR and WeightStore.
 //
 // Supported Caffe layer types: Input, Convolution, Pooling (MAX/AVE),
-// InnerProduct, ReLU, Sigmoid, TanH, Softmax. Training-only layers (Data,
+// InnerProduct, ReLU (plain and negative_slope=0.1 leaky), Sigmoid, TanH,
+// Softmax, Eltwise (SUM), Concat (axis 1), Upsample, and BatchNorm/Scale
+// pairs folded into the preceding convolution. Training-only layers (Data,
 // Accuracy, SoftmaxWithLoss, Dropout) are recognized and skipped/adapted:
 // Data layers contribute the input shape, SoftmaxWithLoss degrades to plain
 // Softmax, Dropout is an inference no-op. In-place activation layers
 // (bottom == top) are fused into the producing layer, matching how the
-// accelerator applies activations inside the PE.
+// accelerator applies activations inside the PE. Layers whose `bottom`
+// blobs are not the previous layer's `top` become explicit DAG edges
+// (LayerSpec::inputs), so residual and route topologies import directly.
 #pragma once
 
 #include "caffe/caffe_pb.hpp"
@@ -19,17 +23,36 @@
 
 namespace condor::caffe {
 
-/// Parses a prototxt document into a Network (topology only).
-Result<nn::Network> network_from_prototxt(std::string_view prototxt_text);
+/// A BatchNorm (+ optional Scale) pair the prototxt parse earmarked for
+/// folding into a convolution's weights once the caffemodel statistics are
+/// available: w' = w * gamma / sqrt(var + eps), b' = (b - mean) * that + beta.
+struct BatchNormFold {
+  std::string conv;        ///< convolution the pair folds into
+  std::string batch_norm;  ///< caffemodel layer holding mean/var/scale-factor
+  std::string scale;       ///< Scale layer with gamma/beta; empty when absent
+  float epsilon = 1e-5F;
+  bool conv_had_bias = false;  ///< caffemodel carries a bias blob for `conv`
+};
+
+/// Parses a prototxt document into a Network (topology only). BatchNorm
+/// layers are folded into the preceding convolution; the pairs are recorded
+/// in `folds` so the weight loader can apply the statistics. Passing null
+/// rejects prototxts that contain BatchNorm.
+Result<nn::Network> network_from_prototxt(std::string_view prototxt_text,
+                                          std::vector<BatchNormFold>* folds =
+                                              nullptr);
 
 /// Extracts weights for `network` from a decoded NetParameter, matching
-/// layers by name and validating blob shapes.
-Result<nn::WeightStore> weights_from_net_parameter(const NetParameter& net,
-                                                   const nn::Network& network);
+/// layers by name and validating blob shapes. `folds` (from
+/// network_from_prototxt) bakes the listed BatchNorm statistics in.
+Result<nn::WeightStore> weights_from_net_parameter(
+    const NetParameter& net, const nn::Network& network,
+    std::span<const BatchNormFold> folds = {});
 
 /// Decodes `.caffemodel` bytes and extracts weights for `network`.
-Result<nn::WeightStore> weights_from_caffemodel(std::span<const std::byte> data,
-                                                const nn::Network& network);
+Result<nn::WeightStore> weights_from_caffemodel(
+    std::span<const std::byte> data, const nn::Network& network,
+    std::span<const BatchNormFold> folds = {});
 
 /// Full frontend path: prototxt text + caffemodel bytes → (Network, weights).
 struct CaffeModel {

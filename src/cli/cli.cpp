@@ -427,6 +427,17 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
       "max |diff| = %g (%s)\n",
       degree.c_str(), fixed ? "quantized reference" : "golden reference", batch,
       worst, worst == 0.0F ? "bit-exact PASS" : "FAIL");
+  // Topology summary: how much of the network is DAG-shaped. Depth is the
+  // longest producer->consumer path; a linear chain's depth equals its
+  // layer count, so the gap between the two is the parallel width.
+  const auto depth = model.value().dag_depth();
+  if (!depth.is_ok()) {
+    err << depth.status().to_string() << "\n";
+    return 1;
+  }
+  out << strings::format("topology: %zu layers, %zu joins, DAG depth %zu\n",
+                         model.value().layer_count(),
+                         model.value().join_count(), depth.value());
   const dataflow::RunStats& run_stats =
       pool.value().instance(0).last_run_stats();
   out << strings::format("KPN: %zu modules, %zu streams\n", run_stats.modules,

@@ -4,6 +4,7 @@
 
 #include "common/strings.hpp"
 #include "dataflow/filter.hpp"
+#include "dataflow/join.hpp"
 #include "dataflow/pe.hpp"
 #include "nn/kernels_simd.hpp"
 #include "nn/reference.hpp"
@@ -66,24 +67,34 @@ Status AcceleratorExecutor::build_design() {
   Graph& graph = design->graph;
   CONDOR_ASSIGN_OR_RETURN(auto shapes, plan_->source.net.infer_shapes());
 
-  // Inter-PE streams (datamover -> pe0 -> ... -> peN -> datamover). Each
-  // edge is sized to buffer one full image blob (when that fits under
-  // kMaxPipelineEdgeDepth) so consecutive images genuinely overlap: the
-  // producer parks image k's whole output in the channel and moves on to
-  // image k+1 without waiting for the consumer to catch up.
-  std::vector<Stream*> pe_streams;  // pe_streams[p] = input stream of PE p
-  pe_streams.reserve(plan_->pes.size() + 1);
+  // The network input blob size: what datamover-sourced edges carry.
+  CONDOR_ASSIGN_OR_RETURN(Shape net_input_shape,
+                          plan_->source.net.input_shape());
+  const std::size_t input_elements = net_input_shape.element_count();
+
+  // One stream per plan edge — the plan's edge list IS the DAG, so the
+  // wiring below needs no linearity assumption. Each edge is sized to
+  // buffer one full image blob (when that fits under kMaxPipelineEdgeDepth)
+  // so consecutive images genuinely overlap: the producer parks image k's
+  // whole output in the channel and moves on to image k+1 without waiting
+  // for the consumer to catch up. For residual topologies the same sizing
+  // also keeps the skip edge from artificially deadlocking the diamond: a
+  // whole image parks on the short edge while the long path computes.
+  const auto edge_blob_elements = [&](const hw::StreamEdge& edge) {
+    return edge.from_pe == hw::StreamEdge::kDatamover
+               ? input_elements
+               : programs[edge.from_pe].output_elements();
+  };
+  std::vector<Stream*> edge_streams;
+  edge_streams.reserve(plan_->edges.size());
   for (std::size_t e = 0; e < plan_->edges.size(); ++e) {
-    const std::size_t blob_elements =
-        e < plan_->pes.size()
-            ? shapes[plan_->pes[e].layer_indices.front()].input.element_count()
-            : programs.back().output_elements();
+    const std::size_t blob_elements = edge_blob_elements(plan_->edges[e]);
     std::size_t depth =
         std::max<std::size_t>(plan_->edges[e].fifo_depth, kMinEdgeDepth);
     if (blob_elements + 1 <= kMaxPipelineEdgeDepth) {
       depth = std::max(depth, blob_elements + 1);
     }
-    pe_streams.push_back(
+    edge_streams.push_back(
         &graph.make_stream(depth, strings::format("stream_edge_%zu", e)));
   }
 
@@ -99,14 +110,98 @@ Status AcceleratorExecutor::build_design() {
     }
   }
 
-  // The output blob shape the sink collects: the last PE's emission.
-  const std::size_t out_elements = programs.back().output_elements();
+  // Resolve each producer's out-edges and each consumer's in-ports from the
+  // edge list. A producer with several out-edges gets a BroadcastModule
+  // behind a private stream; its consumers then see ordinary edges.
+  const std::size_t kNoEdge = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> out_edges_of(plan_->pes.size());
+  std::vector<std::size_t> datamover_out_edges;
+  std::vector<std::vector<std::size_t>> in_edge_of(plan_->pes.size());
+  std::size_t sink_edge = kNoEdge;
+  for (std::size_t e = 0; e < plan_->edges.size(); ++e) {
+    const hw::StreamEdge& edge = plan_->edges[e];
+    if (edge.from_pe == hw::StreamEdge::kDatamover) {
+      datamover_out_edges.push_back(e);
+    } else {
+      out_edges_of[edge.from_pe].push_back(e);
+    }
+    if (edge.to_pe == hw::StreamEdge::kDatamover) {
+      if (sink_edge != kNoEdge) {
+        return internal_error("plan has more than one output edge");
+      }
+      sink_edge = e;
+    } else {
+      auto& ports = in_edge_of[edge.to_pe];
+      if (ports.size() <= edge.to_port) {
+        ports.resize(edge.to_port + 1, kNoEdge);
+      }
+      if (ports[edge.to_port] != kNoEdge) {
+        return internal_error("plan wires one PE port twice");
+      }
+      ports[edge.to_port] = e;
+    }
+  }
+  if (sink_edge == kNoEdge) {
+    return internal_error("plan has no output edge");
+  }
+
+  // Returns the stream a producer writes: the single out-edge directly, or
+  // a private stream drained by a BroadcastModule feeding every out-edge.
+  const auto make_producer_outs =
+      [&](const std::string& name, const std::vector<std::size_t>& edges,
+          std::size_t blob_elements, Stream*& out,
+          Stream*& fmt_out) -> Status {
+    if (edges.empty()) {
+      return internal_error("producer '" + name + "' has no out-edge");
+    }
+    if (edges.size() == 1) {
+      out = edge_streams[edges.front()];
+      fmt_out = fmt_streams[edges.front()];
+      return Status::ok();
+    }
+    std::size_t depth = kMinEdgeDepth;
+    if (blob_elements + 1 <= kMaxPipelineEdgeDepth) {
+      depth = std::max(depth, blob_elements + 1);
+    }
+    out = &graph.make_stream(depth, name + "_fanout");
+    fmt_out = nullptr;
+    std::vector<Stream*> outs;
+    std::vector<Stream*> fmt_outs;
+    for (const std::size_t e : edges) {
+      outs.push_back(edge_streams[e]);
+      if (fmt_streams[e] != nullptr) {
+        fmt_outs.push_back(fmt_streams[e]);
+      }
+    }
+    if (nn::is_fixed_point(data_type)) {
+      fmt_out = &graph.make_stream(kGlueFifoDepth, name + "_fanout_fmt");
+    }
+    graph.add_module<BroadcastModule>(name + "_broadcast", blob_elements, *out,
+                                      std::move(outs), data_type, fmt_out,
+                                      std::move(fmt_outs));
+    return Status::ok();
+  };
 
   for (std::size_t p = 0; p < plan_->pes.size(); ++p) {
     const hw::PePlan& pe = plan_->pes[p];
     const PeProgram& program = programs[p];
-    Stream& external_in = *pe_streams[p];
-    Stream& pe_out = *pe_streams[p + 1];
+    const std::vector<std::size_t>& in_ports = in_edge_of[p];
+    const std::size_t expected_ports =
+        pe.kind == hw::PeKind::kJoin ? 2 : 1;
+    if (in_ports.size() != expected_ports ||
+        std::find(in_ports.begin(), in_ports.end(), kNoEdge) !=
+            in_ports.end()) {
+      return internal_error(strings::format(
+          "PE '%s' expects %zu input port(s) but the plan wires %zu",
+          pe.name.c_str(), expected_ports, in_ports.size()));
+    }
+    Stream& external_in = *edge_streams[in_ports.front()];
+    Stream* fmt_in = fmt_streams[in_ports.front()];
+    Stream* pe_out = nullptr;
+    Stream* fmt_out = nullptr;
+    CONDOR_RETURN_IF_ERROR(make_producer_outs(pe.name, out_edges_of[p],
+                                              program.output_elements(),
+                                              pe_out, fmt_out));
 
     // Weight delivery from the datamover: every PE gets a one-time
     // configuration load on the first run after compilation; it latches the
@@ -127,11 +222,20 @@ Status AcceleratorExecutor::build_design() {
     const std::size_t parallel_out = std::max<std::size_t>(pe.parallel_out, 1);
     design->extra_lane_workers += parallel_out - 1;
 
+    if (pe.kind == hw::PeKind::kJoin) {
+      // Two-input merge point: no memory subsystem, no weights — the module
+      // reads both operand edges directly (ports 0/1 in `inputs` order).
+      graph.add_module<JoinModule>(
+          pe.name, program, external_in, *edge_streams[in_ports[1]], *pe_out,
+          data_type, fmt_in, fmt_streams[in_ports[1]], fmt_out);
+      continue;
+    }
+
     if (pe.kind == hw::PeKind::kClassifier) {
       graph.add_module<ClassifierPeModule>(
-          pe.name, program, external_in, weight_stream, pe_out, parallel_out,
+          pe.name, program, external_in, weight_stream, *pe_out, parallel_out,
           std::max<std::size_t>(pe.parallel_in, 1), runtime_pool(), data_type,
-          fmt_streams[p], fmt_streams[p + 1]);
+          fmt_in, fmt_out);
       continue;
     }
 
@@ -203,22 +307,32 @@ Status AcceleratorExecutor::build_design() {
 
     graph.add_module<FeaturePeModule>(
         pe.name, program, window_h, window_w, lanes, std::move(ports),
-        weight_stream, loopback, pe_out, parallel_out, runtime_pool(),
-        data_type, fmt_streams[p], fmt_streams[p + 1]);
+        weight_stream, loopback, *pe_out, parallel_out, runtime_pool(),
+        data_type, fmt_in, fmt_out);
   }
 
-  // Datamover halves.
+  // Datamover halves. The input half fans out through a BroadcastModule
+  // when several PEs read the network input directly.
+  Stream* source_out = nullptr;
+  Stream* source_fmt = nullptr;
+  CONDOR_RETURN_IF_ERROR(make_producer_outs("datamover_in",
+                                            datamover_out_edges,
+                                            input_elements, source_out,
+                                            source_fmt));
+  // The output blob shape the sink collects: the sink edge's producer.
+  const std::size_t out_pe = plan_->edges[sink_edge].from_pe;
+  const std::size_t out_elements = programs[out_pe].output_elements();
   design->output_shape = Shape{out_elements};
   // Recover the true blob shape of the last mapped layer for nicer output.
-  const std::size_t last_layer = plan_->pes.back().layer_indices.back();
+  const std::size_t last_layer = plan_->pes[out_pe].layer_indices.back();
   if (shapes[last_layer].output.element_count() == out_elements) {
     design->output_shape = shapes[last_layer].output;
   }
-  graph.add_module<InputMoverModule>("datamover_in", *pe_streams.front(),
-                                     data_type, fmt_streams.front());
+  graph.add_module<InputMoverModule>("datamover_in", *source_out, data_type,
+                                     source_fmt);
   design->sink = &graph.add_module<OutputMoverModule>(
-      "datamover_out", design->output_shape, *pe_streams.back(), data_type,
-      fmt_streams.back());
+      "datamover_out", design->output_shape, *edge_streams[sink_edge],
+      data_type, fmt_streams[sink_edge]);
 
   design_ = std::move(design);
   return Status::ok();

@@ -1,0 +1,172 @@
+#include "dataflow/join.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "nn/layer.hpp"
+
+namespace condor::dataflow {
+namespace {
+
+/// Reads one format word (a blob's frac_bits) from a format side-channel.
+Fire read_fmt_word(Stream* stream, int& frac, const std::string& name) {
+  if (stream == nullptr) {
+    co_return internal_error("join '" + name + "': format stream ended early");
+  }
+  float word = 0.0F;
+  CONDOR_CO_READ_ONE(
+      *stream, word,
+      internal_error("join '" + name + "': format stream ended early"));
+  frac = static_cast<int>(word);
+  co_return Status::ok();
+}
+
+/// The canonical fixed layer-boundary emission (see pe.cpp): one fresh
+/// dynamic format over the activated value blob, the format word ahead of
+/// the codes stored in float words.
+Fire emit_requantized(const std::string& name, Stream& sink, Stream* fmt_sink,
+                      std::span<const float> values, int total_bits,
+                      std::vector<std::int32_t>& codes,
+                      std::vector<float>& blob) {
+  const nn::FixedPointFormat format =
+      nn::quantize_span(values, total_bits, codes);
+  if (fmt_sink == nullptr) {
+    co_return internal_error("join '" + name + "': format sink closed");
+  }
+  CONDOR_CO_WRITE_ONE(
+      *fmt_sink, static_cast<float>(format.frac_bits),
+      internal_error("join '" + name + "': format sink closed mid-pass"));
+  blob.assign(codes.begin(), codes.end());
+  CONDOR_CO_WRITE_BURST(
+      sink, blob, internal_error("join '" + name + "': sink closed mid-pass"));
+  co_return Status::ok();
+}
+
+}  // namespace
+
+Fire JoinModule::fire(const RunContext& ctx) {
+  if (program_.passes.size() != 1) {
+    co_return internal_error("join '" + name() +
+                             "': program must hold exactly one pass");
+  }
+  const LayerPass& pass = program_.passes.front();
+  if (pass.kind != PassKind::kEltwiseAdd && pass.kind != PassKind::kConcat) {
+    co_return internal_error("join '" + name() + "': pass is not a join");
+  }
+  const std::size_t out_count = pass.output_elements();
+  const std::size_t first_count = pass.input_elements();
+  // Eltwise operands are congruent; concat's second operand supplies the
+  // channels the first does not (build_pe_program's in_* convention).
+  const std::size_t second_count = pass.kind == PassKind::kEltwiseAdd
+                                       ? first_count
+                                       : out_count - first_count;
+  const bool fixed = nn::is_fixed_point(data_type_);
+  const int bits = nn::total_bits(data_type_);
+
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
+    int fa = 0;
+    int fb = 0;
+    if (fixed) {
+      // Both operand formats arrive ahead of their blobs, so reading them
+      // back-to-back cannot deadlock against either producer.
+      CONDOR_CO_RETURN_IF_ERROR(co_await read_fmt_word(fmt_in0_, fa, name()));
+      CONDOR_CO_RETURN_IF_ERROR(co_await read_fmt_word(fmt_in1_, fb, name()));
+    }
+    a_.resize(first_count);
+    b_.resize(second_count);
+    CONDOR_CO_READ_EXACT(
+        in0_, std::span<float>(a_),
+        internal_error("join '" + name() + "': operand 0 ended early"));
+    CONDOR_CO_READ_EXACT(
+        in1_, std::span<float>(b_),
+        internal_error("join '" + name() + "': operand 1 ended early"));
+    out_blob_.resize(out_count);
+
+    if (!fixed) {
+      if (pass.kind == PassKind::kEltwiseAdd) {
+        for (std::size_t i = 0; i < out_count; ++i) {
+          out_blob_[i] = nn::apply_activation(pass.activation, a_[i] + b_[i]);
+        }
+      } else {
+        // forward_concat's order: both operands copied, then the joined
+        // blob activated (kNone is the identity either way).
+        std::copy(a_.begin(), a_.end(), out_blob_.begin());
+        std::copy(b_.begin(), b_.end(), out_blob_.begin() + first_count);
+        for (float& value : out_blob_) {
+          value = nn::apply_activation(pass.activation, value);
+        }
+      }
+      CONDOR_CO_WRITE_BURST(
+          out_, out_blob_,
+          internal_error("join '" + name() + "': sink closed mid-pass"));
+      continue;
+    }
+
+    if (pass.kind == PassKind::kEltwiseAdd) {
+      // fixed_eltwise_add: realign both operand codes to the finer format
+      // (exact int64 shift), add, then the canonical boundary step.
+      const int common = std::max(fa, fb);
+      for (std::size_t i = 0; i < out_count; ++i) {
+        const std::int64_t raw =
+            nn::realign_code(static_cast<std::int32_t>(a_[i]), fa, common) +
+            nn::realign_code(static_cast<std::int32_t>(b_[i]), fb, common);
+        out_blob_[i] =
+            nn::apply_activation(pass.activation, nn::dequantize_code(raw, common));
+      }
+    } else {
+      // fixed_concat: rebuild in value space, each operand dequantized with
+      // its own dynamic format, then one fresh format over the whole blob.
+      for (std::size_t i = 0; i < first_count; ++i) {
+        out_blob_[i] = nn::apply_activation(
+            pass.activation,
+            nn::dequantize_code(static_cast<std::int64_t>(a_[i]), fa));
+      }
+      for (std::size_t i = 0; i < second_count; ++i) {
+        out_blob_[first_count + i] = nn::apply_activation(
+            pass.activation,
+            nn::dequantize_code(static_cast<std::int64_t>(b_[i]), fb));
+      }
+    }
+    CONDOR_CO_RETURN_IF_ERROR(co_await emit_requantized(
+        name(), out_, fmt_out_, out_blob_, bits, emit_codes_, emit_blob_));
+  }
+  out_.close();
+  if (fmt_out_ != nullptr) {
+    fmt_out_->close();
+  }
+  co_return Status::ok();
+}
+
+Fire BroadcastModule::fire(const RunContext& ctx) {
+  const bool fixed = nn::is_fixed_point(data_type_);
+  for (std::size_t image = 0; image < ctx.batch; ++image) {
+    if (fixed) {
+      int frac = 0;
+      CONDOR_CO_RETURN_IF_ERROR(co_await read_fmt_word(fmt_in_, frac, name()));
+      for (Stream* fmt_out : fmt_outs_) {
+        CONDOR_CO_WRITE_ONE(
+            *fmt_out, static_cast<float>(frac),
+            internal_error("broadcast '" + name() +
+                           "': format sink closed mid-image"));
+      }
+    }
+    blob_.resize(blob_elements_);
+    CONDOR_CO_READ_EXACT(
+        in_, std::span<float>(blob_),
+        internal_error("broadcast '" + name() + "': upstream ended early"));
+    for (Stream* out : outs_) {
+      CONDOR_CO_WRITE_BURST(
+          *out, blob_,
+          internal_error("broadcast '" + name() + "': sink closed mid-image"));
+    }
+  }
+  for (Stream* out : outs_) {
+    out->close();
+  }
+  for (Stream* fmt_out : fmt_outs_) {
+    fmt_out->close();
+  }
+  co_return Status::ok();
+}
+
+}  // namespace condor::dataflow

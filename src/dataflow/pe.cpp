@@ -393,9 +393,46 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       co_return Status::ok();
     }
 
+    case PassKind::kUpsample: {
+      // Nearest-neighbour replication, channel at a time: the activation
+      // applies to the source element (exactly forward_upsample's order)
+      // and each scaled row replicates `scale` times.
+      const std::size_t scale = pass.scale;
+      map_.resize(pass.in_h * pass.in_w);
+      out_blob_.resize(pass.out_h * pass.out_w);
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        Stream* port = ports_[(c % lanes_) * lane_stride];
+        CONDOR_CO_READ_EXACT(
+            *port, std::span<float>(map_),
+            internal_error("PE '" + name() + "': port stream ended early"));
+        for (std::size_t y = 0; y < pass.in_h; ++y) {
+          float* out_row = out_blob_.data() + y * scale * pass.out_w;
+          for (std::size_t x = 0; x < pass.in_w; ++x) {
+            const float value =
+                nn::apply_activation(pass.activation, map_[y * pass.in_w + x]);
+            for (std::size_t sx = 0; sx < scale; ++sx) {
+              out_row[x * scale + sx] = value;
+            }
+          }
+          for (std::size_t sy = 1; sy < scale; ++sy) {
+            std::copy(out_row, out_row + pass.out_w,
+                      out_row + sy * pass.out_w);
+          }
+        }
+        CONDOR_CO_WRITE_BURST(
+            sink, out_blob_,
+            internal_error("PE '" + name() + "': sink closed mid-pass"));
+      }
+      co_return Status::ok();
+    }
+
     case PassKind::kInnerProduct:
       co_return internal_error(
           "feature PE cannot execute an inner-product pass");
+    case PassKind::kEltwiseAdd:
+    case PassKind::kConcat:
+      co_return internal_error(
+          "feature PE cannot execute a two-input join pass");
   }
   co_return internal_error("unhandled pass kind");
 }
@@ -592,9 +629,49 @@ Fire FeaturePeModule::run_pass_fixed(std::size_t pass_index,
                                           emit_blob_);
     }
 
+    case PassKind::kUpsample: {
+      // Whole-blob value-space rebuild mirroring fixed_upsample: activate
+      // the dequantized source element, replicate it, then requantize the
+      // full output blob with one fresh dynamic format.
+      const std::size_t scale = pass.scale;
+      map_.resize(pass.in_h * pass.in_w);
+      out_blob_.resize(pass.out_channels * pass.out_h * pass.out_w);
+      for (std::size_t c = 0; c < pass.in_channels; ++c) {
+        Stream* port = ports_[(c % lanes_) * lane_stride];
+        CONDOR_CO_READ_EXACT(
+            *port, std::span<float>(map_),
+            internal_error("PE '" + name() + "': port stream ended early"));
+        float* channel = out_blob_.data() + c * pass.out_h * pass.out_w;
+        for (std::size_t y = 0; y < pass.in_h; ++y) {
+          float* out_row = channel + y * scale * pass.out_w;
+          for (std::size_t x = 0; x < pass.in_w; ++x) {
+            const float value = nn::apply_activation(
+                pass.activation,
+                nn::dequantize_code(
+                    static_cast<std::int64_t>(map_[y * pass.in_w + x]),
+                    in_frac));
+            for (std::size_t sx = 0; sx < scale; ++sx) {
+              out_row[x * scale + sx] = value;
+            }
+          }
+          for (std::size_t sy = 1; sy < scale; ++sy) {
+            std::copy(out_row, out_row + pass.out_w,
+                      out_row + sy * pass.out_w);
+          }
+        }
+      }
+      co_return co_await emit_requantized(name(), sink, fmt_sink, out_blob_,
+                                          bits, out_frac, emit_codes_,
+                                          emit_blob_);
+    }
+
     case PassKind::kInnerProduct:
       co_return internal_error(
           "feature PE cannot execute an inner-product pass");
+    case PassKind::kEltwiseAdd:
+    case PassKind::kConcat:
+      co_return internal_error(
+          "feature PE cannot execute a two-input join pass");
   }
   co_return internal_error("unhandled pass kind");
 }

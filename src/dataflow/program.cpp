@@ -97,6 +97,34 @@ Result<PeProgram> build_pe_program(const hw::AcceleratorPlan& plan,
         pass.out_h = pass.in_h;
         pass.out_w = pass.in_w;
         break;
+      case nn::LayerKind::kEltwiseAdd:
+      case nn::LayerKind::kConcat:
+        // Two-input join: in_* describes the FIRST operand (the shape
+        // inference convention); the second operand's element count is
+        // output - first for concat and equals the first for eltwise-add.
+        pass.kind = layer.kind == nn::LayerKind::kEltwiseAdd
+                        ? PassKind::kEltwiseAdd
+                        : PassKind::kConcat;
+        pass.in_channels = in[0];
+        pass.in_h = in[1];
+        pass.in_w = in[2];
+        pass.out_channels = out[0];
+        pass.out_h = out[1];
+        pass.out_w = out[2];
+        break;
+      case nn::LayerKind::kUpsample:
+        // Nearest-neighbour replication: a 1x1 window walked at stride 1
+        // (so the filter chain passes every element through) with the
+        // replication factor carried separately in `scale`.
+        pass.kind = PassKind::kUpsample;
+        pass.in_channels = in[0];
+        pass.in_h = in[1];
+        pass.in_w = in[2];
+        pass.scale = layer.stride;
+        pass.out_channels = out[0];
+        pass.out_h = out[1];
+        pass.out_w = out[2];
+        break;
       case nn::LayerKind::kInnerProduct:
         pass.kind = PassKind::kInnerProduct;
         pass.in_channels = 1;

@@ -20,7 +20,15 @@
 
 namespace condor::dataflow {
 
-enum class PassKind { kConvolution, kPooling, kElementwise, kInnerProduct };
+enum class PassKind {
+  kConvolution,
+  kPooling,
+  kElementwise,
+  kInnerProduct,
+  kEltwiseAdd,  ///< two-input join: element-wise sum (join PEs only)
+  kConcat,      ///< two-input join: channel concatenation (join PEs only)
+  kUpsample,    ///< nearest-neighbour spatial replication by `scale`
+};
 
 /// One fused layer's geometry and parameters as seen by the dataflow
 /// modules. Spatial coordinates are in the *padded* frame: the source mux
@@ -36,6 +44,9 @@ struct LayerPass {
   std::size_t window_h = 1;
   std::size_t window_w = 1;
   std::size_t stride = 1;
+  /// Nearest-neighbour replication factor (kUpsample only). Kept apart from
+  /// `stride`, which the filter modules interpret as subsampling.
+  std::size_t scale = 1;
   // Output geometry.
   std::size_t out_channels = 0;
   std::size_t out_h = 0;

@@ -76,10 +76,21 @@ Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
 
   const auto& layers = network.net.layers();
   const auto& annots = network.hw.layers;
+  CONDOR_ASSIGN_OR_RETURN(const auto order, network.net.topological_order());
+  CONDOR_ASSIGN_OR_RETURN(const auto consumers, network.net.consumers());
 
   // ---- Cluster layers into PEs ----------------------------------------
-  for (std::size_t i = 1; i < layers.size(); ++i) {
+  // Layers are visited in topological order so every producer is planned
+  // before its consumers; pe_of_layer records where each layer landed and
+  // later drives the DAG edge derivation.
+  constexpr std::size_t kUnplanned = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> pe_of_layer(layers.size(), kUnplanned);
+
+  for (const std::size_t i : order) {
     const nn::LayerSpec& layer = layers[i];
+    if (layer.kind == nn::LayerKind::kInput) {
+      continue;
+    }
 
     if (layer.kind == nn::LayerKind::kSoftmax) {
       // The normalization layer runs in the generated host code (it needs a
@@ -89,22 +100,35 @@ Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
       continue;
     }
 
-    if (layer.kind == nn::LayerKind::kActivation && !plan.pes.empty()) {
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network.net.producers(i));
+
+    // A layer may ride along inside the PE planned immediately before it
+    // only when it consumes that PE's tail stream and nothing else taps it:
+    // in a DAG, adjacency in topological order alone is not enough. Join
+    // PEs never host extra passes — their module computes one merge.
+    const bool chains_from_last_pe =
+        prods.size() == 1 && !plan.pes.empty() &&
+        pe_of_layer[prods.front()] == plan.pes.size() - 1 &&
+        consumers[prods.front()].size() == 1 &&
+        plan.pes.back().kind != PeKind::kJoin;
+
+    if (layer.kind == nn::LayerKind::kActivation && chains_from_last_pe) {
       // Element-wise activations fold into the upstream PE's output loop.
       PePlan& host_pe = plan.pes.back();
       host_pe.layer_indices.push_back(i);
       host_pe.uses_transcendental |= is_transcendental(layer.activation);
+      pe_of_layer[i] = plan.pes.size() - 1;
       continue;
     }
 
     const bool fuse_with_previous =
-        annots[i].pe_group >= 0 && !plan.pes.empty() &&
-        !plan.pes.back().layer_indices.empty() &&
+        annots[i].pe_group >= 0 && chains_from_last_pe &&
         annots[plan.pes.back().layer_indices.front()].pe_group ==
             annots[i].pe_group;
 
     if (fuse_with_previous) {
       plan.pes.back().layer_indices.push_back(i);
+      pe_of_layer[i] = plan.pes.size() - 1;
     } else {
       PePlan pe;
       pe.layer_indices.push_back(i);
@@ -117,7 +141,12 @@ Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
           pe.kind = PeKind::kClassifier;
           break;
         case nn::LayerKind::kActivation:
+        case nn::LayerKind::kUpsample:
           pe.kind = PeKind::kElementwise;
+          break;
+        case nn::LayerKind::kEltwiseAdd:
+        case nn::LayerKind::kConcat:
+          pe.kind = PeKind::kJoin;
           break;
         default:
           return internal_error("unexpected layer kind during clustering");
@@ -126,6 +155,7 @@ Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
       // followers execute under the same port structure (paper §3.2).
       pe.parallel_in = annots[i].parallel_in;
       pe.parallel_out = annots[i].parallel_out;
+      pe_of_layer[i] = plan.pes.size();
       plan.pes.push_back(std::move(pe));
     }
     if (layer.activation != nn::Activation::kNone) {
@@ -224,25 +254,52 @@ Result<AcceleratorPlan> plan_accelerator(const HwNetwork& network) {
     }
   }
 
-  // ---- Stream edges: datamover -> pe0 -> ... -> peN -> datamover --------
-  StreamEdge in_edge;
-  in_edge.from_pe = StreamEdge::kDatamover;
-  in_edge.to_pe = 0;
-  in_edge.fifo_depth = kStreamFifoDepth * plan.pes.front().parallel_in;
-  plan.edges.push_back(in_edge);
-  for (std::size_t p = 0; p + 1 < plan.pes.size(); ++p) {
-    StreamEdge edge;
-    edge.from_pe = p;
-    edge.to_pe = p + 1;
-    edge.fifo_depth =
-        kStreamFifoDepth *
-        std::max(plan.pes[p].parallel_out, plan.pes[p + 1].parallel_in);
-    plan.edges.push_back(edge);
+  // ---- Stream edges: the inter-PE DAG with datamover at the rims --------
+  // Each PE contributes the edges feeding its head layer, in producer
+  // (= operand port) order; a linear chain therefore reproduces the legacy
+  // datamover -> pe0 -> ... -> peN -> datamover edge list byte-for-byte.
+  for (std::size_t p = 0; p < plan.pes.size(); ++p) {
+    const std::size_t head = plan.pes[p].layer_indices.front();
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network.net.producers(head));
+    for (std::size_t port = 0; port < prods.size(); ++port) {
+      const std::size_t prod = prods[port];
+      StreamEdge edge;
+      edge.to_pe = p;
+      edge.to_port = port;
+      if (layers[prod].kind == nn::LayerKind::kInput) {
+        edge.from_pe = StreamEdge::kDatamover;
+        edge.fifo_depth = kStreamFifoDepth * plan.pes[p].parallel_in;
+      } else {
+        const std::size_t from = pe_of_layer[prod];
+        if (from == kUnplanned) {
+          return internal_error(strings::format(
+              "layer '%s' consumes '%s' which was not mapped to any PE",
+              layers[head].name.c_str(), layers[prod].name.c_str()));
+        }
+        edge.from_pe = from;
+        edge.fifo_depth =
+            kStreamFifoDepth *
+            std::max(plan.pes[from].parallel_out, plan.pes[p].parallel_in);
+      }
+      plan.edges.push_back(edge);
+    }
+  }
+  // The sink layer's PE feeds the output datamover (softmax, when deferred
+  // to the host, post-processes that stream on the CPU side).
+  std::size_t sink_layer = layers.size() - 1;
+  if (plan.softmax_on_host) {
+    CONDOR_ASSIGN_OR_RETURN(const auto prods,
+                            network.net.producers(sink_layer));
+    sink_layer = prods.front();
+  }
+  if (pe_of_layer[sink_layer] == kUnplanned) {
+    return internal_error("network sink was not mapped to any PE");
   }
   StreamEdge out_edge;
-  out_edge.from_pe = plan.pes.size() - 1;
+  out_edge.from_pe = pe_of_layer[sink_layer];
   out_edge.to_pe = StreamEdge::kDatamover;
-  out_edge.fifo_depth = kStreamFifoDepth * plan.pes.back().parallel_out;
+  out_edge.fifo_depth =
+      kStreamFifoDepth * plan.pes[out_edge.from_pe].parallel_out;
   plan.edges.push_back(out_edge);
 
   CONDOR_LOG_INFO(kTag) << "planned " << plan.pes.size() << " PEs for '"
@@ -263,9 +320,21 @@ std::string describe(const AcceleratorPlan& plan) {
       plan.board.id.c_str(), plan.pes.size(),
       plan.softmax_on_host ? " (+softmax on host)" : "", datapath.c_str());
   for (const PePlan& pe : plan.pes) {
-    const char* kind = pe.kind == PeKind::kFeature       ? "feature"
-                       : pe.kind == PeKind::kClassifier ? "classifier"
-                                                        : "elementwise";
+    const char* kind = "feature";
+    switch (pe.kind) {
+      case PeKind::kFeature:
+        kind = "feature";
+        break;
+      case PeKind::kClassifier:
+        kind = "classifier";
+        break;
+      case PeKind::kElementwise:
+        kind = "elementwise";
+        break;
+      case PeKind::kJoin:
+        kind = "join";
+        break;
+    }
     out += strings::format("  %-20s %-11s layers=%zu Pin=%zu Pout=%zu", pe.name.c_str(),
                            kind, pe.layer_indices.size(), pe.parallel_in,
                            pe.parallel_out);

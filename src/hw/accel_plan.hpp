@@ -32,7 +32,8 @@ namespace condor::hw {
 enum class PeKind {
   kFeature,     ///< convolution / pooling (possibly fused run of them)
   kClassifier,  ///< fully-connected layers as 1x1 convolutions
-  kElementwise, ///< standalone activation that could not be fused
+  kElementwise, ///< standalone activation / upsample that could not be fused
+  kJoin,        ///< two-input eltwise-add / concat merge point of a DAG
 };
 
 /// One access point of the sliding window, identified by its (ky, kx)
@@ -77,10 +78,14 @@ struct PePlan {
   bool uses_transcendental = false; ///< tanh/sigmoid present (DSP-heavy)
 };
 
-/// A FIFO stream edge between consecutive PEs (or datamover endpoints).
+/// A FIFO stream edge between PEs (or datamover endpoints). The edge list
+/// carries the plan's DAG: a PE appearing as from_pe on several edges fans
+/// its output blob out to every consumer, and a join PE receives its two
+/// operands on to_port 0 and 1 (matching its layer's `inputs` order).
 struct StreamEdge {
   std::size_t from_pe = 0;  ///< index into pes, or kDatamover
   std::size_t to_pe = 0;
+  std::size_t to_port = 0;  ///< operand index at the consumer (joins: 0/1)
   std::size_t fifo_depth = 0;
   static constexpr std::size_t kDatamover = static_cast<std::size_t>(-1);
 };
@@ -89,8 +94,8 @@ struct StreamEdge {
 struct AcceleratorPlan {
   HwNetwork source;
   BoardSpec board;
-  std::vector<PePlan> pes;       ///< high-level pipeline order
-  std::vector<StreamEdge> edges; ///< datamover -> pe0 -> ... -> datamover
+  std::vector<PePlan> pes;       ///< topological pipeline order
+  std::vector<StreamEdge> edges; ///< the inter-PE DAG, datamover at the rims
   bool softmax_on_host = false;  ///< final softmax deferred to host code
 
   /// Depth of the high-level pipeline (#PEs) — governs the batch size at

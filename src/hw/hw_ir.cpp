@@ -131,8 +131,18 @@ json::Value to_json(const HwNetwork& network) {
         obj.set("num_output", layer.num_output);
         obj.set("bias", layer.has_bias);
         break;
+      case nn::LayerKind::kUpsample:
+        obj.set("scale", layer.stride);
+        break;
       default:
         break;
+    }
+    if (!layer.inputs.empty()) {
+      json::Array inputs;
+      for (const std::string& producer : layer.inputs) {
+        inputs.push_back(producer);
+      }
+      obj.set("inputs", std::move(inputs));
     }
     if (layer.activation != nn::Activation::kNone) {
       obj.set("activation", std::string(nn::to_string(layer.activation)));
@@ -258,12 +268,27 @@ Result<HwNetwork> from_json(const json::Value& value) {
         }
         break;
       }
+      case nn::LayerKind::kUpsample: {
+        CONDOR_ASSIGN_OR_RETURN(layer.stride, req_size(obj, "scale"));
+        break;
+      }
       case nn::LayerKind::kActivation:
       case nn::LayerKind::kSoftmax:
+      case nn::LayerKind::kEltwiseAdd:
+      case nn::LayerKind::kConcat:
         break;
       case nn::LayerKind::kInput:
         return invalid_input(
             "layer list must not contain input layers; use the 'input' object");
+    }
+    if (const json::Value* inputs = obj.find("inputs"); inputs != nullptr) {
+      if (!inputs->is_array()) {
+        return invalid_input("layer 'inputs' must be an array of layer names");
+      }
+      for (const json::Value& producer : inputs->array()) {
+        CONDOR_ASSIGN_OR_RETURN(std::string producer_name, producer.as_string());
+        layer.inputs.push_back(std::move(producer_name));
+      }
     }
     if (const json::Value* act = obj.find("activation"); act != nullptr) {
       CONDOR_ASSIGN_OR_RETURN(std::string act_text, act->as_string());

@@ -142,6 +142,15 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
           timing.compute_interval += out.element_count();
           break;
         }
+        case nn::LayerKind::kEltwiseAdd:
+        case nn::LayerKind::kConcat:
+        case nn::LayerKind::kUpsample: {
+          // Join / routing PEs emit one output element per cycle; the
+          // operand streams arrive concurrently so the merge does not add
+          // a second pass over the data.
+          timing.compute_interval += out.element_count();
+          break;
+        }
         default:
           break;
       }

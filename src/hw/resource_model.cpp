@@ -116,6 +116,14 @@ Resources pe_cost(const AcceleratorPlan& plan, std::size_t pe_index,
         add_units = std::max(add_units, lanes + (layer.has_bias ? 1 : 0));
         break;
       }
+      case nn::LayerKind::kEltwiseAdd:
+        // One adder lane per parallel output map; the fixed-point realign
+        // shifts are wiring, not arithmetic units.
+        add_units = std::max(add_units, pe.parallel_out);
+        break;
+      case nn::LayerKind::kConcat:
+      case nn::LayerKind::kUpsample:
+        break;  // pure routing: stream muxes are covered by pe_base
       default:
         break;
     }
@@ -128,6 +136,10 @@ Resources pe_cost(const AcceleratorPlan& plan, std::size_t pe_index,
         break;
       case nn::Activation::kReLU:
         cmp_units += pe.parallel_out;  // a comparator against zero
+        break;
+      case nn::Activation::kLeakyReLU:
+        cmp_units += pe.parallel_out;  // sign test ...
+        mul_units += pe.parallel_out;  // ... then x * slope on the low branch
         break;
       case nn::Activation::kNone:
         break;

@@ -20,6 +20,12 @@ std::string_view to_string(LayerKind kind) noexcept {
       return "activation";
     case LayerKind::kSoftmax:
       return "softmax";
+    case LayerKind::kEltwiseAdd:
+      return "eltwise_add";
+    case LayerKind::kConcat:
+      return "concat";
+    case LayerKind::kUpsample:
+      return "upsample";
   }
   return "?";
 }
@@ -34,6 +40,8 @@ std::string_view to_string(Activation activation) noexcept {
       return "sigmoid";
     case Activation::kTanH:
       return "tanh";
+    case Activation::kLeakyReLU:
+      return "leaky_relu";
   }
   return "?";
 }
@@ -63,11 +71,21 @@ Result<LayerKind> parse_layer_kind(std::string_view text) {
     return LayerKind::kInnerProduct;
   }
   if (lower == "activation" || lower == "relu" || lower == "sigmoid" ||
-      lower == "tanh") {
+      lower == "tanh" || lower == "leaky_relu") {
     return LayerKind::kActivation;
   }
   if (lower == "softmax") {
     return LayerKind::kSoftmax;
+  }
+  if (lower == "eltwise_add" || lower == "eltwise" || lower == "add" ||
+      lower == "shortcut") {
+    return LayerKind::kEltwiseAdd;
+  }
+  if (lower == "concat" || lower == "route") {
+    return LayerKind::kConcat;
+  }
+  if (lower == "upsample") {
+    return LayerKind::kUpsample;
   }
   return invalid_input("unknown layer kind '" + std::string(text) + "'");
 }
@@ -85,6 +103,9 @@ Result<Activation> parse_activation(std::string_view text) {
   }
   if (lower == "tanh") {
     return Activation::kTanH;
+  }
+  if (lower == "leaky_relu" || lower == "leaky") {
+    return Activation::kLeakyReLU;
   }
   return invalid_input("unknown activation '" + std::string(text) + "'");
 }
@@ -155,6 +176,18 @@ std::uint64_t layer_flops(const LayerSpec& layer, const Shape& input,
     case LayerKind::kSoftmax:
       // exp + add + divide per element.
       return output.element_count() * 3;
+    case LayerKind::kEltwiseAdd: {
+      // One add per output element, plus the optional fused activation.
+      std::uint64_t flops = output.element_count();
+      if (layer.activation != Activation::kNone) {
+        flops += output.element_count();
+      }
+      return flops;
+    }
+    case LayerKind::kConcat:
+    case LayerKind::kUpsample:
+      // Pure data movement: no arithmetic.
+      return 0;
   }
   return 0;
 }
@@ -169,6 +202,8 @@ float apply_activation(Activation activation, float x) noexcept {
       return 1.0F / (1.0F + std::exp(-x));
     case Activation::kTanH:
       return std::tanh(x);
+    case Activation::kLeakyReLU:
+      return x > 0.0F ? x : kLeakyReluSlope * x;
   }
   return x;
 }

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.hpp"
 #include "tensor/tensor.hpp"
@@ -24,14 +25,22 @@ enum class LayerKind {
   kInnerProduct,  ///< fully-connected, paper eq. (4)
   kActivation,    ///< element-wise non-linearity as a standalone layer
   kSoftmax,       ///< normalization layer, paper eq. (5)
+  kEltwiseAdd,    ///< element-wise sum of two producer blobs (residual join)
+  kConcat,        ///< channel concatenation of two producer blobs (route join)
+  kUpsample,      ///< nearest-neighbour spatial upsampling by `stride`
 };
 
 enum class Activation {
   kNone,
-  kReLU,     ///< f(x) = max(0, x)
-  kSigmoid,  ///< f(x) = 1 / (1 + e^-x)
-  kTanH,     ///< f(x) = tanh(x)
+  kReLU,       ///< f(x) = max(0, x)
+  kSigmoid,    ///< f(x) = 1 / (1 + e^-x)
+  kTanH,       ///< f(x) = tanh(x)
+  kLeakyReLU,  ///< f(x) = x > 0 ? x : kLeakyReluSlope * x
 };
+
+/// Negative-side slope of Activation::kLeakyReLU. Fixed at the Darknet/YOLO
+/// convention; importers accept only models whose alpha matches.
+inline constexpr float kLeakyReluSlope = 0.1F;
 
 enum class PoolMethod { kMax, kAverage };
 
@@ -45,11 +54,18 @@ Result<LayerKind> parse_layer_kind(std::string_view text);
 Result<Activation> parse_activation(std::string_view text);
 Result<PoolMethod> parse_pool_method(std::string_view text);
 
-/// One layer of the sequential network. Fields not applicable to a kind are
+/// One layer of the network DAG. Fields not applicable to a kind are
 /// ignored (and validated to be at defaults by Network::validate()).
 struct LayerSpec {
   std::string name;
   LayerKind kind = LayerKind::kConvolution;
+
+  /// Names of the producer layers whose output blobs this layer consumes.
+  /// Empty means "the previous layer in declaration order" — the implicit
+  /// linear chain every pre-DAG network uses, kept byte-for-byte compatible.
+  /// Join kinds (kEltwiseAdd, kConcat) name exactly two producers; every
+  /// other kind names at most one.
+  std::vector<std::string> inputs;
 
   // kInput
   std::size_t input_channels = 0;
@@ -81,6 +97,11 @@ struct LayerSpec {
   /// True for layers that own trainable parameters.
   [[nodiscard]] bool has_weights() const noexcept {
     return kind == LayerKind::kConvolution || kind == LayerKind::kInnerProduct;
+  }
+
+  /// True for the two-input join kinds that merge producer blobs.
+  [[nodiscard]] bool is_join() const noexcept {
+    return kind == LayerKind::kEltwiseAdd || kind == LayerKind::kConcat;
   }
 };
 

@@ -59,6 +59,30 @@ LayerSpec softmax(std::string name) {
   return layer;
 }
 
+/// Rebinds a layer's producer away from the implicit chain.
+LayerSpec from(LayerSpec layer, std::string producer) {
+  layer.inputs = {std::move(producer)};
+  return layer;
+}
+
+LayerSpec eltwise_add(std::string name, std::string a, std::string b,
+                      Activation activation = Activation::kNone) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kEltwiseAdd;
+  layer.inputs = {std::move(a), std::move(b)};
+  layer.activation = activation;
+  return layer;
+}
+
+LayerSpec concat(std::string name, std::string a, std::string b) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kConcat;
+  layer.inputs = {std::move(a), std::move(b)};
+  return layer;
+}
+
 }  // namespace
 
 Network make_tc1() {
@@ -112,6 +136,43 @@ Network make_vgg16() {
   return net;
 }
 
+Network make_tiny_resnet() {
+  // Stem -> two residual blocks -> concat head over both block outputs.
+  // Every DAG feature at unit-test scale: the stem and first block output
+  // each feed two consumers (fan-out), the eltwise adds join equal-shaped
+  // blobs, and the concat head joins along channels.
+  Network net("tiny-resnet");
+  net.add(input_layer(3, 16, 16));
+  net.add(conv("stem", 8, 3, Activation::kReLU, 1, 1));   // 8 @ 16x16
+  net.add(conv("b1c1", 8, 3, Activation::kReLU, 1, 1));   // 8 @ 16x16
+  net.add(conv("b1c2", 8, 3, Activation::kNone, 1, 1));   // 8 @ 16x16
+  net.add(eltwise_add("b1add", "stem", "b1c2", Activation::kReLU));
+  net.add(from(conv("b2c1", 8, 3, Activation::kReLU, 1, 1), "b1add"));
+  net.add(conv("b2c2", 8, 3, Activation::kNone, 1, 1));   // 8 @ 16x16
+  net.add(eltwise_add("b2add", "b1add", "b2c2", Activation::kReLU));
+  net.add(concat("head", "b1add", "b2add"));              // 16 @ 16x16
+  net.add(pool("pool", PoolMethod::kMax));                // 16 @ 8x8
+  net.add(fc("ip1", 10));
+  net.add(softmax("prob"));
+  return net;
+}
+
+Network make_lenet_skip() {
+  // LeNet's front half with a residual shortcut around a padded 3x3
+  // convolution of pool1 — the smallest realistic skip connection.
+  Network net("lenet-skip");
+  net.add(input_layer(1, 28, 28));
+  net.add(conv("conv1", 20, 5));                          // 20 @ 24x24
+  net.add(pool("pool1", PoolMethod::kMax));               // 20 @ 12x12
+  net.add(conv("conv2", 20, 3, Activation::kReLU, 1, 1)); // 20 @ 12x12
+  net.add(eltwise_add("skip", "pool1", "conv2", Activation::kReLU));
+  net.add(pool("pool2", PoolMethod::kMax));               // 20 @ 6x6
+  net.add(fc("ip1", 500, Activation::kReLU));
+  net.add(fc("ip2", 10));
+  net.add(softmax("prob"));
+  return net;
+}
+
 Result<Network> make_model(std::string_view name) {
   const std::string lower = strings::to_lower(name);
   if (lower == "tc1") {
@@ -122,6 +183,12 @@ Result<Network> make_model(std::string_view name) {
   }
   if (lower == "vgg16" || lower == "vgg-16") {
     return make_vgg16();
+  }
+  if (lower == "tiny_resnet" || lower == "tiny-resnet" || lower == "resnet") {
+    return make_tiny_resnet();
+  }
+  if (lower == "lenet_skip" || lower == "lenet-skip") {
+    return make_lenet_skip();
   }
   return not_found("unknown model '" + std::string(name) + "'");
 }

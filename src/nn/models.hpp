@@ -28,7 +28,19 @@ Network make_lenet();
 /// VGG-16 (configuration D), 224x224 RGB.
 Network make_vgg16();
 
-/// Looks a model up by case-insensitive name ("tc1", "lenet", "vgg16").
+/// Tiny ResNet-style branchy fixture: a stem convolution, two residual
+/// blocks joined by eltwise adds, and a concat head over both block
+/// outputs, followed by pool -> fc -> softmax. Exercises every DAG feature
+/// (fan-out, eltwise join, concat join) at unit-test scale.
+Network make_tiny_resnet();
+
+/// LeNet with a residual skip: pool1 is added element-wise to a padded
+/// 3x3 convolution of itself before the classifier. The smallest realistic
+/// skip-connection example.
+Network make_lenet_skip();
+
+/// Looks a model up by case-insensitive name ("tc1", "lenet", "vgg16",
+/// "tiny_resnet", "lenet_skip").
 Result<Network> make_model(std::string_view name);
 
 }  // namespace condor::nn

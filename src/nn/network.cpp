@@ -1,5 +1,6 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "common/strings.hpp"
@@ -15,6 +16,121 @@ const LayerSpec* Network::find_layer(std::string_view name) const noexcept {
   return nullptr;
 }
 
+Result<std::size_t> Network::layer_index(std::string_view name) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].name == name) {
+      return i;
+    }
+  }
+  return not_found("network '" + name_ + "' has no layer named '" +
+                   std::string(name) + "'");
+}
+
+Result<std::vector<std::size_t>> Network::producers(std::size_t index) const {
+  if (index >= layers_.size()) {
+    return invalid_input(strings::format("layer index %zu out of range", index));
+  }
+  const LayerSpec& layer = layers_[index];
+  std::vector<std::size_t> out;
+  if (layer.inputs.empty()) {
+    // The implicit linear chain: every non-input layer consumes the blob of
+    // the layer declared just before it.
+    if (layer.kind != LayerKind::kInput && index > 0) {
+      out.push_back(index - 1);
+    }
+    return out;
+  }
+  if (layer.kind == LayerKind::kInput) {
+    return invalid_input("input layer '" + layer.name +
+                         "' cannot name producers");
+  }
+  out.reserve(layer.inputs.size());
+  for (const std::string& input : layer.inputs) {
+    CONDOR_ASSIGN_OR_RETURN(std::size_t producer, layer_index(input));
+    if (producer == index) {
+      return invalid_input("layer '" + layer.name +
+                           "' consumes its own output");
+    }
+    out.push_back(producer);
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::size_t>>> Network::consumers() const {
+  std::vector<std::vector<std::size_t>> out(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    CONDOR_ASSIGN_OR_RETURN(auto prods, producers(i));
+    for (std::size_t p : prods) {
+      out[p].push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::size_t>> Network::topological_order() const {
+  const std::size_t n = layers_.size();
+  std::vector<std::vector<std::size_t>> consumer_of(n);
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    CONDOR_ASSIGN_OR_RETURN(auto prods, producers(i));
+    indegree[i] = prods.size();
+    for (std::size_t p : prods) {
+      consumer_of[p].push_back(i);
+    }
+  }
+  // Kahn's algorithm, always emitting the lowest ready index: a network
+  // whose declaration order is already topological (every linear chain)
+  // comes back as the identity permutation.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> emitted(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t next = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!emitted[i] && indegree[i] == 0) {
+        next = i;
+        break;
+      }
+    }
+    if (next == n) {
+      return invalid_input("network '" + name_ +
+                           "' has a cycle in its producer graph");
+    }
+    emitted[next] = true;
+    order.push_back(next);
+    for (std::size_t c : consumer_of[next]) {
+      --indegree[c];
+    }
+  }
+  return order;
+}
+
+std::size_t Network::join_count() const noexcept {
+  std::size_t count = 0;
+  for (const LayerSpec& layer : layers_) {
+    if (layer.is_join()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<std::size_t> Network::dag_depth() const {
+  CONDOR_ASSIGN_OR_RETURN(auto order, topological_order());
+  std::vector<std::size_t> depth(layers_.size(), 0);
+  std::size_t deepest = 0;
+  for (std::size_t i : order) {
+    CONDOR_ASSIGN_OR_RETURN(auto prods, producers(i));
+    std::size_t d = 1;
+    for (std::size_t p : prods) {
+      d = std::max(d, depth[p] + 1);
+    }
+    depth[i] = d;
+    deepest = std::max(deepest, d);
+  }
+  return deepest;
+}
+
 Status Network::validate() const {
   if (layers_.empty()) {
     return invalid_input("network '" + name_ + "' has no layers");
@@ -23,7 +139,6 @@ Status Network::validate() const {
     return invalid_input("first layer must be an input layer");
   }
   std::set<std::string> names;
-  bool classifier_started = false;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const LayerSpec& layer = layers_[i];
     if (layer.name.empty()) {
@@ -31,6 +146,10 @@ Status Network::validate() const {
     }
     if (!names.insert(layer.name).second) {
       return invalid_input("duplicate layer name '" + layer.name + "'");
+    }
+    if (layer.inputs.size() > 1 && !layer.is_join()) {
+      return invalid_input(std::string(to_string(layer.kind)) + " '" +
+                           layer.name + "' can consume at most one input");
     }
     switch (layer.kind) {
       case LayerKind::kInput:
@@ -45,10 +164,6 @@ Status Network::validate() const {
         }
         break;
       case LayerKind::kConvolution:
-        if (classifier_started) {
-          return invalid_input("convolution '" + layer.name +
-                               "' cannot follow an inner-product layer");
-        }
         if (layer.num_output == 0) {
           return invalid_input("convolution '" + layer.name +
                                "' must have num_output > 0");
@@ -59,10 +174,6 @@ Status Network::validate() const {
         }
         break;
       case LayerKind::kPooling:
-        if (classifier_started) {
-          return invalid_input("pooling '" + layer.name +
-                               "' cannot follow an inner-product layer");
-        }
         if (layer.kernel_h == 0 || layer.kernel_w == 0 || layer.stride == 0) {
           return invalid_input("pooling '" + layer.name +
                                "' has invalid window geometry");
@@ -76,7 +187,6 @@ Status Network::validate() const {
         }
         break;
       case LayerKind::kInnerProduct:
-        classifier_started = true;
         if (layer.num_output == 0) {
           return invalid_input("inner product '" + layer.name +
                                "' must have num_output > 0");
@@ -94,50 +204,109 @@ Status Network::validate() const {
                                "' must be the final layer");
         }
         break;
+      case LayerKind::kEltwiseAdd:
+      case LayerKind::kConcat:
+        if (layer.inputs.size() != 2) {
+          return invalid_input(std::string(to_string(layer.kind)) + " '" +
+                               layer.name + "' must name exactly two inputs");
+        }
+        break;
+      case LayerKind::kUpsample:
+        if (layer.stride == 0) {
+          return invalid_input("upsample '" + layer.name +
+                               "' must have a positive scale (stride)");
+        }
+        break;
     }
+  }
+  // The producer graph must resolve and sort: topological_order() surfaces
+  // unknown input names, self-references, and cycles.
+  CONDOR_ASSIGN_OR_RETURN(const auto order, topological_order());
+  // Spatial layers cannot consume a classifier output: walk the sorted DAG
+  // and taint everything downstream of an inner-product layer (the flattened
+  // half of the network). For linear chains this reproduces the old
+  // "classifier started" declaration-order check verbatim.
+  std::vector<bool> flattened(layers_.size(), false);
+  std::size_t sink_count = 0;
+  std::vector<std::size_t> consumer_count(layers_.size(), 0);
+  for (std::size_t i : order) {
+    const LayerSpec& layer = layers_[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, producers(i));
+    bool tainted = layer.kind == LayerKind::kInnerProduct;
+    for (std::size_t p : prods) {
+      consumer_count[p] += 1;
+      tainted = tainted || flattened[p];
+    }
+    if (tainted && layer.kind != LayerKind::kInnerProduct &&
+        layer.kind != LayerKind::kActivation &&
+        layer.kind != LayerKind::kSoftmax) {
+      return invalid_input(std::string(to_string(layer.kind)) + " '" +
+                           layer.name +
+                           "' cannot follow an inner-product layer");
+    }
+    flattened[i] = tainted;
+  }
+  std::size_t sink = layers_.size();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (consumer_count[i] == 0) {
+      ++sink_count;
+      sink = i;
+    }
+  }
+  if (sink_count != 1) {
+    return invalid_input(strings::format(
+        "network '%s' must have exactly one output layer (found %zu "
+        "unconsumed blobs)",
+        name_.c_str(), sink_count));
+  }
+  if (sink + 1 != layers_.size()) {
+    return invalid_input("network '" + name_ + "' output layer '" +
+                         layers_[sink].name + "' must be declared last");
   }
   return Status::ok();
 }
 
 Result<std::vector<LayerShapes>> Network::infer_shapes() const {
   CONDOR_RETURN_IF_ERROR(validate());
-  std::vector<LayerShapes> shapes;
-  shapes.reserve(layers_.size());
-  Shape current;
-  for (const LayerSpec& layer : layers_) {
-    LayerShapes entry;
-    entry.input = current;
+  CONDOR_ASSIGN_OR_RETURN(const auto order, topological_order());
+  std::vector<LayerShapes> shapes(layers_.size());
+  for (std::size_t i : order) {
+    const LayerSpec& layer = layers_[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, producers(i));
+    LayerShapes& entry = shapes[i];
+    entry.input = prods.empty() ? Shape{} : shapes[prods.front()].output;
     switch (layer.kind) {
       case LayerKind::kInput:
-        entry.input = Shape{};
         entry.output =
             Shape{layer.input_channels, layer.input_height, layer.input_width};
         break;
       case LayerKind::kConvolution: {
-        if (current.rank() != 3) {
+        if (entry.input.rank() != 3) {
           return invalid_input("convolution '" + layer.name +
                                "' requires a CHW input");
         }
         CONDOR_ASSIGN_OR_RETURN(
             std::size_t out_h,
-            window_output_extent(current[1], layer.kernel_h, layer.stride, layer.pad));
+            window_output_extent(entry.input[1], layer.kernel_h, layer.stride,
+                                 layer.pad));
         CONDOR_ASSIGN_OR_RETURN(
             std::size_t out_w,
-            window_output_extent(current[2], layer.kernel_w, layer.stride, layer.pad));
+            window_output_extent(entry.input[2], layer.kernel_w, layer.stride,
+                                 layer.pad));
         entry.output = Shape{layer.num_output, out_h, out_w};
         break;
       }
       case LayerKind::kPooling: {
-        if (current.rank() != 3) {
+        if (entry.input.rank() != 3) {
           return invalid_input("pooling '" + layer.name + "' requires a CHW input");
         }
         CONDOR_ASSIGN_OR_RETURN(
             std::size_t out_h,
-            window_output_extent(current[1], layer.kernel_h, layer.stride, 0));
+            window_output_extent(entry.input[1], layer.kernel_h, layer.stride, 0));
         CONDOR_ASSIGN_OR_RETURN(
             std::size_t out_w,
-            window_output_extent(current[2], layer.kernel_w, layer.stride, 0));
-        entry.output = Shape{current[0], out_h, out_w};
+            window_output_extent(entry.input[2], layer.kernel_w, layer.stride, 0));
+        entry.output = Shape{entry.input[0], out_h, out_w};
         break;
       }
       case LayerKind::kInnerProduct:
@@ -146,11 +315,48 @@ Result<std::vector<LayerShapes>> Network::infer_shapes() const {
         break;
       case LayerKind::kActivation:
       case LayerKind::kSoftmax:
-        entry.output = current;
+        entry.output = entry.input;
         break;
+      case LayerKind::kEltwiseAdd: {
+        const Shape& a = shapes[prods[0]].output;
+        const Shape& b = shapes[prods[1]].output;
+        if (a.rank() != 3 || b.rank() != 3) {
+          return invalid_input("eltwise_add '" + layer.name +
+                               "' requires CHW inputs");
+        }
+        if (a != b) {
+          return invalid_input("eltwise_add '" + layer.name +
+                               "' input shapes disagree: " + a.to_string() +
+                               " vs " + b.to_string());
+        }
+        entry.output = a;
+        break;
+      }
+      case LayerKind::kConcat: {
+        const Shape& a = shapes[prods[0]].output;
+        const Shape& b = shapes[prods[1]].output;
+        if (a.rank() != 3 || b.rank() != 3) {
+          return invalid_input("concat '" + layer.name +
+                               "' requires CHW inputs");
+        }
+        if (a[1] != b[1] || a[2] != b[2]) {
+          return invalid_input("concat '" + layer.name +
+                               "' input spatial extents disagree: " +
+                               a.to_string() + " vs " + b.to_string());
+        }
+        entry.output = Shape{a[0] + b[0], a[1], a[2]};
+        break;
+      }
+      case LayerKind::kUpsample: {
+        if (entry.input.rank() != 3) {
+          return invalid_input("upsample '" + layer.name +
+                               "' requires a CHW input");
+        }
+        entry.output = Shape{entry.input[0], entry.input[1] * layer.stride,
+                             entry.input[2] * layer.stride};
+        break;
+      }
     }
-    current = entry.output;
-    shapes.push_back(std::move(entry));
   }
   return shapes;
 }
@@ -245,6 +451,15 @@ std::string Network::summary() const {
     if (layer.activation != Activation::kNone) {
       out += " +";
       out += to_string(layer.activation);
+    }
+    if (!layer.inputs.empty()) {
+      out += "  <- ";
+      for (std::size_t j = 0; j < layer.inputs.size(); ++j) {
+        if (j > 0) {
+          out += ",";
+        }
+        out += layer.inputs[j];
+      }
     }
     out += "\n";
   }

@@ -1,9 +1,14 @@
-// Sequential network IR with shape inference and validation.
+// Network IR with shape inference and validation.
 //
-// Condor targets inference of feed-forward chains (features extraction
-// followed by an MLP classifier, paper §2). The Network owns the layer list
-// and provides per-layer input/output shapes, FLOP accounting (used by the
-// GFLOPS computations in the evaluation) and structural validation.
+// Condor targets inference of feed-forward DAGs: the paper's sequential
+// chains (features extraction followed by an MLP classifier, §2) plus
+// residual/route topologies joined by eltwise-add and concat layers. Each
+// layer names its producer blobs via LayerSpec::inputs; an empty list means
+// "the previous layer", which keeps pre-DAG chain definitions byte-for-byte
+// compatible. The Network owns the layer list and provides producer
+// resolution, topological ordering, per-layer input/output shapes, FLOP
+// accounting (used by the GFLOPS computations in the evaluation) and
+// structural validation.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +21,9 @@
 
 namespace condor::nn {
 
-/// Resolved geometry of one layer within a network.
+/// Resolved geometry of one layer within a network. For two-input joins
+/// `input` is the first producer's output blob; look up the second via
+/// Network::producers().
 struct LayerShapes {
   Shape input;   ///< CHW for feature extraction, flat (N) for classifier
   Shape output;
@@ -42,9 +49,37 @@ class Network {
   /// Finds a layer by name, or nullptr.
   [[nodiscard]] const LayerSpec* find_layer(std::string_view name) const noexcept;
 
+  /// Index of the named layer, or an error when no layer has that name.
+  [[nodiscard]] Result<std::size_t> layer_index(std::string_view name) const;
+
+  /// Producer layer indices of layer `index`, with the implicit-chain rule
+  /// applied: an empty `inputs` list on a non-input layer resolves to the
+  /// previous layer in declaration order. Errors on unknown names and
+  /// self-references.
+  [[nodiscard]] Result<std::vector<std::size_t>> producers(
+      std::size_t index) const;
+
+  /// Consumer indices for every layer — the inverse of producers().
+  [[nodiscard]] Result<std::vector<std::vector<std::size_t>>> consumers() const;
+
+  /// Kahn topological order over the producer edges. Ready layers are
+  /// emitted in ascending declaration index, so an already-sorted list (any
+  /// linear chain in particular) yields the identity permutation. Errors
+  /// when the producer graph has a cycle.
+  [[nodiscard]] Result<std::vector<std::size_t>> topological_order() const;
+
+  /// Number of two-input join layers (eltwise add / concat).
+  [[nodiscard]] std::size_t join_count() const noexcept;
+
+  /// Longest producer→consumer path, counted in layers (a linear N-layer
+  /// network has depth N).
+  [[nodiscard]] Result<std::size_t> dag_depth() const;
+
   /// Checks structural invariants: starts with exactly one kInput, window
-  /// geometries fit, inner-product layers only after the last spatial layer,
-  /// names unique and non-empty. Returns the first violation.
+  /// geometries fit, producer references resolve into an acyclic graph with
+  /// a single sink, joins name exactly two producers, no spatial layer
+  /// consumes a classifier output, names unique and non-empty. Returns the
+  /// first violation.
   [[nodiscard]] Status validate() const;
 
   /// Runs shape inference; requires validate() to pass.

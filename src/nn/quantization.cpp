@@ -207,6 +207,80 @@ FixedBlob fixed_activation(Activation activation, const FixedBlob& in,
   return out;
 }
 
+Result<FixedBlob> fixed_eltwise_add(const LayerSpec& layer, const FixedBlob& a,
+                                    const FixedBlob& b, int total_bits) {
+  if (a.shape != b.shape) {
+    return invalid_input("eltwise_add '" + layer.name +
+                         "': input shapes disagree");
+  }
+  // Realign both operands to the finer of the two dynamic formats — an
+  // exact shift left in int64 — then add: the sum carries frac = max(fa,fb)
+  // and feeds the canonical dequantize→activate→requantize boundary step.
+  // The executor's JoinModule mirrors this arithmetic exactly.
+  const int common = std::max(a.frac_bits, b.frac_bits);
+  std::vector<std::int64_t> raw(a.codes.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = realign_code(a.codes[i], a.frac_bits, common) +
+             realign_code(b.codes[i], b.frac_bits, common);
+  }
+  return requantize_layer_output(a.shape, raw, common, layer.activation,
+                                 total_bits);
+}
+
+Result<FixedBlob> fixed_concat(const LayerSpec& layer, const FixedBlob& a,
+                               const FixedBlob& b, int total_bits) {
+  if (a.shape.rank() != 3 || b.shape.rank() != 3 || a.shape[1] != b.shape[1] ||
+      a.shape[2] != b.shape[2]) {
+    return invalid_input("concat '" + layer.name +
+                         "': input spatial extents disagree");
+  }
+  // The operands carry different dynamic formats, so the joined blob is
+  // rebuilt in value space and requantized with one fresh format.
+  std::vector<float> values(a.codes.size() + b.codes.size());
+  for (std::size_t i = 0; i < a.codes.size(); ++i) {
+    values[i] = apply_activation(layer.activation,
+                                 dequantize_code(a.codes[i], a.frac_bits));
+  }
+  for (std::size_t i = 0; i < b.codes.size(); ++i) {
+    values[a.codes.size() + i] = apply_activation(
+        layer.activation, dequantize_code(b.codes[i], b.frac_bits));
+  }
+  FixedBlob out;
+  out.shape = Shape{a.shape[0] + b.shape[0], a.shape[1], a.shape[2]};
+  out.frac_bits = quantize_span(values, total_bits, out.codes).frac_bits;
+  return out;
+}
+
+FixedBlob fixed_upsample(const LayerSpec& layer, const FixedBlob& in,
+                         int total_bits) {
+  const std::size_t channels = in.shape[0];
+  const std::size_t in_h = in.shape[1];
+  const std::size_t in_w = in.shape[2];
+  const std::size_t scale = layer.stride;
+  std::vector<float> values(channels * in_h * scale * in_w * scale);
+  const std::size_t out_w = in_w * scale;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t y = 0; y < in_h; ++y) {
+      for (std::size_t x = 0; x < in_w; ++x) {
+        const float value = apply_activation(
+            layer.activation,
+            dequantize_code(in.codes[(c * in_h + y) * in_w + x], in.frac_bits));
+        for (std::size_t sy = 0; sy < scale; ++sy) {
+          float* row =
+              values.data() + ((c * in_h + y) * scale + sy) * out_w + x * scale;
+          for (std::size_t sx = 0; sx < scale; ++sx) {
+            row[sx] = value;
+          }
+        }
+      }
+    }
+  }
+  FixedBlob out;
+  out.shape = Shape{channels, in_h * scale, in_w * scale};
+  out.frac_bits = quantize_span(values, total_bits, out.codes).frac_bits;
+  return out;
+}
+
 Tensor dequantize_blob(const FixedBlob& blob) {
   Tensor out(blob.shape);
   const auto view = out.data();
@@ -250,17 +324,29 @@ Result<Tensor> QuantizedEngine::forward(const Tensor& input) const {
   if (type_ == DataType::kFloat32) {
     return engine_.forward(input);
   }
-  // The integer datapath: quantize the image once, then carry codes from
-  // layer to layer, requantizing each output blob with a fresh dynamic
-  // format (see nn/numeric.hpp for the conventions).
-  FixedBlob current;
-  current.shape = input.shape();
-  current.frac_bits =
-      quantize_span(input.data(), total_bits_, current.codes).frac_bits;
+  // The integer datapath: quantize the image once, then carry codes along
+  // the topologically sorted DAG, requantizing each output blob with a
+  // fresh dynamic format (see nn/numeric.hpp for the conventions). Producer
+  // blobs are released once their last consumer has fired.
   const Network& net = engine_.network();
-  for (const LayerSpec& layer : net.layers()) {
+  CONDOR_ASSIGN_OR_RETURN(const auto order, net.topological_order());
+  CONDOR_ASSIGN_OR_RETURN(const auto consumer_table, net.consumers());
+  std::vector<std::size_t> remaining(net.layer_count());
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    remaining[i] = consumer_table[i].size();
+  }
+  FixedBlob image;
+  image.shape = input.shape();
+  image.frac_bits =
+      quantize_span(input.data(), total_bits_, image.codes).frac_bits;
+  std::vector<FixedBlob> blobs(net.layer_count());
+  for (std::size_t i : order) {
+    const LayerSpec& layer = net.layers()[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, net.producers(i));
+    const FixedBlob& in0 = prods.empty() ? image : blobs[prods[0]];
     switch (layer.kind) {
       case LayerKind::kInput:
+        blobs[i] = image;
         break;
       case LayerKind::kConvolution: {
         const LayerParameters* params = engine_.weights().find(layer.name);
@@ -268,12 +354,12 @@ Result<Tensor> QuantizedEngine::forward(const Tensor& input) const {
           return not_found("no weights for '" + layer.name + "'");
         }
         CONDOR_ASSIGN_OR_RETURN(
-            current, fixed_convolution(layer, current, *params, total_bits_));
+            blobs[i], fixed_convolution(layer, in0, *params, total_bits_));
         break;
       }
       case LayerKind::kPooling: {
-        CONDOR_ASSIGN_OR_RETURN(current,
-                                fixed_pooling(layer, current, total_bits_));
+        CONDOR_ASSIGN_OR_RETURN(blobs[i],
+                                fixed_pooling(layer, in0, total_bits_));
         break;
       }
       case LayerKind::kInnerProduct: {
@@ -282,19 +368,39 @@ Result<Tensor> QuantizedEngine::forward(const Tensor& input) const {
           return not_found("no weights for '" + layer.name + "'");
         }
         CONDOR_ASSIGN_OR_RETURN(
-            current, fixed_inner_product(layer, current, *params, total_bits_));
+            blobs[i], fixed_inner_product(layer, in0, *params, total_bits_));
         break;
       }
       case LayerKind::kActivation:
-        current = fixed_activation(layer.activation, current, total_bits_);
+        blobs[i] = fixed_activation(layer.activation, in0, total_bits_);
         break;
       case LayerKind::kSoftmax:
         // The normalization runs on the host in float (see the planner):
         // dequantize and finish in floating point, no requantization.
-        return forward_softmax(dequantize_blob(current));
+        // validate() pins softmax as the network's unique sink.
+        return forward_softmax(dequantize_blob(in0));
+      case LayerKind::kEltwiseAdd: {
+        CONDOR_ASSIGN_OR_RETURN(
+            blobs[i],
+            fixed_eltwise_add(layer, in0, blobs[prods[1]], total_bits_));
+        break;
+      }
+      case LayerKind::kConcat: {
+        CONDOR_ASSIGN_OR_RETURN(
+            blobs[i], fixed_concat(layer, in0, blobs[prods[1]], total_bits_));
+        break;
+      }
+      case LayerKind::kUpsample:
+        blobs[i] = fixed_upsample(layer, in0, total_bits_);
+        break;
+    }
+    for (std::size_t p : prods) {
+      if (--remaining[p] == 0) {
+        blobs[p] = FixedBlob{};
+      }
     }
   }
-  return dequantize_blob(current);
+  return dequantize_blob(blobs.back());
 }
 
 QuantizationError compare_outputs(const Tensor& reference, const Tensor& quantized) {

@@ -206,6 +206,76 @@ Tensor forward_activation(Activation activation, const Tensor& input) {
   return output;
 }
 
+Result<Tensor> forward_eltwise_add(const LayerSpec& layer, const Tensor& a,
+                                   const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    return invalid_input("eltwise_add '" + layer.name +
+                         "': input shapes disagree: " + a.shape().to_string() +
+                         " vs " + b.shape().to_string());
+  }
+  Tensor output(a.shape());
+  const auto va = a.data();
+  const auto vb = b.data();
+  const auto out = output.data();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = apply_activation(layer.activation, va[i] + vb[i]);
+  }
+  return output;
+}
+
+Result<Tensor> forward_concat(const LayerSpec& layer, const Tensor& a,
+                              const Tensor& b) {
+  if (a.shape().rank() != 3 || b.shape().rank() != 3 ||
+      a.shape()[1] != b.shape()[1] || a.shape()[2] != b.shape()[2]) {
+    return invalid_input("concat '" + layer.name +
+                         "': input spatial extents disagree: " +
+                         a.shape().to_string() + " vs " +
+                         b.shape().to_string());
+  }
+  Tensor output(Shape{a.shape()[0] + b.shape()[0], a.shape()[1], a.shape()[2]});
+  std::memcpy(output.raw(), a.raw(), a.size() * sizeof(float));
+  std::memcpy(output.raw() + a.size(), b.raw(), b.size() * sizeof(float));
+  if (layer.activation != Activation::kNone) {
+    for (float& value : output.data()) {
+      value = apply_activation(layer.activation, value);
+    }
+  }
+  return output;
+}
+
+Result<Tensor> forward_upsample(const LayerSpec& layer, const Tensor& input) {
+  if (input.shape().rank() != 3) {
+    return invalid_input("upsample input must be CHW");
+  }
+  if (layer.stride == 0) {
+    return invalid_input("upsample '" + layer.name +
+                         "' must have a positive scale (stride)");
+  }
+  const std::size_t channels = input.shape()[0];
+  const std::size_t in_h = input.shape()[1];
+  const std::size_t in_w = input.shape()[2];
+  const std::size_t scale = layer.stride;
+  Tensor output(Shape{channels, in_h * scale, in_w * scale});
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t y = 0; y < in_h; ++y) {
+      // Build one scaled row, then replicate it `scale` times.
+      float* out_row = &output.at(c, y * scale, 0);
+      for (std::size_t x = 0; x < in_w; ++x) {
+        const float value =
+            apply_activation(layer.activation, input.at(c, y, x));
+        for (std::size_t sx = 0; sx < scale; ++sx) {
+          out_row[x * scale + sx] = value;
+        }
+      }
+      for (std::size_t sy = 1; sy < scale; ++sy) {
+        std::memcpy(&output.at(c, y * scale + sy, 0), out_row,
+                    in_w * scale * sizeof(float));
+      }
+    }
+  }
+  return output;
+}
+
 Tensor forward_softmax(const Tensor& input) {
   Tensor output = input;
   const auto view = output.data();
@@ -225,6 +295,49 @@ Tensor forward_softmax(const Tensor& input) {
   return output;
 }
 
+namespace {
+
+/// Dispatches one layer of the topological DAG walk. `in0`/`in1` are the
+/// resolved producer blobs (`in1` only for the two-input joins); `image` is
+/// the network input consumed by the kInput layer.
+Result<Tensor> forward_layer(const LayerSpec& layer, const WeightStore& weights,
+                             const Tensor& image, const Tensor& in0,
+                             const Tensor* in1, ThreadPool* pool) {
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      return image;  // pass-through: output is the declared input blob
+    case LayerKind::kConvolution: {
+      const LayerParameters* params = weights.find(layer.name);
+      if (params == nullptr) {
+        return not_found("no weights for '" + layer.name + "'");
+      }
+      return forward_convolution(layer, in0, *params, pool);
+    }
+    case LayerKind::kPooling:
+      return forward_pooling(layer, in0);
+    case LayerKind::kInnerProduct: {
+      const LayerParameters* params = weights.find(layer.name);
+      if (params == nullptr) {
+        return not_found("no weights for '" + layer.name + "'");
+      }
+      return forward_inner_product(layer, in0, *params);
+    }
+    case LayerKind::kActivation:
+      return forward_activation(layer.activation, in0);
+    case LayerKind::kSoftmax:
+      return forward_softmax(in0);
+    case LayerKind::kEltwiseAdd:
+      return forward_eltwise_add(layer, in0, *in1);
+    case LayerKind::kConcat:
+      return forward_concat(layer, in0, *in1);
+    case LayerKind::kUpsample:
+      return forward_upsample(layer, in0);
+  }
+  return internal_error("unhandled layer kind");
+}
+
+}  // namespace
+
 Result<ReferenceEngine> ReferenceEngine::create(Network network,
                                                 WeightStore weights) {
   CONDOR_RETURN_IF_ERROR(network.validate());
@@ -240,51 +353,52 @@ Result<std::vector<Tensor>> ReferenceEngine::forward_all(const Tensor& input,
         "input shape %s does not match network input %s",
         input.shape().to_string().c_str(), expected.to_string().c_str()));
   }
-  std::vector<Tensor> outputs;
-  outputs.reserve(network_.layer_count());
-  Tensor current = input;
-  for (const LayerSpec& layer : network_.layers()) {
-    switch (layer.kind) {
-      case LayerKind::kInput:
-        break;  // pass-through: output is the declared input blob
-      case LayerKind::kConvolution: {
-        const LayerParameters* params = weights_.find(layer.name);
-        if (params == nullptr) {
-          return not_found("no weights for '" + layer.name + "'");
-        }
-        CONDOR_ASSIGN_OR_RETURN(
-            current, forward_convolution(layer, current, *params, pool));
-        break;
-      }
-      case LayerKind::kPooling: {
-        CONDOR_ASSIGN_OR_RETURN(current, forward_pooling(layer, current));
-        break;
-      }
-      case LayerKind::kInnerProduct: {
-        const LayerParameters* params = weights_.find(layer.name);
-        if (params == nullptr) {
-          return not_found("no weights for '" + layer.name + "'");
-        }
-        CONDOR_ASSIGN_OR_RETURN(current,
-                                forward_inner_product(layer, current, *params));
-        break;
-      }
-      case LayerKind::kActivation:
-        current = forward_activation(layer.activation, current);
-        break;
-      case LayerKind::kSoftmax:
-        current = forward_softmax(current);
-        break;
-    }
-    outputs.push_back(current);
+  CONDOR_ASSIGN_OR_RETURN(const auto order, network_.topological_order());
+  std::vector<Tensor> outputs(network_.layer_count());
+  for (std::size_t i : order) {
+    const LayerSpec& layer = network_.layers()[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network_.producers(i));
+    const Tensor& in0 = prods.empty() ? input : outputs[prods[0]];
+    const Tensor* in1 = prods.size() > 1 ? &outputs[prods[1]] : nullptr;
+    CONDOR_ASSIGN_OR_RETURN(
+        outputs[i], forward_layer(layer, weights_, input, in0, in1, pool));
   }
   return outputs;
 }
 
 Result<Tensor> ReferenceEngine::forward(const Tensor& input,
                                         ThreadPool* pool) const {
-  CONDOR_ASSIGN_OR_RETURN(auto outputs, forward_all(input, pool));
-  return outputs.back();
+  CONDOR_ASSIGN_OR_RETURN(Shape expected, network_.input_shape());
+  if (input.shape() != expected) {
+    return invalid_input(strings::format(
+        "input shape %s does not match network input %s",
+        input.shape().to_string().c_str(), expected.to_string().c_str()));
+  }
+  // Same DAG walk as forward_all, but with per-tensor liveness: a producer
+  // blob is released as soon as its last consumer has fired, so peak memory
+  // follows the width of the live DAG cut instead of the full layer list.
+  CONDOR_ASSIGN_OR_RETURN(const auto order, network_.topological_order());
+  CONDOR_ASSIGN_OR_RETURN(const auto consumer_table, network_.consumers());
+  std::vector<std::size_t> remaining(network_.layer_count());
+  for (std::size_t i = 0; i < remaining.size(); ++i) {
+    remaining[i] = consumer_table[i].size();
+  }
+  std::vector<Tensor> outputs(network_.layer_count());
+  for (std::size_t i : order) {
+    const LayerSpec& layer = network_.layers()[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network_.producers(i));
+    const Tensor& in0 = prods.empty() ? input : outputs[prods[0]];
+    const Tensor* in1 = prods.size() > 1 ? &outputs[prods[1]] : nullptr;
+    CONDOR_ASSIGN_OR_RETURN(
+        outputs[i], forward_layer(layer, weights_, input, in0, in1, pool));
+    for (std::size_t p : prods) {
+      if (--remaining[p] == 0) {
+        outputs[p] = Tensor();
+      }
+    }
+  }
+  // validate() guarantees the unique sink is the last declared layer.
+  return std::move(outputs.back());
 }
 
 Result<std::vector<Tensor>> ReferenceEngine::forward_batch(

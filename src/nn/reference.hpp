@@ -30,14 +30,28 @@ Result<Tensor> forward_inner_product(const LayerSpec& layer, const Tensor& input
 Tensor forward_activation(Activation activation, const Tensor& input);
 Tensor forward_softmax(const Tensor& input);
 
+/// Two-input join layers of the DAG IR: element-wise sum of equal-shaped
+/// blobs (residual shortcut) and channel concatenation of spatially equal
+/// blobs (route layer). Both apply the layer's fused activation to the
+/// joined result.
+Result<Tensor> forward_eltwise_add(const LayerSpec& layer, const Tensor& a,
+                                   const Tensor& b);
+Result<Tensor> forward_concat(const LayerSpec& layer, const Tensor& a,
+                              const Tensor& b);
+
+/// Nearest-neighbour spatial upsampling by the layer's `stride` scale.
+Result<Tensor> forward_upsample(const LayerSpec& layer, const Tensor& input);
+
 class ReferenceEngine {
  public:
   /// Binds a validated network + weights. Fails if shapes do not line up.
   static Result<ReferenceEngine> create(Network network, WeightStore weights);
 
   /// Runs one image (CHW tensor matching the declared input shape) through
-  /// the network, returning the final blob. With a pool, convolutions shard
-  /// their output channels across the workers (bit-exact at any degree).
+  /// the network DAG in topological order, returning the final blob. With a
+  /// pool, convolutions shard their output channels across the workers
+  /// (bit-exact at any degree). Intermediate blobs are released as soon as
+  /// their last consumer fires, so peak memory follows the live DAG cut.
   Result<Tensor> forward(const Tensor& input, ThreadPool* pool = nullptr) const;
 
   /// Like forward(), but also returns every intermediate blob (one entry per

@@ -32,6 +32,22 @@ AttributeProto int_attr(std::string name, std::int64_t value) {
   return attr;
 }
 
+AttributeProto float_attr(std::string name, float value) {
+  AttributeProto attr;
+  attr.name = std::move(name);
+  attr.type = AttributeProto::Type::kFloat;
+  attr.f = value;
+  return attr;
+}
+
+AttributeProto string_attr(std::string name, std::string value) {
+  AttributeProto attr;
+  attr.name = std::move(name);
+  attr.type = AttributeProto::Type::kString;
+  attr.s = std::move(value);
+  return attr;
+}
+
 const char* activation_op(nn::Activation activation) {
   switch (activation) {
     case nn::Activation::kReLU:
@@ -40,6 +56,8 @@ const char* activation_op(nn::Activation activation) {
       return "Sigmoid";
     case nn::Activation::kTanH:
       return "Tanh";
+    case nn::Activation::kLeakyReLU:
+      return "LeakyRelu";
     case nn::Activation::kNone:
       break;
   }
@@ -68,23 +86,33 @@ Result<ModelProto> to_model_proto(const nn::Network& network,
         static_cast<std::int64_t>(input.input_height),
         static_cast<std::int64_t>(input.input_width)}});
 
-  std::string current = input.name;
-  bool flattened = false;
-  const auto emit_activation = [&graph, &current](const nn::LayerSpec& layer) {
+  // ONNX value name carrying each layer's output (the fused-activation node
+  // renames it); bottoms resolve through the DAG's producer edges.
+  std::vector<std::string> blob_of(network.layer_count());
+  blob_of[0] = input.name;
+  const auto emit_activation = [&graph, &blob_of](const nn::LayerSpec& layer,
+                                                  std::size_t index) {
     if (layer.activation == nn::Activation::kNone) {
       return;
     }
     NodeProto node;
     node.op_type = activation_op(layer.activation);
     node.name = layer.name + "_act";
-    node.input.push_back(current);
+    if (layer.activation == nn::Activation::kLeakyReLU) {
+      node.attribute.push_back(float_attr("alpha", nn::kLeakyReluSlope));
+    }
+    node.input.push_back(blob_of[index]);
     node.output.push_back(node.name);
-    current = node.name;
+    blob_of[index] = node.name;
     graph.node.push_back(std::move(node));
   };
 
+  bool flattened = false;
   for (std::size_t i = 1; i < network.layer_count(); ++i) {
     const nn::LayerSpec& layer = network.layers()[i];
+    CONDOR_ASSIGN_OR_RETURN(const auto prods, network.producers(i));
+    std::string current = blob_of[prods[0]];
+    blob_of[i] = layer.name;
     switch (layer.kind) {
       case nn::LayerKind::kConvolution: {
         const nn::LayerParameters* params = weights.find(layer.name);
@@ -111,9 +139,8 @@ Result<ModelProto> to_model_proto(const nn::Network& network,
             ints_attr("pads", std::vector<std::int64_t>(
                                   4, static_cast<std::int64_t>(layer.pad))));
         node.attribute.push_back(int_attr("group", 1));
-        current = layer.name;
         graph.node.push_back(std::move(node));
-        emit_activation(layer);
+        emit_activation(layer, i);
         break;
       }
       case nn::LayerKind::kPooling: {
@@ -131,9 +158,8 @@ Result<ModelProto> to_model_proto(const nn::Network& network,
         node.attribute.push_back(ints_attr(
             "strides", {static_cast<std::int64_t>(layer.stride),
                         static_cast<std::int64_t>(layer.stride)}));
-        current = layer.name;
         graph.node.push_back(std::move(node));
-        emit_activation(layer);
+        emit_activation(layer, i);
         break;
       }
       case nn::LayerKind::kInnerProduct: {
@@ -162,18 +188,19 @@ Result<ModelProto> to_model_proto(const nn::Network& network,
         }
         node.output.push_back(layer.name);
         node.attribute.push_back(int_attr("transB", 1));
-        current = layer.name;
         graph.node.push_back(std::move(node));
-        emit_activation(layer);
+        emit_activation(layer, i);
         break;
       }
       case nn::LayerKind::kActivation: {
         NodeProto node;
         node.op_type = activation_op(layer.activation);
         node.name = layer.name;
+        if (layer.activation == nn::Activation::kLeakyReLU) {
+          node.attribute.push_back(float_attr("alpha", nn::kLeakyReluSlope));
+        }
         node.input.push_back(current);
         node.output.push_back(layer.name);
-        current = layer.name;
         graph.node.push_back(std::move(node));
         break;
       }
@@ -184,8 +211,47 @@ Result<ModelProto> to_model_proto(const nn::Network& network,
         node.input.push_back(current);
         node.output.push_back(layer.name);
         node.attribute.push_back(int_attr("axis", 1));
-        current = layer.name;
         graph.node.push_back(std::move(node));
+        break;
+      }
+      case nn::LayerKind::kEltwiseAdd: {
+        NodeProto node;
+        node.op_type = "Add";
+        node.name = layer.name;
+        node.input = {current, blob_of[prods[1]]};
+        node.output.push_back(layer.name);
+        graph.node.push_back(std::move(node));
+        emit_activation(layer, i);
+        break;
+      }
+      case nn::LayerKind::kConcat: {
+        NodeProto node;
+        node.op_type = "Concat";
+        node.name = layer.name;
+        node.input = {current, blob_of[prods[1]]};
+        node.output.push_back(layer.name);
+        node.attribute.push_back(int_attr("axis", 1));
+        graph.node.push_back(std::move(node));
+        emit_activation(layer, i);
+        break;
+      }
+      case nn::LayerKind::kUpsample: {
+        // Opset-9 style Upsample(X, scales) with nearest rounding; the
+        // NCHW scales vector rides along as a float initializer.
+        NodeProto node;
+        node.op_type = "Upsample";
+        node.name = layer.name;
+        node.input = {current, layer.name + "_scales"};
+        TensorProto scales;
+        scales.name = layer.name + "_scales";
+        scales.dims = {4};
+        const auto scale = static_cast<float>(layer.stride);
+        scales.float_data = {1.0F, 1.0F, scale, scale};
+        graph.initializer.push_back(std::move(scales));
+        node.output.push_back(layer.name);
+        node.attribute.push_back(string_attr("mode", "nearest"));
+        graph.node.push_back(std::move(node));
+        emit_activation(layer, i);
         break;
       }
       case nn::LayerKind::kInput:
@@ -194,7 +260,7 @@ Result<ModelProto> to_model_proto(const nn::Network& network,
   }
 
   ValueInfoProto output_info;
-  output_info.name = current;
+  output_info.name = blob_of.back();
   const Shape& out_shape = shapes.back().output;
   output_info.shape.push_back(1);
   for (const std::size_t dim : out_shape.dims()) {

@@ -1,6 +1,8 @@
 #include "onnx/import.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -19,6 +21,9 @@ Result<nn::Activation> activation_for_op(std::string_view op) {
   }
   if (op == "Tanh") {
     return nn::Activation::kTanH;
+  }
+  if (op == "LeakyRelu") {
+    return nn::Activation::kLeakyReLU;
   }
   return invalid_input("not an activation op");
 }
@@ -55,6 +60,22 @@ Result<std::size_t> uniform_stride(const NodeProto& node) {
 
 Tensor tensor_from_proto(const TensorProto& proto, const Shape& shape) {
   return Tensor(shape, proto.values().value());
+}
+
+/// The NCHW scales of an opset-9 style Upsample node (second input, a
+/// constant initializer).
+Result<std::vector<float>> upsample_scales(const GraphProto& graph,
+                                           const NodeProto& node,
+                                           const std::string& node_name) {
+  if (node.input.size() < 2) {
+    return invalid_input("Upsample '" + node_name + "': missing scales input");
+  }
+  const TensorProto* scales = graph.find_initializer(node.input[1]);
+  if (scales == nullptr) {
+    return unsupported("Upsample '" + node_name +
+                       "': scales must be a constant initializer");
+  }
+  return scales->values();
 }
 
 }  // namespace
@@ -96,24 +117,58 @@ Result<OnnxModel> import_model(const ModelProto& model) {
   }
   out.network.add(input);
 
-  // Walk the (topologically ordered) single chain.
-  std::string current_blob = graph_input->name;
+  // ONNX value name -> the Condor layer whose output carries it. Aliases
+  // (Flatten/Reshape, folded activations and batch norms) map several blob
+  // names onto one layer. Nodes may consume any mapped blob, in any order
+  // the (topologically sorted) graph presents — the single chain is gone.
+  std::map<std::string, std::string> blob_layer;
+  blob_layer[graph_input->name] = graph_input->name;
+
+  // How many nodes read each blob. Fusing an activation or a batch norm
+  // into its producer is only sound when that producer's raw output has no
+  // other reader (a residual skip, say, must see the pre-fused value).
+  std::map<std::string, std::size_t> uses;
+  for (const NodeProto& node : graph.node) {
+    for (const std::string& blob : node.input) {
+      if (graph.find_initializer(blob) == nullptr) {
+        ++uses[blob];
+      }
+    }
+  }
+
+  const auto resolve = [&](const std::string& blob) -> Result<std::string> {
+    const auto it = blob_layer.find(blob);
+    if (it == blob_layer.end()) {
+      return invalid_input("ONNX value '" + blob +
+                           "' is consumed before any node produces it");
+    }
+    return it->second;
+  };
+
+  // Registers `layer` with its producers resolved. The `inputs` list is
+  // spelled out only when it differs from the implicit previous-layer
+  // chain, keeping linear imports byte-identical to the legacy importer.
+  const auto attach = [&](nn::LayerSpec layer,
+                          std::vector<std::string> producers,
+                          const std::string& out_blob) {
+    const std::string& previous = out.network.layers().back().name;
+    if (!(producers.size() == 1 && producers.front() == previous)) {
+      layer.inputs = std::move(producers);
+    }
+    blob_layer[out_blob] = layer.name;
+    out.network.add(std::move(layer));
+  };
+
   // Pending MatMul awaiting a bias Add fold.
   std::string pending_matmul_layer;
 
   for (const NodeProto& node : graph.node) {
     const std::string& op = node.op_type;
-    const auto data_input_is_current = [&]() {
-      return !node.input.empty() && node.input[0] == current_blob;
-    };
-    if (!data_input_is_current()) {
-      return unsupported("node '" + node.name +
-                         "' does not continue the single chain (input '" +
-                         (node.input.empty() ? "<none>" : node.input[0]) +
-                         "', expected '" + current_blob + "')");
-    }
     if (node.output.empty()) {
       return invalid_input("node '" + node.name + "' has no output");
+    }
+    if (node.input.empty()) {
+      return unsupported("node '" + node.name + "' has no data input");
     }
     const std::string node_name =
         node.name.empty() ? node.output[0] : node.name;
@@ -131,6 +186,7 @@ Result<OnnxModel> import_model(const ModelProto& model) {
           group != nullptr && group->i != 1) {
         return unsupported("Conv '" + node_name + "': grouped convolution");
       }
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
       nn::LayerSpec layer;
       layer.kind = nn::LayerKind::kConvolution;
       layer.name = node_name;
@@ -158,12 +214,12 @@ Result<OnnxModel> import_model(const ModelProto& model) {
         params.bias = tensor_from_proto(*bias, Shape{layer.num_output});
       }
       out.weights.set(layer.name, std::move(params));
-      out.network.add(std::move(layer));
-      current_blob = node.output[0];
+      attach(std::move(layer), {std::move(producer)}, node.output[0]);
       continue;
     }
 
     if (op == "MaxPool" || op == "AveragePool") {
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
       nn::LayerSpec layer;
       layer.kind = nn::LayerKind::kPooling;
       layer.name = node_name;
@@ -181,8 +237,7 @@ Result<OnnxModel> import_model(const ModelProto& model) {
       if (pad != 0) {
         return unsupported(op + " '" + node_name + "': padded pooling");
       }
-      out.network.add(std::move(layer));
-      current_blob = node.output[0];
+      attach(std::move(layer), {std::move(producer)}, node.output[0]);
       continue;
     }
 
@@ -209,6 +264,7 @@ Result<OnnxModel> import_model(const ModelProto& model) {
           return unsupported("Gemm '" + node_name + "': beta != 1");
         }
       }
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
       const auto rows = static_cast<std::size_t>(weight->dims[0]);
       const auto cols = static_cast<std::size_t>(weight->dims[1]);
       const std::size_t out_count = trans_b ? rows : cols;
@@ -242,64 +298,206 @@ Result<OnnxModel> import_model(const ModelProto& model) {
         params.bias = tensor_from_proto(*bias, Shape{out_count});
       }
       out.weights.set(layer.name, std::move(params));
-      out.network.add(std::move(layer));
       if (op == "MatMul") {
         pending_matmul_layer = node_name;
       }
-      current_blob = node.output[0];
+      attach(std::move(layer), {std::move(producer)}, node.output[0]);
       continue;
     }
 
-    if (op == "Add" && !pending_matmul_layer.empty()) {
-      // Bias fold: MatMul output + initializer vector.
-      const TensorProto* bias =
-          node.input.size() > 1 ? graph.find_initializer(node.input[1]) : nullptr;
-      if (bias == nullptr) {
-        return unsupported("Add '" + node_name + "': only bias folds after "
-                           "MatMul are supported");
+    if (op == "Add") {
+      if (node.input.size() != 2) {
+        return unsupported("Add '" + node_name + "': needs exactly 2 inputs");
       }
-      nn::LayerSpec& fc = out.network.layers().back();
-      fc.has_bias = true;
-      const nn::LayerParameters* existing = out.weights.find(fc.name);
+      const TensorProto* bias = graph.find_initializer(node.input[1]);
+      if (bias != nullptr) {
+        // Bias fold: MatMul output + initializer vector.
+        CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
+        if (pending_matmul_layer.empty() ||
+            producer != pending_matmul_layer ||
+            uses[node.input[0]] != 1) {
+          return unsupported("Add '" + node_name + "': only bias folds after "
+                             "MatMul are supported");
+        }
+        nn::LayerSpec& fc = out.network.layers().back();
+        fc.has_bias = true;
+        const nn::LayerParameters* existing = out.weights.find(fc.name);
+        nn::LayerParameters params;
+        params.weights = existing->weights;
+        params.bias = tensor_from_proto(*bias, Shape{fc.num_output});
+        out.weights.set(fc.name, std::move(params));
+        pending_matmul_layer.clear();
+        blob_layer[node.output[0]] = fc.name;
+        continue;
+      }
+      // Two data operands: a residual join.
+      CONDOR_ASSIGN_OR_RETURN(std::string lhs, resolve(node.input[0]));
+      CONDOR_ASSIGN_OR_RETURN(std::string rhs, resolve(node.input[1]));
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kEltwiseAdd;
+      layer.name = node_name;
+      attach(std::move(layer), {std::move(lhs), std::move(rhs)},
+             node.output[0]);
+      continue;
+    }
+
+    if (op == "Concat") {
+      const AttributeProto* axis = node.find_attribute("axis");
+      if (axis == nullptr || axis->i != 1) {
+        return unsupported("Concat '" + node_name +
+                           "': only channel (axis=1) concatenation is "
+                           "supported");
+      }
+      if (node.input.size() != 2) {
+        return unsupported("Concat '" + node_name +
+                           "': exactly 2 inputs are supported");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string lhs, resolve(node.input[0]));
+      CONDOR_ASSIGN_OR_RETURN(std::string rhs, resolve(node.input[1]));
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kConcat;
+      layer.name = node_name;
+      attach(std::move(layer), {std::move(lhs), std::move(rhs)},
+             node.output[0]);
+      continue;
+    }
+
+    if (op == "Upsample") {
+      if (const AttributeProto* mode = node.find_attribute("mode");
+          mode != nullptr && mode->s != "nearest") {
+        return unsupported("Upsample '" + node_name + "': mode '" + mode->s +
+                           "' (only nearest is supported)");
+      }
+      CONDOR_ASSIGN_OR_RETURN(const auto scales,
+                              upsample_scales(graph, node, node_name));
+      if (scales.size() != 4 || scales[0] != 1.0F || scales[1] != 1.0F ||
+          scales[2] != scales[3] || scales[2] < 1.0F ||
+          scales[2] != std::floor(scales[2])) {
+        return unsupported("Upsample '" + node_name +
+                           "': scales must be [1, 1, s, s] with integer s");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
+      nn::LayerSpec layer;
+      layer.kind = nn::LayerKind::kUpsample;
+      layer.name = node_name;
+      layer.stride = static_cast<std::size_t>(scales[2]);
+      attach(std::move(layer), {std::move(producer)}, node.output[0]);
+      continue;
+    }
+
+    if (op == "BatchNormalization") {
+      if (node.input.size() < 5) {
+        return invalid_input("BatchNormalization '" + node_name +
+                             "': needs scale, bias, mean and variance inputs");
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
+      nn::LayerSpec& conv = out.network.layers().back();
+      if (producer != conv.name ||
+          conv.kind != nn::LayerKind::kConvolution ||
+          conv.activation != nn::Activation::kNone ||
+          uses[node.input[0]] != 1) {
+        return unsupported("BatchNormalization '" + node_name +
+                           "': only folds into an immediately preceding "
+                           "single-consumer convolution are supported");
+      }
+      const TensorProto* gamma = graph.find_initializer(node.input[1]);
+      const TensorProto* beta = graph.find_initializer(node.input[2]);
+      const TensorProto* mean = graph.find_initializer(node.input[3]);
+      const TensorProto* var = graph.find_initializer(node.input[4]);
+      if (gamma == nullptr || beta == nullptr || mean == nullptr ||
+          var == nullptr) {
+        return invalid_input("BatchNormalization '" + node_name +
+                             "': statistics must be constant initializers");
+      }
+      float epsilon = 1e-5F;
+      if (const AttributeProto* attr = node.find_attribute("epsilon")) {
+        epsilon = attr->f;
+      }
+      CONDOR_ASSIGN_OR_RETURN(const auto g, gamma->values());
+      CONDOR_ASSIGN_OR_RETURN(const auto b, beta->values());
+      CONDOR_ASSIGN_OR_RETURN(const auto mu, mean->values());
+      CONDOR_ASSIGN_OR_RETURN(const auto v, var->values());
+      const std::size_t channels = conv.num_output;
+      if (g.size() != channels || b.size() != channels ||
+          mu.size() != channels || v.size() != channels) {
+        return invalid_input("BatchNormalization '" + node_name +
+                             "': statistics do not match " +
+                             std::to_string(channels) + " conv channels");
+      }
+      // w' = w * gamma / sqrt(var + eps); b' = (b - mean) * that + beta.
+      const nn::LayerParameters* existing = out.weights.find(conv.name);
       nn::LayerParameters params;
       params.weights = existing->weights;
-      params.bias = tensor_from_proto(*bias, Shape{fc.num_output});
-      out.weights.set(fc.name, std::move(params));
-      pending_matmul_layer.clear();
-      current_blob = node.output[0];
+      params.bias = conv.has_bias ? existing->bias : Tensor(Shape{channels});
+      const std::size_t per_channel = params.weights.size() / channels;
+      for (std::size_t oc = 0; oc < channels; ++oc) {
+        const float factor = g[oc] / std::sqrt(v[oc] + epsilon);
+        for (std::size_t i = 0; i < per_channel; ++i) {
+          params.weights[oc * per_channel + i] *= factor;
+        }
+        params.bias[oc] = (params.bias[oc] - mu[oc]) * factor + b[oc];
+      }
+      conv.has_bias = true;
+      out.weights.set(conv.name, std::move(params));
+      blob_layer[node.output[0]] = conv.name;
+      CONDOR_LOG_DEBUG(kTag) << "folded BatchNormalization '" << node_name
+                             << "' into '" << conv.name << "'";
       continue;
     }
 
     if (auto activation = activation_for_op(op); activation.is_ok()) {
-      nn::LayerSpec* producer =
-          out.network.layers().size() > 1 ? &out.network.layers().back() : nullptr;
-      if (producer != nullptr && producer->has_weights() &&
-          producer->activation == nn::Activation::kNone) {
-        producer->activation = activation.value();
+      if (op == "LeakyRelu") {
+        // ONNX defaults alpha to 0.01; Condor bakes the Darknet 0.1 slope
+        // into its datapaths, so anything else cannot be represented.
+        const AttributeProto* alpha = node.find_attribute("alpha");
+        if (alpha == nullptr || alpha->f != nn::kLeakyReluSlope) {
+          return unsupported(strings::format(
+              "LeakyRelu '%s': alpha must be %g (got %g)", node_name.c_str(),
+              static_cast<double>(nn::kLeakyReluSlope),
+              alpha == nullptr ? 0.01 : static_cast<double>(alpha->f)));
+        }
+      }
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
+      nn::LayerSpec* back = out.network.layers().size() > 1
+                                ? &out.network.layers().back()
+                                : nullptr;
+      // Joins and upsamples apply activations inside their passes, so they
+      // absorb a following activation just like the weighted layers do.
+      const bool fusable =
+          back != nullptr &&
+          (back->has_weights() || back->is_join() ||
+           back->kind == nn::LayerKind::kUpsample);
+      if (fusable && back->name == producer &&
+          back->activation == nn::Activation::kNone &&
+          uses[node.input[0]] == 1) {
+        back->activation = activation.value();
+        blob_layer[node.output[0]] = back->name;
         CONDOR_LOG_DEBUG(kTag) << "fused " << op << " '" << node_name
-                               << "' into '" << producer->name << "'";
+                               << "' into '" << back->name << "'";
       } else {
         nn::LayerSpec layer;
         layer.kind = nn::LayerKind::kActivation;
         layer.name = node_name;
         layer.activation = activation.value();
-        out.network.add(std::move(layer));
+        attach(std::move(layer), {std::move(producer)}, node.output[0]);
       }
-      current_blob = node.output[0];
       continue;
     }
 
     if (op == "Flatten" || op == "Reshape") {
-      current_blob = node.output[0];  // implicit in Condor's shape inference
+      // Implicit in Condor's shape inference: alias the output blob to
+      // whatever produced the input.
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
+      blob_layer[node.output[0]] = std::move(producer);
       continue;
     }
 
     if (op == "Softmax") {
+      CONDOR_ASSIGN_OR_RETURN(std::string producer, resolve(node.input[0]));
       nn::LayerSpec layer;
       layer.kind = nn::LayerKind::kSoftmax;
       layer.name = node_name;
-      out.network.add(std::move(layer));
-      current_blob = node.output[0];
+      attach(std::move(layer), {std::move(producer)}, node.output[0]);
       continue;
     }
 
@@ -310,7 +508,8 @@ Result<OnnxModel> import_model(const ModelProto& model) {
   CONDOR_RETURN_IF_ERROR(out.network.validate());
   CONDOR_RETURN_IF_ERROR(out.weights.validate_against(out.network));
   CONDOR_LOG_INFO(kTag) << "imported '" << out.network.name() << "' ("
-                        << out.network.layer_count() << " layers)";
+                        << out.network.layer_count() << " layers, "
+                        << out.network.join_count() << " joins)";
   return out;
 }
 

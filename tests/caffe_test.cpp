@@ -241,15 +241,213 @@ layer { name: "loss" type: "SoftmaxWithLoss" bottom: "ip" top: "loss" }
   EXPECT_EQ(result.value().layers().back().kind, nn::LayerKind::kSoftmax);
 }
 
+TEST(Import, ResidualRouteAndUpsample) {
+  // data -> c1 -+-> Eltwise(c1, data) -> Concat(res, c1) -> Upsample x2.
+  auto result = network_from_prototxt(R"(
+input: "data"
+input_shape { dim: 1 dim: 2 dim: 4 dim: 4 }
+layer {
+  name: "c1"
+  type: "Convolution"
+  bottom: "data"
+  top: "c1"
+  convolution_param { num_output: 2 kernel_size: 1 }
+}
+layer {
+  name: "res"
+  type: "Eltwise"
+  bottom: "c1"
+  bottom: "data"
+  top: "res"
+  eltwise_param { operation: SUM }
+}
+layer {
+  name: "route"
+  type: "Concat"
+  bottom: "res"
+  bottom: "c1"
+  top: "route"
+  concat_param { axis: 1 }
+}
+layer {
+  name: "up"
+  type: "Upsample"
+  bottom: "route"
+  top: "up"
+  upsample_param { scale: 2 }
+}
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const nn::Network& network = result.value();
+  ASSERT_EQ(network.layer_count(), 5u);
+  EXPECT_EQ(network.join_count(), 2u);
+  EXPECT_EQ(network.layers()[2].kind, nn::LayerKind::kEltwiseAdd);
+  auto res_producers = network.producers(2);
+  ASSERT_TRUE(res_producers.is_ok());
+  EXPECT_EQ(res_producers.value(), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(network.layers()[3].kind, nn::LayerKind::kConcat);
+  EXPECT_EQ(network.layers()[4].kind, nn::LayerKind::kUpsample);
+  EXPECT_EQ(network.layers()[4].stride, 2u);
+  auto shapes = network.infer_shapes();
+  ASSERT_TRUE(shapes.is_ok()) << shapes.status().to_string();
+  EXPECT_EQ(shapes.value().back().output, (Shape{4, 8, 8}));
+
+  // Only SUM joins are representable.
+  EXPECT_FALSE(network_from_prototxt(R"(
+input: "data"
+input_shape { dim: 1 dim: 1 dim: 4 dim: 4 }
+layer {
+  name: "c1"
+  type: "Convolution"
+  bottom: "data"
+  top: "c1"
+  convolution_param { num_output: 1 kernel_size: 1 }
+}
+layer {
+  name: "m"
+  type: "Eltwise"
+  bottom: "c1"
+  bottom: "data"
+  top: "m"
+  eltwise_param { operation: PROD }
+}
+)")
+                   .is_ok());
+}
+
+TEST(Import, LeakyReluNegativeSlope) {
+  const auto prototxt = [](const char* slope) {
+    return std::string(R"(
+input: "data"
+input_shape { dim: 1 dim: 1 dim: 4 dim: 4 }
+layer {
+  name: "c1"
+  type: "Convolution"
+  bottom: "data"
+  top: "c1"
+  convolution_param { num_output: 1 kernel_size: 1 }
+}
+layer {
+  name: "act"
+  type: "ReLU"
+  bottom: "c1"
+  top: "c1"
+  relu_param { negative_slope: )") +
+           slope + " }\n}\n";
+  };
+  // The Darknet slope fuses into the conv as a leaky ReLU.
+  auto leaky = network_from_prototxt(prototxt("0.1"));
+  ASSERT_TRUE(leaky.is_ok()) << leaky.status().to_string();
+  ASSERT_EQ(leaky.value().layer_count(), 2u);
+  EXPECT_EQ(leaky.value().layers()[1].activation, nn::Activation::kLeakyReLU);
+  // Any other slope cannot be represented by the datapaths.
+  auto rejected = network_from_prototxt(prototxt("0.2"));
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnsupported);
+  EXPECT_NE(rejected.status().to_string().find("got 0.2"), std::string::npos)
+      << rejected.status().to_string();
+}
+
+constexpr const char* kBatchNormPrototxt = R"(
+input: "data"
+input_shape { dim: 1 dim: 1 dim: 2 dim: 2 }
+layer {
+  name: "c1"
+  type: "Convolution"
+  bottom: "data"
+  top: "c1"
+  convolution_param { num_output: 2 kernel_size: 1 bias_term: false }
+}
+layer {
+  name: "bn"
+  type: "BatchNorm"
+  bottom: "c1"
+  top: "c1"
+  batch_norm_param { eps: 0 }
+}
+layer {
+  name: "sc"
+  type: "Scale"
+  bottom: "c1"
+  top: "c1"
+  scale_param { bias_term: true }
+}
+layer { name: "prob" type: "Softmax" bottom: "c1" top: "prob" }
+)";
+
+TEST(Import, BatchNormNeedsFoldSink) {
+  // Weights-free topology import cannot represent BatchNorm statistics.
+  auto result = network_from_prototxt(kBatchNormPrototxt);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Import, BatchNormScaleFoldsIntoConv) {
+  // With eps 0 and scale_factor 2 the statistics resolve to mean {1, -1}
+  // and variance {4, 0.25}:
+  //   factor[0] = gamma/sqrt(var) = 2/2 = 1,  factor[1] = 3/0.5 = 6
+  //   w'[0] = 1*1 = 1,  w'[1] = 2*6 = 12
+  //   b'[0] = (0-1)*1 + 0.5 = -0.5,  b'[1] = (0+1)*6 - 1 = 5
+  std::vector<BatchNormFold> folds;
+  auto network = network_from_prototxt(kBatchNormPrototxt, &folds);
+  ASSERT_TRUE(network.is_ok()) << network.status().to_string();
+  // BatchNorm and Scale vanished into the conv, which gained a bias.
+  ASSERT_EQ(network.value().layer_count(), 3u);
+  EXPECT_TRUE(network.value().layers()[1].has_bias);
+  ASSERT_EQ(folds.size(), 1u);
+  EXPECT_EQ(folds[0].conv, "c1");
+  EXPECT_EQ(folds[0].batch_norm, "bn");
+  EXPECT_EQ(folds[0].scale, "sc");
+  EXPECT_EQ(folds[0].epsilon, 0.0F);
+  EXPECT_FALSE(folds[0].conv_had_bias);
+
+  NetParameter net;
+  const auto blob = [](std::vector<float> data) {
+    BlobProto proto;
+    proto.shape = BlobShape{{static_cast<std::int64_t>(data.size())}};
+    proto.data = std::move(data);
+    return proto;
+  };
+  LayerParameter conv;
+  conv.name = "c1";
+  conv.type = "Convolution";
+  conv.blobs.push_back(blob({1.0F, 2.0F}));
+  net.layer.push_back(std::move(conv));
+  LayerParameter bn;
+  bn.name = "bn";
+  bn.type = "BatchNorm";
+  bn.blobs.push_back(blob({2.0F, -2.0F}));  // mean sums
+  bn.blobs.push_back(blob({8.0F, 0.5F}));   // variance sums
+  bn.blobs.push_back(blob({2.0F}));         // scale factor
+  net.layer.push_back(std::move(bn));
+  LayerParameter scale;
+  scale.name = "sc";
+  scale.type = "Scale";
+  scale.blobs.push_back(blob({2.0F, 3.0F}));    // gamma
+  scale.blobs.push_back(blob({0.5F, -1.0F}));   // beta
+  net.layer.push_back(std::move(scale));
+
+  auto weights = weights_from_net_parameter(net, network.value(), folds);
+  ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
+  const nn::LayerParameters* params = weights.value().find("c1");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->weights[0], 1.0F);
+  EXPECT_EQ(params->weights[1], 12.0F);
+  EXPECT_EQ(params->bias[0], -0.5F);
+  EXPECT_EQ(params->bias[1], 5.0F);
+}
+
 TEST(ExportImport, PrototxtRoundTripAllModels) {
   for (const nn::Network& model :
-       {nn::make_tc1(), nn::make_lenet(), nn::make_vgg16()}) {
+       {nn::make_tc1(), nn::make_lenet(), nn::make_vgg16(),
+        nn::make_tiny_resnet(), nn::make_lenet_skip()}) {
     auto prototxt = to_prototxt(model);
     ASSERT_TRUE(prototxt.is_ok()) << model.name();
     auto reimported = network_from_prototxt(prototxt.value());
     ASSERT_TRUE(reimported.is_ok())
         << model.name() << ": " << reimported.status().to_string();
     ASSERT_EQ(reimported.value().layer_count(), model.layer_count()) << model.name();
+    EXPECT_EQ(reimported.value().join_count(), model.join_count()) << model.name();
     auto original_shapes = model.infer_shapes().value();
     auto round_shapes = reimported.value().infer_shapes().value();
     for (std::size_t i = 0; i < model.layer_count(); ++i) {

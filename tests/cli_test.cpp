@@ -64,8 +64,15 @@ TEST(Cli, SummaryShowsModel) {
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_NE(result.out.find("conv1"), std::string::npos);
   EXPECT_NE(result.out.find("431080"), std::string::npos);  // parameter count
-  EXPECT_EQ(run({"summary", "--model", "resnet"}).exit_code, 1);
+  EXPECT_EQ(run({"summary", "--model", "alexnet"}).exit_code, 1);
   EXPECT_EQ(run({"summary"}).exit_code, 2);
+}
+
+TEST(Cli, SummaryShowsDagModel) {
+  const CliRun result = run({"summary", "--model", "tiny-resnet"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("b1add"), std::string::npos);
+  EXPECT_NE(result.out.find("<- stem,b1c2"), std::string::npos);
 }
 
 TEST(Cli, BuildFromCaffeFilesOnPremise) {
@@ -172,6 +179,22 @@ TEST(Cli, ValidateFixedDataTypesBitExact) {
   EXPECT_EQ(run({"validate", "--model", "tc1", "--data-type", "fixed4"})
                 .exit_code,
             2);
+}
+
+TEST(Cli, ValidatePrintsTopologySummary) {
+  // Linear chains report zero joins; DAG models report their join count
+  // and the depth of the longest producer->consumer path.
+  const CliRun linear = run({"validate", "--model", "tc1", "--batch", "1"});
+  EXPECT_EQ(linear.exit_code, 0) << linear.err;
+  EXPECT_NE(linear.out.find("topology:"), std::string::npos) << linear.out;
+  EXPECT_NE(linear.out.find("0 joins"), std::string::npos) << linear.out;
+
+  const CliRun dag = run({"validate", "--model", "tiny_resnet", "--batch", "2",
+                          "--data-type", "fixed16"});
+  EXPECT_EQ(dag.exit_code, 0) << dag.err;
+  EXPECT_NE(dag.out.find("bit-exact PASS"), std::string::npos) << dag.out;
+  EXPECT_NE(dag.out.find("3 joins"), std::string::npos) << dag.out;
+  EXPECT_NE(dag.out.find("DAG depth"), std::string::npos) << dag.out;
 }
 
 TEST(Cli, ValidateFixedLeNet) {

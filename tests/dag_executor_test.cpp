@@ -1,0 +1,171 @@
+// DAG topologies end-to-end (ISSUE 8 tentpole): residual and route
+// networks must flow frontend -> planner -> dataflow executor and match
+// the reference engines bit-for-bit on every datapath. The oracle is
+// nn::QuantizedEngine, which delegates to the float golden reference for
+// float32 and runs the integer datapath otherwise — one comparison shape
+// for all three data types.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dataflow/executor.hpp"
+#include "hw/accel_plan.hpp"
+#include "hw/dse.hpp"
+#include "nn/models.hpp"
+#include "nn/quantization.hpp"
+#include "test_util.hpp"
+
+namespace condor {
+namespace {
+
+/// Plans `network` at `data_type` / `parallel_out` (clamped per layer to
+/// its output map count) and EXPECTs the executor to match the reference
+/// bit-for-bit over `batch` images.
+void expect_dag_bit_exact(const nn::Network& network, nn::DataType data_type,
+                          std::size_t parallel_out, std::size_t batch,
+                          std::uint64_t seed) {
+  auto weights = nn::initialize_weights(network, seed);
+  ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
+
+  auto engine = nn::QuantizedEngine::create(network, weights.value(), data_type);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.data_type = data_type;
+  if (parallel_out > 1) {
+    auto shapes = network.infer_shapes();
+    ASSERT_TRUE(shapes.is_ok()) << shapes.status().to_string();
+    for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+      hw_net.hw.layers[i].parallel_out =
+          std::min(parallel_out, shapes.value()[i].output[0]);
+    }
+  }
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok()) << executor.status().to_string();
+
+  const auto inputs = testing::random_inputs(network, batch, seed + 1);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string();
+  ASSERT_EQ(outputs.value().size(), batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    auto expected = engine.value().forward(inputs[i]);
+    ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();
+    EXPECT_EQ(max_abs_diff(outputs.value()[i], expected.value()), 0.0F)
+        << "image " << i << " diverges from the reference";
+  }
+}
+
+// --- tiny-resnet: conv -> [residual add] -> pool -> fc -> softmax ---------
+
+TEST(DagExecutor, TinyResnetFloat32) {
+  expect_dag_bit_exact(nn::make_tiny_resnet(), nn::DataType::kFloat32, 1, 3, 71);
+}
+
+TEST(DagExecutor, TinyResnetFixed16) {
+  expect_dag_bit_exact(nn::make_tiny_resnet(), nn::DataType::kFixed16, 1, 3, 73);
+}
+
+TEST(DagExecutor, TinyResnetFixed8) {
+  expect_dag_bit_exact(nn::make_tiny_resnet(), nn::DataType::kFixed8, 1, 3, 79);
+}
+
+TEST(DagExecutor, TinyResnetParallelLanesFloat32) {
+  expect_dag_bit_exact(nn::make_tiny_resnet(), nn::DataType::kFloat32, 2, 2, 83);
+}
+
+TEST(DagExecutor, TinyResnetParallelLanesFixed16) {
+  expect_dag_bit_exact(nn::make_tiny_resnet(), nn::DataType::kFixed16, 2, 2, 89);
+}
+
+// --- lenet-skip: LeNet with a skip connection over the middle block -------
+
+TEST(DagExecutor, LenetSkipFloat32) {
+  expect_dag_bit_exact(nn::make_lenet_skip(), nn::DataType::kFloat32, 1, 2, 97);
+}
+
+TEST(DagExecutor, LenetSkipFixed16) {
+  expect_dag_bit_exact(nn::make_lenet_skip(), nn::DataType::kFixed16, 1, 2, 101);
+}
+
+TEST(DagExecutor, LenetSkipFixed8) {
+  expect_dag_bit_exact(nn::make_lenet_skip(), nn::DataType::kFixed8, 1, 2, 103);
+}
+
+// --- plan topology ---------------------------------------------------------
+
+TEST(DagExecutor, TinyResnetPlanHasJoinPeAndOperandPorts) {
+  const nn::Network network = nn::make_tiny_resnet();
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+
+  std::size_t join_pes = 0;
+  for (const hw::PePlan& pe : plan.value().pes) {
+    if (pe.kind == hw::PeKind::kJoin) {
+      ++join_pes;
+    }
+  }
+  EXPECT_EQ(join_pes, network.join_count());
+
+  // Every join PE must be fed on both operand ports.
+  for (std::size_t p = 0; p < plan.value().pes.size(); ++p) {
+    if (plan.value().pes[p].kind != hw::PeKind::kJoin) {
+      continue;
+    }
+    bool port0 = false;
+    bool port1 = false;
+    for (const hw::StreamEdge& edge : plan.value().edges) {
+      if (edge.to_pe == p && edge.to_pe != hw::StreamEdge::kDatamover) {
+        port0 = port0 || edge.to_port == 0;
+        port1 = port1 || edge.to_port == 1;
+      }
+    }
+    EXPECT_TRUE(port0 && port1)
+        << "join PE '" << plan.value().pes[p].name << "' missing an operand";
+  }
+}
+
+TEST(DagExecutor, WarmRunsStreamNoWeightBytes) {
+  const nn::Network network = nn::make_tiny_resnet();
+  auto weights = nn::initialize_weights(network, 107);
+  ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
+  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  hw_net.hw.data_type = nn::DataType::kFixed16;
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok()) << executor.status().to_string();
+
+  const auto inputs = testing::random_inputs(network, 2, 109);
+  ASSERT_TRUE(executor.value().run_batch(inputs).is_ok());
+  EXPECT_GT(executor.value().last_run_stats().weight_bytes_streamed, 0U)
+      << "cold run must stream the resident weight slices";
+  ASSERT_TRUE(executor.value().run_batch(inputs).is_ok());
+  EXPECT_EQ(executor.value().last_run_stats().weight_bytes_streamed, 0U)
+      << "warm run re-streamed weights despite residency";
+}
+
+TEST(DagExecutor, MultiImagePipeliningThroughResidualBlock) {
+  const nn::Network network = nn::make_tiny_resnet();
+  auto weights = nn::initialize_weights(network, 113);
+  ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
+  auto plan = hw::plan_accelerator(hw::with_default_annotations(network));
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok()) << executor.status().to_string();
+
+  const auto inputs = testing::random_inputs(network, 4, 127);
+  ASSERT_TRUE(executor.value().run_batch(inputs).is_ok());
+  // The skip edge is deep enough to park whole images, so the DAG must not
+  // serialize the batch to one image in flight.
+  EXPECT_GT(executor.value().last_run_stats().images_in_flight_hwm, 1U)
+      << "residual diamond serialized the pipeline";
+}
+
+}  // namespace
+}  // namespace condor

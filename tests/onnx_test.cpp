@@ -78,7 +78,9 @@ TEST(OnnxPb, GarbageRejected) {
 }
 
 TEST(OnnxImport, ExportImportRoundTripAllModels) {
-  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
+  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet(),
+                                   nn::make_tiny_resnet(),
+                                   nn::make_lenet_skip()}) {
     auto weights = nn::initialize_weights(model, 13);
     ASSERT_TRUE(weights.is_ok());
     auto bytes = to_onnx(model, weights.value());
@@ -87,8 +89,9 @@ TEST(OnnxImport, ExportImportRoundTripAllModels) {
     ASSERT_TRUE(imported.is_ok())
         << model.name() << ": " << imported.status().to_string();
 
-    // Same shapes and kinds.
+    // Same shapes and kinds — and for DAG models, the same topology.
     ASSERT_EQ(imported.value().network.layer_count(), model.layer_count());
+    EXPECT_EQ(imported.value().network.join_count(), model.join_count());
     auto original_shapes = model.infer_shapes().value();
     auto round_shapes = imported.value().network.infer_shapes().value();
     for (std::size_t i = 0; i < model.layer_count(); ++i) {
@@ -228,6 +231,186 @@ TEST(OnnxImport, UnsupportedConstructsRejected) {
     model.graph.node.push_back(node);
     EXPECT_FALSE(import_model(model).is_ok());
   }
+}
+
+TEST(OnnxImport, UnsupportedOpErrorNamesOpAndNode) {
+  // The catch-all importer error must identify both the op type and the
+  // node so users can locate the offending construct in large graphs.
+  ModelProto model;
+  model.graph.input.push_back({"x", {1, 1, 4, 4}});
+  NodeProto node;
+  node.op_type = "LSTM";
+  node.name = "rnn1";
+  node.input = {"x"};
+  node.output = {"y"};
+  model.graph.node.push_back(node);
+  auto imported = import_model(model);
+  ASSERT_FALSE(imported.is_ok());
+  EXPECT_EQ(imported.status().code(), StatusCode::kUnsupported);
+  const std::string message = imported.status().to_string();
+  EXPECT_NE(message.find("ONNX op 'LSTM'"), std::string::npos) << message;
+  EXPECT_NE(message.find("node 'rnn1'"), std::string::npos) << message;
+}
+
+TEST(OnnxImport, BatchNormalizationFoldsIntoConv) {
+  // Conv (1x1, 2 output channels, no bias) followed by BatchNormalization
+  // with epsilon 0 and hand-picked statistics:
+  //   factor[0] = gamma/sqrt(var) = 2/2 = 1,  factor[1] = 3/0.5 = 6
+  //   w'[0] = 1*1 = 1,  w'[1] = 2*6 = 12
+  //   b'[0] = (0-1)*1 + 0.5 = -0.5,  b'[1] = (0+1)*6 - 1 = 5
+  ModelProto model;
+  model.graph.input.push_back({"x", {1, 1, 2, 2}});
+  NodeProto conv;
+  conv.op_type = "Conv";
+  conv.name = "c";
+  conv.input = {"x", "W"};
+  conv.output = {"c_out"};
+  model.graph.node.push_back(conv);
+  TensorProto weight;
+  weight.name = "W";
+  weight.dims = {2, 1, 1, 1};
+  weight.float_data = {1.0F, 2.0F};
+  model.graph.initializer.push_back(weight);
+
+  NodeProto bn;
+  bn.op_type = "BatchNormalization";
+  bn.name = "bn";
+  bn.input = {"c_out", "gamma", "beta", "mean", "var"};
+  bn.output = {"y"};
+  AttributeProto epsilon;
+  epsilon.name = "epsilon";
+  epsilon.type = AttributeProto::Type::kFloat;
+  epsilon.f = 0.0F;
+  bn.attribute.push_back(epsilon);
+  model.graph.node.push_back(bn);
+  const auto stat = [&model](const char* name, std::vector<float> values) {
+    TensorProto tensor;
+    tensor.name = name;
+    tensor.dims = {2};
+    tensor.float_data = std::move(values);
+    model.graph.initializer.push_back(tensor);
+  };
+  stat("gamma", {2.0F, 3.0F});
+  stat("beta", {0.5F, -1.0F});
+  stat("mean", {1.0F, -1.0F});
+  stat("var", {4.0F, 0.25F});
+
+  auto imported = import_model(model);
+  ASSERT_TRUE(imported.is_ok()) << imported.status().to_string();
+  // The BN node vanished into the conv; no extra layer was created.
+  ASSERT_EQ(imported.value().network.layer_count(), 2u);
+  const nn::LayerSpec& folded = imported.value().network.layers()[1];
+  EXPECT_EQ(folded.kind, nn::LayerKind::kConvolution);
+  EXPECT_TRUE(folded.has_bias);
+  const nn::LayerParameters* params = imported.value().weights.find("c");
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(params->weights[0], 1.0F);
+  EXPECT_EQ(params->weights[1], 12.0F);
+  EXPECT_EQ(params->bias[0], -0.5F);
+  EXPECT_EQ(params->bias[1], 5.0F);
+}
+
+TEST(OnnxImport, LeakyReluAlphaMustMatchDatapathSlope) {
+  // The fixed-point datapaths bake in the Darknet 0.1 slope; any other
+  // alpha cannot be represented and must be rejected with the got-value.
+  ModelProto model;
+  model.graph.input.push_back({"x", {1, 1, 4, 4}});
+  NodeProto leaky;
+  leaky.op_type = "LeakyRelu";
+  leaky.name = "act";
+  leaky.input = {"x"};
+  leaky.output = {"y"};
+  AttributeProto alpha;
+  alpha.name = "alpha";
+  alpha.type = AttributeProto::Type::kFloat;
+  alpha.f = 0.2F;
+  leaky.attribute.push_back(alpha);
+  model.graph.node.push_back(leaky);
+  auto imported = import_model(model);
+  ASSERT_FALSE(imported.is_ok());
+  EXPECT_EQ(imported.status().code(), StatusCode::kUnsupported);
+  EXPECT_NE(imported.status().to_string().find("alpha must be 0.1"),
+            std::string::npos)
+      << imported.status().to_string();
+
+  // Absent alpha means the ONNX default 0.01 — also not representable.
+  model.graph.node[0].attribute.clear();
+  EXPECT_FALSE(import_model(model).is_ok());
+}
+
+TEST(OnnxImport, ResidualAndRouteConstructs) {
+  // x -> Conv c1 -+-> Add(c1, x) -> Concat(add, c1) axis=1 -> Upsample x2.
+  ModelProto model;
+  model.graph.input.push_back({"x", {1, 2, 4, 4}});
+  NodeProto conv;
+  conv.op_type = "Conv";
+  conv.name = "c1";
+  conv.input = {"x", "W"};
+  conv.output = {"c1_out"};
+  model.graph.node.push_back(conv);
+  TensorProto weight;
+  weight.name = "W";
+  weight.dims = {2, 2, 1, 1};
+  weight.float_data = {1.0F, 0.0F, 0.0F, 1.0F};
+  model.graph.initializer.push_back(weight);
+
+  NodeProto add;
+  add.op_type = "Add";
+  add.name = "res";
+  add.input = {"c1_out", "x"};
+  add.output = {"res_out"};
+  model.graph.node.push_back(add);
+
+  NodeProto concat;
+  concat.op_type = "Concat";
+  concat.name = "route";
+  concat.input = {"res_out", "c1_out"};
+  concat.output = {"route_out"};
+  AttributeProto axis;
+  axis.name = "axis";
+  axis.type = AttributeProto::Type::kInt;
+  axis.i = 1;
+  concat.attribute.push_back(axis);
+  model.graph.node.push_back(concat);
+
+  NodeProto upsample;
+  upsample.op_type = "Upsample";
+  upsample.name = "up";
+  upsample.input = {"route_out", "up_scales"};
+  upsample.output = {"y"};
+  model.graph.node.push_back(upsample);
+  TensorProto scales;
+  scales.name = "up_scales";
+  scales.dims = {4};
+  scales.float_data = {1.0F, 1.0F, 2.0F, 2.0F};
+  model.graph.initializer.push_back(scales);
+
+  auto imported = import_model(model);
+  ASSERT_TRUE(imported.is_ok()) << imported.status().to_string();
+  const nn::Network& network = imported.value().network;
+  ASSERT_EQ(network.layer_count(), 5u);  // input, conv, add, concat, upsample
+  EXPECT_EQ(network.join_count(), 2u);
+  EXPECT_EQ(network.layers()[2].kind, nn::LayerKind::kEltwiseAdd);
+  auto add_producers = network.producers(2);
+  ASSERT_TRUE(add_producers.is_ok());
+  EXPECT_EQ(add_producers.value(), (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(network.layers()[3].kind, nn::LayerKind::kConcat);
+  auto concat_producers = network.producers(3);
+  ASSERT_TRUE(concat_producers.is_ok());
+  EXPECT_EQ(concat_producers.value(), (std::vector<std::size_t>{2, 1}));
+  EXPECT_EQ(network.layers()[4].kind, nn::LayerKind::kUpsample);
+  EXPECT_EQ(network.layers()[4].stride, 2u);
+  auto shapes = network.infer_shapes();
+  ASSERT_TRUE(shapes.is_ok()) << shapes.status().to_string();
+  EXPECT_EQ(shapes.value().back().output, (Shape{4, 8, 8}));
+
+  // Non-channel Concat axes are rejected.
+  model.graph.node[2].attribute[0].i = 2;
+  EXPECT_FALSE(import_model(model).is_ok());
+  model.graph.node[2].attribute[0].i = 1;
+  // Fractional Upsample scales are rejected.
+  model.graph.initializer[1].float_data = {1.0F, 1.0F, 1.5F, 1.5F};
+  EXPECT_FALSE(import_model(model).is_ok());
 }
 
 TEST(OnnxFlow, FrontendAcceptsOnnx) {

@@ -10,14 +10,19 @@
 // Seeds are fixed, so failures reproduce deterministically.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "caffe/export.hpp"
 #include "caffe/import.hpp"
 #include "common/rng.hpp"
 #include "dataflow/executor.hpp"
 #include "hw/accel_plan.hpp"
 #include "hw/hw_ir.hpp"
+#include "nn/quantization.hpp"
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
+#include "onnx/export.hpp"
+#include "onnx/import.hpp"
 #include "test_util.hpp"
 
 namespace condor {
@@ -268,6 +273,234 @@ TEST_P(RandomNetwork, PlannerInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetwork,
                          ::testing::Range<std::uint64_t>(1, 41));
+
+// ---------------------------------------------------------------------------
+// Random DAG topologies (ISSUE 8): residual/route/upsample graphs, checked
+// golden-vs-executor bit-exact across all three datapaths and round-tripped
+// through both frontend formats.
+// ---------------------------------------------------------------------------
+
+/// Builds a random valid DAG: a trunk conv, then 1-2 join rounds (eltwise
+/// residual with a 1x1/identity skip, or a two-branch channel concat),
+/// optionally an upsample, then an optional pool/classifier tail. All
+/// branch geometry is size-preserving (3x3 pad 1 / 1x1) so join shapes
+/// always agree.
+nn::Network random_dag_network(Rng& rng) {
+  nn::Network net("dagrand" + std::to_string(rng.bounded(1000000)));
+  std::size_t channels = 1 + rng.bounded(3);
+  std::size_t size = 8 + rng.bounded(8);  // 8..15
+
+  nn::LayerSpec input;
+  input.name = "data";
+  input.kind = nn::LayerKind::kInput;
+  input.input_channels = channels;
+  input.input_height = size;
+  input.input_width = size;
+  net.add(input);
+
+  const auto random_activation = [&rng]() {
+    return static_cast<nn::Activation>(rng.bounded(5));
+  };
+  const auto add_conv = [&](const std::string& name, std::size_t outputs,
+                            std::size_t kernel, std::size_t pad,
+                            const std::string& bottom) {
+    nn::LayerSpec conv;
+    conv.kind = nn::LayerKind::kConvolution;
+    conv.name = name;
+    conv.num_output = outputs;
+    conv.kernel_h = conv.kernel_w = kernel;
+    conv.stride = 1;
+    conv.pad = pad;
+    conv.has_bias = rng.bounded(2) == 0;
+    conv.activation = random_activation();
+    conv.inputs = {bottom};
+    net.add(std::move(conv));
+  };
+
+  add_conv("trunk", 1 + rng.bounded(4), 3, 1, "data");
+  std::string trunk = "trunk";
+  channels = net.layers().back().num_output;
+
+  const std::size_t rounds = 1 + rng.bounded(2);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const std::string tag = std::to_string(r);
+    nn::LayerSpec join;
+    if (rng.bounded(2) == 0) {
+      // Residual: branch_a (3x3) + either an identity skip from the trunk
+      // or a 1x1 projection branch.
+      const bool identity_skip = rng.bounded(2) == 0;
+      const std::size_t ca = identity_skip ? channels : 1 + rng.bounded(4);
+      add_conv("res" + tag + "_a", ca, 3, 1, trunk);
+      std::string second = trunk;
+      if (!identity_skip) {
+        add_conv("res" + tag + "_b", ca, 1, 0, trunk);
+        second = "res" + tag + "_b";
+      }
+      join.kind = nn::LayerKind::kEltwiseAdd;
+      join.name = "add" + tag;
+      join.inputs = {"res" + tag + "_a", second};
+      channels = ca;
+    } else {
+      // Route: two branches concatenated along channels.
+      const std::size_t ca = 1 + rng.bounded(3);
+      const std::size_t cb = 1 + rng.bounded(3);
+      add_conv("cat" + tag + "_a", ca, 3, 1, trunk);
+      add_conv("cat" + tag + "_b", cb, 1, 0, trunk);
+      join.kind = nn::LayerKind::kConcat;
+      join.name = "cat" + tag;
+      join.inputs = {"cat" + tag + "_a", "cat" + tag + "_b"};
+      channels = ca + cb;
+    }
+    join.activation = random_activation();
+    net.add(std::move(join));
+    trunk = net.layers().back().name;
+
+    if (size <= 12 && rng.bounded(3) == 0) {
+      nn::LayerSpec up;
+      up.kind = nn::LayerKind::kUpsample;
+      up.name = "up" + tag;
+      up.stride = 2;
+      up.activation = rng.bounded(2) == 0 ? nn::Activation::kNone
+                                          : nn::Activation::kReLU;
+      net.add(std::move(up));
+      trunk = net.layers().back().name;
+      size *= 2;
+    }
+  }
+
+  if (rng.bounded(2) == 0) {
+    nn::LayerSpec pool;
+    pool.kind = nn::LayerKind::kPooling;
+    pool.name = "pool";
+    pool.kernel_h = pool.kernel_w = 2;
+    pool.stride = 2;
+    pool.pool_method =
+        rng.bounded(2) == 0 ? nn::PoolMethod::kMax : nn::PoolMethod::kAverage;
+    net.add(pool);
+  }
+  if (rng.bounded(2) == 0) {
+    nn::LayerSpec fc;
+    fc.kind = nn::LayerKind::kInnerProduct;
+    fc.name = "fc";
+    fc.num_output = 2 + rng.bounded(6);
+    fc.has_bias = rng.bounded(2) == 0;
+    net.add(fc);
+    if (rng.bounded(2) == 0) {
+      nn::LayerSpec softmax;
+      softmax.kind = nn::LayerKind::kSoftmax;
+      softmax.name = "prob";
+      net.add(softmax);
+    }
+  }
+  return net;
+}
+
+class RandomDagNetwork : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagNetwork, DataflowMatchesReferenceBitExactAllDatapaths) {
+  Rng rng(GetParam() ^ 0xDA6DA6);
+  const nn::Network net = random_dag_network(rng);
+  ASSERT_TRUE(net.validate().is_ok()) << net.validate().to_string();
+
+  auto weights = nn::initialize_weights(net, GetParam() * 5 + 1);
+  ASSERT_TRUE(weights.is_ok());
+
+  // The datapath cycles with the seed: the reference oracle is the
+  // QuantizedEngine, which delegates to the golden float reference for
+  // float32 and runs the identical integer arithmetic otherwise.
+  const nn::DataType data_type =
+      std::array{nn::DataType::kFloat32, nn::DataType::kFixed16,
+                 nn::DataType::kFixed8}[GetParam() % 3];
+  auto engine = nn::QuantizedEngine::create(net, weights.value(), data_type);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+
+  hw::HwNetwork hw_net = random_annotations(net, rng);
+  hw_net.hw.data_type = data_type;
+  auto plan = hw::plan_accelerator(hw_net);
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string() << "\n" << net.summary();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan.value(), weights.value());
+  ASSERT_TRUE(executor.is_ok()) << executor.status().to_string();
+
+  const std::size_t batch = 1 + rng.bounded(3);
+  const auto inputs = testing::random_inputs(net, batch, GetParam() + 17);
+  auto outputs = executor.value().run_batch(inputs);
+  ASSERT_TRUE(outputs.is_ok()) << outputs.status().to_string() << "\n"
+                               << net.summary();
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Tensor expected = engine.value().forward(inputs[i]).value();
+    ASSERT_EQ(max_abs_diff(outputs.value()[i], expected), 0.0F)
+        << "seed " << GetParam() << " image " << i << " ("
+        << nn::to_string(data_type) << ")\n"
+        << net.summary();
+  }
+  for (const dataflow::FifoStats& stats :
+       executor.value().last_run_stats().stream_stats) {
+    EXPECT_LE(stats.max_occupancy, stats.capacity);
+  }
+}
+
+TEST_P(RandomDagNetwork, CaffeRoundTripPreservesDagTopology) {
+  Rng rng(GetParam() ^ 0xCAFED);
+  const nn::Network net = random_dag_network(rng);
+  auto weights = nn::initialize_weights(net, GetParam() + 23);
+  ASSERT_TRUE(weights.is_ok());
+
+  auto prototxt = caffe::to_prototxt(net);
+  auto caffemodel = caffe::to_caffemodel(net, weights.value());
+  ASSERT_TRUE(prototxt.is_ok()) << prototxt.status().to_string();
+  ASSERT_TRUE(caffemodel.is_ok());
+  auto model = caffe::load_caffe_model(prototxt.value(), caffemodel.value());
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string() << "\n"
+                             << prototxt.value();
+
+  ASSERT_EQ(model.value().network.layer_count(), net.layer_count());
+  EXPECT_EQ(model.value().network.join_count(), net.join_count());
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    EXPECT_EQ(model.value().network.layers()[i].kind, net.layers()[i].kind) << i;
+    EXPECT_EQ(model.value().network.layers()[i].activation,
+              net.layers()[i].activation)
+        << i;
+  }
+  auto engine_a = nn::ReferenceEngine::create(net, weights.value());
+  auto engine_b =
+      nn::ReferenceEngine::create(model.value().network, model.value().weights);
+  ASSERT_TRUE(engine_a.is_ok());
+  ASSERT_TRUE(engine_b.is_ok());
+  const auto inputs = testing::random_inputs(net, 1, GetParam() + 29);
+  EXPECT_EQ(max_abs_diff(engine_a.value().forward(inputs[0]).value(),
+                         engine_b.value().forward(inputs[0]).value()),
+            0.0F);
+}
+
+TEST_P(RandomDagNetwork, OnnxRoundTripPreservesDagTopology) {
+  Rng rng(GetParam() ^ 0x00DD);
+  const nn::Network net = random_dag_network(rng);
+  auto weights = nn::initialize_weights(net, GetParam() + 31);
+  ASSERT_TRUE(weights.is_ok());
+
+  auto bytes = onnx::to_onnx(net, weights.value());
+  ASSERT_TRUE(bytes.is_ok()) << bytes.status().to_string();
+  auto model = onnx::load_onnx_model(bytes.value());
+  ASSERT_TRUE(model.is_ok()) << model.status().to_string() << "\n"
+                             << net.summary();
+
+  EXPECT_EQ(model.value().network.join_count(), net.join_count());
+  EXPECT_EQ(model.value().network.dag_depth().value(),
+            net.dag_depth().value());
+  auto engine_a = nn::ReferenceEngine::create(net, weights.value());
+  auto engine_b =
+      nn::ReferenceEngine::create(model.value().network, model.value().weights);
+  ASSERT_TRUE(engine_a.is_ok());
+  ASSERT_TRUE(engine_b.is_ok()) << engine_b.status().to_string();
+  const auto inputs = testing::random_inputs(net, 1, GetParam() + 37);
+  EXPECT_EQ(max_abs_diff(engine_a.value().forward(inputs[0]).value(),
+                         engine_b.value().forward(inputs[0]).value()),
+            0.0F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagNetwork,
+                         ::testing::Range<std::uint64_t>(1, 25));
 
 }  // namespace
 }  // namespace condor

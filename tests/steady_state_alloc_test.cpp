@@ -171,5 +171,22 @@ TEST(SteadyStateAlloc, TinyNetFixed16ParallelLanes) {
                                         nn::DataType::kFixed16, 2, 59);
 }
 
+// DAG topologies: the join and broadcast modules must hold the same
+// zero-allocation steady-state contract as the linear-chain modules.
+TEST(SteadyStateAlloc, TinyResnetFloat32) {
+  expect_steady_state_allocates_nothing(nn::make_tiny_resnet(),
+                                        nn::DataType::kFloat32, 1, 61);
+}
+
+TEST(SteadyStateAlloc, TinyResnetFixed16) {
+  expect_steady_state_allocates_nothing(nn::make_tiny_resnet(),
+                                        nn::DataType::kFixed16, 1, 67);
+}
+
+TEST(SteadyStateAlloc, LenetSkipFixed8) {
+  expect_steady_state_allocates_nothing(nn::make_lenet_skip(),
+                                        nn::DataType::kFixed8, 1, 71);
+}
+
 }  // namespace
 }  // namespace condor
