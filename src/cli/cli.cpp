@@ -20,6 +20,7 @@
 #include "nn/reference.hpp"
 #include "nn/weights.hpp"
 #include "runtime/kernel_runner.hpp"
+#include "serve/loadgen.hpp"
 #include "sim/accel_sim.hpp"
 
 namespace condor::cli {
@@ -84,6 +85,10 @@ int usage(std::ostream& err) {
          "  validate --model M [--batch N] [--parallel-out D]\n"
          "           [--data-type float32|fixed16|fixed8] [--instances N]\n"
          "                                       dataflow engine vs reference\n"
+         "  serve-bench --model M [--rate RPS] [--requests N]\n"
+         "           [--max-batch N] [--preferred-batch N] [--max-delay-ms MS]\n"
+         "           [--instances N] [--data-type T] [--seed S]\n"
+         "                                       dynamic batching vs serial\n"
          "  describe-afi --id I --aws-root DIR\n";
   return 2;
 }
@@ -467,7 +472,105 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
       "images in flight (peak): %llu\n",
       static_cast<unsigned long long>(run_stats.weight_bytes_streamed),
       static_cast<unsigned long long>(run_stats.images_in_flight_hwm));
+  const std::vector<dataflow::InstanceUtilization>& utilization =
+      pool.value().utilization();
+  for (std::size_t i = 0; i < utilization.size(); ++i) {
+    out << strings::format(
+        "instance %zu utilization: %llu images in %llu chunks, "
+        "%.3f ms busy\n",
+        i, static_cast<unsigned long long>(utilization[i].images),
+        static_cast<unsigned long long>(utilization[i].chunks),
+        utilization[i].busy_seconds * 1e3);
+  }
   return worst == 0.0F ? 0 : 1;
+}
+
+int cmd_serve_bench(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto model_name = args.get("model");
+  if (!model_name.has_value()) {
+    err << "serve-bench requires --model\n";
+    return 2;
+  }
+  auto model = nn::make_model(*model_name);
+  if (!model.is_ok()) {
+    err << model.status().to_string() << "\n";
+    return 1;
+  }
+  auto data_type = nn::parse_data_type(args.get_or("data-type", "float32"));
+  if (!data_type.is_ok()) {
+    err << data_type.status().to_string() << "\n";
+    return 2;
+  }
+  auto weights = nn::initialize_weights(model.value(), 1);
+  if (!weights.is_ok()) {
+    err << weights.status().to_string() << "\n";
+    return 1;
+  }
+  hw::HwNetwork hw_net = hw::with_default_annotations(model.value());
+  hw_net.hw.data_type = data_type.value();
+  auto plan = hw::plan_accelerator(hw_net);
+  if (!plan.is_ok()) {
+    err << plan.status().to_string() << "\n";
+    return 1;
+  }
+  const std::size_t instances = static_cast<std::size_t>(
+      std::strtoull(args.get_or("instances", "4").c_str(), nullptr, 10));
+  if (instances == 0) {
+    err << "--instances must be >= 1\n";
+    return 2;
+  }
+  auto pool = dataflow::ExecutorPool::create(plan.value(), weights.value(),
+                                             instances);
+  if (!pool.is_ok()) {
+    err << pool.status().to_string() << "\n";
+    return 1;
+  }
+  auto accel = serve::make_service_model(pool.value().plan());
+  if (!accel.is_ok()) {
+    err << accel.status().to_string() << "\n";
+    return 1;
+  }
+  serve::LoadGenOptions options;
+  options.rate_rps = std::strtod(args.get_or("rate", "0").c_str(), nullptr);
+  options.requests = static_cast<std::size_t>(
+      std::strtoull(args.get_or("requests", "512").c_str(), nullptr, 10));
+  options.seed = std::strtoull(args.get_or("seed", "2024").c_str(), nullptr, 10);
+  options.batcher.max_batch = static_cast<std::size_t>(
+      std::strtoull(args.get_or("max-batch", "32").c_str(), nullptr, 10));
+  options.batcher.preferred_batch = static_cast<std::size_t>(std::strtoull(
+      args.get_or("preferred-batch", "0").c_str(), nullptr, 10));
+  options.batcher.max_delay_seconds =
+      std::strtod(args.get_or("max-delay-ms", "25").c_str(), nullptr) * 1e-3;
+  auto report = serve::run_open_loop(pool.value(), accel.value(), options);
+  if (!report.is_ok()) {
+    err << report.status().to_string() << "\n";
+    return 1;
+  }
+  const serve::LoadGenReport& r = report.value();
+  out << strings::format(
+      "%s (%s) on %zu instances, offered %.1f req/s, %zu requests "
+      "(%zu completed, %zu rejected)\n",
+      model.value().name().c_str(),
+      std::string(nn::to_string(data_type.value())).c_str(), instances,
+      r.offered_rps, r.requests, r.completed, r.rejected);
+  out << strings::format(
+      "  serial  per-request: %8.1f img/s   p50 %7.2f ms   p99 %7.2f ms\n",
+      r.serial_images_per_second, r.serial_latency.p50_ms,
+      r.serial_latency.p99_ms);
+  out << strings::format(
+      "  dynamic batching:    %8.1f img/s   p50 %7.2f ms   p99 %7.2f ms\n",
+      r.images_per_second, r.latency.p50_ms, r.latency.p99_ms);
+  out << strings::format(
+      "  %zu batches (mean %.1f, largest %zu), speedup %.2fx\n", r.batches,
+      r.mean_batch, r.largest_batch, r.speedup);
+  out << strings::format(
+      "  p99 bound: max_delay %.1f ms + batch service %.2f ms = %.2f ms (%s)\n",
+      options.batcher.max_delay_seconds * 1e3,
+      r.max_batch_service_seconds * 1e3, r.p99_bound_ms,
+      r.p99_within_bound ? "met" : "VIOLATED");
+  out << strings::format("  demux vs direct run_batch: %s\n",
+                         r.bitexact_vs_direct ? "bit-exact" : "MISMATCH");
+  return r.bitexact_vs_direct && r.p99_within_bound ? 0 : 1;
 }
 
 int cmd_fig5(const Args& args, std::ostream& out, std::ostream& err) {
@@ -559,6 +662,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (command == "validate") {
     return cmd_validate(parsed, out, err);
+  }
+  if (command == "serve-bench") {
+    return cmd_serve_bench(parsed, out, err);
   }
   if (command == "describe-afi") {
     return cmd_describe_afi(parsed, out, err);

@@ -111,10 +111,18 @@ Result<std::vector<Tensor>> F1Instance::run_batch_sharded(
       inputs.size(), slots, chunk_size,
       [&](std::size_t slot, std::size_t begin, std::size_t end) {
         runtime::KernelStats run_stats;
-        CONDOR_ASSIGN_OR_RETURN(
-            std::vector<Tensor> chunk_out,
+        Result<std::vector<Tensor>> chunk_result =
             slots_[slot].kernel->run(inputs.subspan(begin, end - begin),
-                                     &run_stats));
+                                     &run_stats);
+        if (!chunk_result.is_ok()) {
+          // Name the failing device: with up to 8 slots sharing a batch the
+          // caller needs to know which one to clear/reload.
+          return Status(chunk_result.status().code(),
+                        strings::format(
+                            "slot %zu (images [%zu, %zu)): %s", slot, begin,
+                            end, chunk_result.status().message().c_str()));
+        }
+        std::vector<Tensor> chunk_out = std::move(chunk_result).value();
         std::move(chunk_out.begin(), chunk_out.end(), outputs.begin() + begin);
         local.images_per_slot[slot] += end - begin;
         // Chunks on one slot run back to back, so its device time adds up.

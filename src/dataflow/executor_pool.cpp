@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -106,6 +107,7 @@ Result<ExecutorPool> ExecutorPool::create(
   pool.shared_pool_ =
       std::make_unique<ThreadPool>(std::max<std::size_t>(1, thread_budget()));
   pool.executors_.reserve(instances);
+  pool.utilization_.resize(instances);
   for (std::size_t i = 0; i < instances; ++i) {
     CONDOR_ASSIGN_OR_RETURN(AcceleratorExecutor executor,
                             AcceleratorExecutor::create(pool.plan_,
@@ -129,7 +131,16 @@ Result<std::vector<Tensor>> ExecutorPool::run_batch(
   if (executors_.size() == 1) {
     pool_stats_.chunk_size = batch;
     pool_stats_.images_per_instance[0] = batch;
-    return executors_[0]->run_batch(inputs);
+    const auto start = std::chrono::steady_clock::now();
+    auto outputs = executors_[0]->run_batch(inputs);
+    utilization_[0].busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (outputs.is_ok()) {
+      utilization_[0].images += batch;
+      ++utilization_[0].chunks;
+    }
+    return outputs;
   }
 
   // Drivers beyond the host's thread budget cannot run concurrently — they
@@ -150,11 +161,21 @@ Result<std::vector<Tensor>> ExecutorPool::run_batch(
   const Status status = dispatch_chunks(
       batch, drivers, chunk_size,
       [&](std::size_t instance, std::size_t begin, std::size_t end) {
-        CONDOR_ASSIGN_OR_RETURN(
-            std::vector<Tensor> chunk_out,
-            executors_[instance]->run_batch(inputs.subspan(begin, end - begin)));
-        std::move(chunk_out.begin(), chunk_out.end(), outputs.begin() + begin);
+        const auto start = std::chrono::steady_clock::now();
+        auto chunk_out =
+            executors_[instance]->run_batch(inputs.subspan(begin, end - begin));
+        utilization_[instance].busy_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (!chunk_out.is_ok()) {
+          return chunk_out.status();
+        }
+        std::move(chunk_out.value().begin(), chunk_out.value().end(),
+                  outputs.begin() + begin);
         census[instance] += end - begin;
+        utilization_[instance].images += end - begin;
+        ++utilization_[instance].chunks;
         return Status::ok();
       });
   CONDOR_RETURN_IF_ERROR(status);

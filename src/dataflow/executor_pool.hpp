@@ -62,6 +62,15 @@ struct PoolRunStats {
   std::vector<std::size_t> images_per_instance;
 };
 
+/// Cumulative per-instance utilization across the pool's lifetime (the
+/// serving layer's census: how evenly traffic spreads over the replicas and
+/// how busy each one actually is).
+struct InstanceUtilization {
+  std::uint64_t images = 0;        ///< images this instance executed
+  std::uint64_t chunks = 0;        ///< dispatches (chunks) it pulled
+  double busy_seconds = 0.0;       ///< host wall time inside run_batch chunks
+};
+
 class ExecutorPool {
  public:
   /// Validates the weights once and replicates `instances` (>= 1)
@@ -88,6 +97,12 @@ class ExecutorPool {
   [[nodiscard]] const PoolRunStats& last_pool_stats() const noexcept {
     return pool_stats_;
   }
+  /// Cumulative per-instance utilization since construction (one entry per
+  /// instance; each entry is only ever written by that instance's driver).
+  [[nodiscard]] const std::vector<InstanceUtilization>& utilization()
+      const noexcept {
+    return utilization_;
+  }
   /// Per-instance executor access (module/stream census, tests).
   [[nodiscard]] const AcceleratorExecutor& instance(std::size_t i) const {
     return *executors_[i];
@@ -105,6 +120,7 @@ class ExecutorPool {
   std::unique_ptr<ThreadPool> shared_pool_;
   std::vector<std::unique_ptr<AcceleratorExecutor>> executors_;
   PoolRunStats pool_stats_;
+  std::vector<InstanceUtilization> utilization_;
 };
 
 }  // namespace condor::dataflow

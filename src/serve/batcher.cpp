@@ -1,0 +1,210 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace condor::serve {
+namespace {
+
+/// Stride numerator: pass increments are kStrideScale / weight, so a
+/// weight-8 tenant is picked 8x as often as a weight-1 tenant.
+constexpr std::uint64_t kStrideScale = 1ULL << 20;
+
+}  // namespace
+
+std::string_view to_string(QosClass qos) noexcept {
+  switch (qos) {
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kBulk:
+      return "bulk";
+  }
+  return "?";
+}
+
+std::size_t default_weight(QosClass qos) noexcept {
+  switch (qos) {
+    case QosClass::kInteractive:
+      return 8;
+    case QosClass::kBulk:
+      return 1;
+  }
+  return 1;
+}
+
+BatcherCore::BatcherCore(BatcherOptions options,
+                         std::vector<TenantConfig> tenants)
+    : options_(options) {
+  if (options_.max_batch == 0) {
+    options_.max_batch = 1;
+  }
+  if (options_.preferred_batch == 0) {
+    options_.preferred_batch = std::max<std::size_t>(1, options_.max_batch / 4);
+  }
+  options_.preferred_batch =
+      std::min(options_.preferred_batch, options_.max_batch);
+  tenants_.reserve(tenants.size());
+  for (TenantConfig& config : tenants) {
+    if (config.weight == 0) {
+      config.weight = default_weight(config.qos);
+    }
+    TenantState state;
+    state.config = std::move(config);
+    tenants_.push_back(std::move(state));
+  }
+}
+
+Result<std::uint64_t> BatcherCore::admit(std::size_t tenant, Tensor input,
+                                         double now) {
+  if (tenant >= tenants_.size()) {
+    return not_found(strings::format("unknown tenant index %zu (%zu tenants)",
+                                     tenant, tenants_.size()));
+  }
+  TenantState& state = tenants_[tenant];
+  if (in_flight_ >= options_.max_inflight) {
+    ++state.counters.rejected;
+    return unavailable(strings::format(
+        "server at max in-flight (%zu requests admitted and incomplete)",
+        options_.max_inflight));
+  }
+  if (state.queue.size() >= state.config.queue_capacity) {
+    ++state.counters.rejected;
+    return unavailable(strings::format(
+        "tenant '%s' queue full (capacity %zu)", state.config.name.c_str(),
+        state.config.queue_capacity));
+  }
+  Request request;
+  request.id = next_id_++;
+  request.tenant = tenant;
+  request.arrival_seconds = now;
+  request.deadline_seconds = now + options_.max_delay_seconds;
+  request.input = std::move(input);
+  if (state.queue.empty()) {
+    // Newly backlogged: start at the scheduler's current position so an
+    // idle spell does not bank catch-up credit against active tenants.
+    state.pass = std::max(state.pass, pass_floor_);
+  }
+  state.queue.push_back(std::move(request));
+  ++state.counters.admitted;
+  ++queued_;
+  ++in_flight_;
+  return state.queue.back().id;
+}
+
+bool BatcherCore::batch_due(double now) const noexcept {
+  if (queued_ == 0) {
+    return false;
+  }
+  if (queued_ >= options_.preferred_batch) {
+    return true;
+  }
+  const std::optional<double> deadline = next_deadline();
+  return deadline.has_value() && *deadline <= now;
+}
+
+std::optional<double> BatcherCore::next_deadline() const noexcept {
+  std::optional<double> earliest;
+  for (const TenantState& state : tenants_) {
+    // Per-tenant queues are FIFO, so the head carries the earliest deadline.
+    if (!state.queue.empty() &&
+        (!earliest.has_value() ||
+         state.queue.front().deadline_seconds < *earliest)) {
+      earliest = state.queue.front().deadline_seconds;
+    }
+  }
+  return earliest;
+}
+
+std::optional<Request> BatcherCore::pop_weighted_fair() {
+  TenantState* pick = nullptr;
+  for (TenantState& state : tenants_) {
+    if (state.queue.empty()) {
+      continue;
+    }
+    if (pick == nullptr || state.pass < pick->pass) {
+      pick = &state;
+    }
+  }
+  if (pick == nullptr) {
+    return std::nullopt;
+  }
+  pass_floor_ = pick->pass;
+  pick->pass += kStrideScale / pick->config.weight;
+  Request request = std::move(pick->queue.front());
+  pick->queue.pop_front();
+  --queued_;
+  return request;
+}
+
+std::optional<Batch> BatcherCore::form_batch(double now, bool flush) {
+  const bool deadline_hit =
+      next_deadline().has_value() && *next_deadline() <= now;
+  if (queued_ == 0 || (!flush && !batch_due(now))) {
+    return std::nullopt;
+  }
+  Batch batch;
+  batch.formed_at_seconds = now;
+  batch.deadline_triggered = deadline_hit && queued_ < options_.preferred_batch;
+  batch.requests.reserve(std::min(queued_, options_.max_batch));
+
+  // Pass 1 — each tenant's expired FIFO head, earliest deadline first, at
+  // most ONE per tenant. This is the hard latency guarantee: every tenant's
+  // oldest request is in the very next batch formed after its deadline,
+  // regardless of weights. Capping the pass at one request per tenant is
+  // what keeps the guarantee multi-tenant: an overloaded tenant whose whole
+  // backlog has blown its deadlines must not turn EDF into a global FIFO
+  // that starves other tenants' (later) deadlines — beyond its head it
+  // competes by weight like everyone else.
+  std::vector<TenantState*> expired;
+  for (TenantState& state : tenants_) {
+    if (!state.queue.empty() && state.queue.front().deadline_seconds <= now) {
+      expired.push_back(&state);
+    }
+  }
+  std::sort(expired.begin(), expired.end(),
+            [](const TenantState* a, const TenantState* b) {
+              return a->queue.front().deadline_seconds <
+                     b->queue.front().deadline_seconds;
+            });
+  for (TenantState* state : expired) {
+    if (batch.requests.size() >= options_.max_batch) {
+      break;
+    }
+    batch.requests.push_back(std::move(state->queue.front()));
+    state->queue.pop_front();
+    --queued_;
+  }
+
+  // Pass 2 — fill the remaining slots weight-proportionally across the
+  // backlogged tenants (stride scheduling).
+  while (batch.requests.size() < options_.max_batch) {
+    std::optional<Request> request = pop_weighted_fair();
+    if (!request.has_value()) {
+      break;
+    }
+    batch.requests.push_back(std::move(*request));
+  }
+
+  for (const Request& request : batch.requests) {
+    ++tenants_[request.tenant].counters.dispatched;
+  }
+  ++counters_.batches_formed;
+  counters_.requests_batched += batch.requests.size();
+  if (batch.deadline_triggered) {
+    ++counters_.deadline_batches;
+  }
+  counters_.largest_batch =
+      std::max(counters_.largest_batch, batch.requests.size());
+  return batch;
+}
+
+void BatcherCore::complete(const Batch& batch) {
+  for (const Request& request : batch.requests) {
+    ++tenants_[request.tenant].counters.completed;
+  }
+  in_flight_ -= std::min(in_flight_, batch.requests.size());
+}
+
+}  // namespace condor::serve

@@ -1,0 +1,183 @@
+// Dynamic request batcher with admission control and weighted fair
+// scheduling — the state machine at the heart of the multi-tenant serving
+// layer (serve::Server wraps it in threads; bench/serve_load drives it in
+// virtual time).
+//
+// The serving problem: many sessions submit single-image requests, but the
+// accelerator pool only reaches its throughput when images arrive in
+// batches — a batch amortizes the pipeline fill over its images and, more
+// importantly, is the unit the chunk-stealing runtime shards across
+// replicated instances / F1 slots (a lone image can never occupy more than
+// one slot). The batcher therefore coalesces queued requests into batches
+// and bounds the latency cost of waiting:
+//
+//   * a batch becomes DUE when (a) max_batch requests are queued, (b) the
+//     oldest queued request has waited max_delay (its deadline), or (c) at
+//     least preferred_batch requests are queued. The caller only asks for a
+//     batch when a backend is free, so (c) means "don't hold a usable batch
+//     back while hardware sits idle"; (b) bounds the tail when traffic is
+//     sparse.
+//   * admission control: each tenant owns a bounded FIFO queue —
+//     reject-on-full, never block — and a global cap bounds admitted but
+//     incomplete requests across all tenants, so a flood degrades into
+//     fast rejects instead of unbounded memory and latency.
+//   * batch composition: each tenant's expired FIFO head is taken first
+//     (earliest deadline first, at most one per tenant — this is what makes
+//     the per-tenant latency bound hard, and the per-tenant cap is what
+//     keeps it multi-tenant: a tenant whose whole flood has blown its
+//     deadlines cannot turn the deadline pass into a global FIFO that
+//     starves other tenants); remaining slots are filled by stride
+//     scheduling across backlogged tenants, weight-proportional per QoS
+//     class, so a flooding bulk tenant cannot crowd an interactive tenant
+//     out of batches.
+//
+// The core is deliberately thread-free and clock-free: every entry point
+// takes `now` in seconds, so the deterministic tests and the virtual-time
+// load generator drive it with a fake clock while serve::Server drives it
+// with a steady clock under its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::serve {
+
+/// Service classes a tenant can subscribe to. The class sets the default
+/// fair-share weight: interactive tenants outweigh bulk tenants, so under
+/// contention their requests take proportionally more batch slots.
+enum class QosClass {
+  kInteractive,  ///< latency-sensitive sessions (default weight 8)
+  kBulk,         ///< throughput traffic, e.g. offline scoring (weight 1)
+};
+
+std::string_view to_string(QosClass qos) noexcept;
+std::size_t default_weight(QosClass qos) noexcept;
+
+struct TenantConfig {
+  std::string name;
+  QosClass qos = QosClass::kInteractive;
+  /// Fair-share weight; 0 derives the default from the QoS class.
+  std::size_t weight = 0;
+  /// Admission bound of this tenant's request queue (reject-on-full).
+  std::size_t queue_capacity = 64;
+};
+
+struct BatcherOptions {
+  /// Hard batch-size cap (the backend's sweet spot, e.g. instances * K).
+  std::size_t max_batch = 16;
+  /// Queue depth at which a batch is considered worth dispatching to an
+  /// idle backend before any deadline expires. 0 derives max(1, max_batch/4).
+  std::size_t preferred_batch = 0;
+  /// Deadline: no admitted request waits longer than this for dispatch
+  /// while a backend is available.
+  double max_delay_seconds = 2e-3;
+  /// Global cap on admitted-but-incomplete requests (all tenants).
+  std::size_t max_inflight = 1024;
+};
+
+/// One admitted request. `id` is the demux ticket the server resolves back
+/// to the caller's future; `deadline_seconds` = arrival + max_delay.
+struct Request {
+  std::uint64_t id = 0;
+  std::size_t tenant = 0;
+  double arrival_seconds = 0.0;
+  double deadline_seconds = 0.0;
+  Tensor input;
+};
+
+/// A formed batch, ready for one backend dispatch. Requests keep their
+/// admission metadata so the dispatcher can demultiplex outputs and account
+/// per-tenant latency.
+struct Batch {
+  std::vector<Request> requests;
+  double formed_at_seconds = 0.0;
+  /// True when an expired deadline (not queue depth) triggered formation.
+  bool deadline_triggered = false;
+};
+
+struct TenantCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t completed = 0;
+};
+
+struct BatcherCounters {
+  std::uint64_t batches_formed = 0;
+  std::uint64_t requests_batched = 0;
+  std::uint64_t deadline_batches = 0;  ///< formed because a deadline expired
+  std::size_t largest_batch = 0;
+};
+
+class BatcherCore {
+ public:
+  BatcherCore(BatcherOptions options, std::vector<TenantConfig> tenants);
+
+  /// Admission control. Returns the request's demux ticket, or rejects:
+  /// kNotFound for an unknown tenant, kUnavailable when the tenant queue or
+  /// the global in-flight cap is full. Never blocks.
+  Result<std::uint64_t> admit(std::size_t tenant, Tensor input, double now);
+
+  /// True when a batch should be dispatched to a free backend at `now`.
+  [[nodiscard]] bool batch_due(double now) const noexcept;
+
+  /// Forms the next batch (deadline-first, then weighted fair) if one is
+  /// due — or, with `flush`, whenever anything is queued (shutdown drain).
+  std::optional<Batch> form_batch(double now, bool flush = false);
+
+  /// Earliest dispatch deadline among queued requests (for timed waits).
+  [[nodiscard]] std::optional<double> next_deadline() const noexcept;
+
+  /// Releases the batch's slots in the global in-flight window. Call after
+  /// the backend completed (or failed) the dispatch.
+  void complete(const Batch& batch);
+
+  [[nodiscard]] std::size_t queued() const noexcept { return queued_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.size();
+  }
+  [[nodiscard]] const TenantConfig& tenant_config(std::size_t tenant) const {
+    return tenants_[tenant].config;
+  }
+  [[nodiscard]] const TenantCounters& tenant_counters(std::size_t tenant) const {
+    return tenants_[tenant].counters;
+  }
+  [[nodiscard]] const BatcherCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const BatcherOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  struct TenantState {
+    TenantConfig config;
+    std::deque<Request> queue;
+    /// Stride-scheduling pass value: the backlogged tenant with the lowest
+    /// pass is served next; each pick advances it by kStrideScale / weight.
+    std::uint64_t pass = 0;
+    TenantCounters counters;
+  };
+
+  /// Pops the next request by stride scheduling across backlogged tenants.
+  std::optional<Request> pop_weighted_fair();
+
+  BatcherOptions options_;
+  std::vector<TenantState> tenants_;
+  BatcherCounters counters_;
+  std::size_t queued_ = 0;
+  std::size_t in_flight_ = 0;  ///< admitted, not yet complete()d
+  std::uint64_t next_id_ = 1;
+  /// Pass of the most recent pick: newly backlogged tenants start here so
+  /// an idle spell never banks catch-up credit (standard stride lag fix).
+  std::uint64_t pass_floor_ = 0;
+};
+
+}  // namespace condor::serve

@@ -1,0 +1,210 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace condor::serve {
+
+struct Server::Impl {
+  Impl(ServerOptions options, std::vector<TenantConfig> tenants,
+       std::vector<Backend*> backends)
+      : core(options.batcher, std::move(tenants)),
+        backends(std::move(backends)),
+        epoch(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  }
+
+  void dispatch_loop(std::size_t backend_index);
+
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  BatcherCore core;
+  std::vector<Backend*> backends;
+  std::chrono::steady_clock::time_point epoch;
+  /// Demux table: admission ticket -> the caller's promise.
+  std::unordered_map<std::uint64_t, std::promise<Result<Tensor>>> promises;
+  std::vector<std::thread> dispatchers;
+  std::uint64_t batches_dispatched = 0;
+  std::uint64_t images_served = 0;
+  std::uint64_t backend_failures = 0;
+  bool stopping = false;
+};
+
+void Server::Impl::dispatch_loop(std::size_t backend_index) {
+  Backend& backend = *backends[backend_index];
+  std::unique_lock<std::mutex> lock(mutex);
+  for (;;) {
+    // Wait until a batch is due for this (free) backend, or shutdown.
+    for (;;) {
+      if (stopping && core.queued() == 0) {
+        return;
+      }
+      const double now = now_seconds();
+      if (core.batch_due(now) || (stopping && core.queued() > 0)) {
+        break;
+      }
+      const std::optional<double> deadline = core.next_deadline();
+      if (deadline.has_value()) {
+        work_cv.wait_until(
+            lock, epoch + std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(*deadline)));
+      } else {
+        work_cv.wait(lock);
+      }
+    }
+    std::optional<Batch> batch =
+        core.form_batch(now_seconds(), /*flush=*/stopping);
+    if (!batch.has_value()) {
+      continue;
+    }
+    // Collect inputs and claim the promises under the lock, run outside it.
+    std::vector<Tensor> inputs;
+    std::vector<std::promise<Result<Tensor>>> claimed;
+    inputs.reserve(batch->requests.size());
+    claimed.reserve(batch->requests.size());
+    for (Request& request : batch->requests) {
+      inputs.push_back(std::move(request.input));
+      auto it = promises.find(request.id);
+      claimed.push_back(std::move(it->second));
+      promises.erase(it);
+    }
+    lock.unlock();
+    Result<std::vector<Tensor>> outputs = backend.run_batch(inputs);
+    if (outputs.is_ok()) {
+      for (std::size_t i = 0; i < claimed.size(); ++i) {
+        claimed[i].set_value(std::move(outputs.value()[i]));
+      }
+    } else {
+      const Status status(
+          outputs.status().code(),
+          strings::format("backend '%s': %s",
+                          std::string(backend.name()).c_str(),
+                          outputs.status().message().c_str()));
+      for (auto& promise : claimed) {
+        promise.set_value(status);
+      }
+    }
+    lock.lock();
+    core.complete(*batch);
+    ++batches_dispatched;
+    if (outputs.is_ok()) {
+      images_served += claimed.size();
+    } else {
+      ++backend_failures;
+    }
+    // Another dispatcher may already have a due batch waiting behind this
+    // one's in-flight window.
+    work_cv.notify_all();
+  }
+}
+
+Result<Server> Server::create(ServerOptions options,
+                              std::vector<TenantConfig> tenants,
+                              std::vector<Backend*> backends) {
+  if (tenants.empty()) {
+    return invalid_input("server needs at least one tenant");
+  }
+  if (backends.empty()) {
+    return invalid_input("server needs at least one backend");
+  }
+  for (const Backend* backend : backends) {
+    if (backend == nullptr) {
+      return invalid_input("null backend");
+    }
+  }
+  auto impl =
+      std::make_unique<Impl>(options, std::move(tenants), std::move(backends));
+  for (std::size_t b = 0; b < impl->backends.size(); ++b) {
+    impl->dispatchers.emplace_back(&Impl::dispatch_loop, impl.get(), b);
+  }
+  return Server(std::move(impl));
+}
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Server::Server(Server&&) noexcept = default;
+
+Server& Server::operator=(Server&& other) noexcept {
+  if (this != &other) {
+    if (impl_ != nullptr) {
+      shutdown();  // never drop an Impl with live dispatcher threads
+    }
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) {
+    shutdown();
+  }
+}
+
+std::future<Result<Tensor>> Server::submit(std::size_t tenant, Tensor input) {
+  std::promise<Result<Tensor>> promise;
+  std::future<Result<Tensor>> future = promise.get_future();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->stopping) {
+    promise.set_value(unavailable("server is shutting down"));
+    return future;
+  }
+  Result<std::uint64_t> ticket =
+      impl_->core.admit(tenant, std::move(input), impl_->now_seconds());
+  if (!ticket.is_ok()) {
+    promise.set_value(ticket.status());
+    return future;
+  }
+  impl_->promises.emplace(ticket.value(), std::move(promise));
+  impl_->work_cv.notify_all();
+  return future;
+}
+
+std::vector<std::future<Result<Tensor>>> Server::submit_many(
+    std::size_t tenant, std::vector<Tensor> inputs) {
+  std::vector<std::future<Result<Tensor>>> futures;
+  futures.reserve(inputs.size());
+  for (Tensor& input : inputs) {
+    futures.push_back(submit(tenant, std::move(input)));
+  }
+  return futures;
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopping && impl_->dispatchers.empty()) {
+      return;
+    }
+    impl_->stopping = true;
+    impl_->work_cv.notify_all();
+  }
+  for (std::thread& dispatcher : impl_->dispatchers) {
+    dispatcher.join();
+  }
+  impl_->dispatchers.clear();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  ServerStats stats;
+  stats.batcher = impl_->core.counters();
+  for (std::size_t t = 0; t < impl_->core.tenant_count(); ++t) {
+    stats.tenants.push_back(impl_->core.tenant_counters(t));
+  }
+  stats.batches_dispatched = impl_->batches_dispatched;
+  stats.images_served = impl_->images_served;
+  stats.backend_failures = impl_->backend_failures;
+  return stats;
+}
+
+}  // namespace condor::serve

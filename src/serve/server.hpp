@@ -1,0 +1,131 @@
+// serve::Server — the multi-tenant request front door.
+//
+// Sessions submit single images (or small bursts) and get back futures; a
+// dispatcher thread per backend pulls batches out of the shared BatcherCore
+// (admission control, max_delay deadline, weighted fair QoS — see
+// batcher.hpp), runs them through the backend's batch API, and
+// demultiplexes the outputs to the per-request futures. Because images run
+// independently through the accelerator pipeline, a request's output is
+// bit-exact vs a direct run_batch of the same image no matter which batch
+// it rode in — the demux is pure plumbing, never arithmetic.
+//
+// Backends adapt the two pool flavors the repo has:
+//   * PoolBackend  — an in-process dataflow::ExecutorPool (replicated
+//     executor instances over one shared plan + resident weights),
+//   * F1SlotBackend — a cloud::F1Instance slot range driven through
+//     run_batch_sharded (one AFI on every slot, chunk-stealing dispatch).
+// A Server over several backends (e.g. two F1 instances) keeps one batch
+// in flight per backend: each dispatcher forms the next batch only when
+// its backend is free, which is exactly the condition under which the
+// batcher's preferred_batch/deadline policy is latency-optimal.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cloud/f1.hpp"
+#include "common/status.hpp"
+#include "dataflow/executor_pool.hpp"
+#include "serve/batcher.hpp"
+#include "tensor/tensor.hpp"
+
+namespace condor::serve {
+
+/// A batch-execution target the server can multiplex requests onto.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual Result<std::vector<Tensor>> run_batch(
+      std::span<const Tensor> inputs) = 0;
+};
+
+/// In-process executor pool (replicated accelerator instances).
+class PoolBackend : public Backend {
+ public:
+  explicit PoolBackend(std::shared_ptr<dataflow::ExecutorPool> pool)
+      : pool_(std::move(pool)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "executor-pool";
+  }
+  Result<std::vector<Tensor>> run_batch(
+      std::span<const Tensor> inputs) override {
+    return pool_->run_batch(inputs);
+  }
+  [[nodiscard]] dataflow::ExecutorPool& pool() noexcept { return *pool_; }
+
+ private:
+  std::shared_ptr<dataflow::ExecutorPool> pool_;
+};
+
+/// A cloud F1 instance's slot pool (all slots programmed with one AFI).
+class F1SlotBackend : public Backend {
+ public:
+  F1SlotBackend(cloud::F1Instance& instance, std::size_t slots)
+      : instance_(instance), slots_(slots) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "f1-slot-pool";
+  }
+  Result<std::vector<Tensor>> run_batch(
+      std::span<const Tensor> inputs) override {
+    return instance_.run_batch_sharded(inputs, slots_);
+  }
+
+ private:
+  cloud::F1Instance& instance_;
+  std::size_t slots_;
+};
+
+struct ServerOptions {
+  BatcherOptions batcher;
+};
+
+struct ServerStats {
+  BatcherCounters batcher;
+  std::vector<TenantCounters> tenants;
+  std::uint64_t batches_dispatched = 0;
+  std::uint64_t images_served = 0;
+  std::uint64_t backend_failures = 0;
+};
+
+class Server {
+ public:
+  /// Validates the configuration and starts one dispatcher thread per
+  /// backend. Backends must outlive the server.
+  static Result<Server> create(ServerOptions options,
+                               std::vector<TenantConfig> tenants,
+                               std::vector<Backend*> backends);
+
+  Server(Server&&) noexcept;
+  Server& operator=(Server&&) noexcept;
+  ~Server();
+
+  /// Submits one image for `tenant`. The future resolves to the output
+  /// blob, or to the admission error (queue full / in-flight cap) — an
+  /// admission reject resolves immediately and never blocks the caller.
+  std::future<Result<Tensor>> submit(std::size_t tenant, Tensor input);
+
+  /// Small-batch convenience: each image becomes its own request (the
+  /// batcher may regroup them with other tenants' traffic).
+  std::vector<std::future<Result<Tensor>>> submit_many(
+      std::size_t tenant, std::vector<Tensor> inputs);
+
+  /// Stops admission, drains every queued request through the backends,
+  /// and joins the dispatchers. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace condor::serve

@@ -261,6 +261,62 @@ TEST(F1, MultiSlotShardedRunIsBitExactWithCompleteCensus) {
   EXPECT_FALSE(instance.run_batch_sharded(inputs, 3).is_ok());
 }
 
+TEST(F1, MidBatchSlotFailureNamesTheSlotAndInstanceStaysUsable) {
+  const nn::Network model =
+      condor::testing::make_tiny_net(condor::testing::TinyNetConfig{});
+  condorflow::FrontendInput input;
+  input.network_json_text = hw::to_json_text(hw::with_default_annotations(model));
+  input.weight_file_bytes = nn::initialize_weights(model, 9).value().serialize();
+  auto flow = condorflow::Flow::run(input, condorflow::FlowOptions{});
+  ASSERT_TRUE(flow.is_ok()) << flow.status().to_string();
+
+  ObjectStore store(fresh_root("f1_slot_failure"));
+  AfiService service(store, 0);
+  ASSERT_TRUE(store.create_bucket("designs").is_ok());
+  ASSERT_TRUE(
+      store.put_object("designs", "d.xclbin", flow.value().xclbin_bytes).is_ok());
+  auto afi = service.create_fpga_image("tiny", "", "designs", "d.xclbin");
+  ASSERT_TRUE(afi.is_ok());
+  ASSERT_TRUE(service.wait_until_available(afi.value().afi_id).is_ok());
+
+  F1Instance instance(F1InstanceType::k4xlarge, service);
+  for (std::size_t s = 0; s < 2; ++s) {
+    ASSERT_TRUE(instance.load_afi(s, afi.value().agfi_id).is_ok());
+    ASSERT_TRUE(instance.slot_kernel(s)
+                    .value()
+                    ->load_weights(flow.value().weight_file_bytes)
+                    .is_ok());
+  }
+
+  // A malformed image mid-batch makes whichever slot pulls that chunk fail
+  // shape validation; the error must name the slot (so the operator knows
+  // which device to clear/reload) and the image range of the failing chunk.
+  auto inputs = condor::testing::random_inputs(model, 7, 13);
+  inputs[5] = Tensor(Shape{2, 2, 2});
+  auto failed = instance.run_batch_sharded(inputs, 2);
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(failed.status().message().find("slot "), std::string::npos)
+      << failed.status().to_string();
+  EXPECT_NE(failed.status().message().find("(images [5, 6))"),
+            std::string::npos)
+      << failed.status().to_string();
+
+  // The instance is reusable: a clean batch after the failure is bit-exact
+  // against a single-slot run.
+  const auto good = condor::testing::random_inputs(model, 6, 17);
+  auto expected = instance.slot_kernel(0).value()->run(good);
+  ASSERT_TRUE(expected.is_ok()) << expected.status().to_string();
+  auto recovered = instance.run_batch_sharded(good, 2);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (std::size_t e = 0; e < recovered.value()[i].size(); ++e) {
+      ASSERT_EQ(recovered.value()[i][e], expected.value()[i][e])
+          << "image " << i << " element " << e;
+    }
+  }
+}
+
 TEST(F1, PendingAfiCannotBeLoaded) {
   ObjectStore store(fresh_root("f1_pending"));
   AfiService service(store, /*ingestion_polls=*/10);
