@@ -1,19 +1,26 @@
-// Ablation A2: layer fusion (PE clustering) vs full spatial unfolding.
+// Ablation A2: fusion-aware DSE — searched PE clustering vs fixed mapping.
 //
 // The paper's methodology can map several logical layers onto one PE when
-// resources are scarce (§3.2). This ablation sweeps the clustering factor
-// on LeNet and TC1 — from the fully unfolded 1:1 mapping (maximum
-// intra-layer parallelism, the Table 1 configuration) down to a single PE
-// implementing the whole features stage — and reports the area/throughput
-// trade the clustering buys.
+// resources are scarce (§3.2). Earlier revisions of this ablation swept a
+// hand-assigned clustering factor; now that the explorer enumerates fusion
+// degrees itself (DseOptions::max_fused), the ablation sweeps the *search
+// bound* instead: for each model x board it runs the full fusion-aware DSE
+// at max_fused = 1 (the fixed 1:1 clustering, pre-fusion behavior) up to
+// the whole feature stage, and reports the best design the search found.
 //
-// Expected shape: fusing saves LUT/FF/DSP roughly in proportion to the PE
-// count, while throughput degrades because a fused PE time-multiplexes its
-// layers (the high-level pipeline loses stages).
+// Expected shape: on a roomy board (aws-f1) the search ties the fixed
+// mapping's throughput while trimming area (fused pooling passes are free
+// riders on the producer conv's raster, so clustering them costs nothing).
+// On tight boards (zc706) the fixed clustering exhausts fabric before the
+// parallelism climb saturates; fusing shares window memory subsystems and
+// the freed LUT/DSP buys deeper parallel_out/parallel_in, so the searched
+// front strictly dominates.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "hw/accel_plan.hpp"
 #include "hw/dse.hpp"
 #include "nn/models.hpp"
 
@@ -21,24 +28,20 @@ namespace {
 
 using namespace condor;
 
-/// Assigns pe_group ids clustering every `cluster` consecutive
-/// feature-extraction layers (classifier layers stay 1:1).
-hw::HwNetwork clustered(const nn::Network& model, std::size_t cluster) {
-  hw::HwNetwork net = hw::with_default_annotations(model, "aws-f1", 200.0);
-  int group = 0;
-  std::size_t in_group = 0;
-  for (std::size_t l = 1; l < net.net.layer_count(); ++l) {
-    const nn::LayerSpec& layer = net.net.layers()[l];
-    if (!layer.is_feature_extraction()) {
-      break;
-    }
-    net.hw.layers[l].pe_group = group;
-    if (++in_group == cluster) {
-      ++group;
-      in_group = 0;
-    }
+struct Scenario {
+  const char* board;
+  double frequency_mhz;
+  nn::Network model;
+};
+
+/// Largest fused chain in the winning plan (1 == nothing fused).
+std::size_t max_chain(const hw::DsePoint& point) {
+  const auto plan = hw::plan_accelerator(point.config);
+  std::size_t chain = 1;
+  for (const hw::PePlan& pe : plan.value().pes) {
+    chain = std::max(chain, pe.layer_indices.size());
   }
-  return net;
+  return chain;
 }
 
 }  // namespace
@@ -46,34 +49,52 @@ hw::HwNetwork clustered(const nn::Network& model, std::size_t cluster) {
 int main() {
   log::set_level(log::Level::kError);
 
-  std::printf("== Ablation A2: layer fusion vs spatial unfolding ==\n\n");
-  for (const nn::Network& model : {nn::make_tc1(), nn::make_lenet()}) {
-    std::printf("%s:\n", model.name().c_str());
-    std::printf("  %-12s %5s %10s %10s %7s %8s %10s %12s\n", "clustering",
-                "PEs", "LUT", "DSP", "BRAM", "MHz", "GFLOPS", "img/s");
-    const std::size_t feature_layers =
-        model.feature_extraction_prefix().layer_count() - 1;
-    for (std::size_t cluster = 1; cluster <= feature_layers; ++cluster) {
-      const hw::HwNetwork net = clustered(model, cluster);
-      auto point = hw::evaluate_design_point(net);
-      if (!point.is_ok()) {
-        std::printf("  cluster=%zu: %s\n", cluster,
-                    point.status().to_string().c_str());
+  std::printf("== Ablation A2: fusion-aware DSE vs fixed clustering ==\n\n");
+  const std::vector<Scenario> scenarios = {
+      {"aws-f1", 200.0, nn::make_tc1()},
+      {"aws-f1", 200.0, nn::make_lenet()},
+      {"zc706", 150.0, nn::make_lenet()},
+      {"zc706", 150.0, nn::make_vgg16()},
+  };
+  for (const Scenario& scenario : scenarios) {
+    const nn::Network features = scenario.model.feature_extraction_prefix();
+    std::printf("%s features @ %s %.0f MHz:\n", scenario.model.name().c_str(),
+                scenario.board, scenario.frequency_mhz);
+    std::printf("  %-12s %5s %6s %10s %8s %6s %6s %10s %12s\n", "max_fused",
+                "PEs", "chain", "LUT", "DSP", "BRAM", "MHz", "GFLOPS",
+                "img/s");
+    const std::size_t feature_layers = features.layer_count() - 1;
+    const hw::HwNetwork net = hw::with_default_annotations(
+        features, scenario.board, scenario.frequency_mhz);
+    for (std::size_t bound = 1; bound <= feature_layers; ++bound) {
+      hw::DseOptions options;
+      options.max_fused = bound;
+      auto result = hw::explore(net, options);
+      if (!result.is_ok()) {
+        std::printf("  max_fused=%zu: %s\n", bound,
+                    result.status().to_string().c_str());
         continue;
       }
-      const char* label = cluster == 1 ? "1:1 (paper)" : "";
-      std::printf("  %-4zu%-8s %5zu %10llu %10llu %7llu %8.0f %10.2f %12.1f\n",
-                  cluster, label, point.value().performance.pes.size(),
-                  (unsigned long long)point.value().resources.total.luts,
-                  (unsigned long long)point.value().resources.total.dsps,
-                  (unsigned long long)point.value().resources.total.bram36,
-                  point.value().achieved_mhz, point.value().gflops(),
-                  point.value().performance.images_per_second());
+      const hw::DsePoint& best = result.value().best;
+      const char* label = bound == 1 ? "1 (fixed)" : "";
+      char bound_text[24];
+      std::snprintf(bound_text, sizeof bound_text, "%zu", bound);
+      std::printf("  %-12s %5zu %6zu %10llu %8llu %6llu %6.0f %10.2f %12.1f\n",
+                  bound == 1 ? label : bound_text,
+                  hw::plan_accelerator(best.config).value().pes.size(),
+                  max_chain(best),
+                  (unsigned long long)best.resources.total.luts,
+                  (unsigned long long)best.resources.total.dsps,
+                  (unsigned long long)best.resources.total.bram36,
+                  best.achieved_mhz, best.gflops(),
+                  best.performance.images_per_second());
     }
     std::printf("\n");
   }
   std::printf(
-      "shape: larger clusters -> fewer PEs, smaller LUT/DSP footprint, lower "
-      "throughput (time-multiplexed layers).\n");
+      "shape: on roomy boards the searched optimum ties the fixed mapping's "
+      "throughput at smaller area; on tight boards fusion frees fabric the "
+      "climb converts into deeper parallelism and strictly higher modeled "
+      "throughput.\n");
   return 0;
 }

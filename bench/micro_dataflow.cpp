@@ -180,6 +180,59 @@ void BM_AcceleratorRepeatedBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_AcceleratorRepeatedBatch)->Arg(16)->Unit(benchmark::kMillisecond);
 
+/// Fused-chain serving: LeNet's whole feature stage clustered onto one
+/// fused PE, repeated 16-image batches through one resident executor.
+/// Arg: 0 = legacy loopback round trip (every intermediate pass re-enters
+/// the memory subsystem through mux -> filters -> port FIFOs), 1 = the
+/// PE-local fused-pass fast path (intermediates stay in the PE's grow-only
+/// double buffer). Identical clustering, byte-identical outputs — the gap
+/// between the rows is the locality win.
+void BM_AcceleratorFusedChain(benchmark::State& state) {
+  const bool fast_path = state.range(0) != 0;
+  const nn::Network model = nn::make_lenet();
+  auto weights = nn::initialize_weights(model, 1).value();
+  hw::HwNetwork hw_net = hw::with_default_annotations(model);
+  for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
+    if (!model.layers()[i].is_feature_extraction()) {
+      break;
+    }
+    hw_net.hw.layers[i].pe_group = 0;
+  }
+  auto plan = hw::plan_accelerator(hw_net).value();
+  auto executor =
+      dataflow::AcceleratorExecutor::create(plan, std::move(weights)).value();
+  executor.set_fused_pass_locality(fast_path);
+  Rng rng(2);
+  const Shape input_shape = model.input_shape().value();
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 16; ++i) {
+    Tensor image(input_shape);
+    for (float& v : image.data()) {
+      v = rng.uniform(-1.0F, 1.0F);
+    }
+    batch.push_back(std::move(image));
+  }
+  if (!executor.run_batch(batch).is_ok()) {
+    state.SkipWithError("warm-up failed");
+  }
+  for (auto _ : state) {
+    auto outputs = executor.run_batch(batch);
+    if (!outputs.is_ok()) {
+      state.SkipWithError("run failed");
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetLabel(fast_path ? "pe-local" : "loopback");
+  state.counters["fused_local_passes"] = static_cast<double>(
+      executor.last_run_stats().fused_local_passes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_AcceleratorFusedChain)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 /// Weight residency + multi-image pipelining on LeNet at batch 1 / 4 / 16.
 /// arg1 selects the serving mode: 0 = resident (one executor reused across
 /// iterations — warm runs stream zero weight bytes and overlap images),

@@ -79,7 +79,9 @@ int usage(std::ostream& err) {
          "        | --network F --weights F\n"
          "          [--board ID] [--freq MHZ] [--out DIR] [--dse]\n"
          "          [--deploy onprem|cloud] [--bucket NAME] [--aws-root DIR]\n"
-         "  dse     --model M [--features]       automated DSE\n"
+         "  dse     --model M [--features] [--max-fused K]\n"
+         "                                       automated DSE (K > 1 searches\n"
+         "                                       PE fusion clusterings too)\n"
          "  run     --xclbin F --weights F [--batch N] [--instances N]\n"
          "  fig5    --model M                    batch-size latency sweep\n"
          "  validate --model M [--batch N] [--parallel-out D]\n"
@@ -233,15 +235,29 @@ int cmd_dse(const Args& args, std::ostream& out, std::ostream& err) {
   nn::Network net = args.has("features")
                         ? model.value().feature_extraction_prefix()
                         : model.value();
-  auto result = hw::explore(hw::with_default_annotations(
-      std::move(net), args.get_or("board", "aws-f1"), 250.0));
+  // Fusion-aware clustering search: --max-fused K enumerates fusing up to K
+  // chained feature PEs onto one (1 = fixed clustering, the default).
+  const std::size_t max_fused = static_cast<std::size_t>(
+      std::strtoull(args.get_or("max-fused", "1").c_str(), nullptr, 10));
+  if (max_fused == 0) {
+    err << "--max-fused must be >= 1\n";
+    return 2;
+  }
+  hw::DseOptions options;
+  options.max_fused = max_fused;
+  auto result = hw::explore(
+      hw::with_default_annotations(std::move(net),
+                                   args.get_or("board", "aws-f1"), 250.0),
+      options);
   if (!result.is_ok()) {
     err << result.status().to_string() << "\n";
     return 1;
   }
-  out << strings::format("evaluated %zu points (%zu feasible)\n",
+  out << strings::format("evaluated %zu points (%zu feasible) over %zu "
+                         "clustering(s)\n",
                          result.value().points_evaluated,
-                         result.value().points_feasible);
+                         result.value().points_feasible,
+                         result.value().clusterings_explored);
   for (std::size_t step = 0; step < result.value().trajectory.size(); ++step) {
     const hw::DsePoint& point = result.value().trajectory[step];
     out << strings::format("  step %2zu: %8.2f GFLOPS @ %3.0f MHz\n", step,
@@ -443,6 +459,18 @@ int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
   out << strings::format("topology: %zu layers, %zu joins, DAG depth %zu\n",
                          model.value().layer_count(),
                          model.value().join_count(), depth.value());
+  // Fusion summary: how the plan clusters layers onto PEs. "fused passes"
+  // counts the passes beyond each PE's first (the ones the executor's
+  // fused-pass locality keeps on chip); "max chain" is the longest fused
+  // layer chain on one PE.
+  std::size_t fused_passes = 0;
+  std::size_t max_chain = 1;
+  for (const hw::PePlan& pe : plan.value().pes) {
+    fused_passes += pe.layer_indices.size() - 1;
+    max_chain = std::max(max_chain, pe.layer_indices.size());
+  }
+  out << strings::format("PEs: %zu, fused passes: %zu, max chain: %zu\n",
+                         plan.value().pes.size(), fused_passes, max_chain);
   const dataflow::RunStats& run_stats =
       pool.value().instance(0).last_run_stats();
   out << strings::format("KPN: %zu modules, %zu streams\n", run_stats.modules,

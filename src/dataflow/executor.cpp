@@ -1,6 +1,8 @@
 #include "dataflow/executor.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/strings.hpp"
 #include "dataflow/filter.hpp"
@@ -33,6 +35,18 @@ constexpr std::size_t kMinEdgeDepth = 1024;
 /// is capacity-independent, only the overlap depth shrinks).
 constexpr std::size_t kMaxPipelineEdgeDepth = std::size_t{1} << 18;
 
+/// Environment default of the fused-pass locality fast path: enabled unless
+/// CONDOR_FUSED_LOCAL is "0"/"off"/"false" (the legacy loopback round trip,
+/// kept for A/B benchmarking — results are bit-identical either way).
+bool fused_locality_env_default() noexcept {
+  const char* env = std::getenv("CONDOR_FUSED_LOCAL");
+  if (env == nullptr) {
+    return true;
+  }
+  const std::string_view value(env);
+  return !(value == "0" || value == "off" || value == "false");
+}
+
 }  // namespace
 
 Result<AcceleratorExecutor> AcceleratorExecutor::create(hw::AcceleratorPlan plan,
@@ -51,6 +65,20 @@ Result<AcceleratorExecutor> AcceleratorExecutor::create(
   return AcceleratorExecutor(std::move(plan), std::move(weights));
 }
 
+bool AcceleratorExecutor::fused_locality_enabled() const noexcept {
+  return fused_local_override_.value_or(fused_locality_env_default());
+}
+
+void AcceleratorExecutor::set_fused_pass_locality(bool enabled) noexcept {
+  const bool current = fused_locality_enabled();
+  fused_local_override_ = enabled;
+  if (design_ != nullptr && current != enabled) {
+    // The graph topology changes (loopback streams appear/disappear), so
+    // the compiled instance is stale; the next run recompiles.
+    design_.reset();
+  }
+}
+
 Status AcceleratorExecutor::build_design() {
   auto design = std::make_unique<CompiledDesign>();
 
@@ -58,9 +86,18 @@ Status AcceleratorExecutor::build_design() {
   // executor and outlive the design. Programs are filled before any module
   // takes a reference, so the vector's final addresses are stable.
   design->programs.reserve(plan_->pes.size());
+  const bool fused_local = fused_locality_enabled();
   for (std::size_t p = 0; p < plan_->pes.size(); ++p) {
     CONDOR_ASSIGN_OR_RETURN(PeProgram program,
                             build_pe_program(*plan_, p, *weights_));
+    // Fused-pass fast path: multi-pass feature/element-wise PEs keep their
+    // intermediate blobs on chip (dataflow/pe.hpp) instead of looping them
+    // through mux -> filters -> ports. Classifier PEs already run their
+    // passes in-register, and join PEs are single-pass.
+    const hw::PeKind kind = plan_->pes[p].kind;
+    program.fused_local = fused_local && program.passes.size() > 1 &&
+                          (kind == hw::PeKind::kFeature ||
+                           kind == hw::PeKind::kElementwise);
     design->programs.push_back(std::move(program));
   }
   const std::vector<PeProgram>& programs = design->programs;
@@ -248,7 +285,7 @@ Status AcceleratorExecutor::build_design() {
     const std::size_t map_w = std::max<std::size_t>(memory.map_w, 1);
 
     Stream* loopback = nullptr;
-    if (program.passes.size() > 1) {
+    if (program.passes.size() > 1 && !program.fused_local) {
       loopback = &graph.make_stream(
           std::max<std::size_t>(program.max_loopback_elements(), 1),
           pe.name + "_loopback");
@@ -412,6 +449,12 @@ Result<std::vector<Tensor>> AcceleratorExecutor::run_batch(
   }
   stats_.images_in_flight_hwm =
       design_->telemetry.images_in_flight_hwm.load(std::memory_order_relaxed);
+  stats_.fused_local_passes = 0;
+  for (const PeProgram& program : design_->programs) {
+    if (program.fused_local) {
+      stats_.fused_local_passes += program.passes.size() - 1;
+    }
+  }
 
   if (!run_status.is_ok()) {
     // A failed run leaves streams partially drained; drop the instance so

@@ -58,6 +58,10 @@ struct RunStats {
   /// mover and the output collector (>= 2 proves consecutive images
   /// overlapped in the pipeline).
   std::uint64_t images_in_flight_hwm = 0;
+  /// Fused passes executed PE-locally per image (fused-pass fast path):
+  /// the sum of passes-after-the-first over every PE program running with
+  /// fused_local. Zero when the fast path is disabled or no PE is fused.
+  std::size_t fused_local_passes = 0;
   std::vector<FifoStats> stream_stats;
   /// Per-module fire/blocked counters of the run.
   std::vector<ModuleRunStats> module_stats;
@@ -105,6 +109,14 @@ class AcceleratorExecutor {
   /// before the first run_batch; the pool must outlive the executor.
   void set_shared_pool(ThreadPool* pool) noexcept { shared_pool_ = pool; }
 
+  /// Overrides the fused-pass locality fast path (default: enabled, unless
+  /// the CONDOR_FUSED_LOCAL environment toggle — "0"/"off"/"false" — selects
+  /// the legacy loopback round trip). Results are bit-identical either way;
+  /// the fast path only removes FIFO traffic for fused intermediate passes.
+  /// Flipping the value on a compiled instance drops the design, so the
+  /// next run recompiles (and restreams weights).
+  void set_fused_pass_locality(bool enabled) noexcept;
+
   /// Statistics of the most recent run_batch call.
   [[nodiscard]] const RunStats& last_run_stats() const noexcept { return stats_; }
 
@@ -136,6 +148,10 @@ class AcceleratorExecutor {
   /// Builds programs + graph + modules into design_ (no data movement).
   Status build_design();
 
+  /// Resolved fused-pass locality: the explicit override when set, else the
+  /// CONDOR_FUSED_LOCAL environment default (on unless "0"/"off"/"false").
+  [[nodiscard]] bool fused_locality_enabled() const noexcept;
+
   /// The pool this instance runs on: the shared pool when set, else the
   /// lazily created private pool.
   [[nodiscard]] ThreadPool* runtime_pool() const noexcept {
@@ -149,6 +165,7 @@ class AcceleratorExecutor {
   ThreadPool* shared_pool_ = nullptr;
   std::size_t extra_lane_worker_cap_ = 0;  ///< 0 = thread_budget() default
   std::size_t scheduler_workers_ = 0;
+  std::optional<bool> fused_local_override_;
   RunStats stats_;
 };
 

@@ -21,9 +21,15 @@ Fire FilterModule::fire(const RunContext& ctx) {
   // Map/match staging lives in members that persist across images and
   // run_batch calls; after a warmup batch the loop never allocates.
   for (std::size_t image = 0; image < ctx.batch; ++image) {
-    for (const LayerPass& pass : program_.passes) {
+    for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
+      const LayerPass& pass = program_.passes[pi];
       if (pass.kind == PassKind::kInnerProduct) {
         continue;  // classifier passes bypass the memory subsystem
+      }
+      if (program_.fused_local && pi > 0) {
+        // Fused-pass fast path: intermediates stay inside the PE, which
+        // gathers its own window stripes — nothing flows down the chain.
+        continue;
       }
       // Conditional for fused layers with a smaller window: this access
       // point is outside the active window, so the filter only forwards.
@@ -95,6 +101,9 @@ Fire SourceMuxModule::fire(const RunContext& ctx) {
       const LayerPass& pass = program_.passes[pi];
       if (pass.kind == PassKind::kInnerProduct) {
         continue;
+      }
+      if (program_.fused_local && pi > 0) {
+        continue;  // fused intermediates never re-enter the chain
       }
       Stream* source = pi == 0 ? &external_ : loopback_;
       if (source == nullptr) {

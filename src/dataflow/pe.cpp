@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "common/alloc_probe.hpp"
 #include "nn/kernels.hpp"
@@ -42,11 +43,13 @@ Fire read_fmt_word(Stream* stream, int& frac, const std::string& pe_name) {
 /// The canonical fixed layer-boundary step (mirrors the QuantizedEngine's
 /// requantize_layer_output): chooses a fresh dynamic format for the full
 /// activated float blob, quantizes to codes, and emits — format word first
-/// (when this edge has a format side-channel; the loopback keeps the format
-/// in a PE-local variable instead), then the codes stored in float words.
-/// `codes` / `blob` are caller-owned scratch (module members) so the steady
-/// state stays off the heap.
-Fire emit_requantized(const std::string& pe_name, Stream& sink,
+/// (when this edge has a format side-channel; fused intermediates keep the
+/// format in a PE-local variable instead), then the codes stored in float
+/// words. A local sink (fused-pass fast path) takes the identical
+/// codes-as-floats sequence without any FIFO transaction. `codes` / `blob`
+/// are caller-owned scratch (module members) so the steady state stays off
+/// the heap.
+Fire emit_requantized(const std::string& pe_name, PassSink sink,
                       Stream* fmt_sink, std::span<const float> values,
                       int total_bits, int& out_frac,
                       std::vector<std::int32_t>& codes,
@@ -54,6 +57,10 @@ Fire emit_requantized(const std::string& pe_name, Stream& sink,
   const nn::FixedPointFormat format =
       nn::quantize_span(values, total_bits, codes);
   out_frac = format.frac_bits;
+  if (sink.local != nullptr) {
+    sink.local->insert(sink.local->end(), codes.begin(), codes.end());
+    co_return Status::ok();
+  }
   if (fmt_sink != nullptr) {
     CONDOR_CO_WRITE_ONE(
         *fmt_sink, static_cast<float>(format.frac_bits),
@@ -61,7 +68,25 @@ Fire emit_requantized(const std::string& pe_name, Stream& sink,
   }
   blob.assign(codes.begin(), codes.end());
   CONDOR_CO_WRITE_BURST(
-      sink, blob, internal_error("PE '" + pe_name + "': sink closed mid-pass"));
+      *sink.stream, blob,
+      internal_error("PE '" + pe_name + "': sink closed mid-pass"));
+  co_return Status::ok();
+}
+
+/// Routes one float pass-output blob to its sink: appended to the PE-local
+/// fused buffer (fast path — no FIFO transaction) or burst-written to the
+/// stream. Append semantics match the per-channel burst sites (pooling,
+/// element-wise), so the local buffer accumulates the exact stream byte
+/// sequence.
+Fire write_blob(const std::string& pe_name, PassSink sink,
+                const std::vector<float>& blob) {
+  if (sink.local != nullptr) {
+    sink.local->insert(sink.local->end(), blob.begin(), blob.end());
+    co_return Status::ok();
+  }
+  CONDOR_CO_WRITE_BURST(
+      *sink.stream, blob,
+      internal_error("PE '" + pe_name + "': sink closed mid-pass"));
   co_return Status::ok();
 }
 
@@ -132,20 +157,36 @@ Fire FeaturePeModule::fire(const RunContext& ctx) {
     for (std::size_t pi = 0; pi < program_.passes.size(); ++pi) {
       const LayerPass& pass = program_.passes[pi];
       const bool last = pi + 1 == program_.passes.size();
-      Stream* sink = last ? &out_ : loopback_;
-      if (sink == nullptr) {
-        co_return internal_error("PE '" + name() + "': missing loopback stream");
+      PassSink sink;
+      if (last) {
+        sink.stream = &out_;
+      } else if (program_.fused_local) {
+        // Fast path: the intermediate blob stays on chip, accumulating the
+        // exact byte sequence the loopback round-trip would carry. clear()
+        // keeps the high-water capacity (zero-allocation warm state).
+        fused_next_.clear();
+        sink.local = &fused_next_;
+      } else {
+        if (loopback_ == nullptr) {
+          co_return internal_error("PE '" + name() +
+                                   "': missing loopback stream");
+        }
+        sink.stream = loopback_;
       }
       if (!fixed) {
-        CONDOR_CO_RETURN_IF_ERROR(co_await run_pass(pi, pass, *sink));
-        continue;
+        CONDOR_CO_RETURN_IF_ERROR(co_await run_pass(pi, pass, sink));
+      } else {
+        // Fused intermediate blobs keep their format PE-local (no format
+        // side-channel on the loopback edge or the fast path); only the
+        // last pass publishes.
+        int out_frac = 0;
+        CONDOR_CO_RETURN_IF_ERROR(co_await run_pass_fixed(
+            pi, pass, sink, last ? fmt_out_ : nullptr, frac, out_frac));
+        frac = out_frac;
       }
-      // Fused intermediate blobs keep their format PE-local (no format
-      // side-channel on the loopback edge); only the last pass publishes.
-      int out_frac = 0;
-      CONDOR_CO_RETURN_IF_ERROR(co_await run_pass_fixed(
-          pi, pass, *sink, last ? fmt_out_ : nullptr, frac, out_frac));
-      frac = out_frac;
+      if (sink.local != nullptr) {
+        std::swap(fused_prev_, fused_next_);
+      }
     }
   }
   out_.close();
@@ -228,8 +269,62 @@ Fire FeaturePeModule::read_port_stripe(const LayerPass& pass,
   co_return Status::ok();
 }
 
+void FeaturePeModule::gather_local_stripe(const LayerPass& pass,
+                                          std::size_t channel,
+                                          std::span<float> stage) const
+    noexcept {
+  // The retained blob holds the previous pass's output in (c, y, x) order —
+  // the exact loopback byte sequence. The round-trip route would pad it
+  // (mux: zero border of `pad` per side) and match each access's domain
+  // (filter: y = oy*stride + ky, x = ox*stride + kx in the padded frame);
+  // gathering straight from the blob with the same index arithmetic yields
+  // the identical values in the identical tap-major layout, so the
+  // accumulation downstream cannot tell the routes apart.
+  const std::size_t inner_h = pass.in_h - 2 * pass.pad;
+  const std::size_t inner_w = pass.in_w - 2 * pass.pad;
+  const float* map = fused_prev_.data() + channel * inner_h * inner_w;
+  const std::size_t stripe_points = pass.out_h * pass.out_w;
+  for (std::size_t ky = 0; ky < pass.window_h; ++ky) {
+    for (std::size_t kx = 0; kx < pass.window_w; ++kx) {
+      const std::size_t tap = ky * pass.window_w + kx;
+      float* dst = stage.data() + tap * stripe_points;
+      for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
+        const std::size_t y = oy * pass.stride + ky;
+        for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
+          const std::size_t x = ox * pass.stride + kx;
+          const bool interior = y >= pass.pad && y < pass.pad + inner_h &&
+                                x >= pass.pad && x < pass.pad + inner_w;
+          dst[oy * pass.out_w + ox] =
+              interior ? map[(y - pass.pad) * inner_w + (x - pass.pad)]
+                       : 0.0F;
+        }
+      }
+    }
+  }
+}
+
+void FeaturePeModule::gather_local_map(const LayerPass& pass,
+                                       std::size_t channel,
+                                       std::span<float> map) const noexcept {
+  // Whole padded map of one channel (1x1-window passes read maps, not
+  // stripes): border zeros around the retained interior — exactly the mux's
+  // padding step.
+  const std::size_t inner_h = pass.in_h - 2 * pass.pad;
+  const std::size_t inner_w = pass.in_w - 2 * pass.pad;
+  const float* src = fused_prev_.data() + channel * inner_h * inner_w;
+  if (pass.pad == 0) {
+    std::copy_n(src, inner_h * inner_w, map.data());
+    return;
+  }
+  std::fill(map.begin(), map.end(), 0.0F);
+  for (std::size_t iy = 0; iy < inner_h; ++iy) {
+    std::copy_n(src + iy * inner_w, inner_w,
+                map.data() + (pass.pad + iy) * pass.in_w + pass.pad);
+  }
+}
+
 Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
-                               Stream& sink) {
+                               PassSink sink) {
   const std::size_t lane_stride = window_h_max_ * window_w_max_;
 
   switch (pass.kind) {
@@ -282,10 +377,14 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       for (std::size_t ic0 = 0; ic0 < pass.in_channels; ic0 += group) {
         const std::size_t members = std::min(group, pass.in_channels - ic0);
         for (std::size_t s = 0; s < members; ++s) {
-          CONDOR_CO_RETURN_IF_ERROR(co_await read_port_stripe(
-              pass, (ic0 + s) % lanes_,
-              std::span<float>(stage_).subspan(s * stripe_elems,
-                                               stripe_elems)));
+          const std::span<float> slot =
+              std::span<float>(stage_).subspan(s * stripe_elems, stripe_elems);
+          if (local_input(pass_index)) {
+            gather_local_stripe(pass, ic0 + s, slot);
+          } else {
+            CONDOR_CO_RETURN_IF_ERROR(
+                co_await read_port_stripe(pass, (ic0 + s) % lanes_, slot));
+          }
         }
         run_lanes(lane_pool_, compute_lanes, [&](std::size_t lane) {
           const OcSlice slice = oc_slice(oc_total, compute_lanes, lane);
@@ -325,9 +424,7 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
           }
         }
       });
-      CONDOR_CO_WRITE_BURST(
-          sink, out_blob_,
-          internal_error("PE '" + name() + "': sink closed mid-pass"));
+      CONDOR_CO_RETURN_IF_ERROR(co_await write_blob(name(), sink, out_blob_));
       co_return Status::ok();
     }
 
@@ -344,8 +441,12 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       stage_.resize(tap_count * stripe_points);
       out_blob_.resize(stripe_points);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        CONDOR_CO_RETURN_IF_ERROR(co_await read_port_stripe(
-            pass, c % lanes_, std::span<float>(stage_)));
+        if (local_input(pass_index)) {
+          gather_local_stripe(pass, c, std::span<float>(stage_));
+        } else {
+          CONDOR_CO_RETURN_IF_ERROR(co_await read_port_stripe(
+              pass, c % lanes_, std::span<float>(stage_)));
+        }
         for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
           for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
             float result = pass.pool_method == nn::PoolMethod::kMax
@@ -367,9 +468,8 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
                 nn::apply_activation(pass.activation, result);
           }
         }
-        CONDOR_CO_WRITE_BURST(
-            sink, out_blob_,
-            internal_error("PE '" + name() + "': sink closed mid-pass"));
+        CONDOR_CO_RETURN_IF_ERROR(
+            co_await write_blob(name(), sink, out_blob_));
       }
       co_return Status::ok();
     }
@@ -379,16 +479,18 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       // channel map transfers as one burst.
       map_.resize(pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        Stream* port = ports_[(c % lanes_) * lane_stride];
-        CONDOR_CO_READ_EXACT(
-            *port, std::span<float>(map_),
-            internal_error("PE '" + name() + "': port stream ended early"));
+        if (local_input(pass_index)) {
+          gather_local_map(pass, c, std::span<float>(map_));
+        } else {
+          Stream* port = ports_[(c % lanes_) * lane_stride];
+          CONDOR_CO_READ_EXACT(
+              *port, std::span<float>(map_),
+              internal_error("PE '" + name() + "': port stream ended early"));
+        }
         for (float& value : map_) {
           value = nn::apply_activation(pass.activation, value);
         }
-        CONDOR_CO_WRITE_BURST(
-            sink, map_,
-            internal_error("PE '" + name() + "': sink closed mid-pass"));
+        CONDOR_CO_RETURN_IF_ERROR(co_await write_blob(name(), sink, map_));
       }
       co_return Status::ok();
     }
@@ -401,10 +503,14 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
       map_.resize(pass.in_h * pass.in_w);
       out_blob_.resize(pass.out_h * pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        Stream* port = ports_[(c % lanes_) * lane_stride];
-        CONDOR_CO_READ_EXACT(
-            *port, std::span<float>(map_),
-            internal_error("PE '" + name() + "': port stream ended early"));
+        if (local_input(pass_index)) {
+          gather_local_map(pass, c, std::span<float>(map_));
+        } else {
+          Stream* port = ports_[(c % lanes_) * lane_stride];
+          CONDOR_CO_READ_EXACT(
+              *port, std::span<float>(map_),
+              internal_error("PE '" + name() + "': port stream ended early"));
+        }
         for (std::size_t y = 0; y < pass.in_h; ++y) {
           float* out_row = out_blob_.data() + y * scale * pass.out_w;
           for (std::size_t x = 0; x < pass.in_w; ++x) {
@@ -419,9 +525,8 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
                       out_row + sy * pass.out_w);
           }
         }
-        CONDOR_CO_WRITE_BURST(
-            sink, out_blob_,
-            internal_error("PE '" + name() + "': sink closed mid-pass"));
+        CONDOR_CO_RETURN_IF_ERROR(
+            co_await write_blob(name(), sink, out_blob_));
       }
       co_return Status::ok();
     }
@@ -439,7 +544,7 @@ Fire FeaturePeModule::run_pass(std::size_t pass_index, const LayerPass& pass,
 
 template <typename Acc>
 Fire FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
-                                          const LayerPass& pass, Stream& sink,
+                                          const LayerPass& pass, PassSink sink,
                                           Stream* fmt_sink, int in_frac,
                                           int& out_frac) {
   const int bits = nn::total_bits(data_type_);
@@ -496,9 +601,16 @@ Fire FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
   for (std::size_t ic0 = 0; ic0 < pass.in_channels; ic0 += group) {
     const std::size_t members = std::min(group, pass.in_channels - ic0);
     for (std::size_t s = 0; s < members; ++s) {
-      CONDOR_CO_RETURN_IF_ERROR(co_await read_port_stripe(
-          pass, (ic0 + s) % lanes_,
-          std::span<float>(stage_).subspan(s * stripe_elems, stripe_elems)));
+      const std::span<float> slot =
+          std::span<float>(stage_).subspan(s * stripe_elems, stripe_elems);
+      if (local_input(pass_index)) {
+        // The retained blob carries codes in float words; the gather's zero
+        // border is code 0, exactly the mux's border.
+        gather_local_stripe(pass, ic0 + s, slot);
+      } else {
+        CONDOR_CO_RETURN_IF_ERROR(
+            co_await read_port_stripe(pass, (ic0 + s) % lanes_, slot));
+      }
     }
     codes_from_floats(
         std::span<const float>(stage_.data(), members * stripe_elems),
@@ -550,7 +662,7 @@ Fire FeaturePeModule::run_conv_pass_fixed(std::size_t pass_index,
 }
 
 Fire FeaturePeModule::run_pass_fixed(std::size_t pass_index,
-                                     const LayerPass& pass, Stream& sink,
+                                     const LayerPass& pass, PassSink sink,
                                      Stream* fmt_sink, int in_frac,
                                      int& out_frac) {
   const int bits = nn::total_bits(data_type_);
@@ -583,8 +695,12 @@ Fire FeaturePeModule::run_pass_fixed(std::size_t pass_index,
       stage_.resize(tap_count * stripe_points);
       out_blob_.resize(pass.in_channels * stripe_points);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        CONDOR_CO_RETURN_IF_ERROR(co_await read_port_stripe(
-            pass, c % lanes_, std::span<float>(stage_)));
+        if (local_input(pass_index)) {
+          gather_local_stripe(pass, c, std::span<float>(stage_));
+        } else {
+          CONDOR_CO_RETURN_IF_ERROR(co_await read_port_stripe(
+              pass, c % lanes_, std::span<float>(stage_)));
+        }
         for (std::size_t oy = 0; oy < pass.out_h; ++oy) {
           for (std::size_t ox = 0; ox < pass.out_w; ++ox) {
             std::int64_t acc =
@@ -614,10 +730,14 @@ Fire FeaturePeModule::run_pass_fixed(std::size_t pass_index,
       map_.resize(pass.in_h * pass.in_w);
       out_blob_.resize(pass.in_channels * pass.in_h * pass.in_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        Stream* port = ports_[(c % lanes_) * lane_stride];
-        CONDOR_CO_READ_EXACT(
-            *port, std::span<float>(map_),
-            internal_error("PE '" + name() + "': port stream ended early"));
+        if (local_input(pass_index)) {
+          gather_local_map(pass, c, std::span<float>(map_));
+        } else {
+          Stream* port = ports_[(c % lanes_) * lane_stride];
+          CONDOR_CO_READ_EXACT(
+              *port, std::span<float>(map_),
+              internal_error("PE '" + name() + "': port stream ended early"));
+        }
         for (std::size_t i = 0; i < map_.size(); ++i) {
           out_blob_[c * map_.size() + i] = nn::apply_activation(
               pass.activation,
@@ -637,10 +757,14 @@ Fire FeaturePeModule::run_pass_fixed(std::size_t pass_index,
       map_.resize(pass.in_h * pass.in_w);
       out_blob_.resize(pass.out_channels * pass.out_h * pass.out_w);
       for (std::size_t c = 0; c < pass.in_channels; ++c) {
-        Stream* port = ports_[(c % lanes_) * lane_stride];
-        CONDOR_CO_READ_EXACT(
-            *port, std::span<float>(map_),
-            internal_error("PE '" + name() + "': port stream ended early"));
+        if (local_input(pass_index)) {
+          gather_local_map(pass, c, std::span<float>(map_));
+        } else {
+          Stream* port = ports_[(c % lanes_) * lane_stride];
+          CONDOR_CO_READ_EXACT(
+              *port, std::span<float>(map_),
+              internal_error("PE '" + name() + "': port stream ended early"));
+        }
         float* channel = out_blob_.data() + c * pass.out_h * pass.out_w;
         for (std::size_t y = 0; y < pass.in_h; ++y) {
           float* out_row = channel + y * scale * pass.out_w;

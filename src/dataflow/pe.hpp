@@ -87,6 +87,15 @@
 
 namespace condor::dataflow {
 
+/// Where a pass's output blob goes: an inter-module stream (the downstream
+/// edge, or the loopback of a round-trip fused design) or — on the
+/// fused-pass fast path — a PE-local grow-only buffer that never touches a
+/// FIFO. Exactly one of the two is set.
+struct PassSink {
+  Stream* stream = nullptr;
+  std::vector<float>* local = nullptr;
+};
+
 class FeaturePeModule final : public Module {
  public:
   /// `ports[lane * window_h_max * window_w_max + ky * window_w_max + kx]`
@@ -138,20 +147,20 @@ class FeaturePeModule final : public Module {
 
   /// `pass_index` selects the pass's resident weight-cache slot (latched by
   /// latch_resident_weights before the first image).
-  Fire run_pass(std::size_t pass_index, const LayerPass& pass, Stream& sink);
+  Fire run_pass(std::size_t pass_index, const LayerPass& pass, PassSink sink);
 
   /// Fixed-point pass: codes in, codes out. `in_frac` is the input blob's
   /// format; the requantized output blob's format lands in `out_frac` (and,
   /// when `fmt_sink` is non-null, on the wire ahead of the blob).
   Fire run_pass_fixed(std::size_t pass_index, const LayerPass& pass,
-                      Stream& sink, Stream* fmt_sink, int in_frac,
+                      PassSink sink, Stream* fmt_sink, int in_frac,
                       int& out_frac);
 
   /// The convolution body of run_pass_fixed, templated over the widened
   /// accumulator (int64 for fixed16, int32 for fixed8 — see nn/kernels.hpp).
   template <typename Acc>
   Fire run_conv_pass_fixed(std::size_t pass_index, const LayerPass& pass,
-                           Stream& sink, Stream* fmt_sink, int in_frac,
+                           PassSink sink, Stream* fmt_sink, int in_frac,
                            int& out_frac);
 
   /// Burst-reads one full input-channel stripe — every active port of
@@ -163,6 +172,27 @@ class FeaturePeModule final : public Module {
   /// per group).
   Fire read_port_stripe(const LayerPass& pass, std::size_t lane,
                         std::span<float> stage);
+
+  /// Fast-path input for fused passes after the first: this pass reads the
+  /// retained previous-pass blob (fused_prev_) instead of the port FIFOs.
+  [[nodiscard]] bool local_input(std::size_t pass_index) const noexcept {
+    return program_.fused_local && pass_index > 0;
+  }
+
+  /// Fast-path analog of read_port_stripe: stages channel `channel`'s full
+  /// tap-major stripe from the retained previous-pass blob, reproducing the
+  /// round-trip route exactly — the mux's zero border (padded coordinates,
+  /// zeros outside the interior) and each filter's matched domain
+  /// (y = oy*stride + ky, x = ox*stride + kx) — so stage holds the
+  /// identical values in the identical layout and the arithmetic downstream
+  /// cannot tell the routes apart.
+  void gather_local_stripe(const LayerPass& pass, std::size_t channel,
+                           std::span<float> stage) const noexcept;
+
+  /// Fast-path analog of a whole-map port read (1x1-window passes): the
+  /// padded in_h x in_w map of channel `channel` from the retained blob.
+  void gather_local_map(const LayerPass& pass, std::size_t channel,
+                        std::span<float> map) const noexcept;
 
   /// Pass-indexed cache of resident weight blocks, latched from the weight
   /// stream's one-time load (latch_resident_weights) and reused for every
@@ -228,6 +258,14 @@ class FeaturePeModule final : public Module {
   std::vector<float> map_;
   std::vector<std::int32_t> emit_codes_;       ///< requantize scratch
   std::vector<float> emit_blob_;
+  /// Fused-pass fast path: the previous pass's output blob, retained
+  /// PE-locally in exactly the byte sequence the loopback would have
+  /// carried ((c, y, x) order; fixed datapaths: requantized codes in float
+  /// words), and the buffer the current pass appends into. Double-buffered
+  /// and swapped per pass; clear() keeps the high-water capacity, so the
+  /// warm steady state stays off the heap.
+  std::vector<float> fused_prev_;
+  std::vector<float> fused_next_;
 };
 
 class ClassifierPeModule final : public Module {

@@ -69,6 +69,16 @@ struct LayerPass {
 struct PeProgram {
   std::vector<LayerPass> passes;
 
+  /// Fused-pass locality (executor fast path): when set, intermediate
+  /// fused-pass blobs stay inside the PE in a grow-only local buffer — the
+  /// mux, the filter chains and the PE all run only pass 0 through the
+  /// memory subsystem, and every later pass gathers its window stripes from
+  /// the retained previous-pass blob (dataflow/pe.hpp). The gather
+  /// reproduces the mux padding and the filter domain exactly, so results
+  /// are bit-identical to the loopback round-trip; what changes is the
+  /// traffic (no loopback/chain/port FIFO transactions for fused passes).
+  bool fused_local = false;
+
   /// Weight elements the datamover streams to this PE, in canonical order
   /// (per weighted pass: all weights oc-major, then the biases). Every PE
   /// receives this exactly once per compiled design (weight residency: the

@@ -1,6 +1,8 @@
 #include "hw/dse.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
 
 #include "common/logging.hpp"
 #include "common/strings.hpp"
@@ -20,43 +22,34 @@ std::uint64_t total_interval(const DsePoint& point) {
   return total;
 }
 
-}  // namespace
+/// One clustering's hill climb over the parallelism knobs. An infeasible
+/// starting point is reported, not an error — the fusion search skips such
+/// clusterings while the caller decides what a dead baseline means.
+struct ClimbOutcome {
+  bool feasible = false;
+  Status start_failure = Status::ok();  ///< set when !feasible
+  DsePoint best;
+  std::vector<DsePoint> trajectory;
+};
 
-Result<DsePoint> evaluate_design_point(const HwNetwork& network,
-                                       const DseOptions& options) {
-  DsePoint point;
-  point.config = network;
-  CONDOR_ASSIGN_OR_RETURN(AcceleratorPlan plan, plan_accelerator(network));
-  CONDOR_ASSIGN_OR_RETURN(point.resources,
-                          estimate_resources(plan, options.cost));
-  if (point.resources.total.max_utilization(plan.board.capacity) >
-      options.max_utilization) {
-    return unsynthesizable(strings::format(
-        "utilization %.1f%% exceeds DSE headroom %.1f%%",
-        100.0 * point.resources.total.max_utilization(plan.board.capacity),
-        100.0 * options.max_utilization));
-  }
-  point.achieved_mhz =
-      achieved_frequency_mhz(plan, point.resources, options.timing);
-  CONDOR_ASSIGN_OR_RETURN(
-      point.performance,
-      estimate_performance(plan, point.resources, point.achieved_mhz));
-  return point;
-}
-
-Result<DseResult> explore(const HwNetwork& network, const DseOptions& options) {
-  CONDOR_RETURN_IF_ERROR(network.validate());
+/// The tolerant steepest-ascent walk of the file header, with the PE
+/// clustering held fixed at `network`'s pe_group annotations. Evaluation
+/// counters accumulate into `counters` so a multi-clustering exploration
+/// reports its true search volume.
+Result<ClimbOutcome> climb(const HwNetwork& network, const DseOptions& options,
+                           DseResult& counters) {
   CONDOR_ASSIGN_OR_RETURN(auto shapes, network.net.infer_shapes());
 
-  DseResult result;
+  ClimbOutcome outcome;
   auto start = evaluate_design_point(network, options);
-  ++result.points_evaluated;
+  ++counters.points_evaluated;
   if (!start.is_ok()) {
-    return Status(start.status().code(), "DSE starting point infeasible: " +
-                                             start.status().message());
+    outcome.start_failure = start.status();
+    return outcome;
   }
-  ++result.points_feasible;
-  result.trajectory.push_back(start.value());
+  outcome.feasible = true;
+  ++counters.points_feasible;
+  outcome.trajectory.push_back(start.value());
   DsePoint current = std::move(start).value();
   DsePoint best = current;
 
@@ -114,11 +107,11 @@ Result<DseResult> explore(const HwNetwork& network, const DseOptions& options) {
           continue;  // degree exceeds a fused layer's map count
         }
         auto evaluated = evaluate_design_point(candidate_net, options);
-        ++result.points_evaluated;
+        ++counters.points_evaluated;
         if (!evaluated.is_ok()) {
           continue;  // out of resources / past the headroom budget
         }
-        ++result.points_feasible;
+        ++counters.points_feasible;
         Candidate candidate{std::move(evaluated).value(),
                             strings::format("%s %s=%zu", pe.name.c_str(),
                                             m.is_out ? "Pout" : "Pin", m.degree)};
@@ -163,15 +156,193 @@ Result<DseResult> explore(const HwNetwork& network, const DseOptions& options) {
                                               winner->point.gflops(),
                                               winner->point.achieved_mhz);
     current = std::move(winner->point);
-    result.trajectory.push_back(current);
+    outcome.trajectory.push_back(current);
     if (current.gflops() > best.gflops()) {
       best = current;
     }
   }
 
+  outcome.best = std::move(best);
+  return outcome;
+}
+
+/// Enumerates fusion clusterings (paper §3.2: several layers
+/// time-multiplexed on one PE) as starting points for the climb.
+///
+/// Units are the base plan's feature PEs; a maximal run of units where each
+/// PE's tail layer feeds exactly the next PE's head layer (single producer,
+/// single consumer, contiguous layer indices — the planner's own chain
+/// conditions) forms a segment. Per segment the fusion degree d groups
+/// blocks of d consecutive units under a fresh pe_group; the cross product
+/// over segments is walked odometer-style and truncated at
+/// options.max_clusterings. The all-ones combo (the base clustering itself)
+/// is skipped — the caller climbs it unconditionally.
+Result<std::vector<HwNetwork>> enumerate_fusion_clusterings(
+    const HwNetwork& base, const DseOptions& options) {
+  std::vector<HwNetwork> clusterings;
+  CONDOR_ASSIGN_OR_RETURN(AcceleratorPlan plan, plan_accelerator(base));
+  CONDOR_ASSIGN_OR_RETURN(auto consumers, base.net.consumers());
+
+  std::vector<std::vector<std::size_t>> segments;  // runs of plan PE indices
+  std::vector<std::size_t> run;
+  const auto flush_run = [&] {
+    if (run.size() >= 2) {
+      segments.push_back(run);
+    }
+    run.clear();
+  };
+  for (std::size_t p = 0; p < plan.pes.size(); ++p) {
+    const PePlan& pe = plan.pes[p];
+    if (pe.kind != PeKind::kFeature) {
+      flush_run();
+      continue;
+    }
+    if (!run.empty()) {
+      const PePlan& prev = plan.pes[run.back()];
+      const std::size_t tail = prev.layer_indices.back();
+      const std::size_t head = pe.layer_indices.front();
+      CONDOR_ASSIGN_OR_RETURN(auto prods, base.net.producers(head));
+      const bool chained = head == tail + 1 && prods.size() == 1 &&
+                           prods.front() == tail &&
+                           consumers[tail].size() == 1;
+      if (!chained) {
+        flush_run();
+      }
+    }
+    run.push_back(p);
+  }
+  flush_run();
+  if (segments.empty()) {
+    return clusterings;
+  }
+
+  // Fresh group ids, clear of anything the base annotations already use.
+  int next_group = 0;
+  for (const LayerHw& layer : base.hw.layers) {
+    next_group = std::max(next_group, layer.pe_group + 1);
+  }
+
+  const auto degree_limit = [&](std::size_t s) {
+    return std::min<std::size_t>(segments[s].size(),
+                                 std::max<std::size_t>(options.max_fused, 1));
+  };
+  std::vector<std::size_t> degrees(segments.size(), 1);
+  for (;;) {
+    // Advance the odometer; starting from all-ones means the base clustering
+    // itself is never emitted.
+    std::size_t s = 0;
+    while (s < degrees.size()) {
+      if (++degrees[s] <= degree_limit(s)) {
+        break;
+      }
+      degrees[s] = 1;
+      ++s;
+    }
+    if (s == degrees.size()) {
+      break;  // wrapped: every combo emitted
+    }
+
+    HwNetwork candidate = base;
+    int group = next_group;
+    for (std::size_t seg = 0; seg < segments.size(); ++seg) {
+      const std::size_t d = degrees[seg];
+      if (d < 2) {
+        continue;
+      }
+      const std::vector<std::size_t>& units = segments[seg];
+      for (std::size_t u = 0; u < units.size(); u += d) {
+        const std::size_t span = std::min(d, units.size() - u);
+        if (span < 2) {
+          continue;  // a lone tail unit keeps its dedicated PE
+        }
+        for (std::size_t m = 0; m < span; ++m) {
+          for (const std::size_t index : plan.pes[units[u + m]].layer_indices) {
+            candidate.hw.layers[index].pe_group = group;
+          }
+        }
+        ++group;
+      }
+    }
+    if (candidate.validate().is_ok()) {
+      clusterings.push_back(std::move(candidate));
+    }
+    if (clusterings.size() >= options.max_clusterings) {
+      break;
+    }
+  }
+  return clusterings;
+}
+
+}  // namespace
+
+Result<DsePoint> evaluate_design_point(const HwNetwork& network,
+                                       const DseOptions& options) {
+  DsePoint point;
+  point.config = network;
+  CONDOR_ASSIGN_OR_RETURN(AcceleratorPlan plan, plan_accelerator(network));
+  CONDOR_ASSIGN_OR_RETURN(point.resources,
+                          estimate_resources(plan, options.cost));
+  if (point.resources.total.max_utilization(plan.board.capacity) >
+      options.max_utilization) {
+    return unsynthesizable(strings::format(
+        "utilization %.1f%% exceeds DSE headroom %.1f%%",
+        100.0 * point.resources.total.max_utilization(plan.board.capacity),
+        100.0 * options.max_utilization));
+  }
+  point.achieved_mhz =
+      achieved_frequency_mhz(plan, point.resources, options.timing);
+  CONDOR_ASSIGN_OR_RETURN(
+      point.performance,
+      estimate_performance(plan, point.resources, point.achieved_mhz));
+  return point;
+}
+
+Result<DseResult> explore(const HwNetwork& network, const DseOptions& options) {
+  CONDOR_RETURN_IF_ERROR(network.validate());
+
+  DseResult result;
+  // The base clustering climbs unconditionally; its infeasibility is the
+  // caller's error (nothing at all fits the board).
+  CONDOR_ASSIGN_OR_RETURN(ClimbOutcome base, climb(network, options, result));
+  result.clusterings_explored = 1;
+  if (!base.feasible) {
+    return Status(base.start_failure.code(),
+                  "DSE starting point infeasible: " +
+                      base.start_failure.message());
+  }
+  DsePoint best = std::move(base.best);
+  std::vector<DsePoint> trajectory = std::move(base.trajectory);
+
+  // Fusion-aware search: every enumerated clustering seeds its own climb —
+  // a fused PE frees window memory and compute units the walk can then
+  // spend on higher parallel degrees elsewhere. Clusterings whose start is
+  // unsynthesizable on this board are skipped, not fatal.
+  if (options.max_fused > 1) {
+    CONDOR_ASSIGN_OR_RETURN(std::vector<HwNetwork> clusterings,
+                            enumerate_fusion_clusterings(network, options));
+    for (const HwNetwork& clustering : clusterings) {
+      CONDOR_ASSIGN_OR_RETURN(ClimbOutcome outcome,
+                              climb(clustering, options, result));
+      ++result.clusterings_explored;
+      if (!outcome.feasible) {
+        continue;
+      }
+      const bool better =
+          outcome.best.gflops() > best.gflops() ||
+          (outcome.best.gflops() == best.gflops() &&
+           total_interval(outcome.best) < total_interval(best));
+      if (better) {
+        best = std::move(outcome.best);
+        trajectory = std::move(outcome.trajectory);
+      }
+    }
+  }
+
   result.best = std::move(best);
+  result.trajectory = std::move(trajectory);
   CONDOR_LOG_INFO(kTag) << "explored " << result.points_evaluated
-                        << " points, best "
+                        << " points over " << result.clusterings_explored
+                        << " clustering(s), best "
                         << strings::format("%.2f GFLOPS @ %.0f MHz",
                                            result.best.gflops(),
                                            result.best.achieved_mhz);

@@ -50,6 +50,18 @@ struct DseOptions {
   double interval_shrink_required = 0.015;
   /// Safety cap on accepted moves.
   std::size_t max_moves = 400;
+  /// Fusion-aware clustering search (paper §3.2 PE fusion as a DSE
+  /// variable): the largest number of chained feature-extraction PEs a
+  /// single fused PE may time-multiplex. 1 keeps the clustering fixed (the
+  /// pre-fusion behavior); larger values enumerate fusion degrees per
+  /// feature chain segment — each enumerated clustering seeds its own hill
+  /// climb, and the best point across clusterings wins. Fusing shares one
+  /// window memory subsystem and frees DSP/LUT the climb can spend on
+  /// higher parallel_out / parallel_in.
+  std::size_t max_fused = 1;
+  /// Safety cap on enumerated fusion clusterings (cross product over
+  /// segments, truncated breadth-first).
+  std::size_t max_clusterings = 64;
   /// Cost/timing model overrides (ablations).
   CostModel cost;
   TimingModel timing;
@@ -69,8 +81,11 @@ struct DseResult {
   DsePoint best;
   std::size_t points_evaluated = 0;
   std::size_t points_feasible = 0;
+  /// Fusion clusterings whose hill climb ran (1 when max_fused == 1).
+  std::size_t clusterings_explored = 0;
   /// The accepted trajectory from the sequential start to the best point
-  /// (useful for ablation plots of throughput vs area).
+  /// (useful for ablation plots of throughput vs area); the trajectory of
+  /// the winning clustering when fusion search is on.
   std::vector<DsePoint> trajectory;
 };
 

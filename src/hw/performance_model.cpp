@@ -96,10 +96,20 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
     PeTiming timing;
     timing.name = pe.name;
 
-    for (const std::size_t index : pe.layer_indices) {
+    for (std::size_t position = 0; position < pe.layer_indices.size();
+         ++position) {
+      const std::size_t index = pe.layer_indices[position];
       const nn::LayerSpec& layer = layers[index];
       const Shape& in = shapes[index].input;
       const Shape& out = shapes[index].output;
+      // Fusion honesty (paper §3.2): a pooling or activation layer fused
+      // BEHIND a producer inside the same PE is near-free — it consumes the
+      // producer pass's output raster in lockstep (one comparison/op per
+      // produced element, pipelined), so it adds no service interval of its
+      // own. Convolution followers still time-multiplex and charge in full.
+      const bool free_rider =
+          position > 0 && (layer.kind == nn::LayerKind::kPooling ||
+                           layer.kind == nn::LayerKind::kActivation);
       switch (layer.kind) {
         case nn::LayerKind::kConvolution: {
           // II=1 over output points; sequential over feature-map tiles not
@@ -122,6 +132,9 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
           break;
         }
         case nn::LayerKind::kPooling: {
+          if (free_rider) {
+            break;
+          }
           const std::uint64_t passes = ceil_div(in[0], pe.parallel_in);
           timing.compute_interval += passes * out[1] * out[2];
           break;
@@ -139,6 +152,9 @@ Result<PerformanceEstimate> estimate_performance(const AcceleratorPlan& plan,
           break;
         }
         case nn::LayerKind::kActivation: {
+          if (free_rider) {
+            break;
+          }
           timing.compute_interval += out.element_count();
           break;
         }

@@ -87,6 +87,14 @@ Resources pe_cost(const AcceleratorPlan& plan, std::size_t pe_index,
   std::size_t div_units = 0;
   std::size_t tanh_units = 0;
   std::size_t sigmoid_units = 0;
+  // Activation pipelines are shared across a fused PE's time-multiplexed
+  // layers (only one layer's activation runs at a time), so their unit
+  // counts max-share across layers — identical to summing for the
+  // single-layer PE case.
+  std::size_t act_mul_units = 0;
+  std::size_t act_cmp_units = 0;
+  std::size_t act_tanh_units = 0;
+  std::size_t act_sigmoid_units = 0;
   for (const std::size_t index : pe.layer_indices) {
     const nn::LayerSpec& layer = layers[index];
     switch (layer.kind) {
@@ -129,22 +137,28 @@ Resources pe_cost(const AcceleratorPlan& plan, std::size_t pe_index,
     }
     switch (layer.activation) {
       case nn::Activation::kTanH:
-        tanh_units += pe.parallel_out;
+        act_tanh_units = std::max(act_tanh_units, pe.parallel_out);
         break;
       case nn::Activation::kSigmoid:
-        sigmoid_units += pe.parallel_out;
+        act_sigmoid_units = std::max(act_sigmoid_units, pe.parallel_out);
         break;
       case nn::Activation::kReLU:
-        cmp_units += pe.parallel_out;  // a comparator against zero
+        // A comparator against zero.
+        act_cmp_units = std::max(act_cmp_units, pe.parallel_out);
         break;
       case nn::Activation::kLeakyReLU:
-        cmp_units += pe.parallel_out;  // sign test ...
-        mul_units += pe.parallel_out;  // ... then x * slope on the low branch
+        // Sign test, then x * slope on the low branch.
+        act_cmp_units = std::max(act_cmp_units, pe.parallel_out);
+        act_mul_units = std::max(act_mul_units, pe.parallel_out);
         break;
       case nn::Activation::kNone:
         break;
     }
   }
+  mul_units += act_mul_units;
+  cmp_units += act_cmp_units;
+  tanh_units += act_tanh_units;
+  sigmoid_units += act_sigmoid_units;
   total += cost.fmul.scaled(mul_units);
   total += cost.fadd.scaled(add_units);
   total += cost.fcmp.scaled(cmp_units);

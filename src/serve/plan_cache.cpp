@@ -72,12 +72,37 @@ std::uint64_t fingerprint(const nn::WeightStore& weights) {
   return hash;
 }
 
+std::uint64_t plan_fingerprint(const hw::HwNetwork& network) {
+  std::uint64_t hash = kFnvOffset;
+  mix_bytes(hash, network.hw.board_id.data(), network.hw.board_id.size());
+  // Quantized to kHz so the digest is stable across formatting round trips.
+  mix(hash, static_cast<std::uint64_t>(network.hw.target_frequency_mhz * 1e3));
+  mix(hash, network.hw.layers.size());
+  for (const hw::LayerHw& annot : network.hw.layers) {
+    mix(hash, annot.parallel_in);
+    mix(hash, annot.parallel_out);
+    // +2 keeps the unfused (-1) marker distinct from group 0 and from the
+    // layer separator.
+    mix(hash, static_cast<std::uint64_t>(annot.pe_group + 2));
+    mix(hash, 0xfdU);  // layer separator
+  }
+  return hash;
+}
+
 Result<std::shared_ptr<PlanCache::Entry>> PlanCache::get_or_create(
     const nn::Network& network, const nn::WeightStore& weights,
     nn::DataType data_type, std::size_t instances) {
+  return get_or_create(hw::with_default_annotations(network), weights,
+                       data_type, instances);
+}
+
+Result<std::shared_ptr<PlanCache::Entry>> PlanCache::get_or_create(
+    const hw::HwNetwork& hw_network, const nn::WeightStore& weights,
+    nn::DataType data_type, std::size_t instances) {
   Key key;
-  key.network_hash = fingerprint(network);
+  key.network_hash = fingerprint(hw_network.net);
   key.weights_hash = fingerprint(weights);
+  key.plan_hash = plan_fingerprint(hw_network);
   key.data_type = data_type;
   key.instances = instances;
 
@@ -92,9 +117,9 @@ Result<std::shared_ptr<PlanCache::Entry>> PlanCache::get_or_create(
   }
   ++stats_.misses;
 
-  // Compile: annotate for hardware, plan the accelerator, replicate the
-  // executor pool over the shared immutable plan + weights.
-  hw::HwNetwork hw_net = hw::with_default_annotations(network);
+  // Compile: plan the accelerator from the caller's annotations, replicate
+  // the executor pool over the shared immutable plan + weights.
+  hw::HwNetwork hw_net = hw_network;
   hw_net.hw.data_type = data_type;
   CONDOR_ASSIGN_OR_RETURN(hw::AcceleratorPlan plan,
                           hw::plan_accelerator(hw_net));

@@ -27,6 +27,7 @@
 #include "common/status.hpp"
 #include "dataflow/executor_pool.hpp"
 #include "hw/accel_plan.hpp"
+#include "hw/hw_ir.hpp"
 #include "nn/network.hpp"
 #include "nn/numeric.hpp"
 #include "nn/weights.hpp"
@@ -41,6 +42,13 @@ std::uint64_t fingerprint(const nn::Network& network);
 /// Digest of the parameter bytes (per-layer shapes + raw values). Folded
 /// into the cache key so a weight update is a compile, not a stale hit.
 std::uint64_t fingerprint(const nn::WeightStore& weights);
+
+/// Digest of the plan parameters that shape the hardware beyond the
+/// topology: board preset, target clock and the per-layer parallel_in /
+/// parallel_out / pe_group (fusion clustering) annotations. Folded into the
+/// cache key so tenants requesting differently fused or parallelized
+/// designs of the same network never collide on one compiled plan.
+std::uint64_t plan_fingerprint(const hw::HwNetwork& network);
 
 struct PlanCacheStats {
   std::uint64_t hits = 0;
@@ -64,7 +72,18 @@ class PlanCache {
   /// or compiles plan + pool on a miss and caches it (evicting the least
   /// recently used entry at capacity). Thread-safe; the compile runs under
   /// the cache lock so concurrent sessions for the same key compile once.
+  /// Uses the default hardware annotations (every layer on its own PE).
   Result<std::shared_ptr<Entry>> get_or_create(const nn::Network& network,
+                                               const nn::WeightStore& weights,
+                                               nn::DataType data_type,
+                                               std::size_t instances);
+
+  /// Annotated variant: the caller supplies the hardware annotations
+  /// (board, clock, parallelism, fusion clustering), and their digest joins
+  /// the key — two tenants serving the same topology with different fused
+  /// designs get distinct compiled plans. `hw_network.hw.data_type` is
+  /// overridden by `data_type` (it is part of the key either way).
+  Result<std::shared_ptr<Entry>> get_or_create(const hw::HwNetwork& hw_network,
                                                const nn::WeightStore& weights,
                                                nn::DataType data_type,
                                                std::size_t instances);
@@ -77,13 +96,17 @@ class PlanCache {
   struct Key {
     std::uint64_t network_hash = 0;
     std::uint64_t weights_hash = 0;
+    /// Digest of the plan parameters (plan_fingerprint): board preset,
+    /// clock, parallelism and fusion clustering annotations.
+    std::uint64_t plan_hash = 0;
     nn::DataType data_type = nn::DataType::kFloat32;
     std::size_t instances = 1;
 
     bool operator==(const Key& other) const noexcept {
       return network_hash == other.network_hash &&
              weights_hash == other.weights_hash &&
-             data_type == other.data_type && instances == other.instances;
+             plan_hash == other.plan_hash && data_type == other.data_type &&
+             instances == other.instances;
     }
   };
   struct Slot {

@@ -58,6 +58,41 @@ TEST(Codegen, TanhActivationEmitted) {
   EXPECT_NE(source.value().code.find("hls::tanhf"), std::string::npos);
 }
 
+TEST(Codegen, FusedPeKeepsIntermediatePassesLocal) {
+  // conv1+pool1 fused on one PE: pass 0 reads the window ports, pass 1
+  // gathers from the retained PE-local buffer and only the last pass
+  // touches out_stream — the loopback disappears from the generated code.
+  hw::HwNetwork net = hw::with_default_annotations(nn::make_lenet());
+  net.hw.layers[1].pe_group = 0;  // conv1
+  net.hw.layers[2].pe_group = 0;  // pool1
+  const auto plan = hw::plan_accelerator(net).value();
+  ASSERT_EQ(plan.pes[0].layer_indices.size(), 2u);
+  auto source = generate_pe_source(plan, 0);
+  ASSERT_TRUE(source.is_ok()) << source.status().to_string();
+  const std::string& code = source.value().code;
+  // Ping-pong locality buffers declared, sized for the intermediate blob.
+  EXPECT_NE(code.find("static data_t fused_a"), std::string::npos);
+  EXPECT_NE(code.find("static data_t fused_b"), std::string::npos);
+  // Pass 0 (conv) writes into the local buffer, not the output stream.
+  EXPECT_NE(code.find("fused_a[oc *"), std::string::npos);
+  // Pass 1 (pool) gathers its window from the retained blob.
+  EXPECT_NE(code.find("? fused_a[c *"), std::string::npos);
+  // Exactly one pass emits to out_stream (the final one).
+  std::size_t writes = 0;
+  for (std::size_t at = code.find("out_stream.write");
+       at != std::string::npos; at = code.find("out_stream.write", at + 1)) {
+    ++writes;
+  }
+  EXPECT_EQ(writes, 1u);
+}
+
+TEST(Codegen, UnfusedPeHasNoLocalityBuffers) {
+  const auto plan = lenet_plan();
+  auto source = generate_pe_source(plan, 0);
+  ASSERT_TRUE(source.is_ok());
+  EXPECT_EQ(source.value().code.find("fused_a"), std::string::npos);
+}
+
 TEST(Codegen, FilterSourceStatesInequalities) {
   const auto plan = lenet_plan();
   auto source = generate_filter_source(plan, 0, hw::WindowAccess{3, 1});

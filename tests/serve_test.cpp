@@ -345,6 +345,56 @@ TEST(PlanCacheTest, RepeatSessionHitsAndSharesThePool) {
   EXPECT_EQ(outputs.value().size(), 3u);
 }
 
+TEST(PlanCacheTest, PlanParameterDigestSeparatesClusterings) {
+  // Two tenants serving the same network with different plan parameters
+  // (fused clustering, parallelism, board) must get distinct compiled
+  // pools: the key folds in plan_fingerprint, not just the topology hash.
+  condor::testing::TinyNetConfig config;
+  config.with_pool = true;
+  const nn::Network net = condor::testing::make_tiny_net(config);
+  const nn::WeightStore weights = nn::initialize_weights(net, 5).value();
+  const hw::HwNetwork base = hw::with_default_annotations(net);
+  hw::HwNetwork fused = base;
+  fused.hw.layers[1].pe_group = 0;  // conv
+  fused.hw.layers[2].pe_group = 0;  // pool
+  ASSERT_TRUE(fused.validate().is_ok());
+  hw::HwNetwork wider = base;
+  wider.hw.layers[1].parallel_out = 2;
+  EXPECT_NE(plan_fingerprint(base), plan_fingerprint(fused));
+  EXPECT_NE(plan_fingerprint(base), plan_fingerprint(wider));
+
+  PlanCache cache(4);
+  auto plain = cache.get_or_create(base, weights, nn::DataType::kFloat32, 1);
+  auto clustered =
+      cache.get_or_create(fused, weights, nn::DataType::kFloat32, 1);
+  ASSERT_TRUE(plain.is_ok()) << plain.status().to_string();
+  ASSERT_TRUE(clustered.is_ok()) << clustered.status().to_string();
+  EXPECT_NE(plain.value().get(), clustered.value().get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Same annotations again: a warm hit on the fused entry.
+  auto again = cache.get_or_create(fused, weights, nn::DataType::kFloat32, 1);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().get(), clustered.value().get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // The legacy network-based API keys on the default annotations, so it
+  // coincides with the explicit default-annotated HwNetwork entry.
+  auto legacy = cache.get_or_create(net, weights, nn::DataType::kFloat32, 1);
+  ASSERT_TRUE(legacy.is_ok());
+  EXPECT_EQ(legacy.value().get(), plain.value().get());
+
+  // Both clusterings serve, byte-identically (fusion never changes bytes).
+  const auto inputs = condor::testing::random_inputs(net, 2, 7);
+  auto plain_out = plain.value()->pool->run_batch(inputs);
+  auto fused_out = clustered.value()->pool->run_batch(inputs);
+  ASSERT_TRUE(plain_out.is_ok());
+  ASSERT_TRUE(fused_out.is_ok());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(max_abs_diff(plain_out.value()[i], fused_out.value()[i]), 0.0F);
+  }
+}
+
 TEST(PlanCacheTest, LruEvictionAtCapacity) {
   const nn::Network net =
       condor::testing::make_tiny_net(condor::testing::TinyNetConfig{});

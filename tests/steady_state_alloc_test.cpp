@@ -15,6 +15,7 @@
 // bodies, which is where per-image work happens.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -50,11 +51,16 @@ namespace {
 /// Builds an executor for `network` at `data_type` / `parallel_out`, runs
 /// two warmup batches, then counts module-body allocations of a third.
 /// Also asserts the weight-residency contract: the cold run streams weight
-/// bytes, every warm run streams exactly zero.
+/// bytes, every warm run streams exactly zero. `fuse_chain` > 1 clusters
+/// blocks of that many consecutive feature-extraction layers onto fused
+/// PEs (the network must be a linear chain), exercising the PE-local
+/// fused-pass fast path — whose grow-only double buffers must hold the
+/// same zero-allocation and zero-weight-traffic contract warm.
 void expect_steady_state_allocates_nothing(const nn::Network& network,
                                            nn::DataType data_type,
                                            std::size_t parallel_out,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed,
+                                           std::size_t fuse_chain = 1) {
   auto weights = nn::initialize_weights(network, seed);
   ASSERT_TRUE(weights.is_ok()) << weights.status().to_string();
 
@@ -63,6 +69,38 @@ void expect_steady_state_allocates_nothing(const nn::Network& network,
   for (std::size_t i = 1; i < hw_net.hw.layers.size(); ++i) {
     hw_net.hw.layers[i].parallel_out = parallel_out;
   }
+  if (fuse_chain > 1) {
+    int group = 0;
+    std::size_t i = 1;
+    const auto is_feature = [&](std::size_t index) {
+      const nn::LayerSpec& layer = network.layers()[index];
+      return layer.is_feature_extraction() ||
+             layer.kind == nn::LayerKind::kActivation;
+    };
+    while (i < network.layer_count()) {
+      if (!is_feature(i)) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i;
+      while (end + 1 < network.layer_count() && is_feature(end + 1)) {
+        ++end;
+      }
+      for (std::size_t u = i; u <= end; u += fuse_chain) {
+        const std::size_t span = std::min(fuse_chain, end - u + 1);
+        if (span < 2) {
+          continue;
+        }
+        for (std::size_t m = 0; m < span; ++m) {
+          hw_net.hw.layers[u + m].pe_group = group;
+        }
+        ++group;
+      }
+      i = end + 1;
+    }
+    ASSERT_GT(group, 0) << "fuse_chain produced no fused groups";
+  }
+  ASSERT_TRUE(hw_net.validate().is_ok()) << hw_net.validate().to_string();
   auto plan = hw::plan_accelerator(hw_net);
   ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
 
@@ -106,6 +144,10 @@ void expect_steady_state_allocates_nothing(const nn::Network& network,
       << " allocations)";
   EXPECT_EQ(executor.value().last_run_stats().weight_bytes_streamed, 0U)
       << "steady-state run re-streamed weights despite residency";
+  if (fuse_chain > 1) {
+    EXPECT_GT(executor.value().last_run_stats().fused_local_passes, 0U)
+        << "fused clustering did not exercise the PE-local fast path";
+  }
 }
 
 TEST(SteadyStateAlloc, ProbeCountsOnlyInsideArmedScopes) {
@@ -169,6 +211,32 @@ TEST(SteadyStateAlloc, TinyNetFixed16ParallelLanes) {
   config.with_fc = true;
   expect_steady_state_allocates_nothing(testing::make_tiny_net(config),
                                         nn::DataType::kFixed16, 2, 59);
+}
+
+// Fused clusterings: the PE-local fused-pass buffers are grow-only and
+// double-buffered by swap, so a warm fused run must allocate nothing and
+// move zero weight bytes — same contract as the round-trip path.
+TEST(SteadyStateAlloc, LeNetFusedPairsFloat32) {
+  expect_steady_state_allocates_nothing(nn::make_lenet(),
+                                        nn::DataType::kFloat32, 1, 73,
+                                        /*fuse_chain=*/2);
+}
+
+TEST(SteadyStateAlloc, LeNetFusedWholeStageFixed8) {
+  expect_steady_state_allocates_nothing(nn::make_lenet(),
+                                        nn::DataType::kFixed8, 1, 79,
+                                        /*fuse_chain=*/4);
+}
+
+TEST(SteadyStateAlloc, TinyNetFusedFixed16ParallelLanes) {
+  testing::TinyNetConfig config;
+  config.in_channels = 2;
+  config.conv_outputs = 6;
+  config.with_pool = true;
+  config.with_fc = true;
+  expect_steady_state_allocates_nothing(testing::make_tiny_net(config),
+                                        nn::DataType::kFixed16, 2, 83,
+                                        /*fuse_chain=*/2);
 }
 
 // DAG topologies: the join and broadcast modules must hold the same
